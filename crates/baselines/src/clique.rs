@@ -1,0 +1,102 @@
+//! `clique`: densest clique-percolation community search (Yuan et al.
+//! 2017). We find the clique-percolation community containing the query
+//! with the clique order `k` maximised (their "densest" criterion),
+//! falling back down to `k = 3`. Exponential-time substrate (maximal
+//! clique enumeration) — the paper also runs it only on the small graphs.
+
+use crate::result_from_nodes;
+use dmcs_core::{CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::cliques::{clique_percolation_community, maximal_cliques};
+use dmcs_graph::{Graph, GraphError, NodeId};
+
+/// Densest clique-percolation community search.
+#[derive(Debug, Clone, Copy)]
+pub struct CliquePercolation {
+    /// Lower bound on the clique order to try (inclusive).
+    pub min_k: usize,
+}
+
+impl Default for CliquePercolation {
+    fn default() -> Self {
+        CliquePercolation { min_k: 3 }
+    }
+}
+
+impl CommunitySearch for CliquePercolation {
+    fn name(&self) -> &'static str {
+        "clique"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        let [q] = *query else {
+            return Err(if query.is_empty() {
+                SearchError::EmptyQuery
+            } else {
+                SearchError::Graph(GraphError::NoFeasibleSolution(
+                    "clique percolation supports a single query node",
+                ))
+            });
+        };
+        if q as usize >= g.n() {
+            return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
+        }
+        // Largest clique through q bounds the percolation order.
+        let max_k = maximal_cliques(g)
+            .iter()
+            .filter(|c| c.binary_search(&q).is_ok())
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(0);
+        for k in (self.min_k..=max_k.max(self.min_k)).rev() {
+            if let Some(c) = clique_percolation_community(g, k, q) {
+                return Ok(result_from_nodes(g, c));
+            }
+        }
+        Err(SearchError::Graph(GraphError::NoFeasibleSolution(
+            "query is in no clique of the requested order",
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    #[test]
+    fn finds_densest_percolation() {
+        // K4 {0,1,2,3} plus triangle {3,4,5}: from node 0 the densest
+        // order is 4 and the community is the K4.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+            ],
+        );
+        let r = CliquePercolation::default().search(&g, &[0]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2, 3]);
+        // From node 4 the best order is 3 (its triangle).
+        let r4 = CliquePercolation::default().search(&g, &[4]).unwrap();
+        assert_eq!(r4.community, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn fails_on_triangle_free_query() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(CliquePercolation::default().search(&g, &[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_multi_query() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(CliquePercolation::default().search(&g, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! `kt` and `hightruss`: triangle-connected k-truss community search
+//! (Huang et al. 2014). Per the paper (§6.2.1), `kt` "allows only a single
+//! query node".
+
+use crate::result_from_nodes;
+use dmcs_core::{CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::truss::{highest_truss_community, k_truss_community};
+use dmcs_graph::{Graph, GraphError, NodeId};
+
+/// The k-truss community of a single query node for fixed `k` (the
+/// paper's default is `k = 4`, "since (k+1)-truss contains k-core").
+#[derive(Debug, Clone, Copy)]
+pub struct KTruss {
+    /// Truss threshold (every edge in ≥ k−2 triangles).
+    pub k: u32,
+}
+
+impl KTruss {
+    /// k-truss search with threshold `k`.
+    pub fn new(k: u32) -> Self {
+        KTruss { k }
+    }
+}
+
+fn single_query(query: &[NodeId]) -> Result<NodeId, SearchError> {
+    match query {
+        [] => Err(SearchError::EmptyQuery),
+        [q] => Ok(*q),
+        _ => Err(SearchError::Graph(GraphError::NoFeasibleSolution(
+            "the k-truss community model supports a single query node",
+        ))),
+    }
+}
+
+impl CommunitySearch for KTruss {
+    fn name(&self) -> &'static str {
+        "kt"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        let q = single_query(query)?;
+        if q as usize >= g.n() {
+            return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
+        }
+        let community = k_truss_community(g, self.k, q).ok_or(SearchError::Graph(
+            GraphError::NoFeasibleSolution("query touches no k-truss edge"),
+        ))?;
+        Ok(result_from_nodes(g, community))
+    }
+}
+
+/// The highest-order truss community: `k` maximised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HighTruss;
+
+impl CommunitySearch for HighTruss {
+    fn name(&self) -> &'static str {
+        "hightruss"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        let q = single_query(query)?;
+        if q as usize >= g.n() {
+            return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
+        }
+        let (community, _k) = highest_truss_community(g, q).ok_or(SearchError::Graph(
+            GraphError::NoFeasibleSolution("query has no incident edges"),
+        ))?;
+        Ok(result_from_nodes(g, community))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    /// Two K4s sharing node 3.
+    fn two_k4() -> Graph {
+        GraphBuilder::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (3, 6),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn kt_finds_truss_community() {
+        let g = two_k4();
+        let r = KTruss::new(4).search(&g, &[0]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kt_union_through_shared_node() {
+        let g = two_k4();
+        let r = KTruss::new(4).search(&g, &[3]).unwrap();
+        assert_eq!(r.community.len(), 7);
+    }
+
+    #[test]
+    fn kt_rejects_multi_query() {
+        let g = two_k4();
+        assert!(KTruss::new(4).search(&g, &[0, 4]).is_err());
+    }
+
+    #[test]
+    fn hightruss_maximises_k() {
+        let g = two_k4();
+        let r = HighTruss.search(&g, &[1]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kt_fails_when_no_truss() {
+        // A path has no triangles: 4-truss impossible.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(KTruss::new(4).search(&g, &[0]).is_err());
+    }
+}

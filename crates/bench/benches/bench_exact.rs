@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the exact solvers: the bitmask enumerator vs
+//! branch-and-bound, over component size — the `bnb` experiment's timing
+//! companion. The crossover shows where bound-driven pruning starts to
+//! pay for its per-node bound computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa};
+use dmcs_gen::{ring, sbm};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+
+    // Bitmask sweep: cost is Θ(2^n) regardless of structure.
+    for &n in &[14usize, 18, 22] {
+        let (g, _) = sbm::planted_partition(&[n / 2, n / 2], 0.6, 0.1, 7);
+        group.bench_with_input(BenchmarkId::new("bitmask/sbm", n), &g, |b, g| {
+            b.iter(|| Exact.search(black_box(g), &[0]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bnb/sbm", n), &g, |b, g| {
+            b.iter(|| BranchAndBound::default().search(black_box(g), &[0]).unwrap())
+        });
+    }
+
+    // Past the bitmask cap: only branch-and-bound (structure-dependent).
+    let ring30 = ring::ring_of_cliques(5, 6);
+    group.bench_function("bnb/ring_30", |b| {
+        b.iter(|| BranchAndBound::default().search(black_box(&ring30), &[0]).unwrap())
+    });
+    let (sbm30, _) = sbm::planted_partition(&[15, 15], 0.55, 0.06, 3);
+    group.bench_function("bnb/sbm_30", |b| {
+        b.iter(|| BranchAndBound::default().search(black_box(&sbm30), &[0]).unwrap())
+    });
+
+    // The heuristic for reference: what the exponential gap buys.
+    group.bench_function("fpa/sbm_30", |b| {
+        b.iter(|| Fpa::default().search(black_box(&sbm30), &[0]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

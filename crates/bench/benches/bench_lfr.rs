@@ -1,0 +1,53 @@
+//! Fig 8/9 micro: the full algorithm line-up on a default-configuration
+//! LFR graph (reduced n so the quadratic baselines stay benchable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmcs_baselines as bl;
+use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_gen::{lfr, queries, Dataset};
+
+fn bench_lfr(c: &mut Criterion) {
+    let g = lfr::generate(&lfr::LfrConfig {
+        n: 1000,
+        avg_degree: 15.0,
+        max_degree: 100,
+        min_community: 20,
+        max_community: 150,
+        seed: 21,
+        ..lfr::LfrConfig::default()
+    });
+    let ds = Dataset {
+        name: "lfr-1000".into(),
+        graph: g.graph,
+        communities: g.communities,
+        overlapping: false,
+    };
+    let (q, _) = queries::sample_query_sets(&ds, 1, 1, 4, 5)
+        .pop()
+        .expect("query sampled");
+
+    let algos: Vec<Box<dyn CommunitySearch>> = vec![
+        Box::new(bl::KCore::new(3)),
+        Box::new(bl::KTruss::new(4)),
+        Box::new(bl::Kecc::new(3)),
+        Box::new(bl::Huang2015::default()),
+        Box::new(bl::Wu2015::default()),
+        Box::new(bl::HighCore),
+        Box::new(bl::HighTruss),
+        Box::new(Nca::default()),
+        Box::new(Fpa::default()),
+    ];
+    let mut group = c.benchmark_group("fig9_lfr1000");
+    group.sample_size(10);
+    for a in &algos {
+        group.bench_function(a.name(), |b| {
+            b.iter(|| {
+                let _ = a.search(&ds.graph, &q);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lfr);
+criterion_main!(benches);

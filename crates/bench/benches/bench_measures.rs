@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the goodness functions (Definitions 1, 2, 6, 7):
+//! the per-candidate costs that dominate the inner loops of Algorithm 1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmcs_core::measure::{
+    classic_modularity, density_modularity, density_ratio, dm_gain,
+    generalized_modularity_density,
+};
+use dmcs_gen::{karate, ring};
+
+fn bench_measures(c: &mut Criterion) {
+    let g = ring::ring_of_cliques(30, 6);
+    let community = ring::merged_community(0, 30, 6);
+    let kg = karate::karate();
+    let faction = karate::faction_mr_hi();
+
+    let mut group = c.benchmark_group("measures");
+    group.bench_function("density_modularity/ring_merged", |b| {
+        b.iter(|| density_modularity(black_box(&g), black_box(&community)))
+    });
+    group.bench_function("classic_modularity/ring_merged", |b| {
+        b.iter(|| classic_modularity(black_box(&g), black_box(&community)))
+    });
+    group.bench_function("generalized_modularity_density/ring_merged", |b| {
+        b.iter(|| generalized_modularity_density(black_box(&g), black_box(&community)))
+    });
+    group.bench_function("density_modularity/karate_faction", |b| {
+        b.iter(|| density_modularity(black_box(&kg), black_box(&faction)))
+    });
+    group.bench_function("dm_gain", |b| {
+        b.iter(|| dm_gain(black_box(480), black_box(3), black_box(64), black_box(7)))
+    });
+    group.bench_function("density_ratio", |b| {
+        b.iter(|| density_ratio(black_box(7), black_box(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

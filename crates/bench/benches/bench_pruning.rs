@@ -1,0 +1,43 @@
+//! Fig 13 micro: FPA with vs without the layer-based pruning strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmcs_core::{CommunitySearch, Fpa};
+use dmcs_gen::{lfr, queries, Dataset};
+
+fn bench_pruning(c: &mut Criterion) {
+    let g = lfr::generate(&lfr::LfrConfig {
+        n: 3000,
+        avg_degree: 15.0,
+        max_degree: 150,
+        min_community: 20,
+        max_community: 300,
+        seed: 13,
+        ..lfr::LfrConfig::default()
+    });
+    let ds = Dataset {
+        name: "lfr-3000".into(),
+        graph: g.graph,
+        communities: g.communities,
+        overlapping: false,
+    };
+    let (q, _) = queries::sample_query_sets(&ds, 1, 1, 4, 5)
+        .pop()
+        .expect("query sampled");
+    let mut group = c.benchmark_group("fig13_pruning");
+    group.bench_function("FPA_with_pruning", |b| {
+        let a = Fpa::default();
+        b.iter(|| {
+            let _ = a.search(&ds.graph, &q);
+        })
+    });
+    group.bench_function("FPA_without_pruning", |b| {
+        let a = Fpa::without_pruning();
+        b.iter(|| {
+            let _ = a.search(&ds.graph, &q);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig 16/18 micro: runtimes on the small real-world graphs (Karate exact,
+//! Dolphin/Mexican/Polblogs stand-ins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmcs_baselines as bl;
+use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_gen::{datasets, queries};
+
+fn bench_realworld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_realworld");
+    group.sample_size(10);
+    for ds in datasets::small_real_world(42) {
+        let Some((q, _)) = queries::sample_query_sets(&ds, 1, 1, 4, 5).pop() else {
+            continue;
+        };
+        let mut algos: Vec<Box<dyn CommunitySearch>> = vec![
+            Box::new(bl::KCore::new(3)),
+            Box::new(bl::KTruss::new(4)),
+            Box::new(bl::Cnm),
+            Box::new(Nca::default()),
+            Box::new(Fpa::default()),
+        ];
+        // GN only on the tiny graphs (the paper's own 24h-timeout story).
+        if ds.graph.n() <= 100 {
+            algos.push(Box::new(bl::Gn::default()));
+        }
+        for a in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(a.name(), &ds.name),
+                &ds,
+                |b, ds| {
+                    b.iter(|| {
+                        let _ = a.search(&ds.graph, &q);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_realworld);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig 11 micro: FPA vs kc vs highcore across graph sizes — the log-linear
+//! vs linear scaling claim of §5.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmcs_baselines::{HighCore, KCore};
+use dmcs_core::{CommunitySearch, Fpa};
+use dmcs_gen::{lfr, queries, Dataset};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_scalability");
+    group.sample_size(10);
+    for n in [1_000usize, 2_000, 4_000, 8_000] {
+        let g = lfr::generate(&lfr::LfrConfig {
+            n,
+            avg_degree: 12.0,
+            max_degree: n / 20,
+            min_community: 20,
+            max_community: n / 8,
+            seed: n as u64,
+            ..lfr::LfrConfig::default()
+        });
+        let ds = Dataset {
+            name: format!("lfr-{n}"),
+            graph: g.graph,
+            communities: g.communities,
+            overlapping: false,
+        };
+        let (q, _) = queries::sample_query_sets(&ds, 1, 1, 4, 5)
+            .pop()
+            .expect("query sampled");
+        for algo in [
+            &Fpa::default() as &dyn CommunitySearch,
+            &KCore::new(3),
+            &HighCore,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &ds,
+                |b, ds| {
+                    b.iter(|| {
+                        let _ = algo.search(&ds.graph, &q);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Fig 4 (frequency of ground-truth community diameters) and Fig 5 (node
+//! removal order under Λ vs Θ on the Karate network).
+
+use crate::harness::{csv_line, csv_writer, print_table, Scale};
+use dmcs_core::CommunitySearch;
+use dmcs_gen::{datasets, lfr};
+use dmcs_graph::traversal::diameter_within;
+
+/// Fig 4: histogram of community diameters. The paper measures DBLP (~80%
+/// of communities have diameter ≤ 4) and Youtube (~94%); we measure the
+/// equivalent stand-ins plus an LFR graph.
+pub fn fig4(scale: Scale) {
+    println!("Fig 4: frequency of ground-truth community diameters\n");
+    let mut w = csv_writer("fig4").expect("results dir");
+    csv_line(&mut w, &["dataset,diameter,count".to_string()]).unwrap();
+
+    let mut sources = Vec::new();
+    if scale == Scale::Full {
+        sources.extend(datasets::large_overlapping(42));
+    } else {
+        // Fast: one LFR graph with many small communities (the regime the
+        // paper's Fig 4 measures on DBLP/Youtube).
+        let g = lfr::generate(&lfr::LfrConfig {
+            n: 2000,
+            min_community: 15,
+            max_community: 120,
+            ..lfr::LfrConfig::default()
+        });
+        sources.push(dmcs_gen::Dataset {
+            name: "LFR-2000".into(),
+            graph: g.graph,
+            communities: g.communities,
+            overlapping: false,
+        });
+    }
+
+    for ds in &sources {
+        let mut hist = std::collections::BTreeMap::<u32, usize>::new();
+        let mut measured = 0usize;
+        for c in &ds.communities {
+            if c.len() < 2 || c.len() > 500 {
+                continue; // paper's Fig 4 covers the (small) real communities
+            }
+            if let Some(d) = diameter_within(&ds.graph, c) {
+                *hist.entry(d).or_insert(0) += 1;
+                measured += 1;
+            }
+        }
+        let le4: usize = hist
+            .iter()
+            .filter(|(&d, _)| d <= 4)
+            .map(|(_, &c)| c)
+            .sum();
+        let rows: Vec<Vec<String>> = hist
+            .iter()
+            .map(|(d, c)| vec![d.to_string(), c.to_string()])
+            .collect();
+        println!(
+            "{}: {} communities measured, {:.0}% have diameter <= 4 (paper: ~80% DBLP, ~94% Youtube)",
+            ds.name,
+            measured,
+            100.0 * le4 as f64 / measured.max(1) as f64
+        );
+        print_table(&["diameter", "count"], &rows);
+        for (d, c) in &hist {
+            csv_line(&mut w, &[format!("{},{},{}", ds.name, d, c)]).unwrap();
+        }
+    }
+}
+
+/// Fig 5: removal order of the density-modularity gain (Λ, via FPA-DMG)
+/// versus the density ratio (Θ, via FPA) on Karate. The paper's heatmap
+/// shows the two orders nearly coincide; we print both orders and their
+/// Spearman rank correlation.
+pub fn fig5() {
+    println!("Fig 5: removal order, Λ vs Θ on the Karate network (query = node 0)\n");
+    let ds = datasets::karate_dataset();
+    // Disable pruning so both variants peel every layer node-by-node.
+    let fpa = dmcs_core::Fpa::without_pruning()
+        .search(&ds.graph, &[0])
+        .expect("karate search");
+    let dmg = dmcs_core::FpaDmg
+        .search(&ds.graph, &[0])
+        .expect("karate search");
+
+    let n = ds.graph.n();
+    let rank = |order: &[u32]| -> Vec<Option<usize>> {
+        let mut r = vec![None; n];
+        for (i, &v) in order.iter().enumerate() {
+            r[v as usize] = Some(i);
+        }
+        r
+    };
+    let r_theta = rank(&fpa.removal_order);
+    let r_lambda = rank(&dmg.removal_order);
+
+    let mut rows = Vec::new();
+    let mut w = csv_writer("fig5").expect("results dir");
+    csv_line(&mut w, &["node,rank_theta,rank_lambda".to_string()]).unwrap();
+    let mut pairs = Vec::new();
+    for v in 0..n {
+        let (a, b) = (r_theta[v], r_lambda[v]);
+        rows.push(vec![
+            v.to_string(),
+            a.map_or("-".into(), |x| x.to_string()),
+            b.map_or("-".into(), |x| x.to_string()),
+        ]);
+        csv_line(
+            &mut w,
+            &[format!(
+                "{},{},{}",
+                v,
+                a.map_or(-1i64, |x| x as i64),
+                b.map_or(-1i64, |x| x as i64)
+            )],
+        )
+        .unwrap();
+        if let (Some(a), Some(b)) = (a, b) {
+            pairs.push((a as f64, b as f64));
+        }
+    }
+    print_table(&["node", "Θ removal rank", "Λ removal rank"], &rows);
+    println!(
+        "Spearman rank correlation over commonly-removed nodes: {:.3} \
+         (paper: 'very similar removing orders')",
+        spearman(&pairs)
+    );
+}
+
+fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len() as f64;
+    if n < 2.0 {
+        return 1.0;
+    }
+    let (ma, mb) = (
+        pairs.iter().map(|p| p.0).sum::<f64>() / n,
+        pairs.iter().map(|p| p.1).sum::<f64>() / n,
+    );
+    let cov: f64 = pairs.iter().map(|(a, b)| (a - ma) * (b - mb)).sum();
+    let va: f64 = pairs.iter().map(|(a, _)| (a - ma).powi(2)).sum();
+    let vb: f64 = pairs.iter().map(|(_, b)| (b - mb).powi(2)).sum();
+    if va == 0.0 || vb == 0.0 {
+        return 1.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}

@@ -1,0 +1,97 @@
+//! Randomized empirical validation of Lemma 1 (free-rider) and Lemma 2
+//! (resolution limit): count how often each modularity suffers over random
+//! community pairs — DM must suffer on a subset of the cases CM does, and
+//! never alone.
+
+use crate::harness::{print_table, Scale};
+use dmcs_core::measure::{classic_modularity, density_modularity};
+use dmcs_core::theory::{
+    lemma1_holds, lemma2_holds, suffers_free_rider, suffers_resolution_limit,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Run the randomized lemma validation.
+pub fn run(scale: Scale) {
+    let trials = match scale {
+        Scale::Fast => 2_000,
+        Scale::Full => 20_000,
+    };
+    println!("Lemmas 1-2: randomized validation over {trials} community pairs\n");
+    let (g, comms) = dmcs_gen::sbm::planted_partition(&[20, 20, 20, 20], 0.45, 0.04, 0x1E44A);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut cm_fr = 0usize;
+    let mut dm_fr = 0usize;
+    let mut fr_pairs = 0usize;
+    let mut cm_rl = 0usize;
+    let mut dm_rl = 0usize;
+    let mut rl_pairs = 0usize;
+    let mut violations = 0usize;
+
+    for _ in 0..trials {
+        let ci = rng.gen_range(0..comms.len());
+        let mut cj = rng.gen_range(0..comms.len());
+        if cj == ci {
+            cj = (cj + 1) % comms.len();
+        }
+        let mut s = comms[ci].clone();
+        s.shuffle(&mut rng);
+        s.truncate(rng.gen_range(4..=comms[ci].len()));
+        let mut s_star = comms[cj].clone();
+        s_star.shuffle(&mut rng);
+        s_star.truncate(rng.gen_range(4..=comms[cj].len()));
+        s.sort_unstable();
+        s_star.sort_unstable();
+
+        if classic_modularity(&g, &s) > 0.0 {
+            fr_pairs += 1;
+            let cm = suffers_free_rider(&g, classic_modularity, &s, &s_star);
+            let dm = suffers_free_rider(&g, density_modularity, &s, &s_star);
+            cm_fr += cm as usize;
+            dm_fr += dm as usize;
+            if !lemma1_holds(&g, &s, &s_star) {
+                violations += 1;
+            }
+            if let (Some(cm), Some(dm)) = (
+                suffers_resolution_limit(&g, classic_modularity, &s, &s_star),
+                suffers_resolution_limit(&g, density_modularity, &s, &s_star),
+            ) {
+                rl_pairs += 1;
+                cm_rl += cm as usize;
+                dm_rl += dm as usize;
+                if !lemma2_holds(&g, &s, &s_star) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+
+    let pct = |a: usize, b: usize| {
+        if b == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * a as f64 / b as f64)
+        }
+    };
+    print_table(
+        &["phenomenon", "pairs", "CM suffers", "DM suffers"],
+        &[
+            vec![
+                "free-rider (Def. 3)".into(),
+                fr_pairs.to_string(),
+                pct(cm_fr, fr_pairs),
+                pct(dm_fr, fr_pairs),
+            ],
+            vec![
+                "resolution limit (Def. 4)".into(),
+                rl_pairs.to_string(),
+                pct(cm_rl, rl_pairs),
+                pct(dm_rl, rl_pairs),
+            ],
+        ],
+    );
+    println!("Lemma violations found (must be 0): {violations}");
+    assert_eq!(violations, 0, "a lemma counterexample appeared");
+}

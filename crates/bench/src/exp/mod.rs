@@ -1,0 +1,60 @@
+//! One module per paper exhibit. See the crate docs for the index.
+
+pub mod casestudy;
+pub mod extra;
+pub mod extra2;
+pub mod fig4_5;
+pub mod lemmas;
+pub mod realworld;
+pub mod synthetic;
+pub mod tables;
+
+use crate::harness::Scale;
+
+/// Dispatch an experiment by name. Returns false for unknown names.
+pub fn run(name: &str, scale: Scale) -> bool {
+    match name {
+        "table1" => tables::table1(scale),
+        "table2" => tables::table2(),
+        "fig4" => fig4_5::fig4(scale),
+        "fig5" => fig4_5::fig5(),
+        "fig8" => synthetic::fig8_fig9(scale, false),
+        "fig9" => synthetic::fig8_fig9(scale, true),
+        "fig10" => synthetic::fig10(scale),
+        "fig11" => synthetic::fig11(scale),
+        "fig12" => synthetic::fig12(scale),
+        "fig13" => synthetic::fig13(scale),
+        "fig14" => synthetic::fig14(scale),
+        "fig15" => realworld::fig15_fig16(scale, false),
+        "fig16" => realworld::fig15_fig16(scale, true),
+        "fig17" => realworld::fig17_fig18(scale, false),
+        "fig18" => realworld::fig17_fig18(scale, true),
+        "fig19" => realworld::fig19(scale),
+        "fig20" => casestudy::fig20(),
+        "lemmas" => lemmas::run(scale),
+        "approx" => extra::approx(scale),
+        "imbalance" => extra::imbalance(scale),
+        "position" => extra::position(scale),
+        "detect" => extra::detect(scale),
+        "bnb" => extra2::bnb(scale),
+        "goodness" => extra2::goodness(scale),
+        "weighted" => extra2::weighted(scale),
+        "topk" => extra2::topk(scale),
+        "all" => {
+            for e in ALL_EXPERIMENTS {
+                println!("==================== {e} ====================");
+                run(e, scale);
+            }
+            return true;
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Every experiment, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 26] = [
+    "table1", "table2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "lemmas", "approx",
+    "imbalance", "position", "detect", "bnb", "goodness", "weighted", "topk",
+];

@@ -1,0 +1,455 @@
+//! The LFR-based synthetic experiments: Figs 8–14.
+
+use crate::harness::{
+    aggregate, csv_line, csv_writer, evaluate_on, evaluate_queries_parallel, f3, mean,
+    print_table, EvalRow, Scale,
+};
+use dmcs_baselines as bl;
+use dmcs_core::measure::{classic_modularity_counts, density_modularity_counts};
+use dmcs_core::{CommunitySearch, Fpa, FpaDmg, Nca, NcaDr};
+use dmcs_gen::{lfr, queries, Dataset};
+use dmcs_graph::NodeId;
+
+/// Build an LFR dataset for the sweep, scaling community bounds with n.
+fn lfr_dataset(label: &str, mut cfg: lfr::LfrConfig, scale: Scale) -> Dataset {
+    cfg.n = cfg.n.min(scale.lfr_n());
+    cfg.max_community = cfg.max_community.min(cfg.n / 5).max(cfg.min_community + 1);
+    cfg.max_degree = cfg.max_degree.min(cfg.n / 4);
+    let g = lfr::generate(&cfg);
+    Dataset {
+        name: label.to_string(),
+        graph: g.graph,
+        communities: g.communities,
+        overlapping: false,
+    }
+}
+
+/// The Fig 8/9 algorithm line-up: the seven §6.1 baselines + NCA + FPA.
+fn fig8_algos() -> Vec<Box<dyn CommunitySearch>> {
+    let mut v = bl::default_baselines();
+    v.push(Box::new(Nca::default()));
+    v.push(Box::new(Fpa::default()));
+    v
+}
+
+/// Run every algorithm on every sampled query of `ds`; returns rows per
+/// algorithm.
+fn run_all(
+    ds: &Dataset,
+    algos: &[Box<dyn CommunitySearch>],
+    num_queries: usize,
+    query_size: usize,
+    seed: u64,
+) -> Vec<Vec<EvalRow>> {
+    let sets = queries::sample_query_sets(ds, num_queries, query_size, 4, seed);
+    let qs: Vec<Vec<dmcs_graph::NodeId>> = sets.into_iter().map(|(q, _)| q).collect();
+    algos
+        .iter()
+        .map(|a| evaluate_queries_parallel(ds, a.as_ref(), &qs))
+        .collect()
+}
+
+fn report(
+    title: &str,
+    csv: &str,
+    configs: &[(String, Dataset)],
+    algos: &[Box<dyn CommunitySearch>],
+    num_queries: usize,
+    query_size: usize,
+    timing: bool,
+) {
+    println!("{title}\n");
+    let mut w = csv_writer(csv).expect("results dir");
+    csv_line(
+        &mut w,
+        &["config,algo,median_nmi,median_ari,median_f,mean_seconds,success".to_string()],
+    )
+    .unwrap();
+    for (label, ds) in configs {
+        let per_algo = run_all(ds, algos, num_queries, query_size, 0xBEEF);
+        let mut rows = Vec::new();
+        for (a, rs) in algos.iter().zip(&per_algo) {
+            let (nmi, ari, f, secs, ok) = aggregate(rs);
+            rows.push(if timing {
+                vec![a.name().to_string(), format!("{secs:.4}"), f3(ok)]
+            } else {
+                vec![a.name().to_string(), f3(nmi), f3(ari), f3(f)]
+            });
+            csv_line(
+                &mut w,
+                &[format!(
+                    "{label},{},{nmi:.4},{ari:.4},{f:.4},{secs:.5},{ok:.2}",
+                    a.name()
+                )],
+            )
+            .unwrap();
+        }
+        println!("-- {label}");
+        if timing {
+            print_table(&["algo", "mean seconds", "success"], &rows);
+        } else {
+            print_table(&["algo", "median NMI", "median ARI", "median F"], &rows);
+        }
+    }
+}
+
+/// Fig 8 (effectiveness) / Fig 9 (efficiency): sweep μ, d_avg, d_max.
+pub fn fig8_fig9(scale: Scale, timing: bool) {
+    let (mus, davgs, dmaxs): (Vec<f64>, Vec<f64>, Vec<usize>) = match scale {
+        Scale::Fast => (vec![0.2, 0.3, 0.4], vec![20.0, 40.0], vec![200, 400]),
+        Scale::Full => (
+            vec![0.2, 0.3, 0.4],
+            vec![20.0, 30.0, 40.0, 50.0],
+            vec![200, 300, 400, 500],
+        ),
+    };
+    let mut configs = Vec::new();
+    for &mu in &mus {
+        configs.push((
+            format!("mu={mu}"),
+            lfr_dataset(
+                &format!("lfr-mu{mu}"),
+                lfr::LfrConfig {
+                    mu,
+                    seed: (mu * 1000.0) as u64,
+                    ..lfr::LfrConfig::default()
+                },
+                scale,
+            ),
+        ));
+    }
+    for &d in &davgs {
+        configs.push((
+            format!("d_avg={d}"),
+            lfr_dataset(
+                &format!("lfr-davg{d}"),
+                lfr::LfrConfig {
+                    avg_degree: d,
+                    seed: d as u64,
+                    ..lfr::LfrConfig::default()
+                },
+                scale,
+            ),
+        ));
+    }
+    for &d in &dmaxs {
+        configs.push((
+            format!("d_max={d}"),
+            lfr_dataset(
+                &format!("lfr-dmax{d}"),
+                lfr::LfrConfig {
+                    max_degree: d,
+                    seed: d as u64,
+                    ..lfr::LfrConfig::default()
+                },
+                scale,
+            ),
+        ));
+    }
+    let algos = fig8_algos();
+    let (title, csv) = if timing {
+        (
+            "Fig 9: efficiency on benchmark networks (seconds)",
+            "fig9",
+        )
+    } else {
+        (
+            "Fig 8: effectiveness on benchmark networks (NMI / ARI / F-score)",
+            "fig8",
+        )
+    };
+    report(
+        title,
+        csv,
+        &configs,
+        &algos,
+        scale.query_sets(),
+        1,
+        timing,
+    );
+    if !timing {
+        println!(
+            "Expected shape (paper): FPA and huang2015 lead; kc/kt/kecc/highcore/\
+             hightruss trail (giant communities); accuracy falls as mu grows and \
+             as d_max grows; d_avg has little effect."
+        );
+    } else {
+        println!(
+            "Expected shape (paper): NCA slowest; FPA comparable to kc/kt/kecc."
+        );
+    }
+}
+
+/// Fig 10: effect of the query-set size |Q| ∈ {1, 4, 8, 12} for kc, kecc,
+/// NCA, FPA (kt excluded: single-query model).
+pub fn fig10(scale: Scale) {
+    println!("Fig 10: effect of |Q| (NMI / ARI)\n");
+    let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
+    let algos: Vec<Box<dyn CommunitySearch>> = vec![
+        Box::new(bl::KCore::new(3)),
+        Box::new(bl::Kecc::new(3)),
+        Box::new(Nca::default()),
+        Box::new(Fpa::default()),
+    ];
+    let mut w = csv_writer("fig10").expect("results dir");
+    csv_line(&mut w, &["q_size,algo,median_nmi,median_ari".to_string()]).unwrap();
+    for q_size in [1usize, 4, 8, 12] {
+        let per_algo = run_all(&ds, &algos, scale.query_sets(), q_size, 0xF1610);
+        let mut rows = Vec::new();
+        for (a, rs) in algos.iter().zip(&per_algo) {
+            let (nmi, ari, _, _, ok) = aggregate(rs);
+            rows.push(vec![a.name().to_string(), f3(nmi), f3(ari), f3(ok)]);
+            csv_line(&mut w, &[format!("{q_size},{},{nmi:.4},{ari:.4}", a.name())]).unwrap();
+        }
+        println!("-- |Q| = {q_size}");
+        print_table(&["algo", "median NMI", "median ARI", "success"], &rows);
+    }
+    println!(
+        "Expected shape (paper): NCA/FPA accuracy rises with |Q| (queries are \
+         clues); kc/kecc flat (they return large communities regardless)."
+    );
+}
+
+/// Fig 11: scalability, node count sweep.
+pub fn fig11(scale: Scale) {
+    println!("Fig 11: scalability (mean seconds per query)\n");
+    let sizes: Vec<usize> = match scale {
+        Scale::Fast => vec![2_000, 4_000, 6_000, 8_000, 10_000],
+        Scale::Full => (1..=10).map(|i| i * 10_000).collect(),
+    };
+    // Per-algorithm node-count caps: the quadratic algorithms get cut off
+    // where the paper's own 24-hour timeout would (DESIGN.md §3).
+    let cap_quadratic = match scale {
+        Scale::Fast => 6_000,
+        Scale::Full => 30_000,
+    };
+    let algos = fig8_algos();
+    let mut w = csv_writer("fig11").expect("results dir");
+    csv_line(&mut w, &["n,algo,mean_seconds".to_string()]).unwrap();
+    for &n in &sizes {
+        let ds = lfr_dataset(
+            &format!("lfr-{n}"),
+            lfr::LfrConfig {
+                n,
+                seed: n as u64,
+                ..lfr::LfrConfig::default()
+            },
+            // scalability sweep controls n itself
+            Scale::Full,
+        );
+        let mut rows = Vec::new();
+        for a in &algos {
+            let quadratic = matches!(a.name(), "NCA" | "wu2015" | "kecc");
+            if quadratic && n > cap_quadratic {
+                rows.push(vec![a.name().to_string(), "capped".into()]);
+                csv_line(&mut w, &[format!("{n},{},nan", a.name())]).unwrap();
+                continue;
+            }
+            let sets = queries::sample_query_sets(&ds, 3, 1, 4, n as u64);
+            let secs: Vec<f64> = sets
+                .iter()
+                .map(|(q, _)| evaluate_on(&ds, a.as_ref(), q).seconds)
+                .collect();
+            rows.push(vec![a.name().to_string(), format!("{:.4}", mean(&secs))]);
+            csv_line(&mut w, &[format!("{n},{},{:.5}", a.name(), mean(&secs))]).unwrap();
+        }
+        println!("-- |V| = {n}");
+        print_table(&["algo", "mean seconds"], &rows);
+    }
+    println!(
+        "Expected shape (paper): NCA slowest by far; kc/highcore scale best \
+         (O(V+E)); FPA close behind with its O(E log V) sort/heap overhead."
+    );
+}
+
+/// Fig 12: density modularity vs classic modularity vs generalized
+/// modularity density as the snapshot-selection objective inside FPA.
+pub fn fig12(scale: Scale) {
+    println!("Fig 12: selection objective comparison inside FPA (NMI / ARI)\n");
+    let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
+    let sets = queries::sample_query_sets(&ds, scale.query_sets(), 1, 4, 0xF16);
+    let mut rows_out = Vec::new();
+    let mut w = csv_writer("fig12").expect("results dir");
+    csv_line(
+        &mut w,
+        &["objective,median_nmi,median_ari,mean_size".to_string()],
+    )
+    .unwrap();
+
+    #[derive(Clone, Copy)]
+    enum Objective {
+        Classic,
+        Gmd,
+        Density,
+    }
+    let names = [
+        (Objective::Classic, "classic modularity"),
+        (Objective::Gmd, "generalized modularity density"),
+        (Objective::Density, "density modularity"),
+    ];
+    for (obj, label) in names {
+        let mut nmis = Vec::new();
+        let mut aris = Vec::new();
+        let mut sizes = Vec::new();
+        for (q, _) in &sets {
+            // Use FPA's removal order (identical peeling for all
+            // objectives — the paper's "fair comparison"), then re-select
+            // the best prefix under each objective.
+            let Ok(r) = Fpa::without_pruning().search(&ds.graph, q) else {
+                continue;
+            };
+            let comp = dmcs_graph::traversal::component_of(&ds.graph, q[0]);
+            let community = best_prefix_under(&ds, &comp, &r.removal_order, obj);
+            let gt = ds
+                .communities
+                .iter()
+                .find(|c| c.contains(&q[0]))
+                .expect("query has a ground truth");
+            nmis.push(dmcs_metrics::nmi(ds.graph.n(), &community, gt));
+            aris.push(dmcs_metrics::ari(ds.graph.n(), &community, gt));
+            sizes.push(community.len() as f64);
+        }
+        let (nmi, ari, sz) = (
+            crate::harness::median(&nmis),
+            crate::harness::median(&aris),
+            mean(&sizes),
+        );
+        rows_out.push(vec![label.to_string(), f3(nmi), f3(ari), format!("{sz:.1}")]);
+        csv_line(&mut w, &[format!("{label},{nmi:.4},{ari:.4},{sz:.1}")]).unwrap();
+    }
+    print_table(
+        &["objective", "median NMI", "median ARI", "mean |C|"],
+        &rows_out,
+    );
+    println!(
+        "Expected shape (paper): density modularity most accurate; classic \
+         modularity returns communities ~18x larger."
+    );
+
+    fn best_prefix_under(
+        ds: &Dataset,
+        comp: &[NodeId],
+        removal_order: &[NodeId],
+        obj: Objective,
+    ) -> Vec<NodeId> {
+        let g = &ds.graph;
+        let m = g.m() as u64;
+        let mut in_s = vec![false; g.n()];
+        for &v in comp {
+            in_s[v as usize] = true;
+        }
+        let mut l = g.internal_edges(comp);
+        let mut d = g.degree_sum(comp);
+        let mut size = comp.len();
+        let score = |l: u64, d: u64, size: usize| -> f64 {
+            match obj {
+                Objective::Classic => classic_modularity_counts(l, d, m),
+                Objective::Density => density_modularity_counts(l, d, size, m),
+                Objective::Gmd => {
+                    if size < 2 {
+                        return f64::NEG_INFINITY;
+                    }
+                    let cm = classic_modularity_counts(l, d, m);
+                    cm * 2.0 * l as f64 / (size as f64 * (size - 1) as f64)
+                }
+            }
+        };
+        let mut best = (score(l, d, size), 0usize);
+        for (i, &v) in removal_order.iter().enumerate() {
+            let k: u64 = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| in_s[w as usize])
+                .count() as u64;
+            in_s[v as usize] = false;
+            l -= k;
+            d -= g.degree(v) as u64;
+            size -= 1;
+            if size == 0 {
+                break;
+            }
+            let s = score(l, d, size);
+            if s >= best.0 {
+                best = (s, i + 1);
+            }
+        }
+        let dead: std::collections::HashSet<NodeId> =
+            removal_order[..best.1].iter().copied().collect();
+        comp.iter().copied().filter(|v| !dead.contains(v)).collect()
+    }
+}
+
+/// Fig 13: the layer-based pruning ablation.
+pub fn fig13(scale: Scale) {
+    println!("Fig 13: effect of the layer-based pruning strategy\n");
+    let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
+    let algos: Vec<Box<dyn CommunitySearch>> = vec![
+        Box::new(Fpa::default()),
+        Box::new(Fpa::without_pruning()),
+    ];
+    let labels = ["FPA (with pruning)", "FPA without pruning"];
+    let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF13);
+    let mut rows = Vec::new();
+    let mut w = csv_writer("fig13").expect("results dir");
+    csv_line(
+        &mut w,
+        &["variant,median_nmi,median_ari,mean_seconds".to_string()],
+    )
+    .unwrap();
+    for (label, rs) in labels.iter().zip(&per_algo) {
+        let (nmi, ari, _, secs, _) = aggregate(rs);
+        rows.push(vec![
+            label.to_string(),
+            f3(nmi),
+            f3(ari),
+            format!("{secs:.4}"),
+        ]);
+        csv_line(&mut w, &[format!("{label},{nmi:.4},{ari:.4},{secs:.5}")]).unwrap();
+    }
+    print_table(
+        &["variant", "median NMI", "median ARI", "mean seconds"],
+        &rows,
+    );
+    println!(
+        "Expected shape (paper): pruning slightly lowers accuracy but is \
+         substantially faster (up to 300x on DBLP)."
+    );
+}
+
+/// Fig 14: the four (removable-rule x scorer) combinations.
+pub fn fig14(scale: Scale) {
+    println!("Fig 14: variations of the proposed algorithms\n");
+    let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
+    let algos: Vec<Box<dyn CommunitySearch>> = vec![
+        Box::new(Nca::default()),
+        Box::new(NcaDr::default()),
+        Box::new(FpaDmg),
+        Box::new(Fpa::default()),
+    ];
+    let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF14);
+    let mut rows = Vec::new();
+    let mut w = csv_writer("fig14").expect("results dir");
+    csv_line(
+        &mut w,
+        &["variant,median_nmi,median_ari,mean_seconds".to_string()],
+    )
+    .unwrap();
+    for (a, rs) in algos.iter().zip(&per_algo) {
+        let (nmi, ari, _, secs, _) = aggregate(rs);
+        rows.push(vec![
+            a.name().to_string(),
+            f3(nmi),
+            f3(ari),
+            format!("{secs:.4}"),
+        ]);
+        csv_line(&mut w, &[format!("{},{nmi:.4},{ari:.4},{secs:.5}", a.name())]).unwrap();
+    }
+    print_table(
+        &["variant", "median NMI", "median ARI", "mean seconds"],
+        &rows,
+    );
+    println!(
+        "Expected shape (paper): FPA best overall; NCA-DR faster than NCA; \
+         FPA-DMG ~FPA accuracy but far slower (unstable gain)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Table 1 (dataset statistics) and Table 2 (synthetic configuration).
+
+use crate::harness::{csv_line, csv_writer, print_table, Scale};
+use dmcs_gen::{datasets, lfr};
+use dmcs_graph::stats::GraphStats;
+
+/// Table 1: real-world dataset statistics — the embedded Karate graph plus
+/// the documented stand-ins (DESIGN.md §3 lists what the paper used).
+pub fn table1(scale: Scale) {
+    println!("Table 1: dataset statistics (|V|, |E|, |C|, overlap)\n");
+    let mut rows = Vec::new();
+    let mut all = datasets::small_real_world(42);
+    if scale == Scale::Full {
+        all.extend(datasets::large_overlapping(42));
+    } else {
+        println!("(--fast: skipping the large overlapping stand-ins)\n");
+    }
+    let mut w = csv_writer("table1").expect("results dir");
+    csv_line(
+        &mut w,
+        &["dataset,|V|,|E|,|C|,overlap,d_mean,d_max,transitivity,assortativity".to_string()],
+    )
+    .unwrap();
+    for ds in &all {
+        let (n, m, c) = ds.stats();
+        let gs = GraphStats::compute(&ds.graph);
+        rows.push(vec![
+            ds.name.clone(),
+            n.to_string(),
+            m.to_string(),
+            c.to_string(),
+            if ds.overlapping { "yes" } else { "no" }.to_string(),
+            format!("{:.1}", gs.mean_degree),
+            gs.max_degree.to_string(),
+            format!("{:.3}", gs.transitivity),
+            format!("{:+.3}", gs.assortativity),
+        ]);
+        csv_line(
+            &mut w,
+            &[format!(
+                "{},{},{},{},{},{:.2},{},{:.4},{:.4}",
+                ds.name, n, m, c, ds.overlapping,
+                gs.mean_degree, gs.max_degree, gs.transitivity, gs.assortativity
+            )],
+        )
+        .unwrap();
+    }
+    print_table(
+        &["dataset", "|V|", "|E|", "|C|", "overlap", "d_mean", "d_max", "trans.", "assort."],
+        &rows,
+    );
+    println!(
+        "Paper's Table 1 references: Dolphin 62/159, Karate 34/78, Polblogs \
+         1224/16718, Mexican 35/117, DBLP 317080/1049866, Youtube \
+         1134890/2987624, Livejournal 3997962/34681189."
+    );
+}
+
+/// Table 2: the LFR configuration grid with defaults.
+pub fn table2() {
+    println!("Table 2: synthetic network configuration (defaults underlined in the paper)\n");
+    let d = lfr::LfrConfig::default();
+    let rows = vec![
+        vec!["|V|".into(), "5000".into(), format!("default {}", d.n)],
+        vec![
+            "d_avg".into(),
+            "20, 30, 40, 50".into(),
+            format!("default {}", d.avg_degree),
+        ],
+        vec![
+            "d_max".into(),
+            "200, 300, 400, 500".into(),
+            format!("default {}", d.max_degree),
+        ],
+        vec![
+            "mu".into(),
+            "0.2, 0.3, 0.4".into(),
+            format!("default {}", d.mu),
+        ],
+        vec![
+            "min C".into(),
+            "20".into(),
+            format!("default {}", d.min_community),
+        ],
+        vec![
+            "max C".into(),
+            "1000".into(),
+            format!("default {}", d.max_community),
+        ],
+    ];
+    print_table(&["parameter", "paper values", "this repo"], &rows);
+}

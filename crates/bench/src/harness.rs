@@ -1,0 +1,265 @@
+//! Shared evaluation machinery: timed algorithm runs, ground-truth
+//! scoring (with the paper's best-over-overlapping-communities rule),
+//! aggregation, and CSV/markdown emission.
+
+use dmcs_core::{CommunitySearch, SearchResult};
+use dmcs_gen::Dataset;
+use dmcs_graph::NodeId;
+use std::io::Write;
+use std::time::Instant;
+
+/// Experiment scale: `Fast` keeps each experiment in seconds-to-minutes on
+/// a laptop; `Full` matches the paper's parameters where feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced node counts / fewer query sets.
+    Fast,
+    /// Paper-scale parameters.
+    Full,
+}
+
+impl Scale {
+    /// LFR node count for the synthetic sweeps (paper: 5000).
+    pub fn lfr_n(self) -> usize {
+        match self {
+            Scale::Fast => 1200,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Number of query sets per configuration (paper: 20, 10 for small).
+    pub fn query_sets(self) -> usize {
+        match self {
+            Scale::Fast => 8,
+            Scale::Full => 20,
+        }
+    }
+}
+
+/// One evaluated (algorithm, query) run.
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    /// Algorithm label (paper legend name).
+    pub algo: String,
+    /// NMI against the ground truth (binary framing).
+    pub nmi: f64,
+    /// ARI against the ground truth.
+    pub ari: f64,
+    /// F-score against the ground truth.
+    pub f_score: f64,
+    /// Returned community size (0 when the algorithm failed).
+    pub size: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Whether the algorithm produced a community at all.
+    pub ok: bool,
+}
+
+/// Run `algo` on `ds` for one query set and score it against the ground
+/// truth.
+///
+/// Scoring follows §6.3: for overlapping datasets, "we compare our result
+/// with each of all the ground-truth communities which contain the query
+/// node, and then report the best accuracy"; for distinct datasets the
+/// community of the query is unique.
+pub fn evaluate_on(ds: &Dataset, algo: &dyn CommunitySearch, query: &[NodeId]) -> EvalRow {
+    let n = ds.graph.n();
+    let start = Instant::now();
+    let outcome = algo.search(&ds.graph, query);
+    let seconds = start.elapsed().as_secs_f64();
+    match outcome {
+        Ok(SearchResult { community, .. }) => {
+            let gts: Vec<&Vec<NodeId>> = ds
+                .communities
+                .iter()
+                .filter(|c| query.iter().all(|q| c.contains(q)))
+                .collect();
+            let (mut nmi, mut ari, mut f) = (0.0f64, 0.0f64, 0.0f64);
+            for gt in gts {
+                nmi = nmi.max(dmcs_metrics::nmi(n, &community, gt));
+                ari = ari.max(dmcs_metrics::ari(n, &community, gt));
+                f = f.max(dmcs_metrics::f_score(n, &community, gt));
+            }
+            EvalRow {
+                algo: algo.name().to_string(),
+                nmi,
+                ari,
+                f_score: f,
+                size: community.len(),
+                seconds,
+                ok: true,
+            }
+        }
+        Err(_) => EvalRow {
+            algo: algo.name().to_string(),
+            nmi: 0.0,
+            ari: 0.0,
+            f_score: 0.0,
+            size: 0,
+            seconds,
+            ok: false,
+        },
+    }
+}
+
+/// Evaluate one algorithm over many query sets in parallel (crossbeam
+/// scoped threads, one chunk per core). Timing stays per-run wall clock,
+/// so per-query `seconds` are unaffected by the fan-out; results come
+/// back in the input order, so aggregation is deterministic.
+///
+/// Parallelising over *queries* (not algorithms) keeps memory flat: each
+/// worker shares the read-only dataset and algorithm.
+pub fn evaluate_queries_parallel(
+    ds: &Dataset,
+    algo: &dyn CommunitySearch,
+    queries: &[Vec<NodeId>],
+) -> Vec<EvalRow> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.len().max(1));
+    if threads <= 1 || queries.len() <= 1 {
+        return queries.iter().map(|q| evaluate_on(ds, algo, q)).collect();
+    }
+    let mut out: Vec<Option<EvalRow>> = vec![None; queries.len()];
+    let chunk = queries.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (qs, slot) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move |_| {
+                for (q, o) in qs.iter().zip(slot.iter_mut()) {
+                    *o = Some(evaluate_on(ds, algo, q));
+                }
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Median of a sample (0 for empty input) — the paper reports median NMI.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Aggregate rows of one algorithm: `(median NMI, median ARI, median F,
+/// mean seconds, success ratio)`.
+pub fn aggregate(rows: &[EvalRow]) -> (f64, f64, f64, f64, f64) {
+    let nmis: Vec<f64> = rows.iter().map(|r| r.nmi).collect();
+    let aris: Vec<f64> = rows.iter().map(|r| r.ari).collect();
+    let fs: Vec<f64> = rows.iter().map(|r| r.f_score).collect();
+    let secs: Vec<f64> = rows.iter().map(|r| r.seconds).collect();
+    let ok = rows.iter().filter(|r| r.ok).count() as f64 / rows.len().max(1) as f64;
+    (median(&nmis), median(&aris), median(&fs), mean(&secs), ok)
+}
+
+/// Create `results/` (if needed) and return a CSV writer for `name`.
+pub fn csv_writer(name: &str) -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+    std::fs::create_dir_all("results")?;
+    let f = std::fs::File::create(format!("results/{name}.csv"))?;
+    Ok(std::io::BufWriter::new(f))
+}
+
+/// Write one CSV line from string-able fields.
+pub fn csv_line<W: Write>(w: &mut W, fields: &[String]) -> std::io::Result<()> {
+    writeln!(w, "{}", fields.join(","))
+}
+
+/// Print a markdown table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Format a float for tables.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_core::Fpa;
+    use dmcs_gen::datasets::karate_dataset;
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn evaluate_scores_fpa_on_karate() {
+        let ds = karate_dataset();
+        let row = evaluate_on(&ds, &Fpa::default(), &[0]);
+        assert!(row.ok);
+        assert!(row.size > 0);
+        assert!(row.nmi >= 0.0 && row.nmi <= 1.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let ds = karate_dataset();
+        let queries: Vec<Vec<u32>> = vec![vec![0], vec![33], vec![5], vec![16], vec![8]];
+        let algo = Fpa::default();
+        let par = evaluate_queries_parallel(&ds, &algo, &queries);
+        let seq: Vec<EvalRow> = queries.iter().map(|q| evaluate_on(&ds, &algo, q)).collect();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(seq.iter()) {
+            // NMI sums over a HashMap, so summation order (and the last
+            // ulp) varies between runs — compare with a tolerance.
+            assert!((p.nmi - s.nmi).abs() < 1e-9);
+            assert_eq!(p.size, s.size);
+            assert_eq!(p.ok, s.ok);
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_success_ratio() {
+        let rows = vec![
+            EvalRow {
+                algo: "x".into(),
+                nmi: 0.5,
+                ari: 0.5,
+                f_score: 0.5,
+                size: 3,
+                seconds: 0.1,
+                ok: true,
+            },
+            EvalRow {
+                algo: "x".into(),
+                nmi: 0.0,
+                ari: 0.0,
+                f_score: 0.0,
+                size: 0,
+                seconds: 0.0,
+                ok: false,
+            },
+        ];
+        let (_, _, _, _, ok) = aggregate(&rows);
+        assert_eq!(ok, 0.5);
+    }
+}

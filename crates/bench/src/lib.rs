@@ -1,0 +1,36 @@
+//! # dmcs-bench — experiment harness for the DMCS reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6). The
+//! `experiments` binary dispatches to one module per exhibit:
+//!
+//! | command | paper exhibit |
+//! |---------|---------------|
+//! | `table1` | Table 1 — dataset statistics |
+//! | `table2` | Table 2 — synthetic network configuration |
+//! | `fig4`  | community-diameter histogram |
+//! | `fig5`  | Λ vs Θ removal order on Karate |
+//! | `fig8`  | effectiveness on LFR (NMI/ARI/F vs μ, d_avg, d_max) |
+//! | `fig9`  | efficiency for the Fig 8 sweep |
+//! | `fig10` | effect of the number of query nodes |
+//! | `fig11` | scalability, 10K–100K nodes |
+//! | `fig12` | DM vs classic modularity vs generalized modularity density |
+//! | `fig13` | layer-based pruning ablation |
+//! | `fig14` | algorithm-variant ablation (NCA / NCA-DR / FPA-DMG / FPA) |
+//! | `fig15` | accuracy on graphs with distinct communities |
+//! | `fig16` | efficiency for Fig 15 |
+//! | `fig17` | accuracy on graphs with overlapping communities |
+//! | `fig18` | efficiency for Fig 17 |
+//! | `fig19` | varying the parameter k of kc / kt / kecc |
+//! | `fig20` | case study (ego community of a prolific hub) |
+//! | `lemmas`| randomized validation of Lemmas 1–2 |
+//! | `all`   | everything above |
+//!
+//! Every experiment accepts `--fast` (reduced scale, minutes not hours)
+//! and writes a CSV next to its stdout table under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod harness;
+
+pub use harness::{evaluate_on, median, EvalRow, Scale};

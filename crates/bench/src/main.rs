@@ -1,0 +1,38 @@
+//! `experiments` — regenerate the DMCS paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! experiments <name> [--full]
+//! experiments all [--full]
+//! experiments list
+//! ```
+//! Default scale is `--fast` (laptop-friendly); pass `--full` for
+//! paper-scale parameters.
+
+use dmcs_bench::exp;
+use dmcs_bench::harness::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Fast };
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "list".to_string());
+
+    if name == "list" {
+        println!("available experiments:");
+        for e in exp::ALL_EXPERIMENTS {
+            println!("  {e}");
+        }
+        println!("  all");
+        println!("\nflags: --full (paper-scale; default is a fast reduced scale)");
+        return;
+    }
+    if !exp::run(&name, scale) {
+        eprintln!("unknown experiment '{name}' — run `experiments list`");
+        std::process::exit(2);
+    }
+}

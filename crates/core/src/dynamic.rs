@@ -1,0 +1,248 @@
+//! Incremental DMCS over a streaming graph.
+//!
+//! Community search is rarely one-shot: the underlying network changes
+//! and the same query is asked again. [`IncrementalSearch`] wraps a
+//! [`DynamicGraph`] and a query set and keeps the answer fresh with two
+//! strategies:
+//!
+//! - **exact caching** — the result is recomputed from a CSR snapshot
+//!   only when the graph's mutation counter has moved (DM depends on the
+//!   *global* edge count through the `d_C²/(4m)` term, so *any* edge
+//!   change can shift the optimum — there is no sound "this update is far
+//!   away, skip it" rule);
+//! - **localized re-search** ([`IncrementalSearch::search_local`]) — a
+//!   documented approximation that runs FPA on the induced ball of radius
+//!   `r` around the query. The candidate pool shrinks from `|V|` to the
+//!   ball, which is what makes per-update refresh affordable on large
+//!   graphs; the objective is still evaluated against the full graph's
+//!   `|E|`, so scores remain comparable with the exact path.
+
+use crate::{CommunitySearch, Fpa, SearchError, SearchResult};
+use dmcs_graph::dynamic::DynamicGraph;
+use dmcs_graph::{Graph, NodeId};
+
+/// A query pinned to a mutable graph, with cached results.
+///
+/// ```
+/// use dmcs_core::dynamic::IncrementalSearch;
+/// use dmcs_core::Fpa;
+/// use dmcs_graph::dynamic::DynamicGraph;
+/// use dmcs_graph::GraphBuilder;
+///
+/// let base = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+/// let mut inc = IncrementalSearch::new(DynamicGraph::from_graph(&base), vec![0], Fpa::default());
+/// assert_eq!(inc.community().unwrap().community, vec![0, 1, 2]);
+/// inc.remove_edge(2, 3); // the bridge dissolves
+/// assert_eq!(inc.community().unwrap().community, vec![0, 1, 2]);
+/// assert_eq!(inc.recomputations, 2);
+/// ```
+pub struct IncrementalSearch {
+    graph: DynamicGraph,
+    query: Vec<NodeId>,
+    algo: Fpa,
+    cached: Option<(u64, SearchResult)>,
+    /// Number of full recomputations performed (exposed for tests and
+    /// instrumentation).
+    pub recomputations: usize,
+}
+
+impl IncrementalSearch {
+    /// Pin `query` to `graph`, searching with `algo`.
+    pub fn new(graph: DynamicGraph, query: Vec<NodeId>, algo: Fpa) -> Self {
+        IncrementalSearch {
+            graph,
+            query,
+            algo,
+            cached: None,
+            recomputations: 0,
+        }
+    }
+
+    /// The underlying graph (read-only).
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph (e.g. for
+    /// [`DynamicGraph::add_node`]). Safe with the cache: every mutation
+    /// bumps the graph's version, which [`Self::community`] checks.
+    pub fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
+    }
+
+    /// Insert an edge; returns whether the graph changed.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.insert_edge(u, v)
+    }
+
+    /// Remove an edge; returns whether the graph changed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.remove_edge(u, v)
+    }
+
+    /// Current community — exact w.r.t. the current graph. Recomputes
+    /// only when the graph has mutated since the cached answer.
+    pub fn community(&mut self) -> Result<SearchResult, SearchError> {
+        let version = self.graph.version();
+        if let Some((v, r)) = &self.cached {
+            if *v == version {
+                return Ok(r.clone());
+            }
+        }
+        let snapshot = self.graph.snapshot();
+        let result = self.algo.search(&snapshot, &self.query)?;
+        self.cached = Some((version, result.clone()));
+        self.recomputations += 1;
+        Ok(result)
+    }
+
+    /// Localized approximate refresh: search only the radius-`r` ball
+    /// around the query, scoring DM against the full graph's edge count.
+    /// Much cheaper than [`Self::community`] on large graphs; may miss
+    /// community members beyond the ball (choose `r` ≥ the expected
+    /// community diameter — Fig 4 suggests 4 for social networks).
+    pub fn search_local(&self, radius: u32) -> Result<SearchResult, SearchError> {
+        let ball = self.graph.ball(&self.query, radius);
+        let snapshot = self.graph.snapshot();
+        search_within(&snapshot, &ball, &self.query, &self.algo)
+    }
+}
+
+/// Run `algo` on the subgraph induced by `nodes`, translating node ids
+/// back to the host graph's id space and re-scoring the community's DM
+/// against the *full* graph (so results are comparable across pools).
+pub fn search_within(
+    g: &Graph,
+    nodes: &[NodeId],
+    query: &[NodeId],
+    algo: &dyn CommunitySearch,
+) -> Result<SearchResult, SearchError> {
+    let (sub, back) = g.induced(nodes);
+    // Map queries into the induced id space.
+    let mut fwd = std::collections::HashMap::with_capacity(back.len());
+    for (i, &orig) in back.iter().enumerate() {
+        fwd.insert(orig, i as NodeId);
+    }
+    let local_query: Vec<NodeId> = query
+        .iter()
+        .map(|q| {
+            fwd.get(q).copied().ok_or(SearchError::Graph(
+                dmcs_graph::GraphError::NodeOutOfRange(*q),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut r = algo.search(&sub, &local_query)?;
+    r.community = r.community.iter().map(|&v| back[v as usize]).collect();
+    r.community.sort_unstable();
+    r.removal_order = r.removal_order.iter().map(|&v| back[v as usize]).collect();
+    r.density_modularity = crate::measure::density_modularity(g, &r.community);
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    fn barbell_dynamic() -> DynamicGraph {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        DynamicGraph::from_graph(&g)
+    }
+
+    #[test]
+    fn cache_hits_until_mutation() {
+        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let a = s.community().unwrap();
+        let b = s.community().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.recomputations, 1, "second call served from cache");
+        s.insert_edge(0, 3);
+        let _ = s.community().unwrap();
+        assert_eq!(s.recomputations, 2, "mutation invalidates");
+        // A no-op mutation does not invalidate.
+        s.insert_edge(0, 3);
+        let _ = s.community().unwrap();
+        assert_eq!(s.recomputations, 2);
+    }
+
+    #[test]
+    fn incremental_equals_from_scratch() {
+        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        s.insert_edge(1, 4);
+        s.insert_edge(0, 5);
+        s.remove_edge(2, 3);
+        let inc = s.community().unwrap();
+        let direct = Fpa::default()
+            .search(&s.graph().snapshot(), &[0])
+            .unwrap();
+        assert_eq!(inc.community, direct.community);
+        assert_eq!(inc.density_modularity, direct.density_modularity);
+    }
+
+    #[test]
+    fn densification_grows_the_community() {
+        // Start with two triangles; make the right one merge-worthy by
+        // heavily wiring it to the left.
+        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let before = s.community().unwrap();
+        assert_eq!(before.community, vec![0, 1, 2]);
+        for &(u, v) in &[(0u32, 3u32), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)] {
+            s.insert_edge(u, v);
+        }
+        let after = s.community().unwrap();
+        assert_eq!(after.community.len(), 6, "densified graph merges");
+    }
+
+    #[test]
+    fn edge_removal_shrinks_the_community() {
+        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let _ = s.community().unwrap();
+        // Cutting the bridge isolates the query triangle (and leaves the
+        // query's component at exactly the triangle).
+        s.remove_edge(2, 3);
+        let after = s.community().unwrap();
+        assert_eq!(after.community, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn local_search_matches_global_when_ball_covers_component() {
+        let s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let local = s.search_local(10).unwrap();
+        let global = Fpa::default().search(&s.graph().snapshot(), &[0]).unwrap();
+        assert_eq!(local.community, global.community);
+        assert!((local.density_modularity - global.density_modularity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_search_respects_the_ball() {
+        let s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let local = s.search_local(1).unwrap();
+        // Ball of radius 1 around node 0 = {0, 1, 2}: the community can
+        // only live there.
+        assert!(local.community.iter().all(|&v| v <= 2));
+        assert!(local.community.contains(&0));
+    }
+
+    #[test]
+    fn search_within_rescoring_uses_full_graph_m() {
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let pool: Vec<NodeId> = vec![0, 1, 2];
+        let r = search_within(&g, &pool, &[0], &Fpa::default()).unwrap();
+        // DM of {0,1,2} in the FULL graph: (3 - 49/28)/3.
+        let expect = crate::measure::density_modularity(&g, &[0, 1, 2]);
+        assert!((r.density_modularity - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_outside_ball_error() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let pool: Vec<NodeId> = vec![0, 1];
+        assert!(search_within(&g, &pool, &[3], &Fpa::default()).is_err());
+    }
+}

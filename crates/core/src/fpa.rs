@@ -1,0 +1,400 @@
+//! Fast Peeling Algorithm (FPA, §5.5 / Algorithm 2), the layer-based
+//! pruning strategy (§5.7), multi-query handling (§5.6), and the FPA-DMG
+//! ablation variant (§6.2.5).
+//!
+//! Removable nodes: the farthest BFS layer from the query seed — always
+//! safe to remove, because every node at distance `d` keeps a BFS parent
+//! at distance `d − 1` (§5.2.2). Best node within the layer: maximum
+//! density ratio `Θ_v = d_v / k_{v,S}` (Definition 7). Θ is *stable*
+//! (Lemma 5): removing `u` only changes Θ of `u`'s neighbours, so a lazy
+//! max-heap per layer gives `O((|E|+|V|) log |V|)` total.
+//!
+//! With multiple query nodes the algorithm first materialises a Steiner
+//! seed (shortest-path union) and protects it throughout, exactly as §5.6
+//! prescribes.
+
+use crate::measure::{density_ratio, dm_gain};
+use crate::peel::{PeelState, TieRule};
+use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::steiner::steiner_seed;
+use dmcs_graph::traversal::{component_of, multi_source_bfs, UNREACHABLE};
+use dmcs_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The Fast Peeling Algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Fpa {
+    /// Apply the layer-based pruning strategy of §5.7 (the paper's default
+    /// FPA; Fig 13 measures the difference). When enabled, whole outer
+    /// layers are bulk-removed first, the best layer prefix is selected,
+    /// and node-level peeling runs only on the outermost layer of the
+    /// selected subgraph.
+    pub layer_pruning: bool,
+}
+
+impl Default for Fpa {
+    fn default() -> Self {
+        Fpa {
+            layer_pruning: true,
+        }
+    }
+}
+
+impl Fpa {
+    /// FPA without the layer-pruning strategy (the "FPA without
+    /// layer-based pruning approach" arm of Fig 13).
+    pub fn without_pruning() -> Self {
+        Fpa {
+            layer_pruning: false,
+        }
+    }
+}
+
+/// FPA-DMG: FPA's distance-layer removable rule scored by the *unstable*
+/// density-modularity gain Λ ((b)+(c) in Figure 3). Because Λ of every
+/// candidate changes whenever `d_S` changes, each removal rescans the
+/// whole layer — the paper measures it ~150× slower than FPA at equal
+/// accuracy (Fig 14).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FpaDmg;
+
+impl CommunitySearch for Fpa {
+    fn name(&self) -> &'static str {
+        "FPA"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        let setup = FpaSetup::prepare(g, query)?;
+        let mut st = PeelState::new(g, &setup.component, TieRule::PreferLater);
+        let mut iterations = 0usize;
+
+        let start_layer = if self.layer_pruning {
+            let target = prune_layers(&mut st, &setup);
+            iterations += 1; // the bulk phase counts as one pass
+            target
+        } else {
+            setup.max_dist
+        };
+
+        // Node-level peeling, outermost layer first.
+        for d in (1..=start_layer).rev() {
+            peel_layer_by_ratio(g, &mut st, &setup, d, &mut iterations);
+            if self.layer_pruning {
+                // §5.7: node-level peeling applies only to the outermost
+                // layer of the selected subgraph.
+                break;
+            }
+        }
+        finish(st, iterations)
+    }
+}
+
+impl CommunitySearch for FpaDmg {
+    fn name(&self) -> &'static str {
+        "FPA-DMG"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        let setup = FpaSetup::prepare(g, query)?;
+        let mut st = PeelState::new(g, &setup.component, TieRule::PreferLater);
+        let mut iterations = 0usize;
+        for d in (1..=setup.max_dist).rev() {
+            // Candidates: alive nodes at distance d. Λ is unstable, so we
+            // rescan for the maximum after every removal.
+            let mut cand: Vec<NodeId> = setup.layers[d as usize]
+                .iter()
+                .copied()
+                .filter(|&v| st.view().contains(v))
+                .collect();
+            while !cand.is_empty() {
+                let (pos, _) = cand
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let k = st.view().local_degree(v) as u64;
+                        let dv = g.degree(v) as u64;
+                        // Tie-break towards the smallest node id, matching
+                        // FPA's heap order.
+                        (i, (dm_gain(st.m(), k, st.d_s(), dv), std::cmp::Reverse(v)))
+                    })
+                    .max_by_key(|&(_, key)| key)
+                    .expect("cand non-empty");
+                let v = cand.swap_remove(pos);
+                st.remove(v);
+                iterations += 1;
+            }
+        }
+        finish(st, iterations)
+    }
+}
+
+/// Shared preparation: validation, Steiner seed, component restriction,
+/// distance layers.
+struct FpaSetup {
+    /// Nodes of the connected component containing the seed.
+    component: Vec<NodeId>,
+    /// `dist[v]` = BFS distance from the seed (UNREACHABLE outside the
+    /// component).
+    dist: Vec<u32>,
+    /// `layers[d]` = nodes at BFS distance `d` from the seed.
+    layers: Vec<Vec<NodeId>>,
+    /// Largest non-empty layer index.
+    max_dist: u32,
+}
+
+impl FpaSetup {
+    fn prepare(g: &Graph, query: &[NodeId]) -> Result<Self, SearchError> {
+        validate_query(g, query)?;
+        // §5.6: merge multiple queries into a protected connected seed.
+        let seed = steiner_seed(g, query)?;
+        let component = component_of(g, seed[0]);
+        let dist = multi_source_bfs(g, &seed);
+        let mut max_dist = 0u32;
+        for &v in &component {
+            let d = dist[v as usize];
+            debug_assert_ne!(d, UNREACHABLE);
+            max_dist = max_dist.max(d);
+        }
+        let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); max_dist as usize + 1];
+        for &v in &component {
+            layers[dist[v as usize] as usize].push(v);
+        }
+        Ok(FpaSetup {
+            component,
+            dist,
+            layers,
+            max_dist,
+        })
+    }
+}
+
+/// §5.7 bulk phase: simulate stripping whole outermost layers on the
+/// `(l, d, |S|)` counts, pick the prefix with the largest DM (ties prefer
+/// the smaller subgraph, matching [`TieRule::PreferLater`]), apply the
+/// winning strip to the peel state and register the snapshot. Returns the
+/// index of the outermost remaining layer — the one node-level peeling
+/// processes next.
+fn prune_layers(st: &mut PeelState<'_>, setup: &FpaSetup) -> u32 {
+    let g = st.view().graph();
+    let m = st.m();
+    let nl = setup.max_dist as usize + 1;
+    // Per-layer contributions: an edge belongs to the layer of its deeper
+    // endpoint (that is when stripping removes it); a node to its own.
+    let mut layer_l = vec![0u64; nl];
+    let mut layer_d = vec![0u64; nl];
+    let mut layer_n = vec![0usize; nl];
+    for &v in &setup.component {
+        let dv = setup.dist[v as usize];
+        layer_n[dv as usize] += 1;
+        layer_d[dv as usize] += g.degree(v) as u64;
+        for &w in g.neighbors(v) {
+            if v < w && setup.dist[w as usize] != UNREACHABLE {
+                let dw = setup.dist[w as usize];
+                layer_l[dv.max(dw) as usize] += 1;
+            }
+        }
+    }
+    let (mut l, mut dsum, mut size) = (st.l_s(), st.d_s(), st.size());
+    let mut best_dm = crate::measure::density_modularity_counts(l, dsum, size, m);
+    let mut target = setup.max_dist; // strip nothing
+    for dd in (1..=setup.max_dist).rev() {
+        l -= layer_l[dd as usize];
+        dsum -= layer_d[dd as usize];
+        size -= layer_n[dd as usize];
+        let dm = crate::measure::density_modularity_counts(l, dsum, size, m);
+        if dm >= best_dm {
+            best_dm = dm;
+            target = dd - 1;
+        }
+    }
+    // Apply the winning strip.
+    for dd in ((target + 1)..=setup.max_dist).rev() {
+        for &v in &setup.layers[dd as usize] {
+            st.remove_untracked(v);
+        }
+    }
+    st.consider_snapshot();
+    target
+}
+
+/// Peel one distance layer with the stable density-ratio scorer and a
+/// lazy max-heap, snapshotting after every removal (Algorithm 2 lines
+/// 7–14).
+fn peel_layer_by_ratio(
+    g: &Graph,
+    st: &mut PeelState<'_>,
+    setup: &FpaSetup,
+    d: u32,
+    iterations: &mut usize,
+) {
+    let layer = &setup.layers[d as usize];
+    let mut in_layer = std::collections::HashSet::with_capacity(layer.len());
+    let mut heap: BinaryHeap<(OrdF64, Reverse<NodeId>)> = BinaryHeap::with_capacity(layer.len());
+    for &v in layer {
+        if st.view().contains(v) {
+            in_layer.insert(v);
+            let theta = density_ratio(g.degree(v) as u64, st.view().local_degree(v) as u64);
+            heap.push((OrdF64(theta), Reverse(v)));
+        }
+    }
+    while let Some((OrdF64(theta), Reverse(v))) = heap.pop() {
+        if !in_layer.contains(&v) {
+            continue; // already removed
+        }
+        let current = density_ratio(g.degree(v) as u64, st.view().local_degree(v) as u64);
+        if theta != current && !(theta.is_infinite() && current.is_infinite()) {
+            heap.push((OrdF64(current), Reverse(v)));
+            continue; // stale entry; re-queue with the fresh Θ
+        }
+        in_layer.remove(&v);
+        // Stability (Lemma 5): only neighbours' Θ changed; re-queue the
+        // same-layer ones.
+        let neighbors: Vec<NodeId> = st.view().alive_neighbors(v).collect();
+        st.remove(v);
+        *iterations += 1;
+        for w in neighbors {
+            if in_layer.contains(&w) {
+                let t = density_ratio(g.degree(w) as u64, st.view().local_degree(w) as u64);
+                heap.push((OrdF64(t), Reverse(w)));
+            }
+        }
+    }
+}
+
+fn finish(st: PeelState<'_>, iterations: usize) -> Result<SearchResult, SearchError> {
+    let (community, dm, removal_order) = st.finish();
+    Ok(SearchResult {
+        community,
+        density_modularity: dm,
+        removal_order,
+        iterations,
+    })
+}
+
+/// Total-ordered f64 for the Θ heap (Θ is never NaN: degrees are finite
+/// and `k = 0` maps to +∞).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("Θ is never NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::density_modularity;
+    use dmcs_graph::{GraphBuilder, SubgraphView};
+
+    fn barbell() -> Graph {
+        GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn fpa_finds_query_triangle() {
+        let g = barbell();
+        for fpa in [Fpa::default(), Fpa::without_pruning()] {
+            let r = fpa.search(&g, &[0]).unwrap();
+            assert_eq!(r.community, vec![0, 1, 2], "pruning={}", fpa.layer_pruning);
+            assert!(
+                (r.density_modularity - density_modularity(&g, &[0, 1, 2])).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn fpa_dmg_finds_query_triangle() {
+        let g = barbell();
+        let r = FpaDmg.search(&g, &[5]).unwrap();
+        assert_eq!(r.community, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn results_are_connected_and_contain_queries() {
+        let g = barbell();
+        for q in 0..6u32 {
+            for alg in [
+                &Fpa::default() as &dyn CommunitySearch,
+                &Fpa::without_pruning(),
+                &FpaDmg,
+            ] {
+                let r = alg.search(&g, &[q]).unwrap();
+                assert!(r.community.contains(&q), "{} lost query {q}", alg.name());
+                let view = SubgraphView::from_nodes(&g, &r.community);
+                assert!(view.is_connected(), "{} disconnected for {q}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_query_seed_is_protected() {
+        let g = barbell();
+        let r = Fpa::default().search(&g, &[0, 5]).unwrap();
+        // The Steiner path 0..5 passes through 2 and 3: all must survive.
+        for v in [0, 2, 3, 5] {
+            assert!(r.community.contains(&v), "seed node {v} was peeled");
+        }
+        let view = SubgraphView::from_nodes(&g, &r.community);
+        assert!(view.is_connected());
+    }
+
+    #[test]
+    fn whole_component_when_query_spans_it() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let r = Fpa::default().search(&g, &[0, 1, 2]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn other_components_excluded() {
+        let mut b = GraphBuilder::new(9);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2)] {
+            b.add_edge(u, v);
+        }
+        for &(u, v) in &[(4, 5), (5, 6), (4, 6), (6, 7), (7, 8)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let r = Fpa::default().search(&g, &[5]).unwrap();
+        assert!(r.community.iter().all(|&v| (4..9).contains(&v)));
+    }
+
+    #[test]
+    fn pruning_and_nonpruning_agree_on_small_graphs() {
+        // On the barbell both find the exact triangle; pruning only
+        // changes *which* snapshots are examined.
+        let g = barbell();
+        let a = Fpa::default().search(&g, &[1]).unwrap();
+        let b = Fpa::without_pruning().search(&g, &[1]).unwrap();
+        assert_eq!(a.community, b.community);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = barbell();
+        assert!(Fpa::default().search(&g, &[]).is_err());
+        assert!(Fpa::default().search(&g, &[42]).is_err());
+        let disconnected = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(Fpa::default().search(&disconnected, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn removal_order_nonempty_when_peeling_happens() {
+        let g = barbell();
+        let r = Fpa::without_pruning().search(&g, &[0]).unwrap();
+        assert!(!r.removal_order.is_empty());
+        assert!(r.iterations >= r.removal_order.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! Non-articulation Cancellation Algorithm (NCA, §5.4) and its ablation
+//! variant NCA-DR (§6.2.5).
+//!
+//! Per iteration: compute all articulation nodes of the current subgraph
+//! (Hopcroft–Tarjan, `O(|V|+|E|)`); among alive non-query non-articulation
+//! nodes pick the one maximising the score — the density-modularity gain
+//! `Λ` for NCA, the density ratio `Θ` for NCA-DR. On score ties the paper
+//! "keeps the node that is closely located to the query nodes", i.e. the
+//! *removed* node is the tied candidate farthest from the queries. Total
+//! complexity `O(|V|(|V|+|E|))` — the articulation recomputation is the
+//! bottleneck FPA exists to avoid.
+
+use crate::measure::{density_ratio, dm_gain};
+use crate::peel::{PeelState, TieRule};
+use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::articulation::articulation_nodes;
+use dmcs_graph::traversal::{component_of, multi_source_bfs};
+use dmcs_graph::{Graph, NodeId};
+
+/// Scoring rule for choosing the best removable node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Score {
+    /// Density-modularity gain `Λ` (Definition 6) — the NCA rule (c).
+    Gain,
+    /// Density ratio `Θ` (Definition 7) — rule (d), giving NCA-DR.
+    Ratio,
+}
+
+/// The Non-articulation Cancellation Algorithm: removable nodes via
+/// articulation tests, best node via the density-modularity gain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nca {
+    /// Optional hard cap on peeling iterations (a safety valve for very
+    /// large inputs; `None` = peel to the end as the paper does).
+    pub max_iterations: Option<usize>,
+}
+
+/// NCA-DR: NCA's removable-node rule with FPA's density-ratio scorer
+/// ((a)+(d) in Figure 3) — faster to score, same articulation bottleneck.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NcaDr {
+    /// See [`Nca::max_iterations`].
+    pub max_iterations: Option<usize>,
+}
+
+impl CommunitySearch for Nca {
+    fn name(&self) -> &'static str {
+        "NCA"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        run_nca(g, query, Score::Gain, self.max_iterations)
+    }
+}
+
+impl CommunitySearch for NcaDr {
+    fn name(&self) -> &'static str {
+        "NCA-DR"
+    }
+
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        run_nca(g, query, Score::Ratio, self.max_iterations)
+    }
+}
+
+fn run_nca(
+    g: &Graph,
+    query: &[NodeId],
+    score: Score,
+    max_iterations: Option<usize>,
+) -> Result<SearchResult, SearchError> {
+    validate_query(g, query)?;
+    // Work inside the connected component containing the queries.
+    let comp = component_of(g, query[0]);
+    let mut is_query = vec![false; g.n()];
+    for &q in query {
+        is_query[q as usize] = true;
+    }
+    // Distance from the queries for tie-breaking ("keep the node that is
+    // closely located to the query nodes" = remove the farthest of the
+    // tied candidates).
+    let dist = multi_source_bfs(g, query);
+
+    let mut st = PeelState::new(g, &comp, TieRule::KeepEarlier);
+    let cap = max_iterations.unwrap_or(usize::MAX);
+    let mut iterations = 0usize;
+    while iterations < cap {
+        let art = articulation_nodes(st.view());
+        let mut best: Option<(NodeId, i128, f64, u32)> = None;
+        for v in st.view().iter_alive() {
+            if is_query[v as usize] || art[v as usize] {
+                continue;
+            }
+            let k_vs = st.view().local_degree(v) as u64;
+            let d_v = g.degree(v) as u64;
+            let (gain, ratio) = match score {
+                Score::Gain => (dm_gain(st.m(), k_vs, st.d_s(), d_v), 0.0),
+                Score::Ratio => (0, density_ratio(d_v, k_vs)),
+            };
+            let d = dist[v as usize];
+            let better = match (&best, score) {
+                (None, _) => true,
+                (Some((_, bg, _, bd)), Score::Gain) => gain > *bg || (gain == *bg && d > *bd),
+                (Some((_, _, br, bd)), Score::Ratio) => {
+                    ratio > *br || (ratio == *br && d > *bd)
+                }
+            };
+            if better {
+                best = Some((v, gain, ratio, d));
+            }
+        }
+        let Some((v, _, _, _)) = best else {
+            break; // no removable node left
+        };
+        // Never peel below the query set itself.
+        if st.size() <= query.len() {
+            break;
+        }
+        st.remove(v);
+        iterations += 1;
+    }
+    let (community, dm, removal_order) = st.finish();
+    Ok(SearchResult {
+        community,
+        density_modularity: dm,
+        removal_order,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::density_modularity;
+    use dmcs_graph::GraphBuilder;
+
+    /// Two triangles joined by a bridge 2-3.
+    fn barbell() -> Graph {
+        GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn finds_query_triangle_in_barbell() {
+        let g = barbell();
+        let r = Nca::default().search(&g, &[0]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2]);
+        assert!((r.density_modularity - density_modularity(&g, &[0, 1, 2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_always_contains_queries_and_is_connected() {
+        let g = barbell();
+        for q in 0..6u32 {
+            let r = Nca::default().search(&g, &[q]).unwrap();
+            assert!(r.community.contains(&q), "query {q} missing");
+            let view = dmcs_graph::SubgraphView::from_nodes(&g, &r.community);
+            assert!(view.is_connected(), "community for {q} disconnected");
+        }
+    }
+
+    #[test]
+    fn multi_query_protects_both() {
+        let g = barbell();
+        let r = Nca::default().search(&g, &[0, 5]).unwrap();
+        assert!(r.community.contains(&0));
+        assert!(r.community.contains(&5));
+        let view = dmcs_graph::SubgraphView::from_nodes(&g, &r.community);
+        assert!(view.is_connected());
+    }
+
+    #[test]
+    fn nca_dr_also_finds_triangle() {
+        let g = barbell();
+        let r = NcaDr::default().search(&g, &[4]).unwrap();
+        assert_eq!(r.community, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn ignores_other_components() {
+        // Barbell plus a far-away clique in another component.
+        let mut b = GraphBuilder::new(10);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        for &(u, v) in &[(6, 7), (7, 8), (6, 8), (8, 9)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let r = Nca::default().search(&g, &[0]).unwrap();
+        assert!(r.community.iter().all(|&v| v < 6));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = barbell();
+        assert!(Nca::default().search(&g, &[]).is_err());
+        assert!(Nca::default().search(&g, &[99]).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = barbell();
+        let r = Nca {
+            max_iterations: Some(1),
+        }
+        .search(&g, &[0])
+        .unwrap();
+        assert!(r.iterations <= 1);
+    }
+
+    #[test]
+    fn removal_order_covers_component_with_community() {
+        // Every component node is either in the final community or was
+        // removed at some point (possibly both, when the best snapshot
+        // predates later removals).
+        let g = barbell();
+        let r = Nca::default().search(&g, &[0]).unwrap();
+        let comp = dmcs_graph::traversal::component_of(&g, 0);
+        for &v in &comp {
+            assert!(
+                r.community.contains(&v) || r.removal_order.contains(&v),
+                "node {v} unaccounted for"
+            );
+        }
+    }
+}

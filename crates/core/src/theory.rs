@@ -1,0 +1,153 @@
+//! Executable forms of the paper's theoretical definitions, used to
+//! validate Lemma 1 (free-rider) and Lemma 2 (resolution limit)
+//! empirically: whenever density modularity suffers, classic modularity
+//! must suffer too — never the reverse.
+
+use crate::measure::{classic_modularity, density_modularity};
+use dmcs_graph::{Graph, NodeId, SubgraphView};
+
+/// A community goodness function `f(G, C)`.
+pub type Goodness = fn(&Graph, &[NodeId]) -> f64;
+
+/// Definition 3 (free-rider effect): given an identified community `s` and
+/// an optimum `s_star`, the goodness function suffers if
+/// `f(S ∪ S*) >= f(S)`.
+pub fn suffers_free_rider(g: &Graph, f: Goodness, s: &[NodeId], s_star: &[NodeId]) -> bool {
+    let mut union: Vec<NodeId> = s.iter().chain(s_star.iter()).copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    f(g, &union) >= f(g, s)
+}
+
+/// Definition 4 (resolution limit), specialised to the testable core: for
+/// disjoint `h` and `h_prime` whose union induces a connected subgraph,
+/// the function suffers if `f(H ∪ H') >= f(H)`.
+///
+/// Returns `None` when the preconditions fail (overlap, or disconnected
+/// union) — such pairs simply do not witness the phenomenon.
+pub fn suffers_resolution_limit(
+    g: &Graph,
+    f: Goodness,
+    h: &[NodeId],
+    h_prime: &[NodeId],
+) -> Option<bool> {
+    let hs: std::collections::HashSet<NodeId> = h.iter().copied().collect();
+    if h_prime.iter().any(|v| hs.contains(v)) {
+        return None; // must be disjoint
+    }
+    let union: Vec<NodeId> = h.iter().chain(h_prime.iter()).copied().collect();
+    let view = SubgraphView::from_nodes(g, &union);
+    if !view.is_connected() {
+        return None;
+    }
+    Some(f(g, &union) >= f(g, h))
+}
+
+/// Lemma 1 checker for one `(s, s_star)` pair: returns `true` iff the pair
+/// is consistent with the lemma — i.e. it is **not** a counterexample
+/// where DM suffers from the free-rider effect while CM does not.
+///
+/// The lemma's proof assumes `CM(S) > 0` and `|S*| > |S ∩ S*|`; pairs that
+/// violate the preconditions are vacuously consistent.
+pub fn lemma1_holds(g: &Graph, s: &[NodeId], s_star: &[NodeId]) -> bool {
+    if classic_modularity(g, s) <= 0.0 {
+        return true;
+    }
+    let ss: std::collections::HashSet<NodeId> = s.iter().copied().collect();
+    let intersect = s_star.iter().filter(|v| ss.contains(v)).count();
+    if s_star.len() <= intersect {
+        return true;
+    }
+    let dm_suffers = suffers_free_rider(g, density_modularity, s, s_star);
+    let cm_suffers = suffers_free_rider(g, classic_modularity, s, s_star);
+    // "If DM suffers, CM suffers too" — the lemma as an implication.
+    !dm_suffers || cm_suffers
+}
+
+/// Lemma 2 checker for one `(h, h')` pair: `true` iff the pair is not a
+/// counterexample where DM suffers from the resolution limit while CM does
+/// not. Pairs failing Definition 4's preconditions are vacuously
+/// consistent.
+pub fn lemma2_holds(g: &Graph, h: &[NodeId], h_prime: &[NodeId]) -> bool {
+    if classic_modularity(g, h) <= 0.0 {
+        return true;
+    }
+    let (Some(dm_suffers), Some(cm_suffers)) = (
+        suffers_resolution_limit(g, density_modularity, h, h_prime),
+        suffers_resolution_limit(g, classic_modularity, h, h_prime),
+    ) else {
+        return true;
+    };
+    !dm_suffers || cm_suffers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_gen::{ring, toy};
+
+    #[test]
+    fn figure1_witnesses_cm_free_rider() {
+        // B free-rides on A under CM but not under DM.
+        let g = toy::figure1();
+        let a = toy::figure1_community_a();
+        let b: Vec<NodeId> = (8..16).collect();
+        assert!(suffers_free_rider(&g, classic_modularity, &a, &b));
+        assert!(!suffers_free_rider(&g, density_modularity, &a, &b));
+        assert!(lemma1_holds(&g, &a, &b));
+    }
+
+    #[test]
+    fn ring_witnesses_cm_resolution_limit() {
+        let g = ring::ring_of_cliques(30, 6);
+        let h = ring::split_community(0, 6);
+        let h_prime = ring::clique_nodes(1, 6);
+        assert_eq!(
+            suffers_resolution_limit(&g, classic_modularity, &h, &h_prime),
+            Some(true)
+        );
+        assert_eq!(
+            suffers_resolution_limit(&g, density_modularity, &h, &h_prime),
+            Some(false)
+        );
+        assert!(lemma2_holds(&g, &h, &h_prime));
+    }
+
+    #[test]
+    fn preconditions_are_vacuous() {
+        let g = ring::ring_of_cliques(5, 4);
+        // Overlapping pair -> None.
+        assert_eq!(
+            suffers_resolution_limit(&g, classic_modularity, &[0, 1, 2, 3], &[3, 4]),
+            None
+        );
+        // Disconnected union (cliques 0 and 2 are not adjacent) -> None.
+        let h = ring::clique_nodes(0, 4);
+        let far = ring::clique_nodes(2, 4);
+        assert_eq!(
+            suffers_resolution_limit(&g, classic_modularity, &h, &far),
+            None
+        );
+    }
+
+    #[test]
+    fn lemmas_hold_on_randomized_pairs() {
+        // Randomized search for counterexamples on planted partitions.
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let (g, comms) = dmcs_gen::sbm::planted_partition(&[15, 15, 15], 0.5, 0.05, 17);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            // Random S around community 0, random S* around community 1.
+            let mut s = comms[0].clone();
+            s.shuffle(&mut rng);
+            s.truncate(rng.gen_range(3..12));
+            let mut s_star = comms[1].clone();
+            s_star.shuffle(&mut rng);
+            s_star.truncate(rng.gen_range(3..12));
+            assert!(lemma1_holds(&g, &s, &s_star), "Lemma 1 counterexample");
+            assert!(lemma2_holds(&g, &s, &s_star), "Lemma 2 counterexample");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Top-k diverse community search: several communities for one query.
+//!
+//! In overlapping ground truths (DBLP authors publish in several venues,
+//! Youtube users join several groups — §6.3) a query node legitimately
+//! belongs to *multiple* communities, yet DMCS returns one. This
+//! extension enumerates up to `k` communities by exclusion: after each
+//! round, the non-query members of the found community are removed from
+//! the candidate pool and the search re-runs on the remainder, so every
+//! round must explain the query through fresh nodes. All returned
+//! communities are connected, contain every query node, and are scored
+//! with the full-graph density modularity (comparable across rounds —
+//! rounds are ordered by construction, not necessarily by score).
+
+use crate::dynamic::search_within;
+use crate::{validate_query, Fpa, SearchError, SearchResult};
+use dmcs_graph::traversal::component_of;
+use dmcs_graph::{Graph, NodeId};
+
+/// Configuration for [`top_k_communities`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopKConfig {
+    /// Maximum number of communities returned.
+    pub k: usize,
+    /// Stop early when a round's community drops below this DM (set to
+    /// `f64::NEG_INFINITY` to disable; default 0: only positively
+    /// cohesive communities count).
+    pub min_dm: f64,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig { k: 3, min_dm: 0.0 }
+    }
+}
+
+/// Enumerate up to `cfg.k` node-diverse communities containing `query`,
+/// searching each round with FPA.
+///
+/// ```
+/// use dmcs_core::topk::{top_k_communities, TopKConfig};
+/// use dmcs_graph::GraphBuilder;
+///
+/// // Two 4-cliques sharing node 0: two legitimate communities.
+/// let mut b = GraphBuilder::new(7);
+/// for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+///     for i in 0..4 {
+///         for j in (i + 1)..4 {
+///             b.add_edge(c[i], c[j]);
+///         }
+///     }
+/// }
+/// let rounds = top_k_communities(&b.build(), &[0], TopKConfig::default()).unwrap();
+/// assert_eq!(rounds.len(), 2);
+/// ```
+pub fn top_k_communities(
+    g: &Graph,
+    query: &[NodeId],
+    cfg: TopKConfig,
+) -> Result<Vec<SearchResult>, SearchError> {
+    validate_query(g, query)?;
+    let algo = Fpa::default();
+    let mut pool: Vec<NodeId> = component_of(g, query[0]);
+    let is_query = |v: NodeId| query.contains(&v);
+    let mut out = Vec::new();
+    for _round in 0..cfg.k {
+        if pool.len() <= query.len() {
+            break;
+        }
+        let Ok(r) = search_within(g, &pool, query, &algo) else {
+            break; // queries disconnected inside the reduced pool
+        };
+        if r.density_modularity < cfg.min_dm {
+            break;
+        }
+        // A community that explains the query only through itself (no
+        // fresh non-query nodes) would repeat forever: stop.
+        if r.community.iter().all(|&v| is_query(v)) {
+            out.push(r);
+            break;
+        }
+        let used: Vec<NodeId> = r
+            .community
+            .iter()
+            .copied()
+            .filter(|&v| !is_query(v))
+            .collect();
+        out.push(r);
+        pool.retain(|&v| is_query(v) || !used.contains(&v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::{GraphBuilder, SubgraphView};
+
+    /// Two 4-cliques sharing exactly the query node 0.
+    fn bowtie() -> Graph {
+        let mut b = GraphBuilder::new(7);
+        // Left clique {0,1,2,3}, right clique {0,4,5,6}.
+        for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(c[i], c[j]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_both_cliques_of_the_bowtie() {
+        let g = bowtie();
+        let rs = top_k_communities(&g, &[0], TopKConfig { k: 3, min_dm: 0.0 }).unwrap();
+        assert!(rs.len() >= 2, "expected both wings, got {}", rs.len());
+        let mut wings: Vec<Vec<u32>> = rs.iter().take(2).map(|r| r.community.clone()).collect();
+        wings.sort();
+        assert_eq!(wings[0], vec![0, 1, 2, 3]);
+        assert_eq!(wings[1], vec![0, 4, 5, 6]);
+    }
+
+    #[test]
+    fn every_round_is_connected_and_holds_the_query() {
+        let g = dmcs_gen::karate::karate();
+        let rs = top_k_communities(&g, &[0], TopKConfig { k: 4, min_dm: 0.0 }).unwrap();
+        assert!(!rs.is_empty());
+        for r in &rs {
+            assert!(r.community.contains(&0));
+            let view = SubgraphView::from_nodes(&g, &r.community);
+            assert!(view.is_connected());
+        }
+    }
+
+    #[test]
+    fn rounds_are_node_diverse() {
+        let g = dmcs_gen::karate::karate();
+        let rs = top_k_communities(&g, &[0], TopKConfig { k: 4, min_dm: f64::NEG_INFINITY })
+            .unwrap();
+        for i in 0..rs.len() {
+            for j in (i + 1)..rs.len() {
+                let shared: Vec<u32> = rs[i]
+                    .community
+                    .iter()
+                    .copied()
+                    .filter(|v| rs[j].community.contains(v) && *v != 0)
+                    .collect();
+                assert!(
+                    shared.is_empty(),
+                    "rounds {i} and {j} share non-query nodes {shared:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_dm_cuts_off_weak_rounds() {
+        let g = bowtie();
+        let strict = top_k_communities(&g, &[0], TopKConfig { k: 5, min_dm: 1e9 }).unwrap();
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn multi_query_top_k() {
+        let g = bowtie();
+        // Queries in both wings: every community must span the waist.
+        let rs = top_k_communities(&g, &[1, 4], TopKConfig::default()).unwrap();
+        assert!(!rs.is_empty());
+        for r in &rs {
+            assert!(r.community.contains(&1) && r.community.contains(&4));
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = bowtie();
+        assert!(top_k_communities(&g, &[], TopKConfig::default()).is_err());
+        assert!(top_k_communities(&g, &[99], TopKConfig::default()).is_err());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let g = bowtie();
+        let rs = top_k_communities(&g, &[0], TopKConfig { k: 0, min_dm: 0.0 }).unwrap();
+        assert!(rs.is_empty());
+    }
+}

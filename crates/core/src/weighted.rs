@@ -1,0 +1,216 @@
+//! Weighted DMCS: the Fast Peeling Algorithm on weighted graphs, per the
+//! general (weighted) form of Definition 2.
+//!
+//! Layers are still hop-distance layers — the §5.2.2 removal-safety
+//! argument (every node keeps a BFS parent one layer in) is purely
+//! topological and holds regardless of weights. Weights enter through the
+//! objective (`w_S` replaces `l_S`, strengths replace degrees) and through
+//! the weighted density ratio `Θ_v = d_v / w_{v,S}` (strength over the
+//! weight of alive incident edges).
+
+use crate::{SearchError, SearchResult};
+use dmcs_graph::steiner::steiner_seed;
+use dmcs_graph::traversal::{component_of, multi_source_bfs, UNREACHABLE};
+use dmcs_graph::weighted::WeightedGraph;
+use dmcs_graph::{GraphError, NodeId};
+
+/// FPA over a [`WeightedGraph`], maximising the weighted density
+/// modularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedFpa;
+
+impl WeightedFpa {
+    /// Find a connected community containing all of `query` with high
+    /// weighted density modularity.
+    pub fn search(
+        &self,
+        g: &WeightedGraph,
+        query: &[NodeId],
+    ) -> Result<SearchResult, SearchError> {
+        let topo = g.topology();
+        if query.is_empty() {
+            return Err(SearchError::EmptyQuery);
+        }
+        for &q in query {
+            if q as usize >= topo.n() {
+                return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
+            }
+        }
+        if !dmcs_graph::traversal::same_component(topo, query) {
+            return Err(SearchError::Graph(GraphError::QueryDisconnected));
+        }
+        let seed = steiner_seed(topo, query)?;
+        let component = component_of(topo, seed[0]);
+        let dist = multi_source_bfs(topo, &seed);
+        let max_dist = component
+            .iter()
+            .map(|&v| dist[v as usize])
+            .max()
+            .unwrap_or(0);
+        debug_assert!(component.iter().all(|&v| dist[v as usize] != UNREACHABLE));
+
+        // Alive state with incremental weighted counts.
+        let mut alive = vec![false; topo.n()];
+        for &v in &component {
+            alive[v as usize] = true;
+        }
+        // w_{v,S}: weight of alive incident edges.
+        let mut local_w: Vec<f64> = (0..topo.n() as NodeId)
+            .map(|v| {
+                if alive[v as usize] {
+                    g.weighted_neighbors(v)
+                        .filter(|&(u, _)| alive[u as usize])
+                        .map(|(_, w)| w)
+                        .sum()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut w_s: f64 = component.iter().map(|&v| local_w[v as usize]).sum::<f64>() / 2.0;
+        let mut d_s: f64 = g.strength_sum(&component);
+        let mut size = component.len();
+        let w_g = g.total_weight();
+
+        let dm = |w_s: f64, d_s: f64, size: usize| -> f64 {
+            if size == 0 || w_g == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                (w_s - d_s * d_s / (4.0 * w_g)) / size as f64
+            }
+        };
+
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut best = (dm(w_s, d_s, size), 0usize);
+        let mut iterations = 0usize;
+
+        // Layer buckets.
+        let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); max_dist as usize + 1];
+        for &v in &component {
+            layers[dist[v as usize] as usize].push(v);
+        }
+        for d in (1..=max_dist).rev() {
+            // Candidates of this layer; weighted Θ via repeated scans
+            // (layers are small in small-world graphs; a lazy heap as in
+            // the unweighted FPA would also work).
+            let mut cand: Vec<NodeId> = layers[d as usize]
+                .iter()
+                .copied()
+                .filter(|&v| alive[v as usize])
+                .collect();
+            while !cand.is_empty() {
+                let (pos, _) = cand
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let k = local_w[v as usize];
+                        let theta = if k <= 0.0 {
+                            f64::INFINITY
+                        } else {
+                            g.strength(v) / k
+                        };
+                        (i, theta)
+                    })
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("Θ not NaN"))
+                    .expect("cand non-empty");
+                let v = cand.swap_remove(pos);
+                // Remove v.
+                alive[v as usize] = false;
+                w_s -= local_w[v as usize];
+                d_s -= g.strength(v);
+                size -= 1;
+                for (u, w) in g.weighted_neighbors(v) {
+                    if alive[u as usize] {
+                        local_w[u as usize] -= w;
+                    }
+                }
+                removed.push(v);
+                iterations += 1;
+                let score = dm(w_s, d_s, size);
+                if score >= best.0 && size > 0 {
+                    best = (score, removed.len());
+                }
+            }
+        }
+
+        let dead: std::collections::HashSet<NodeId> =
+            removed[..best.1].iter().copied().collect();
+        let community: Vec<NodeId> = component
+            .iter()
+            .copied()
+            .filter(|v| !dead.contains(v))
+            .collect();
+        Ok(SearchResult {
+            community,
+            density_modularity: best.0,
+            removal_order: removed,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommunitySearch, Fpa};
+    use dmcs_graph::weighted::WeightedGraphBuilder;
+
+    /// Barbell with weights: left triangle heavy, right triangle light.
+    fn weighted_barbell(left: f64, right: f64) -> WeightedGraph {
+        let mut b = WeightedGraphBuilder::new(6);
+        b.add_edge(0, 1, left);
+        b.add_edge(1, 2, left);
+        b.add_edge(0, 2, left);
+        b.add_edge(3, 4, right);
+        b.add_edge(4, 5, right);
+        b.add_edge(3, 5, right);
+        b.add_edge(2, 3, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn finds_query_triangle() {
+        let g = weighted_barbell(1.0, 1.0);
+        let r = WeightedFpa.search(&g, &[0]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2]);
+        assert!((r.density_modularity - g.density_modularity(&[0, 1, 2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_fpa() {
+        let g = weighted_barbell(1.0, 1.0);
+        for q in 0..6u32 {
+            let wr = WeightedFpa.search(&g, &[q]).unwrap();
+            let ur = Fpa::without_pruning().search(g.topology(), &[q]).unwrap();
+            assert_eq!(wr.community, ur.community, "query {q}");
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_community() {
+        // Make the *right* triangle massively heavier; from the bridge
+        // node 3, the community must be its heavy triangle.
+        let g = weighted_barbell(0.2, 10.0);
+        let r = WeightedFpa.search(&g, &[3]).unwrap();
+        assert_eq!(r.community, vec![3, 4, 5]);
+        // And from node 2 (light side), peeling keeps the heavy side out.
+        let r2 = WeightedFpa.search(&g, &[2]).unwrap();
+        assert!(r2.community.contains(&2));
+    }
+
+    #[test]
+    fn multi_query_protected() {
+        let g = weighted_barbell(1.0, 1.0);
+        let r = WeightedFpa.search(&g, &[0, 5]).unwrap();
+        for v in [0, 2, 3, 5] {
+            assert!(r.community.contains(&v));
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = weighted_barbell(1.0, 1.0);
+        assert!(WeightedFpa.search(&g, &[]).is_err());
+        assert!(WeightedFpa.search(&g, &[9]).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Weighted NCA: the Non-articulation Cancellation Algorithm on weighted
+//! graphs, completing weighted parity with [`crate::WeightedFpa`].
+//!
+//! Connectivity is a purely topological property, so removable nodes are
+//! still the non-articulation nodes of the alive subgraph (Hopcroft–
+//! Tarjan on the [`dmcs_graph::SubgraphView`] of the topology). Weights
+//! enter through the scorer: the weighted density-modularity gain
+//! generalises Definition 6 by replacing edge counts with edge weights
+//! and degrees with strengths,
+//!
+//! ```text
+//! Λ_v = −4 w_G · w_{v,S} + 2 d_S d_v − d_v²
+//! ```
+//!
+//! where `w_{v,S}` is the weight of v's alive incident edges, `d_v` the
+//! strength of `v` in `G`, `d_S` the strength sum of the alive set, and
+//! `w_G` the total edge weight. With unit weights this reduces exactly to
+//! the integer gain of the unweighted NCA.
+
+use crate::{SearchError, SearchResult};
+use dmcs_graph::articulation::articulation_nodes;
+use dmcs_graph::traversal::{component_of, multi_source_bfs};
+use dmcs_graph::weighted::WeightedGraph;
+use dmcs_graph::{GraphError, NodeId, SubgraphView};
+
+/// NCA over a [`WeightedGraph`], maximising weighted density modularity.
+///
+/// ```
+/// use dmcs_core::WeightedNca;
+/// use dmcs_graph::weighted::WeightedGraphBuilder;
+///
+/// // A heavy triangle and a light one, bridged: from node 0 the heavy
+/// // triangle is the community.
+/// let mut b = WeightedGraphBuilder::new(6);
+/// for (u, v, w) in [(0, 1, 5.0), (1, 2, 5.0), (0, 2, 5.0),
+///                   (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0), (2, 3, 0.5)] {
+///     b.add_edge(u, v, w);
+/// }
+/// let r = WeightedNca::default().search(&b.build(), &[0]).unwrap();
+/// assert_eq!(r.community, vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedNca {
+    /// Optional hard cap on peeling iterations (`None` = peel to the end).
+    pub max_iterations: Option<usize>,
+}
+
+impl WeightedNca {
+    /// Find a connected community containing all of `query` with high
+    /// weighted density modularity.
+    pub fn search(
+        &self,
+        g: &WeightedGraph,
+        query: &[NodeId],
+    ) -> Result<SearchResult, SearchError> {
+        let topo = g.topology();
+        if query.is_empty() {
+            return Err(SearchError::EmptyQuery);
+        }
+        for &q in query {
+            if q as usize >= topo.n() {
+                return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
+            }
+        }
+        if !dmcs_graph::traversal::same_component(topo, query) {
+            return Err(SearchError::Graph(GraphError::QueryDisconnected));
+        }
+
+        let component = component_of(topo, query[0]);
+        let mut is_query = vec![false; topo.n()];
+        for &q in query {
+            is_query[q as usize] = true;
+        }
+        let dist = multi_source_bfs(topo, query);
+
+        let mut view = SubgraphView::from_nodes(topo, &component);
+        // Weighted running state.
+        let mut local_w: Vec<f64> = (0..topo.n() as NodeId)
+            .map(|v| {
+                if view.contains(v) {
+                    g.weighted_neighbors(v)
+                        .filter(|&(u, _)| view.contains(u))
+                        .map(|(_, w)| w)
+                        .sum()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut w_s: f64 = component.iter().map(|&v| local_w[v as usize]).sum::<f64>() / 2.0;
+        let mut d_s: f64 = g.strength_sum(&component);
+        let mut size = component.len();
+        let w_g = g.total_weight();
+        let dm = |w_s: f64, d_s: f64, size: usize| -> f64 {
+            if size == 0 || w_g == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                (w_s - d_s * d_s / (4.0 * w_g)) / size as f64
+            }
+        };
+
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut best = (dm(w_s, d_s, size), 0usize);
+        let cap = self.max_iterations.unwrap_or(usize::MAX);
+        let mut iterations = 0usize;
+        while iterations < cap && size > query.len() {
+            let art = articulation_nodes(&view);
+            // Best removable node by weighted Λ; ties: remove the farthest.
+            let mut chosen: Option<(NodeId, f64, u32)> = None;
+            for v in view.iter_alive() {
+                if is_query[v as usize] || art[v as usize] {
+                    continue;
+                }
+                let d_v = g.strength(v);
+                let gain = -4.0 * w_g * local_w[v as usize] + 2.0 * d_s * d_v - d_v * d_v;
+                let dd = dist[v as usize];
+                let better = match &chosen {
+                    None => true,
+                    Some((_, bg, bd)) => gain > *bg || (gain == *bg && dd > *bd),
+                };
+                if better {
+                    chosen = Some((v, gain, dd));
+                }
+            }
+            let Some((v, _, _)) = chosen else { break };
+            view.remove(v);
+            w_s -= local_w[v as usize];
+            d_s -= g.strength(v);
+            size -= 1;
+            for (u, w) in g.weighted_neighbors(v) {
+                if view.contains(u) {
+                    local_w[u as usize] -= w;
+                }
+            }
+            removed.push(v);
+            iterations += 1;
+            let score = dm(w_s, d_s, size);
+            if score >= best.0 {
+                best = (score, removed.len());
+            }
+        }
+
+        let dead: std::collections::HashSet<NodeId> =
+            removed[..best.1].iter().copied().collect();
+        let community: Vec<NodeId> = component
+            .iter()
+            .copied()
+            .filter(|v| !dead.contains(v))
+            .collect();
+        Ok(SearchResult {
+            community,
+            density_modularity: best.0,
+            removal_order: removed,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommunitySearch, Nca};
+    use dmcs_graph::weighted::WeightedGraphBuilder;
+
+    fn weighted_barbell(left: f64, right: f64) -> WeightedGraph {
+        let mut b = WeightedGraphBuilder::new(6);
+        b.add_edge(0, 1, left);
+        b.add_edge(1, 2, left);
+        b.add_edge(0, 2, left);
+        b.add_edge(3, 4, right);
+        b.add_edge(4, 5, right);
+        b.add_edge(3, 5, right);
+        b.add_edge(2, 3, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn finds_query_triangle() {
+        let g = weighted_barbell(1.0, 1.0);
+        let r = WeightedNca::default().search(&g, &[0]).unwrap();
+        assert_eq!(r.community, vec![0, 1, 2]);
+        assert!((r.density_modularity - g.density_modularity(&[0, 1, 2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_nca() {
+        // A true unit-weight barbell (note `weighted_barbell` gives the
+        // bridge weight 0.5, so it is NOT unit-weighted).
+        let mut b = WeightedGraphBuilder::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let g = b.build();
+        for q in 0..6u32 {
+            let wr = WeightedNca::default().search(&g, &[q]).unwrap();
+            let ur = Nca::default().search(g.topology(), &[q]).unwrap();
+            assert_eq!(wr.community, ur.community, "query {q}");
+            assert!(
+                (wr.density_modularity - ur.density_modularity).abs() < 1e-9,
+                "query {q}: weighted {} vs unweighted {}",
+                wr.density_modularity,
+                ur.density_modularity
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_nca_on_karate() {
+        let topo = dmcs_gen::karate::karate();
+        let mut b = WeightedGraphBuilder::new(topo.n());
+        for (u, v) in topo.edges() {
+            b.add_edge(u, v, 1.0);
+        }
+        let g = b.build();
+        for q in [0u32, 16, 33] {
+            let wr = WeightedNca::default().search(&g, &[q]).unwrap();
+            let ur = Nca::default().search(&topo, &[q]).unwrap();
+            assert_eq!(wr.community, ur.community, "query {q}");
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_community() {
+        let g = weighted_barbell(0.2, 10.0);
+        let r = WeightedNca::default().search(&g, &[3]).unwrap();
+        assert_eq!(r.community, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn result_connected_and_queries_protected() {
+        let g = weighted_barbell(1.0, 1.0);
+        let r = WeightedNca::default().search(&g, &[0, 5]).unwrap();
+        for v in [0, 5] {
+            assert!(r.community.contains(&v));
+        }
+        let view = SubgraphView::from_nodes(g.topology(), &r.community);
+        assert!(view.is_connected());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = weighted_barbell(1.0, 1.0);
+        assert!(WeightedNca::default().search(&g, &[]).is_err());
+        assert!(WeightedNca::default().search(&g, &[9]).is_err());
+        // Disconnected queries.
+        let mut b = WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g2 = b.build();
+        assert!(WeightedNca::default().search(&g2, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = weighted_barbell(1.0, 1.0);
+        let r = WeightedNca {
+            max_iterations: Some(1),
+        }
+        .search(&g, &[0])
+        .unwrap();
+        assert!(r.iterations <= 1);
+    }
+}

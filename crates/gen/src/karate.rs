@@ -1,0 +1,151 @@
+//! Zachary's karate club (Zachary 1977) — embedded verbatim.
+//!
+//! 34 nodes, 78 edges, two ground-truth factions (the split after the
+//! club's conflict). The paper uses Karate in Table 1, the Fig 5
+//! removal-order study, and the Fig 15 accuracy comparison. The edge list
+//! below is the standard 0-indexed rendering of Zachary's matrix.
+
+use dmcs_graph::{Graph, GraphBuilder, NodeId};
+
+/// The 78 undirected edges of the karate club network.
+pub const KARATE_EDGES: [(NodeId, NodeId); 78] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
+    (6, 16),
+    (8, 30),
+    (8, 32),
+    (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
+    (19, 33),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
+    (25, 31),
+    (26, 29),
+    (26, 33),
+    (27, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
+    (32, 33),
+];
+
+/// Build the karate club graph.
+pub fn karate() -> Graph {
+    GraphBuilder::from_edges(34, &KARATE_EDGES)
+}
+
+/// Ground-truth faction of Mr. Hi (instructor, node 0).
+pub fn faction_mr_hi() -> Vec<NodeId> {
+    vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 16, 17, 19, 21]
+}
+
+/// Ground-truth faction of the officer (node 33).
+pub fn faction_officer() -> Vec<NodeId> {
+    vec![
+        9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts_match_table1() {
+        let g = karate();
+        assert_eq!(g.n(), 34);
+        assert_eq!(g.m(), 78);
+    }
+
+    #[test]
+    fn factions_partition_the_club() {
+        let mut all = faction_mr_hi();
+        all.extend(faction_officer());
+        all.sort_unstable();
+        let expect: Vec<NodeId> = (0..34).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn hubs_have_known_degrees() {
+        let g = karate();
+        assert_eq!(g.degree(0), 16); // Mr. Hi
+        assert_eq!(g.degree(33), 17); // the officer
+        assert_eq!(g.degree(32), 12);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = karate();
+        let (_, count) = dmcs_graph::traversal::connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn no_duplicate_edges_in_table() {
+        let mut e = KARATE_EDGES.to_vec();
+        e.sort_unstable();
+        e.dedup();
+        assert_eq!(e.len(), 78);
+    }
+}

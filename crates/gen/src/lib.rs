@@ -1,0 +1,37 @@
+//! # dmcs-gen — graph generators and datasets for the DMCS reproduction
+//!
+//! Everything the paper's evaluation (§6) loads or generates:
+//!
+//! - [`toy`] — the Figure 1 toy network (Examples 1–2) with exactly the
+//!   edge counts the paper computes modularity on.
+//! - [`ring`] — the ring-of-cliques of Figure 2 / Example 3 (the classic
+//!   resolution-limit construction of Fortunato & Barthélemy 2007).
+//! - [`karate`] — Zachary's karate club, embedded verbatim (34 nodes, 78
+//!   edges, two ground-truth factions). Used by the Fig 5 removal-order
+//!   study and the Fig 15 accuracy comparison.
+//! - [`sbm`] — planted-partition (stochastic block model) generators,
+//!   including matched stand-ins for the Dolphin / Mexican / Polblogs
+//!   datasets we cannot redistribute (see DESIGN.md §3).
+//! - [`lfr`] — the LFR benchmark (Lancichinetti, Fortunato & Radicchi
+//!   2008): power-law degrees, power-law community sizes, mixing
+//!   parameter μ; with optional overlapping membership for the
+//!   DBLP/Youtube/LiveJournal-style experiments (Fig 17–18).
+//! - [`datasets`] — a [`datasets::Dataset`] bundle (graph + ground truth)
+//!   and the registry used by the experiment harness.
+//! - [`queries`] — the §6.1 query-selection protocol (query sets sampled
+//!   from ground-truth communities, biased to the (k+1)-truss).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod karate;
+pub mod lfr;
+pub mod queries;
+pub mod random;
+pub mod ring;
+pub mod sbm;
+pub mod toy;
+pub mod weighting;
+
+pub use datasets::Dataset;
+pub use lfr::{LfrConfig, LfrGraph};

@@ -1,0 +1,92 @@
+//! Ring of cliques — the classic resolution-limit construction
+//! (Fortunato & Barthélemy 2007) used in Example 3 / Figure 2.
+//!
+//! `num_cliques` complete graphs of `clique_size` nodes each, arranged in a
+//! ring: one single edge joins consecutive cliques. The paper instantiates
+//! 30 cliques of 6 nodes: `|E| = 30 * 15 + 30 = 480`, and computes the
+//! classic and density modularity of the *split* community (one clique)
+//! versus the *merged* community (two adjacent cliques).
+
+use dmcs_graph::{Graph, GraphBuilder, NodeId};
+
+/// Build the ring. Clique `i` owns node ids
+/// `i * clique_size .. (i + 1) * clique_size`; the ring edge of clique `i`
+/// connects its node 1 to node 0 of clique `i + 1 (mod num_cliques)` (so a
+/// single node never carries two ring edges when `clique_size >= 2`).
+pub fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> Graph {
+    assert!(num_cliques >= 3, "a ring needs at least 3 cliques");
+    assert!(clique_size >= 2, "cliques need at least 2 nodes");
+    let n = num_cliques * clique_size;
+    let mut b = GraphBuilder::with_capacity(n, num_cliques * clique_size * clique_size / 2);
+    for c in 0..num_cliques {
+        let base = (c * clique_size) as NodeId;
+        for i in 0..clique_size as NodeId {
+            for j in (i + 1)..clique_size as NodeId {
+                b.add_edge(base + i, base + j);
+            }
+        }
+        let next_base = (((c + 1) % num_cliques) * clique_size) as NodeId;
+        b.add_edge(base + 1, next_base);
+    }
+    b.build()
+}
+
+/// Node ids of clique `i`.
+pub fn clique_nodes(i: usize, clique_size: usize) -> Vec<NodeId> {
+    let base = (i * clique_size) as NodeId;
+    (base..base + clique_size as NodeId).collect()
+}
+
+/// The paper's "split" community: the single clique containing node `q`.
+pub fn split_community(q: NodeId, clique_size: usize) -> Vec<NodeId> {
+    clique_nodes(q as usize / clique_size, clique_size)
+}
+
+/// The paper's "merged" community: the clique of `q` plus the next clique
+/// on the ring.
+pub fn merged_community(q: NodeId, num_cliques: usize, clique_size: usize) -> Vec<NodeId> {
+    let i = q as usize / clique_size;
+    let mut nodes = clique_nodes(i, clique_size);
+    nodes.extend(clique_nodes((i + 1) % num_cliques, clique_size));
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example3_edge_count() {
+        // 30 cliques of 6: 30 * C(6,2) + 30 ring edges = 450 + 30 = 480.
+        let g = ring_of_cliques(30, 6);
+        assert_eq!(g.n(), 180);
+        assert_eq!(g.m(), 480);
+    }
+
+    #[test]
+    fn example3_community_counts() {
+        let g = ring_of_cliques(30, 6);
+        let split = split_community(0, 6);
+        let merged = merged_community(0, 30, 6);
+        // Paper: split has 15 internal edges, degree sum 32 (15*2 + 2 ring
+        // stubs); merged has 31 internal edges, degree sum 64.
+        assert_eq!(g.internal_edges(&split), 15);
+        assert_eq!(g.degree_sum(&split), 32);
+        assert_eq!(g.internal_edges(&merged), 31);
+        assert_eq!(g.degree_sum(&merged), 64);
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let g = ring_of_cliques(5, 4);
+        let dist = dmcs_graph::traversal::bfs_distances(&g, 0);
+        assert!(dist.iter().all(|&d| d != dmcs_graph::traversal::UNREACHABLE));
+    }
+
+    #[test]
+    fn small_ring() {
+        let g = ring_of_cliques(3, 2);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 6); // 3 "clique" edges + 3 ring edges
+    }
+}

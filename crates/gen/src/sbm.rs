@@ -1,0 +1,247 @@
+//! Planted-partition (stochastic block model) generators, and the matched
+//! two-community stand-ins for the real datasets we cannot redistribute.
+//!
+//! The Fig 15/16 experiments need Dolphin, Mexican and Polblogs — small
+//! graphs whose only structural features the paper leans on are: node and
+//! edge counts (Table 1), a two-block ground truth, and (for the NCA
+//! discussion) an *imbalance* in clustering between the two blocks. A
+//! planted partition matched on those statistics exercises the identical
+//! code paths; DESIGN.md §3 documents the substitution.
+
+use crate::datasets::Dataset;
+use dmcs_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a two-block planted partition.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoBlockConfig {
+    /// Size of block 0.
+    pub n0: usize,
+    /// Size of block 1.
+    pub n1: usize,
+    /// Target number of edges inside block 0.
+    pub m0: usize,
+    /// Target number of edges inside block 1.
+    pub m1: usize,
+    /// Target number of cross edges.
+    pub m_cross: usize,
+    /// RNG seed (generators are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+/// Sample a two-block planted partition by drawing the requested number of
+/// distinct edges uniformly within each block / across blocks (rejection
+/// sampling; targets must be feasible, i.e. below the respective maxima).
+pub fn two_block(cfg: TwoBlockConfig) -> Graph {
+    let max0 = cfg.n0 * (cfg.n0 - 1) / 2;
+    let max1 = cfg.n1 * (cfg.n1 - 1) / 2;
+    let maxc = cfg.n0 * cfg.n1;
+    assert!(cfg.m0 <= max0, "block 0 target exceeds clique size");
+    assert!(cfg.m1 <= max1, "block 1 target exceeds clique size");
+    assert!(cfg.m_cross <= maxc, "cross target exceeds bipartite size");
+
+    let n = cfg.n0 + cfg.n1;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut seen = std::collections::HashSet::with_capacity(cfg.m0 + cfg.m1 + cfg.m_cross);
+    let mut b = GraphBuilder::with_capacity(n, cfg.m0 + cfg.m1 + cfg.m_cross);
+
+    let sample_range =
+        |rng: &mut StdRng, lo_a: usize, hi_a: usize, lo_b: usize, hi_b: usize, want: usize,
+         seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
+         b: &mut GraphBuilder| {
+            let mut placed = 0usize;
+            while placed < want {
+                let u = rng.gen_range(lo_a..hi_a) as NodeId;
+                let v = rng.gen_range(lo_b..hi_b) as NodeId;
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                if seen.insert(key) {
+                    b.add_edge(u, v);
+                    placed += 1;
+                }
+            }
+        };
+
+    sample_range(&mut rng, 0, cfg.n0, 0, cfg.n0, cfg.m0, &mut seen, &mut b);
+    sample_range(&mut rng, cfg.n0, n, cfg.n0, n, cfg.m1, &mut seen, &mut b);
+    sample_range(&mut rng, 0, cfg.n0, cfg.n0, n, cfg.m_cross, &mut seen, &mut b);
+    b.build()
+}
+
+/// Wrap a two-block graph into a [`Dataset`] with the obvious ground truth.
+fn two_block_dataset(name: &'static str, cfg: TwoBlockConfig) -> Dataset {
+    let graph = two_block(cfg);
+    let block0: Vec<NodeId> = (0..cfg.n0 as NodeId).collect();
+    let block1: Vec<NodeId> = (cfg.n0 as NodeId..(cfg.n0 + cfg.n1) as NodeId).collect();
+    Dataset {
+        name: name.to_string(),
+        graph,
+        communities: vec![block0, block1],
+        overlapping: false,
+    }
+}
+
+/// Dolphin stand-in: 62 nodes / 159 edges (Table 1), blocks of 21 and 41
+/// (Lusseau's observed split), with the larger block denser — reproducing
+/// the clustering-coefficient imbalance the paper blames for NCA's
+/// weakness on Dolphin (§6.3).
+pub fn dolphin_like(seed: u64) -> Dataset {
+    two_block_dataset(
+        "dolphin-like",
+        TwoBlockConfig {
+            n0: 21,
+            n1: 41,
+            m0: 45,
+            m1: 102,
+            m_cross: 12,
+            seed,
+        },
+    )
+}
+
+/// Mexican-politicians stand-in: 35 nodes / 117 edges (Table 1), blocks of
+/// 15 and 20 with *matched internal density* (the paper notes NCA does
+/// well here because the two communities are structurally similar).
+pub fn mexican_like(seed: u64) -> Dataset {
+    two_block_dataset(
+        "mexican-like",
+        TwoBlockConfig {
+            n0: 15,
+            n1: 20,
+            m0: 37,
+            m1: 66,
+            m_cross: 14,
+            seed,
+        },
+    )
+}
+
+/// Polblogs stand-in: 1224 nodes / 16718 edges (Table 1), two blocks of
+/// 586 and 638 (the liberal/conservative split), strongly assortative with
+/// near-matched internal density. (The real Polblogs has the §6.3
+/// clustering imbalance; in a size-matched SBM that imbalance is dominated
+/// by block size, so we keep the stand-in balanced and demonstrate the
+/// imbalance→NCA mechanism on the small stand-ins instead — see the
+/// `imbalance` extra experiment.)
+pub fn polblogs_like(seed: u64) -> Dataset {
+    two_block_dataset(
+        "polblogs-like",
+        TwoBlockConfig {
+            n0: 586,
+            n1: 638,
+            m0: 7100,
+            m1: 8500,
+            m_cross: 1118,
+            seed,
+        },
+    )
+}
+
+/// General g-block planted partition with per-pair edge probability
+/// `p_in` within blocks and `p_out` across. O(n²) Bernoulli sampling —
+/// intended for small validation graphs (property tests, the Fig 6 local-
+/// optimum illustration), not the large sweeps (use [`crate::lfr`] there).
+pub fn planted_partition(
+    block_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> (Graph, Vec<Vec<NodeId>>) {
+    let n: usize = block_sizes.iter().sum();
+    let mut block_of = vec![0usize; n];
+    let mut communities = Vec::with_capacity(block_sizes.len());
+    let mut start = 0usize;
+    for (bi, &s) in block_sizes.iter().enumerate() {
+        communities.push(((start as NodeId)..(start + s) as NodeId).collect::<Vec<_>>());
+        for slot in block_of.iter_mut().skip(start).take(s) {
+            *slot = bi;
+        }
+        start += s;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    (b.build(), communities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_block_hits_exact_counts() {
+        let g = two_block(TwoBlockConfig {
+            n0: 10,
+            n1: 12,
+            m0: 20,
+            m1: 25,
+            m_cross: 8,
+            seed: 1,
+        });
+        assert_eq!(g.n(), 22);
+        assert_eq!(g.m(), 53);
+        let block0: Vec<NodeId> = (0..10).collect();
+        assert_eq!(g.internal_edges(&block0), 20);
+    }
+
+    #[test]
+    fn standins_match_table1() {
+        let d = dolphin_like(7);
+        assert_eq!(d.graph.n(), 62);
+        assert_eq!(d.graph.m(), 159);
+        let m = mexican_like(7);
+        assert_eq!(m.graph.n(), 35);
+        assert_eq!(m.graph.m(), 117);
+    }
+
+    #[test]
+    fn polblogs_standin_matches_table1() {
+        let p = polblogs_like(7);
+        assert_eq!(p.graph.n(), 1224);
+        assert_eq!(p.graph.m(), 16718);
+        assert_eq!(p.communities.len(), 2);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = two_block(TwoBlockConfig {
+            n0: 8,
+            n1: 8,
+            m0: 10,
+            m1: 10,
+            m_cross: 4,
+            seed: 42,
+        });
+        let b = two_block(TwoBlockConfig {
+            n0: 8,
+            n1: 8,
+            m0: 10,
+            m1: 10,
+            m_cross: 4,
+            seed: 42,
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planted_partition_blocks_denser_inside() {
+        let (g, comms) = planted_partition(&[30, 30], 0.4, 0.02, 3);
+        let inside = g.internal_edges(&comms[0]) + g.internal_edges(&comms[1]);
+        let total = g.m() as u64;
+        assert!(inside * 3 > total * 2, "most edges should be internal");
+    }
+}

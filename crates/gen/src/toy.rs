@@ -1,0 +1,88 @@
+//! The Figure 1 toy network of the paper (Examples 1 and 2).
+//!
+//! The paper's worked numbers are: `|E| = 26`, community `A` (8 nodes, the
+//! query node u1 lives here) with `l_A = 6` internal edges and degree sum
+//! `d_A = 14`; community `A ∪ B` (16 nodes) with `l_{A∪B} = 14` and
+//! `d_{A∪B} = 28`.
+//!
+//! Deriving the hidden structure from those numbers:
+//! - `d_A = 2 l_A + ext_A` ⇒ exactly **2 edges leave A** (both into B);
+//! - `d_{A∪B} = 2 l_{A∪B}` ⇒ **no edge leaves A ∪ B**;
+//! - `l_B = l_{A∪B} − l_A − 2 = 6`;
+//! - the remaining `26 − 14 = 12` edges form a background component the
+//!   figure elides — we realise it as a 12-cycle on 12 extra nodes.
+//!
+//! The exact drawing inside A and B is immaterial to every formula in the
+//! paper (only `l`, `d`, `|C|`, `|E|` enter the modularities), so we pick a
+//! fixed layout and lock the counts down with tests.
+
+use dmcs_graph::{Graph, GraphBuilder, NodeId};
+
+/// Build the Figure 1 toy network.
+///
+/// Layout: nodes `0..8` = community A (node 0 is the paper's query u1),
+/// nodes `8..16` = community B, nodes `16..28` = background 12-cycle.
+pub fn figure1() -> Graph {
+    let mut b = GraphBuilder::new(28);
+    // Community A: 6 internal edges (a 4-box around the query plus a chain
+    // and a detached pair, matching the loose columns of the figure).
+    for &(u, v) in &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (6, 7)] {
+        b.add_edge(u, v);
+    }
+    // Exactly two cross edges A -> B.
+    b.add_edge(5, 8);
+    b.add_edge(6, 9);
+    // Community B: 6 internal edges.
+    for &(u, v) in &[(8, 9), (9, 10), (10, 11), (8, 12), (12, 13), (14, 15)] {
+        b.add_edge(u, v);
+    }
+    // Background component: 12-cycle on ids 16..28.
+    for i in 16..28u32 {
+        let j = if i == 27 { 16 } else { i + 1 };
+        b.add_edge(i, j);
+    }
+    b.build()
+}
+
+/// Community A of [`figure1`]: node ids 0..8 (node 0 is the query u1).
+pub fn figure1_community_a() -> Vec<NodeId> {
+    (0..8).collect()
+}
+
+/// Community A ∪ B of [`figure1`]: node ids 0..16.
+pub fn figure1_community_ab() -> Vec<NodeId> {
+    (0..16).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_examples_1_and_2() {
+        let g = figure1();
+        assert_eq!(g.m(), 26, "|E| = 26");
+        let a = figure1_community_a();
+        let ab = figure1_community_ab();
+        assert_eq!(g.internal_edges(&a), 6, "l_A = 6");
+        assert_eq!(g.degree_sum(&a), 14, "d_A = 14");
+        assert_eq!(g.internal_edges(&ab), 14, "l_AB = 14");
+        assert_eq!(g.degree_sum(&ab), 28, "d_AB = 28");
+    }
+
+    #[test]
+    fn union_is_closed() {
+        // d_AB = 2 * l_AB means no edge leaves A ∪ B.
+        let g = figure1();
+        let ab = figure1_community_ab();
+        assert_eq!(g.degree_sum(&ab), 2 * g.internal_edges(&ab));
+    }
+
+    #[test]
+    fn background_is_a_cycle() {
+        let g = figure1();
+        for v in 16..28u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Brandes betweenness centrality (Brandes 2001), node and edge variants.
+//!
+//! Edge betweenness drives the GN divisive baseline (Girvan–Newman 2002):
+//! iteratively remove the highest-betweenness edge. Node betweenness is
+//! reported in the Fig 20 case study ("the query node has the largest
+//! centrality scores in our community").
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Node betweenness centrality of every node (unnormalised, undirected:
+/// each pair counted once).
+pub fn node_betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    let mut bc = vec![0.0f64; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+
+    for s in 0..n as NodeId {
+        // Reset scratch state.
+        for v in &order {
+            let v = *v as usize;
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        sigma[s as usize] = 0.0; // may not be in order yet
+        dist[s as usize] = -1;
+        delta[s as usize] = 0.0;
+        preds[s as usize].clear();
+        order.clear();
+
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dv + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        // Accumulate dependencies in reverse BFS order.
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+            for &v in &preds[w as usize] {
+                delta[v as usize] += sigma[v as usize] * coeff;
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    // Undirected: each pair (s, t) counted twice.
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Edge betweenness of every edge, keyed by `(u, v)` with `u < v`, restricted
+/// to the alive nodes of `mask` (GN peels edges from a shrinking graph).
+/// `mask[v] == false` nodes are skipped entirely.
+pub fn edge_betweenness_masked(g: &Graph, mask: &[bool]) -> Vec<((NodeId, NodeId), f64)> {
+    let n = g.n();
+    let mut scores = std::collections::HashMap::<(NodeId, NodeId), f64>::new();
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+
+    for s in 0..n as NodeId {
+        if !mask[s as usize] {
+            continue;
+        }
+        for v in &order {
+            let v = *v as usize;
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        order.clear();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        delta[s as usize] = 0.0;
+        preds[s as usize].clear();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if !mask[w as usize] {
+                    continue;
+                }
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dv + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+            for &v in &preds[w as usize] {
+                let c = sigma[v as usize] * coeff;
+                delta[v as usize] += c;
+                let key = if v < w { (v, w) } else { (w, v) };
+                *scores.entry(key).or_insert(0.0) += c;
+            }
+        }
+    }
+    let mut out: Vec<_> = scores
+        .into_iter()
+        .map(|(e, s)| (e, s / 2.0)) // each direction counted once per (s, t) pair
+        .collect();
+    out.sort_by_key(|a| a.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_center_has_max_betweenness() {
+        // 0-1-2-3-4: node 2 lies on most shortest paths.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bc = node_betweenness(&g);
+        // Exact values for a path: node 1 -> pairs (0;2),(0;3),(0;4) = 3,
+        // node 2 -> (0;3),(0;4),(1;3),(1;4) = 4.
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[1], 3.0);
+        assert_eq!(bc[2], 4.0);
+        assert_eq!(bc[3], 3.0);
+        assert_eq!(bc[4], 0.0);
+    }
+
+    #[test]
+    fn star_center_covers_all_pairs() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let bc = node_betweenness(&g);
+        assert_eq!(bc[0], 3.0); // C(3,2) pairs
+        assert_eq!(bc[1], 0.0);
+    }
+
+    #[test]
+    fn bridge_edge_has_max_edge_betweenness() {
+        // Two triangles joined by the bridge 2-3.
+        let g = GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let mask = vec![true; 6];
+        let eb = edge_betweenness_masked(&g, &mask);
+        let (bridge, score) = eb
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(*bridge, (2, 3));
+        assert_eq!(*score, 9.0); // 3 x 3 cross pairs
+    }
+
+    #[test]
+    fn mask_excludes_nodes() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut mask = vec![true; 4];
+        mask[3] = false;
+        let eb = edge_betweenness_masked(&g, &mask);
+        assert!(eb.iter().all(|((u, v), _)| *u != 3 && *v != 3));
+    }
+
+    #[test]
+    fn split_paths_share_flow() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. Two shortest paths 0->3.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let bc = node_betweenness(&g);
+        assert!((bc[1] - 0.5).abs() < 1e-12);
+        assert!((bc[2] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting) and k-clique
+//! percolation — the substrate of the `clique` baseline (index-based densest
+//! clique percolation community search, Yuan et al. 2017).
+//!
+//! A *k-clique percolation community* is a union of k-cliques chained by
+//! adjacency (two k-cliques are adjacent when they share k−1 nodes). We
+//! follow the standard reduction: enumerate maximal cliques of size ≥ k,
+//! connect two maximal cliques when they share ≥ k−1 nodes, and take
+//! connected components of that overlap graph. The paper only runs `clique`
+//! on the small datasets (it is the slowest baseline in Fig 16); the same
+//! holds here.
+
+use crate::{Graph, NodeId};
+
+/// All maximal cliques of `g`, each sorted ascending.
+/// Classic Bron–Kerbosch with greedy pivoting; exponential in the worst
+/// case, fine on the sparse social graphs the baseline targets.
+pub fn maximal_cliques(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut r: Vec<NodeId> = Vec::new();
+    let p: Vec<NodeId> = g.nodes().collect();
+    let x: Vec<NodeId> = Vec::new();
+    bron_kerbosch(g, &mut r, p, x, &mut out);
+    out
+}
+
+fn bron_kerbosch(
+    g: &Graph,
+    r: &mut Vec<NodeId>,
+    p: Vec<NodeId>,
+    x: Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        let mut clique = r.clone();
+        clique.sort_unstable();
+        out.push(clique);
+        return;
+    }
+    // Pivot: the P∪X node with the most neighbours in P minimises branching.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&v| g.has_edge(u, v)).count())
+        .expect("P or X non-empty");
+    let candidates: Vec<NodeId> = p
+        .iter()
+        .copied()
+        .filter(|&v| !g.has_edge(pivot, v))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        let np: Vec<NodeId> = p.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        let nx: Vec<NodeId> = x.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        r.push(v);
+        bron_kerbosch(g, r, np, nx, out);
+        r.pop();
+        p.retain(|&u| u != v);
+        x.push(v);
+    }
+}
+
+/// k-clique percolation communities containing the query node `q`:
+/// the union of nodes of every chain of (≥ k)-cliques overlapping in ≥ k−1
+/// nodes that reaches a clique containing `q`. Returns `None` if `q` is in
+/// no clique of size ≥ k.
+pub fn clique_percolation_community(g: &Graph, k: usize, q: NodeId) -> Option<Vec<NodeId>> {
+    let cliques: Vec<Vec<NodeId>> = maximal_cliques(g)
+        .into_iter()
+        .filter(|c| c.len() >= k)
+        .collect();
+    if cliques.is_empty() {
+        return None;
+    }
+    // Union-find over cliques sharing >= k-1 nodes.
+    let mut parent: Vec<usize> = (0..cliques.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..cliques.len() {
+        for j in (i + 1)..cliques.len() {
+            if sorted_overlap(&cliques[i], &cliques[j]) >= k - 1 {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    // Collect nodes of all cliques whose class contains a clique with q.
+    let q_classes: std::collections::HashSet<usize> = (0..cliques.len())
+        .filter(|&i| cliques[i].binary_search(&q).is_ok())
+        .map(|i| find(&mut parent, i))
+        .collect();
+    if q_classes.is_empty() {
+        return None;
+    }
+    let mut nodes: Vec<NodeId> = (0..cliques.len())
+        .filter(|&i| q_classes.contains(&find(&mut parent, i)))
+        .flat_map(|i| cliques[i].iter().copied())
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    Some(nodes)
+}
+
+fn sorted_overlap(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_is_one_clique() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let cs = maximal_cliques(&g);
+        assert_eq!(cs, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn path_cliques_are_edges() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut cs = maximal_cliques(&g);
+        cs.sort();
+        assert_eq!(cs, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn k4_with_pendant() {
+        let g = GraphBuilder::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let mut cs = maximal_cliques(&g);
+        cs.sort();
+        assert_eq!(cs, vec![vec![0, 1, 2, 3], vec![3, 4]]);
+    }
+
+    #[test]
+    fn clique_count_matches_known_formula_for_complete_bipartite() {
+        // K_{2,3}: maximal cliques are exactly the 6 edges.
+        let g = GraphBuilder::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(maximal_cliques(&g).len(), 6);
+    }
+
+    #[test]
+    fn percolation_chains_overlapping_triangles() {
+        // Triangles {0,1,2} and {1,2,3} share an edge -> one 3-clique
+        // community {0,1,2,3}; triangle {5,6,7} is separate.
+        let g = GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4), // pendant edge, not in any triangle
+                (5, 6),
+                (6, 7),
+                (5, 7),
+            ],
+        );
+        let c = clique_percolation_community(&g, 3, 0).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+        let c5 = clique_percolation_community(&g, 3, 5).unwrap();
+        assert_eq!(c5, vec![5, 6, 7]);
+        assert_eq!(clique_percolation_community(&g, 3, 4), None);
+    }
+
+    #[test]
+    fn percolation_does_not_leak_through_single_shared_node() {
+        // Two triangles sharing only node 2: share 1 < k-1 = 2 nodes.
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let c = clique_percolation_community(&g, 3, 0).unwrap();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Local clustering coefficients and transitivity.
+//!
+//! §6.3 of the paper explains NCA's dataset-dependent accuracy through the
+//! *difference of the average local clustering coefficients* of the two
+//! ground-truth communities ("around 10% in Karate and Mexican, 20–50% in
+//! Dolphin and Polblogs"). This module provides exactly that diagnostic,
+//! and the experiment harness reports it for the Fig 15 datasets.
+
+use crate::{Graph, NodeId};
+
+/// Local clustering coefficient of `v`: the fraction of its neighbour
+/// pairs that are themselves adjacent. 0 for degree < 2.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0u64;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d as f64 * (d as f64 - 1.0))
+}
+
+/// Average local clustering coefficient over `nodes` (0 for an empty set).
+pub fn average_clustering(g: &Graph, nodes: &[NodeId]) -> f64 {
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    nodes.iter().map(|&v| local_clustering(g, v)).sum::<f64>() / nodes.len() as f64
+}
+
+/// Global transitivity: `3 × triangles / connected triples`.
+pub fn transitivity(g: &Graph) -> f64 {
+    let triangles = crate::truss::triangle_count(g);
+    let triples: u64 = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if triples == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / triples as f64
+    }
+}
+
+/// The §6.3 diagnostic: the absolute difference of the average local
+/// clustering coefficients of two communities, relative to their mean.
+/// Large values predict trouble for NCA.
+pub fn clustering_imbalance(g: &Graph, a: &[NodeId], b: &[NodeId]) -> f64 {
+    let (ca, cb) = (average_clustering(g, a), average_clustering(g, b));
+    let mean = 0.5 * (ca + cb);
+    if mean == 0.0 {
+        0.0
+    } else {
+        (ca - cb).abs() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn clique_has_coefficient_one() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for v in 0..4 {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_coefficient_zero() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // Node 2 has neighbours {0, 1, 3}: one of three pairs adjacent.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn imbalance_detects_asymmetry() {
+        // Block A: a clique (clustering 1); block B: a star (clustering 0).
+        let g = GraphBuilder::from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (4, 6), (4, 7), (2, 4)],
+        );
+        let a = vec![0, 1, 2];
+        let b = vec![3, 4, 5, 6, 7];
+        assert!(clustering_imbalance(&g, &a, &b) > 1.0);
+        assert!(clustering_imbalance(&g, &a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn average_over_empty_is_zero() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        assert_eq!(average_clustering(&g, &[]), 0.0);
+    }
+}

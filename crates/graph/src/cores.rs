@@ -1,0 +1,225 @@
+//! k-core peeling and core decomposition.
+//!
+//! Substrate for the `kc` (Sozio & Gionis 2010 global search) and
+//! `highcore` baselines, and for the paper's query-sampling protocol
+//! (queries are drawn from the `(k+1)`-truss / high-core region, §6.1).
+//!
+//! The decomposition uses the linear-time bucket peeling of Batagelj &
+//! Zaversnik: nodes sorted by degree into buckets, repeatedly peel the
+//! minimum-degree node, `O(n + m)`.
+
+use crate::{Graph, NodeId, SubgraphView};
+
+/// Coreness of every node: the largest `k` such that the node belongs to
+/// the (maximal) k-core. Isolated nodes get 0.
+pub fn core_decomposition(g: &Graph) -> Vec<u32> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n]; // position of node in `vert`
+    let mut vert = vec![0 as NodeId; n]; // nodes sorted by current degree
+    for v in 0..n {
+        pos[v] = bin[deg[v]];
+        vert[pos[v]] = v as NodeId;
+        bin[deg[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bin.len()).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = deg[v] as u32;
+        for &w in g.neighbors(v as NodeId) {
+            let w = w as usize;
+            if deg[w] > deg[v] {
+                // Move w one bucket down: swap with the first node of its
+                // current bucket.
+                let dw = deg[w];
+                let pw = pos[w];
+                let pfirst = bin[dw];
+                let first = vert[pfirst];
+                if first != w as NodeId {
+                    vert[pw] = first;
+                    pos[first as usize] = pw;
+                    vert[pfirst] = w as NodeId;
+                    pos[w] = pfirst;
+                }
+                bin[dw] += 1;
+                deg[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Nodes of the maximal k-core of `g` (possibly disconnected, possibly
+/// empty), computed by thresholding the core decomposition.
+pub fn k_core_nodes(g: &Graph, k: u32) -> Vec<NodeId> {
+    core_decomposition(g)
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c >= k)
+        .map(|(v, _)| v as NodeId)
+        .collect()
+}
+
+/// The connected k-core community containing all of `query`: restrict to
+/// the maximal k-core, then take the connected component containing the
+/// queries. Returns `None` if some query is outside the k-core or the
+/// queries land in different components.
+pub fn k_core_community(g: &Graph, k: u32, query: &[NodeId]) -> Option<Vec<NodeId>> {
+    let core = core_decomposition(g);
+    if query.iter().any(|&q| core[q as usize] < k) {
+        return None;
+    }
+    let nodes = k_core_nodes(g, k);
+    let mut view = SubgraphView::from_nodes(g, &nodes);
+    let q0 = *query.first()?;
+    view.retain_component(q0);
+    if query.iter().any(|&q| !view.contains(q)) {
+        return None;
+    }
+    Some(view.alive_nodes())
+}
+
+/// The highest-order core community: the connected k-core containing all
+/// query nodes with `k` maximised (the `highcore` baseline). Returns the
+/// community and the achieved `k`.
+pub fn highest_core_community(g: &Graph, query: &[NodeId]) -> Option<(Vec<NodeId>, u32)> {
+    let core = core_decomposition(g);
+    let k_max = query.iter().map(|&q| core[q as usize]).min()?;
+    // Binary search is invalid here: connectivity of the queries within the
+    // k-core is monotone in k (larger k => smaller subgraph), so walk down
+    // from the degree bound. In practice k_max is small (scale-free graphs,
+    // cf. Shin et al. 2018 cited in §1), so the loop is short.
+    for k in (1..=k_max).rev() {
+        if let Some(c) = k_core_community(g, k, query) {
+            return Some((c, k));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Clique of 4 (nodes 0..4) with a pendant path 4-5.
+    fn k4_with_tail() -> Graph {
+        GraphBuilder::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn coreness_of_clique_with_tail() {
+        let g = k4_with_tail();
+        let core = core_decomposition(&g);
+        assert_eq!(core[0], 3);
+        assert_eq!(core[1], 3);
+        assert_eq!(core[2], 3);
+        assert_eq!(core[3], 3);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn coreness_satisfies_peeling_definition() {
+        // Property: in the induced subgraph of {v : core(v) >= k}, every
+        // node has degree >= k.
+        let g = k4_with_tail();
+        let core = core_decomposition(&g);
+        let max_core = *core.iter().max().unwrap();
+        for k in 1..=max_core {
+            let nodes = k_core_nodes(&g, k);
+            let view = SubgraphView::from_nodes(&g, &nodes);
+            for &v in &nodes {
+                assert!(
+                    view.local_degree(v) >= k,
+                    "node {v} has degree {} in the {k}-core",
+                    view.local_degree(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_community_connected() {
+        // Two disjoint triangles.
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let c = k_core_community(&g, 2, &[0]).unwrap();
+        assert_eq!(c, vec![0, 1, 2]);
+        // Queries in different components -> None.
+        assert_eq!(k_core_community(&g, 2, &[0, 3]), None);
+    }
+
+    #[test]
+    fn k_core_community_none_when_query_below_core() {
+        let g = k4_with_tail();
+        assert_eq!(k_core_community(&g, 3, &[5]), None);
+        assert!(k_core_community(&g, 3, &[0]).is_some());
+    }
+
+    #[test]
+    fn highest_core_finds_max_k() {
+        let g = k4_with_tail();
+        let (c, k) = highest_core_community(&g, &[0]).unwrap();
+        assert_eq!(k, 3);
+        assert_eq!(c, vec![0, 1, 2, 3]);
+        let (c5, k5) = highest_core_community(&g, &[5]).unwrap();
+        assert_eq!(k5, 1);
+        assert_eq!(c5.len(), 6); // whole graph is the 1-core
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(core_decomposition(&g).is_empty());
+    }
+
+    #[test]
+    fn whole_graph_is_3core_example_from_intro() {
+        // §1 motivation: "if every node has at least 3 neighbors, searching
+        // a 3-core returns the whole graph". Build a 3-regular graph (cube).
+        let g = GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+            ],
+        );
+        let c = k_core_community(&g, 3, &[0]).unwrap();
+        assert_eq!(c.len(), 8);
+    }
+}

@@ -1,0 +1,214 @@
+//! Whole-graph diameter: double-sweep bounds and the iFUB exact
+//! algorithm.
+//!
+//! [`crate::traversal::diameter_within`] runs a BFS per node — fine for
+//! the paper's small ground-truth communities (Fig 4) but hopeless on the
+//! full graph. The FPA design leans on the small-world premise (§5.5:
+//! "real-world social networks ... lead to communities with small
+//! diameters"), and verifying that premise on a generated benchmark graph
+//! needs the *graph* diameter. The iFUB algorithm (Crescenzi et al. 2013)
+//! computes it exactly with, in practice, a handful of BFS runs on
+//! small-world inputs:
+//!
+//! 1. double sweep — BFS from a seed, then from the farthest node found:
+//!    the second BFS's depth is a lower bound `lb`, its midpoint a good
+//!    root;
+//! 2. from the root `r`, process nodes level by level, farthest first.
+//!    Every node at level `i` has eccentricity ≤ `2i`; so once
+//!    `lb ≥ 2(i−1)` nothing below level `i` can improve it, and `lb` is
+//!    the diameter.
+//!
+//! All functions treat the graph as a whole and return `None` when it is
+//! disconnected (diameter undefined / infinite).
+
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use crate::{Graph, NodeId};
+
+/// Farthest node from `source` and its distance, or `None` if some node
+/// is unreachable (graph disconnected).
+fn farthest(g: &Graph, source: NodeId) -> Option<(NodeId, u32, Vec<u32>)> {
+    let dist = bfs_distances(g, source);
+    let mut best = (source, 0u32);
+    for (v, &d) in dist.iter().enumerate() {
+        if d == UNREACHABLE {
+            return None;
+        }
+        if d > best.1 {
+            best = (v as NodeId, d);
+        }
+    }
+    Some((best.0, best.1, dist))
+}
+
+/// Double-sweep lower bound on the diameter, plus a root node suited for
+/// [`ifub_diameter`] (the midpoint of the second sweep's longest path,
+/// approximated by the node whose distance is half the depth).
+pub fn double_sweep(g: &Graph, seed: NodeId) -> Option<(u32, NodeId)> {
+    if g.n() == 0 {
+        return None;
+    }
+    if g.n() == 1 {
+        return Some((0, 0));
+    }
+    let (a, _, _) = farthest(g, seed)?;
+    let (b, depth, dist_a) = farthest(g, a)?;
+    // Walk back from b towards a, stopping halfway.
+    let mut mid = b;
+    let mut d = depth;
+    while d > depth / 2 {
+        let next = g
+            .neighbors(mid)
+            .iter()
+            .copied()
+            .find(|&w| dist_a[w as usize] + 1 == d)
+            .expect("BFS parent exists on a shortest path");
+        mid = next;
+        d -= 1;
+    }
+    Some((depth, mid))
+}
+
+/// Exact graph diameter via iFUB. Returns `None` on disconnected or
+/// empty graphs. `O(n·m)` worst case but typically a few dozen BFS runs
+/// on small-world graphs.
+///
+/// ```
+/// use dmcs_graph::diameter::ifub_diameter;
+/// use dmcs_graph::GraphBuilder;
+///
+/// let path = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// assert_eq!(ifub_diameter(&path), Some(4));
+/// let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+/// assert_eq!(ifub_diameter(&split), None);
+/// ```
+pub fn ifub_diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    if g.n() == 1 {
+        return Some(0);
+    }
+    let (mut lb, root) = double_sweep(g, 0)?;
+    let dist_root = bfs_distances(g, root);
+    // Bucket nodes by distance from the root.
+    let max_level = *dist_root.iter().max().expect("non-empty") as usize;
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); max_level + 1];
+    for (v, &d) in dist_root.iter().enumerate() {
+        levels[d as usize].push(v as NodeId);
+    }
+    for i in (1..=max_level).rev() {
+        // Everything at level ≤ i has eccentricity ≤ 2i; if the lower
+        // bound already meets that ceiling, it is the diameter.
+        if lb >= 2 * i as u32 {
+            return Some(lb);
+        }
+        for &v in &levels[i] {
+            let (_, ecc, _) = farthest(g, v)?;
+            lb = lb.max(ecc);
+        }
+    }
+    Some(lb)
+}
+
+/// Brute-force exact diameter (a BFS per node) — the test oracle.
+pub fn brute_force_diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut diam = 0u32;
+    for v in 0..g.n() as NodeId {
+        let (_, ecc, _) = farthest(g, v)?;
+        diam = diam.max(ecc);
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_graph_diameter() {
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::from_edges(10, &edges);
+        assert_eq!(ifub_diameter(&g), Some(9));
+        assert_eq!(brute_force_diameter(&g), Some(9));
+        let (lb, _) = double_sweep(&g, 5).unwrap();
+        assert_eq!(lb, 9, "double sweep is exact on trees");
+    }
+
+    #[test]
+    fn cycle_graph_diameter() {
+        let n = 12u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = GraphBuilder::from_edges(n as usize, &edges);
+        assert_eq!(ifub_diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn complete_graph_diameter_is_one() {
+        let mut b = GraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        assert_eq!(ifub_diameter(&b.build()), Some(1));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(ifub_diameter(&g), None);
+        assert_eq!(brute_force_diameter(&g), None);
+        assert_eq!(double_sweep(&g, 0), None);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(ifub_diameter(&GraphBuilder::new(0).build()), None);
+        assert_eq!(ifub_diameter(&GraphBuilder::new(1).build()), Some(0));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        for seed in 0..30u64 {
+            let g = dmcs_gen_free_er(24, 0.12, seed);
+            assert_eq!(
+                ifub_diameter(&g),
+                brute_force_diameter(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_cycle_diameter_is_two() {
+        let g = crate::GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(ifub_diameter(&g), Some(2));
+        assert_eq!(double_sweep(&g, 0).unwrap().0, 2);
+    }
+
+    /// Local ER generator (dmcs-gen depends on dmcs-graph, so the graph
+    /// crate cannot use it; this keeps the oracle test self-contained).
+    fn dmcs_gen_free_er(n: usize, p: f64, seed: u64) -> Graph {
+        // xorshift: deterministic, no rand dependency in this crate.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if (next() as f64 / u64::MAX as f64) < p {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+}

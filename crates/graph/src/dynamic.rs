@@ -1,0 +1,258 @@
+//! A mutable adjacency-list graph for streaming updates.
+//!
+//! The CSR [`Graph`] is deliberately immutable — peeling works on
+//! [`crate::SubgraphView`]s, never by rebuilding. Streaming scenarios
+//! (the co-authorship network gains papers, the social network gains
+//! follows) need a mutable representation: [`DynamicGraph`] keeps sorted
+//! adjacency vectors, supports edge insertion/removal in `O(deg)`, node
+//! growth in `O(1)`, and snapshots to CSR in `O(|V| + |E|)` for the
+//! search algorithms. A monotonically increasing [`version`] lets caches
+//! (e.g. `dmcs_core::dynamic::IncrementalSearch`) detect staleness
+//! exactly.
+//!
+//! [`version`]: DynamicGraph::version
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A mutable, undirected simple graph (no self-loops, no multi-edges).
+///
+/// ```
+/// use dmcs_graph::dynamic::DynamicGraph;
+///
+/// let mut g = DynamicGraph::new(3);
+/// assert!(g.insert_edge(0, 1));
+/// assert!(!g.insert_edge(0, 1), "duplicates rejected");
+/// let v = g.add_node();
+/// g.insert_edge(1, v);
+/// assert_eq!(g.snapshot().m(), 2);
+/// assert_eq!(g.version(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<NodeId>>,
+    m: usize,
+    version: u64,
+}
+
+impl DynamicGraph {
+    /// Empty graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+            version: 0,
+        }
+    }
+
+    /// Start from a CSR snapshot.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut d = DynamicGraph::new(g.n());
+        for (u, v) in g.edges() {
+            d.insert_edge(u, v);
+        }
+        d.version = 0; // construction does not count as mutation
+        d
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Mutation counter: bumped by every successful `insert_edge`,
+    /// `remove_edge` and `add_node`.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Edge test in `O(log deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj
+            .get(u as usize)
+            .is_some_and(|a| a.binary_search(&v).is_ok())
+    }
+
+    /// Append a fresh isolated node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.version += 1;
+        (self.adj.len() - 1) as NodeId
+    }
+
+    /// Insert the undirected edge `{u, v}`. Returns `false` (and changes
+    /// nothing) for self-loops, out-of-range endpoints, or existing edges.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u as usize >= self.n() || v as usize >= self.n() {
+            return false;
+        }
+        let pos = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.adj[u as usize].insert(pos, v);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("symmetric edge cannot exist one-sided");
+        self.adj[v as usize].insert(pos, u);
+        self.m += 1;
+        self.version += 1;
+        true
+    }
+
+    /// Remove the undirected edge `{u, v}`. Returns `false` when absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u as usize >= self.n() || v as usize >= self.n() {
+            return false;
+        }
+        let Ok(pos) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(pos);
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("symmetric edge");
+        self.adj[v as usize].remove(pos);
+        self.m -= 1;
+        self.version += 1;
+        true
+    }
+
+    /// Snapshot to the immutable CSR representation the search algorithms
+    /// take.
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n());
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as NodeId) < v {
+                    b.add_edge(u as NodeId, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Nodes within `radius` hops of any node in `seeds` (BFS ball) —
+    /// the locality set used by localized re-search after an update.
+    pub fn ball(&self, seeds: &[NodeId], radius: u32) -> Vec<NodeId> {
+        let mut dist = vec![u32::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in seeds {
+            if (s as usize) < self.n() && dist[s as usize] == u32::MAX {
+                dist[s as usize] = 0;
+                queue.push_back(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            if dist[v as usize] == radius {
+                continue;
+            }
+            for &w in &self.adj[v as usize] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(0, 1), "duplicate rejected");
+        assert!(!g.insert_edge(2, 2), "self-loop rejected");
+        assert!(!g.insert_edge(0, 9), "out of range rejected");
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(1, 0), "undirected");
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "already gone");
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn version_counts_mutations_only() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(g.version(), 0);
+        g.insert_edge(0, 1);
+        g.insert_edge(0, 1); // no-op
+        g.remove_edge(1, 2); // no-op
+        assert_eq!(g.version(), 1);
+        g.add_node();
+        assert_eq!(g.version(), 2);
+    }
+
+    #[test]
+    fn snapshot_matches_builder() {
+        let mut d = DynamicGraph::new(5);
+        for &(u, v) in &[(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)] {
+            d.insert_edge(u, v);
+        }
+        let s = d.snapshot();
+        let b = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(s.n(), b.n());
+        assert_eq!(s.m(), b.m());
+        for v in 0..5u32 {
+            assert_eq!(s.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn from_graph_then_snapshot_is_identity() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let d = DynamicGraph::from_graph(&g);
+        assert_eq!(d.version(), 0);
+        let s = d.snapshot();
+        for v in 0..4u32 {
+            assert_eq!(s.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ball_is_the_bfs_ball() {
+        // Path 0-1-2-3-4-5.
+        let mut d = DynamicGraph::new(6);
+        for i in 0..5u32 {
+            d.insert_edge(i, i + 1);
+        }
+        assert_eq!(d.ball(&[0], 0), vec![0]);
+        assert_eq!(d.ball(&[0], 2), vec![0, 1, 2]);
+        assert_eq!(d.ball(&[2], 1), vec![1, 2, 3]);
+        assert_eq!(d.ball(&[0, 5], 1), vec![0, 1, 4, 5]);
+        assert_eq!(d.ball(&[], 3), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn node_growth() {
+        let mut d = DynamicGraph::new(1);
+        let v = d.add_node();
+        assert_eq!(v, 1);
+        assert!(d.insert_edge(0, v));
+        assert_eq!(d.snapshot().m(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Edge-list I/O in the SNAP-compatible format the paper's datasets ship
+//! in: one `u v` pair per line, `#`-prefixed comments, whitespace
+//! separated. Community files are one community per line (node ids
+//! whitespace separated) — the format of SNAP's `-cmty.txt` ground-truth
+//! files. This is what lets a downstream user run the reproduction on the
+//! real DBLP/Youtube/LiveJournal snapshots.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parse an edge list from a reader. Node ids may be arbitrary `u64`s;
+/// they are densely re-labelled in first-appearance order. Returns the
+/// graph and the mapping `dense id -> original id`.
+pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<(Graph, Vec<u64>)> {
+    let mut b = GraphBuilder::new(0);
+    let mut ids: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut original: Vec<u64> = Vec::new();
+    let mut dense = |raw: u64, original: &mut Vec<u64>| -> NodeId {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = original.len() as NodeId;
+            original.push(raw);
+            id
+        })
+    };
+    let mut line = String::new();
+    let mut r = BufReader::new(reader);
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(bb)) = (it.next(), it.next()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed edge line: {trimmed:?}"),
+            ));
+        };
+        let parse = |s: &str| -> std::io::Result<u64> {
+            s.parse()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e}")))
+        };
+        let (u, v) = (parse(a)?, parse(bb)?);
+        let du = dense(u, &mut original);
+        let dv = dense(v, &mut original);
+        b.add_edge(du, dv);
+    }
+    Ok((b.build(), original))
+}
+
+/// Load an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> std::io::Result<(Graph, Vec<u64>)> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as an edge list (`u v` per line, dense ids).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} nodes, {} edges", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Save a graph to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Parse a weighted edge list (`u v w` per line; a missing third column
+/// defaults to weight 1.0, so unweighted SNAP files load too). Returns
+/// the weighted graph and the dense-id -> original-id mapping.
+pub fn read_weighted_edge_list<R: Read>(
+    reader: R,
+) -> std::io::Result<(crate::weighted::WeightedGraph, Vec<u64>)> {
+    let mut edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut ids: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut original: Vec<u64> = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed weighted edge line: {trimmed:?}"),
+            ));
+        };
+        let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let u: u64 = a.parse().map_err(|e| bad(format!("{e}")))?;
+        let v: u64 = b.parse().map_err(|e| bad(format!("{e}")))?;
+        let w: f64 = match it.next() {
+            Some(tok) => {
+                let w: f64 = tok.parse().map_err(|e| bad(format!("{e}")))?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err(bad(format!("non-finite or negative weight {w}")));
+                }
+                w
+            }
+            None => 1.0,
+        };
+        edges.push((u, v, w));
+        for raw in [u, v] {
+            ids.entry(raw).or_insert_with(|| {
+                let id = original.len() as NodeId;
+                original.push(raw);
+                id
+            });
+        }
+    }
+    let mut b = crate::weighted::WeightedGraphBuilder::new(original.len());
+    for (u, v, w) in edges {
+        b.add_edge(ids[&u], ids[&v], w);
+    }
+    Ok((b.build(), original))
+}
+
+/// Write a weighted graph as `u v w` lines (dense ids).
+pub fn write_weighted_edge_list<W: Write>(
+    g: &crate::weighted::WeightedGraph,
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} nodes, {} edges, weighted", g.n(), g.m())?;
+    for u in 0..g.n() as NodeId {
+        for (v, wt) in g.weighted_neighbors(u) {
+            if u < v {
+                writeln!(w, "{u} {v} {wt}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Parse SNAP-style community files: one community per line, original node
+/// ids, mapped through `original -> dense` (the inverse of the mapping
+/// [`read_edge_list`] returns). Unknown node ids are skipped.
+pub fn read_communities<R: Read>(
+    reader: R,
+    original_ids: &[u64],
+) -> std::io::Result<Vec<Vec<NodeId>>> {
+    let lookup: std::collections::HashMap<u64, NodeId> = original_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &raw)| (raw, i as NodeId))
+        .collect();
+    let mut out = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut comm: Vec<NodeId> = trimmed
+            .split_whitespace()
+            .filter_map(|tok| tok.parse::<u64>().ok())
+            .filter_map(|raw| lookup.get(&raw).copied())
+            .collect();
+        if comm.is_empty() {
+            continue;
+        }
+        comm.sort_unstable();
+        comm.dedup();
+        out.push(comm);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, original) = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(original.len(), 4);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# snap header\n\n% other comment\n10 20\n20 30\n";
+        let (g, original) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(original, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sparse_original_ids_are_densified() {
+        let text = "1000000 5\n5 99\n";
+        let (g, original) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(0, 1)); // 1000000 <-> 5
+        assert_eq!(original[0], 1_000_000);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(read_edge_list("1\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn communities_map_to_dense_ids() {
+        let edges = "10 20\n20 30\n30 40\n";
+        let (_, original) = read_edge_list(edges.as_bytes()).unwrap();
+        let cmty = "10 20 30\n40 99999\n# comment\n\n";
+        let comms = read_communities(cmty.as_bytes(), &original).unwrap();
+        assert_eq!(comms, vec![vec![0, 1, 2], vec![3]]); // 99999 unknown, dropped
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let text = "1 2\n2 1\n1 2\n";
+        let (g, _) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let mut b = crate::weighted::WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 2.5);
+        b.add_edge(1, 2, 0.5);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&g, &mut buf).unwrap();
+        let (g2, original) = read_weighted_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.n(), 3);
+        assert_eq!(g2.m(), 2);
+        assert!((g2.total_weight() - 3.0).abs() < 1e-12);
+        // Weight survives the trip (ids may be relabelled).
+        let a = original.iter().position(|&x| x == 0).unwrap() as NodeId;
+        let bb = original.iter().position(|&x| x == 1).unwrap() as NodeId;
+        assert_eq!(g2.edge_weight(a, bb), Some(2.5));
+    }
+
+    #[test]
+    fn weighted_default_weight_is_one() {
+        let (g, _) = read_weighted_edge_list("5 6\n6 7 3.0\n".as_bytes()).unwrap();
+        assert!((g.total_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rejects_bad_weights() {
+        assert!(read_weighted_edge_list("0 1 -2\n".as_bytes()).is_err());
+        assert!(read_weighted_edge_list("0 1 inf\n".as_bytes()).is_err());
+        assert!(read_weighted_edge_list("0 1 abc\n".as_bytes()).is_err());
+        assert!(read_weighted_edge_list("0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weighted_skips_comments() {
+        let (g, original) =
+            read_weighted_edge_list("# header\n% alt\n\n10 20 2.0\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(original, vec![10, 20]);
+    }
+}

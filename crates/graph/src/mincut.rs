@@ -1,0 +1,313 @@
+//! Global minimum cut (Stoer–Wagner 1997) and k-edge-connected component
+//! extraction — the substrate of the `kecc` baseline (Chang et al. 2015).
+//!
+//! The decomposition is cut-based: peel nodes of degree < k (a necessary
+//! condition), compute the global min cut of the remaining component; if it
+//! is ≥ k the component is a k-edge-connected component, otherwise split
+//! along the found cut and recurse on the side holding the query. Each
+//! Stoer–Wagner *phase* yields a valid cut, so the recursion terminates
+//! after at most `n` splits.
+//!
+//! Complexity is `O(V·E + V² log V)` per min-cut in the worst case — fine
+//! for the graph sizes the paper evaluates `kecc` on; the bench harness
+//! caps input size for the scalability sweep (documented in DESIGN.md).
+
+use crate::{Graph, NodeId, SubgraphView};
+use std::collections::HashMap;
+
+/// A weighted contractible multigraph on local indices, used internally by
+/// Stoer–Wagner.
+struct ContractGraph {
+    /// adj[i]: neighbor -> accumulated weight. Entry removed on contraction.
+    adj: Vec<HashMap<u32, u64>>,
+    /// merged[i]: original local indices merged into supernode i.
+    merged: Vec<Vec<u32>>,
+    alive: Vec<bool>,
+    n_alive: usize,
+}
+
+impl ContractGraph {
+    fn new(n: usize) -> Self {
+        ContractGraph {
+            adj: vec![HashMap::new(); n],
+            merged: (0..n as u32).map(|i| vec![i]).collect(),
+            alive: vec![true; n],
+            n_alive: n,
+        }
+    }
+
+    fn add_edge(&mut self, u: u32, v: u32, w: u64) {
+        *self.adj[u as usize].entry(v).or_insert(0) += w;
+        *self.adj[v as usize].entry(u).or_insert(0) += w;
+    }
+
+    /// Contract t into s.
+    fn contract(&mut self, s: u32, t: u32) {
+        let t_adj: Vec<(u32, u64)> = self.adj[t as usize].drain().collect();
+        for (x, w) in t_adj {
+            self.adj[x as usize].remove(&t);
+            if x != s {
+                *self.adj[s as usize].entry(x).or_insert(0) += w;
+                *self.adj[x as usize].entry(s).or_insert(0) += w;
+            }
+        }
+        let moved = std::mem::take(&mut self.merged[t as usize]);
+        self.merged[s as usize].extend(moved);
+        self.alive[t as usize] = false;
+        self.n_alive -= 1;
+    }
+}
+
+/// Result of a global min-cut computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// Total weight of the cut (number of crossing edges for unweighted
+    /// graphs).
+    pub weight: u64,
+    /// Nodes on one side of the cut (global ids).
+    pub side: Vec<NodeId>,
+}
+
+/// Global minimum cut of the induced subgraph on `nodes` (must have ≥ 2
+/// nodes and be connected; a disconnected input returns a zero-weight cut).
+///
+/// If `stop_below` is `Some(k)`, the search returns early as soon as any
+/// phase discovers a cut of weight `< k` — that cut is returned. This is
+/// the early-split optimisation the kecc decomposition relies on: we do not
+/// need the true minimum, only *some* cut below the threshold.
+pub fn min_cut(g: &Graph, nodes: &[NodeId], stop_below: Option<u64>) -> Option<MinCut> {
+    let n = nodes.len();
+    if n < 2 {
+        return None;
+    }
+    let mut local = HashMap::with_capacity(n);
+    for (i, &v) in nodes.iter().enumerate() {
+        local.insert(v, i as u32);
+    }
+    let mut cg = ContractGraph::new(n);
+    for (i, &v) in nodes.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            if let Some(&j) = local.get(&w) {
+                if (i as u32) < j {
+                    cg.add_edge(i as u32, j, 1);
+                }
+            }
+        }
+    }
+
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    while cg.n_alive > 1 {
+        // Maximum adjacency search phase.
+        let start = (0..n as u32).find(|&i| cg.alive[i as usize]).unwrap();
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0u64; n];
+        let mut heap: std::collections::BinaryHeap<(u64, u32)> = std::collections::BinaryHeap::new();
+        in_a[start as usize] = true;
+        for (&x, &w) in &cg.adj[start as usize] {
+            weight_to_a[x as usize] = w;
+            heap.push((w, x));
+        }
+        let mut added = 1usize;
+        let mut last = start;
+        let mut second_last = start;
+        let mut last_weight = 0u64;
+        while added < cg.n_alive {
+            let Some((w, x)) = heap.pop() else {
+                // Disconnected contract graph: zero cut.
+                let side: Vec<NodeId> = (0..n)
+                    .filter(|&i| cg.alive[i] && !in_a[i])
+                    .flat_map(|i| cg.merged[i].iter().map(|&li| nodes[li as usize]))
+                    .collect();
+                return Some(MinCut { weight: 0, side });
+            };
+            if in_a[x as usize] || w < weight_to_a[x as usize] {
+                continue; // stale
+            }
+            in_a[x as usize] = true;
+            added += 1;
+            second_last = last;
+            last = x;
+            last_weight = w;
+            for (&y, &wy) in &cg.adj[x as usize] {
+                if !in_a[y as usize] {
+                    weight_to_a[y as usize] += wy;
+                    heap.push((weight_to_a[y as usize], y));
+                }
+            }
+        }
+        // Cut of the phase: supernode `last` alone vs the rest.
+        let phase_side: Vec<u32> = cg.merged[last as usize].clone();
+        let improved = best.as_ref().is_none_or(|(bw, _)| last_weight < *bw);
+        if improved {
+            best = Some((last_weight, phase_side));
+        }
+        if let Some(k) = stop_below {
+            if last_weight < k {
+                break;
+            }
+        }
+        cg.contract(second_last, last);
+    }
+    best.map(|(weight, side_local)| MinCut {
+        weight,
+        side: side_local
+            .into_iter()
+            .map(|li| nodes[li as usize])
+            .collect(),
+    })
+}
+
+/// The k-edge-connected community containing all of `query`: the maximal
+/// subgraph in which every pair of nodes is joined by ≥ k edge-disjoint
+/// paths, restricted to the component containing the queries.
+///
+/// Returns `None` when the queries end up in different pieces or the
+/// surviving piece is empty.
+pub fn k_edge_connected_community(g: &Graph, k: u64, query: &[NodeId]) -> Option<Vec<NodeId>> {
+    let q0 = *query.first()?;
+    if query.iter().any(|&q| q as usize >= g.n()) {
+        return None;
+    }
+    // Work set: start from the whole graph.
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    loop {
+        // (1) peel degree < k and keep only the component of q0.
+        let mut view = SubgraphView::from_nodes(g, &nodes);
+        loop {
+            let to_remove: Vec<NodeId> = view
+                .iter_alive()
+                .filter(|&v| (view.local_degree(v) as u64) < k)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for v in to_remove {
+                view.remove(v);
+            }
+        }
+        if !view.contains(q0) {
+            return None;
+        }
+        view.retain_component(q0);
+        if query.iter().any(|&q| !view.contains(q)) {
+            return None;
+        }
+        nodes = view.alive_nodes();
+        if nodes.len() <= 1 {
+            // A single node is trivially k-edge-connected only for k = 0;
+            // treat singleton as failure (no community).
+            return None;
+        }
+        // (2) min cut; if >= k we are done, else split.
+        let cut = min_cut(g, &nodes, Some(k))?;
+        if cut.weight >= k {
+            nodes.sort_unstable();
+            return Some(nodes);
+        }
+        let side: std::collections::HashSet<NodeId> = cut.side.iter().copied().collect();
+        let q_in_side = side.contains(&q0);
+        if query.iter().any(|&q| side.contains(&q) != q_in_side) {
+            return None; // queries separated by a < k cut
+        }
+        nodes.retain(|v| side.contains(v) == q_in_side);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two K4s joined by a single bridge 3-4.
+    fn two_k4_bridge() -> Graph {
+        GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (3, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn min_cut_finds_bridge() {
+        let g = two_k4_bridge();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let cut = min_cut(&g, &nodes, None).unwrap();
+        assert_eq!(cut.weight, 1);
+        let mut side = cut.side.clone();
+        side.sort_unstable();
+        assert!(side == vec![0, 1, 2, 3] || side == vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn min_cut_of_cycle_is_two() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let cut = min_cut(&g, &nodes, None).unwrap();
+        assert_eq!(cut.weight, 2);
+    }
+
+    #[test]
+    fn min_cut_of_clique() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let cut = min_cut(&g, &nodes, None).unwrap();
+        assert_eq!(cut.weight, 3); // isolate any single node
+        assert_eq!(cut.side.len(), 1);
+    }
+
+    #[test]
+    fn kecc_splits_on_bridge() {
+        let g = two_k4_bridge();
+        let c = k_edge_connected_community(&g, 2, &[0]).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+        let c = k_edge_connected_community(&g, 2, &[5]).unwrap();
+        assert_eq!(c, vec![4, 5, 6, 7]);
+        // k = 1: whole connected graph qualifies.
+        let c = k_edge_connected_community(&g, 1, &[0]).unwrap();
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn kecc_fails_when_queries_split() {
+        let g = two_k4_bridge();
+        assert_eq!(k_edge_connected_community(&g, 2, &[0, 7]), None);
+        // but k = 1 keeps them together
+        assert!(k_edge_connected_community(&g, 1, &[0, 7]).is_some());
+    }
+
+    #[test]
+    fn kecc_respects_k3() {
+        let g = two_k4_bridge();
+        let c = k_edge_connected_community(&g, 3, &[1]).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]); // K4 is 3-edge-connected
+        assert_eq!(k_edge_connected_community(&g, 4, &[1]), None); // K4 is not 4-ec
+    }
+
+    #[test]
+    fn disconnected_input_zero_cut() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let cut = min_cut(&g, &[0, 1, 2, 3], None).unwrap();
+        assert_eq!(cut.weight, 0);
+    }
+
+    #[test]
+    fn early_stop_returns_small_cut() {
+        let g = two_k4_bridge();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let cut = min_cut(&g, &nodes, Some(2)).unwrap();
+        assert!(cut.weight < 2);
+    }
+}

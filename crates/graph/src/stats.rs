@@ -1,0 +1,191 @@
+//! Whole-graph summary statistics — the numbers a Table-1-style dataset
+//! description reports (size, density, degree distribution, clustering,
+//! assortativity, component structure).
+
+use crate::clustering::{average_clustering, transitivity};
+use crate::traversal::connected_components;
+use crate::{Graph, NodeId};
+
+/// Summary statistics of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree `2m/n`.
+    pub mean_degree: f64,
+    /// Edge density `m / (n(n−1)/2)`.
+    pub density: f64,
+    /// Global clustering coefficient (transitivity).
+    pub transitivity: f64,
+    /// Mean local clustering coefficient.
+    pub average_clustering: f64,
+    /// Degree assortativity (Pearson correlation of endpoint degrees);
+    /// 0 for degenerate graphs (no edges or constant degree).
+    pub assortativity: f64,
+    /// Number of connected components.
+    pub components: usize,
+    /// Node count of the largest component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Compute every statistic. `O(n·d_max²)` from the clustering terms.
+    ///
+    /// ```
+    /// use dmcs_graph::stats::GraphStats;
+    /// use dmcs_graph::GraphBuilder;
+    ///
+    /// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+    /// let s = GraphStats::compute(&g);
+    /// assert_eq!((s.n, s.m, s.components), (4, 4, 1));
+    /// assert_eq!(s.max_degree, 3);
+    /// assert!(s.transitivity > 0.0, "one triangle present");
+    /// ```
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let degrees: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+        let (labels, components) = connected_components(g);
+        let mut comp_sizes = vec![0usize; components];
+        for &l in &labels {
+            comp_sizes[l as usize] += 1;
+        }
+        GraphStats {
+            n,
+            m,
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            density: if n < 2 {
+                0.0
+            } else {
+                m as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+            },
+            transitivity: transitivity(g),
+            average_clustering: {
+                let all: Vec<NodeId> = g.nodes().collect();
+                average_clustering(g, &all)
+            },
+            assortativity: degree_assortativity(g),
+            components,
+            largest_component: comp_sizes.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Degree assortativity: the Pearson correlation of the degrees at the two
+/// ends of an edge, over all edges counted in both directions (Newman
+/// 2002). Returns 0 when undefined (no edges, or all degrees equal).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    if g.m() == 0 {
+        return 0.0;
+    }
+    // Sums over directed edge endpoints (each undirected edge twice).
+    let (mut sx, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+    let mut cnt = 0.0f64;
+    for u in 0..g.n() as NodeId {
+        let du = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            let dv = g.degree(v) as f64;
+            sx += du;
+            sxx += du * du;
+            sxy += du * dv;
+            cnt += 1.0;
+        }
+    }
+    // Symmetric, so mean/variance of both endpoint sequences coincide.
+    let mean = sx / cnt;
+    let var = sxx / cnt - mean * mean;
+    if var <= 1e-15 {
+        return 0.0;
+    }
+    let cov = sxy / cnt - mean * mean;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_graph_stats() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!((s.n, s.m), (4, 3));
+        assert_eq!((s.min_degree, s.max_degree), (1, 2));
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert_eq!(s.transitivity, 0.0, "paths have no triangles");
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 4);
+    }
+
+    #[test]
+    fn complete_graph_is_maximally_clustered() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let s = GraphStats::compute(&b.build());
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert!((s.transitivity - 1.0).abs() < 1e-12);
+        assert!((s.average_clustering - 1.0).abs() < 1e-12);
+        // Regular graph: assortativity undefined -> 0 by convention.
+        assert_eq!(s.assortativity, 0.0);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.components, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(s.largest_component, 3);
+        assert_eq!(s.min_degree, 0);
+    }
+
+    #[test]
+    fn star_graph_is_disassortative() {
+        let edges: Vec<(u32, u32)> = (1..8).map(|i| (0, i)).collect();
+        let g = GraphBuilder::from_edges(8, &edges);
+        let r = degree_assortativity(&g);
+        assert!(r < -0.9, "stars are maximally disassortative, got {r}");
+    }
+
+    #[test]
+    fn empty_graph_degenerate_zeros() {
+        let s = GraphStats::compute(&GraphBuilder::new(0).build());
+        assert_eq!((s.n, s.m, s.components), (0, 0, 0));
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.assortativity, 0.0);
+    }
+
+    #[test]
+    fn assortativity_bounds() {
+        // Any graph: r in [-1, 1].
+        for seed in 0..5u64 {
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+            let mut b = GraphBuilder::new(12);
+            for u in 0..12u32 {
+                for v in (u + 1)..12 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 4 == 0 {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let r = degree_assortativity(&b.build());
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "seed {seed}: {r}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Shortest-path-union Steiner approximation (§5.6).
+//!
+//! With multiple query nodes, FPA cannot guarantee that removing a farthest
+//! node keeps the queries connected. The paper's remedy: compute a small
+//! connected subgraph containing all queries (a Steiner-tree approximation)
+//! and protect those nodes during peeling. The procedure is exactly the
+//! paper's five steps: pick a query node, run single-source shortest paths,
+//! keep the paths ending at the other queries, and return the union.
+
+use crate::dijkstra::{dijkstra_with_parents, path_from_parents, UnitWeights};
+use crate::{Graph, GraphError, NodeId};
+
+/// Steiner seed: a connected node set containing every query node, built by
+/// the shortest-path-union heuristic of §5.6. The first query acts as the
+/// root (the paper picks it "randomly"; we take the first for determinism —
+/// callers can shuffle `query` if they want the randomized variant).
+///
+/// `O(|E| + |V| log |V|)`, matching the paper's stated bound.
+pub fn steiner_seed(g: &Graph, query: &[NodeId]) -> Result<Vec<NodeId>, GraphError> {
+    for &q in query {
+        if q as usize >= g.n() {
+            return Err(GraphError::NodeOutOfRange(q));
+        }
+    }
+    let Some(&root) = query.first() else {
+        return Ok(Vec::new());
+    };
+    if query.len() == 1 {
+        return Ok(vec![root]);
+    }
+    let (_, parent) = dijkstra_with_parents(g, root, &UnitWeights);
+    let mut seed: Vec<NodeId> = Vec::new();
+    for &q in query {
+        let Some(path) = path_from_parents(&parent, q) else {
+            return Err(GraphError::QueryDisconnected);
+        };
+        seed.extend(path);
+    }
+    seed.sort_unstable();
+    seed.dedup();
+    Ok(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, SubgraphView};
+
+    #[test]
+    fn single_query_is_itself() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(steiner_seed(&g, &[2]).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn seed_connects_queries_on_path() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let seed = steiner_seed(&g, &[0, 4]).unwrap();
+        assert_eq!(seed, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seed_is_connected_and_contains_queries() {
+        // Grid-ish graph with three spread-out queries.
+        let g = GraphBuilder::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
+            ],
+        );
+        let query = [0, 8, 2];
+        let seed = steiner_seed(&g, &query).unwrap();
+        for q in query {
+            assert!(seed.contains(&q));
+        }
+        let view = SubgraphView::from_nodes(&g, &seed);
+        assert!(view.is_connected());
+    }
+
+    #[test]
+    fn disconnected_queries_error() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            steiner_seed(&g, &[0, 3]),
+            Err(GraphError::QueryDisconnected)
+        );
+    }
+
+    #[test]
+    fn out_of_range_error() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        assert_eq!(
+            steiner_seed(&g, &[0, 9]),
+            Err(GraphError::NodeOutOfRange(9))
+        );
+    }
+
+    #[test]
+    fn empty_query_is_empty_seed() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        assert_eq!(steiner_seed(&g, &[]).unwrap(), Vec::<NodeId>::new());
+    }
+}

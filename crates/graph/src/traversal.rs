@@ -1,0 +1,249 @@
+//! Breadth-first traversals: distances, multi-source BFS (FPA's distance
+//! layers, §5.2.2), connected components, eccentricity and diameter
+//! (community-diameter study, Fig 4).
+
+use crate::{Graph, NodeId, SubgraphView};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances over the full graph.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    multi_source_bfs(g, std::slice::from_ref(&source))
+}
+
+/// Multi-source BFS over the full graph: `dist(v) = min_{q in sources}
+/// dist(q, v)` — exactly the §5.6 distance used by FPA for multiple query
+/// nodes. Unreachable nodes get [`UNREACHABLE`].
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS restricted to the alive nodes of a view. Dead nodes get
+/// [`UNREACHABLE`]; sources that are not alive are ignored.
+pub fn multi_source_bfs_view(view: &SubgraphView<'_>, sources: &[NodeId]) -> Vec<u32> {
+    let g = view.graph();
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        if view.contains(s) && dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for w in view.alive_neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labelling. Returns `(labels, component_count)`;
+/// labels are dense in `0..count`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for v in 0..n as NodeId {
+        if label[v as usize] != u32::MAX {
+            continue;
+        }
+        label[v as usize] = count;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            for &w in g.neighbors(u) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Nodes of the connected component containing `seed`.
+pub fn component_of(g: &Graph, seed: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![seed];
+    seen[seed as usize] = true;
+    let mut comp = vec![seed];
+    while let Some(u) = stack.pop() {
+        for &w in g.neighbors(u) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                comp.push(w);
+                stack.push(w);
+            }
+        }
+    }
+    comp.sort_unstable();
+    comp
+}
+
+/// True if all of `nodes` lie in one connected component of `g`.
+pub fn same_component(g: &Graph, nodes: &[NodeId]) -> bool {
+    match nodes {
+        [] => true,
+        [first, rest @ ..] => {
+            let dist = bfs_distances(g, *first);
+            rest.iter().all(|&v| dist[v as usize] != UNREACHABLE)
+        }
+    }
+}
+
+/// Eccentricity of `source` within the induced subgraph on `nodes`
+/// (maximum finite BFS distance). Returns `None` when the induced subgraph
+/// is disconnected from `source`'s side — callers treat that as "no valid
+/// diameter".
+pub fn eccentricity_within(g: &Graph, nodes: &[NodeId], source: NodeId) -> Option<u32> {
+    let view = SubgraphView::from_nodes(g, nodes);
+    let dist = multi_source_bfs_view(&view, &[source]);
+    let mut ecc = 0u32;
+    for &v in nodes {
+        let d = dist[v as usize];
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter of the induced subgraph on `nodes` (max eccentricity over
+/// all its nodes). `O(|nodes| * (|nodes| + edges))` — ground-truth
+/// communities in the paper's Fig 4 study are small, so the exact
+/// computation is affordable.
+///
+/// Returns `None` if the induced subgraph is disconnected.
+pub fn diameter_within(g: &Graph, nodes: &[NodeId]) -> Option<u32> {
+    if nodes.is_empty() {
+        return Some(0);
+    }
+    let view = SubgraphView::from_nodes(g, nodes);
+    let mut diam = 0u32;
+    for &s in nodes {
+        let dist = multi_source_bfs_view(&view, &[s]);
+        for &v in nodes {
+            let d = dist[v as usize];
+            if d == UNREACHABLE {
+                return None;
+            }
+            diam = diam.max(d);
+        }
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path5() -> Graph {
+        GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path5();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = path5();
+        assert_eq!(multi_source_bfs(&g, &[0, 4]), vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1}, {2,3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn component_of_collects_sorted() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(component_of(&g, 4), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn same_component_checks() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(same_component(&g, &[0, 1]));
+        assert!(!same_component(&g, &[0, 2]));
+        assert!(same_component(&g, &[]));
+    }
+
+    #[test]
+    fn bfs_respects_view() {
+        let g = path5();
+        let mut view = crate::SubgraphView::full(&g);
+        view.remove(2);
+        let d = multi_source_bfs_view(&view, &[0]);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        let g = path5();
+        assert_eq!(diameter_within(&g, &[0, 1, 2, 3, 4]), Some(4));
+        assert_eq!(diameter_within(&g, &[1, 2, 3]), Some(2));
+        let c = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(diameter_within(&c, &[0, 1, 2, 3]), Some(2));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter_within(&g, &[0, 2]), None);
+    }
+
+    #[test]
+    fn eccentricity_within_subgraph() {
+        let g = path5();
+        assert_eq!(eccentricity_within(&g, &[0, 1, 2], 0), Some(2));
+        assert_eq!(eccentricity_within(&g, &[0, 1, 2], 1), Some(1));
+    }
+}

@@ -1,0 +1,439 @@
+//! Triangle support, truss decomposition and triangle-connected k-truss
+//! communities.
+//!
+//! Substrate for the `kt` (Huang et al. 2014), `hightruss` and `huang2015`
+//! baselines and for the paper's query-selection protocol ("query nodes are
+//! picked from the result of (k+1)-truss", §6.1).
+//!
+//! A *k-truss* is the maximal subgraph in which every edge participates in
+//! at least `k − 2` triangles. The decomposition peels edges in order of
+//! support (Wang & Cheng style bucket peeling); `trussness(e)` is the
+//! largest `k` such that `e` survives in the k-truss.
+
+use crate::{Graph, NodeId};
+
+/// Edge-indexed graph overlay: every undirected edge gets a dense id shared
+/// by both CSR directions, enabling per-edge state (support, trussness).
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    /// `eid[i]` is the edge id of CSR slot `i` (parallel to the graph's
+    /// neighbour array).
+    eid: Vec<u32>,
+    /// `endpoints[e] = (u, v)` with `u < v`.
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeIndex {
+    /// Build the edge index in `O(n + m)`.
+    pub fn new(g: &Graph) -> Self {
+        let mut eid = vec![u32::MAX; 2 * g.m()];
+        let mut endpoints = Vec::with_capacity(g.m());
+        let mut slot = 0usize; // running CSR slot while scanning nodes in order
+        // First pass: assign ids to forward slots (u < v).
+        let mut forward_start = vec![0usize; g.n() + 1];
+        for u in g.nodes() {
+            forward_start[u as usize] = slot;
+            for &v in g.neighbors(u) {
+                if u < v {
+                    eid[slot] = endpoints.len() as u32;
+                    endpoints.push((u, v));
+                }
+                slot += 1;
+            }
+        }
+        forward_start[g.n()] = slot;
+        // Second pass: fill reverse slots by binary searching u in v's list.
+        for (e, &(u, v)) in endpoints.iter().enumerate() {
+            let nbrs = g.neighbors(v);
+            let pos = nbrs.binary_search(&u).expect("edge must exist both ways");
+            eid[forward_start[v as usize] + pos] = e as u32;
+        }
+        debug_assert!(eid.iter().all(|&x| x != u32::MAX));
+        EdgeIndex { eid, endpoints }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Endpoints of edge `e` as `(u, v)` with `u < v`.
+    #[inline]
+    pub fn endpoints(&self, e: u32) -> (NodeId, NodeId) {
+        self.endpoints[e as usize]
+    }
+
+    /// Edge id of the CSR slot `i` (callers iterate a node's neighbour range
+    /// and index this in lock-step). Exposed for the peeling loops.
+    #[inline]
+    pub fn eid_of_slot(&self, i: usize) -> u32 {
+        self.eid[i]
+    }
+
+    /// Find the edge id of `(u, v)`, if the edge exists.
+    pub fn edge_id(&self, g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let off = self.slot_base(g, a);
+        let pos = g.neighbors(a).binary_search(&b).ok()?;
+        Some(self.eid[off + pos])
+    }
+
+    #[inline]
+    fn slot_base(&self, g: &Graph, v: NodeId) -> usize {
+        g.csr_offset(v)
+    }
+}
+
+/// Number of triangles through each edge ("support"), `O(sum_e (deg(u) +
+/// deg(v)))` via sorted-list intersection.
+pub fn edge_support(g: &Graph, idx: &EdgeIndex) -> Vec<u32> {
+    let mut support = vec![0u32; idx.m()];
+    for e in 0..idx.m() as u32 {
+        let (u, v) = idx.endpoints(e);
+        support[e as usize] = count_common(g.neighbors(u), g.neighbors(v));
+    }
+    support
+}
+
+fn count_common(a: &[NodeId], b: &[NodeId]) -> u32 {
+    let (mut i, mut j, mut c) = (0usize, 0usize, 0u32);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Total number of triangles in the graph (each counted once).
+pub fn triangle_count(g: &Graph) -> u64 {
+    let idx = EdgeIndex::new(g);
+    edge_support(g, &idx).iter().map(|&s| s as u64).sum::<u64>() / 3
+}
+
+/// Trussness of every edge: the largest `k` such that the edge is in the
+/// k-truss. Edges in no triangle get trussness 2.
+pub fn truss_decomposition(g: &Graph, idx: &EdgeIndex) -> Vec<u32> {
+    let m = idx.m();
+    let mut sup = edge_support(g, idx);
+    let mut truss = vec![2u32; m];
+    let mut alive = vec![true; m];
+
+    // Bucket queue over support values.
+    let max_sup = sup.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
+    for (e, &s) in sup.iter().enumerate() {
+        buckets[s as usize].push(e as u32);
+    }
+    let mut removed = 0usize;
+    let mut cur = 0usize;
+    while removed < m {
+        // Find next non-empty bucket at or below the current level; support
+        // only decreases, so entries may be stale (lazily validated).
+        while cur <= max_sup && buckets[cur].is_empty() {
+            cur += 1;
+        }
+        if cur > max_sup {
+            break;
+        }
+        let e = buckets[cur].pop().unwrap();
+        if !alive[e as usize] || sup[e as usize] as usize != cur {
+            continue; // stale entry
+        }
+        // Peel e at level cur: trussness = cur + 2.
+        alive[e as usize] = false;
+        truss[e as usize] = cur as u32 + 2;
+        removed += 1;
+        let (u, v) = idx.endpoints(e);
+        // Decrement support of the other two edges of every triangle (u,v,w).
+        let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = nu[i];
+                    let e1 = idx.edge_id(g, u, w).expect("triangle edge");
+                    let e2 = idx.edge_id(g, v, w).expect("triangle edge");
+                    if alive[e1 as usize] && alive[e2 as usize] {
+                        for &ex in &[e1, e2] {
+                            let s = sup[ex as usize];
+                            // Support cannot drop below the current peel
+                            // level (standard truss peeling invariant).
+                            if s as usize > cur {
+                                sup[ex as usize] = s - 1;
+                                buckets[(s - 1) as usize].push(ex);
+                                if ((s - 1) as usize) < cur {
+                                    // cannot happen, guarded above
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        // Support may have been pushed into buckets below `cur`; reset the
+        // scan level accordingly (clamped by the invariant above, but keep
+        // the defensive min for clarity).
+        // cur stays: sup never drops below cur by the guard.
+    }
+    truss
+}
+
+/// Maximum trussness over edges incident to `v` (0 if `v` has no edges) —
+/// the node-level "trussness" used by the query-selection protocol and the
+/// `hightruss` baseline.
+pub fn node_trussness(g: &Graph, idx: &EdgeIndex, truss: &[u32], v: NodeId) -> u32 {
+    let base = slot_base_of(g, v);
+    g.neighbors(v)
+        .iter()
+        .enumerate()
+        .map(|(i, _)| truss[idx.eid_of_slot(base + i) as usize])
+        .max()
+        .unwrap_or(0)
+}
+
+fn slot_base_of(g: &Graph, v: NodeId) -> usize {
+    g.csr_offset(v)
+}
+
+/// Triangle-connected k-truss communities containing the query node `q`
+/// (Huang et al. 2014 model): starting from each k-truss edge incident to
+/// `q`, expand over edges sharing a triangle whose three edges all lie in
+/// the k-truss. Returns the node sets of all such communities (possibly
+/// several, disjoint in edges but possibly overlapping in nodes).
+pub fn k_truss_communities(g: &Graph, k: u32, q: NodeId) -> Vec<Vec<NodeId>> {
+    let idx = EdgeIndex::new(g);
+    let truss = truss_decomposition(g, &idx);
+    let in_truss = |e: u32| truss[e as usize] >= k;
+
+    let mut visited = vec![false; idx.m()];
+    let mut communities = Vec::new();
+    let base = slot_base_of(g, q);
+    for (i, _) in g.neighbors(q).iter().enumerate() {
+        let e0 = idx.eid_of_slot(base + i);
+        if visited[e0 as usize] || !in_truss(e0) {
+            continue;
+        }
+        // BFS over triangle-adjacent truss edges.
+        let mut nodes = std::collections::BTreeSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        visited[e0 as usize] = true;
+        queue.push_back(e0);
+        while let Some(e) = queue.pop_front() {
+            let (u, v) = idx.endpoints(e);
+            nodes.insert(u);
+            nodes.insert(v);
+            let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < nu.len() && b < nv.len() {
+                match nu[a].cmp(&nv[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nu[a];
+                        let e1 = idx.edge_id(g, u, w).unwrap();
+                        let e2 = idx.edge_id(g, v, w).unwrap();
+                        if in_truss(e1) && in_truss(e2) {
+                            for &ex in &[e1, e2] {
+                                if !visited[ex as usize] {
+                                    visited[ex as usize] = true;
+                                    queue.push_back(ex);
+                                }
+                            }
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+        communities.push(nodes.into_iter().collect());
+    }
+    communities
+}
+
+/// The `kt` baseline community: union of all triangle-connected k-truss
+/// communities containing `q`. `None` if `q` touches no k-truss edge.
+pub fn k_truss_community(g: &Graph, k: u32, q: NodeId) -> Option<Vec<NodeId>> {
+    let comms = k_truss_communities(g, k, q);
+    if comms.is_empty() {
+        return None;
+    }
+    let mut nodes: Vec<NodeId> = comms.into_iter().flatten().collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    Some(nodes)
+}
+
+/// The `hightruss` baseline: k-truss community with `k` maximised.
+pub fn highest_truss_community(g: &Graph, q: NodeId) -> Option<(Vec<NodeId>, u32)> {
+    let idx = EdgeIndex::new(g);
+    let truss = truss_decomposition(g, &idx);
+    let k_max = node_trussness(g, &idx, &truss, q);
+    for k in (3..=k_max).rev() {
+        if let Some(c) = k_truss_community(g, k, q) {
+            return Some((c, k));
+        }
+    }
+    // Fall back to the 2-truss (= connected component of q's edges).
+    k_truss_community(g, 2, q).map(|c| (c, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two K4s sharing node 3: {0,1,2,3} and {3,4,5,6}.
+    fn two_k4() -> Graph {
+        GraphBuilder::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (3, 6),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn edge_index_roundtrip() {
+        let g = two_k4();
+        let idx = EdgeIndex::new(&g);
+        assert_eq!(idx.m(), 12);
+        for e in 0..idx.m() as u32 {
+            let (u, v) = idx.endpoints(e);
+            assert_eq!(idx.edge_id(&g, u, v), Some(e));
+            assert_eq!(idx.edge_id(&g, v, u), Some(e));
+        }
+        assert_eq!(idx.edge_id(&g, 0, 6), None);
+    }
+
+    #[test]
+    fn support_of_k4_edges() {
+        let g = two_k4();
+        let idx = EdgeIndex::new(&g);
+        let sup = edge_support(&g, &idx);
+        // Every edge inside a K4 (not touching both cliques) has support 2.
+        let e01 = idx.edge_id(&g, 0, 1).unwrap();
+        assert_eq!(sup[e01 as usize], 2);
+    }
+
+    #[test]
+    fn triangle_count_k4() {
+        let g = two_k4();
+        assert_eq!(triangle_count(&g), 8); // 4 triangles per K4
+    }
+
+    #[test]
+    fn truss_decomposition_k4() {
+        let g = two_k4();
+        let idx = EdgeIndex::new(&g);
+        let truss = truss_decomposition(&g, &idx);
+        for e in 0..idx.m() as u32 {
+            assert_eq!(truss[e as usize], 4, "edge {:?}", idx.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn truss_of_triangle_with_tail() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let idx = EdgeIndex::new(&g);
+        let truss = truss_decomposition(&g, &idx);
+        let e_tail = idx.edge_id(&g, 2, 3).unwrap();
+        let e_tri = idx.edge_id(&g, 0, 1).unwrap();
+        assert_eq!(truss[e_tail as usize], 2);
+        assert_eq!(truss[e_tri as usize], 3);
+    }
+
+    #[test]
+    fn truss_satisfies_support_invariant() {
+        // In the k-truss (edges with trussness >= k), every edge has
+        // support >= k - 2 within that subgraph.
+        let g = two_k4();
+        let idx = EdgeIndex::new(&g);
+        let truss = truss_decomposition(&g, &idx);
+        let kmax = *truss.iter().max().unwrap();
+        for k in 3..=kmax {
+            let keep: Vec<(NodeId, NodeId)> = (0..idx.m() as u32)
+                .filter(|&e| truss[e as usize] >= k)
+                .map(|e| idx.endpoints(e))
+                .collect();
+            if keep.is_empty() {
+                continue;
+            }
+            let sub = GraphBuilder::from_edges(g.n(), &keep);
+            let sub_idx = EdgeIndex::new(&sub);
+            let sup = edge_support(&sub, &sub_idx);
+            for (e, &s) in sup.iter().enumerate() {
+                assert!(
+                    s + 2 >= k,
+                    "edge {:?} support {s} below {k}-truss bound",
+                    sub_idx.endpoints(e as u32)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_connected_communities_are_separate() {
+        // The two K4s share node 3 but no triangle, so 4-truss communities
+        // through node 3 are two separate node sets.
+        let g = two_k4();
+        let comms = k_truss_communities(&g, 4, 3);
+        assert_eq!(comms.len(), 2);
+        let mut sizes: Vec<usize> = comms.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4]);
+        // From node 0 there is a single community.
+        let comms0 = k_truss_communities(&g, 4, 0);
+        assert_eq!(comms0.len(), 1);
+        assert_eq!(comms0[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kt_community_union() {
+        let g = two_k4();
+        let c = k_truss_community(&g, 4, 3).unwrap();
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn highest_truss_finds_k4() {
+        let g = two_k4();
+        let (c, k) = highest_truss_community(&g, 0).unwrap();
+        assert_eq!(k, 4);
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn no_truss_for_isolated_query() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert!(k_truss_community(&g, 3, 4).is_none());
+        assert!(highest_truss_community(&g, 4).is_none());
+    }
+}

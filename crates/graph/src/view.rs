@@ -1,0 +1,290 @@
+//! Mutable *alive-mask* views over an immutable [`Graph`].
+//!
+//! The DMCS peeling framework (Algorithm 1) removes one node per iteration.
+//! Rebuilding a graph per removal would cost `O(n + m)` each time; a
+//! [`SubgraphView`] instead keeps a boolean alive-mask plus per-node *local
+//! degree* `k_{v,S}` (the number of alive neighbours — exactly the `k_{v,S}`
+//! of Definitions 5–7), so removal is `O(deg(v))` and all peeling state the
+//! measures need is maintained incrementally.
+
+use crate::{Graph, NodeId};
+
+/// A node-induced subgraph of a [`Graph`] supporting cheap node removal.
+#[derive(Debug, Clone)]
+pub struct SubgraphView<'g> {
+    graph: &'g Graph,
+    alive: Vec<bool>,
+    /// `k_{v,S}`: number of alive neighbours of `v` (meaningful only while
+    /// `alive[v]`, but kept consistent for dead nodes too).
+    local_deg: Vec<u32>,
+    n_alive: usize,
+    /// Number of edges with both endpoints alive (`l_S`).
+    m_alive: u64,
+}
+
+impl<'g> SubgraphView<'g> {
+    /// View containing every node of `graph`.
+    pub fn full(graph: &'g Graph) -> Self {
+        let n = graph.n();
+        let local_deg = (0..n as NodeId).map(|v| graph.degree(v) as u32).collect();
+        SubgraphView {
+            graph,
+            alive: vec![true; n],
+            local_deg,
+            n_alive: n,
+            m_alive: graph.m() as u64,
+        }
+    }
+
+    /// View containing exactly `nodes`.
+    pub fn from_nodes(graph: &'g Graph, nodes: &[NodeId]) -> Self {
+        let n = graph.n();
+        let mut alive = vec![false; n];
+        for &v in nodes {
+            alive[v as usize] = true;
+        }
+        let mut local_deg = vec![0u32; n];
+        let mut m_alive = 0u64;
+        for &v in nodes {
+            let mut d = 0u32;
+            for &w in graph.neighbors(v) {
+                if alive[w as usize] {
+                    d += 1;
+                    if v < w {
+                        m_alive += 1;
+                    }
+                }
+            }
+            local_deg[v as usize] = d;
+        }
+        SubgraphView {
+            graph,
+            alive,
+            local_deg,
+            n_alive: nodes.len(),
+            m_alive,
+        }
+    }
+
+    /// The underlying immutable graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Is `v` in the view?
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Number of alive nodes (`|S|`).
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Number of alive edges (`l_S`).
+    #[inline]
+    pub fn m_alive(&self) -> u64 {
+        self.m_alive
+    }
+
+    /// `k_{v,S}`: degree of `v` counting only alive neighbours.
+    #[inline]
+    pub fn local_degree(&self, v: NodeId) -> u32 {
+        self.local_deg[v as usize]
+    }
+
+    /// Remove `v` from the view. Returns the number of alive edges that were
+    /// incident to `v` (i.e. `k_{v,S}` at removal time).
+    ///
+    /// Panics in debug builds if `v` is already removed.
+    pub fn remove(&mut self, v: NodeId) -> u32 {
+        debug_assert!(self.alive[v as usize], "removing dead node {v}");
+        self.alive[v as usize] = false;
+        let k = self.local_deg[v as usize];
+        for &w in self.graph.neighbors(v) {
+            if self.alive[w as usize] {
+                self.local_deg[w as usize] -= 1;
+            }
+        }
+        self.n_alive -= 1;
+        self.m_alive -= k as u64;
+        k
+    }
+
+    /// Re-insert a previously removed node (used by algorithms that undo
+    /// speculative removals). `O(deg(v))`.
+    pub fn restore(&mut self, v: NodeId) {
+        debug_assert!(!self.alive[v as usize], "restoring alive node {v}");
+        self.alive[v as usize] = true;
+        let mut k = 0u32;
+        for &w in self.graph.neighbors(v) {
+            if self.alive[w as usize] {
+                self.local_deg[w as usize] += 1;
+                k += 1;
+            }
+        }
+        self.local_deg[v as usize] = k;
+        self.n_alive += 1;
+        self.m_alive += k as u64;
+    }
+
+    /// Iterate alive nodes in ascending id order. `O(n)` per full pass.
+    pub fn iter_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(v, _)| v as NodeId)
+    }
+
+    /// Collect alive nodes into a vector.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.iter_alive().collect()
+    }
+
+    /// Iterate alive neighbours of `v`.
+    #[inline]
+    pub fn alive_neighbors<'a>(&'a self, v: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&w| self.alive[w as usize])
+    }
+
+    /// Restrict the view to the connected component containing `seed`,
+    /// removing all other alive nodes. Returns the component size, or 0 if
+    /// `seed` itself is not alive.
+    pub fn retain_component(&mut self, seed: NodeId) -> usize {
+        if !self.contains(seed) {
+            return 0;
+        }
+        let n = self.graph.n();
+        let mut in_comp = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        in_comp[seed as usize] = true;
+        queue.push_back(seed);
+        let mut size = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for w in self.alive_neighbors(u).collect::<Vec<_>>() {
+                if !in_comp[w as usize] {
+                    in_comp[w as usize] = true;
+                    size += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        let to_remove: Vec<NodeId> = self
+            .iter_alive()
+            .filter(|&v| !in_comp[v as usize])
+            .collect();
+        for v in to_remove {
+            self.remove(v);
+        }
+        size
+    }
+
+    /// True if the alive subgraph is connected (an empty view counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        let Some(seed) = self.iter_alive().next() else {
+            return true;
+        };
+        let mut seen = vec![false; self.graph.n()];
+        let mut stack = vec![seed];
+        seen[seed as usize] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for w in self.alive_neighbors(u) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.n_alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1-2 triangle, 2-3 tail.
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn full_view_matches_graph() {
+        let g = triangle_plus_tail();
+        let v = SubgraphView::full(&g);
+        assert_eq!(v.n_alive(), 4);
+        assert_eq!(v.m_alive(), 4);
+        assert_eq!(v.local_degree(2), 3);
+    }
+
+    #[test]
+    fn remove_updates_local_state() {
+        let g = triangle_plus_tail();
+        let mut v = SubgraphView::full(&g);
+        let k = v.remove(3);
+        assert_eq!(k, 1);
+        assert_eq!(v.n_alive(), 3);
+        assert_eq!(v.m_alive(), 3);
+        assert_eq!(v.local_degree(2), 2);
+        let k = v.remove(0);
+        assert_eq!(k, 2);
+        assert_eq!(v.m_alive(), 1);
+        assert_eq!(v.local_degree(1), 1);
+        assert_eq!(v.local_degree(2), 1);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let g = triangle_plus_tail();
+        let mut v = SubgraphView::full(&g);
+        v.remove(2);
+        v.restore(2);
+        assert_eq!(v.n_alive(), 4);
+        assert_eq!(v.m_alive(), 4);
+        assert_eq!(v.local_degree(2), 3);
+        assert_eq!(v.local_degree(1), 2);
+    }
+
+    #[test]
+    fn from_nodes_counts_internal_edges_only() {
+        let g = triangle_plus_tail();
+        let v = SubgraphView::from_nodes(&g, &[0, 1, 3]);
+        assert_eq!(v.n_alive(), 3);
+        assert_eq!(v.m_alive(), 1); // only (0,1)
+        assert_eq!(v.local_degree(3), 0);
+    }
+
+    #[test]
+    fn retain_component_drops_disconnected() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let mut v = SubgraphView::full(&g);
+        let size = v.retain_component(3);
+        assert_eq!(size, 3);
+        assert!(!v.contains(0));
+        assert!(!v.contains(1));
+        assert!(v.contains(2) && v.contains(3) && v.contains(4));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut v = SubgraphView::full(&g);
+        assert!(v.is_connected());
+        v.remove(1);
+        assert!(!v.is_connected());
+        v.remove(0);
+        assert!(v.is_connected());
+    }
+}

@@ -1,0 +1,274 @@
+//! Weighted undirected graphs — the general setting of Definition 2.
+//!
+//! The paper states density modularity for *weighted* graphs
+//! (`DM(G,C) = (w_C − d_C²/(4 w_G)) / |C|`, where a node weight is the sum
+//! of its adjacent edge weights) and evaluates on unweighted social
+//! networks. This module supplies the weighted substrate so the weighted
+//! form is a first-class citizen: CSR storage with a parallel weight
+//! array, a weighted view with `O(deg)` removal maintaining `w_S`, and the
+//! strength (weighted-degree) accessors the measures need.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// An immutable, undirected, simple graph with positive edge weights.
+///
+/// Internally a [`Graph`] plus a weight per CSR slot (each undirected edge
+/// stores its weight twice, once per direction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    /// Weight of CSR slot `i` (parallel to the neighbour array).
+    slot_weight: Vec<f64>,
+    /// Sum of all edge weights (`w_G`).
+    total_weight: f64,
+    /// Node strengths: sum of adjacent edge weights (`d_v`).
+    strength: Vec<f64>,
+}
+
+/// Builder for [`WeightedGraph`]: duplicate edges accumulate weight.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraphBuilder {
+    n: usize,
+    edges: std::collections::BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl WeightedGraphBuilder {
+    /// Create a builder for at least `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraphBuilder {
+            n,
+            edges: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Add an undirected edge with weight `w > 0`. Parallel additions of
+    /// the same edge sum their weights; self-loops are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!(w > 0.0 && w.is_finite(), "edge weight must be positive");
+        if u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.n = self.n.max(key.1 as usize + 1);
+        *self.edges.entry(key).or_insert(0.0) += w;
+    }
+
+    /// Build the weighted graph.
+    pub fn build(self) -> WeightedGraph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        for &(u, v) in self.edges.keys() {
+            b.add_edge(u, v);
+        }
+        let graph = b.build();
+        let mut slot_weight = vec![0.0f64; 2 * graph.m()];
+        let mut strength = vec![0.0f64; graph.n()];
+        let mut total = 0.0f64;
+        for (&(u, v), &w) in &self.edges {
+            total += w;
+            strength[u as usize] += w;
+            strength[v as usize] += w;
+            let su = graph.csr_offset(u) + graph.neighbors(u).binary_search(&v).unwrap();
+            let sv = graph.csr_offset(v) + graph.neighbors(v).binary_search(&u).unwrap();
+            slot_weight[su] = w;
+            slot_weight[sv] = w;
+        }
+        WeightedGraph {
+            graph,
+            slot_weight,
+            total_weight: total,
+            strength,
+        }
+    }
+}
+
+impl WeightedGraph {
+    /// The underlying unweighted topology.
+    pub fn topology(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Sum of all edge weights (`w_G`).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Node strength `d_v` (sum of adjacent edge weights).
+    pub fn strength(&self, v: NodeId) -> f64 {
+        self.strength[v as usize]
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `v`.
+    pub fn weighted_neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let base = self.graph.csr_offset(v);
+        self.graph
+            .neighbors(v)
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (w, self.slot_weight[base + i]))
+    }
+
+    /// Weight of edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let pos = self.graph.neighbors(u).binary_search(&v).ok()?;
+        Some(self.slot_weight[self.graph.csr_offset(u) + pos])
+    }
+
+    /// Sum of internal edge weights of the node set (`w_C`).
+    pub fn internal_weight(&self, nodes: &[NodeId]) -> f64 {
+        let mut mask = vec![false; self.n()];
+        for &v in nodes {
+            mask[v as usize] = true;
+        }
+        let mut w_c = 0.0;
+        for &v in nodes {
+            for (u, w) in self.weighted_neighbors(v) {
+                if v < u && mask[u as usize] {
+                    w_c += w;
+                }
+            }
+        }
+        w_c
+    }
+
+    /// Sum of node strengths of the set (`d_C`).
+    pub fn strength_sum(&self, nodes: &[NodeId]) -> f64 {
+        nodes.iter().map(|&v| self.strength(v)).sum()
+    }
+
+    /// Weighted density modularity of `nodes` (Definition 2).
+    pub fn density_modularity(&self, nodes: &[NodeId]) -> f64 {
+        if nodes.is_empty() || self.total_weight == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let w_c = self.internal_weight(nodes);
+        let d_c = self.strength_sum(nodes);
+        (w_c - d_c * d_c / (4.0 * self.total_weight)) / nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_triangle_tail() -> WeightedGraph {
+        let mut b = WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 3.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(2, 3, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn strengths_and_totals() {
+        let g = weighted_triangle_tail();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert!((g.total_weight() - 6.5).abs() < 1e-12);
+        assert!((g.strength(0) - 3.0).abs() < 1e-12);
+        assert!((g.strength(2) - 4.5).abs() < 1e-12);
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(1, 0, 2.5);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn weighted_dm_matches_manual_computation() {
+        let g = weighted_triangle_tail();
+        let c = vec![0, 1, 2];
+        // w_C = 6.0, d_C = 3 + 5 + 4.5 = 12.5, w_G = 6.5.
+        let expect = (6.0 - 12.5 * 12.5 / (4.0 * 6.5)) / 3.0;
+        assert!((g.density_modularity(&c) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_dm() {
+        let mut b = WeightedGraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        let wg = b.build();
+        let c = vec![0, 1, 2];
+        let l = wg.topology().internal_edges(&c) as f64;
+        let d = wg.topology().degree_sum(&c) as f64;
+        let m = wg.topology().m() as f64;
+        let unweighted = (l - d * d / (4.0 * m)) / c.len() as f64;
+        assert!((wg.density_modularity(&c) - unweighted).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_infinite_weight() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(0, 1, f64::INFINITY);
+    }
+
+    #[test]
+    fn parallel_edges_sum_their_weights() {
+        let mut b = WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(1, 0, 2.5); // reversed orientation, same edge
+        let wg = b.build();
+        assert_eq!(wg.m(), 1);
+        assert_eq!(wg.edge_weight(0, 1), Some(4.0));
+        assert_eq!(wg.edge_weight(1, 0), Some(4.0));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = WeightedGraphBuilder::new(2);
+        b.add_edge(1, 1, 5.0);
+        b.add_edge(0, 1, 1.0);
+        let wg = b.build();
+        assert_eq!(wg.m(), 1);
+        assert!((wg.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_grows_to_fit_node_ids() {
+        let mut b = WeightedGraphBuilder::new(1);
+        b.add_edge(0, 9, 2.0);
+        let wg = b.build();
+        assert_eq!(wg.n(), 10);
+        assert!((wg.strength(9) - 2.0).abs() < 1e-12);
+        assert_eq!(wg.strength(5), 0.0);
+    }
+
+    #[test]
+    fn strength_sums_incident_weights() {
+        let mut b = WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 2.5);
+        let wg = b.build();
+        assert!((wg.strength(0) - 3.5).abs() < 1e-12);
+        assert!((wg.strength_sum(&[0, 1, 2]) - 7.0).abs() < 1e-12);
+        // Total weight = half the strength sum.
+        assert!((wg.total_weight() - 3.5).abs() < 1e-12);
+    }
+}

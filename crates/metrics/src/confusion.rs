@@ -1,0 +1,151 @@
+//! Binary confusion matrix over node sets, and the scores derived from it.
+
+/// Confusion counts for the "is this node in the community?" binary task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Nodes in both the predicted and ground-truth community.
+    pub tp: u64,
+    /// Nodes predicted in, truly out.
+    pub fp: u64,
+    /// Nodes predicted out, truly in.
+    pub fn_: u64,
+    /// Nodes predicted out, truly out.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// Build from the predicted and ground-truth node sets over a universe
+    /// of `n` nodes (ids `0..n`; out-of-range ids are ignored).
+    pub fn from_sets(n: usize, predicted: &[u32], truth: &[u32]) -> Self {
+        let mut in_pred = vec![false; n];
+        let mut in_truth = vec![false; n];
+        for &v in predicted {
+            if (v as usize) < n {
+                in_pred[v as usize] = true;
+            }
+        }
+        for &v in truth {
+            if (v as usize) < n {
+                in_truth[v as usize] = true;
+            }
+        }
+        let mut c = Confusion::default();
+        for i in 0..n {
+            match (in_pred[i], in_truth[i]) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the positive class; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the positive class; 0 when the truth is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient; 0 when any marginal is empty.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, fn_, tn) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.fn_ as f64,
+            self.tn as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        let c = Confusion::from_sets(6, &[0, 1, 3], &[0, 1, 2]);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 2
+            }
+        );
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let c = Confusion::from_sets(5, &[1, 2], &[1, 2]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.mcc(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_scores_zero() {
+        let c = Confusion::from_sets(5, &[], &[1, 2]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.mcc(), 0.0);
+    }
+
+    #[test]
+    fn inverted_prediction_has_negative_mcc() {
+        let c = Confusion::from_sets(4, &[2, 3], &[0, 1]);
+        assert!(c.mcc() < 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ids_ignored() {
+        let c = Confusion::from_sets(3, &[0, 99], &[0]);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 0);
+    }
+}

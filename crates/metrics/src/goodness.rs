@@ -1,0 +1,196 @@
+//! Ground-truth-free structural quality ("goodness") statistics of a
+//! single community.
+//!
+//! Community-search papers (Wu et al. 2015; Yang & Leskovec 2015) score
+//! communities on structural statistics when no ground truth exists. All
+//! of them are functions of five counts, so this module stays independent
+//! of the graph representation: pass the counts (or build them with
+//! `Goodness::from_counts`) and read the derived measures.
+//!
+//! With `s = |C|`, `l` internal edges, `vol = Σ_{v∈C} deg_G(v)`,
+//! `m = |E|`, `n = |V|`, the boundary (cut) is `cut = vol − 2l` and:
+//!
+//! | measure | definition | good is |
+//! |---|---|---|
+//! | internal density | `l / (s(s−1)/2)` | high |
+//! | average internal degree | `2l / s` | high |
+//! | expansion | `cut / s` | low |
+//! | cut ratio | `cut / (s(n−s))` | low |
+//! | conductance | `cut / min(vol, 2m−vol)` | low |
+//! | separability | `l / cut` | high |
+
+/// Structural statistics of one community inside one graph.
+///
+/// ```
+/// use dmcs_metrics::Goodness;
+///
+/// // A triangle community in a 6-node barbell: 3 internal edges,
+/// // degree volume 7 (one bridge), 7 graph edges.
+/// let g = Goodness::from_counts(6, 3, 3, 7, 7);
+/// assert_eq!(g.cut(), 1);
+/// assert!((g.conductance() - 1.0 / 7.0).abs() < 1e-12);
+/// assert!((g.internal_density() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goodness {
+    /// Number of graph nodes `n`.
+    pub n: usize,
+    /// Community size `s`.
+    pub size: usize,
+    /// Internal edge count `l`.
+    pub internal_edges: u64,
+    /// Degree volume `vol = Σ deg_G(v)` over the community.
+    pub volume: u64,
+    /// Total graph edge count `m`.
+    pub total_edges: u64,
+}
+
+impl Goodness {
+    /// Build from the five raw counts. Panics in debug builds if the
+    /// counts are inconsistent (`2l > vol`, or `vol > 2m`).
+    pub fn from_counts(n: usize, size: usize, internal_edges: u64, volume: u64, total_edges: u64) -> Self {
+        debug_assert!(2 * internal_edges <= volume, "2l must not exceed vol");
+        debug_assert!(volume <= 2 * total_edges, "vol must not exceed 2m");
+        Goodness {
+            n,
+            size,
+            internal_edges,
+            volume,
+            total_edges,
+        }
+    }
+
+    /// Boundary size: edges with exactly one endpoint inside.
+    pub fn cut(&self) -> u64 {
+        self.volume - 2 * self.internal_edges
+    }
+
+    /// `l / (s(s−1)/2)`; 1 for a clique, 0 for an independent set.
+    /// Communities of size < 2 score 0.
+    pub fn internal_density(&self) -> f64 {
+        if self.size < 2 {
+            return 0.0;
+        }
+        let possible = self.size as f64 * (self.size as f64 - 1.0) / 2.0;
+        self.internal_edges as f64 / possible
+    }
+
+    /// `2l / s` — the mean within-community degree.
+    pub fn average_internal_degree(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        2.0 * self.internal_edges as f64 / self.size as f64
+    }
+
+    /// `cut / s` — boundary edges per member (lower is better).
+    pub fn expansion(&self) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        self.cut() as f64 / self.size as f64
+    }
+
+    /// `cut / (s·(n−s))` — the fraction of possible boundary pairs that
+    /// are edges (lower is better). 0 when the community is the whole
+    /// graph.
+    pub fn cut_ratio(&self) -> f64 {
+        let outside = self.n.saturating_sub(self.size);
+        if self.size == 0 || outside == 0 {
+            return 0.0;
+        }
+        self.cut() as f64 / (self.size as f64 * outside as f64)
+    }
+
+    /// `cut / min(vol, 2m − vol)` — the classic conductance (lower is
+    /// better). Returns 0 for the degenerate empty/full cases.
+    pub fn conductance(&self) -> f64 {
+        let denom = self.volume.min(2 * self.total_edges - self.volume);
+        if denom == 0 {
+            return 0.0;
+        }
+        self.cut() as f64 / denom as f64
+    }
+
+    /// `l / cut` — internal-to-boundary ratio (higher is better);
+    /// `f64::INFINITY` for a perfectly separated community with internal
+    /// edges.
+    pub fn separability(&self) -> f64 {
+        let cut = self.cut();
+        if cut == 0 {
+            if self.internal_edges == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.internal_edges as f64 / cut as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Barbell left triangle: n=6, s=3, l=3, vol=7 (bridge adds 1), m=7.
+    fn triangle_in_barbell() -> Goodness {
+        Goodness::from_counts(6, 3, 3, 7, 7)
+    }
+
+    #[test]
+    fn cut_and_density() {
+        let g = triangle_in_barbell();
+        assert_eq!(g.cut(), 1);
+        assert!((g.internal_density() - 1.0).abs() < 1e-12, "triangle is a clique");
+        assert!((g.average_internal_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_measures() {
+        let g = triangle_in_barbell();
+        assert!((g.expansion() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((g.cut_ratio() - 1.0 / 9.0).abs() < 1e-12);
+        assert!((g.conductance() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((g.separability() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_graph_community() {
+        // The full graph: cut = 0, conductance 0, separability infinite.
+        let g = Goodness::from_counts(6, 6, 7, 14, 7);
+        assert_eq!(g.cut(), 0);
+        assert_eq!(g.conductance(), 0.0);
+        assert_eq!(g.cut_ratio(), 0.0);
+        assert!(g.separability().is_infinite());
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let s = Goodness::from_counts(5, 1, 0, 2, 4);
+        assert_eq!(s.internal_density(), 0.0);
+        assert_eq!(s.average_internal_degree(), 0.0);
+        assert!((s.expansion() - 2.0).abs() < 1e-12);
+        let e = Goodness::from_counts(5, 0, 0, 0, 4);
+        assert_eq!(e.expansion(), 0.0);
+        assert_eq!(e.separability(), 0.0);
+    }
+
+    #[test]
+    fn isolated_pair_is_perfectly_separable() {
+        // Two nodes joined by the only edge they touch.
+        let g = Goodness::from_counts(10, 2, 1, 2, 20);
+        assert_eq!(g.cut(), 0);
+        assert!(g.separability().is_infinite());
+        assert!((g.internal_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_uses_smaller_side() {
+        // Large community holding most volume: denominator flips to the
+        // complement's volume.
+        let g = Goodness::from_counts(10, 8, 14, 30, 16);
+        // cut = 2, vol = 30, 2m - vol = 2 -> conductance = 1.0
+        assert!((g.conductance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,322 @@
+//! Cover (overlapping-community) comparison metrics.
+//!
+//! The DBLP/Youtube/LiveJournal ground truths are *overlapping* covers
+//! (§6.3), which the paper handles by reporting the best single-community
+//! match. These metrics compare whole covers instead, which is what the
+//! detection extension (`dmcs_core::detect`) and the overlapping-LFR
+//! stand-ins need:
+//!
+//! - [`onmi`] — the overlapping NMI of Lancichinetti, Fortunato &
+//!   Kertész (2009), computed cluster-by-cluster over binary membership
+//!   variables with the LFK acceptance constraint;
+//! - [`average_f1`] — the symmetric average best-match F1 (Yang &
+//!   Leskovec 2013), the metric SNAP ships for ground-truth covers;
+//! - [`omega_index`] — the Omega index (Collins & Dent 1988), the
+//!   overlapping generalization of the Adjusted Rand Index over pair
+//!   co-membership multiplicities.
+
+use crate::NodeId;
+
+/// A cover: a family of node sets, possibly overlapping, not necessarily
+/// exhaustive. Node ids must be < `n` when passed to these metrics.
+pub type Cover = Vec<Vec<NodeId>>;
+
+fn h(p: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else {
+        -p * p.log2()
+    }
+}
+
+/// Entropy of a binary membership variable with `k` members among `n`.
+fn cluster_entropy(k: usize, n: usize) -> f64 {
+    let p = k as f64 / n as f64;
+    h(p) + h(1.0 - p)
+}
+
+/// Conditional-entropy term `H(X_i | Y)`, normalized by `H(X_i)`, per the
+/// LFK construction. `xi` is a membership bitmap; `ys` are the candidate
+/// bitmaps of the other cover.
+fn normalized_conditional(xi: &[bool], ys: &[Vec<bool>], n: usize) -> f64 {
+    let kx = xi.iter().filter(|&&b| b).count();
+    let hx = cluster_entropy(kx, n);
+    if hx == 0.0 {
+        // Degenerate cluster (empty or everything): perfectly predictable.
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut best = f64::INFINITY;
+    for yj in ys {
+        // Joint counts over the four membership combinations.
+        let (mut a, mut b, mut c, mut d) = (0usize, 0usize, 0usize, 0usize);
+        for v in 0..n {
+            match (xi[v], yj[v]) {
+                (false, false) => a += 1,
+                (false, true) => b += 1,
+                (true, false) => c += 1,
+                (true, true) => d += 1,
+            }
+        }
+        // LFK acceptance: reject candidates whose "agreement" entropy is
+        // not dominant, otherwise complements would score as matches.
+        if h(d as f64 / nf) + h(a as f64 / nf) < h(b as f64 / nf) + h(c as f64 / nf) {
+            continue;
+        }
+        let ky = yj.iter().filter(|&&m| m).count();
+        let hy = cluster_entropy(ky, n);
+        let joint = h(a as f64 / nf) + h(b as f64 / nf) + h(c as f64 / nf) + h(d as f64 / nf);
+        let cond = joint - hy;
+        if cond < best {
+            best = cond;
+        }
+    }
+    if best.is_infinite() {
+        // No accepted candidate: X_i is unexplained by Y.
+        1.0
+    } else {
+        (best / hx).clamp(0.0, 1.0)
+    }
+}
+
+fn bitmaps(cover: &Cover, n: usize) -> Vec<Vec<bool>> {
+    cover
+        .iter()
+        .map(|c| {
+            let mut m = vec![false; n];
+            for &v in c {
+                m[v as usize] = true;
+            }
+            m
+        })
+        .collect()
+}
+
+/// Overlapping NMI (LFK 2009) between two covers over `n` nodes.
+/// Symmetric; 1 on identical covers; ~0 on unrelated ones. Returns 0 when
+/// either cover is empty.
+///
+/// ```
+/// use dmcs_metrics::overlap::onmi;
+///
+/// let truth = vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6, 7]]; // node 3 overlaps
+/// assert!((onmi(8, &truth, &truth) - 1.0).abs() < 1e-12);
+/// let parity = vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]];
+/// assert!(onmi(8, &truth, &parity) < 0.3);
+/// ```
+pub fn onmi(n: usize, x: &Cover, y: &Cover) -> f64 {
+    if n == 0 || x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let bx = bitmaps(x, n);
+    let by = bitmaps(y, n);
+    let hx_given_y: f64 =
+        bx.iter().map(|xi| normalized_conditional(xi, &by, n)).sum::<f64>() / bx.len() as f64;
+    let hy_given_x: f64 =
+        by.iter().map(|yj| normalized_conditional(yj, &bx, n)).sum::<f64>() / by.len() as f64;
+    1.0 - 0.5 * (hx_given_y + hy_given_x)
+}
+
+/// F1 between two node sets. Duplicate ids are collapsed (this is a set
+/// metric).
+pub fn set_f1(a: &[NodeId], b: &[NodeId]) -> f64 {
+    let sa: std::collections::HashSet<NodeId> = a.iter().copied().collect();
+    let sb: std::collections::HashSet<NodeId> = b.iter().copied().collect();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.iter().filter(|v| sb.contains(v)).count() as f64;
+    if inter == 0.0 {
+        return 0.0;
+    }
+    let p = inter / sa.len() as f64;
+    let r = inter / sb.len() as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// Symmetric average best-match F1 between two covers: for each set in
+/// one cover take its best F1 against the other cover, average, and
+/// average the two directions.
+pub fn average_f1(x: &Cover, y: &Cover) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let best = |from: &Cover, to: &Cover| -> f64 {
+        from.iter()
+            .map(|a| {
+                to.iter()
+                    .map(|b| set_f1(a, b))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / from.len() as f64
+    };
+    0.5 * (best(x, y) + best(y, x))
+}
+
+/// Omega index between two covers over `n` nodes: the ARI-style
+/// chance-corrected agreement on *how many* communities each node pair
+/// shares. 1 on identical covers; ≈0 for independent covers; can be
+/// negative. `O(n²)` pairs — intended for evaluation-scale graphs.
+pub fn omega_index(n: usize, x: &Cover, y: &Cover) -> f64 {
+    if n < 2 {
+        return 1.0;
+    }
+    // Per-node membership lists, then per-pair shared counts.
+    let count_pairs = |cover: &Cover| -> std::collections::HashMap<(NodeId, NodeId), u32> {
+        let mut m = std::collections::HashMap::new();
+        for c in cover {
+            let mut s = c.clone();
+            s.sort_unstable();
+            s.dedup();
+            for i in 0..s.len() {
+                for j in i + 1..s.len() {
+                    *m.entry((s[i], s[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        m
+    };
+    let px = count_pairs(x);
+    let py = count_pairs(y);
+    let total_pairs = (n * (n - 1) / 2) as f64;
+
+    // Distribution of multiplicities in each cover (level 0 implicit).
+    let max_level = px
+        .values()
+        .chain(py.values())
+        .copied()
+        .max()
+        .unwrap_or(0) as usize;
+    let mut tx = vec![0f64; max_level + 1];
+    let mut ty = vec![0f64; max_level + 1];
+    for &v in px.values() {
+        tx[v as usize] += 1.0;
+    }
+    for &v in py.values() {
+        ty[v as usize] += 1.0;
+    }
+    tx[0] = total_pairs - tx[1..].iter().sum::<f64>();
+    ty[0] = total_pairs - ty[1..].iter().sum::<f64>();
+
+    // Observed agreement: pairs with identical multiplicity.
+    let mut agree = 0f64;
+    for (pair, &cx) in &px {
+        if py.get(pair).copied().unwrap_or(0) == cx {
+            agree += 1.0;
+        }
+    }
+    // Pairs at level 0 in both: total − pairs at level>0 in either.
+    let nonzero_either = {
+        let mut keys: std::collections::HashSet<(NodeId, NodeId)> = px.keys().copied().collect();
+        keys.extend(py.keys().copied());
+        keys.len() as f64
+    };
+    agree += total_pairs - nonzero_either;
+
+    let observed = agree / total_pairs;
+    let expected: f64 = tx
+        .iter()
+        .zip(ty.iter())
+        .map(|(a, b)| (a / total_pairs) * (b / total_pairs))
+        .sum();
+    if (1.0 - expected).abs() < 1e-15 {
+        return 1.0;
+    }
+    (observed - expected) / (1.0 - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blocks() -> Cover {
+        vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]
+    }
+
+    #[test]
+    fn onmi_identical_covers_is_one() {
+        let c = two_blocks();
+        assert!((onmi(8, &c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onmi_is_symmetric() {
+        let a = two_blocks();
+        let b: Cover = vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]];
+        assert!((onmi(8, &a, &b) - onmi(8, &b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onmi_degrades_with_disagreement() {
+        let truth = two_blocks();
+        let close: Cover = vec![vec![0, 1, 2, 4], vec![3, 5, 6, 7]];
+        let far: Cover = vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]];
+        let s_close = onmi(8, &truth, &close);
+        let s_far = onmi(8, &truth, &far);
+        assert!(s_close > s_far, "close {s_close} vs far {s_far}");
+        assert!(s_far < 0.3);
+    }
+
+    #[test]
+    fn onmi_handles_overlap() {
+        // Node 3 in both communities — still a perfect self-match.
+        let c: Cover = vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6, 7]];
+        assert!((onmi(8, &c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onmi_empty_cover_is_zero() {
+        assert_eq!(onmi(8, &vec![], &two_blocks()), 0.0);
+        assert_eq!(onmi(0, &vec![], &vec![]), 0.0);
+    }
+
+    #[test]
+    fn f1_basics() {
+        assert!((set_f1(&[0, 1, 2], &[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(set_f1(&[0, 1], &[2, 3]), 0.0);
+        assert_eq!(set_f1(&[], &[0]), 0.0);
+        // |inter|=1, p=1/2, r=1/3 -> F1 = 0.4
+        assert!((set_f1(&[0, 1], &[0, 2, 3]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_f1_identical_and_symmetric() {
+        let a = two_blocks();
+        let b: Cover = vec![vec![0, 1, 2], vec![4, 5, 6, 7], vec![3]];
+        assert!((average_f1(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((average_f1(&a, &b) - average_f1(&b, &a)).abs() < 1e-12);
+        assert!(average_f1(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn omega_identical_is_one() {
+        let c = two_blocks();
+        assert!((omega_index(8, &c, &c) - 1.0).abs() < 1e-12);
+        // Also with overlap.
+        let o: Cover = vec![vec![0, 1, 2, 3], vec![3, 4, 5], vec![5, 6, 7]];
+        assert!((omega_index(8, &o, &o) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_detects_disagreement() {
+        let a = two_blocks();
+        let b: Cover = vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]];
+        let s = omega_index(8, &a, &b);
+        assert!(s < 0.2, "crossed covers should score low, got {s}");
+    }
+
+    #[test]
+    fn omega_counts_multiplicity_not_just_membership() {
+        // Same single community vs the community duplicated: pairs share
+        // 1 vs 2 communities — multiplicities differ, score < 1.
+        let a: Cover = vec![vec![0, 1, 2]];
+        let b: Cover = vec![vec![0, 1, 2], vec![0, 1, 2]];
+        assert!(omega_index(6, &a, &b) < 1.0);
+    }
+
+    #[test]
+    fn omega_tiny_graphs() {
+        assert_eq!(omega_index(1, &vec![vec![0]], &vec![vec![0]]), 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Case study (the paper's Fig 20): a prolific hub in a co-authorship-
+//! style network. FPA returns a compact community centred on the hub;
+//! 3-truss and 3-core return ever larger, ever less hub-relevant sets.
+//!
+//! ```text
+//! cargo run --release --example case_study
+//! ```
+
+use dmcs::baselines::{KCore, KTruss};
+use dmcs::core::{CommunitySearch, Fpa};
+use dmcs::graph::betweenness::node_betweenness;
+use dmcs::graph::eigen::{eigenvector_centrality_within, rank_of};
+use dmcs::graph::{GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HUB: NodeId = 0;
+
+fn main() {
+    // Synthetic co-authorship graph: dense ego community around the hub,
+    // triangle-rich middle layer, big sparse periphery (see DESIGN.md §3
+    // for why this substitutes for the paper's DBLP snapshot).
+    let mut rng = StdRng::seed_from_u64(0xCA5E);
+    let mut b = GraphBuilder::new(1201);
+    for v in 1..=40u32 {
+        b.add_edge(HUB, v);
+        b.add_edge(v, if v == 40 { 1 } else { v + 1 });
+        for _ in 0..5 {
+            b.add_edge(v, rng.gen_range(1..=40));
+        }
+    }
+    for v in (41..=197u32).step_by(4) {
+        let a = rng.gen_range(1..40);
+        b.add_edge(v, a);
+        b.add_edge(v, a + 1);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(v + i, v + j);
+            }
+        }
+    }
+    for v in 201..=1200u32 {
+        for _ in 0..3 {
+            b.add_edge(v, rng.gen_range(41..=1200));
+        }
+    }
+    let g = b.build();
+    println!(
+        "co-authorship graph: {} authors, {} collaborations; query = hub (degree {})\n",
+        g.n(),
+        g.m(),
+        g.degree(HUB)
+    );
+
+    let bc = node_betweenness(&g);
+    let algos: Vec<(&str, Box<dyn CommunitySearch>)> = vec![
+        ("FPA", Box::new(Fpa::default())),
+        ("3-truss", Box::new(KTruss::new(3))),
+        ("3-core", Box::new(KCore::new(3))),
+    ];
+    println!(
+        "{:<8} {:>6} {:>14} {:>12} {:>10}",
+        "algo", "|C|", "% adj to hub", "betw. rank", "eigen rank"
+    );
+    for (label, algo) in &algos {
+        let r = algo.search(&g, &[HUB]).expect("hub query is valid");
+        let c = &r.community;
+        let adjacent = c.iter().filter(|&&v| v != HUB && g.has_edge(HUB, v)).count();
+        let bc_scores: Vec<f64> = c.iter().map(|&v| bc[v as usize]).collect();
+        let ev = eigenvector_centrality_within(&g, c, 300, 1e-10);
+        println!(
+            "{:<8} {:>6} {:>13.0}% {:>12} {:>10}",
+            label,
+            c.len(),
+            100.0 * adjacent as f64 / (c.len().max(2) - 1) as f64,
+            format!("#{}", rank_of(c, &bc_scores, HUB).unwrap_or(0)),
+            format!("#{}", rank_of(c, &ev, HUB).unwrap_or(0)),
+        );
+    }
+    println!(
+        "\nPaper's DBLP numbers for comparison: FPA community all-adjacent \
+         with the query ranked #1 on both centralities; 3-truss 157 authors \
+         (17% adjacent, rank #2); 3-core 1040 authors (1% adjacent, ranks \
+         #45 / #175)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Exact DMCS on small graphs: the bitmask enumerator vs branch-and-bound
+//! vs the heuristics — what NP-hardness costs in practice.
+//!
+//! ```text
+//! cargo run --release --example exact_optimum
+//! ```
+
+use dmcs::core::{BranchAndBound, CommunitySearch, Exact, Fpa, Nca};
+use dmcs::gen::{random, ring, sbm};
+
+fn main() {
+    // 1. Ring of cliques (paper Example 3): 4 cliques of 5 = 20 nodes.
+    //    Both exact solvers agree; the optimum is the query's own clique.
+    let g = ring::ring_of_cliques(4, 5);
+    let bitmask = Exact.search(&g, &[0]).expect("20 nodes fit the bitmask cap");
+    let bnb = BranchAndBound::default().search(&g, &[0]).expect("fits");
+    println!("ring_of_cliques(4,5), query 0:");
+    println!(
+        "  bitmask: DM = {:.4} over {} subsets   community {:?}",
+        bitmask.density_modularity, bitmask.iterations, bitmask.community
+    );
+    println!(
+        "  bnb:     DM = {:.4} over {} tree nodes ({}x fewer states)",
+        bnb.density_modularity,
+        bnb.iterations,
+        bitmask.iterations / bnb.iterations.max(1)
+    );
+
+    // 2. Beyond the bitmask cap: 30 nodes. Only branch-and-bound can
+    //    certify the optimum; the heuristics are then measured against it.
+    let g30 = ring::ring_of_cliques(5, 6);
+    assert!(Exact.search(&g30, &[0]).is_err(), "2^30 is out of reach");
+    let opt = BranchAndBound::default()
+        .search(&g30, &[0])
+        .expect("bnb handles 30 nodes");
+    println!("\nring_of_cliques(5,6) — 30 nodes, bitmask refuses:");
+    println!(
+        "  bnb optimum: DM = {:.4}, |C| = {} (the query's 6-clique)",
+        opt.density_modularity,
+        opt.community.len()
+    );
+    for algo in [&Fpa::default() as &dyn CommunitySearch, &Nca::default()] {
+        let h = algo.search(&g30, &[0]).expect("heuristics always answer");
+        println!(
+            "  {:4}: DM = {:.4}  -> {:.1}% of optimal",
+            algo.name(),
+            h.density_modularity,
+            100.0 * h.density_modularity / opt.density_modularity
+        );
+    }
+
+    // 3. Average optimality gap over random two-block graphs.
+    let trials = 15;
+    let mut fpa_ratio = 0.0;
+    let mut nca_ratio = 0.0;
+    let mut counted = 0;
+    for seed in 0..trials {
+        let (g, _) = sbm::planted_partition(&[12, 12], 0.6, 0.08, seed);
+        let Ok(opt) = BranchAndBound::default().search(&g, &[0]) else {
+            continue;
+        };
+        if opt.density_modularity <= 0.0 {
+            continue;
+        }
+        counted += 1;
+        fpa_ratio += Fpa::default().search(&g, &[0]).unwrap().density_modularity
+            / opt.density_modularity;
+        nca_ratio += Nca::default().search(&g, &[0]).unwrap().density_modularity
+            / opt.density_modularity;
+    }
+    println!("\nmean DM ratio vs optimum over {counted} planted 2x12 blocks:");
+    println!("  FPA: {:.3}   NCA: {:.3}", fpa_ratio / counted as f64, nca_ratio / counted as f64);
+
+    // 4. A denser ER graph for contrast (heuristics struggle more when
+    //    there is no community structure to find).
+    let ger = random::erdos_renyi(24, 0.3, 7);
+    let opt = BranchAndBound::default().search(&ger, &[0]).expect("24 nodes");
+    let fpa = Fpa::default().search(&ger, &[0]).unwrap();
+    println!(
+        "\nER(24, 0.3): optimum {:.4}, FPA {:.4} ({:.1}%)",
+        opt.density_modularity,
+        fpa.density_modularity,
+        100.0 * fpa.density_modularity / opt.density_modularity
+    );
+}

@@ -1,0 +1,75 @@
+//! LFR benchmark mini-sweep (the paper's Fig 8 in miniature): generate a
+//! synthetic network with planted communities, sample paper-protocol query
+//! sets, and compare FPA against the k-core and k-truss baselines across
+//! mixing parameters.
+//!
+//! ```text
+//! cargo run --release --example lfr_benchmark
+//! ```
+
+use dmcs::baselines::{KCore, KTruss};
+use dmcs::core::{CommunitySearch, Fpa};
+use dmcs::gen::{lfr, queries, Dataset};
+use dmcs::metrics;
+
+fn main() {
+    for mu in [0.2f64, 0.3, 0.4] {
+        let cfg = lfr::LfrConfig {
+            n: 1000,
+            avg_degree: 15.0,
+            max_degree: 100,
+            mu,
+            min_community: 20,
+            max_community: 150,
+            seed: (mu * 100.0) as u64,
+            ..lfr::LfrConfig::default()
+        };
+        let g = lfr::generate(&cfg);
+        let measured = lfr::measured_mu(&g);
+        let ds = Dataset {
+            name: format!("LFR mu={mu}"),
+            graph: g.graph,
+            communities: g.communities,
+            overlapping: false,
+        };
+        println!(
+            "\n== {} ({} nodes, {} edges, {} communities, measured mu {:.2}) ==",
+            ds.name,
+            ds.graph.n(),
+            ds.graph.m(),
+            ds.communities.len(),
+            measured
+        );
+
+        let algos: Vec<Box<dyn CommunitySearch>> = vec![
+            Box::new(KCore::new(3)),
+            Box::new(KTruss::new(4)),
+            Box::new(Fpa::default()),
+        ];
+        let sets = queries::sample_query_sets(&ds, 6, 1, 4, 99);
+        println!("{:<6} {:>10} {:>10}", "algo", "med NMI", "med |C|");
+        for algo in &algos {
+            let mut nmis = Vec::new();
+            let mut sizes = Vec::new();
+            for (q, gt_idx) in &sets {
+                if let Ok(r) = algo.search(&ds.graph, q) {
+                    nmis.push(metrics::nmi(
+                        ds.graph.n(),
+                        &r.community,
+                        &ds.communities[*gt_idx],
+                    ));
+                    sizes.push(r.community.len() as f64);
+                }
+            }
+            nmis.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = |v: &Vec<f64>| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
+            println!("{:<6} {:>10.3} {:>10.0}", algo.name(), med(&nmis), med(&sizes));
+        }
+    }
+    println!(
+        "\nShape to look for (paper Fig 8): FPA's NMI well above kc/kt at \
+         every mu; all accuracies decline as mu grows; kc returns huge \
+         communities regardless."
+    );
+}

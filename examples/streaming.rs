@@ -1,0 +1,79 @@
+//! Streaming community search: maintain a query's community while the
+//! network grows, with cached exact refresh and localized re-search.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+
+use dmcs::core::dynamic::IncrementalSearch;
+use dmcs::core::topk::{top_k_communities, TopKConfig};
+use dmcs::core::Fpa;
+use dmcs::graph::dynamic::DynamicGraph;
+
+fn main() {
+    // A collaboration network starts as two 4-cliques sharing author 0.
+    let mut g = DynamicGraph::new(7);
+    for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.insert_edge(c[i], c[j]);
+            }
+        }
+    }
+    println!("day 0: {} authors, {} collaborations", g.n(), g.m());
+
+    // Author 0 sits in two communities — top-k sees both.
+    let rounds = top_k_communities(&g.snapshot(), &[0], TopKConfig::default()).unwrap();
+    println!("top-k communities of author 0:");
+    for (i, r) in rounds.iter().enumerate() {
+        println!(
+            "  #{}: {:?} (DM {:.3})",
+            i + 1,
+            r.community,
+            r.density_modularity
+        );
+    }
+
+    // Pin the query and stream updates.
+    let mut inc = IncrementalSearch::new(g, vec![0], Fpa::default());
+    let day0 = inc.community().unwrap();
+    println!("\ntracked community: {:?}", day0.community);
+
+    // Day 1: five new authors join and densify the left group.
+    for _ in 0..5 {
+        let v = inc.graph_mut().add_node();
+        for anchor in [1, 2, 3] {
+            inc.insert_edge(v, anchor);
+        }
+    }
+    let day1 = inc.community().unwrap();
+    println!(
+        "day 1 (+5 authors around the left group): community {:?}",
+        day1.community
+    );
+
+    // Day 2: repeated queries are free until the next mutation.
+    let _ = inc.community().unwrap();
+    let _ = inc.community().unwrap();
+    println!(
+        "day 2: {} recomputations after 4 queries (caching works)",
+        inc.recomputations
+    );
+
+    // Day 3: the collaborations bridging to the right group dissolve.
+    inc.remove_edge(0, 4);
+    inc.remove_edge(0, 5);
+    inc.remove_edge(0, 6);
+    let day3 = inc.community().unwrap();
+    println!(
+        "day 3 (right group detached): community {:?}, {} recomputations",
+        day3.community, inc.recomputations
+    );
+
+    // Localized refresh: only look 2 hops around the query.
+    let local = inc.search_local(2).unwrap();
+    println!(
+        "local refresh (radius 2): {:?} (DM {:.3})",
+        local.community, local.density_modularity
+    );
+}

@@ -1,0 +1,531 @@
+//! Command-line interface of the `dmcs` binary: load a SNAP-format edge
+//! list, run a community-search algorithm, print the community.
+//!
+//! ```text
+//! dmcs --graph karate.txt --query 0 --algo fpa --stats
+//! dmcs --demo --query 0,3 --algo nca
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! admits no CLI crate) and lives in the library so it is unit-testable;
+//! `src/main.rs` is a thin wrapper.
+
+use crate::baselines::{HighCore, HighTruss, KCore, KTruss, Kecc, LocalKCore, Lpa, PprSweep};
+use crate::core::topk::{top_k_communities, TopKConfig};
+use crate::core::{
+    BranchAndBound, CommunitySearch, Exact, Fpa, FpaDmg, Nca, NcaDr, WeightedFpa, WeightedNca,
+};
+use crate::graph::io::{load_edge_list, read_weighted_edge_list};
+use crate::graph::{Graph, NodeId};
+use crate::metrics::Goodness;
+use std::time::Instant;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliConfig {
+    /// Path to the edge-list file; `None` means `--demo` (Karate club).
+    pub graph_path: Option<String>,
+    /// Query nodes in *original* (file) id space.
+    pub query: Vec<u64>,
+    /// Algorithm label.
+    pub algo: String,
+    /// `k` for the parameterised baselines (kc/kt/kecc).
+    pub k: u32,
+    /// Disable FPA's layer-based pruning.
+    pub no_pruning: bool,
+    /// Print structural goodness statistics of the result.
+    pub stats: bool,
+    /// Cap on how many member ids to print (0 = all).
+    pub max_print: usize,
+    /// Treat the input as a weighted edge list (`u v w`) and run the
+    /// weighted search (`fpa` -> `WeightedFpa`, `nca` -> `WeightedNca`).
+    pub weighted: bool,
+    /// Return up to this many diverse communities (0 = single community).
+    pub top_k: usize,
+    /// Write a Graphviz DOT rendering of the result here.
+    pub dot_path: Option<String>,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        CliConfig {
+            graph_path: None,
+            query: Vec::new(),
+            algo: "fpa".into(),
+            k: 3,
+            no_pruning: false,
+            stats: false,
+            max_print: 50,
+            weighted: false,
+            top_k: 0,
+            dot_path: None,
+        }
+    }
+}
+
+/// Usage text for `--help` and parse errors.
+pub const USAGE: &str = "\
+dmcs — Density-Modularity based Community Search (SIGMOD 2022)
+
+USAGE:
+    dmcs [--graph <edge-list> | --demo] --query <id[,id...]> [options]
+
+OPTIONS:
+    --graph <path>    SNAP-format edge list (`u v` per line, # comments)
+    --demo            use the embedded Zachary Karate Club instead
+    --query <ids>     comma-separated query node ids (file id space)
+    --algo <name>     fpa | nca | fpa-dmg | nca-dr | exact | bnb |
+                      kc | kt | kecc | highcore | hightruss | ls | lpa | ppr
+                      (default: fpa)
+    --k <int>         k for kc/kt/kecc/ls (default: 3)
+    --no-pruning      disable FPA's layer-based pruning
+    --stats           print conductance/expansion/... of the result
+    --max-print <n>   print at most n member ids, 0 = all (default: 50)
+    --weighted        input has `u v w` lines; use the weighted search
+                      (only fpa and nca support weights)
+    --top-k <n>       return up to n diverse communities (fpa only)
+    --dot <path>      write a Graphviz DOT rendering of the result
+    --help            show this text
+";
+
+/// Parse `args` (without the program name). `Ok(None)` means `--help`.
+pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
+    let mut cfg = CliConfig::default();
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--graph" => cfg.graph_path = Some(value("--graph")?.clone()),
+            "--demo" => demo = true,
+            "--query" => {
+                cfg.query = value("--query")?
+                    .split(',')
+                    .map(|tok| {
+                        tok.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad query id {tok:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--algo" => cfg.algo = value("--algo")?.to_lowercase(),
+            "--k" => {
+                cfg.k = value("--k")?
+                    .parse()
+                    .map_err(|_| "bad --k value".to_string())?;
+            }
+            "--no-pruning" => cfg.no_pruning = true,
+            "--stats" => cfg.stats = true,
+            "--max-print" => {
+                cfg.max_print = value("--max-print")?
+                    .parse()
+                    .map_err(|_| "bad --max-print value".to_string())?;
+            }
+            "--weighted" => cfg.weighted = true,
+            "--top-k" => {
+                cfg.top_k = value("--top-k")?
+                    .parse()
+                    .map_err(|_| "bad --top-k value".to_string())?;
+            }
+            "--dot" => cfg.dot_path = Some(value("--dot")?.clone()),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if demo && cfg.graph_path.is_some() {
+        return Err("--demo and --graph are mutually exclusive".into());
+    }
+    if !demo && cfg.graph_path.is_none() {
+        return Err(format!("either --graph or --demo is required\n\n{USAGE}"));
+    }
+    if cfg.query.is_empty() {
+        return Err(format!("--query is required\n\n{USAGE}"));
+    }
+    if cfg.weighted && !matches!(cfg.algo.as_str(), "fpa" | "nca") {
+        return Err("--weighted supports only --algo fpa or nca".into());
+    }
+    if cfg.weighted && cfg.top_k > 0 {
+        return Err("--top-k is not available with --weighted".into());
+    }
+    if cfg.top_k > 0 && cfg.algo != "fpa" {
+        return Err("--top-k supports only --algo fpa".into());
+    }
+    Ok(Some(cfg))
+}
+
+/// Resolve the algorithm label into a boxed searcher.
+pub fn make_algo(cfg: &CliConfig) -> Result<Box<dyn CommunitySearch>, String> {
+    Ok(match cfg.algo.as_str() {
+        "fpa" => Box::new(Fpa {
+            layer_pruning: !cfg.no_pruning,
+        }),
+        "nca" => Box::new(Nca::default()),
+        "fpa-dmg" => Box::new(FpaDmg),
+        "nca-dr" => Box::new(NcaDr::default()),
+        "exact" => Box::new(Exact),
+        "bnb" => Box::new(BranchAndBound::default()),
+        "kc" => Box::new(KCore::new(cfg.k)),
+        "kt" => Box::new(KTruss::new(cfg.k.max(3))),
+        "kecc" => Box::new(Kecc::new(cfg.k.into())),
+        "highcore" => Box::new(HighCore),
+        "hightruss" => Box::new(HighTruss),
+        "ls" => Box::new(LocalKCore::new(cfg.k)),
+        "lpa" => Box::new(Lpa::default()),
+        "ppr" => Box::new(PprSweep::default()),
+        other => return Err(format!("unknown algorithm {other:?}\n\n{USAGE}")),
+    })
+}
+
+/// Load the graph named by the config. Returns the graph and the
+/// dense-id -> original-id mapping.
+pub fn load_graph(cfg: &CliConfig) -> Result<(Graph, Vec<u64>), String> {
+    match &cfg.graph_path {
+        Some(path) => load_edge_list(path).map_err(|e| format!("cannot read {path}: {e}")),
+        None => {
+            let g = crate::gen::karate::karate();
+            let ids = (0..g.n() as u64).collect();
+            Ok((g, ids))
+        }
+    }
+}
+
+/// Map original query ids to dense ids.
+pub fn map_queries(query: &[u64], original: &[u64]) -> Result<Vec<NodeId>, String> {
+    query
+        .iter()
+        .map(|&raw| {
+            original
+                .iter()
+                .position(|&o| o == raw)
+                .map(|i| i as NodeId)
+                .ok_or_else(|| format!("query node {raw} does not appear in the graph"))
+        })
+        .collect()
+}
+
+/// Print one search result (community in original ids, optional stats).
+fn print_result<W: std::io::Write>(
+    cfg: &CliConfig,
+    out: &mut W,
+    g: &Graph,
+    original: &[u64],
+    label: &str,
+    result: &crate::core::SearchResult,
+    secs: f64,
+) -> Result<(), String> {
+    writeln!(
+        out,
+        "algorithm: {label}   time: {secs:.3}s   |C| = {}   DM = {:.6}",
+        result.community.len(),
+        result.density_modularity
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut members: Vec<u64> = result
+        .community
+        .iter()
+        .map(|&v| original[v as usize])
+        .collect();
+    members.sort_unstable();
+    let shown = if cfg.max_print == 0 {
+        members.len()
+    } else {
+        cfg.max_print.min(members.len())
+    };
+    writeln!(
+        out,
+        "community ({} shown{}): {:?}",
+        shown,
+        if shown < members.len() {
+            format!(" of {}", members.len())
+        } else {
+            String::new()
+        },
+        &members[..shown]
+    )
+    .map_err(|e| e.to_string())?;
+
+    if cfg.stats {
+        let l = g.internal_edges(&result.community);
+        let vol = g.degree_sum(&result.community);
+        let good = Goodness::from_counts(g.n(), result.community.len(), l, vol, g.m() as u64);
+        writeln!(
+            out,
+            "stats: conductance {:.4}  expansion {:.3}  cut-ratio {:.5}  int-density {:.4}  separability {:.3}",
+            good.conductance(),
+            good.expansion(),
+            good.cut_ratio(),
+            good.internal_density(),
+            good.separability()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Write the DOT rendering of `communities` (dense ids, labelled with
+/// original ids).
+fn write_dot_file(
+    path: &str,
+    g: &Graph,
+    original: &[u64],
+    communities: &[&[NodeId]],
+) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let labels = |v: NodeId| original[v as usize].to_string();
+    crate::graph::dot::write_dot(g, communities, Some(&labels), file)
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Full CLI run; writes human-readable output to `out`.
+pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String> {
+    // Weighted path: its own loader and searchers.
+    if cfg.weighted {
+        let path = cfg
+            .graph_path
+            .as_ref()
+            .ok_or("--weighted needs --graph (the demo graph is unweighted)")?;
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (wg, original) =
+            read_weighted_edge_list(file).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let query = map_queries(&cfg.query, &original)?;
+        writeln!(
+            out,
+            "graph: {} nodes, {} edges, total weight {:.3}",
+            wg.n(),
+            wg.m(),
+            wg.total_weight()
+        )
+        .map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let (label, result) = match cfg.algo.as_str() {
+            "fpa" => ("W-FPA", WeightedFpa.search(&wg, &query)),
+            "nca" => ("W-NCA", WeightedNca::default().search(&wg, &query)),
+            _ => unreachable!("parse() restricts weighted algos"),
+        };
+        let result = result.map_err(|e| format!("{label}: {e}"))?;
+        let secs = start.elapsed().as_secs_f64();
+        print_result(cfg, out, wg.topology(), &original, label, &result, secs)?;
+        if let Some(dot) = &cfg.dot_path {
+            write_dot_file(dot, wg.topology(), &original, &[&result.community])?;
+            writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
+    let (g, original) = load_graph(cfg)?;
+    let query = map_queries(&cfg.query, &original)?;
+    writeln!(out, "graph: {} nodes, {} edges", g.n(), g.m()).map_err(|e| e.to_string())?;
+
+    // Top-k path: several diverse communities.
+    if cfg.top_k > 0 {
+        let start = Instant::now();
+        let rounds = top_k_communities(
+            &g,
+            &query,
+            TopKConfig {
+                k: cfg.top_k,
+                min_dm: 0.0,
+            },
+        )
+        .map_err(|e| format!("top-k: {e}"))?;
+        let secs = start.elapsed().as_secs_f64();
+        writeln!(out, "top-{} search found {} communities:", cfg.top_k, rounds.len())
+            .map_err(|e| e.to_string())?;
+        for (i, r) in rounds.iter().enumerate() {
+            print_result(cfg, out, &g, &original, &format!("FPA round {}", i + 1), r, secs)?;
+        }
+        if let Some(dot) = &cfg.dot_path {
+            let comms: Vec<&[NodeId]> = rounds.iter().map(|r| r.community.as_slice()).collect();
+            write_dot_file(dot, &g, &original, &comms)?;
+            writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
+    // Single-community path.
+    let algo = make_algo(cfg)?;
+    let start = Instant::now();
+    let result = algo
+        .search(&g, &query)
+        .map_err(|e| format!("{}: {e}", algo.name()))?;
+    let secs = start.elapsed().as_secs_f64();
+    print_result(cfg, out, &g, &original, algo.name(), &result, secs)?;
+    if let Some(dot) = &cfg.dot_path {
+        write_dot_file(dot, &g, &original, &[&result.community])?;
+        writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let cfg = parse(&args(
+            "--graph g.txt --query 1,2,3 --algo nca --k 4 --stats --max-print 0",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.graph_path.as_deref(), Some("g.txt"));
+        assert_eq!(cfg.query, vec![1, 2, 3]);
+        assert_eq!(cfg.algo, "nca");
+        assert_eq!(cfg.k, 4);
+        assert!(cfg.stats);
+        assert_eq!(cfg.max_print, 0);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&args("--help")).unwrap(), None);
+        assert_eq!(parse(&args("--graph g --query 1 -h")).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args("--query 1")).is_err(), "graph source required");
+        assert!(parse(&args("--demo")).is_err(), "query required");
+        assert!(parse(&args("--demo --graph g --query 1")).is_err());
+        assert!(parse(&args("--demo --query x")).is_err());
+        assert!(parse(&args("--demo --query 1 --k nope")).is_err());
+        assert!(parse(&args("--wat")).is_err());
+        assert!(parse(&args("--graph")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn all_algo_labels_resolve() {
+        for name in [
+            "fpa", "nca", "fpa-dmg", "nca-dr", "exact", "bnb", "kc", "kt", "kecc", "highcore",
+            "hightruss", "ls", "lpa", "ppr",
+        ] {
+            let cfg = CliConfig {
+                algo: name.into(),
+                ..Default::default()
+            };
+            assert!(make_algo(&cfg).is_ok(), "{name} should resolve");
+        }
+        let bad = CliConfig {
+            algo: "zeus".into(),
+            ..Default::default()
+        };
+        assert!(make_algo(&bad).is_err());
+    }
+
+    #[test]
+    fn demo_end_to_end() {
+        let cfg = parse(&args("--demo --query 0 --algo fpa --stats"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("34 nodes, 78 edges"), "{text}");
+        assert!(text.contains("FPA"));
+        assert!(text.contains("conductance"));
+    }
+
+    #[test]
+    fn file_end_to_end_with_sparse_ids() {
+        // Two triangles with sparse original ids joined by a bridge.
+        let dir = std::env::temp_dir().join("dmcs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.txt");
+        std::fs::write(
+            &path,
+            "# toy\n100 200\n200 300\n100 300\n300 4000\n4000 5000\n5000 6000\n4000 6000\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!(
+            "--graph {} --query 100 --algo nca",
+            path.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("[100, 200, 300]"),
+            "community reported in original ids: {text}"
+        );
+    }
+
+    #[test]
+    fn unknown_query_id_is_reported() {
+        let cfg = parse(&args("--demo --query 999")).unwrap().unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, &mut out).unwrap_err();
+        assert!(err.contains("999"));
+    }
+
+    #[test]
+    fn flag_combination_rules() {
+        assert!(parse(&args("--demo --query 0 --weighted --algo kc")).is_err());
+        assert!(parse(&args("--demo --query 0 --weighted --top-k 2")).is_err());
+        assert!(parse(&args("--demo --query 0 --top-k 2 --algo nca")).is_err());
+        assert!(parse(&args("--demo --query 0 --top-k 2")).is_ok());
+        assert!(parse(&args("--graph g --query 0 --weighted --algo nca")).is_ok());
+    }
+
+    #[test]
+    fn weighted_end_to_end() {
+        let dir = std::env::temp_dir().join("dmcs_cli_weighted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.txt");
+        // Heavy triangle 1-2-3, light triangle 4-5-6, light bridge.
+        std::fs::write(
+            &path,
+            "1 2 5.0\n2 3 5.0\n1 3 5.0\n4 5 1.0\n5 6 1.0\n4 6 1.0\n3 4 0.5\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!(
+            "--graph {} --query 1 --weighted --algo fpa",
+            path.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("W-FPA"), "{text}");
+        assert!(text.contains("total weight 18"), "{text}");
+        assert!(text.contains("[1, 2, 3]"), "heavy triangle found: {text}");
+    }
+
+    #[test]
+    fn top_k_end_to_end_on_demo() {
+        let cfg = parse(&args("--demo --query 0 --top-k 3")).unwrap().unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("FPA round 1"), "{text}");
+        assert!(text.contains("search found"), "{text}");
+    }
+
+    #[test]
+    fn dot_output_written() {
+        let dir = std::env::temp_dir().join("dmcs_cli_dot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dot = dir.join("out.dot");
+        let cfg = parse(&args(&format!(
+            "--demo --query 0 --dot {}",
+            dot.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = std::fs::read_to_string(&dot).unwrap();
+        assert!(text.starts_with("graph dmcs {"));
+        assert!(text.contains("fillcolor=lightskyblue"));
+    }
+}

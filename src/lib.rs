@@ -1,0 +1,38 @@
+//! # DMCS — Density-Modularity based Community Search
+//!
+//! Umbrella crate re-exporting the full public API of the DMCS
+//! reproduction workspace (SIGMOD 2022, Kim, Luo, Cong, Yu).
+//!
+//! - [`graph`] — CSR graph substrate, traversals, decompositions.
+//! - [`core`] — density modularity and the NCA / FPA search algorithms.
+//! - [`baselines`] — the eleven baseline community-search algorithms.
+//! - [`gen`] — LFR / SBM / toy-graph generators and embedded datasets.
+//! - [`metrics`] — NMI, ARI, F-score and friends.
+//!
+//! ```
+//! use dmcs::prelude::*;
+//!
+//! let g = dmcs::gen::toy::figure1();
+//! let result = Fpa::default().search(&g, &[0]).unwrap();
+//! assert!(result.community.contains(&0));
+//! ```
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use dmcs_baselines as baselines;
+pub use dmcs_core as core;
+pub use dmcs_gen as gen;
+pub use dmcs_graph as graph;
+pub use dmcs_metrics as metrics;
+
+/// Commonly used items: the graph type, the two main algorithms, the
+/// [`CommunitySearch`](dmcs_core::CommunitySearch) trait and the measures.
+pub mod prelude {
+    pub use dmcs_core::{
+        measure::{classic_modularity, density_modularity},
+        CommunitySearch, Fpa, Nca, SearchResult,
+    };
+    pub use dmcs_graph::{Graph, GraphBuilder, NodeId};
+    pub use dmcs_metrics::{ari, f_score, nmi};
+}

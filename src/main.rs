@@ -1,0 +1,20 @@
+//! `dmcs` — command-line community search. See [`dmcs::cli`] for the
+//! argument grammar; all logic lives in the library so it stays testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dmcs::cli::parse(&args) {
+        Ok(None) => print!("{}", dmcs::cli::USAGE),
+        Ok(Some(cfg)) => {
+            let mut out = std::io::stdout();
+            if let Err(e) = dmcs::cli::run(&cfg, &mut out) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the compiled `dmcs` binary: spawn the real
+//! executable (via `CARGO_BIN_EXE_dmcs`) and check stdout/stderr/exit
+//! codes — the contract a shell user sees.
+
+use std::process::Command;
+
+fn dmcs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmcs"))
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = dmcs().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE:"));
+    assert!(text.contains("--algo"));
+}
+
+#[test]
+fn demo_search_succeeds() {
+    let out = dmcs()
+        .args(["--demo", "--query", "0", "--algo", "fpa", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("34 nodes, 78 edges"), "{text}");
+    assert!(text.contains("DM ="), "{text}");
+    assert!(text.contains("conductance"), "{text}");
+}
+
+#[test]
+fn every_cli_algorithm_answers_on_the_demo() {
+    for algo in [
+        "fpa", "nca", "fpa-dmg", "nca-dr", "kc", "kecc", "highcore", "hightruss", "ls", "lpa",
+        "ppr", "kt",
+    ] {
+        let out = dmcs()
+            .args(["--demo", "--query", "0", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "algo {algo}: {:?}", out);
+    }
+    // The exact solvers refuse the 34-node component with a clean error.
+    for algo in ["exact"] {
+        let out = dmcs()
+            .args(["--demo", "--query", "0", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "bitmask must refuse 34 nodes");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{err}");
+    }
+    // Both exact solvers handle a small file graph (two triangles; a
+    // 34-node Karate run would take minutes in debug builds).
+    let dir = std::env::temp_dir().join("dmcs_bin_exact");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("barbell.txt");
+    std::fs::write(&path, "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3\n").unwrap();
+    for algo in ["exact", "bnb"] {
+        let out = dmcs()
+            .args(["--graph", path.to_str().unwrap(), "--query", "0", "--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "algo {algo}: {:?}", out);
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("[0, 1, 2]"), "algo {algo}: {text}");
+    }
+}
+
+#[test]
+fn bad_flags_exit_2_with_usage() {
+    let out = dmcs().args(["--nonsense"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE:"));
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let out = dmcs()
+        .args(["--graph", "/definitely/not/here.txt", "--query", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn top_k_and_dot_flow() {
+    let dir = std::env::temp_dir().join("dmcs_bin_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("demo.dot");
+    let out = dmcs()
+        .args([
+            "--demo",
+            "--query",
+            "0",
+            "--top-k",
+            "2",
+            "--dot",
+            dot.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("FPA round 1"), "{text}");
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("graph dmcs {"));
+}

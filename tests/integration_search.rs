@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: every algorithm against generated
+//! datasets, checking the hard contracts (connectivity, query inclusion)
+//! and the paper's headline quality ordering.
+
+use dmcs::baselines as bl;
+use dmcs::core::{CommunitySearch, Fpa, FpaDmg, Nca, NcaDr};
+use dmcs::gen::{lfr, queries, sbm, Dataset};
+use dmcs::graph::SubgraphView;
+use dmcs::metrics;
+
+fn all_algorithms() -> Vec<Box<dyn CommunitySearch>> {
+    let mut v = bl::small_graph_baselines();
+    v.push(Box::new(bl::Louvain::default()));
+    v.push(Box::new(Nca::default()));
+    v.push(Box::new(NcaDr::default()));
+    v.push(Box::new(FpaDmg));
+    v.push(Box::new(Fpa::default()));
+    v.push(Box::new(Fpa::without_pruning()));
+    v
+}
+
+fn small_lfr() -> Dataset {
+    let g = lfr::generate(&lfr::LfrConfig {
+        n: 400,
+        avg_degree: 10.0,
+        max_degree: 40,
+        mu: 0.2,
+        min_community: 20,
+        max_community: 80,
+        seed: 1234,
+        ..lfr::LfrConfig::default()
+    });
+    Dataset {
+        name: "lfr-400".into(),
+        graph: g.graph,
+        communities: g.communities,
+        overlapping: false,
+    }
+}
+
+#[test]
+fn every_algorithm_returns_connected_community_with_query_on_karate() {
+    let ds = dmcs::gen::datasets::karate_dataset();
+    for algo in all_algorithms() {
+        for q in [0u32, 33, 8] {
+            match algo.search(&ds.graph, &[q]) {
+                Ok(r) => {
+                    assert!(
+                        r.community.contains(&q),
+                        "{} lost query {q}",
+                        algo.name()
+                    );
+                    let view = SubgraphView::from_nodes(&ds.graph, &r.community);
+                    assert!(
+                        view.is_connected(),
+                        "{} returned a disconnected community for {q}",
+                        algo.name()
+                    );
+                }
+                Err(e) => {
+                    // Only the structurally-constrained models may fail.
+                    assert!(
+                        matches!(algo.name(), "clique" | "kt" | "kecc" | "kc" | "hightruss"),
+                        "{} unexpectedly failed on karate: {e}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_handles_multi_query_or_rejects_cleanly() {
+    let ds = dmcs::gen::datasets::karate_dataset();
+    let query = [0u32, 1, 3];
+    for algo in all_algorithms() {
+        if let Ok(r) = algo.search(&ds.graph, &query) {
+            for q in query {
+                assert!(r.community.contains(&q), "{} dropped {q}", algo.name());
+            }
+            let view = SubgraphView::from_nodes(&ds.graph, &r.community);
+            assert!(view.is_connected(), "{} disconnected", algo.name());
+        }
+    }
+}
+
+#[test]
+fn fpa_beats_kcore_on_lfr_accuracy() {
+    // The paper's headline shape (Fig 8): FPA's NMI far above kc's (which
+    // returns near-whole-graph communities).
+    let ds = small_lfr();
+    let sets = queries::sample_query_sets(&ds, 6, 1, 4, 77);
+    assert!(!sets.is_empty());
+    let fpa = Fpa::default();
+    let kc = bl::KCore::new(3);
+    let mut fpa_scores = Vec::new();
+    let mut kc_scores = Vec::new();
+    for (q, gt) in &sets {
+        let truth = &ds.communities[*gt];
+        if let Ok(r) = fpa.search(&ds.graph, q) {
+            fpa_scores.push(metrics::nmi(ds.graph.n(), &r.community, truth));
+        }
+        if let Ok(r) = kc.search(&ds.graph, q) {
+            kc_scores.push(metrics::nmi(ds.graph.n(), &r.community, truth));
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&fpa_scores) > mean(&kc_scores) + 0.1,
+        "FPA {} vs kc {}",
+        mean(&fpa_scores),
+        mean(&kc_scores)
+    );
+}
+
+#[test]
+fn dmcs_algorithms_report_true_density_modularity() {
+    let ds = small_lfr();
+    let sets = queries::sample_query_sets(&ds, 3, 1, 4, 5);
+    for algo in [
+        &Fpa::default() as &dyn CommunitySearch,
+        &Nca::default(),
+        &FpaDmg,
+        &NcaDr::default(),
+    ] {
+        for (q, _) in &sets {
+            let r = algo.search(&ds.graph, q).unwrap();
+            let expect = dmcs::core::measure::density_modularity(&ds.graph, &r.community);
+            assert!(
+                (r.density_modularity - expect).abs() < 1e-9,
+                "{} misreports DM: {} vs {}",
+                algo.name(),
+                r.density_modularity,
+                expect
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_partition_recovered_by_fpa() {
+    let (g, comms) = sbm::planted_partition(&[30, 30, 30], 0.5, 0.02, 99);
+    let q = comms[1][0];
+    let r = Fpa::default().search(&g, &[q]).unwrap();
+    let nmi = metrics::nmi(g.n(), &r.community, &comms[1]);
+    assert!(nmi > 0.6, "FPA NMI on planted partition only {nmi}");
+}
+
+#[test]
+fn two_block_standins_are_searchable() {
+    for ds in dmcs::gen::datasets::small_real_world(3) {
+        let sets = queries::sample_query_sets(&ds, 4, 1, 4, 8);
+        assert!(!sets.is_empty(), "{} yielded no queries", ds.name);
+        for (q, _) in &sets {
+            let r = Fpa::default().search(&ds.graph, q).unwrap();
+            assert!(r.community.contains(&q[0]));
+        }
+    }
+}
+
+#[test]
+fn variants_agree_on_objective_direction() {
+    // All four DMCS variants maximise the same objective; their returned
+    // DM scores should be within a reasonable band of each other on a
+    // well-clustered graph.
+    let (g, comms) = sbm::planted_partition(&[25, 25], 0.5, 0.03, 11);
+    let q = comms[0][0];
+    let scores: Vec<f64> = [
+        Fpa::default().search(&g, &[q]).unwrap().density_modularity,
+        Fpa::without_pruning()
+            .search(&g, &[q])
+            .unwrap()
+            .density_modularity,
+        FpaDmg.search(&g, &[q]).unwrap().density_modularity,
+        Nca::default().search(&g, &[q]).unwrap().density_modularity,
+        NcaDr::default().search(&g, &[q]).unwrap().density_modularity,
+    ]
+    .to_vec();
+    let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+    let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max - min < 0.5 * max.abs() + 1.0, "variants diverge: {scores:?}");
+}

@@ -1,0 +1,72 @@
+//! Integration tests pinning the paper's worked examples through the
+//! public umbrella API — exactly the numbers printed in §3–§4.
+
+use dmcs::core::measure::{classic_modularity, density_modularity};
+use dmcs::gen::{ring, toy};
+
+const EPS: f64 = 1e-6;
+
+#[test]
+fn example1_classic_modularity_through_public_api() {
+    let g = toy::figure1();
+    let cm_a = classic_modularity(&g, &toy::figure1_community_a());
+    let cm_ab = classic_modularity(&g, &toy::figure1_community_ab());
+    assert!((cm_a - 0.158284).abs() < EPS);
+    assert!((cm_ab - 0.2485207).abs() < EPS);
+}
+
+#[test]
+fn example2_density_modularity_through_public_api() {
+    // Paper values are 2x Definition 2 (documented in dmcs-core).
+    let g = toy::figure1();
+    let dm_a = density_modularity(&g, &toy::figure1_community_a());
+    let dm_ab = density_modularity(&g, &toy::figure1_community_ab());
+    assert!((2.0 * dm_a - 1.028846).abs() < EPS);
+    assert!((2.0 * dm_ab - 0.8076923).abs() < EPS);
+    assert!(dm_a > dm_ab);
+}
+
+#[test]
+fn example3_ring_of_cliques_through_public_api() {
+    let g = ring::ring_of_cliques(30, 6);
+    let split = ring::split_community(0, 6);
+    let merged = ring::merged_community(0, 30, 6);
+    assert!((classic_modularity(&g, &merged) - 0.06013889).abs() < EPS);
+    assert!((classic_modularity(&g, &split) - 0.03013889).abs() < EPS);
+    assert!((density_modularity(&g, &merged) - 2.405556).abs() < EPS);
+    assert!((density_modularity(&g, &split) - 2.411111).abs() < EPS);
+}
+
+#[test]
+fn dmcs_prefers_split_clique_on_the_ring() {
+    // The headline claim of Example 3: searching from a clique member,
+    // DMCS must return (at most) the clique, never two merged cliques.
+    // Algorithm 2 proper (no layer pruning) passes through the exact
+    // single-clique snapshot; so does NCA.
+    use dmcs::prelude::*;
+    let g = ring::ring_of_cliques(30, 6);
+    let r = Fpa::without_pruning().search(&g, &[0]).unwrap();
+    assert!(
+        r.community.len() <= 6,
+        "resolution limit: got {} nodes",
+        r.community.len()
+    );
+    assert!(r.community.contains(&0));
+    let r = Nca::default().search(&g, &[0]).unwrap();
+    assert!(r.community.len() <= 6, "NCA merged cliques");
+    // The §5.7 layer-pruned FPA trades a little accuracy for speed: it may
+    // keep up to one extra clique (it peels node-level only within the
+    // outermost selected layer), but never more.
+    let r = Fpa::default().search(&g, &[0]).unwrap();
+    assert!(
+        r.community.len() <= 12,
+        "pruned FPA kept {} nodes",
+        r.community.len()
+    );
+}
+
+#[test]
+fn table1_karate_statistics() {
+    let ds = dmcs::gen::datasets::karate_dataset();
+    assert_eq!(ds.stats(), (34, 78, 2));
+}

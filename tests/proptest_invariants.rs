@@ -1,0 +1,212 @@
+//! Property-based tests (proptest) over the invariants catalogued in
+//! DESIGN.md §6: random graphs, random communities, random peelings.
+
+use dmcs::core::measure::{
+    classic_modularity, density_modularity, density_modularity_counts, dm_gain,
+    updated_density_modularity,
+};
+use dmcs::core::theory::{lemma1_holds, lemma2_holds};
+use dmcs::core::{CommunitySearch, Fpa, Nca};
+use dmcs::graph::articulation::{articulation_nodes, is_articulation_brute_force};
+use dmcs::graph::cores::{core_decomposition, k_core_nodes};
+use dmcs::graph::truss::{edge_support, truss_decomposition, EdgeIndex};
+use dmcs::graph::{Graph, GraphBuilder, NodeId, SubgraphView};
+use dmcs::metrics::{ari_partition, nmi_partition};
+use proptest::prelude::*;
+
+/// Random simple graph on up to `max_n` nodes via an edge-probability mask.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::weighted(0.25), pairs).prop_map(move |mask| {
+            let mut b = GraphBuilder::new(n);
+            let mut k = 0usize;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[k] {
+                        b.add_edge(u as NodeId, v as NodeId);
+                    }
+                    k += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn articulation_matches_brute_force(g in arb_graph(16)) {
+        let view = SubgraphView::full(&g);
+        let fast = articulation_nodes(&view);
+        for v in 0..g.n() as NodeId {
+            prop_assert_eq!(
+                fast[v as usize],
+                is_articulation_brute_force(&view, v),
+                "node {} disagrees", v
+            );
+        }
+    }
+
+    #[test]
+    fn coreness_peeling_definition(g in arb_graph(20)) {
+        let core = core_decomposition(&g);
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        for k in 1..=max_core {
+            let nodes = k_core_nodes(&g, k);
+            let view = SubgraphView::from_nodes(&g, &nodes);
+            for &v in &nodes {
+                prop_assert!(view.local_degree(v) >= k);
+            }
+        }
+    }
+
+    #[test]
+    fn trussness_support_invariant(g in arb_graph(14)) {
+        if g.m() == 0 { return Ok(()); }
+        let idx = EdgeIndex::new(&g);
+        let truss = truss_decomposition(&g, &idx);
+        let kmax = truss.iter().copied().max().unwrap_or(2);
+        for k in 3..=kmax {
+            let keep: Vec<(NodeId, NodeId)> = (0..idx.m() as u32)
+                .filter(|&e| truss[e as usize] >= k)
+                .map(|e| idx.endpoints(e))
+                .collect();
+            if keep.is_empty() { continue; }
+            let sub = GraphBuilder::from_edges(g.n(), &keep);
+            let sidx = EdgeIndex::new(&sub);
+            for (e, &s) in edge_support(&sub, &sidx).iter().enumerate() {
+                prop_assert!(s + 2 >= k, "edge {:?} support {} below {}-truss",
+                    sidx.endpoints(e as u32), s, k);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_dm_equals_recomputation(g in arb_graph(16), order in proptest::collection::vec(0..16u32, 1..10)) {
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let m = g.m() as u64;
+        if m == 0 { return Ok(()); }
+        let mut alive = nodes.clone();
+        let mut l = g.internal_edges(&alive);
+        let mut d = g.degree_sum(&alive);
+        let mut in_s = vec![true; g.n()];
+        for &v in &order {
+            let v = v % g.n() as u32;
+            if !in_s[v as usize] || alive.len() <= 1 { continue; }
+            let k: u64 = g.neighbors(v).iter().filter(|&&w| in_s[w as usize]).count() as u64;
+            // Definition 5 identity before removal:
+            let predicted = updated_density_modularity(l, k, d, g.degree(v) as u64, alive.len(), m);
+            in_s[v as usize] = false;
+            alive.retain(|&u| u != v);
+            l -= k;
+            d -= g.degree(v) as u64;
+            let incr = density_modularity_counts(l, d, alive.len(), m);
+            let direct = density_modularity(&g, &alive);
+            prop_assert!((incr - direct).abs() < 1e-9);
+            prop_assert!((predicted - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gain_is_order_equivalent_to_updated_dm(g in arb_graph(14)) {
+        let m = g.m() as u64;
+        if m == 0 { return Ok(()); }
+        let s: Vec<NodeId> = g.nodes().collect();
+        let l = g.internal_edges(&s);
+        let d = g.degree_sum(&s);
+        if s.len() < 3 { return Ok(()); }
+        let mut scored: Vec<(i128, f64)> = Vec::new();
+        for &v in &s {
+            let k = g.degree(v) as u64; // full view: k_{v,S} = deg(v)
+            let dv = g.degree(v) as u64;
+            scored.push((
+                dm_gain(m, k, d, dv),
+                updated_density_modularity(l, k, d, dv, s.len(), m),
+            ));
+        }
+        for a in &scored {
+            for b in &scored {
+                if a.0 > b.0 {
+                    prop_assert!(a.1 >= b.1 - 1e-9, "gain ordering violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_contracts_hold_on_random_graphs(g in arb_graph(18), q in 0..18u32) {
+        let q = q % g.n() as u32;
+        for algo in [&Fpa::default() as &dyn CommunitySearch, &Fpa::without_pruning(), &Nca::default()] {
+            let r = algo.search(&g, &[q]).unwrap();
+            prop_assert!(r.community.contains(&q));
+            let view = SubgraphView::from_nodes(&g, &r.community);
+            prop_assert!(view.is_connected());
+            // Returned DM is at least the DM of the query's full component
+            // (the initial snapshot always competes).
+            let comp = dmcs::graph::traversal::component_of(&g, q);
+            prop_assert!(
+                r.density_modularity >= density_modularity(&g, &comp) - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn lemmas_never_violated(g in arb_graph(14), cut in 1..13usize) {
+        let n = g.n();
+        let cut = cut % (n - 1) + 1;
+        let s: Vec<NodeId> = (0..cut as NodeId).collect();
+        let s_star: Vec<NodeId> = (cut as NodeId..n as NodeId).collect();
+        prop_assert!(lemma1_holds(&g, &s, &s_star));
+        prop_assert!(lemma2_holds(&g, &s, &s_star));
+        prop_assert!(lemma1_holds(&g, &s_star, &s));
+        prop_assert!(lemma2_holds(&g, &s_star, &s));
+    }
+
+    #[test]
+    fn metric_symmetry_and_bounds(labels_a in proptest::collection::vec(0..4u32, 8..24)) {
+        let labels_b: Vec<u32> = labels_a.iter().map(|&x| (x + 1) % 4).collect();
+        let nmi_ab = nmi_partition(&labels_a, &labels_b);
+        let nmi_ba = nmi_partition(&labels_b, &labels_a);
+        prop_assert!((nmi_ab - nmi_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&nmi_ab));
+        let ari_ab = ari_partition(&labels_a, &labels_b);
+        let ari_ba = ari_partition(&labels_b, &labels_a);
+        prop_assert!((ari_ab - ari_ba).abs() < 1e-12);
+        // Relabelling is a bijection here: partitions are identical.
+        prop_assert!((nmi_ab - 1.0).abs() < 1e-9);
+        prop_assert!((ari_ab - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn farthest_layer_removal_never_disconnects(g in arb_graph(16), q in 0..16u32) {
+        // DESIGN.md invariant 2 / §5.2.2: every node of the farthest BFS
+        // layer is removable — its removal keeps the query's component
+        // connected (each remaining node keeps a BFS parent one layer in).
+        let q = q % g.n() as u32;
+        let comp = dmcs::graph::traversal::component_of(&g, q);
+        if comp.len() < 3 { return Ok(()); }
+        let dist = dmcs::graph::traversal::multi_source_bfs(&g, &[q]);
+        let max_d = comp.iter().map(|&v| dist[v as usize]).max().unwrap();
+        if max_d == 0 { return Ok(()); }
+        for &v in comp.iter().filter(|&&v| dist[v as usize] == max_d) {
+            let mut view = SubgraphView::from_nodes(&g, &comp);
+            view.remove(v);
+            prop_assert!(view.is_connected(),
+                "removing farthest node {} disconnected the component", v);
+        }
+    }
+
+    #[test]
+    fn classic_and_density_modularity_identity(g in arb_graph(16), size in 2..10usize) {
+        let m = g.m();
+        if m == 0 { return Ok(()); }
+        let c: Vec<NodeId> = (0..size.min(g.n()) as NodeId).collect();
+        let cm = classic_modularity(&g, &c);
+        let dm = density_modularity(&g, &c);
+        // DM = CM * m / |C| (both derive from the same (l, d) pair).
+        prop_assert!((dm - cm * m as f64 / c.len() as f64).abs() < 1e-9);
+    }
+}
