@@ -49,9 +49,8 @@ impl CommunitySearch for Cnm {
         // Which community currently holds each node (for query tracking).
         let mut comm_of: Vec<u32> = (0..n as u32).collect();
 
-        let delta_q = |e_ij: f64, a_i: f64, a_j: f64| -> f64 {
-            e_ij / m - a_i * a_j / (2.0 * m * m)
-        };
+        let delta_q =
+            |e_ij: f64, a_i: f64, a_j: f64| -> f64 { e_ij / m - a_i * a_j / (2.0 * m * m) };
 
         // Lazy max-heap of candidate merges.
         let mut heap: std::collections::BinaryHeap<(OrdF64, u32, u32)> =
@@ -144,10 +143,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -171,11 +167,7 @@ mod tests {
         let q = comms[0][0];
         let r = Cnm.search(&g, &[q]).unwrap();
         // The returned community should be mostly block 0.
-        let inside = r
-            .community
-            .iter()
-            .filter(|v| comms[0].contains(v))
-            .count();
+        let inside = r.community.iter().filter(|v| comms[0].contains(v)).count();
         assert!(inside * 2 > r.community.len(), "community leaked blocks");
     }
 

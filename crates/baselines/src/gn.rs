@@ -86,10 +86,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -281,7 +281,11 @@ impl<'g> TrussState<'g> {
                 return None;
             }
         }
-        let dist_max = comp.iter().map(|&v| self.dist[v as usize]).max().unwrap_or(0);
+        let dist_max = comp
+            .iter()
+            .map(|&v| self.dist[v as usize])
+            .max()
+            .unwrap_or(0);
         Some((dist_max, comp))
     }
 }
@@ -368,7 +372,11 @@ mod tests {
         // query keeps its own clique.
         let g = two_k4();
         let single = Huang2015::default().search(&g, &[1]).unwrap();
-        assert!(single.community.len() <= 5, "stays near node 1: {:?}", single.community);
+        assert!(
+            single.community.len() <= 5,
+            "stays near node 1: {:?}",
+            single.community
+        );
         assert!(!single.community.contains(&7));
     }
 

@@ -74,11 +74,7 @@ impl CommunitySearch for Icwi2008 {
                 }
             }
             for v in frontier {
-                let k_in = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&w| in_s[w as usize])
-                    .count() as u64;
+                let k_in = g.neighbors(v).iter().filter(|&&w| in_s[w as usize]).count() as u64;
                 let k_out = g.degree(v) as u64 - k_in;
                 let new_m = local_modularity(l_in + k_in, l_out - k_in + k_out);
                 if new_m > local_modularity(l_in, l_out) {
@@ -132,10 +128,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -35,11 +35,9 @@ impl CommunitySearch for Kecc {
                 return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
             }
         }
-        let community = k_edge_connected_community(g, self.k, query).ok_or(
-            SearchError::Graph(GraphError::NoFeasibleSolution(
-                "no k-edge-connected component contains all queries",
-            )),
-        )?;
+        let community = k_edge_connected_community(g, self.k, query).ok_or(SearchError::Graph(
+            GraphError::NoFeasibleSolution("no k-edge-connected component contains all queries"),
+        ))?;
         Ok(result_from_nodes(g, community))
     }
 }

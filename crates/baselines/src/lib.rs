@@ -34,11 +34,11 @@ pub mod huang2015;
 pub mod icwi2008;
 pub mod kcore;
 pub mod kecc;
+pub mod ktruss;
 pub mod local_kcore;
+pub mod louvain;
 pub mod lpa;
 pub mod ppr_sweep;
-pub mod ktruss;
-pub mod louvain;
 pub mod wu2015;
 
 pub use clique::CliquePercolation;
@@ -48,11 +48,11 @@ pub use huang2015::Huang2015;
 pub use icwi2008::Icwi2008;
 pub use kcore::{HighCore, KCore};
 pub use kecc::Kecc;
+pub use ktruss::{HighTruss, KTruss};
 pub use local_kcore::LocalKCore;
+pub use louvain::Louvain;
 pub use lpa::Lpa;
 pub use ppr_sweep::PprSweep;
-pub use ktruss::{HighTruss, KTruss};
-pub use louvain::Louvain;
 pub use wu2015::Wu2015;
 
 use dmcs_core::measure::density_modularity;

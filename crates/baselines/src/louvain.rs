@@ -48,7 +48,10 @@ impl CommunitySearch for Louvain {
                 "queries fall into different Louvain communities",
             )));
         }
-        let community: Vec<NodeId> = g.nodes().filter(|&v| labels[v as usize] == target).collect();
+        let community: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| labels[v as usize] == target)
+            .collect();
         Ok(result_from_nodes(g, community))
     }
 }
@@ -159,10 +162,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

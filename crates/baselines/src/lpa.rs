@@ -145,16 +145,14 @@ impl CommunitySearch for Lpa {
         // ... plus, if the union is disconnected, the bridge nodes of the
         // shortest-path Steiner seed, so the result is always connected.
         let mut view = SubgraphView::from_nodes(g, &members);
-        let connected =
-            query.iter().all(|&q| view.contains(q)) && {
-                view.retain_component(query[0]);
-                query.iter().all(|&q| view.contains(q))
-            };
+        let connected = query.iter().all(|&q| view.contains(q)) && {
+            view.retain_component(query[0]);
+            query.iter().all(|&q| view.contains(q))
+        };
         if connected {
             members.retain(|&v| view.contains(v));
         } else {
-            let seed = dmcs_graph::steiner::steiner_seed(g, query)
-                .map_err(SearchError::Graph)?;
+            let seed = dmcs_graph::steiner::steiner_seed(g, query).map_err(SearchError::Graph)?;
             members.extend_from_slice(&seed);
             members.sort_unstable();
             members.dedup();
@@ -172,10 +170,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

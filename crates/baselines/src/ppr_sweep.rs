@@ -19,7 +19,7 @@ use dmcs_graph::traversal::same_component;
 use dmcs_graph::{Graph, GraphError, NodeId, SubgraphView};
 
 /// PPR sweep-cut community search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PprSweep {
     /// Teleport probability `1 − α` is the locality knob; the default
     /// damping 0.85 matches the PageRank convention.
@@ -27,15 +27,6 @@ pub struct PprSweep {
     /// Cap on the sweep prefix length (0 = no cap). Bounding the sweep is
     /// what keeps the method "local" on large graphs.
     pub max_size: usize,
-}
-
-impl Default for PprSweep {
-    fn default() -> Self {
-        PprSweep {
-            config: PageRankConfig::default(),
-            max_size: 0,
-        }
-    }
 }
 
 impl CommunitySearch for PprSweep {
@@ -138,10 +129,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

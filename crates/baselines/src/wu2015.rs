@@ -119,10 +119,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -131,7 +128,11 @@ mod tests {
         let r = Wu2015::default().search(&g, &[0]).unwrap();
         assert!(r.community.contains(&0));
         // The far triangle is penalised 4-8x: it should be peeled away.
-        assert!(!r.community.contains(&5), "far node survived: {:?}", r.community);
+        assert!(
+            !r.community.contains(&5),
+            "far node survived: {:?}",
+            r.community
+        );
         let view = SubgraphView::from_nodes(&g, &r.community);
         assert!(view.is_connected());
     }

@@ -18,18 +18,30 @@ fn bench_exact(c: &mut Criterion) {
             b.iter(|| Exact.search(black_box(g), &[0]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("bnb/sbm", n), &g, |b, g| {
-            b.iter(|| BranchAndBound::default().search(black_box(g), &[0]).unwrap())
+            b.iter(|| {
+                BranchAndBound::default()
+                    .search(black_box(g), &[0])
+                    .unwrap()
+            })
         });
     }
 
     // Past the bitmask cap: only branch-and-bound (structure-dependent).
     let ring30 = ring::ring_of_cliques(5, 6);
     group.bench_function("bnb/ring_30", |b| {
-        b.iter(|| BranchAndBound::default().search(black_box(&ring30), &[0]).unwrap())
+        b.iter(|| {
+            BranchAndBound::default()
+                .search(black_box(&ring30), &[0])
+                .unwrap()
+        })
     });
     let (sbm30, _) = sbm::planted_partition(&[15, 15], 0.55, 0.06, 3);
     group.bench_function("bnb/sbm_30", |b| {
-        b.iter(|| BranchAndBound::default().search(black_box(&sbm30), &[0]).unwrap())
+        b.iter(|| {
+            BranchAndBound::default()
+                .search(black_box(&sbm30), &[0])
+                .unwrap()
+        })
     });
 
     // The heuristic for reference: what the exponential gap buys.

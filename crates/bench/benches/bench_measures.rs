@@ -3,8 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dmcs_core::measure::{
-    classic_modularity, density_modularity, density_ratio, dm_gain,
-    generalized_modularity_density,
+    classic_modularity, density_modularity, density_ratio, dm_gain, generalized_modularity_density,
 };
 use dmcs_gen::{karate, ring};
 

@@ -25,15 +25,11 @@ fn bench_realworld(c: &mut Criterion) {
             algos.push(Box::new(bl::Gn::default()));
         }
         for a in &algos {
-            group.bench_with_input(
-                BenchmarkId::new(a.name(), &ds.name),
-                &ds,
-                |b, ds| {
-                    b.iter(|| {
-                        let _ = a.search(&ds.graph, &q);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(a.name(), &ds.name), &ds, |b, ds| {
+                b.iter(|| {
+                    let _ = a.search(&ds.graph, &q);
+                })
+            });
         }
     }
     group.finish();

@@ -33,15 +33,11 @@ fn bench_scalability(c: &mut Criterion) {
             &KCore::new(3),
             &HighCore,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &ds,
-                |b, ds| {
-                    b.iter(|| {
-                        let _ = algo.search(&ds.graph, &q);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &ds, |b, ds| {
+                b.iter(|| {
+                    let _ = algo.search(&ds.graph, &q);
+                })
+            });
         }
     }
     group.finish();

@@ -53,9 +53,24 @@ pub fn approx(scale: Scale) {
     ];
     for (label, graphs) in &families {
         let variants: Vec<(&str, &dyn CommunitySearch)> = vec![
-            ("FPA (pruned)", &Fpa { layer_pruning: true }),
-            ("FPA (no pruning)", &Fpa { layer_pruning: false }),
-            ("NCA", &Nca { max_iterations: None }),
+            (
+                "FPA (pruned)",
+                &Fpa {
+                    layer_pruning: true,
+                },
+            ),
+            (
+                "FPA (no pruning)",
+                &Fpa {
+                    layer_pruning: false,
+                },
+            ),
+            (
+                "NCA",
+                &Nca {
+                    max_iterations: None,
+                },
+            ),
         ];
         for (variant, algo) in variants {
             let mut ratios = Vec::new();
@@ -63,8 +78,12 @@ pub fn approx(scale: Scale) {
             let mut total = 0usize;
             for g in graphs {
                 let q = 0u32;
-                let Ok(opt) = Exact.search(g, &[q]) else { continue };
-                let Ok(h) = algo.search(g, &[q]) else { continue };
+                let Ok(opt) = Exact.search(g, &[q]) else {
+                    continue;
+                };
+                let Ok(h) = algo.search(g, &[q]) else {
+                    continue;
+                };
                 if opt.density_modularity <= 0.0 {
                     continue;
                 }
@@ -112,9 +131,10 @@ pub fn imbalance(_scale: Scale) {
         let nmis: Vec<f64> = sets
             .iter()
             .filter_map(|(q, c)| {
-                Nca::default().search(&ds.graph, q).ok().map(|r| {
-                    dmcs_metrics::nmi(ds.graph.n(), &r.community, &ds.communities[*c])
-                })
+                Nca::default()
+                    .search(&ds.graph, q)
+                    .ok()
+                    .map(|r| dmcs_metrics::nmi(ds.graph.n(), &r.community, &ds.communities[*c]))
             })
             .collect();
         let nmi = median(&nmis);
@@ -218,16 +238,8 @@ pub fn detect(scale: Scale) {
     let mut w = csv_writer("extra_detect").expect("results dir");
     csv_line(&mut w, &["detector,partition_nmi,communities".to_string()]).unwrap();
     for (name, labels, count) in [
-        (
-            "DM detection (ours)",
-            &dm_labels,
-            dm_comms.len(),
-        ),
-        (
-            "Louvain",
-            &louvain_labels,
-            distinct(&louvain_labels),
-        ),
+        ("DM detection (ours)", &dm_labels, dm_comms.len()),
+        ("Louvain", &louvain_labels, distinct(&louvain_labels)),
         ("LPA", &lpa_labels, distinct(&lpa_labels)),
     ] {
         let nmi = dmcs_metrics::nmi_partition(labels, &truth);

@@ -87,7 +87,9 @@ pub fn bnb(scale: Scale) {
                     continue;
                 };
                 expanded.push(opt.iterations as f64);
-                let Ok(h) = algo.search(g, &[0]) else { continue };
+                let Ok(h) = algo.search(g, &[0]) else {
+                    continue;
+                };
                 if opt.density_modularity <= 0.0 {
                     continue;
                 }
@@ -169,7 +171,9 @@ pub fn goodness(scale: Scale) {
         let (mut sizes, mut cond, mut exp, mut cutr, mut dens, mut sep) =
             (vec![], vec![], vec![], vec![], vec![], vec![]);
         for (q, _) in &queries {
-            let Ok(r) = algo.search(&ds.graph, q) else { continue };
+            let Ok(r) = algo.search(&ds.graph, q) else {
+                continue;
+            };
             let c = &r.community;
             let l = ds.graph.internal_edges(c);
             let vol = ds.graph.degree_sum(c);
@@ -258,8 +262,7 @@ pub fn topk(scale: Scale) {
         let Ok(single) = Fpa::default().search(&g.graph, &[q]) else {
             continue;
         };
-        let Ok(rounds) = top_k_communities(&g.graph, &[q], TopKConfig { k: 2, min_dm: 0.0 })
-        else {
+        let Ok(rounds) = top_k_communities(&g.graph, &[q], TopKConfig { k: 2, min_dm: 0.0 }) else {
             continue;
         };
         rounds_found.push(rounds.len() as f64);
@@ -267,18 +270,16 @@ pub fn topk(scale: Scale) {
         // available community achieves against it.
         let cover = |cands: &[Vec<NodeId>]| -> f64 {
             gts.iter()
-                .map(|gt| {
-                    cands
-                        .iter()
-                        .map(|c| set_f1(c, gt))
-                        .fold(0.0f64, f64::max)
-                })
+                .map(|gt| cands.iter().map(|c| set_f1(c, gt)).fold(0.0f64, f64::max))
                 .sum::<f64>()
                 / gts.len() as f64
         };
         single_cover.push(cover(std::slice::from_ref(&single.community)));
         topk_cover.push(cover(
-            &rounds.iter().map(|r| r.community.clone()).collect::<Vec<_>>(),
+            &rounds
+                .iter()
+                .map(|r| r.community.clone())
+                .collect::<Vec<_>>(),
         ));
     }
 
@@ -302,12 +303,23 @@ pub fn topk(scale: Scale) {
 
 /// Build a weighted two-block graph whose topology is nearly
 /// uninformative but whose weights carry the block structure.
-fn weighted_blocks(block: usize, p_in: f64, p_out: f64, w_in: f64, w_out: f64, seed: u64) -> (WeightedGraph, Vec<Vec<NodeId>>) {
+fn weighted_blocks(
+    block: usize,
+    p_in: f64,
+    p_out: f64,
+    w_in: f64,
+    w_out: f64,
+    seed: u64,
+) -> (WeightedGraph, Vec<Vec<NodeId>>) {
     let (g, comms) = sbm::planted_partition(&[block, block], p_in, p_out, seed);
     let mut b = WeightedGraphBuilder::new(g.n());
     let block_of = |v: NodeId| usize::from(v as usize >= block);
     for (u, v) in g.edges() {
-        let w = if block_of(u) == block_of(v) { w_in } else { w_out };
+        let w = if block_of(u) == block_of(v) {
+            w_in
+        } else {
+            w_out
+        };
         b.add_edge(u, v, w);
     }
     (b.build(), comms)
@@ -355,7 +367,11 @@ pub fn weighted(scale: Scale) {
         ]);
         csv_line(
             &mut w,
-            &[format!("{name},{:.4},{:.0}", median(&scores[i]), median(&sizes[i]))],
+            &[format!(
+                "{name},{:.4},{:.0}",
+                median(&scores[i]),
+                median(&sizes[i])
+            )],
         )
         .unwrap();
     }

@@ -46,11 +46,7 @@ pub fn fig4(scale: Scale) {
                 measured += 1;
             }
         }
-        let le4: usize = hist
-            .iter()
-            .filter(|(&d, _)| d <= 4)
-            .map(|(_, &c)| c)
-            .sum();
+        let le4: usize = hist.iter().filter(|(&d, _)| d <= 4).map(|(_, &c)| c).sum();
         let rows: Vec<Vec<String>> = hist
             .iter()
             .map(|(d, c)| vec![d.to_string(), c.to_string()])

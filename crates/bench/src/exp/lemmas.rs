@@ -5,9 +5,7 @@
 
 use crate::harness::{print_table, Scale};
 use dmcs_core::measure::{classic_modularity, density_modularity};
-use dmcs_core::theory::{
-    lemma1_holds, lemma2_holds, suffers_free_rider, suffers_resolution_limit,
-};
+use dmcs_core::theory::{lemma1_holds, lemma2_holds, suffers_free_rider, suffers_resolution_limit};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};

@@ -54,7 +54,30 @@ pub fn run(name: &str, scale: Scale) -> bool {
 
 /// Every experiment, in presentation order.
 pub const ALL_EXPERIMENTS: [&str; 26] = [
-    "table1", "table2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "lemmas", "approx",
-    "imbalance", "position", "detect", "bnb", "goodness", "weighted", "topk",
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "lemmas",
+    "approx",
+    "imbalance",
+    "position",
+    "detect",
+    "bnb",
+    "goodness",
+    "weighted",
+    "topk",
 ];

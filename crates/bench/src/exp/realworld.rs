@@ -10,7 +10,10 @@ use dmcs_gen::{datasets, lfr, queries, Dataset};
 /// (Karate exact; the rest matched stand-ins, DESIGN.md §3).
 pub fn fig15_fig16(scale: Scale, timing: bool) {
     let (title, csv) = if timing {
-        ("Fig 16: efficiency on graphs with distinct communities", "fig16")
+        (
+            "Fig 16: efficiency on graphs with distinct communities",
+            "fig16",
+        )
     } else {
         (
             "Fig 15: effectiveness on graphs with distinct communities (NMI / ARI)",
@@ -65,7 +68,10 @@ pub fn fig15_fig16(scale: Scale, timing: bool) {
             .unwrap();
         }
         if big {
-            rows.push(vec!["clique/GN".into(), "NA (paper: >24h on Polblogs)".into()]);
+            rows.push(vec![
+                "clique/GN".into(),
+                "NA (paper: >24h on Polblogs)".into(),
+            ]);
         }
         println!("-- {}", ds.name);
         if timing {
@@ -121,7 +127,10 @@ fn overlapping_standins(scale: Scale) -> Vec<Dataset> {
 /// the paper's baseline set: kc, kt, kecc, highcore, hightruss, FPA.
 pub fn fig17_fig18(scale: Scale, timing: bool) {
     let (title, csv) = if timing {
-        ("Fig 18: efficiency on graphs with overlapping communities", "fig18")
+        (
+            "Fig 18: efficiency on graphs with overlapping communities",
+            "fig18",
+        )
     } else {
         (
             "Fig 17: effectiveness on graphs with overlapping communities (NMI / ARI)",

@@ -1,8 +1,8 @@
 //! The LFR-based synthetic experiments: Figs 8–14.
 
 use crate::harness::{
-    aggregate, csv_line, csv_writer, evaluate_on, evaluate_queries_parallel, f3, mean,
-    print_table, EvalRow, Scale,
+    aggregate, csv_line, csv_writer, evaluate_on, evaluate_queries_parallel, f3, mean, print_table,
+    EvalRow, Scale,
 };
 use dmcs_baselines as bl;
 use dmcs_core::measure::{classic_modularity_counts, density_modularity_counts};
@@ -148,25 +148,14 @@ pub fn fig8_fig9(scale: Scale, timing: bool) {
     }
     let algos = fig8_algos();
     let (title, csv) = if timing {
-        (
-            "Fig 9: efficiency on benchmark networks (seconds)",
-            "fig9",
-        )
+        ("Fig 9: efficiency on benchmark networks (seconds)", "fig9")
     } else {
         (
             "Fig 8: effectiveness on benchmark networks (NMI / ARI / F-score)",
             "fig8",
         )
     };
-    report(
-        title,
-        csv,
-        &configs,
-        &algos,
-        scale.query_sets(),
-        1,
-        timing,
-    );
+    report(title, csv, &configs, &algos, scale.query_sets(), 1, timing);
     if !timing {
         println!(
             "Expected shape (paper): FPA and huang2015 lead; kc/kt/kecc/highcore/\
@@ -174,9 +163,7 @@ pub fn fig8_fig9(scale: Scale, timing: bool) {
              as d_max grows; d_avg has little effect."
         );
     } else {
-        println!(
-            "Expected shape (paper): NCA slowest; FPA comparable to kc/kt/kecc."
-        );
+        println!("Expected shape (paper): NCA slowest; FPA comparable to kc/kt/kecc.");
     }
 }
 
@@ -199,7 +186,11 @@ pub fn fig10(scale: Scale) {
         for (a, rs) in algos.iter().zip(&per_algo) {
             let (nmi, ari, _, _, ok) = aggregate(rs);
             rows.push(vec![a.name().to_string(), f3(nmi), f3(ari), f3(ok)]);
-            csv_line(&mut w, &[format!("{q_size},{},{nmi:.4},{ari:.4}", a.name())]).unwrap();
+            csv_line(
+                &mut w,
+                &[format!("{q_size},{},{nmi:.4},{ari:.4}", a.name())],
+            )
+            .unwrap();
         }
         println!("-- |Q| = {q_size}");
         print_table(&["algo", "median NMI", "median ARI", "success"], &rows);
@@ -314,7 +305,12 @@ pub fn fig12(scale: Scale) {
             crate::harness::median(&aris),
             mean(&sizes),
         );
-        rows_out.push(vec![label.to_string(), f3(nmi), f3(ari), format!("{sz:.1}")]);
+        rows_out.push(vec![
+            label.to_string(),
+            f3(nmi),
+            f3(ari),
+            format!("{sz:.1}"),
+        ]);
         csv_line(&mut w, &[format!("{label},{nmi:.4},{ari:.4},{sz:.1}")]).unwrap();
     }
     print_table(
@@ -356,11 +352,7 @@ pub fn fig12(scale: Scale) {
         };
         let mut best = (score(l, d, size), 0usize);
         for (i, &v) in removal_order.iter().enumerate() {
-            let k: u64 = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| in_s[w as usize])
-                .count() as u64;
+            let k: u64 = g.neighbors(v).iter().filter(|&&w| in_s[w as usize]).count() as u64;
             in_s[v as usize] = false;
             l -= k;
             d -= g.degree(v) as u64;
@@ -383,10 +375,8 @@ pub fn fig12(scale: Scale) {
 pub fn fig13(scale: Scale) {
     println!("Fig 13: effect of the layer-based pruning strategy\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(Fpa::default()),
-        Box::new(Fpa::without_pruning()),
-    ];
+    let algos: Vec<Box<dyn CommunitySearch>> =
+        vec![Box::new(Fpa::default()), Box::new(Fpa::without_pruning())];
     let labels = ["FPA (with pruning)", "FPA without pruning"];
     let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF13);
     let mut rows = Vec::new();
@@ -442,7 +432,11 @@ pub fn fig14(scale: Scale) {
             f3(ari),
             format!("{secs:.4}"),
         ]);
-        csv_line(&mut w, &[format!("{},{nmi:.4},{ari:.4},{secs:.5}", a.name())]).unwrap();
+        csv_line(
+            &mut w,
+            &[format!("{},{nmi:.4},{ari:.4},{secs:.5}", a.name())],
+        )
+        .unwrap();
     }
     print_table(
         &["variant", "median NMI", "median ARI", "mean seconds"],

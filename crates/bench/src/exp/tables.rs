@@ -39,14 +39,23 @@ pub fn table1(scale: Scale) {
             &mut w,
             &[format!(
                 "{},{},{},{},{},{:.2},{},{:.4},{:.4}",
-                ds.name, n, m, c, ds.overlapping,
-                gs.mean_degree, gs.max_degree, gs.transitivity, gs.assortativity
+                ds.name,
+                n,
+                m,
+                c,
+                ds.overlapping,
+                gs.mean_degree,
+                gs.max_degree,
+                gs.transitivity,
+                gs.assortativity
             )],
         )
         .unwrap();
     }
     print_table(
-        &["dataset", "|V|", "|E|", "|C|", "overlap", "d_mean", "d_max", "trans.", "assort."],
+        &[
+            "dataset", "|V|", "|E|", "|C|", "overlap", "d_mean", "d_max", "trans.", "assort.",
+        ],
         &rows,
     );
     println!(

@@ -102,8 +102,8 @@ pub fn evaluate_on(ds: &Dataset, algo: &dyn CommunitySearch, query: &[NodeId]) -
     }
 }
 
-/// Evaluate one algorithm over many query sets in parallel (crossbeam
-/// scoped threads, one chunk per core). Timing stays per-run wall clock,
+/// Evaluate one algorithm over many query sets in parallel (std scoped
+/// threads, one chunk per core). Timing stays per-run wall clock,
 /// so per-query `seconds` are unaffected by the fan-out; results come
 /// back in the input order, so aggregation is deterministic.
 ///
@@ -123,17 +123,18 @@ pub fn evaluate_queries_parallel(
     }
     let mut out: Vec<Option<EvalRow>> = vec![None; queries.len()];
     let chunk = queries.len().div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (qs, slot) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (q, o) in qs.iter().zip(slot.iter_mut()) {
                     *o = Some(evaluate_on(ds, algo, q));
                 }
             });
         }
-    })
-    .expect("evaluation worker panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Median of a sample (0 for empty input) — the paper reports median NMI.
@@ -185,7 +186,10 @@ pub fn csv_line<W: Write>(w: &mut W, fields: &[String]) -> std::io::Result<()> {
 /// Print a markdown table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -309,10 +309,7 @@ impl<'g> Solver<'g> {
         }
 
         // Infeasible: some query can no longer be connected to S.
-        let feasible = self
-            .query
-            .iter()
-            .all(|&q| self.scratch_seen[q as usize]);
+        let feasible = self.query.iter().all(|&q| self.scratch_seen[q as usize]);
 
         let mut ok = false;
         if feasible {
@@ -372,7 +369,8 @@ impl<'g> Solver<'g> {
                     add_edges = cand_deg_a.iter().take(n_missing).sum();
                 }
                 let l_max = (self.l_s + add_edges).min(u_edges);
-                let dm = density_modularity_counts(l_max, self.d_s + add_deg, self.s.len() + t, self.m);
+                let dm =
+                    density_modularity_counts(l_max, self.d_s + add_deg, self.s.len() + t, self.m);
                 if dm > bound {
                     bound = dm;
                 }
@@ -395,10 +393,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

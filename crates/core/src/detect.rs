@@ -83,7 +83,8 @@ pub fn detect_communities(g: &Graph, cfg: DetectConfig) -> (Vec<u32>, Vec<Vec<No
                 continue;
             }
             // Strongest neighbouring community.
-            let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
             for &v in &communities[ci] {
                 for &w in g.neighbors(v) {
                     let lw = label[w as usize];
@@ -180,7 +181,10 @@ mod tests {
         let total: usize = found.iter().map(|c| c.len()).sum();
         assert_eq!(total, g.n());
         for (v, &l) in labels.iter().enumerate() {
-            assert!(found[l as usize].contains(&(v as u32)), "node {v} mislabelled");
+            assert!(
+                found[l as usize].contains(&(v as u32)),
+                "node {v} mislabelled"
+            );
         }
     }
 

@@ -123,14 +123,15 @@ pub fn search_within(
     for (i, &orig) in back.iter().enumerate() {
         fwd.insert(orig, i as NodeId);
     }
-    let local_query: Vec<NodeId> = query
-        .iter()
-        .map(|q| {
-            fwd.get(q).copied().ok_or(SearchError::Graph(
-                dmcs_graph::GraphError::NodeOutOfRange(*q),
-            ))
-        })
-        .collect::<Result<_, _>>()?;
+    let local_query: Vec<NodeId> =
+        query
+            .iter()
+            .map(|q| {
+                fwd.get(q).copied().ok_or(SearchError::Graph(
+                    dmcs_graph::GraphError::NodeOutOfRange(*q),
+                ))
+            })
+            .collect::<Result<_, _>>()?;
     let mut r = algo.search(&sub, &local_query)?;
     r.community = r.community.iter().map(|&v| back[v as usize]).collect();
     r.community.sort_unstable();
@@ -145,10 +146,8 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell_dynamic() -> DynamicGraph {
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         DynamicGraph::from_graph(&g)
     }
 
@@ -175,9 +174,7 @@ mod tests {
         s.insert_edge(0, 5);
         s.remove_edge(2, 3);
         let inc = s.community().unwrap();
-        let direct = Fpa::default()
-            .search(&s.graph().snapshot(), &[0])
-            .unwrap();
+        let direct = Fpa::default().search(&s.graph().snapshot(), &[0]).unwrap();
         assert_eq!(inc.community, direct.community);
         assert_eq!(inc.density_modularity, direct.density_modularity);
     }
@@ -228,10 +225,8 @@ mod tests {
 
     #[test]
     fn search_within_rescoring_uses_full_graph_m() {
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let pool: Vec<NodeId> = vec![0, 1, 2];
         let r = search_within(&g, &pool, &[0], &Fpa::default()).unwrap();
         // DM of {0,1,2} in the FULL graph: (3 - 49/28)/3.

@@ -296,10 +296,7 @@ mod tests {
     use dmcs_graph::{GraphBuilder, SubgraphView};
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -308,9 +305,7 @@ mod tests {
         for fpa in [Fpa::default(), Fpa::without_pruning()] {
             let r = fpa.search(&g, &[0]).unwrap();
             assert_eq!(r.community, vec![0, 1, 2], "pruning={}", fpa.layer_pruning);
-            assert!(
-                (r.density_modularity - density_modularity(&g, &[0, 1, 2])).abs() < 1e-12
-            );
+            assert!((r.density_modularity - density_modularity(&g, &[0, 1, 2])).abs() < 1e-12);
         }
     }
 

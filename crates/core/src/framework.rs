@@ -238,10 +238,7 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]
@@ -386,12 +383,20 @@ mod tests {
     fn framework_never_beats_exact_on_small_graphs() {
         for seed in 0..6u64 {
             let g = dmcs_gen::random::erdos_renyi(12, 0.3, seed);
-            let Ok(opt) = crate::Exact.search(&g, &[0]) else { continue };
+            let Ok(opt) = crate::Exact.search(&g, &[0]) else {
+                continue;
+            };
             for dm in [
                 generic_nca().search(&g, &[0]).unwrap().density_modularity,
-                generic_nca_dr().search(&g, &[0]).unwrap().density_modularity,
+                generic_nca_dr()
+                    .search(&g, &[0])
+                    .unwrap()
+                    .density_modularity,
                 generic_fpa().search(&g, &[0]).unwrap().density_modularity,
-                generic_fpa_dmg().search(&g, &[0]).unwrap().density_modularity,
+                generic_fpa_dmg()
+                    .search(&g, &[0])
+                    .unwrap()
+                    .density_modularity,
             ] {
                 assert!(dm <= opt.density_modularity + 1e-9, "seed {seed}");
             }

@@ -182,7 +182,11 @@ mod tests {
         let g = toy::figure1();
         let dm_a = density_modularity(&g, &toy::figure1_community_a());
         let dm_ab = density_modularity(&g, &toy::figure1_community_ab());
-        assert!((2.0 * dm_a - 1.028846).abs() < EPS, "2·DM(A) = {}", 2.0 * dm_a);
+        assert!(
+            (2.0 * dm_a - 1.028846).abs() < EPS,
+            "2·DM(A) = {}",
+            2.0 * dm_a
+        );
         assert!(
             (2.0 * dm_ab - 0.8076923).abs() < EPS,
             "2·DM(A∪B) = {}",
@@ -202,8 +206,14 @@ mod tests {
         let cm_split = classic_modularity(&g, &split);
         let cm_merged = classic_modularity(&g, &merged);
         assert!((cm_split - 0.03013889).abs() < EPS, "CM split {cm_split}");
-        assert!((cm_merged - 0.06013889).abs() < EPS, "CM merged {cm_merged}");
-        assert!(cm_merged > cm_split, "classic modularity merges (resolution limit)");
+        assert!(
+            (cm_merged - 0.06013889).abs() < EPS,
+            "CM merged {cm_merged}"
+        );
+        assert!(
+            cm_merged > cm_split,
+            "classic modularity merges (resolution limit)"
+        );
 
         let dm_split = density_modularity(&g, &split);
         let dm_merged = density_modularity(&g, &merged);
@@ -263,11 +273,7 @@ mod tests {
         }
         let mut pairs: Vec<(i128, f64)> = Vec::new();
         for &v in &s {
-            let k_vs = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| in_s[w as usize])
-                .count() as u64;
+            let k_vs = g.neighbors(v).iter().filter(|&&w| in_s[w as usize]).count() as u64;
             let d_v = g.degree(v) as u64;
             let gain = dm_gain(m, k_vs, d_s, d_v);
             let upd = updated_density_modularity(l_s, k_vs, d_s, d_v, s.len(), m);

@@ -101,9 +101,7 @@ fn run_nca(
             let better = match (&best, score) {
                 (None, _) => true,
                 (Some((_, bg, _, bd)), Score::Gain) => gain > *bg || (gain == *bg && d > *bd),
-                (Some((_, _, br, bd)), Score::Ratio) => {
-                    ratio > *br || (ratio == *br && d > *bd)
-                }
+                (Some((_, _, br, bd)), Score::Ratio) => ratio > *br || (ratio == *br && d > *bd),
             };
             if better {
                 best = Some((v, gain, ratio, d));
@@ -136,10 +134,7 @@ mod tests {
 
     /// Two triangles joined by a bridge 2-3.
     fn barbell() -> Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
     /// Two triangles joined by a bridge 2-3; peeling away the right
     /// triangle improves DM of the left one.
     fn barbell() -> dmcs_graph::Graph {
-        GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -135,8 +135,15 @@ mod tests {
     #[test]
     fn rounds_are_node_diverse() {
         let g = dmcs_gen::karate::karate();
-        let rs = top_k_communities(&g, &[0], TopKConfig { k: 4, min_dm: f64::NEG_INFINITY })
-            .unwrap();
+        let rs = top_k_communities(
+            &g,
+            &[0],
+            TopKConfig {
+                k: 4,
+                min_dm: f64::NEG_INFINITY,
+            },
+        )
+        .unwrap();
         for i in 0..rs.len() {
             for j in (i + 1)..rs.len() {
                 let shared: Vec<u32> = rs[i]

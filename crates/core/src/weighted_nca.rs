@@ -48,11 +48,7 @@ pub struct WeightedNca {
 impl WeightedNca {
     /// Find a connected community containing all of `query` with high
     /// weighted density modularity.
-    pub fn search(
-        &self,
-        g: &WeightedGraph,
-        query: &[NodeId],
-    ) -> Result<SearchResult, SearchError> {
+    pub fn search(&self, g: &WeightedGraph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
         let topo = g.topology();
         if query.is_empty() {
             return Err(SearchError::EmptyQuery);
@@ -140,8 +136,7 @@ impl WeightedNca {
             }
         }
 
-        let dead: std::collections::HashSet<NodeId> =
-            removed[..best.1].iter().copied().collect();
+        let dead: std::collections::HashSet<NodeId> = removed[..best.1].iter().copied().collect();
         let community: Vec<NodeId> = component
             .iter()
             .copied()

@@ -83,7 +83,10 @@ pub struct LfrGraph {
 
 /// Generate an LFR benchmark graph.
 pub fn generate(cfg: &LfrConfig) -> LfrGraph {
-    assert!(cfg.n >= 2 * cfg.min_community, "n too small for communities");
+    assert!(
+        cfg.n >= 2 * cfg.min_community,
+        "n too small for communities"
+    );
     assert!(cfg.min_community <= cfg.max_community);
     assert!((0.0..1.0).contains(&cfg.mu));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -159,11 +162,11 @@ pub fn generate(cfg: &LfrConfig) -> LfrGraph {
     let mut int_of: Vec<Vec<usize>> = vec![Vec::new(); cfg.n];
 
     let assign = |v: usize,
-                      want_int: usize,
-                      exclude: Option<u32>,
-                      rng: &mut StdRng,
-                      capacity: &mut Vec<usize>,
-                      members: &mut Vec<Vec<NodeId>>|
+                  want_int: usize,
+                  exclude: Option<u32>,
+                  rng: &mut StdRng,
+                  capacity: &mut Vec<usize>,
+                  members: &mut Vec<Vec<NodeId>>|
      -> Option<(u32, usize)> {
         // Try random communities with room; relax the size constraint after
         // enough failures by capping the internal degree.
@@ -201,7 +204,11 @@ pub fn generate(cfg: &LfrConfig) -> LfrGraph {
             )
             .unwrap_or((c1, 0));
             membership[v] = if c1 == c2 { vec![c1] } else { vec![c1, c2] };
-            int_of[v] = if c1 == c2 { vec![i1 + i2] } else { vec![i1, i2] };
+            int_of[v] = if c1 == c2 {
+                vec![i1 + i2]
+            } else {
+                vec![i1, i2]
+            };
         } else {
             let (c, i) = assign(v, internal[v], None, &mut rng, &mut capacity, &mut members)
                 .expect("capacity accounts for all slots");
@@ -213,10 +220,8 @@ pub fn generate(cfg: &LfrConfig) -> LfrGraph {
     // --- 4. Wire internal edges per community (configuration model with
     // rewiring repair).
     let mut seen = std::collections::HashSet::<(NodeId, NodeId)>::new();
-    let mut builder = GraphBuilder::with_capacity(
-        cfg.n,
-        (cfg.n as f64 * cfg.avg_degree / 2.0) as usize,
-    );
+    let mut builder =
+        GraphBuilder::with_capacity(cfg.n, (cfg.n as f64 * cfg.avg_degree / 2.0) as usize);
     let mut realised_internal = vec![0usize; cfg.n];
     for (ci, nodes) in members.iter().enumerate() {
         let mut stubs: Vec<NodeId> = Vec::new();
@@ -229,7 +234,14 @@ pub fn generate(cfg: &LfrConfig) -> LfrGraph {
                 stubs.push(v);
             }
         }
-        pair_stubs(&mut rng, &mut stubs, &mut seen, &mut builder, None, &mut realised_internal);
+        pair_stubs(
+            &mut rng,
+            &mut stubs,
+            &mut seen,
+            &mut builder,
+            None,
+            &mut realised_internal,
+        );
     }
 
     // --- 5. Wire external edges globally, forbidding same-community pairs.

@@ -80,7 +80,9 @@ mod tests {
     fn ring_is_connected() {
         let g = ring_of_cliques(5, 4);
         let dist = dmcs_graph::traversal::bfs_distances(&g, 0);
-        assert!(dist.iter().all(|&d| d != dmcs_graph::traversal::UNREACHABLE));
+        assert!(dist
+            .iter()
+            .all(|&d| d != dmcs_graph::traversal::UNREACHABLE));
     }
 
     #[test]

@@ -46,28 +46,41 @@ pub fn two_block(cfg: TwoBlockConfig) -> Graph {
     let mut seen = std::collections::HashSet::with_capacity(cfg.m0 + cfg.m1 + cfg.m_cross);
     let mut b = GraphBuilder::with_capacity(n, cfg.m0 + cfg.m1 + cfg.m_cross);
 
-    let sample_range =
-        |rng: &mut StdRng, lo_a: usize, hi_a: usize, lo_b: usize, hi_b: usize, want: usize,
-         seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
-         b: &mut GraphBuilder| {
-            let mut placed = 0usize;
-            while placed < want {
-                let u = rng.gen_range(lo_a..hi_a) as NodeId;
-                let v = rng.gen_range(lo_b..hi_b) as NodeId;
-                if u == v {
-                    continue;
-                }
-                let key = if u < v { (u, v) } else { (v, u) };
-                if seen.insert(key) {
-                    b.add_edge(u, v);
-                    placed += 1;
-                }
+    let sample_range = |rng: &mut StdRng,
+                        lo_a: usize,
+                        hi_a: usize,
+                        lo_b: usize,
+                        hi_b: usize,
+                        want: usize,
+                        seen: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                        b: &mut GraphBuilder| {
+        let mut placed = 0usize;
+        while placed < want {
+            let u = rng.gen_range(lo_a..hi_a) as NodeId;
+            let v = rng.gen_range(lo_b..hi_b) as NodeId;
+            if u == v {
+                continue;
             }
-        };
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                b.add_edge(u, v);
+                placed += 1;
+            }
+        }
+    };
 
     sample_range(&mut rng, 0, cfg.n0, 0, cfg.n0, cfg.m0, &mut seen, &mut b);
     sample_range(&mut rng, cfg.n0, n, cfg.n0, n, cfg.m1, &mut seen, &mut b);
-    sample_range(&mut rng, 0, cfg.n0, cfg.n0, n, cfg.m_cross, &mut seen, &mut b);
+    sample_range(
+        &mut rng,
+        0,
+        cfg.n0,
+        cfg.n0,
+        n,
+        cfg.m_cross,
+        &mut seen,
+        &mut b,
+    );
     b.build()
 }
 

@@ -48,7 +48,10 @@ pub fn weight_by_communities(
     communities: &[Vec<NodeId>],
     cfg: WeightingConfig,
 ) -> WeightedGraph {
-    assert!(cfg.w_in >= 0.0 && cfg.w_out >= 0.0, "weights must be non-negative");
+    assert!(
+        cfg.w_in >= 0.0 && cfg.w_out >= 0.0,
+        "weights must be non-negative"
+    );
     let noise = cfg.noise.clamp(0.0, 0.999);
     // membership[v] = sorted community indices containing v.
     let mut membership: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
@@ -88,10 +91,8 @@ mod tests {
     use dmcs_graph::GraphBuilder;
 
     fn barbell() -> (Graph, Vec<Vec<NodeId>>) {
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         (g, vec![vec![0, 1, 2], vec![3, 4, 5]])
     }
 
@@ -164,6 +165,9 @@ mod tests {
         });
         let wg = weight_by_communities(&lg.graph, &lg.communities, WeightingConfig::default());
         assert_eq!(wg.m(), lg.graph.m());
-        assert!(wg.total_weight() > lg.graph.m() as f64, "weights average above 1");
+        assert!(
+            wg.total_weight() > lg.graph.m() as f64,
+            "weights average above 1"
+        );
     }
 }

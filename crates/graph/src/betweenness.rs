@@ -165,10 +165,8 @@ mod tests {
     #[test]
     fn bridge_edge_has_max_edge_betweenness() {
         // Two triangles joined by the bridge 2-3.
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let mask = vec![true; 6];
         let eb = edge_betweenness_masked(&g, &mask);
         let (bridge, score) = eb

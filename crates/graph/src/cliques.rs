@@ -148,10 +148,8 @@ mod tests {
 
     #[test]
     fn k4_with_pendant() {
-        let g = GraphBuilder::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g =
+            GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let mut cs = maximal_cliques(&g);
         cs.sort();
         assert_eq!(cs, vec![vec![0, 1, 2, 3], vec![3, 4]]);

@@ -101,7 +101,16 @@ mod tests {
         // Block A: a clique (clustering 1); block B: a star (clustering 0).
         let g = GraphBuilder::from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (4, 6), (4, 7), (2, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (2, 4),
+            ],
         );
         let a = vec![0, 1, 2];
         let b = vec![3, 4, 5, 6, 7];

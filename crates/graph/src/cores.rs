@@ -128,7 +128,16 @@ mod tests {
     fn k4_with_tail() -> Graph {
         GraphBuilder::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

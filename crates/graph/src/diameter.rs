@@ -175,11 +175,7 @@ mod tests {
     fn agrees_with_brute_force_on_random_graphs() {
         for seed in 0..30u64 {
             let g = dmcs_gen_free_er(24, 0.12, seed);
-            assert_eq!(
-                ifub_diameter(&g),
-                brute_force_diameter(&g),
-                "seed {seed}"
-            );
+            assert_eq!(ifub_diameter(&g), brute_force_diameter(&g), "seed {seed}");
         }
     }
 

@@ -114,7 +114,10 @@ mod tests {
         write_dot(&g, &[a, b], None, &mut buf).unwrap();
         let dot = String::from_utf8(buf).unwrap();
         let node1 = dot.lines().find(|l| l.contains("label=\"1\"")).unwrap();
-        assert!(node1.contains(PALETTE[0]), "overlap resolved to first: {node1}");
+        assert!(
+            node1.contains(PALETTE[0]),
+            "overlap resolved to first: {node1}"
+        );
     }
 
     #[test]

@@ -101,7 +101,8 @@ pub fn min_cut(g: &Graph, nodes: &[NodeId], stop_below: Option<u64>) -> Option<M
         let start = (0..n as u32).find(|&i| cg.alive[i as usize]).unwrap();
         let mut in_a = vec![false; n];
         let mut weight_to_a = vec![0u64; n];
-        let mut heap: std::collections::BinaryHeap<(u64, u32)> = std::collections::BinaryHeap::new();
+        let mut heap: std::collections::BinaryHeap<(u64, u32)> =
+            std::collections::BinaryHeap::new();
         in_a[start as usize] = true;
         for (&x, &w) in &cg.adj[start as usize] {
             weight_to_a[x as usize] = w;

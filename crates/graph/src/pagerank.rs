@@ -63,7 +63,11 @@ pub fn personalized_pagerank(g: &Graph, seeds: &[NodeId], cfg: PageRankConfig) -
     if n == 0 {
         return Vec::new();
     }
-    let valid: Vec<NodeId> = seeds.iter().copied().filter(|&s| (s as usize) < n).collect();
+    let valid: Vec<NodeId> = seeds
+        .iter()
+        .copied()
+        .filter(|&s| (s as usize) < n)
+        .collect();
     if valid.is_empty() {
         return pagerank(g, cfg);
     }
@@ -159,7 +163,10 @@ mod tests {
         assert_eq!(rank_of(&pr, 0), 1);
         for leaf in 1..6u32 {
             assert!(pr[0] > pr[leaf as usize]);
-            assert!((pr[1] - pr[leaf as usize]).abs() < 1e-12, "leaves symmetric");
+            assert!(
+                (pr[1] - pr[leaf as usize]).abs() < 1e-12,
+                "leaves symmetric"
+            );
         }
     }
 
@@ -177,10 +184,8 @@ mod tests {
     #[test]
     fn personalized_concentrates_near_seed() {
         // Two triangles joined by a bridge: mass seeded at 0 stays left.
-        let g = GraphBuilder::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let ppr = personalized_pagerank(&g, &[0], cfg());
         let left: f64 = (0..3).map(|v| ppr[v]).sum();
         let right: f64 = (3..6).map(|v| ppr[v]).sum();

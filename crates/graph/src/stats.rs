@@ -61,7 +61,11 @@ impl GraphStats {
             m,
             min_degree: degrees.iter().copied().min().unwrap_or(0),
             max_degree: degrees.iter().copied().max().unwrap_or(0),
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             density: if n < 2 {
                 0.0
             } else {

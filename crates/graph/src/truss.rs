@@ -29,7 +29,7 @@ impl EdgeIndex {
         let mut eid = vec![u32::MAX; 2 * g.m()];
         let mut endpoints = Vec::with_capacity(g.m());
         let mut slot = 0usize; // running CSR slot while scanning nodes in order
-        // First pass: assign ids to forward slots (u < v).
+                               // First pass: assign ids to forward slots (u < v).
         let mut forward_start = vec![0usize; g.n() + 1];
         for u in g.nodes() {
             forward_start[u as usize] = slot;

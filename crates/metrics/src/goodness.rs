@@ -48,7 +48,13 @@ pub struct Goodness {
 impl Goodness {
     /// Build from the five raw counts. Panics in debug builds if the
     /// counts are inconsistent (`2l > vol`, or `vol > 2m`).
-    pub fn from_counts(n: usize, size: usize, internal_edges: u64, volume: u64, total_edges: u64) -> Self {
+    pub fn from_counts(
+        n: usize,
+        size: usize,
+        internal_edges: u64,
+        volume: u64,
+        total_edges: u64,
+    ) -> Self {
         debug_assert!(2 * internal_edges <= volume, "2l must not exceed vol");
         debug_assert!(volume <= 2 * total_edges, "vol must not exceed 2m");
         Goodness {
@@ -142,7 +148,10 @@ mod tests {
     fn cut_and_density() {
         let g = triangle_in_barbell();
         assert_eq!(g.cut(), 1);
-        assert!((g.internal_density() - 1.0).abs() < 1e-12, "triangle is a clique");
+        assert!(
+            (g.internal_density() - 1.0).abs() < 1e-12,
+            "triangle is a clique"
+        );
         assert!((g.average_internal_degree() - 2.0).abs() < 1e-12);
     }
 

@@ -110,10 +110,16 @@ pub fn onmi(n: usize, x: &Cover, y: &Cover) -> f64 {
     }
     let bx = bitmaps(x, n);
     let by = bitmaps(y, n);
-    let hx_given_y: f64 =
-        bx.iter().map(|xi| normalized_conditional(xi, &by, n)).sum::<f64>() / bx.len() as f64;
-    let hy_given_x: f64 =
-        by.iter().map(|yj| normalized_conditional(yj, &bx, n)).sum::<f64>() / by.len() as f64;
+    let hx_given_y: f64 = bx
+        .iter()
+        .map(|xi| normalized_conditional(xi, &by, n))
+        .sum::<f64>()
+        / bx.len() as f64;
+    let hy_given_x: f64 = by
+        .iter()
+        .map(|yj| normalized_conditional(yj, &bx, n))
+        .sum::<f64>()
+        / by.len() as f64;
     1.0 - 0.5 * (hx_given_y + hy_given_x)
 }
 
@@ -143,11 +149,7 @@ pub fn average_f1(x: &Cover, y: &Cover) -> f64 {
     }
     let best = |from: &Cover, to: &Cover| -> f64 {
         from.iter()
-            .map(|a| {
-                to.iter()
-                    .map(|b| set_f1(a, b))
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|a| to.iter().map(|b| set_f1(a, b)).fold(0.0f64, f64::max))
             .sum::<f64>()
             / from.len() as f64
     };
@@ -182,12 +184,7 @@ pub fn omega_index(n: usize, x: &Cover, y: &Cover) -> f64 {
     let total_pairs = (n * (n - 1) / 2) as f64;
 
     // Distribution of multiplicities in each cover (level 0 implicit).
-    let max_level = px
-        .values()
-        .chain(py.values())
-        .copied()
-        .max()
-        .unwrap_or(0) as usize;
+    let max_level = px.values().chain(py.values()).copied().max().unwrap_or(0) as usize;
     let mut tx = vec![0f64; max_level + 1];
     let mut ty = vec![0f64; max_level + 1];
     for &v in px.values() {

@@ -65,7 +65,10 @@ fn main() {
     for (label, algo) in &algos {
         let r = algo.search(&g, &[HUB]).expect("hub query is valid");
         let c = &r.community;
-        let adjacent = c.iter().filter(|&&v| v != HUB && g.has_edge(HUB, v)).count();
+        let adjacent = c
+            .iter()
+            .filter(|&&v| v != HUB && g.has_edge(HUB, v))
+            .count();
         let bc_scores: Vec<f64> = c.iter().map(|&v| bc[v as usize]).collect();
         let ev = eigenvector_centrality_within(&g, c, 300, 1e-10);
         println!(

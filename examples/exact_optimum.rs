@@ -12,7 +12,9 @@ fn main() {
     // 1. Ring of cliques (paper Example 3): 4 cliques of 5 = 20 nodes.
     //    Both exact solvers agree; the optimum is the query's own clique.
     let g = ring::ring_of_cliques(4, 5);
-    let bitmask = Exact.search(&g, &[0]).expect("20 nodes fit the bitmask cap");
+    let bitmask = Exact
+        .search(&g, &[0])
+        .expect("20 nodes fit the bitmask cap");
     let bnb = BranchAndBound::default().search(&g, &[0]).expect("fits");
     println!("ring_of_cliques(4,5), query 0:");
     println!(
@@ -63,18 +65,24 @@ fn main() {
             continue;
         }
         counted += 1;
-        fpa_ratio += Fpa::default().search(&g, &[0]).unwrap().density_modularity
-            / opt.density_modularity;
-        nca_ratio += Nca::default().search(&g, &[0]).unwrap().density_modularity
-            / opt.density_modularity;
+        fpa_ratio +=
+            Fpa::default().search(&g, &[0]).unwrap().density_modularity / opt.density_modularity;
+        nca_ratio +=
+            Nca::default().search(&g, &[0]).unwrap().density_modularity / opt.density_modularity;
     }
     println!("\nmean DM ratio vs optimum over {counted} planted 2x12 blocks:");
-    println!("  FPA: {:.3}   NCA: {:.3}", fpa_ratio / counted as f64, nca_ratio / counted as f64);
+    println!(
+        "  FPA: {:.3}   NCA: {:.3}",
+        fpa_ratio / counted as f64,
+        nca_ratio / counted as f64
+    );
 
     // 4. A denser ER graph for contrast (heuristics struggle more when
     //    there is no community structure to find).
     let ger = random::erdos_renyi(24, 0.3, 7);
-    let opt = BranchAndBound::default().search(&ger, &[0]).expect("24 nodes");
+    let opt = BranchAndBound::default()
+        .search(&ger, &[0])
+        .expect("24 nodes");
     let fpa = Fpa::default().search(&ger, &[0]).unwrap();
     println!(
         "\nER(24, 0.3): optimum {:.4}, FPA {:.4} ({:.1}%)",

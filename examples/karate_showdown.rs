@@ -23,8 +23,14 @@ fn main() {
     algos.push(Box::new(Nca::default()));
     algos.push(Box::new(Fpa::default()));
 
-    println!("query: node 0 (Mr. Hi); ground truth: his faction ({} members)\n", truth.len());
-    println!("{:<12} {:>5} {:>8} {:>8} {:>8}", "algo", "|C|", "NMI", "ARI", "F");
+    println!(
+        "query: node 0 (Mr. Hi); ground truth: his faction ({} members)\n",
+        truth.len()
+    );
+    println!(
+        "{:<12} {:>5} {:>8} {:>8} {:>8}",
+        "algo", "|C|", "NMI", "ARI", "F"
+    );
     for algo in &algos {
         match algo.search(&ds.graph, &query) {
             Ok(r) => {

@@ -64,7 +64,12 @@ fn main() {
             nmis.sort_by(|a, b| a.partial_cmp(b).unwrap());
             sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let med = |v: &Vec<f64>| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
-            println!("{:<6} {:>10.3} {:>10.0}", algo.name(), med(&nmis), med(&sizes));
+            println!(
+                "{:<6} {:>10.3} {:>10.0}",
+                algo.name(),
+                med(&nmis),
+                med(&sizes)
+            );
         }
     }
     println!(

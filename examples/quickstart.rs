@@ -11,11 +11,7 @@ fn main() {
     // The paper's Figure 1 toy network: community A (nodes 0..8, the
     // query u1 = node 0), community B (8..16), background 12-cycle.
     let g = dmcs::gen::toy::figure1();
-    println!(
-        "Figure 1 toy network: {} nodes, {} edges",
-        g.n(),
-        g.m()
-    );
+    println!("Figure 1 toy network: {} nodes, {} edges", g.n(), g.m());
 
     // Example 1/2 of the paper: classic vs density modularity of A and A∪B.
     let a: Vec<NodeId> = (0..8).collect();
@@ -56,6 +52,8 @@ fn main() {
     );
 
     // Multiple query nodes: FPA protects a Steiner seed connecting them.
-    let multi = Fpa::default().search(&g, &[0, 3]).expect("connected queries");
+    let multi = Fpa::default()
+        .search(&g, &[0, 3])
+        .expect("connected queries");
     println!("\nmulti-query {{0, 3}} -> {:?}", multi.community);
 }

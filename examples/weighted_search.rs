@@ -29,13 +29,13 @@ fn main() {
     let wg = b.build();
 
     let q = truth[0];
-    println!(
-        "planted 2x{block} blocks, p_in=0.30 / p_out=0.22, intra weight 5x, query {q}\n"
-    );
+    println!("planted 2x{block} blocks, p_in=0.30 / p_out=0.22, intra weight 5x, query {q}\n");
 
     let unweighted = Fpa::default().search(&topo, &[q]).expect("valid query");
     let wfpa = WeightedFpa.search(&wg, &[q]).expect("valid query");
-    let wnca = WeightedNca::default().search(&wg, &[q]).expect("valid query");
+    let wnca = WeightedNca::default()
+        .search(&wg, &[q])
+        .expect("valid query");
 
     let n = topo.n();
     let report = |label: &str, community: &[u32], dm: f64| {
@@ -46,7 +46,11 @@ fn main() {
             dm
         );
     };
-    report("FPA (unweighted)", &unweighted.community, unweighted.density_modularity);
+    report(
+        "FPA (unweighted)",
+        &unweighted.community,
+        unweighted.density_modularity,
+    );
     report("WeightedFpa", &wfpa.community, wfpa.density_modularity);
     report("WeightedNca", &wnca.community, wnca.density_modularity);
 

@@ -287,8 +287,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String
             .graph_path
             .as_ref()
             .ok_or("--weighted needs --graph (the demo graph is unweighted)")?;
-        let file =
-            std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let (wg, original) =
             read_weighted_edge_list(file).map_err(|e| format!("cannot read {path}: {e}"))?;
         let query = map_queries(&cfg.query, &original)?;
@@ -333,10 +332,23 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String
         )
         .map_err(|e| format!("top-k: {e}"))?;
         let secs = start.elapsed().as_secs_f64();
-        writeln!(out, "top-{} search found {} communities:", cfg.top_k, rounds.len())
-            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "top-{} search found {} communities:",
+            cfg.top_k,
+            rounds.len()
+        )
+        .map_err(|e| e.to_string())?;
         for (i, r) in rounds.iter().enumerate() {
-            print_result(cfg, out, &g, &original, &format!("FPA round {}", i + 1), r, secs)?;
+            print_result(
+                cfg,
+                out,
+                &g,
+                &original,
+                &format!("FPA round {}", i + 1),
+                r,
+                secs,
+            )?;
         }
         if let Some(dot) = &cfg.dot_path {
             let comms: Vec<&[NodeId]> = rounds.iter().map(|r| r.community.as_slice()).collect();
@@ -404,8 +416,20 @@ mod tests {
     #[test]
     fn all_algo_labels_resolve() {
         for name in [
-            "fpa", "nca", "fpa-dmg", "nca-dr", "exact", "bnb", "kc", "kt", "kecc", "highcore",
-            "hightruss", "ls", "lpa", "ppr",
+            "fpa",
+            "nca",
+            "fpa-dmg",
+            "nca-dr",
+            "exact",
+            "bnb",
+            "kc",
+            "kt",
+            "kecc",
+            "highcore",
+            "hightruss",
+            "ls",
+            "lpa",
+            "ppr",
         ] {
             let cfg = CliConfig {
                 algo: name.into(),
@@ -516,12 +540,9 @@ mod tests {
         let dir = std::env::temp_dir().join("dmcs_cli_dot");
         std::fs::create_dir_all(&dir).unwrap();
         let dot = dir.join("out.dot");
-        let cfg = parse(&args(&format!(
-            "--demo --query 0 --dot {}",
-            dot.display()
-        )))
-        .unwrap()
-        .unwrap();
+        let cfg = parse(&args(&format!("--demo --query 0 --dot {}", dot.display())))
+            .unwrap()
+            .unwrap();
         let mut out = Vec::new();
         run(&cfg, &mut out).unwrap();
         let text = std::fs::read_to_string(&dot).unwrap();

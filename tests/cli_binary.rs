@@ -33,8 +33,18 @@ fn demo_search_succeeds() {
 #[test]
 fn every_cli_algorithm_answers_on_the_demo() {
     for algo in [
-        "fpa", "nca", "fpa-dmg", "nca-dr", "kc", "kecc", "highcore", "hightruss", "ls", "lpa",
-        "ppr", "kt",
+        "fpa",
+        "nca",
+        "fpa-dmg",
+        "nca-dr",
+        "kc",
+        "kecc",
+        "highcore",
+        "hightruss",
+        "ls",
+        "lpa",
+        "ppr",
+        "kt",
     ] {
         let out = dmcs()
             .args(["--demo", "--query", "0", "--algo", algo])
@@ -42,16 +52,15 @@ fn every_cli_algorithm_answers_on_the_demo() {
             .unwrap();
         assert!(out.status.success(), "algo {algo}: {:?}", out);
     }
-    // The exact solvers refuse the 34-node component with a clean error.
-    for algo in ["exact"] {
-        let out = dmcs()
-            .args(["--demo", "--query", "0", "--algo", algo])
-            .output()
-            .unwrap();
-        assert!(!out.status.success(), "bitmask must refuse 34 nodes");
-        let err = String::from_utf8(out.stderr).unwrap();
-        assert!(err.contains("error:"), "{err}");
-    }
+    // The bitmask exact solver refuses the 34-node component with a
+    // clean error.
+    let out = dmcs()
+        .args(["--demo", "--query", "0", "--algo", "exact"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "bitmask must refuse 34 nodes");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
     // Both exact solvers handle a small file graph (two triangles; a
     // 34-node Karate run would take minutes in debug builds).
     let dir = std::env::temp_dir().join("dmcs_bin_exact");
@@ -60,13 +69,66 @@ fn every_cli_algorithm_answers_on_the_demo() {
     std::fs::write(&path, "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3\n").unwrap();
     for algo in ["exact", "bnb"] {
         let out = dmcs()
-            .args(["--graph", path.to_str().unwrap(), "--query", "0", "--algo", algo])
+            .args([
+                "--graph",
+                path.to_str().unwrap(),
+                "--query",
+                "0",
+                "--algo",
+                algo,
+            ])
             .output()
             .unwrap();
         assert!(out.status.success(), "algo {algo}: {:?}", out);
         let text = String::from_utf8(out.stdout).unwrap();
         assert!(text.contains("[0, 1, 2]"), "algo {algo}: {text}");
     }
+}
+
+#[test]
+fn no_args_exit_2_with_usage() {
+    // Bare invocation: a graph source is required, so the binary must
+    // point at the usage text and exit 2 (flag error), not crash.
+    let out = dmcs().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE:"), "{err}");
+    assert!(err.contains("--graph or --demo"), "{err}");
+}
+
+#[test]
+fn figure1_query_over_edge_list() {
+    // One real query over the paper's Figure 1 toy graph, exercising the
+    // whole pipeline: edge-list load → FPA search → stats report.
+    let g = dmcs::gen::toy::figure1();
+    let mut edge_list = String::new();
+    for (u, v) in g.edges() {
+        edge_list.push_str(&format!("{u} {v}\n"));
+    }
+    let dir = std::env::temp_dir().join("dmcs_bin_fig1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("figure1.txt");
+    std::fs::write(&path, edge_list).unwrap();
+
+    let out = dmcs()
+        .args([
+            "--graph",
+            path.to_str().unwrap(),
+            "--query",
+            "0",
+            "--algo",
+            "fpa",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("graph: 28 nodes, 26 edges"), "{text}");
+    assert!(text.contains("DM ="), "{text}");
+    assert!(text.contains("conductance"), "{text}");
+    // The reported community must include the query node 0.
+    assert!(text.contains('0'), "{text}");
 }
 
 #[test]

@@ -61,7 +61,9 @@ fn exact_dominates_all_heuristics_on_random_graphs() {
     for seed in 0..10u64 {
         let g = random::erdos_renyi(16, 0.3, seed);
         let q = 0u32;
-        let Ok(opt) = Exact.search(&g, &[q]) else { continue };
+        let Ok(opt) = Exact.search(&g, &[q]) else {
+            continue;
+        };
         for algo in [
             &Fpa::default() as &dyn CommunitySearch,
             &Fpa::without_pruning(),

@@ -118,13 +118,11 @@ fn personalized_pagerank_localizes_to_the_query_community() {
     let ppr = personalized_pagerank(&g, &[0], PageRankConfig::default());
     // Average PPR mass inside the returned community beats the average
     // outside it.
-    let inside: f64 = fpa.community.iter().map(|&v| ppr[v as usize]).sum::<f64>()
-        / fpa.community.len() as f64;
-    let outside_nodes: Vec<u32> = (0..34u32)
-        .filter(|v| !fpa.community.contains(v))
-        .collect();
-    let outside: f64 = outside_nodes.iter().map(|&v| ppr[v as usize]).sum::<f64>()
-        / outside_nodes.len() as f64;
+    let inside: f64 =
+        fpa.community.iter().map(|&v| ppr[v as usize]).sum::<f64>() / fpa.community.len() as f64;
+    let outside_nodes: Vec<u32> = (0..34u32).filter(|v| !fpa.community.contains(v)).collect();
+    let outside: f64 =
+        outside_nodes.iter().map(|&v| ppr[v as usize]).sum::<f64>() / outside_nodes.len() as f64;
     assert!(inside > outside, "inside {inside} vs outside {outside}");
 }
 
@@ -227,7 +225,9 @@ fn exact_solvers_and_heuristics_form_a_total_order() {
     // exact == bnb >= nca/fpa on every solvable random graph.
     for seed in 0..10u64 {
         let g = random::erdos_renyi(15, 0.3, seed);
-        let Ok(e) = Exact.search(&g, &[0]) else { continue };
+        let Ok(e) = Exact.search(&g, &[0]) else {
+            continue;
+        };
         let b = BranchAndBound::default().search(&g, &[0]).unwrap();
         assert!((e.density_modularity - b.density_modularity).abs() < 1e-9);
         for h in [

@@ -1,0 +1,456 @@
+//! Offline shim of the `proptest` 1.x API surface used by this
+//! workspace's property tests.
+//!
+//! Provides the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`]
+//! macros, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, integer-range and char-class-regex strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`bool::weighted`]
+//! and [`test_runner::ProptestConfig`].
+//!
+//! **Generation only — no shrinking.** Runs are deterministic: the base
+//! seed is fixed (override with the `PROPTEST_SHIM_SEED` env var) and
+//! mixed with the test name, so a reported failing case index can be
+//! replayed by re-running the same test binary.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&str` as a regex-shaped string strategy. The shim supports the
+    /// subset the workspace uses — one character class with optional
+    /// `{min,max}` repetition (e.g. `"[-a-z0-9,]{0,12}"`) — and treats
+    /// anything else as a literal.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            match parse_class_repeat(self) {
+                Some((alphabet, min, max)) => {
+                    let len = rng.int_in(min as i128, max as i128) as usize;
+                    (0..len)
+                        .map(|_| alphabet[rng.int_in(0, alphabet.len() as i128 - 1) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parse `[class]{min,max}` / `[class]` into (alphabet, min, max).
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` range (a leading or trailing `-` is a literal).
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                for c in class[i]..=class[i + 2] {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let tail = &rest[close + 1..];
+        if tail.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let body = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((alphabet, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`] and [`btree_set`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Size specification for collection strategies: an exact `usize`
+    /// or a half-open `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.int_in(self.min as i128, self.max_inclusive as i128) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from
+    /// `size`; duplicate draws are retried a bounded number of times, so
+    /// the produced set may be smaller than the target (never below 1
+    /// when the target is ≥ 1).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < 16 + 10 * target {
+                set.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "weighted: p not in [0,1]");
+        Weighted { p }
+    }
+
+    /// See [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.f64_unit() < self.p
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration, RNG and failure type.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-`proptest!`-block configuration (shim: only `cases`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default config overriding just the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given explanation.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic RNG driving generation: fixed base seed (override
+    /// with `PROPTEST_SHIM_SEED`) mixed with the test's name.
+    pub struct TestRng {
+        inner: StdRng,
+        /// The base seed this RNG was derived from (for failure reports).
+        pub base_seed: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the named test.
+        pub fn for_test(test_name: &str) -> Self {
+            let base = std::env::var("PROPTEST_SHIM_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x9E37_79B9_7F4A_7C15);
+            // FNV-1a over the test name decorrelates tests sharing a seed.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(base ^ h),
+                base_seed: base,
+            }
+        }
+
+        /// Uniform integer in `[lo, hi]` (inclusive; requires `lo <= hi`).
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo <= hi, "empty range [{lo}, {hi}]");
+            let span = (hi - lo) as u128 + 1;
+            lo + (self.inner.next_u64() as u128 % span) as i128
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item becomes a normal `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let base_seed = rng.base_seed;
+                for case in 0..config.cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest shim: {} failed at case {}/{} (base seed {:#x}): {}",
+                            stringify!($name), case, config.cases, base_seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
