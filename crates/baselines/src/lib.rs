@@ -1,7 +1,7 @@
 //! # dmcs-baselines — the baseline community-search algorithms of §6.1
 //!
 //! Every algorithm the paper compares NCA/FPA against, all implementing
-//! the shared [`CommunitySearch`] trait:
+//! the shared [`CommunitySearch`](dmcs_core::CommunitySearch) trait:
 //!
 //! | paper label  | type | model |
 //! |--------------|------|-------|
@@ -56,7 +56,7 @@ pub use ppr_sweep::PprSweep;
 pub use wu2015::Wu2015;
 
 use dmcs_core::measure::density_modularity;
-use dmcs_core::{CommunitySearch, SearchResult};
+use dmcs_core::SearchResult;
 use dmcs_graph::{Graph, NodeId};
 
 /// Wrap a plain node set into a [`SearchResult`], scoring it with the
@@ -74,50 +74,8 @@ pub(crate) fn result_from_nodes(g: &Graph, mut nodes: Vec<NodeId>) -> SearchResu
     }
 }
 
-/// The default baseline line-up of the synthetic experiments (Fig 8/9):
-/// `kc` (k=3), `kt` (k=4), `kecc` (k=3), `huang2015`, `wu2015` (η=0.5),
-/// `highcore`, `hightruss` — §6.1 "Parameter Setting".
-pub fn default_baselines() -> Vec<Box<dyn CommunitySearch>> {
-    vec![
-        Box::new(KCore::new(3)),
-        Box::new(KTruss::new(4)),
-        Box::new(Kecc::new(3)),
-        Box::new(Huang2015::default()),
-        Box::new(Wu2015::default()),
-        Box::new(HighCore),
-        Box::new(HighTruss),
-    ]
-}
-
-/// The extended line-up of the small-graph experiments (Fig 15/16), which
-/// adds the expensive algorithms: `clique`, `GN`, `CNM`, `icwi2008`.
-pub fn small_graph_baselines() -> Vec<Box<dyn CommunitySearch>> {
-    let mut v: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(CliquePercolation::default()),
-        Box::new(Gn::default()),
-        Box::new(Cnm),
-        Box::new(Icwi2008),
-    ];
-    v.extend(default_baselines());
-    v
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn registries_have_expected_sizes() {
-        assert_eq!(default_baselines().len(), 7);
-        assert_eq!(small_graph_baselines().len(), 11);
-    }
-
-    #[test]
-    fn names_are_unique() {
-        let names: Vec<&str> = small_graph_baselines().iter().map(|a| a.name()).collect();
-        let mut dedup = names.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), names.len());
-    }
-}
+// NOTE: the paper's baseline line-ups (`kc`+`kt`+`kecc`+... for Fig 8/9,
+// the extended small-graph set for Fig 15/16) used to be constructed
+// here; they now live in `dmcs-engine::registry`
+// (`default_baseline_specs` / `small_graph_baseline_specs`), the single
+// algorithm-construction site of the workspace.

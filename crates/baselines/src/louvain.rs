@@ -7,7 +7,7 @@
 use crate::result_from_nodes;
 use dmcs_core::{CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::{Graph, GraphError, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Louvain community detection adapted to community search.
 #[derive(Debug, Clone, Copy)]
@@ -88,8 +88,13 @@ impl Louvain {
                 let mut moved = false;
                 for v in 0..n {
                     let cv = comm[v];
-                    // Weights from v to each neighbouring community.
-                    let mut to_comm: HashMap<u32, f64> = HashMap::new();
+                    // Weights from v to each neighbouring community. A
+                    // BTreeMap so the candidate scan below runs in id
+                    // order: near-equal gains must resolve identically on
+                    // every run (the batch engine guarantees bit-identical
+                    // results), and HashMap iteration order is randomized
+                    // per instance.
+                    let mut to_comm: BTreeMap<u32, f64> = BTreeMap::new();
                     for (&w, &wt) in &adj[v] {
                         *to_comm.entry(comm[w as usize]).or_insert(0.0) += wt;
                     }

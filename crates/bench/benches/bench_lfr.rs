@@ -2,8 +2,7 @@
 //! LFR graph (reduced n so the quadratic baselines stay benchable).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmcs_baselines as bl;
-use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{lfr, queries, Dataset};
 
 fn bench_lfr(c: &mut Criterion) {
@@ -26,17 +25,10 @@ fn bench_lfr(c: &mut Criterion) {
         .pop()
         .expect("query sampled");
 
-    let algos: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(bl::KCore::new(3)),
-        Box::new(bl::KTruss::new(4)),
-        Box::new(bl::Kecc::new(3)),
-        Box::new(bl::Huang2015::default()),
-        Box::new(bl::Wu2015::default()),
-        Box::new(bl::HighCore),
-        Box::new(bl::HighTruss),
-        Box::new(Nca::default()),
-        Box::new(Fpa::default()),
-    ];
+    let mut specs = registry::default_baseline_specs();
+    specs.push(AlgoSpec::new("nca"));
+    specs.push(AlgoSpec::new("fpa"));
+    let algos = registry::build_all(&specs);
     let mut group = c.benchmark_group("fig9_lfr1000");
     group.sample_size(10);
     for a in &algos {

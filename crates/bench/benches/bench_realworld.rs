@@ -2,8 +2,7 @@
 //! Dolphin/Mexican/Polblogs stand-ins).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmcs_baselines as bl;
-use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{datasets, queries};
 
 fn bench_realworld(c: &mut Criterion) {
@@ -13,17 +12,18 @@ fn bench_realworld(c: &mut Criterion) {
         let Some((q, _)) = queries::sample_query_sets(&ds, 1, 1, 4, 5).pop() else {
             continue;
         };
-        let mut algos: Vec<Box<dyn CommunitySearch>> = vec![
-            Box::new(bl::KCore::new(3)),
-            Box::new(bl::KTruss::new(4)),
-            Box::new(bl::Cnm),
-            Box::new(Nca::default()),
-            Box::new(Fpa::default()),
+        let mut specs = vec![
+            AlgoSpec::with_k("kc", 3),
+            AlgoSpec::with_k("kt", 4),
+            AlgoSpec::new("cnm"),
+            AlgoSpec::new("nca"),
+            AlgoSpec::new("fpa"),
         ];
         // GN only on the tiny graphs (the paper's own 24h-timeout story).
         if ds.graph.n() <= 100 {
-            algos.push(Box::new(bl::Gn::default()));
+            specs.push(AlgoSpec::new("gn"));
         }
+        let algos = registry::build_all(&specs);
         for a in &algos {
             group.bench_with_input(BenchmarkId::new(a.name(), &ds.name), &ds, |b, ds| {
                 b.iter(|| {

@@ -8,8 +8,7 @@
 //! triangle-rich middle layer, and a large sparse 3-core periphery.
 
 use crate::harness::print_table;
-use dmcs_baselines::{KCore, KTruss};
-use dmcs_core::{CommunitySearch, Fpa};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_graph::betweenness::node_betweenness;
 use dmcs_graph::eigen::{eigenvector_centrality_within, rank_of};
 use dmcs_graph::pagerank::{personalized_pagerank, PageRankConfig};
@@ -73,11 +72,16 @@ pub fn fig20() {
         g.degree(HUB)
     );
 
-    let algos: Vec<(&str, Box<dyn CommunitySearch>)> = vec![
-        ("FPA", Box::new(Fpa::default())),
-        ("3-truss", Box::new(KTruss::new(3))),
-        ("3-core", Box::new(KCore::new(3))),
-    ];
+    let labels = ["FPA", "3-truss", "3-core"];
+    let algos: Vec<_> = labels
+        .iter()
+        .copied()
+        .zip(registry::build_all(&[
+            AlgoSpec::new("fpa"),
+            AlgoSpec::with_k("kt", 3),
+            AlgoSpec::with_k("kc", 3),
+        ]))
+        .collect();
     let bc = node_betweenness(&g);
     let ppr = personalized_pagerank(&g, &[HUB], PageRankConfig::default());
     let mut rows = Vec::new();

@@ -12,9 +12,10 @@
 //!   compared against Louvain and the ground truth.
 
 use crate::harness::{csv_line, csv_writer, f3, mean, median, print_table, Scale};
-use dmcs_baselines::{Louvain, Wu2015};
+use dmcs_baselines::Louvain;
 use dmcs_core::detect::{detect_communities, DetectConfig};
-use dmcs_core::{CommunitySearch, Exact, Fpa, Nca};
+use dmcs_core::{CommunitySearch, Exact, Nca};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{datasets, lfr, queries, ring, sbm, Dataset};
 use dmcs_graph::clustering::clustering_imbalance;
 use dmcs_graph::traversal::eccentricity_within;
@@ -52,27 +53,16 @@ pub fn approx(scale: Scale) {
         ),
     ];
     for (label, graphs) in &families {
-        let variants: Vec<(&str, &dyn CommunitySearch)> = vec![
-            (
-                "FPA (pruned)",
-                &Fpa {
-                    layer_pruning: true,
-                },
-            ),
-            (
-                "FPA (no pruning)",
-                &Fpa {
-                    layer_pruning: false,
-                },
-            ),
-            (
-                "NCA",
-                &Nca {
-                    max_iterations: None,
-                },
-            ),
-        ];
-        for (variant, algo) in variants {
+        let variants: Vec<(&str, Box<dyn CommunitySearch>)> =
+            ["FPA (pruned)", "FPA (no pruning)", "NCA"]
+                .into_iter()
+                .zip(registry::build_all(&[
+                    AlgoSpec::new("fpa"),
+                    AlgoSpec::new("fpa").without_pruning(),
+                    AlgoSpec::new("nca"),
+                ]))
+                .collect();
+        for (variant, algo) in &variants {
             let mut ratios = Vec::new();
             let mut optimal = 0usize;
             let mut total = 0usize;
@@ -190,7 +180,7 @@ pub fn position(scale: Scale) {
         peripheral.push(vec![max]);
     }
     for (label, sets) in [("central", &central), ("peripheral", &peripheral)] {
-        for algo in [&Wu2015::default() as &dyn CommunitySearch, &Fpa::default()] {
+        for algo in registry::build_all(&[AlgoSpec::new("wu2015"), AlgoSpec::new("fpa")]) {
             let nmis: Vec<f64> = sets
                 .iter()
                 .filter_map(|q| {

@@ -13,9 +13,9 @@
 //!   cannot.
 
 use crate::harness::{csv_line, csv_writer, f3, mean, median, print_table, Scale};
-use dmcs_baselines::{HighCore, KCore, Lpa, PprSweep, Wu2015};
 use dmcs_core::topk::{top_k_communities, TopKConfig};
-use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa, Nca, WeightedFpa, WeightedNca};
+use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa, WeightedFpa, WeightedNca};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{lfr, queries, ring, sbm};
 use dmcs_graph::weighted::{WeightedGraph, WeightedGraphBuilder};
 use dmcs_graph::{Graph, NodeId};
@@ -74,10 +74,14 @@ pub fn bnb(scale: Scale) {
     )
     .unwrap();
     for (label, graphs) in &families {
-        let fpa = Fpa::default();
-        let nca = Nca::default();
-        let algos: Vec<(&str, &dyn CommunitySearch)> = vec![("FPA", &fpa), ("NCA", &nca)];
-        for (name, algo) in algos {
+        let algos: Vec<(&str, Box<dyn CommunitySearch>)> = ["FPA", "NCA"]
+            .into_iter()
+            .zip(registry::build_all(&[
+                AlgoSpec::new("fpa"),
+                AlgoSpec::new("nca"),
+            ]))
+            .collect();
+        for (name, algo) in &algos {
             let mut ratios = Vec::new();
             let mut optimal = 0usize;
             let mut total = 0usize;
@@ -152,13 +156,14 @@ pub fn goodness(scale: Scale) {
     let nq = scale.query_sets();
     let queries = queries::sample_query_sets(&ds, nq, 1, 4, 7);
 
-    let fpa = Fpa::default();
-    let kc = KCore::new(3);
-    let hc = HighCore;
-    let lpa = Lpa::default();
-    let wu = Wu2015::default();
-    let ppr = PprSweep::default();
-    let algos: Vec<&dyn CommunitySearch> = vec![&fpa, &kc, &hc, &lpa, &wu, &ppr];
+    let algos = registry::build_all(&[
+        AlgoSpec::new("fpa"),
+        AlgoSpec::with_k("kc", 3),
+        AlgoSpec::new("highcore"),
+        AlgoSpec::new("lpa"),
+        AlgoSpec::new("wu2015"),
+        AlgoSpec::new("ppr"),
+    ]);
 
     let mut rows = Vec::new();
     let mut w = csv_writer("extra_goodness").expect("results dir");

@@ -2,8 +2,7 @@
 //! (overlapping communities) and 19 (varying k).
 
 use crate::harness::{aggregate, csv_line, csv_writer, evaluate_on, f3, print_table, Scale};
-use dmcs_baselines as bl;
-use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{datasets, lfr, queries, Dataset};
 
 /// Fig 15 (accuracy) / Fig 16 (runtime) on Dolphin/Karate/Mexican/Polblogs
@@ -32,16 +31,13 @@ pub fn fig15_fig16(scale: Scale, timing: bool) {
         // The expensive baselines (GN, clique) blow up on Polblogs-scale
         // graphs (the paper marks GN "NA" there: > 24 hours).
         let big = ds.graph.n() > 500;
-        let mut algos: Vec<Box<dyn CommunitySearch>> = Vec::new();
-        if !big {
-            algos.push(Box::new(bl::CliquePercolation::default()));
-            algos.push(Box::new(bl::Gn::default()));
-        }
-        algos.push(Box::new(bl::Cnm));
-        algos.push(Box::new(bl::Icwi2008));
-        algos.extend(bl::default_baselines());
-        algos.push(Box::new(Nca::default()));
-        algos.push(Box::new(Fpa::default()));
+        let mut specs: Vec<AlgoSpec> = registry::small_graph_baseline_specs()
+            .into_iter()
+            .filter(|s| !(big && matches!(s.name.as_str(), "clique" | "gn")))
+            .collect();
+        specs.push(AlgoSpec::new("nca"));
+        specs.push(AlgoSpec::new("fpa"));
+        let algos = registry::build_all(&specs);
 
         let num_sets = if scale == Scale::Fast { 6 } else { 10 };
         let sets = queries::sample_query_sets(ds, num_sets, 1, 4, 0xF15);
@@ -138,14 +134,14 @@ pub fn fig17_fig18(scale: Scale, timing: bool) {
         )
     };
     println!("{title}\n");
-    let algos: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(bl::KCore::new(3)),
-        Box::new(bl::KTruss::new(4)),
-        Box::new(bl::Kecc::new(3)),
-        Box::new(bl::HighCore),
-        Box::new(bl::HighTruss),
-        Box::new(Fpa::default()),
-    ];
+    let algos = registry::build_all(&[
+        AlgoSpec::with_k("kc", 3),
+        AlgoSpec::with_k("kt", 4),
+        AlgoSpec::with_k("kecc", 3),
+        AlgoSpec::new("highcore"),
+        AlgoSpec::new("hightruss"),
+        AlgoSpec::new("fpa"),
+    ]);
     let mut w = csv_writer(csv).expect("results dir");
     csv_line(
         &mut w,
@@ -205,12 +201,12 @@ pub fn fig19(scale: Scale) {
     for ds in &overlapping_standins(scale)[..2] {
         let sets = queries::sample_query_sets(ds, scale.query_sets(), 1, 4, 0xF19);
         for k in [3u32, 4, 5, 6] {
-            let algos: Vec<Box<dyn CommunitySearch>> = vec![
-                Box::new(bl::KCore::new(k)),
-                Box::new(bl::KTruss::new(k)),
-                Box::new(bl::Kecc::new(k as u64)),
-                Box::new(Fpa::default()),
-            ];
+            let algos = registry::build_all(&[
+                AlgoSpec::with_k("kc", k),
+                AlgoSpec::with_k("kt", k),
+                AlgoSpec::with_k("kecc", k),
+                AlgoSpec::new("fpa"),
+            ]);
             let mut rows = Vec::new();
             for a in &algos {
                 let rs: Vec<_> = sets

@@ -4,9 +4,9 @@ use crate::harness::{
     aggregate, csv_line, csv_writer, evaluate_on, evaluate_queries_parallel, f3, mean, print_table,
     EvalRow, Scale,
 };
-use dmcs_baselines as bl;
 use dmcs_core::measure::{classic_modularity_counts, density_modularity_counts};
-use dmcs_core::{CommunitySearch, Fpa, FpaDmg, Nca, NcaDr};
+use dmcs_core::{CommunitySearch, Fpa};
+use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_gen::{lfr, queries, Dataset};
 use dmcs_graph::NodeId;
 
@@ -26,10 +26,10 @@ fn lfr_dataset(label: &str, mut cfg: lfr::LfrConfig, scale: Scale) -> Dataset {
 
 /// The Fig 8/9 algorithm line-up: the seven §6.1 baselines + NCA + FPA.
 fn fig8_algos() -> Vec<Box<dyn CommunitySearch>> {
-    let mut v = bl::default_baselines();
-    v.push(Box::new(Nca::default()));
-    v.push(Box::new(Fpa::default()));
-    v
+    let mut specs = registry::default_baseline_specs();
+    specs.push(AlgoSpec::new("nca"));
+    specs.push(AlgoSpec::new("fpa"));
+    registry::build_all(&specs)
 }
 
 /// Run every algorithm on every sampled query of `ds`; returns rows per
@@ -172,12 +172,12 @@ pub fn fig8_fig9(scale: Scale, timing: bool) {
 pub fn fig10(scale: Scale) {
     println!("Fig 10: effect of |Q| (NMI / ARI)\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(bl::KCore::new(3)),
-        Box::new(bl::Kecc::new(3)),
-        Box::new(Nca::default()),
-        Box::new(Fpa::default()),
-    ];
+    let algos = registry::build_all(&[
+        AlgoSpec::with_k("kc", 3),
+        AlgoSpec::with_k("kecc", 3),
+        AlgoSpec::new("nca"),
+        AlgoSpec::new("fpa"),
+    ]);
     let mut w = csv_writer("fig10").expect("results dir");
     csv_line(&mut w, &["q_size,algo,median_nmi,median_ari".to_string()]).unwrap();
     for q_size in [1usize, 4, 8, 12] {
@@ -375,8 +375,8 @@ pub fn fig12(scale: Scale) {
 pub fn fig13(scale: Scale) {
     println!("Fig 13: effect of the layer-based pruning strategy\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos: Vec<Box<dyn CommunitySearch>> =
-        vec![Box::new(Fpa::default()), Box::new(Fpa::without_pruning())];
+    let algos =
+        registry::build_all(&[AlgoSpec::new("fpa"), AlgoSpec::new("fpa").without_pruning()]);
     let labels = ["FPA (with pruning)", "FPA without pruning"];
     let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF13);
     let mut rows = Vec::new();
@@ -410,12 +410,12 @@ pub fn fig13(scale: Scale) {
 pub fn fig14(scale: Scale) {
     println!("Fig 14: variations of the proposed algorithms\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos: Vec<Box<dyn CommunitySearch>> = vec![
-        Box::new(Nca::default()),
-        Box::new(NcaDr::default()),
-        Box::new(FpaDmg),
-        Box::new(Fpa::default()),
-    ];
+    let algos = registry::build_all(&[
+        AlgoSpec::new("nca"),
+        AlgoSpec::new("nca-dr"),
+        AlgoSpec::new("fpa-dmg"),
+        AlgoSpec::new("fpa"),
+    ]);
     let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF14);
     let mut rows = Vec::new();
     let mut w = csv_writer("fig14").expect("results dir");

@@ -17,7 +17,8 @@ use crate::measure::{density_ratio, dm_gain};
 use crate::peel::{PeelState, TieRule};
 use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::steiner::steiner_seed;
-use dmcs_graph::traversal::{component_of, multi_source_bfs, UNREACHABLE};
+use dmcs_graph::traversal::{multi_source_bfs_collect, UNREACHABLE};
+use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -65,8 +66,17 @@ impl CommunitySearch for Fpa {
     }
 
     fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        let setup = FpaSetup::prepare(g, query)?;
-        let mut st = PeelState::new(g, &setup.component, TieRule::PreferLater);
+        self.search_with_workspace(g, query, &mut QueryWorkspace::new())
+    }
+
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        let setup = FpaSetup::prepare(g, query, ws)?;
+        let mut st = PeelState::new_in(g, &setup.component, TieRule::PreferLater, ws);
         let mut iterations = 0usize;
 
         let start_layer = if self.layer_pruning {
@@ -86,7 +96,9 @@ impl CommunitySearch for Fpa {
                 break;
             }
         }
-        finish(st, iterations)
+        let result = finish(st, iterations, ws);
+        ws.put_dist(setup.dist, &setup.component);
+        result
     }
 }
 
@@ -96,8 +108,17 @@ impl CommunitySearch for FpaDmg {
     }
 
     fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        let setup = FpaSetup::prepare(g, query)?;
-        let mut st = PeelState::new(g, &setup.component, TieRule::PreferLater);
+        self.search_with_workspace(g, query, &mut QueryWorkspace::new())
+    }
+
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        let setup = FpaSetup::prepare(g, query, ws)?;
+        let mut st = PeelState::new_in(g, &setup.component, TieRule::PreferLater, ws);
         let mut iterations = 0usize;
         for d in (1..=setup.max_dist).rev() {
             // Candidates: alive nodes at distance d. Λ is unstable, so we
@@ -125,7 +146,9 @@ impl CommunitySearch for FpaDmg {
                 iterations += 1;
             }
         }
-        finish(st, iterations)
+        let result = finish(st, iterations, ws);
+        ws.put_dist(setup.dist, &setup.component);
+        result
     }
 }
 
@@ -144,12 +167,15 @@ struct FpaSetup {
 }
 
 impl FpaSetup {
-    fn prepare(g: &Graph, query: &[NodeId]) -> Result<Self, SearchError> {
+    fn prepare(g: &Graph, query: &[NodeId], ws: &mut QueryWorkspace) -> Result<Self, SearchError> {
         validate_query(g, query)?;
         // §5.6: merge multiple queries into a protected connected seed.
         let seed = steiner_seed(g, query)?;
-        let component = component_of(g, seed[0]);
-        let dist = multi_source_bfs(g, &seed);
+        // One BFS both layers the component by seed distance and collects
+        // it — the component of the (connected) seed is exactly the
+        // reached set, so no separate `component_of` pass is needed.
+        let mut dist = ws.take_dist(g.n());
+        let component = multi_source_bfs_collect(g, &seed, &mut dist);
         let mut max_dist = 0u32;
         for &v in &component {
             let d = dist[v as usize];
@@ -262,8 +288,12 @@ fn peel_layer_by_ratio(
     }
 }
 
-fn finish(st: PeelState<'_>, iterations: usize) -> Result<SearchResult, SearchError> {
-    let (community, dm, removal_order) = st.finish();
+fn finish(
+    st: PeelState<'_>,
+    iterations: usize,
+    ws: &mut QueryWorkspace,
+) -> Result<SearchResult, SearchError> {
+    let (community, dm, removal_order) = st.finish_in(ws);
     Ok(SearchResult {
         community,
         density_modularity: dm,
@@ -374,6 +404,23 @@ mod tests {
         let a = Fpa::default().search(&g, &[1]).unwrap();
         let b = Fpa::without_pruning().search(&g, &[1]).unwrap();
         assert_eq!(a.community, b.community);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let g = barbell();
+        let mut ws = QueryWorkspace::new();
+        for alg in [
+            &Fpa::default() as &dyn CommunitySearch,
+            &Fpa::without_pruning(),
+            &FpaDmg,
+        ] {
+            for q in 0..6u32 {
+                let fresh = alg.search(&g, &[q]).unwrap();
+                let reused = alg.search_with_workspace(&g, &[q], &mut ws).unwrap();
+                assert_eq!(fresh, reused, "{} query {q}", alg.name());
+            }
+        }
     }
 
     #[test]

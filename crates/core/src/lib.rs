@@ -54,6 +54,7 @@ pub use nca::{Nca, NcaDr};
 pub use weighted::WeightedFpa;
 pub use weighted_nca::WeightedNca;
 
+use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, GraphError, NodeId};
 
 /// Error type of the search algorithms.
@@ -110,6 +111,25 @@ pub trait CommunitySearch: Send + Sync {
 
     /// Find a connected community containing all of `query`.
     fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError>;
+
+    /// [`CommunitySearch::search`] with recyclable per-query buffers.
+    ///
+    /// Batched engines keep one [`QueryWorkspace`] per worker thread and
+    /// call this for every query, so the `O(n)` alive-mask / degree /
+    /// distance arrays are allocated once per worker instead of once per
+    /// query. **Must return exactly what `search` returns** — the batch
+    /// determinism tests enforce this for every registered algorithm.
+    /// The default implementation ignores the workspace; the peeling
+    /// algorithms (FPA, NCA and variants) override it.
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        let _ = ws;
+        self.search(g, query)
+    }
 }
 
 pub(crate) fn validate_query(g: &Graph, query: &[NodeId]) -> Result<(), SearchError> {

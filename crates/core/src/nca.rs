@@ -14,7 +14,8 @@ use crate::measure::{density_ratio, dm_gain};
 use crate::peel::{PeelState, TieRule};
 use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::articulation::articulation_nodes;
-use dmcs_graph::traversal::{component_of, multi_source_bfs};
+use dmcs_graph::traversal::multi_source_bfs_collect;
+use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, NodeId};
 
 /// Scoring rule for choosing the best removable node.
@@ -49,7 +50,22 @@ impl CommunitySearch for Nca {
     }
 
     fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        run_nca(g, query, Score::Gain, self.max_iterations)
+        run_nca(
+            g,
+            query,
+            Score::Gain,
+            self.max_iterations,
+            &mut QueryWorkspace::new(),
+        )
+    }
+
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        run_nca(g, query, Score::Gain, self.max_iterations, ws)
     }
 }
 
@@ -59,7 +75,22 @@ impl CommunitySearch for NcaDr {
     }
 
     fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        run_nca(g, query, Score::Ratio, self.max_iterations)
+        run_nca(
+            g,
+            query,
+            Score::Ratio,
+            self.max_iterations,
+            &mut QueryWorkspace::new(),
+        )
+    }
+
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        run_nca(g, query, Score::Ratio, self.max_iterations, ws)
     }
 }
 
@@ -68,27 +99,25 @@ fn run_nca(
     query: &[NodeId],
     score: Score,
     max_iterations: Option<usize>,
+    ws: &mut QueryWorkspace,
 ) -> Result<SearchResult, SearchError> {
     validate_query(g, query)?;
-    // Work inside the connected component containing the queries.
-    let comp = component_of(g, query[0]);
-    let mut is_query = vec![false; g.n()];
-    for &q in query {
-        is_query[q as usize] = true;
-    }
-    // Distance from the queries for tie-breaking ("keep the node that is
-    // closely located to the query nodes" = remove the farthest of the
-    // tied candidates).
-    let dist = multi_source_bfs(g, query);
+    // One BFS from the query set yields everything the loop needs: the
+    // connected component containing the queries (the reached set), the
+    // tie-break distances ("keep the node that is closely located to the
+    // query nodes" = remove the farthest of the tied candidates), and the
+    // query marks themselves (`dist == 0` exactly on query nodes).
+    let mut dist = ws.take_dist(g.n());
+    let comp = multi_source_bfs_collect(g, query, &mut dist);
 
-    let mut st = PeelState::new(g, &comp, TieRule::KeepEarlier);
+    let mut st = PeelState::new_in(g, &comp, TieRule::KeepEarlier, ws);
     let cap = max_iterations.unwrap_or(usize::MAX);
     let mut iterations = 0usize;
     while iterations < cap {
         let art = articulation_nodes(st.view());
         let mut best: Option<(NodeId, i128, f64, u32)> = None;
         for v in st.view().iter_alive() {
-            if is_query[v as usize] || art[v as usize] {
+            if dist[v as usize] == 0 || art[v as usize] {
                 continue;
             }
             let k_vs = st.view().local_degree(v) as u64;
@@ -117,7 +146,8 @@ fn run_nca(
         st.remove(v);
         iterations += 1;
     }
-    let (community, dm, removal_order) = st.finish();
+    let (community, dm, removal_order) = st.finish_in(ws);
+    ws.put_dist(dist, &comp);
     Ok(SearchResult {
         community,
         density_modularity: dm,
@@ -186,6 +216,24 @@ mod tests {
         let g = b.build();
         let r = Nca::default().search(&g, &[0]).unwrap();
         assert!(r.community.iter().all(|&v| v < 6));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let g = barbell();
+        let mut ws = QueryWorkspace::new();
+        for q in 0..6u32 {
+            let fresh = Nca::default().search(&g, &[q]).unwrap();
+            let reused = Nca::default()
+                .search_with_workspace(&g, &[q], &mut ws)
+                .unwrap();
+            assert_eq!(fresh, reused, "NCA query {q}");
+            let fresh = NcaDr::default().search(&g, &[q]).unwrap();
+            let reused = NcaDr::default()
+                .search_with_workspace(&g, &[q], &mut ws)
+                .unwrap();
+            assert_eq!(fresh, reused, "NCA-DR query {q}");
+        }
     }
 
     #[test]

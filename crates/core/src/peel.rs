@@ -8,6 +8,7 @@
 //! instead of cloning node sets.
 
 use crate::measure::density_modularity_counts;
+use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, NodeId, SubgraphView};
 
 /// Tie behaviour when a new snapshot equals the best density modularity.
@@ -41,7 +42,21 @@ impl<'g> PeelState<'g> {
     /// Start peeling from the induced subgraph on `nodes` (usually the
     /// connected component containing the queries).
     pub fn new(graph: &'g Graph, nodes: &[NodeId], tie: TieRule) -> Self {
-        let view = SubgraphView::from_nodes(graph, nodes);
+        Self::with_view(SubgraphView::from_nodes(graph, nodes), graph, nodes, tie)
+    }
+
+    /// [`PeelState::new`] reusing the buffers pooled in `ws` — pair with
+    /// [`PeelState::finish_in`] to return them after the query.
+    pub fn new_in(
+        graph: &'g Graph,
+        nodes: &[NodeId],
+        tie: TieRule,
+        ws: &mut QueryWorkspace,
+    ) -> Self {
+        Self::with_view(ws.view(graph, nodes), graph, nodes, tie)
+    }
+
+    fn with_view(view: SubgraphView<'g>, graph: &'g Graph, nodes: &[NodeId], tie: TieRule) -> Self {
         let d_s = graph.degree_sum(nodes);
         let m = graph.m() as u64;
         let mut initial = nodes.to_vec();
@@ -163,6 +178,28 @@ impl<'g> PeelState<'g> {
             .filter(|v| !dead.contains(v))
             .collect();
         (community, self.best_dm, self.removed)
+    }
+
+    /// [`PeelState::finish`] that also recycles the view's buffers into
+    /// `ws` for the next query. Identical return value.
+    pub fn finish_in(self, ws: &mut QueryWorkspace) -> (Vec<NodeId>, f64, Vec<NodeId>) {
+        let PeelState {
+            view,
+            initial,
+            removed,
+            best_dm,
+            best_prefix,
+            ..
+        } = self;
+        ws.recycle(view, &initial);
+        let dead: std::collections::HashSet<NodeId> =
+            removed[..best_prefix].iter().copied().collect();
+        let community: Vec<NodeId> = initial
+            .iter()
+            .copied()
+            .filter(|v| !dead.contains(v))
+            .collect();
+        (community, best_dm, removed)
     }
 }
 

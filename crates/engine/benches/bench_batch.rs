@@ -1,0 +1,123 @@
+//! Batch-engine benchmarks backing the engine's two performance claims:
+//!
+//! 1. **Concurrency** — `batch_throughput` runs the same 64-query batch
+//!    through `BatchRunner` at 1 and 4 worker threads over an SBM graph.
+//!    On a ≥4-core machine the 4-thread batch should finish ≥2× faster
+//!    per iteration (community searches are embarrassingly parallel and
+//!    the graph is shared read-only).
+//! 2. **Workspace reuse** — `workspace_reuse` compares per-query FPA and
+//!    NCA latency with a fresh allocation per query (`search`) against a
+//!    recycled per-worker `QueryWorkspace` (`search_with_workspace`):
+//!    the reused path skips the `O(n)` alive-mask / degree / distance
+//!    allocations every query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmcs_core::{CommunitySearch, Fpa, Nca};
+use dmcs_engine::{AlgoSpec, BatchRunner};
+use dmcs_gen::sbm;
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{Graph, NodeId};
+
+/// Eight planted blocks of 100 nodes: big enough that per-query state
+/// dominates, small enough that a full batch fits one bench iteration.
+fn sbm_graph() -> (Graph, Vec<Vec<NodeId>>) {
+    let blocks = [100usize; 8];
+    let (g, comms) = sbm::planted_partition(&blocks, 0.12, 0.004, 42);
+    // One single-node query per block member sample: 8 per block.
+    let queries: Vec<Vec<NodeId>> = comms
+        .iter()
+        .flat_map(|c| c.iter().step_by(c.len() / 8).take(8).map(|&v| vec![v]))
+        .collect();
+    (g, queries)
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let (g, queries) = sbm_graph();
+    let mut group = c.benchmark_group("batch_throughput_sbm800");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let runner = BatchRunner::from_spec(&AlgoSpec::new("fpa"), threads).unwrap();
+        group.bench_function(format!("fpa_threads{threads}"), |b| {
+            b.iter(|| black_box(runner.run(black_box(&g), black_box(&queries))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let (g, queries) = sbm_graph();
+    let mut group = c.benchmark_group("workspace_reuse_sbm800");
+    group.sample_size(10);
+
+    let fpa = Fpa::default();
+    let mut i = 0usize;
+    group.bench_function("fpa_fresh_alloc_per_query", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(fpa.search(&g, q).unwrap())
+        })
+    });
+    let mut ws = QueryWorkspace::new();
+    let mut j = 0usize;
+    group.bench_function("fpa_reused_workspace", |b| {
+        b.iter(|| {
+            let q = &queries[j % queries.len()];
+            j += 1;
+            black_box(fpa.search_with_workspace(&g, q, &mut ws).unwrap())
+        })
+    });
+
+    let nca = Nca::default();
+    let mut i = 0usize;
+    group.bench_function("nca_fresh_alloc_per_query", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(nca.search(&g, q).unwrap())
+        })
+    });
+    let mut ws = QueryWorkspace::new();
+    let mut j = 0usize;
+    group.bench_function("nca_reused_workspace", |b| {
+        b.iter(|| {
+            let q = &queries[j % queries.len()];
+            j += 1;
+            black_box(nca.search_with_workspace(&g, q, &mut ws).unwrap())
+        })
+    });
+    group.finish();
+
+    // Serving-shaped workload: a big fragmented graph (250 disconnected
+    // blocks, 50k nodes) where each query touches one ~200-node
+    // component. Per-query work is O(component), but the fresh-allocation
+    // path pays four O(n) array constructions per query (alive mask,
+    // local degrees, BFS distances, component scan); the workspace's
+    // sparse resets drop all of them.
+    let blocks = [200usize; 250];
+    let (frag, comms) = sbm::planted_partition(&blocks, 0.06, 0.0, 7);
+    let frag_queries: Vec<Vec<NodeId>> = comms.iter().map(|c| vec![c[0]]).collect();
+    let mut group = c.benchmark_group("workspace_reuse_fragmented50k");
+    group.sample_size(10);
+    let mut i = 0usize;
+    group.bench_function("fpa_fresh_alloc_per_query", |b| {
+        b.iter(|| {
+            let q = &frag_queries[i % frag_queries.len()];
+            i += 1;
+            black_box(fpa.search(&frag, q).unwrap())
+        })
+    });
+    let mut ws = QueryWorkspace::new();
+    let mut j = 0usize;
+    group.bench_function("fpa_reused_workspace", |b| {
+        b.iter(|| {
+            let q = &frag_queries[j % frag_queries.len()];
+            j += 1;
+            black_box(fpa.search_with_workspace(&frag, q, &mut ws).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput, bench_workspace_reuse);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Concurrent batch execution: fan a list of queries out across scoped
+//! worker threads over one shared graph, with deterministic result
+//! ordering and a throughput summary.
+//!
+//! Each worker owns a [`QueryWorkspace`], so the `O(n)` per-query
+//! allocations (alive masks, degree and distance arrays) are paid once
+//! per worker, not once per query. Workers pull query indices from a
+//! shared atomic counter (work stealing by construction — a slow query
+//! never stalls the others), and results are re-ordered by index before
+//! returning, so the output of [`BatchRunner::run`] is bit-identical to
+//! sequential execution regardless of the thread count — a property the
+//! engine's property tests pin down for every registered algorithm.
+
+use crate::registry::AlgoSpec;
+use dmcs_core::{CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One query's outcome inside a batch.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query node set (dense ids), as submitted.
+    pub query: Vec<NodeId>,
+    /// Search result or the per-query error (a failed query never aborts
+    /// the batch).
+    pub result: Result<SearchResult, SearchError>,
+    /// Wall-clock seconds of this query alone.
+    pub seconds: f64,
+}
+
+/// A completed batch: per-query outcomes in submission order plus the
+/// latency/throughput summary a serving deployment monitors.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Outcomes, index-aligned with the submitted queries.
+    pub outcomes: Vec<QueryOutcome>,
+    /// End-to-end wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Queries completed per wall-clock second.
+    pub queries_per_sec: f64,
+    /// Median per-query latency (seconds).
+    pub p50_seconds: f64,
+    /// 95th-percentile per-query latency (seconds).
+    pub p95_seconds: f64,
+}
+
+impl BatchReport {
+    /// Number of queries that produced a community.
+    pub fn succeeded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+}
+
+/// Executes batches of queries with a fixed algorithm and thread count.
+pub struct BatchRunner {
+    algo: Box<dyn CommunitySearch>,
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// Runner over an already-built algorithm. `threads` is clamped to at
+    /// least 1.
+    pub fn new(algo: Box<dyn CommunitySearch>, threads: usize) -> Self {
+        BatchRunner {
+            algo,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runner from a registry spec.
+    pub fn from_spec(spec: &AlgoSpec, threads: usize) -> Result<Self, String> {
+        Ok(Self::new(spec.build()?, threads))
+    }
+
+    /// The algorithm's display name.
+    pub fn algo_name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every query and aggregate the report. Outcomes come back in
+    /// submission order whatever the thread count.
+    pub fn run(&self, g: &Graph, queries: &[Vec<NodeId>]) -> BatchReport {
+        let start = Instant::now();
+        let outcomes: Vec<QueryOutcome> = if self.threads == 1 || queries.len() <= 1 {
+            let mut ws = QueryWorkspace::new();
+            queries
+                .iter()
+                .map(|q| run_one(self.algo.as_ref(), g, q, &mut ws))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let algo: &dyn CommunitySearch = self.algo.as_ref();
+            let workers = self.threads.min(queries.len());
+            let mut indexed: Vec<(usize, QueryOutcome)> = Vec::with_capacity(queries.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut ws = QueryWorkspace::new();
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(q) = queries.get(i) else { break };
+                                local.push((i, run_one(algo, g, q, &mut ws)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    indexed.extend(h.join().expect("batch worker panicked"));
+                }
+            });
+            indexed.sort_unstable_by_key(|&(i, _)| i);
+            indexed.into_iter().map(|(_, o)| o).collect()
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut lat: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+        lat.sort_unstable_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat.len() as f64 * p).ceil() as usize).clamp(1, lat.len()) - 1;
+            lat[idx]
+        };
+        let (p50_seconds, p95_seconds) = (pct(0.50), pct(0.95));
+        let queries_per_sec = if wall_seconds > 0.0 {
+            outcomes.len() as f64 / wall_seconds
+        } else {
+            0.0
+        };
+        BatchReport {
+            outcomes,
+            wall_seconds,
+            queries_per_sec,
+            p50_seconds,
+            p95_seconds,
+        }
+    }
+}
+
+fn run_one(
+    algo: &dyn CommunitySearch,
+    g: &Graph,
+    query: &[NodeId],
+    ws: &mut QueryWorkspace,
+) -> QueryOutcome {
+    let t = Instant::now();
+    let result = algo.search_with_workspace(g, query, ws);
+    QueryOutcome {
+        query: query.to_vec(),
+        result,
+        seconds: t.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    fn barbell() -> Graph {
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    fn queries() -> Vec<Vec<NodeId>> {
+        (0..6u32).map(|v| vec![v]).collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let g = barbell();
+        let qs = queries();
+        let seq = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .run(&g, &qs);
+        let par = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 4)
+            .unwrap()
+            .run(&g, &qs);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (s, p) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(s.query, p.query);
+            assert_eq!(s.result, p.result);
+        }
+    }
+
+    #[test]
+    fn per_query_errors_do_not_abort_the_batch() {
+        // A multi-node query spanning two components fails; the batch
+        // records the error and keeps going.
+        let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let qs = vec![vec![0u32], vec![0, 3], vec![2]];
+        let report = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&split, &qs);
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.outcomes[0].result.is_ok());
+        assert!(report.outcomes[1].result.is_err());
+        assert!(report.outcomes[2].result.is_ok());
+        assert_eq!(report.succeeded(), 2);
+    }
+
+    #[test]
+    fn report_statistics_are_sane() {
+        let g = barbell();
+        let report = BatchRunner::from_spec(&AlgoSpec::new("nca"), 2)
+            .unwrap()
+            .run(&g, &queries());
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.queries_per_sec > 0.0);
+        assert!(report.p50_seconds <= report.p95_seconds);
+        assert_eq!(report.succeeded(), 6);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = barbell();
+        let report = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 4)
+            .unwrap()
+            .run(&g, &[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.p50_seconds, 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! # dmcs-engine — the batched query engine of the DMCS workspace
+//!
+//! Turns the one-shot, single-threaded community search into a serving
+//! layer: thousands of queries against one shared graph, dispatched by
+//! name through a single [`registry`], executed concurrently by a
+//! [`BatchRunner`] with per-worker recyclable
+//! [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace)s.
+//!
+//! - [`registry`] — [`AlgoSpec`] (label + params) → `Box<dyn
+//!   CommunitySearch>`; the **only** algorithm-construction site in the
+//!   workspace. CLI `--algo` parsing, the experiment line-ups and the
+//!   generated help text all resolve through it.
+//! - [`batch`] — [`BatchRunner`]: `std::thread::scope` fan-out with an
+//!   atomic work queue, deterministic (submission-order) results, and a
+//!   throughput/latency report.
+//! - [`Engine`] — an `Arc<Graph>` + convenience entry points, the handle
+//!   a server would hold per loaded dataset.
+//!
+//! ```
+//! use dmcs_engine::{registry::AlgoSpec, Engine};
+//! use dmcs_graph::GraphBuilder;
+//! use std::sync::Arc;
+//!
+//! let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+//! let engine = Engine::new(Arc::new(g));
+//! let queries: Vec<Vec<u32>> = vec![vec![0], vec![5]];
+//! let report = engine.run_batch(&AlgoSpec::new("fpa"), &queries, 2).unwrap();
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod registry;
+
+pub use batch::{BatchReport, BatchRunner, QueryOutcome};
+pub use registry::{AlgoParams, AlgoSpec};
+
+use dmcs_graph::{Graph, NodeId};
+use std::sync::Arc;
+
+/// A loaded dataset ready to serve queries: the shared graph plus the
+/// engine entry points. Clone-cheap (the graph is behind an [`Arc`]), so
+/// one instance can be handed to many serving tasks.
+#[derive(Clone)]
+pub struct Engine {
+    graph: Arc<Graph>,
+}
+
+impl Engine {
+    /// Wrap a shared graph.
+    pub fn new(graph: Arc<Graph>) -> Self {
+        Engine { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// A clone of the shared handle.
+    pub fn graph_handle(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Resolve `spec` through the registry and run the whole batch on
+    /// `threads` workers.
+    pub fn run_batch(
+        &self,
+        spec: &AlgoSpec,
+        queries: &[Vec<NodeId>],
+        threads: usize,
+    ) -> Result<BatchReport, String> {
+        Ok(BatchRunner::from_spec(spec, threads)?.run(&self.graph, queries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    #[test]
+    fn engine_round_trip() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let engine = Engine::new(Arc::new(g));
+        let report = engine
+            .run_batch(&AlgoSpec::new("nca"), &[vec![0]], 1)
+            .unwrap();
+        assert_eq!(report.succeeded(), 1);
+        assert!(engine.run_batch(&AlgoSpec::new("nope"), &[], 1).is_err());
+        assert_eq!(engine.graph().n(), engine.graph_handle().n());
+    }
+}

@@ -1,0 +1,351 @@
+//! The algorithm registry: the **single** construction site for every
+//! [`CommunitySearch`] implementation in the workspace.
+//!
+//! A query names an algorithm by its stable label (the paper's legend
+//! name where one exists) plus a small parameter bag; the registry turns
+//! that [`AlgoSpec`] into a boxed searcher. The CLI's `--algo` flag, the
+//! baseline line-ups of the experiment harness, and the batch engine all
+//! resolve through here, so adding an algorithm (or renaming one) is a
+//! one-row change and help text / docs are generated rather than
+//! hand-maintained.
+
+use dmcs_baselines::{
+    CliquePercolation, Cnm, Gn, HighCore, HighTruss, Huang2015, Icwi2008, KCore, KTruss, Kecc,
+    LocalKCore, Louvain, Lpa, PprSweep, Wu2015,
+};
+use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa, FpaDmg, Nca, NcaDr};
+
+/// Tunable parameters an [`AlgoSpec`] carries to the factory. Algorithms
+/// ignore the fields they have no use for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoParams {
+    /// `k` for the parameterised baselines (`kc` / `kt` / `kecc` / `ls`);
+    /// `kt` clamps to at least 3 (a 2-truss is every edge).
+    pub k: u32,
+    /// FPA's layer-based pruning strategy (§5.7). Only `fpa` reads it.
+    pub layer_pruning: bool,
+}
+
+impl Default for AlgoParams {
+    fn default() -> Self {
+        AlgoParams {
+            k: 3,
+            layer_pruning: true,
+        }
+    }
+}
+
+/// One registry row: the stable label, a one-line summary for generated
+/// help text, whether `k` is meaningful, and the factory.
+pub struct AlgoEntry {
+    /// Stable lookup label (lowercase; the CLI's `--algo` value).
+    pub name: &'static str,
+    /// One-line description, rendered into `--help` and the README.
+    pub summary: &'static str,
+    /// Whether the `k` parameter changes this algorithm's behaviour.
+    pub uses_k: bool,
+    factory: fn(&AlgoParams) -> Box<dyn CommunitySearch>,
+}
+
+impl AlgoEntry {
+    /// Instantiate this algorithm with `params`.
+    pub fn build(&self, params: &AlgoParams) -> Box<dyn CommunitySearch> {
+        (self.factory)(params)
+    }
+}
+
+/// Every community-search algorithm in the workspace, in presentation
+/// order: the paper's two algorithms and their ablations, the exact
+/// solvers, then the baselines of §6.1 and the extensions.
+pub const REGISTRY: &[AlgoEntry] = &[
+    AlgoEntry {
+        name: "fpa",
+        summary: "Fast Peeling Algorithm (§5.5, layer pruning §5.7) — the paper's default",
+        uses_k: false,
+        factory: |p| {
+            Box::new(Fpa {
+                layer_pruning: p.layer_pruning,
+            })
+        },
+    },
+    AlgoEntry {
+        name: "nca",
+        summary: "Non-articulation Cancellation Algorithm (§5.4)",
+        uses_k: false,
+        factory: |_| Box::new(Nca::default()),
+    },
+    AlgoEntry {
+        name: "fpa-dmg",
+        summary: "FPA ablation scored by the unstable DM gain (Fig 3 (b)+(c))",
+        uses_k: false,
+        factory: |_| Box::new(FpaDmg),
+    },
+    AlgoEntry {
+        name: "nca-dr",
+        summary: "NCA ablation scored by the density ratio (Fig 3 (a)+(d))",
+        uses_k: false,
+        factory: |_| Box::new(NcaDr::default()),
+    },
+    AlgoEntry {
+        name: "exact",
+        summary: "bitmask exact optimum (components up to 26 nodes)",
+        uses_k: false,
+        factory: |_| Box::new(Exact),
+    },
+    AlgoEntry {
+        name: "bnb",
+        summary: "branch-and-bound exact optimum (~30-node components)",
+        uses_k: false,
+        factory: |_| Box::new(BranchAndBound::default()),
+    },
+    AlgoEntry {
+        name: "kc",
+        summary: "connected k-core of the queries (Sozio & Gionis 2010)",
+        uses_k: true,
+        factory: |p| Box::new(KCore::new(p.k)),
+    },
+    AlgoEntry {
+        name: "kt",
+        summary: "triangle-connected k-truss community (Huang et al. 2014)",
+        uses_k: true,
+        factory: |p| Box::new(KTruss::new(p.k.max(3))),
+    },
+    AlgoEntry {
+        name: "kecc",
+        summary: "k-edge-connected component (Chang et al. 2015)",
+        uses_k: true,
+        factory: |p| Box::new(Kecc::new(p.k.into())),
+    },
+    AlgoEntry {
+        name: "highcore",
+        summary: "k-core with k maximised",
+        uses_k: false,
+        factory: |_| Box::new(HighCore),
+    },
+    AlgoEntry {
+        name: "hightruss",
+        summary: "k-truss with k maximised",
+        uses_k: false,
+        factory: |_| Box::new(HighTruss),
+    },
+    AlgoEntry {
+        name: "ls",
+        summary: "local k-core expansion",
+        uses_k: true,
+        factory: |p| Box::new(LocalKCore::new(p.k)),
+    },
+    AlgoEntry {
+        name: "huang2015",
+        summary: "closest truss community, 2-approx (Huang et al. 2015)",
+        uses_k: false,
+        factory: |_| Box::new(Huang2015::default()),
+    },
+    AlgoEntry {
+        name: "wu2015",
+        summary: "query-biased density deletion, η=0.5 (Wu et al. 2015)",
+        uses_k: false,
+        factory: |_| Box::new(Wu2015::default()),
+    },
+    AlgoEntry {
+        name: "clique",
+        summary: "densest clique-percolation community (Yuan et al. 2017)",
+        uses_k: false,
+        factory: |_| Box::new(CliquePercolation::default()),
+    },
+    AlgoEntry {
+        name: "cnm",
+        summary: "agglomerative modularity, best-DM intermediate (Clauset et al. 2004)",
+        uses_k: false,
+        factory: |_| Box::new(Cnm),
+    },
+    AlgoEntry {
+        name: "gn",
+        summary: "divisive edge-betweenness, best-DM intermediate (Girvan & Newman 2002)",
+        uses_k: false,
+        factory: |_| Box::new(Gn::default()),
+    },
+    AlgoEntry {
+        name: "icwi2008",
+        summary: "Luo's local-modularity greedy (Luo et al. 2008)",
+        uses_k: false,
+        factory: |_| Box::new(Icwi2008),
+    },
+    AlgoEntry {
+        name: "lpa",
+        summary: "label propagation, label block of the query (Raghavan et al. 2007)",
+        uses_k: false,
+        factory: |_| Box::new(Lpa::default()),
+    },
+    AlgoEntry {
+        name: "louvain",
+        summary: "Louvain detection, community of the query (Blondel et al. 2008)",
+        uses_k: false,
+        factory: |_| Box::new(Louvain::default()),
+    },
+    AlgoEntry {
+        name: "ppr",
+        summary: "personalized-PageRank sweep cut (Andersen et al. 2006)",
+        uses_k: false,
+        factory: |_| Box::new(PprSweep::default()),
+    },
+];
+
+/// Look up a registry row by its (case-insensitive) label.
+pub fn find(name: &str) -> Option<&'static AlgoEntry> {
+    REGISTRY.iter().find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+/// All registered labels, in registry order.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.name).collect()
+}
+
+/// Generated `--algo` help: one aligned `name  summary` line per
+/// algorithm. The CLI embeds this in its usage text so documentation
+/// cannot drift from the registry.
+pub fn algo_help() -> String {
+    let width = REGISTRY.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for e in REGISTRY {
+        let k = if e.uses_k { "  [uses --k]" } else { "" };
+        out.push_str(&format!("      {:width$}  {}{}\n", e.name, e.summary, k));
+    }
+    out
+}
+
+/// An algorithm request: registry label + parameters. The unit of
+/// dispatch everywhere — CLI flags parse into one, experiment line-ups
+/// are lists of them, the batch engine executes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoSpec {
+    /// Registry label, e.g. `"fpa"`.
+    pub name: String,
+    /// Parameters handed to the factory.
+    pub params: AlgoParams,
+}
+
+impl AlgoSpec {
+    /// Spec for `name` with default parameters.
+    pub fn new(name: &str) -> Self {
+        AlgoSpec {
+            name: name.to_lowercase(),
+            params: AlgoParams::default(),
+        }
+    }
+
+    /// Spec for `name` with the given `k`.
+    pub fn with_k(name: &str, k: u32) -> Self {
+        AlgoSpec {
+            name: name.to_lowercase(),
+            params: AlgoParams {
+                k,
+                ..AlgoParams::default()
+            },
+        }
+    }
+
+    /// Disable FPA's layer pruning (no effect on other algorithms).
+    pub fn without_pruning(mut self) -> Self {
+        self.params.layer_pruning = false;
+        self
+    }
+
+    /// Instantiate the algorithm, or report the unknown label.
+    pub fn build(&self) -> Result<Box<dyn CommunitySearch>, String> {
+        find(&self.name)
+            .map(|e| e.build(&self.params))
+            .ok_or_else(|| format!("unknown algorithm {:?}", self.name))
+    }
+}
+
+/// Build a whole line-up. Panics on an unknown label — line-ups are
+/// static experiment definitions, so that is a programming error.
+pub fn build_all(specs: &[AlgoSpec]) -> Vec<Box<dyn CommunitySearch>> {
+    specs
+        .iter()
+        .map(|s| s.build().expect("registered algorithm"))
+        .collect()
+}
+
+/// The default baseline line-up of the synthetic experiments (Fig 8/9):
+/// `kc` (k=3), `kt` (k=4), `kecc` (k=3), `huang2015`, `wu2015` (η=0.5),
+/// `highcore`, `hightruss` — §6.1 "Parameter Setting".
+pub fn default_baseline_specs() -> Vec<AlgoSpec> {
+    vec![
+        AlgoSpec::with_k("kc", 3),
+        AlgoSpec::with_k("kt", 4),
+        AlgoSpec::with_k("kecc", 3),
+        AlgoSpec::new("huang2015"),
+        AlgoSpec::new("wu2015"),
+        AlgoSpec::new("highcore"),
+        AlgoSpec::new("hightruss"),
+    ]
+}
+
+/// The extended line-up of the small-graph experiments (Fig 15/16), which
+/// adds the expensive algorithms: `clique`, `GN`, `CNM`, `icwi2008`.
+pub fn small_graph_baseline_specs() -> Vec<AlgoSpec> {
+    let mut v = vec![
+        AlgoSpec::new("clique"),
+        AlgoSpec::new("gn"),
+        AlgoSpec::new("cnm"),
+        AlgoSpec::new("icwi2008"),
+    ];
+    v.extend(default_baseline_specs());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_and_lookup_is_case_insensitive() {
+        let params = AlgoParams::default();
+        for e in REGISTRY {
+            let algo = e.build(&params);
+            assert!(!algo.name().is_empty(), "{} has a display name", e.name);
+        }
+        assert!(find("FPA").is_some());
+        assert!(find("zeus").is_none());
+    }
+
+    #[test]
+    fn labels_and_display_names_are_unique() {
+        let mut labels = names();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), REGISTRY.len());
+        let mut display: Vec<&str> = REGISTRY
+            .iter()
+            .map(|e| e.build(&AlgoParams::default()).name())
+            .collect();
+        display.sort_unstable();
+        display.dedup();
+        assert_eq!(display.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn lineups_have_expected_sizes() {
+        assert_eq!(build_all(&default_baseline_specs()).len(), 7);
+        assert_eq!(build_all(&small_graph_baseline_specs()).len(), 11);
+    }
+
+    #[test]
+    fn spec_params_reach_the_factory() {
+        let spec = AlgoSpec::new("fpa").without_pruning();
+        assert!(spec.build().is_ok());
+        assert!(!spec.params.layer_pruning);
+        let kc = AlgoSpec::with_k("kc", 5);
+        assert_eq!(kc.params.k, 5);
+        assert!(AlgoSpec::new("no-such-algo").build().is_err());
+    }
+
+    #[test]
+    fn algo_help_lists_every_label() {
+        let help = algo_help();
+        for e in REGISTRY {
+            assert!(help.contains(e.name), "{} missing from help", e.name);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The engine's central correctness property: for **every registered
+//! algorithm**, `BatchRunner` at any thread count returns bit-identical
+//! outcomes (same community ids, same order, same DM, same errors) to
+//! sequential execution — on SBM and LFR graphs alike. This pins down
+//! both the deterministic result re-ordering of the fan-out and the
+//! behavioural equivalence of workspace-reusing search paths.
+
+use dmcs_engine::registry::{self, AlgoSpec};
+use dmcs_engine::BatchRunner;
+use dmcs_gen::{lfr, sbm};
+use dmcs_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Compare a multi-threaded batch against the single-threaded reference
+/// for one algorithm, on every thread count worth distinguishing.
+fn assert_batch_deterministic(spec: &AlgoSpec, g: &Graph, queries: &[Vec<NodeId>]) {
+    let reference = BatchRunner::from_spec(spec, 1)
+        .expect("registered algorithm")
+        .run(g, queries);
+    for threads in [2usize, 4] {
+        let parallel = BatchRunner::from_spec(spec, threads)
+            .expect("registered algorithm")
+            .run(g, queries);
+        assert_eq!(reference.outcomes.len(), parallel.outcomes.len());
+        for (i, (s, p)) in reference
+            .outcomes
+            .iter()
+            .zip(&parallel.outcomes)
+            .enumerate()
+        {
+            assert_eq!(s.query, p.query, "{}: query {i} reordered", spec.name);
+            assert_eq!(
+                s.result, p.result,
+                "{}: query {i} differs at {threads} threads",
+                spec.name
+            );
+        }
+    }
+}
+
+/// The exponential-time exact solvers stay on graphs small enough to
+/// enumerate; everything else runs everywhere.
+fn specs_for(n_nodes: usize) -> Vec<AlgoSpec> {
+    registry::names()
+        .into_iter()
+        .filter(|name| n_nodes <= 16 || !matches!(*name, "exact" | "bnb"))
+        .map(AlgoSpec::new)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Small SBM: every algorithm, including the exact solvers.
+    #[test]
+    fn all_algorithms_deterministic_on_sbm(seed in 0u64..1000, p_in_pct in 50u32..80) {
+        let (g, comms) = sbm::planted_partition(&[7, 7], p_in_pct as f64 / 100.0, 0.15, seed);
+        let queries: Vec<Vec<NodeId>> = (0..g.n() as NodeId).map(|v| vec![v]).collect();
+        // Plus one multi-node query per block (exercises Steiner seeds
+        // and the kt single-query error path identically on both sides).
+        let mut queries = queries;
+        for c in &comms {
+            queries.push(vec![c[0], c[c.len() / 2]]);
+        }
+        for spec in specs_for(g.n()) {
+            assert_batch_deterministic(&spec, &g, &queries);
+        }
+    }
+
+    // Larger LFR: the polynomial algorithms.
+    #[test]
+    fn all_algorithms_deterministic_on_lfr(seed in 0u64..1000) {
+        let cfg = lfr::LfrConfig {
+            n: 60,
+            avg_degree: 6.0,
+            max_degree: 20,
+            min_community: 10,
+            max_community: 25,
+            seed,
+            ..lfr::LfrConfig::default()
+        };
+        let g = lfr::generate(&cfg).graph;
+        let queries: Vec<Vec<NodeId>> =
+            (0..g.n() as NodeId).step_by(5).map(|v| vec![v]).collect();
+        for spec in specs_for(g.n()) {
+            assert_batch_deterministic(&spec, &g, &queries);
+        }
+    }
+}

@@ -199,6 +199,16 @@ impl Graph {
         l
     }
 
+    /// Heap + inline bytes of the CSR representation — the per-dataset
+    /// resident footprint a serving deployment must budget for
+    /// (`~ 8n + 8·2m` bytes: one `usize` offset per node, one `u32`
+    /// neighbour entry per edge direction).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbors.capacity() * std::mem::size_of::<NodeId>()
+    }
+
     /// Extract the induced subgraph `G[nodes]`, relabelling nodes to
     /// `0..nodes.len()` in the order given. Returns the subgraph and the
     /// mapping `new -> old`.
@@ -302,6 +312,17 @@ mod tests {
         assert!(sub.has_edge(0, 1)); // old (1,2)
         assert!(sub.has_edge(1, 2)); // old (2,3)
         assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn memory_bytes_covers_csr_storage() {
+        let g = path4();
+        // At least the offsets (n+1 usizes) and both edge directions.
+        let floor =
+            (g.n() + 1) * std::mem::size_of::<usize>() + 2 * g.m() * std::mem::size_of::<NodeId>();
+        assert!(g.memory_bytes() >= floor);
+        // And no wild overestimate: within 4x of the floor for this tiny graph.
+        assert!(g.memory_bytes() < 4 * floor + std::mem::size_of::<Graph>());
     }
 
     #[test]

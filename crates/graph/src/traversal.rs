@@ -18,6 +18,18 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
 /// nodes. Unreachable nodes get [`UNREACHABLE`].
 pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.n()];
+    multi_source_bfs_preset(g, sources, &mut dist);
+    dist
+}
+
+/// [`multi_source_bfs`] into a caller-provided buffer that is already
+/// sized to `g.n()` and reset to [`UNREACHABLE`] — the
+/// [`crate::view::QueryWorkspace::take_dist`] contract. Skips the `O(n)`
+/// re-initialisation, so batched query loops only pay for the component
+/// they actually traverse.
+pub fn multi_source_bfs_preset(g: &Graph, sources: &[NodeId], dist: &mut [u32]) {
+    debug_assert_eq!(dist.len(), g.n());
+    debug_assert!(dist.iter().all(|&d| d == UNREACHABLE), "buffer not reset");
     let mut queue = VecDeque::with_capacity(sources.len());
     for &s in sources {
         if dist[s as usize] != 0 {
@@ -34,7 +46,36 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
             }
         }
     }
-    dist
+}
+
+/// [`multi_source_bfs_preset`] that also returns every reached node in
+/// ascending id order — when `sources` lie in one component this *is*
+/// that component, saving batched query loops a separate `O(n)`
+/// [`component_of`] pass.
+pub fn multi_source_bfs_collect(g: &Graph, sources: &[NodeId], dist: &mut [u32]) -> Vec<NodeId> {
+    debug_assert_eq!(dist.len(), g.n());
+    debug_assert!(dist.iter().all(|&d| d == UNREACHABLE), "buffer not reset");
+    let mut queue = VecDeque::with_capacity(sources.len());
+    let mut visited = Vec::new();
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            visited.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                visited.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    visited.sort_unstable();
+    visited
 }
 
 /// Multi-source BFS restricted to the alive nodes of a view. Dead nodes get
@@ -109,7 +150,9 @@ pub fn component_of(g: &Graph, seed: NodeId) -> Vec<NodeId> {
 /// True if all of `nodes` lie in one connected component of `g`.
 pub fn same_component(g: &Graph, nodes: &[NodeId]) -> bool {
     match nodes {
-        [] => true,
+        // Trivial sets skip the BFS — single-query community searches hit
+        // this on every call, and the BFS would cost O(n + m) each.
+        [] | [_] => true,
         [first, rest @ ..] => {
             let dist = bfs_distances(g, *first);
             rest.iter().all(|&v| dist[v as usize] != UNREACHABLE)

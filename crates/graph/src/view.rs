@@ -210,6 +210,117 @@ impl<'g> SubgraphView<'g> {
     }
 }
 
+/// Recyclable per-query allocations for repeated community searches.
+///
+/// Building a [`SubgraphView`] costs two `O(n)` allocations (alive mask +
+/// local degrees), and distance-layered algorithms add an `O(n)` BFS
+/// array. A serving workload runs thousands of queries over one shared
+/// graph, so a `QueryWorkspace` pools those buffers: take them with
+/// [`QueryWorkspace::view`] / [`QueryWorkspace::take_dist`], give them
+/// back with [`QueryWorkspace::recycle`] / [`QueryWorkspace::put_dist`],
+/// and the next query reuses the capacity instead of re-allocating.
+///
+/// The alive mask is reset *sparsely* (only the entries the previous
+/// query touched), so recycling costs `O(|component|)`, not `O(n)`.
+/// Workspaces are plain owned state: keep one per worker thread.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    alive: Option<Vec<bool>>,
+    local_deg: Option<Vec<u32>>,
+    dist: Option<Vec<u32>>,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        QueryWorkspace::default()
+    }
+
+    /// Build a view containing exactly `nodes`, reusing pooled buffers
+    /// when available. Semantically identical to
+    /// [`SubgraphView::from_nodes`].
+    pub fn view<'g>(&mut self, graph: &'g Graph, nodes: &[NodeId]) -> SubgraphView<'g> {
+        let n = graph.n();
+        let mut alive = self.alive.take().unwrap_or_default();
+        let mut local_deg = self.local_deg.take().unwrap_or_default();
+        debug_assert!(alive.iter().all(|&a| !a), "recycled mask not clean");
+        debug_assert!(
+            local_deg.iter().all(|&d| d == 0),
+            "recycled degrees not clean"
+        );
+        alive.resize(n, false);
+        local_deg.resize(n, 0);
+        for &v in nodes {
+            alive[v as usize] = true;
+        }
+        let mut m_alive = 0u64;
+        for &v in nodes {
+            let mut d = 0u32;
+            for &w in graph.neighbors(v) {
+                if alive[w as usize] {
+                    d += 1;
+                    if v < w {
+                        m_alive += 1;
+                    }
+                }
+            }
+            local_deg[v as usize] = d;
+        }
+        SubgraphView {
+            graph,
+            alive,
+            local_deg,
+            n_alive: nodes.len(),
+            m_alive,
+        }
+    }
+
+    /// Return a view's buffers to the pool. `nodes` must be the node set
+    /// the view was built from; only those entries are reset, so the
+    /// clean-buffer invariant holds in `O(|nodes|)`.
+    pub fn recycle(&mut self, view: SubgraphView<'_>, nodes: &[NodeId]) {
+        let SubgraphView {
+            mut alive,
+            mut local_deg,
+            ..
+        } = view;
+        for &v in nodes {
+            alive[v as usize] = false;
+            local_deg[v as usize] = 0;
+        }
+        self.alive = Some(alive);
+        self.local_deg = Some(local_deg);
+    }
+
+    /// Take the pooled BFS-distance buffer, sized to `n` with **every
+    /// entry equal to [`UNREACHABLE`](crate::traversal::UNREACHABLE)** —
+    /// the same sparse-reset contract as the alive mask, so steady-state
+    /// queries skip the `O(n)` re-initialisation entirely. Pair with
+    /// [`QueryWorkspace::put_dist`], listing the nodes the query wrote.
+    pub fn take_dist(&mut self, n: usize) -> Vec<u32> {
+        let mut dist = self.dist.take().unwrap_or_default();
+        if dist.len() != n {
+            dist.clear();
+            dist.resize(n, crate::traversal::UNREACHABLE);
+        }
+        debug_assert!(
+            dist.iter().all(|&d| d == crate::traversal::UNREACHABLE),
+            "recycled distance buffer not clean"
+        );
+        dist
+    }
+
+    /// Return the distance buffer to the pool, resetting exactly the
+    /// entries the query wrote (`written` — typically the nodes of the
+    /// searched component) back to `UNREACHABLE`.
+    pub fn put_dist(&mut self, mut dist: Vec<u32>, written: &[NodeId]) {
+        for &v in written {
+            dist[v as usize] = crate::traversal::UNREACHABLE;
+        }
+        self.dist = Some(dist);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +386,63 @@ mod tests {
         assert!(!v.contains(0));
         assert!(!v.contains(1));
         assert!(v.contains(2) && v.contains(3) && v.contains(4));
+    }
+
+    #[test]
+    fn workspace_view_matches_from_nodes() {
+        let g = triangle_plus_tail();
+        let mut ws = QueryWorkspace::new();
+        let nodes = [0u32, 1, 2, 3];
+        let fresh = SubgraphView::from_nodes(&g, &nodes);
+        let reused = ws.view(&g, &nodes);
+        assert_eq!(reused.n_alive(), fresh.n_alive());
+        assert_eq!(reused.m_alive(), fresh.m_alive());
+        for v in 0..4u32 {
+            assert_eq!(reused.local_degree(v), fresh.local_degree(v));
+        }
+        ws.recycle(reused, &nodes);
+        // Second use over a different node set must be equally clean.
+        let sub = [0u32, 1, 3];
+        let again = ws.view(&g, &sub);
+        let expect = SubgraphView::from_nodes(&g, &sub);
+        assert_eq!(again.n_alive(), expect.n_alive());
+        assert_eq!(again.m_alive(), expect.m_alive());
+        assert!(!again.contains(2));
+        ws.recycle(again, &sub);
+    }
+
+    #[test]
+    fn workspace_recycle_resets_after_mutation() {
+        let g = triangle_plus_tail();
+        let mut ws = QueryWorkspace::new();
+        let nodes = [0u32, 1, 2, 3];
+        let mut v = ws.view(&g, &nodes);
+        v.remove(3);
+        v.remove(0);
+        ws.recycle(v, &nodes);
+        // The debug_assert inside view() verifies the clean invariant.
+        let v2 = ws.view(&g, &[1, 2]);
+        assert_eq!(v2.n_alive(), 2);
+        assert_eq!(v2.m_alive(), 1);
+        ws.recycle(v2, &[1, 2]);
+    }
+
+    #[test]
+    fn workspace_dist_buffer_round_trips() {
+        use crate::traversal::UNREACHABLE;
+        let mut ws = QueryWorkspace::new();
+        let mut d = ws.take_dist(5);
+        assert_eq!(d, vec![UNREACHABLE; 5]);
+        d[1] = 7;
+        d[3] = 2;
+        ws.put_dist(d, &[1, 3]);
+        // Same size: handed back clean without a full refill.
+        let d2 = ws.take_dist(5);
+        assert_eq!(d2, vec![UNREACHABLE; 5]);
+        ws.put_dist(d2, &[]);
+        // Size change: re-initialised from scratch.
+        let d3 = ws.take_dist(3);
+        assert_eq!(d3, vec![UNREACHABLE; 3]);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! cargo run --release --example case_study
 //! ```
 
-use dmcs::baselines::{KCore, KTruss};
-use dmcs::core::{CommunitySearch, Fpa};
+use dmcs::core::CommunitySearch;
+use dmcs::engine::registry::{self, AlgoSpec};
 use dmcs::graph::betweenness::node_betweenness;
 use dmcs::graph::eigen::{eigenvector_centrality_within, rank_of};
 use dmcs::graph::{GraphBuilder, NodeId};
@@ -53,11 +53,14 @@ fn main() {
     );
 
     let bc = node_betweenness(&g);
-    let algos: Vec<(&str, Box<dyn CommunitySearch>)> = vec![
-        ("FPA", Box::new(Fpa::default())),
-        ("3-truss", Box::new(KTruss::new(3))),
-        ("3-core", Box::new(KCore::new(3))),
-    ];
+    let algos: Vec<(&str, Box<dyn CommunitySearch>)> = ["FPA", "3-truss", "3-core"]
+        .into_iter()
+        .zip(registry::build_all(&[
+            AlgoSpec::new("fpa"),
+            AlgoSpec::with_k("kt", 3),
+            AlgoSpec::with_k("kc", 3),
+        ]))
+        .collect();
     println!(
         "{:<8} {:>6} {:>14} {:>12} {:>10}",
         "algo", "|C|", "% adj to hub", "betw. rank", "eigen rank"

@@ -6,8 +6,7 @@
 //! cargo run --release --example karate_showdown
 //! ```
 
-use dmcs::baselines as bl;
-use dmcs::core::{CommunitySearch, Fpa, Nca};
+use dmcs::engine::registry::{self, AlgoSpec};
 use dmcs::gen::datasets::karate_dataset;
 use dmcs::metrics;
 
@@ -17,11 +16,12 @@ fn main() {
     let truth = &ds.communities[0];
     let n = ds.graph.n();
 
-    let mut algos: Vec<Box<dyn CommunitySearch>> = bl::small_graph_baselines();
-    algos.push(Box::new(bl::LocalKCore::new(3)));
-    algos.push(Box::new(bl::Louvain::default()));
-    algos.push(Box::new(Nca::default()));
-    algos.push(Box::new(Fpa::default()));
+    let mut specs = registry::small_graph_baseline_specs();
+    specs.push(AlgoSpec::with_k("ls", 3));
+    specs.push(AlgoSpec::new("louvain"));
+    specs.push(AlgoSpec::new("nca"));
+    specs.push(AlgoSpec::new("fpa"));
+    let algos = registry::build_all(&specs);
 
     println!(
         "query: node 0 (Mr. Hi); ground truth: his faction ({} members)\n",

@@ -7,8 +7,7 @@
 //! cargo run --release --example lfr_benchmark
 //! ```
 
-use dmcs::baselines::{KCore, KTruss};
-use dmcs::core::{CommunitySearch, Fpa};
+use dmcs::engine::registry::{self, AlgoSpec};
 use dmcs::gen::{lfr, queries, Dataset};
 use dmcs::metrics;
 
@@ -41,11 +40,11 @@ fn main() {
             measured
         );
 
-        let algos: Vec<Box<dyn CommunitySearch>> = vec![
-            Box::new(KCore::new(3)),
-            Box::new(KTruss::new(4)),
-            Box::new(Fpa::default()),
-        ];
+        let algos = registry::build_all(&[
+            AlgoSpec::with_k("kc", 3),
+            AlgoSpec::with_k("kt", 4),
+            AlgoSpec::new("fpa"),
+        ]);
         let sets = queries::sample_query_sets(&ds, 6, 1, 4, 99);
         println!("{:<6} {:>10} {:>10}", "algo", "med NMI", "med |C|");
         for algo in &algos {

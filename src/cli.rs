@@ -1,20 +1,23 @@
 //! Command-line interface of the `dmcs` binary: load a SNAP-format edge
-//! list, run a community-search algorithm, print the community.
+//! list, run a community-search algorithm (or a whole batch of queries),
+//! print the community / throughput report.
 //!
 //! ```text
 //! dmcs --graph karate.txt --query 0 --algo fpa --stats
 //! dmcs --demo --query 0,3 --algo nca
+//! dmcs --graph big.txt --queries q.txt --threads 8 --algo fpa
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
 //! admits no CLI crate) and lives in the library so it is unit-testable;
-//! `src/main.rs` is a thin wrapper.
+//! `src/main.rs` is a thin wrapper. Algorithm labels resolve through the
+//! [`dmcs_engine::registry`], and the `--algo` section of the usage text
+//! is generated from it, so help cannot drift from the code.
 
-use crate::baselines::{HighCore, HighTruss, KCore, KTruss, Kecc, LocalKCore, Lpa, PprSweep};
 use crate::core::topk::{top_k_communities, TopKConfig};
-use crate::core::{
-    BranchAndBound, CommunitySearch, Exact, Fpa, FpaDmg, Nca, NcaDr, WeightedFpa, WeightedNca,
-};
+use crate::core::{CommunitySearch, WeightedFpa, WeightedNca};
+use crate::engine::registry::{self, AlgoParams, AlgoSpec};
+use crate::engine::BatchRunner;
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Goodness;
@@ -44,6 +47,10 @@ pub struct CliConfig {
     pub top_k: usize,
     /// Write a Graphviz DOT rendering of the result here.
     pub dot_path: Option<String>,
+    /// Batch mode: path to a file with one query per line.
+    pub queries_path: Option<String>,
+    /// Batch mode worker threads.
+    pub threads: usize,
 }
 
 impl Default for CliConfig {
@@ -59,39 +66,73 @@ impl Default for CliConfig {
             weighted: false,
             top_k: 0,
             dot_path: None,
+            queries_path: None,
+            threads: 1,
         }
     }
 }
 
-/// Usage text for `--help` and parse errors.
-pub const USAGE: &str = "\
+/// Usage text for `--help` and parse errors. The `--algo` section is
+/// generated from the algorithm registry, so it lists exactly the
+/// algorithms that actually resolve.
+pub fn usage() -> String {
+    format!(
+        "\
 dmcs — Density-Modularity based Community Search (SIGMOD 2022)
 
 USAGE:
     dmcs [--graph <edge-list> | --demo] --query <id[,id...]> [options]
+    dmcs [--graph <edge-list> | --demo] --queries <file> [--threads <n>] [options]
 
 OPTIONS:
     --graph <path>    SNAP-format edge list (`u v` per line, # comments)
     --demo            use the embedded Zachary Karate Club instead
     --query <ids>     comma-separated query node ids (file id space)
-    --algo <name>     fpa | nca | fpa-dmg | nca-dr | exact | bnb |
-                      kc | kt | kecc | highcore | hightruss | ls | lpa | ppr
-                      (default: fpa)
-    --k <int>         k for kc/kt/kecc/ls (default: 3)
+    --queries <path>  batch mode: one query per line (comma-separated ids;
+                      blank lines and # comments are skipped)
+    --threads <n>     batch mode worker threads (default: 1)
+    --algo <name>     algorithm label (default: fpa), one of:
+{algos}    --k <int>         k for the algorithms marked [uses --k] (default: 3)
     --no-pruning      disable FPA's layer-based pruning
-    --stats           print conductance/expansion/... of the result
+    --stats           print conductance/expansion/... of the result and
+                      the graph's resident memory footprint
     --max-print <n>   print at most n member ids, 0 = all (default: 50)
     --weighted        input has `u v w` lines; use the weighted search
                       (only fpa and nca support weights)
     --top-k <n>       return up to n diverse communities (fpa only)
     --dot <path>      write a Graphviz DOT rendering of the result
     --help            show this text
-";
+",
+        algos = registry::algo_help()
+    )
+}
+
+/// Parse one comma-separated query-id list with strict hygiene: empty
+/// tokens (trailing or doubled commas), non-numeric ids and duplicate
+/// ids are all rejected with a message naming the offender.
+pub fn parse_query_ids(s: &str) -> Result<Vec<u64>, String> {
+    let mut ids = Vec::new();
+    for tok in s.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            return Err(format!(
+                "empty query id in {s:?} (trailing or doubled comma?)"
+            ));
+        }
+        let id: u64 = tok.parse().map_err(|_| format!("bad query id {tok:?}"))?;
+        if ids.contains(&id) {
+            return Err(format!("duplicate query id {id}"));
+        }
+        ids.push(id);
+    }
+    Ok(ids)
+}
 
 /// Parse `args` (without the program name). `Ok(None)` means `--help`.
 pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
     let mut cfg = CliConfig::default();
     let mut demo = false;
+    let mut threads_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> Result<&String, String> {
@@ -101,15 +142,16 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             "--help" | "-h" => return Ok(None),
             "--graph" => cfg.graph_path = Some(value("--graph")?.clone()),
             "--demo" => demo = true,
-            "--query" => {
-                cfg.query = value("--query")?
-                    .split(',')
-                    .map(|tok| {
-                        tok.trim()
-                            .parse::<u64>()
-                            .map_err(|_| format!("bad query id {tok:?}"))
-                    })
-                    .collect::<Result<_, _>>()?;
+            "--query" => cfg.query = parse_query_ids(value("--query")?)?,
+            "--queries" => cfg.queries_path = Some(value("--queries")?.clone()),
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads_set = true;
             }
             "--algo" => cfg.algo = value("--algo")?.to_lowercase(),
             "--k" => {
@@ -131,17 +173,37 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
                     .map_err(|_| "bad --top-k value".to_string())?;
             }
             "--dot" => cfg.dot_path = Some(value("--dot")?.clone()),
-            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
         }
     }
     if demo && cfg.graph_path.is_some() {
         return Err("--demo and --graph are mutually exclusive".into());
     }
     if !demo && cfg.graph_path.is_none() {
-        return Err(format!("either --graph or --demo is required\n\n{USAGE}"));
+        return Err(format!(
+            "either --graph or --demo is required\n\n{}",
+            usage()
+        ));
     }
-    if cfg.query.is_empty() {
-        return Err(format!("--query is required\n\n{USAGE}"));
+    if cfg.query.is_empty() && cfg.queries_path.is_none() {
+        return Err(format!("--query or --queries is required\n\n{}", usage()));
+    }
+    if !cfg.query.is_empty() && cfg.queries_path.is_some() {
+        return Err("--query and --queries are mutually exclusive".into());
+    }
+    if threads_set && cfg.queries_path.is_none() {
+        return Err("--threads requires --queries (batch mode)".into());
+    }
+    if cfg.queries_path.is_some() {
+        if cfg.weighted {
+            return Err("--queries does not support --weighted".into());
+        }
+        if cfg.top_k > 0 {
+            return Err("--queries does not support --top-k".into());
+        }
+        if cfg.dot_path.is_some() {
+            return Err("--queries does not support --dot".into());
+        }
     }
     if cfg.weighted && !matches!(cfg.algo.as_str(), "fpa" | "nca") {
         return Err("--weighted supports only --algo fpa or nca".into());
@@ -155,27 +217,23 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
     Ok(Some(cfg))
 }
 
-/// Resolve the algorithm label into a boxed searcher.
-pub fn make_algo(cfg: &CliConfig) -> Result<Box<dyn CommunitySearch>, String> {
-    Ok(match cfg.algo.as_str() {
-        "fpa" => Box::new(Fpa {
+/// The registry spec a config's `--algo` / `--k` / `--no-pruning` flags
+/// describe.
+pub fn algo_spec(cfg: &CliConfig) -> AlgoSpec {
+    AlgoSpec {
+        name: cfg.algo.clone(),
+        params: AlgoParams {
+            k: cfg.k,
             layer_pruning: !cfg.no_pruning,
-        }),
-        "nca" => Box::new(Nca::default()),
-        "fpa-dmg" => Box::new(FpaDmg),
-        "nca-dr" => Box::new(NcaDr::default()),
-        "exact" => Box::new(Exact),
-        "bnb" => Box::new(BranchAndBound::default()),
-        "kc" => Box::new(KCore::new(cfg.k)),
-        "kt" => Box::new(KTruss::new(cfg.k.max(3))),
-        "kecc" => Box::new(Kecc::new(cfg.k.into())),
-        "highcore" => Box::new(HighCore),
-        "hightruss" => Box::new(HighTruss),
-        "ls" => Box::new(LocalKCore::new(cfg.k)),
-        "lpa" => Box::new(Lpa::default()),
-        "ppr" => Box::new(PprSweep::default()),
-        other => return Err(format!("unknown algorithm {other:?}\n\n{USAGE}")),
-    })
+        },
+    }
+}
+
+/// Resolve the algorithm label through the registry.
+pub fn make_algo(cfg: &CliConfig) -> Result<Box<dyn CommunitySearch>, String> {
+    algo_spec(cfg)
+        .build()
+        .map_err(|e| format!("{e}\n\n{}", usage()))
 }
 
 /// Load the graph named by the config. Returns the graph and the
@@ -316,8 +374,22 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String
     }
 
     let (g, original) = load_graph(cfg)?;
-    let query = map_queries(&cfg.query, &original)?;
     writeln!(out, "graph: {} nodes, {} edges", g.n(), g.m()).map_err(|e| e.to_string())?;
+    if cfg.stats {
+        let bytes = g.memory_bytes();
+        writeln!(
+            out,
+            "graph memory: {bytes} bytes ({:.2} MiB)",
+            bytes as f64 / (1024.0 * 1024.0)
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    // Batch path: fan a query file out across worker threads.
+    if let Some(qpath) = &cfg.queries_path {
+        return run_batch(cfg, qpath, &g, &original, out);
+    }
+    let query = map_queries(&cfg.query, &original)?;
 
     // Top-k path: several diverse communities.
     if cfg.top_k > 0 {
@@ -373,6 +445,112 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String
     Ok(())
 }
 
+/// Parse a batch query file: one comma-separated query per line, blank
+/// lines and `#` comments skipped. Errors carry `file:line` context.
+pub fn parse_query_file(path: &str, text: &str) -> Result<Vec<Vec<u64>>, String> {
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        queries.push(parse_query_ids(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+    }
+    if queries.is_empty() {
+        return Err(format!("{path}: contains no queries"));
+    }
+    Ok(queries)
+}
+
+/// Batch execution over a loaded graph: map every query, run them on
+/// `cfg.threads` workers with deterministic output ordering, and print
+/// per-query lines plus the throughput summary.
+fn run_batch<W: std::io::Write>(
+    cfg: &CliConfig,
+    qpath: &str,
+    g: &Graph,
+    original: &[u64],
+    out: &mut W,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(qpath).map_err(|e| format!("cannot read {qpath}: {e}"))?;
+    let raw_queries = parse_query_file(qpath, &text)?;
+    let mut dense = Vec::with_capacity(raw_queries.len());
+    for (i, q) in raw_queries.iter().enumerate() {
+        // 0-based "query N", matching the per-query output lines below.
+        dense.push(map_queries(q, original).map_err(|e| format!("{qpath}: query {i}: {e}"))?);
+    }
+    let runner = BatchRunner::from_spec(&algo_spec(cfg), cfg.threads)
+        .map_err(|e| format!("{e}\n\n{}", usage()))?;
+    let report = runner.run(g, &dense);
+    writeln!(
+        out,
+        "batch: {} queries, algo {}, {} thread{}",
+        report.outcomes.len(),
+        runner.algo_name(),
+        cfg.threads,
+        if cfg.threads == 1 { "" } else { "s" }
+    )
+    .map_err(|e| e.to_string())?;
+    for ((i, raw), o) in raw_queries.iter().enumerate().zip(&report.outcomes) {
+        match &o.result {
+            Ok(r) => {
+                let mut members: Vec<u64> =
+                    r.community.iter().map(|&v| original[v as usize]).collect();
+                members.sort_unstable();
+                let shown = if cfg.max_print == 0 {
+                    members.len()
+                } else {
+                    cfg.max_print.min(members.len())
+                };
+                let elided = if shown < members.len() {
+                    format!(" (+{} more)", members.len() - shown)
+                } else {
+                    String::new()
+                };
+                writeln!(
+                    out,
+                    "query {i} {raw:?}: |C| = {}  DM = {:.6}  time = {:.4}s  members: {:?}{elided}",
+                    r.community.len(),
+                    r.density_modularity,
+                    o.seconds,
+                    &members[..shown],
+                )
+                .map_err(|e| e.to_string())?;
+                if cfg.stats {
+                    let l = g.internal_edges(&r.community);
+                    let vol = g.degree_sum(&r.community);
+                    let good =
+                        Goodness::from_counts(g.n(), r.community.len(), l, vol, g.m() as u64);
+                    writeln!(
+                        out,
+                        "  stats: conductance {:.4}  expansion {:.3}  cut-ratio {:.5}  int-density {:.4}  separability {:.3}",
+                        good.conductance(),
+                        good.expansion(),
+                        good.cut_ratio(),
+                        good.internal_density(),
+                        good.separability()
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                Ok(())
+            }
+            Err(e) => writeln!(out, "query {i} {raw:?}: error: {e}"),
+        }
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(
+        out,
+        "throughput: {:.1} queries/sec  wall {:.3}s  p50 {:.2}ms  p95 {:.2}ms  ok {}/{}",
+        report.queries_per_sec,
+        report.wall_seconds,
+        report.p50_seconds * 1e3,
+        report.p95_seconds * 1e3,
+        report.succeeded(),
+        report.outcomes.len()
+    )
+    .map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +589,158 @@ mod tests {
         assert!(parse(&args("--demo --query 1 --k nope")).is_err());
         assert!(parse(&args("--wat")).is_err());
         assert!(parse(&args("--graph")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn query_id_hygiene() {
+        // Duplicates are named in the error.
+        let err = parse(&args("--demo --query 1,2,1")).unwrap_err();
+        assert!(err.contains("duplicate query id 1"), "{err}");
+        // Trailing comma.
+        let err = parse(&[String::from("--demo"), "--query".into(), "1,2,".into()]).unwrap_err();
+        assert!(err.contains("empty query id"), "{err}");
+        // Doubled comma.
+        let err = parse(&[String::from("--demo"), "--query".into(), "1,,2".into()]).unwrap_err();
+        assert!(err.contains("empty query id"), "{err}");
+        // Non-numeric token is still named.
+        let err = parse(&args("--demo --query 1,x")).unwrap_err();
+        assert!(err.contains("bad query id \"x\""), "{err}");
+        // Plain lists still parse (with whitespace tolerance).
+        let ids = parse_query_ids("3, 1 ,2").unwrap();
+        assert_eq!(ids, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_query_id_is_reported_clearly() {
+        let cfg = parse(&args("--demo --query 999")).unwrap().unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, &mut out).unwrap_err();
+        assert!(
+            err.contains("query node 999 does not appear in the graph"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn batch_flag_rules() {
+        assert!(parse(&args("--demo --queries q.txt")).is_ok());
+        assert!(parse(&args("--demo --queries q.txt --threads 4")).is_ok());
+        assert!(
+            parse(&args("--demo --query 1 --queries q.txt")).is_err(),
+            "mutually exclusive"
+        );
+        assert!(
+            parse(&args("--demo --query 1 --threads 2")).is_err(),
+            "--threads needs --queries"
+        );
+        assert!(parse(&args("--demo --queries q.txt --threads 0")).is_err());
+        assert!(parse(&args("--demo --queries q.txt --threads x")).is_err());
+        assert!(parse(&args("--demo --queries q.txt --top-k 2")).is_err());
+        assert!(parse(&args("--demo --queries q.txt --dot o.dot")).is_err());
+        assert!(parse(&args("--graph g --queries q.txt --weighted")).is_err());
+    }
+
+    #[test]
+    fn query_file_parsing() {
+        let qs = parse_query_file("q", "# header\n0\n\n1,2\n 3 \n").unwrap();
+        assert_eq!(qs, vec![vec![0], vec![1, 2], vec![3]]);
+        let err = parse_query_file("q", "0\n1,1\n").unwrap_err();
+        assert!(err.contains("q:2"), "line number in {err}");
+        assert!(parse_query_file("q", "# only comments\n").is_err());
+    }
+
+    #[test]
+    fn batch_end_to_end_on_demo() {
+        let dir = std::env::temp_dir().join("dmcs_cli_batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("queries.txt");
+        std::fs::write(&qfile, "# three queries\n0\n33\n0,33\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --queries {} --threads 2 --stats",
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("graph memory:"), "{text}");
+        assert!(
+            text.contains("batch: 3 queries, algo FPA, 2 threads"),
+            "{text}"
+        );
+        // --stats adds a per-query goodness line in batch mode too.
+        assert_eq!(text.matches("stats: conductance").count(), 3, "{text}");
+        assert!(text.contains("query 0 [0]:"), "{text}");
+        assert!(text.contains("query 2 [0, 33]:"), "{text}");
+        assert!(text.contains("queries/sec"), "{text}");
+        assert!(text.contains("ok 3/3"), "{text}");
+
+        // Batch output is identical at any thread count.
+        let strip_timings = |s: &str| -> String {
+            s.lines()
+                .filter(|l| l.starts_with("query"))
+                .map(|l| l.split("  time =").next().unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let cfg1 = CliConfig {
+            threads: 1,
+            ..cfg.clone()
+        };
+        let mut out1 = Vec::new();
+        run(&cfg1, &mut out1).unwrap();
+        assert_eq!(
+            strip_timings(&text),
+            strip_timings(&String::from_utf8(out1).unwrap())
+        );
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_without_aborting() {
+        let dir = std::env::temp_dir().join("dmcs_cli_batch_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two components: queries spanning them fail per-query.
+        let gfile = dir.join("g.txt");
+        std::fs::write(&gfile, "0 1\n1 2\n0 2\n5 6\n6 7\n5 7\n").unwrap();
+        let qfile = dir.join("q.txt");
+        std::fs::write(&qfile, "0\n0,5\n5\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--graph {} --queries {}",
+            gfile.display(),
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("query 1 [0, 5]: error:"), "{text}");
+        assert!(text.contains("ok 2/3"), "{text}");
+    }
+
+    #[test]
+    fn batch_unknown_id_names_file_and_query() {
+        let dir = std::env::temp_dir().join("dmcs_cli_batch_badid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("q.txt");
+        std::fs::write(&qfile, "0\n999\n").unwrap();
+        let cfg = parse(&args(&format!("--demo --queries {}", qfile.display())))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, &mut out).unwrap_err();
+        // 0-based, matching the "query N [...]" output lines.
+        assert!(err.contains("query 1"), "{err}");
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn usage_lists_every_registered_algorithm() {
+        let text = usage();
+        for name in registry::names() {
+            assert!(text.contains(name), "{name} missing from usage");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! - [`graph`] — CSR graph substrate, traversals, decompositions.
 //! - [`core`] — density modularity and the NCA / FPA search algorithms.
 //! - [`baselines`] — the eleven baseline community-search algorithms.
+//! - [`engine`] — algorithm registry + batched concurrent query engine.
 //! - [`gen`] — LFR / SBM / toy-graph generators and embedded datasets.
 //! - [`metrics`] — NMI, ARI, F-score and friends.
 //!
@@ -22,6 +23,7 @@ pub mod cli;
 
 pub use dmcs_baselines as baselines;
 pub use dmcs_core as core;
+pub use dmcs_engine as engine;
 pub use dmcs_gen as gen;
 pub use dmcs_graph as graph;
 pub use dmcs_metrics as metrics;

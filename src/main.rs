@@ -4,7 +4,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dmcs::cli::parse(&args) {
-        Ok(None) => print!("{}", dmcs::cli::USAGE),
+        Ok(None) => print!("{}", dmcs::cli::usage()),
         Ok(Some(cfg)) => {
             let mut out = std::io::stdout();
             if let Err(e) = dmcs::cli::run(&cfg, &mut out) {

@@ -4,19 +4,20 @@
 
 use dmcs::baselines as bl;
 use dmcs::core::{CommunitySearch, Fpa, FpaDmg, Nca, NcaDr};
+use dmcs::engine::registry::{self, AlgoSpec};
 use dmcs::gen::{lfr, queries, sbm, Dataset};
 use dmcs::graph::SubgraphView;
 use dmcs::metrics;
 
 fn all_algorithms() -> Vec<Box<dyn CommunitySearch>> {
-    let mut v = bl::small_graph_baselines();
-    v.push(Box::new(bl::Louvain::default()));
-    v.push(Box::new(Nca::default()));
-    v.push(Box::new(NcaDr::default()));
-    v.push(Box::new(FpaDmg));
-    v.push(Box::new(Fpa::default()));
-    v.push(Box::new(Fpa::without_pruning()));
-    v
+    let mut specs = registry::small_graph_baseline_specs();
+    specs.push(AlgoSpec::new("louvain"));
+    specs.push(AlgoSpec::new("nca"));
+    specs.push(AlgoSpec::new("nca-dr"));
+    specs.push(AlgoSpec::new("fpa-dmg"));
+    specs.push(AlgoSpec::new("fpa"));
+    specs.push(AlgoSpec::new("fpa").without_pruning());
+    registry::build_all(&specs)
 }
 
 fn small_lfr() -> Dataset {

@@ -164,7 +164,7 @@ pub mod strategy {
 }
 
 pub mod collection {
-    //! Collection strategies: [`vec`] and [`btree_set`].
+    //! Collection strategies: [`vec()`] and [`btree_set()`].
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -211,7 +211,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -240,7 +240,7 @@ pub mod collection {
         }
     }
 
-    /// See [`btree_set`].
+    /// See [`btree_set()`].
     pub struct BTreeSetStrategy<S> {
         element: S,
         size: SizeRange,
