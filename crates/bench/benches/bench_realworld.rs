@@ -2,7 +2,7 @@
 //! Dolphin/Mexican/Polblogs stand-ins).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmcs_engine::registry::{self, AlgoSpec};
+use dmcs_engine::{AlgoSpec, Session};
 use dmcs_gen::{datasets, queries};
 
 fn bench_realworld(c: &mut Criterion) {
@@ -23,11 +23,14 @@ fn bench_realworld(c: &mut Criterion) {
         if ds.graph.n() <= 100 {
             specs.push(AlgoSpec::new("gn"));
         }
-        let algos = registry::build_all(&specs);
-        for a in &algos {
-            group.bench_with_input(BenchmarkId::new(a.name(), &ds.name), &ds, |b, ds| {
+        for spec in &specs {
+            // Sessions are the serving path: buffers persist across the
+            // bench's repeated queries.
+            let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+            let name = session.algo_name();
+            group.bench_with_input(BenchmarkId::new(name, &ds.name), &ds, |b, _ds| {
                 b.iter(|| {
-                    let _ = a.search(&ds.graph, &q);
+                    let _ = session.search(&q);
                 })
             });
         }

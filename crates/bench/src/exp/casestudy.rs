@@ -8,7 +8,7 @@
 //! triangle-rich middle layer, and a large sparse 3-core periphery.
 
 use crate::harness::print_table;
-use dmcs_engine::registry::{self, AlgoSpec};
+use dmcs_engine::registry::AlgoSpec;
 use dmcs_graph::betweenness::node_betweenness;
 use dmcs_graph::eigen::{eigenvector_centrality_within, rank_of};
 use dmcs_graph::pagerank::{personalized_pagerank, PageRankConfig};
@@ -76,7 +76,7 @@ pub fn fig20() {
     let algos: Vec<_> = labels
         .iter()
         .copied()
-        .zip(registry::build_all(&[
+        .zip(crate::harness::lineup(&[
             AlgoSpec::new("fpa"),
             AlgoSpec::with_k("kt", 3),
             AlgoSpec::with_k("kc", 3),

@@ -15,7 +15,7 @@ use crate::harness::{csv_line, csv_writer, f3, mean, median, print_table, Scale}
 use dmcs_baselines::Louvain;
 use dmcs_core::detect::{detect_communities, DetectConfig};
 use dmcs_core::{CommunitySearch, Exact, Nca};
-use dmcs_engine::registry::{self, AlgoSpec};
+use dmcs_engine::registry::AlgoSpec;
 use dmcs_gen::{datasets, lfr, queries, ring, sbm, Dataset};
 use dmcs_graph::clustering::clustering_imbalance;
 use dmcs_graph::traversal::eccentricity_within;
@@ -56,7 +56,7 @@ pub fn approx(scale: Scale) {
         let variants: Vec<(&str, Box<dyn CommunitySearch>)> =
             ["FPA (pruned)", "FPA (no pruning)", "NCA"]
                 .into_iter()
-                .zip(registry::build_all(&[
+                .zip(crate::harness::lineup(&[
                     AlgoSpec::new("fpa"),
                     AlgoSpec::new("fpa").without_pruning(),
                     AlgoSpec::new("nca"),
@@ -180,7 +180,7 @@ pub fn position(scale: Scale) {
         peripheral.push(vec![max]);
     }
     for (label, sets) in [("central", &central), ("peripheral", &peripheral)] {
-        for algo in registry::build_all(&[AlgoSpec::new("wu2015"), AlgoSpec::new("fpa")]) {
+        for algo in crate::harness::lineup(&[AlgoSpec::new("wu2015"), AlgoSpec::new("fpa")]) {
             let nmis: Vec<f64> = sets
                 .iter()
                 .filter_map(|q| {

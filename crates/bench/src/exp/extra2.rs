@@ -15,7 +15,7 @@
 use crate::harness::{csv_line, csv_writer, f3, mean, median, print_table, Scale};
 use dmcs_core::topk::{top_k_communities, TopKConfig};
 use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa, WeightedFpa, WeightedNca};
-use dmcs_engine::registry::{self, AlgoSpec};
+use dmcs_engine::registry::AlgoSpec;
 use dmcs_gen::{lfr, queries, ring, sbm};
 use dmcs_graph::weighted::{WeightedGraph, WeightedGraphBuilder};
 use dmcs_graph::{Graph, NodeId};
@@ -76,7 +76,7 @@ pub fn bnb(scale: Scale) {
     for (label, graphs) in &families {
         let algos: Vec<(&str, Box<dyn CommunitySearch>)> = ["FPA", "NCA"]
             .into_iter()
-            .zip(registry::build_all(&[
+            .zip(crate::harness::lineup(&[
                 AlgoSpec::new("fpa"),
                 AlgoSpec::new("nca"),
             ]))
@@ -156,7 +156,7 @@ pub fn goodness(scale: Scale) {
     let nq = scale.query_sets();
     let queries = queries::sample_query_sets(&ds, nq, 1, 4, 7);
 
-    let algos = registry::build_all(&[
+    let algos = crate::harness::lineup(&[
         AlgoSpec::new("fpa"),
         AlgoSpec::with_k("kc", 3),
         AlgoSpec::new("highcore"),

@@ -37,7 +37,7 @@ pub fn fig15_fig16(scale: Scale, timing: bool) {
             .collect();
         specs.push(AlgoSpec::new("nca"));
         specs.push(AlgoSpec::new("fpa"));
-        let algos = registry::build_all(&specs);
+        let algos = crate::harness::lineup(&specs);
 
         let num_sets = if scale == Scale::Fast { 6 } else { 10 };
         let sets = queries::sample_query_sets(ds, num_sets, 1, 4, 0xF15);
@@ -134,7 +134,7 @@ pub fn fig17_fig18(scale: Scale, timing: bool) {
         )
     };
     println!("{title}\n");
-    let algos = registry::build_all(&[
+    let algos = crate::harness::lineup(&[
         AlgoSpec::with_k("kc", 3),
         AlgoSpec::with_k("kt", 4),
         AlgoSpec::with_k("kecc", 3),
@@ -201,7 +201,7 @@ pub fn fig19(scale: Scale) {
     for ds in &overlapping_standins(scale)[..2] {
         let sets = queries::sample_query_sets(ds, scale.query_sets(), 1, 4, 0xF19);
         for k in [3u32, 4, 5, 6] {
-            let algos = registry::build_all(&[
+            let algos = crate::harness::lineup(&[
                 AlgoSpec::with_k("kc", k),
                 AlgoSpec::with_k("kt", k),
                 AlgoSpec::with_k("kecc", k),

@@ -29,7 +29,7 @@ fn fig8_algos() -> Vec<Box<dyn CommunitySearch>> {
     let mut specs = registry::default_baseline_specs();
     specs.push(AlgoSpec::new("nca"));
     specs.push(AlgoSpec::new("fpa"));
-    registry::build_all(&specs)
+    crate::harness::lineup(&specs)
 }
 
 /// Run every algorithm on every sampled query of `ds`; returns rows per
@@ -172,7 +172,7 @@ pub fn fig8_fig9(scale: Scale, timing: bool) {
 pub fn fig10(scale: Scale) {
     println!("Fig 10: effect of |Q| (NMI / ARI)\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos = registry::build_all(&[
+    let algos = crate::harness::lineup(&[
         AlgoSpec::with_k("kc", 3),
         AlgoSpec::with_k("kecc", 3),
         AlgoSpec::new("nca"),
@@ -376,7 +376,7 @@ pub fn fig13(scale: Scale) {
     println!("Fig 13: effect of the layer-based pruning strategy\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
     let algos =
-        registry::build_all(&[AlgoSpec::new("fpa"), AlgoSpec::new("fpa").without_pruning()]);
+        crate::harness::lineup(&[AlgoSpec::new("fpa"), AlgoSpec::new("fpa").without_pruning()]);
     let labels = ["FPA (with pruning)", "FPA without pruning"];
     let per_algo = run_all(&ds, &algos, scale.query_sets(), 1, 0xF13);
     let mut rows = Vec::new();
@@ -410,7 +410,7 @@ pub fn fig13(scale: Scale) {
 pub fn fig14(scale: Scale) {
     println!("Fig 14: variations of the proposed algorithms\n");
     let ds = lfr_dataset("lfr-default", lfr::LfrConfig::default(), scale);
-    let algos = registry::build_all(&[
+    let algos = crate::harness::lineup(&[
         AlgoSpec::new("nca"),
         AlgoSpec::new("nca-dr"),
         AlgoSpec::new("fpa-dmg"),

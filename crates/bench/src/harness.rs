@@ -3,10 +3,22 @@
 //! aggregation, and CSV/markdown emission.
 
 use dmcs_core::{CommunitySearch, SearchResult};
+use dmcs_engine::AlgoSpec;
 use dmcs_gen::Dataset;
 use dmcs_graph::NodeId;
 use std::io::Write;
 use std::time::Instant;
+
+/// Build a static experiment line-up through the typed registry API.
+/// Line-ups are compiled-in experiment definitions, so an unregistered
+/// label is a programming error: this panics with the engine's
+/// suggestion-carrying message rather than returning a `Result`.
+pub fn lineup(specs: &[AlgoSpec]) -> Vec<Box<dyn CommunitySearch>> {
+    specs
+        .iter()
+        .map(|s| s.build().unwrap_or_else(|e| panic!("static line-up: {e}")))
+        .collect()
+}
 
 /// Experiment scale: `Fast` keeps each experiment in seconds-to-minutes on
 /// a laptop; `Full` matches the paper's parameters where feasible.

@@ -65,6 +65,14 @@ pub enum SearchError {
     Graph(GraphError),
     /// The query set is empty.
     EmptyQuery,
+    /// The best community found exceeds the caller's size cap (the
+    /// `max_community_size` of an engine `QueryRequest`).
+    CommunityTooLarge {
+        /// Size of the community the search produced.
+        size: usize,
+        /// The cap the request asked for.
+        cap: usize,
+    },
 }
 
 impl From<GraphError> for SearchError {
@@ -78,11 +86,21 @@ impl std::fmt::Display for SearchError {
         match self {
             SearchError::Graph(e) => write!(f, "{e}"),
             SearchError::EmptyQuery => write!(f, "query set is empty"),
+            SearchError::CommunityTooLarge { size, cap } => {
+                write!(f, "community has {size} nodes, exceeding the cap of {cap}")
+            }
         }
     }
 }
 
-impl std::error::Error for SearchError {}
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Outcome of a community search.
 #[derive(Debug, Clone, PartialEq)]

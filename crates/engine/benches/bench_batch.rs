@@ -13,10 +13,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dmcs_core::{CommunitySearch, Fpa, Nca};
-use dmcs_engine::{AlgoSpec, BatchRunner};
+use dmcs_engine::{AlgoSpec, BatchRunner, Engine, QueryRequest, Session};
 use dmcs_gen::sbm;
 use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, NodeId};
+use std::sync::Arc;
 
 /// Eight planted blocks of 100 nodes: big enough that per-query state
 /// dominates, small enough that a full batch fits one bench iteration.
@@ -33,12 +34,13 @@ fn sbm_graph() -> (Graph, Vec<Vec<NodeId>>) {
 
 fn bench_batch_throughput(c: &mut Criterion) {
     let (g, queries) = sbm_graph();
+    let requests = QueryRequest::from_node_lists(&queries);
     let mut group = c.benchmark_group("batch_throughput_sbm800");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
-        let runner = BatchRunner::from_spec(&AlgoSpec::new("fpa"), threads).unwrap();
+        let runner = BatchRunner::new(AlgoSpec::new("fpa"), threads).unwrap();
         group.bench_function(format!("fpa_threads{threads}"), |b| {
-            b.iter(|| black_box(runner.run(black_box(&g), black_box(&queries))))
+            b.iter(|| black_box(runner.run(black_box(&g), black_box(&requests)).unwrap()))
         });
     }
     group.finish();
@@ -119,5 +121,48 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_throughput, bench_workspace_reuse);
+/// The serving-API claim behind `Engine::session`: a client issuing
+/// repeated *single* queries through one long-lived [`Session`] beats
+/// spinning a fresh one-query `Engine::run_batch` per request, because
+/// the session keeps its `QueryWorkspace` (and resolved algorithm)
+/// across queries while each fresh batch re-allocates both. Same
+/// fragmented-50k graph as the workspace-reuse benchmark above.
+fn bench_session_vs_fresh_batch(c: &mut Criterion) {
+    let blocks = [200usize; 250];
+    let (frag, comms) = sbm::planted_partition(&blocks, 0.06, 0.0, 7);
+    let queries: Vec<Vec<NodeId>> = comms.iter().map(|c| vec![c[0]]).collect();
+    let engine = Engine::new(Arc::new(frag));
+    let spec = AlgoSpec::new("fpa");
+
+    let mut group = c.benchmark_group("session_reuse_fragmented50k");
+    group.sample_size(10);
+
+    let mut i = 0usize;
+    group.bench_function("fresh_run_batch_per_query", |b| {
+        b.iter(|| {
+            let q = queries[i % queries.len()].clone();
+            i += 1;
+            let report = engine.run_batch(&spec, &[QueryRequest::new(q)], 1).unwrap();
+            black_box(report.succeeded())
+        })
+    });
+
+    let mut session: Session<'_> = engine.session(&spec).unwrap();
+    let mut j = 0usize;
+    group.bench_function("session_repeated_single_queries", |b| {
+        b.iter(|| {
+            let q = &queries[j % queries.len()];
+            j += 1;
+            black_box(session.search(q).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_throughput,
+    bench_workspace_reuse,
+    bench_session_vs_fresh_batch
+);
 criterion_main!(benches);

@@ -1,41 +1,31 @@
-//! Concurrent batch execution: fan a list of queries out across scoped
-//! worker threads over one shared graph, with deterministic result
-//! ordering and a throughput summary.
+//! Concurrent batch execution: fan a slice of [`QueryRequest`]s out
+//! across scoped worker threads over one shared graph, with
+//! deterministic result ordering and a throughput summary.
 //!
-//! Each worker owns a [`QueryWorkspace`], so the `O(n)` per-query
-//! allocations (alive masks, degree and distance arrays) are paid once
-//! per worker, not once per query. Workers pull query indices from a
-//! shared atomic counter (work stealing by construction — a slow query
-//! never stalls the others), and results are re-ordered by index before
-//! returning, so the output of [`BatchRunner::run`] is bit-identical to
-//! sequential execution regardless of the thread count — a property the
-//! engine's property tests pin down for every registered algorithm.
+//! Each worker is a thin wrapper over a per-thread
+//! [`Session`], so the `O(n)` per-query allocations
+//! (alive masks, degree and distance arrays) are paid once per worker,
+//! not once per query. Workers pull request indices from a shared atomic
+//! counter (work stealing by construction — a slow query never stalls
+//! the others), and responses are re-ordered by index before returning,
+//! so the output of [`BatchRunner::run`] is bit-identical to sequential
+//! execution regardless of the thread count — a property the engine's
+//! property tests pin down for every registered algorithm.
 
-use crate::registry::AlgoSpec;
-use dmcs_core::{CommunitySearch, SearchError, SearchResult};
-use dmcs_graph::view::QueryWorkspace;
-use dmcs_graph::{Graph, NodeId};
+use crate::error::EngineError;
+use crate::registry::{self, AlgoSpec};
+use crate::request::{QueryRequest, QueryResponse};
+use crate::session::Session;
+use dmcs_graph::Graph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// One query's outcome inside a batch.
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// The query node set (dense ids), as submitted.
-    pub query: Vec<NodeId>,
-    /// Search result or the per-query error (a failed query never aborts
-    /// the batch).
-    pub result: Result<SearchResult, SearchError>,
-    /// Wall-clock seconds of this query alone.
-    pub seconds: f64,
-}
-
-/// A completed batch: per-query outcomes in submission order plus the
+/// A completed batch: per-request responses in submission order plus the
 /// latency/throughput summary a serving deployment monitors.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
-    /// Outcomes, index-aligned with the submitted queries.
-    pub outcomes: Vec<QueryOutcome>,
+    /// Responses, index-aligned with the submitted requests.
+    pub responses: Vec<QueryResponse>,
     /// End-to-end wall-clock seconds for the whole batch.
     pub wall_seconds: f64,
     /// Queries completed per wall-clock second.
@@ -47,84 +37,110 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Number of queries that produced a community.
+    /// Number of requests that produced a community.
     pub fn succeeded(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+        self.responses.iter().filter(|r| r.is_ok()).count()
     }
 }
 
-/// Executes batches of queries with a fixed algorithm and thread count.
+/// Executes batches of requests with a default algorithm and a worker
+/// count.
+#[derive(Debug, Clone)]
 pub struct BatchRunner {
-    algo: Box<dyn CommunitySearch>,
+    spec: AlgoSpec,
+    algo_name: &'static str,
     threads: usize,
 }
 
 impl BatchRunner {
-    /// Runner over an already-built algorithm. `threads` is clamped to at
-    /// least 1.
-    pub fn new(algo: Box<dyn CommunitySearch>, threads: usize) -> Self {
-        BatchRunner {
-            algo,
-            threads: threads.max(1),
+    /// Runner for `spec` on `threads` workers.
+    ///
+    /// `threads == 0` is an [`EngineError::BadParam`]; an unregistered
+    /// label is an [`EngineError::UnknownAlgo`] (detected here, not at
+    /// run time). A thread count larger than a batch is clamped to one
+    /// worker per request when the batch runs.
+    pub fn new(spec: AlgoSpec, threads: usize) -> Result<Self, EngineError> {
+        if threads == 0 {
+            return Err(EngineError::bad_param(
+                "batch thread count must be at least 1 (got 0)",
+            ));
         }
+        let algo_name = spec.build()?.name();
+        Ok(BatchRunner {
+            spec,
+            algo_name,
+            threads,
+        })
     }
 
-    /// Runner from a registry spec.
-    pub fn from_spec(spec: &AlgoSpec, threads: usize) -> Result<Self, String> {
-        Ok(Self::new(spec.build()?, threads))
-    }
-
-    /// The algorithm's display name.
+    /// Display name of the default algorithm.
     pub fn algo_name(&self) -> &'static str {
-        self.algo.name()
+        self.algo_name
     }
 
-    /// Configured worker count.
+    /// Configured worker count (before per-batch clamping).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Run every query and aggregate the report. Outcomes come back in
-    /// submission order whatever the thread count.
-    pub fn run(&self, g: &Graph, queries: &[Vec<NodeId>]) -> BatchReport {
+    /// Run every request and aggregate the report. Responses come back
+    /// in submission order whatever the thread count.
+    ///
+    /// Per-query search failures land inside their [`QueryResponse`];
+    /// only request-level failures (an unknown per-request algorithm
+    /// override) abort the batch, and those are detected up front —
+    /// before any query runs.
+    pub fn run(&self, g: &Graph, requests: &[QueryRequest]) -> Result<BatchReport, EngineError> {
+        // Check every override label now so workers cannot fail
+        // mid-batch. A registry lookup suffices: construction itself is
+        // infallible once the label resolves (params are plain config).
+        for req in requests {
+            if let Some(spec) = &req.algo {
+                if registry::find(&spec.name).is_none() {
+                    return Err(EngineError::unknown_algo(spec.name.clone()));
+                }
+            }
+        }
+
         let start = Instant::now();
-        let outcomes: Vec<QueryOutcome> = if self.threads == 1 || queries.len() <= 1 {
-            let mut ws = QueryWorkspace::new();
-            queries
+        let workers = self.threads.min(requests.len()).max(1);
+        let responses: Vec<QueryResponse> = if workers == 1 {
+            let mut session = Session::new(g, &self.spec)?;
+            requests
                 .iter()
-                .map(|q| run_one(self.algo.as_ref(), g, q, &mut ws))
+                .map(|req| answer(&mut session, req))
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
-            let algo: &dyn CommunitySearch = self.algo.as_ref();
-            let workers = self.threads.min(queries.len());
-            let mut indexed: Vec<(usize, QueryOutcome)> = Vec::with_capacity(queries.len());
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+            let mut indexed = std::thread::scope(
+                |scope| -> Result<Vec<(usize, QueryResponse)>, EngineError> {
+                    let mut handles = Vec::with_capacity(workers);
+                    for _ in 0..workers {
                         let next = &next;
-                        scope.spawn(move || {
-                            let mut ws = QueryWorkspace::new();
+                        let mut session = Session::new(g, &self.spec)?;
+                        handles.push(scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(q) = queries.get(i) else { break };
-                                local.push((i, run_one(algo, g, q, &mut ws)));
+                                let Some(req) = requests.get(i) else { break };
+                                local.push((i, answer(&mut session, req)));
                             }
                             local
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    indexed.extend(h.join().expect("batch worker panicked"));
-                }
-            });
+                        }));
+                    }
+                    let mut indexed = Vec::with_capacity(requests.len());
+                    for h in handles {
+                        indexed.extend(h.join().expect("batch worker panicked"));
+                    }
+                    Ok(indexed)
+                },
+            )?;
             indexed.sort_unstable_by_key(|&(i, _)| i);
-            indexed.into_iter().map(|(_, o)| o).collect()
+            indexed.into_iter().map(|(_, r)| r).collect()
         };
         let wall_seconds = start.elapsed().as_secs_f64();
 
-        let mut lat: Vec<f64> = outcomes.iter().map(|o| o.seconds).collect();
+        let mut lat: Vec<f64> = responses.iter().map(|r| r.seconds).collect();
         lat.sort_unstable_by(|a, b| a.total_cmp(b));
         let pct = |p: f64| -> f64 {
             if lat.is_empty() {
@@ -135,63 +151,108 @@ impl BatchRunner {
         };
         let (p50_seconds, p95_seconds) = (pct(0.50), pct(0.95));
         let queries_per_sec = if wall_seconds > 0.0 {
-            outcomes.len() as f64 / wall_seconds
+            responses.len() as f64 / wall_seconds
         } else {
             0.0
         };
-        BatchReport {
-            outcomes,
+        Ok(BatchReport {
+            responses,
             wall_seconds,
             queries_per_sec,
             p50_seconds,
             p95_seconds,
-        }
+        })
     }
 }
 
-fn run_one(
-    algo: &dyn CommunitySearch,
-    g: &Graph,
-    query: &[NodeId],
-    ws: &mut QueryWorkspace,
-) -> QueryOutcome {
-    let t = Instant::now();
-    let result = algo.search_with_workspace(g, query, ws);
-    QueryOutcome {
-        query: query.to_vec(),
-        result,
-        seconds: t.elapsed().as_secs_f64(),
-    }
+/// One request through a worker's session. Overrides were pre-resolved
+/// by [`BatchRunner::run`], so a request-level error here is impossible.
+fn answer(session: &mut Session<'_>, req: &QueryRequest) -> QueryResponse {
+    session.query(req).expect("overrides pre-validated")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmcs_graph::GraphBuilder;
+    use dmcs_graph::{GraphBuilder, NodeId};
 
     fn barbell() -> Graph {
         GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
-    fn queries() -> Vec<Vec<NodeId>> {
-        (0..6u32).map(|v| vec![v]).collect()
+    fn requests() -> Vec<QueryRequest> {
+        QueryRequest::from_node_lists(&(0..6u32).map(|v| vec![v]).collect::<Vec<Vec<NodeId>>>())
     }
 
     #[test]
     fn batch_matches_sequential_and_preserves_order() {
         let g = barbell();
-        let qs = queries();
-        let seq = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 1)
+        let reqs = requests();
+        let seq = BatchRunner::new(AlgoSpec::new("fpa"), 1)
             .unwrap()
-            .run(&g, &qs);
-        let par = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 4)
+            .run(&g, &reqs)
+            .unwrap();
+        let par = BatchRunner::new(AlgoSpec::new("fpa"), 4)
             .unwrap()
-            .run(&g, &qs);
-        assert_eq!(seq.outcomes.len(), par.outcomes.len());
-        for (s, p) in seq.outcomes.iter().zip(&par.outcomes) {
-            assert_eq!(s.query, p.query);
+            .run(&g, &reqs)
+            .unwrap();
+        assert_eq!(seq.responses.len(), par.responses.len());
+        for (s, p) in seq.responses.iter().zip(&par.responses) {
+            assert_eq!(s.request, p.request);
             assert_eq!(s.result, p.result);
         }
+    }
+
+    #[test]
+    fn zero_threads_is_a_bad_param_and_excess_threads_clamp() {
+        let err = BatchRunner::new(AlgoSpec::new("fpa"), 0).unwrap_err();
+        assert!(matches!(err, EngineError::BadParam { .. }), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+
+        // 64 threads over 3 requests: clamped to one worker per request,
+        // still deterministic and complete.
+        let g = barbell();
+        let reqs = QueryRequest::from_node_lists(&[vec![0], vec![3], vec![5]]);
+        let runner = BatchRunner::new(AlgoSpec::new("fpa"), 64).unwrap();
+        assert_eq!(runner.threads(), 64);
+        let report = runner.run(&g, &reqs).unwrap();
+        assert_eq!(report.responses.len(), 3);
+        assert_eq!(report.succeeded(), 3);
+    }
+
+    #[test]
+    fn unknown_default_algo_fails_at_construction() {
+        let err = BatchRunner::new(AlgoSpec::new("zeus"), 2).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlgo { .. }));
+    }
+
+    #[test]
+    fn unknown_override_fails_before_any_query_runs() {
+        let g = barbell();
+        let reqs = vec![
+            QueryRequest::new(vec![0]),
+            QueryRequest::new(vec![1]).with_algo(AlgoSpec::new("zeus")),
+        ];
+        let err = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&g, &reqs)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlgo { .. }));
+    }
+
+    #[test]
+    fn per_request_overrides_run_their_own_algorithm() {
+        let g = barbell();
+        let reqs = vec![
+            QueryRequest::new(vec![0]),
+            QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")),
+        ];
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&g, &reqs)
+            .unwrap();
+        assert_eq!(report.responses[0].algo, "FPA");
+        assert_eq!(report.responses[1].algo, "NCA");
     }
 
     #[test]
@@ -199,23 +260,25 @@ mod tests {
         // A multi-node query spanning two components fails; the batch
         // records the error and keeps going.
         let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
-        let qs = vec![vec![0u32], vec![0, 3], vec![2]];
-        let report = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 2)
+        let reqs = QueryRequest::from_node_lists(&[vec![0u32], vec![0, 3], vec![2]]);
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
             .unwrap()
-            .run(&split, &qs);
-        assert_eq!(report.outcomes.len(), 3);
-        assert!(report.outcomes[0].result.is_ok());
-        assert!(report.outcomes[1].result.is_err());
-        assert!(report.outcomes[2].result.is_ok());
+            .run(&split, &reqs)
+            .unwrap();
+        assert_eq!(report.responses.len(), 3);
+        assert!(report.responses[0].is_ok());
+        assert!(!report.responses[1].is_ok());
+        assert!(report.responses[2].is_ok());
         assert_eq!(report.succeeded(), 2);
     }
 
     #[test]
     fn report_statistics_are_sane() {
         let g = barbell();
-        let report = BatchRunner::from_spec(&AlgoSpec::new("nca"), 2)
+        let report = BatchRunner::new(AlgoSpec::new("nca"), 2)
             .unwrap()
-            .run(&g, &queries());
+            .run(&g, &requests())
+            .unwrap();
         assert!(report.wall_seconds > 0.0);
         assert!(report.queries_per_sec > 0.0);
         assert!(report.p50_seconds <= report.p95_seconds);
@@ -225,10 +288,11 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let g = barbell();
-        let report = BatchRunner::from_spec(&AlgoSpec::new("fpa"), 4)
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 4)
             .unwrap()
-            .run(&g, &[]);
-        assert!(report.outcomes.is_empty());
+            .run(&g, &[])
+            .unwrap();
+        assert!(report.responses.is_empty());
         assert_eq!(report.p50_seconds, 0.0);
     }
 }

@@ -1,0 +1,296 @@
+//! The engine's error taxonomy: one typed [`EngineError`] for every
+//! fallible entry point of the serving API, replacing the prototype-era
+//! stringly-typed error plumbing.
+//!
+//! Each variant maps to a stable process exit code (see
+//! [`EngineError::exit_code`]) so shell callers and the CI smoke tests
+//! can distinguish failure classes without parsing messages:
+//!
+//! | variant          | exit code | meaning                                   |
+//! |------------------|-----------|-------------------------------------------|
+//! | [`BadParam`]     | 2         | invalid flag / parameter / combination    |
+//! | [`UnknownAlgo`]  | 3         | `--algo` label not in the registry        |
+//! | [`Io`]           | 4         | a file could not be read or written       |
+//! | [`UnknownNode`]  | 5         | a query id does not appear in the graph   |
+//! | [`Search`]       | 6         | the search itself failed                  |
+//!
+//! [`BadParam`]: EngineError::BadParam
+//! [`UnknownAlgo`]: EngineError::UnknownAlgo
+//! [`Io`]: EngineError::Io
+//! [`UnknownNode`]: EngineError::UnknownNode
+//! [`Search`]: EngineError::Search
+
+use crate::registry;
+use dmcs_core::SearchError;
+
+/// Everything that can go wrong between a request arriving and a
+/// [`QueryResponse`](crate::QueryResponse) leaving.
+///
+/// ```
+/// use dmcs_engine::{AlgoSpec, EngineError};
+///
+/// // An unknown label carries a nearest-name suggestion.
+/// let Err(err) = AlgoSpec::new("fpa-dgm").build() else {
+///     unreachable!("not a registered label");
+/// };
+/// match &err {
+///     EngineError::UnknownAlgo { given, suggestion } => {
+///         assert_eq!(given, "fpa-dgm");
+///         assert_eq!(*suggestion, Some("fpa-dmg"));
+///     }
+///     other => panic!("unexpected error {other}"),
+/// }
+/// assert_eq!(err.exit_code(), 3);
+/// assert!(err.to_string().contains("did you mean \"fpa-dmg\"?"));
+/// ```
+#[derive(Debug)]
+pub enum EngineError {
+    /// The algorithm label is not in the registry. `suggestion` is the
+    /// nearest registered label by edit distance, when one is close
+    /// enough to be plausible.
+    UnknownAlgo {
+        /// The label as given by the caller.
+        given: String,
+        /// Nearest registered label, if any is plausibly intended.
+        suggestion: Option<&'static str>,
+    },
+    /// A parameter, flag value or flag combination is invalid.
+    BadParam {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error (also exposed via `source()`).
+        source: std::io::Error,
+    },
+    /// A query node id does not appear in the loaded graph.
+    UnknownNode {
+        /// The id, in the original (file) id space.
+        id: u64,
+        /// Where the id came from (e.g. `"q.txt: query 3"`), when the
+        /// caller has more context than the bare flag value.
+        context: Option<String>,
+    },
+    /// The community search itself failed.
+    Search {
+        /// Display name of the algorithm that failed.
+        algo: String,
+        /// The underlying search error (also exposed via `source()`).
+        source: SearchError,
+    },
+}
+
+impl EngineError {
+    /// The process exit code the CLI maps this error to. Codes are
+    /// stable, documented in the module table, and distinct per variant
+    /// (0 = success, 2–6 = the failure classes).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            EngineError::BadParam { .. } => 2,
+            EngineError::UnknownAlgo { .. } => 3,
+            EngineError::Io { .. } => 4,
+            EngineError::UnknownNode { .. } => 5,
+            EngineError::Search { .. } => 6,
+        }
+    }
+
+    /// Shorthand for a [`EngineError::BadParam`].
+    pub fn bad_param(what: impl Into<String>) -> Self {
+        EngineError::BadParam { what: what.into() }
+    }
+
+    /// Shorthand for an [`EngineError::Io`] tagged with `path`.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        EngineError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// An [`EngineError::UnknownAlgo`] for `given`, with the suggestion
+    /// computed from the registry.
+    pub fn unknown_algo(given: impl Into<String>) -> Self {
+        let given = given.into();
+        let suggestion = registry::suggest(&given);
+        EngineError::UnknownAlgo { given, suggestion }
+    }
+
+    /// An [`EngineError::UnknownNode`] with no extra context.
+    pub fn unknown_node(id: u64) -> Self {
+        EngineError::UnknownNode { id, context: None }
+    }
+
+    /// Attach (or replace) the context of an [`EngineError::UnknownNode`];
+    /// other variants pass through unchanged.
+    pub fn with_node_context(self, context: impl Into<String>) -> Self {
+        match self {
+            EngineError::UnknownNode { id, .. } => EngineError::UnknownNode {
+                id,
+                context: Some(context.into()),
+            },
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownAlgo { given, suggestion } => {
+                write!(f, "unknown algorithm {given:?}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " — did you mean {s:?}?")?;
+                }
+                write!(f, " (valid: {})", registry::names().join(", "))
+            }
+            EngineError::BadParam { what } => write!(f, "{what}"),
+            EngineError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            EngineError::UnknownNode { id, context } => {
+                if let Some(c) = context {
+                    write!(f, "{c}: ")?;
+                }
+                write!(f, "query node {id} does not appear in the graph")
+            }
+            // An empty algo name happens on the bare From<SearchError>
+            // conversion; don't render a leading ": " in that case.
+            EngineError::Search { algo, source } if algo.is_empty() => write!(f, "{source}"),
+            EngineError::Search { algo, source } => write!(f, "{algo}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io { source, .. } => Some(source),
+            EngineError::Search { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SearchError> for EngineError {
+    fn from(source: SearchError) -> Self {
+        EngineError::Search {
+            algo: String::new(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphError;
+    use std::error::Error;
+
+    fn all_variants() -> Vec<EngineError> {
+        vec![
+            EngineError::bad_param("--threads must be at least 1"),
+            EngineError::unknown_algo("zeus"),
+            EngineError::io(
+                "/no/such/file",
+                std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            ),
+            EngineError::unknown_node(999),
+            EngineError::Search {
+                algo: "FPA".into(),
+                source: SearchError::EmptyQuery,
+            },
+        ]
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let codes: Vec<i32> = all_variants().iter().map(|e| e.exit_code()).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6]);
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "exit codes collide: {codes:?}");
+        assert!(!codes.contains(&0) && !codes.contains(&1), "0/1 reserved");
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let texts: Vec<String> = all_variants().iter().map(|e| e.to_string()).collect();
+        assert_eq!(texts[0], "--threads must be at least 1");
+        assert!(
+            texts[1].starts_with("unknown algorithm \"zeus\""),
+            "{}",
+            texts[1]
+        );
+        assert!(texts[1].contains("valid: fpa, nca"), "{}", texts[1]);
+        assert!(texts[2].contains("/no/such/file") && texts[2].contains("gone"));
+        assert_eq!(texts[3], "query node 999 does not appear in the graph");
+        assert_eq!(texts[4], "FPA: query set is empty");
+
+        // Context prefixes the unknown-node message when present.
+        let contextual = EngineError::unknown_node(7).with_node_context("q.txt: query 3");
+        assert_eq!(
+            contextual.to_string(),
+            "q.txt: query 3: query node 7 does not appear in the graph"
+        );
+        // Non-UnknownNode errors pass through with_node_context untouched.
+        let passthrough = EngineError::bad_param("x").with_node_context("ignored");
+        assert_eq!(passthrough.to_string(), "x");
+    }
+
+    #[test]
+    fn unknown_algo_suggests_the_nearest_label() {
+        match EngineError::unknown_algo("fpa-dgm") {
+            EngineError::UnknownAlgo {
+                suggestion: Some(s),
+                ..
+            } => assert_eq!(s, "fpa-dmg"),
+            other => panic!("{other:?}"),
+        }
+        let text = EngineError::unknown_algo("luovain").to_string();
+        assert!(text.contains("did you mean \"louvain\"?"), "{text}");
+        // Garbage nowhere near a label gets no suggestion, only the list.
+        match EngineError::unknown_algo("qqqqqqqqqq") {
+            EngineError::UnknownAlgo {
+                suggestion: None, ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_chains_reach_the_root_cause() {
+        let io = EngineError::io(
+            "f",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert_eq!(io.source().unwrap().to_string(), "gone");
+
+        let search = EngineError::Search {
+            algo: "FPA".into(),
+            source: SearchError::Graph(GraphError::QueryDisconnected),
+        };
+        let level1 = search.source().expect("SearchError");
+        let level2 = level1.source().expect("GraphError");
+        assert_eq!(
+            level2.to_string(),
+            "query nodes are not in the same connected component"
+        );
+
+        for e in [
+            EngineError::bad_param("x"),
+            EngineError::unknown_algo("zeus"),
+            EngineError::unknown_node(1),
+        ] {
+            assert!(e.source().is_none(), "{e:?} has no cause");
+        }
+    }
+
+    #[test]
+    fn search_errors_convert_and_render_without_a_dangling_prefix() {
+        let e: EngineError = SearchError::EmptyQuery.into();
+        assert_eq!(e.exit_code(), 6);
+        assert_eq!(e.to_string(), "query set is empty");
+    }
+}

@@ -1,43 +1,78 @@
-//! # dmcs-engine — the batched query engine of the DMCS workspace
+//! # dmcs-engine — the typed serving layer of the DMCS workspace
 //!
 //! Turns the one-shot, single-threaded community search into a serving
-//! layer: thousands of queries against one shared graph, dispatched by
-//! name through a single [`registry`], executed concurrently by a
-//! [`BatchRunner`] with per-worker recyclable
-//! [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace)s.
+//! API: typed requests and responses, long-lived sessions with reusable
+//! buffers, concurrent batches over one shared graph, a typed error
+//! taxonomy with stable exit codes, and structured (JSON-lines) output.
 //!
 //! - [`registry`] — [`AlgoSpec`] (label + params) → `Box<dyn
 //!   CommunitySearch>`; the **only** algorithm-construction site in the
 //!   workspace. CLI `--algo` parsing, the experiment line-ups and the
-//!   generated help text all resolve through it.
+//!   generated help text all resolve through it; unknown labels come
+//!   back as [`EngineError::UnknownAlgo`] with a nearest-name
+//!   suggestion.
+//! - [`error`] — [`EngineError`], the workspace-wide error taxonomy.
+//!   Implements `std::error::Error` with full `source()` chains and maps
+//!   every variant to a distinct, documented process exit code.
+//! - [`request`] — [`QueryRequest`] (query nodes + per-request algorithm
+//!   override, size cap, correlation tag) and [`QueryResponse`] (the
+//!   [`SearchResult`](dmcs_core::SearchResult) plus the algorithm that
+//!   ran and the query's wall time).
+//! - [`session`] — [`Session`]: a resolved algorithm + a persistent
+//!   [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace), so repeated
+//!   single queries get the buffer-reuse speedup that batches get from
+//!   per-worker workspaces.
 //! - [`batch`] — [`BatchRunner`]: `std::thread::scope` fan-out with an
-//!   atomic work queue, deterministic (submission-order) results, and a
-//!   throughput/latency report.
+//!   atomic work queue where every worker is a per-thread [`Session`];
+//!   deterministic (submission-order) responses and a
+//!   throughput/latency [`BatchReport`].
+//! - [`output`] — a hand-rolled [`Json`](output::Json) writer/parser
+//!   rendering responses and reports as JSON-lines (the CLI's
+//!   `--format json`).
 //! - [`Engine`] — an `Arc<Graph>` + convenience entry points, the handle
 //!   a server would hold per loaded dataset.
 //!
 //! ```
-//! use dmcs_engine::{registry::AlgoSpec, Engine};
+//! use dmcs_engine::{registry::AlgoSpec, Engine, QueryRequest};
 //! use dmcs_graph::GraphBuilder;
 //! use std::sync::Arc;
 //!
 //! let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
 //! let engine = Engine::new(Arc::new(g));
-//! let queries: Vec<Vec<u32>> = vec![vec![0], vec![5]];
-//! let report = engine.run_batch(&AlgoSpec::new("fpa"), &queries, 2).unwrap();
-//! assert_eq!(report.outcomes.len(), 2);
-//! assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+//!
+//! // Repeated single queries: one session, reused buffers.
+//! let mut session = engine.session(&AlgoSpec::new("fpa"))?;
+//! let result = session.search(&[0])?;
+//! assert!(result.community.contains(&0));
+//!
+//! // A typed batch across 2 workers.
+//! let requests = vec![
+//!     QueryRequest::new(vec![0]),
+//!     QueryRequest::new(vec![5]).with_tag("vip"),
+//! ];
+//! let report = engine.run_batch(&AlgoSpec::new("fpa"), &requests, 2)?;
+//! assert_eq!(report.responses.len(), 2);
+//! assert!(report.responses.iter().all(|r| r.is_ok()));
+//! assert_eq!(report.responses[1].request.tag.as_deref(), Some("vip"));
+//! # Ok::<(), dmcs_engine::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod error;
+pub mod output;
 pub mod registry;
+pub mod request;
+pub mod session;
 
-pub use batch::{BatchReport, BatchRunner, QueryOutcome};
+pub use batch::{BatchReport, BatchRunner};
+pub use error::EngineError;
 pub use registry::{AlgoParams, AlgoSpec};
+pub use request::{QueryRequest, QueryResponse};
+pub use session::Session;
 
-use dmcs_graph::{Graph, NodeId};
+use dmcs_graph::Graph;
 use std::sync::Arc;
 
 /// A loaded dataset ready to serve queries: the shared graph plus the
@@ -64,15 +99,21 @@ impl Engine {
         Arc::clone(&self.graph)
     }
 
+    /// Open a [`Session`] for `spec` over this engine's graph — the
+    /// entry point for repeated single queries.
+    pub fn session(&self, spec: &AlgoSpec) -> Result<Session<'_>, EngineError> {
+        Session::new(&self.graph, spec)
+    }
+
     /// Resolve `spec` through the registry and run the whole batch on
-    /// `threads` workers.
+    /// `threads` workers (clamped to one worker per request).
     pub fn run_batch(
         &self,
         spec: &AlgoSpec,
-        queries: &[Vec<NodeId>],
+        requests: &[QueryRequest],
         threads: usize,
-    ) -> Result<BatchReport, String> {
-        Ok(BatchRunner::from_spec(spec, threads)?.run(&self.graph, queries))
+    ) -> Result<BatchReport, EngineError> {
+        BatchRunner::new(spec.clone(), threads)?.run(&self.graph, requests)
     }
 }
 
@@ -86,10 +127,23 @@ mod tests {
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         let engine = Engine::new(Arc::new(g));
         let report = engine
-            .run_batch(&AlgoSpec::new("nca"), &[vec![0]], 1)
+            .run_batch(&AlgoSpec::new("nca"), &[QueryRequest::new(vec![0])], 1)
             .unwrap();
         assert_eq!(report.succeeded(), 1);
-        assert!(engine.run_batch(&AlgoSpec::new("nope"), &[], 1).is_err());
+        assert!(matches!(
+            engine.run_batch(&AlgoSpec::new("nope"), &[], 1),
+            Err(EngineError::UnknownAlgo { .. })
+        ));
         assert_eq!(engine.graph().n(), engine.graph_handle().n());
+    }
+
+    #[test]
+    fn engine_sessions_serve_repeated_queries() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let engine = Engine::new(Arc::new(g));
+        let mut session = engine.session(&AlgoSpec::new("fpa")).unwrap();
+        for q in 0..3u32 {
+            assert!(session.search(&[q]).unwrap().community.contains(&q));
+        }
     }
 }

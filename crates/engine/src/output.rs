@@ -1,0 +1,664 @@
+//! Structured (JSON) output for the serving API — hand-rolled, like the
+//! `vendor/` shims, because the workspace's dependency policy admits no
+//! serde. One [`Json`] value type with a writer and a strict parser: the
+//! writer renders [`QueryResponse`]s and [`BatchReport`]s as JSON-lines
+//! (one object per line, machine-consumable by the bench harness and
+//! `--format json` CLI users); the parser backs the round-trip property
+//! tests and the CI output validator.
+//!
+//! ## JSON-lines schema
+//!
+//! One `response` object per query, in submission order:
+//!
+//! ```json
+//! {"type":"response","tag":null,"algo":"FPA","query":[0,33],"ok":true,
+//!  "size":7,"dm":0.551,"iterations":27,"seconds":0.0012,"community":[0,1,2,3,7,13,33]}
+//! {"type":"response","tag":"t-9","algo":"FPA","query":[0,5],"ok":false,
+//!  "error":"query nodes are not in the same connected component","seconds":0.0001}
+//! ```
+//!
+//! followed, for batches, by exactly one `summary` object:
+//!
+//! ```json
+//! {"type":"summary","algo":"FPA","queries":3,"ok":2,"wall_seconds":0.004,
+//!  "queries_per_sec":750.0,"p50_seconds":0.001,"p95_seconds":0.002}
+//! ```
+//!
+//! Node ids in `query` and `community` are in the *original* (input
+//! file) id space when a mapping is supplied, dense ids otherwise.
+//! Non-finite floats render as `null` (JSON has no NaN/Infinity).
+
+use crate::batch::BatchReport;
+use crate::request::QueryResponse;
+use dmcs_core::{SearchError, SearchResult};
+use dmcs_graph::NodeId;
+
+/// A JSON value. Object member order is preserved (the writer emits a
+/// stable field order; the parser keeps whatever it reads).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer, kept exact — node ids are `u64` and must
+    /// not round-trip through `f64` (ids above 2^53 would silently lose
+    /// precision). The parser produces this for any bare digit run that
+    /// fits a `u64`.
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup (objects only).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one. Integers above 2^53 lose precision
+    /// here; use [`Json::as_u64`] for ids.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            // Strict upper bound: `u64::MAX as f64` rounds up to 2^64,
+            // which is itself out of range — a saturating cast there
+            // would fabricate u64::MAX.
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&format!("{v}")),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's shortest round-trip float formatting; whole
+                    // numbers render without a fraction ("5", not "5.0").
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse one JSON document (strict: trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::new(pos, "trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, msg: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(JsonError::new(*pos, format!("expected {token:?}")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError::new(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::new(*pos, "expected ':' after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(JsonError::new(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError::new(*pos, "expected '\"'"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::new(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| JsonError::new(*pos, "unterminated escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(JsonError::new(*pos, "unknown escape")),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing
+                // at char boundaries is safe via the chars iterator).
+                let rest = &bytes[*pos..];
+                let s =
+                    std::str::from_utf8(rest).map_err(|_| JsonError::new(*pos, "invalid UTF-8"))?;
+                let c = s.chars().next().expect("non-empty");
+                if (c as u32) < 0x20 {
+                    return Err(JsonError::new(*pos, "raw control character in string"));
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parse a number following the JSON grammar exactly:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`. Rust's permissive
+/// `f64::from_str` (which accepts `+1`, `.5`, `1.`, `inf`) is only used
+/// on text this grammar already admitted, so non-JSON forms are
+/// rejected rather than laundered through the validator.
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    let digits = |bytes: &[u8], pos: &mut usize| -> bool {
+        let before = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        *pos > before
+    };
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: 0, or a nonzero digit followed by more digits
+    // (leading zeros like "007" are not JSON).
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            digits(bytes, pos);
+        }
+        _ => return Err(JsonError::new(start, "expected a value")),
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(JsonError::new(*pos, "expected digits after '.'"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(JsonError::new(*pos, "expected exponent digits"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII by construction");
+    // Bare digit runs stay exact u64 integers (node ids above 2^53 must
+    // not round-trip through f64); everything else is an f64.
+    if !is_float && !text.starts_with('-') {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::new(start, "malformed number"))
+}
+
+/// Map a dense node id to the original (file) id space, when a mapping
+/// is present.
+fn map_id(v: NodeId, original: Option<&[u64]>) -> u64 {
+    original.map_or(v as u64, |o| o[v as usize])
+}
+
+fn id_array(nodes: &[NodeId], original: Option<&[u64]>) -> Json {
+    let mut ids: Vec<u64> = nodes.iter().map(|&v| map_id(v, original)).collect();
+    ids.sort_unstable();
+    Json::Arr(ids.into_iter().map(Json::UInt).collect())
+}
+
+/// One `response` object from its parts. The lower-level entry point
+/// for output that does not flow through a [`QueryResponse`] (the CLI's
+/// top-k rounds and weighted searches).
+pub fn result_json(
+    algo: &str,
+    tag: Option<&str>,
+    query: &[NodeId],
+    result: &Result<SearchResult, SearchError>,
+    seconds: f64,
+    original: Option<&[u64]>,
+) -> Json {
+    let mut members = vec![
+        ("type".to_string(), Json::str("response")),
+        (
+            "tag".to_string(),
+            tag.map_or(Json::Null, |t| Json::str(t.to_string())),
+        ),
+        ("algo".to_string(), Json::str(algo)),
+        ("query".to_string(), id_array(query, original)),
+    ];
+    match result {
+        Ok(r) => {
+            members.push(("ok".to_string(), Json::Bool(true)));
+            members.push(("size".to_string(), Json::UInt(r.community.len() as u64)));
+            members.push(("dm".to_string(), Json::Num(r.density_modularity)));
+            members.push(("iterations".to_string(), Json::UInt(r.iterations as u64)));
+            members.push(("seconds".to_string(), Json::Num(seconds)));
+            members.push(("community".to_string(), id_array(&r.community, original)));
+        }
+        Err(e) => {
+            members.push(("ok".to_string(), Json::Bool(false)));
+            members.push(("error".to_string(), Json::str(e.to_string())));
+            members.push(("seconds".to_string(), Json::Num(seconds)));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// The `response` object for one [`QueryResponse`].
+pub fn response_json(resp: &QueryResponse, original: Option<&[u64]>) -> Json {
+    result_json(
+        resp.algo,
+        resp.request.tag.as_deref(),
+        &resp.request.nodes,
+        &resp.result,
+        resp.seconds,
+        original,
+    )
+}
+
+/// The `summary` object of a [`BatchReport`].
+pub fn summary_json(algo: &str, report: &BatchReport) -> Json {
+    Json::Obj(vec![
+        ("type".to_string(), Json::str("summary")),
+        ("algo".to_string(), Json::str(algo)),
+        (
+            "queries".to_string(),
+            Json::UInt(report.responses.len() as u64),
+        ),
+        ("ok".to_string(), Json::UInt(report.succeeded() as u64)),
+        ("wall_seconds".to_string(), Json::Num(report.wall_seconds)),
+        (
+            "queries_per_sec".to_string(),
+            Json::Num(report.queries_per_sec),
+        ),
+        ("p50_seconds".to_string(), Json::Num(report.p50_seconds)),
+        ("p95_seconds".to_string(), Json::Num(report.p95_seconds)),
+    ])
+}
+
+/// A whole [`BatchReport`] as JSON-lines: one `response` line per query
+/// in submission order, then one `summary` line. Every line is a
+/// complete JSON object; the result ends with a newline.
+pub fn report_jsonl(algo: &str, report: &BatchReport, original: Option<&[u64]>) -> String {
+    let mut out = String::new();
+    for resp in &report.responses {
+        out.push_str(&response_json(resp, original).render());
+        out.push('\n');
+    }
+    out.push_str(&summary_json(algo, report).render());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip_on_scalars() {
+        for (v, text) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::UInt(5), "5"),
+            (Json::Num(-0.25), "-0.25"),
+            (Json::str("a \"b\"\n\t\\"), "\"a \\\"b\\\"\\n\\t\\\\\""),
+        ] {
+            assert_eq!(v.render(), text);
+            assert_eq!(Json::parse(text).unwrap(), v);
+        }
+        // Non-finite numbers degrade to null on write.
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn large_u64_ids_stay_exact() {
+        // 2^53 + 1 is not representable as f64; ids must not go through
+        // one.
+        for v in [9007199254740993u64, u64::MAX] {
+            let text = Json::UInt(v).render();
+            assert_eq!(text, v.to_string());
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_u64(), Some(v), "{v} corrupted via {text}");
+        }
+        // as_u64 tolerates integral floats but rejects fractions.
+        assert_eq!(Json::Num(4.0).as_u64(), Some(4));
+        assert_eq!(Json::Num(4.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Arr(vec![Json::UInt(1), Json::Null])),
+            (
+                "b".to_string(),
+                Json::Obj(vec![("c".to_string(), Json::str("x"))]),
+            ),
+        ]);
+        let text = v.render();
+        assert_eq!(text, "{\"a\":[1,null],\"b\":{\"c\":\"x\"}}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Whitespace tolerance on parse.
+        assert_eq!(
+            Json::parse(" { \"a\" : [ 1 , null ] , \"b\": {\"c\":\"x\"} } ").unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "nul",
+            // JSON's number grammar is strict; Rust's permissive float
+            // parser must not leak through the validator.
+            "+1",
+            ".5",
+            "1.",
+            "007",
+            "-",
+            "1e",
+            "1e+",
+            "inf",
+            "NaN",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?} must fail");
+        }
+        // ...while every legal shape still parses.
+        for good in ["0", "-0", "10", "-5", "0.5", "1e3", "1E-3", "2.5e+7"] {
+            Json::parse(good).unwrap_or_else(|e| panic!("{good:?} must parse: {e}"));
+        }
+        assert_eq!(Json::parse("-5").unwrap().as_f64(), Some(-5.0));
+        // The exact-2^64 float is out of u64 range, not saturated.
+        assert_eq!(Json::Num(18446744073709551616.0).as_u64(), None);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -0.0] {
+            let text = Json::Num(x).render();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Json::str("café → 社区");
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back.as_str(), Some("café → 社区"));
+        // \u escapes parse too.
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\"").unwrap().as_str(),
+            Some("Aé")
+        );
+    }
+
+    #[test]
+    fn result_json_maps_ids_and_reports_errors() {
+        let original = vec![100u64, 200, 300];
+        let ok = Ok(SearchResult {
+            community: vec![2, 0],
+            density_modularity: 0.5,
+            removal_order: vec![],
+            iterations: 3,
+        });
+        let line = result_json("FPA", Some("t"), &[0], &ok, 0.25, Some(&original)).render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("response"));
+        assert_eq!(v.get("tag").unwrap().as_str(), Some("t"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("size").unwrap().as_f64(), Some(2.0));
+        let comm: Vec<f64> = v
+            .get("community")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(comm, vec![100.0, 300.0], "mapped and sorted");
+
+        let err = Err(SearchError::EmptyQuery);
+        let line = result_json("FPA", None, &[], &err, 0.0, None).render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("query set is empty"));
+        assert_eq!(v.get("tag").unwrap(), &Json::Null);
+        assert!(v.get("community").is_none());
+    }
+}

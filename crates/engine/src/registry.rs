@@ -9,6 +9,7 @@
 //! one-row change and help text / docs are generated rather than
 //! hand-maintained.
 
+use crate::error::EngineError;
 use dmcs_baselines::{
     CliquePercolation, Cnm, Gn, HighCore, HighTruss, Huang2015, Icwi2008, KCore, KTruss, Kecc,
     LocalKCore, Louvain, Lpa, PprSweep, Wu2015,
@@ -195,6 +196,36 @@ pub fn find(name: &str) -> Option<&'static AlgoEntry> {
     REGISTRY.iter().find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
+/// Levenshtein edit distance between two (short) ASCII labels.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registered label nearest to `name` by edit distance, if it is
+/// close enough to be a plausible typo (distance ≤ 2, or ≤ a third of
+/// the label length for long labels). Drives the "did you mean ...?"
+/// part of [`EngineError::UnknownAlgo`].
+pub fn suggest(name: &str) -> Option<&'static str> {
+    let name = name.to_lowercase();
+    let (best, dist) = REGISTRY
+        .iter()
+        .map(|e| (e.name, edit_distance(&name, e.name)))
+        .min_by_key(|&(_, d)| d)?;
+    let threshold = 2usize.max(name.len() / 3);
+    (dist <= threshold && dist < name.len()).then_some(best)
+}
+
 /// All registered labels, in registry order.
 pub fn names() -> Vec<&'static str> {
     REGISTRY.iter().map(|e| e.name).collect()
@@ -250,21 +281,13 @@ impl AlgoSpec {
         self
     }
 
-    /// Instantiate the algorithm, or report the unknown label.
-    pub fn build(&self) -> Result<Box<dyn CommunitySearch>, String> {
+    /// Instantiate the algorithm. An unregistered label is an
+    /// [`EngineError::UnknownAlgo`] carrying the nearest-name suggestion.
+    pub fn build(&self) -> Result<Box<dyn CommunitySearch>, EngineError> {
         find(&self.name)
             .map(|e| e.build(&self.params))
-            .ok_or_else(|| format!("unknown algorithm {:?}", self.name))
+            .ok_or_else(|| EngineError::unknown_algo(self.name.clone()))
     }
-}
-
-/// Build a whole line-up. Panics on an unknown label — line-ups are
-/// static experiment definitions, so that is a programming error.
-pub fn build_all(specs: &[AlgoSpec]) -> Vec<Box<dyn CommunitySearch>> {
-    specs
-        .iter()
-        .map(|s| s.build().expect("registered algorithm"))
-        .collect()
 }
 
 /// The default baseline line-up of the synthetic experiments (Fig 8/9):
@@ -326,9 +349,23 @@ mod tests {
     }
 
     #[test]
-    fn lineups_have_expected_sizes() {
-        assert_eq!(build_all(&default_baseline_specs()).len(), 7);
-        assert_eq!(build_all(&small_graph_baseline_specs()).len(), 11);
+    fn lineups_have_expected_sizes_and_build() {
+        let build = |specs: Vec<AlgoSpec>| -> Vec<_> {
+            specs
+                .iter()
+                .map(|s| s.build().expect("registered algorithm"))
+                .collect()
+        };
+        assert_eq!(build(default_baseline_specs()).len(), 7);
+        assert_eq!(build(small_graph_baseline_specs()).len(), 11);
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_noise() {
+        assert_eq!(suggest("fpa-dgm"), Some("fpa-dmg"));
+        assert_eq!(suggest("luovain"), Some("louvain"));
+        assert_eq!(suggest("NCA"), Some("nca"), "case-insensitive");
+        assert_eq!(suggest("qqqqqqqqqq"), None);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Sessions: a resolved algorithm plus a persistent
+//! [`QueryWorkspace`], so *repeated single queries* get the same
+//! buffer-reuse speedup that batches get from their per-worker
+//! workspaces.
+//!
+//! A serving task holds one [`Session`] per (dataset, algorithm) pair
+//! and feeds it requests one at a time; the `O(n)` alive-mask / degree /
+//! distance allocations are paid once per session, not once per query.
+//! [`BatchRunner`](crate::BatchRunner) workers are thin wrappers over
+//! exactly this type — one session per worker thread.
+
+use crate::error::EngineError;
+use crate::registry::AlgoSpec;
+use crate::request::{QueryRequest, QueryResponse};
+use dmcs_core::{CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{Graph, NodeId};
+use std::time::Instant;
+
+/// A live query session: one graph, one resolved algorithm, one
+/// recyclable workspace.
+///
+/// ```
+/// use dmcs_engine::{AlgoSpec, QueryRequest, Session};
+/// use dmcs_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+/// let mut session = Session::new(&g, &AlgoSpec::new("fpa"))?;
+///
+/// // Hot path: repeated single queries reuse the session's workspace.
+/// for q in [0u32, 5, 3] {
+///     let result = session.search(&[q])?;
+///     assert!(result.community.contains(&q));
+/// }
+///
+/// // Typed path: a full request/response round trip.
+/// let response = session.query(&QueryRequest::new(vec![0]).with_tag("demo"))?;
+/// assert_eq!(response.algo, "FPA");
+/// assert!(response.community_size().unwrap() >= 1);
+/// assert_eq!(response.request.tag.as_deref(), Some("demo"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session<'g> {
+    graph: &'g Graph,
+    algo: Box<dyn CommunitySearch>,
+    ws: QueryWorkspace,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("algo", &self.algo.name())
+            .field("graph_nodes", &self.graph.n())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> Session<'g> {
+    /// Resolve `spec` through the registry and open a session over
+    /// `graph`.
+    pub fn new(graph: &'g Graph, spec: &AlgoSpec) -> Result<Self, EngineError> {
+        Ok(Session {
+            graph,
+            algo: spec.build()?,
+            ws: QueryWorkspace::new(),
+        })
+    }
+
+    /// The graph this session serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Display name of the session's algorithm.
+    pub fn algo_name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    /// Run one query through the session's algorithm and workspace —
+    /// the hot path for repeated single queries.
+    pub fn search(&mut self, nodes: &[NodeId]) -> Result<SearchResult, SearchError> {
+        self.algo
+            .search_with_workspace(self.graph, nodes, &mut self.ws)
+    }
+
+    /// Answer one typed request: apply the request's algorithm override
+    /// (if any), time the search, and enforce the community-size cap.
+    ///
+    /// Per-query *search* failures land inside the returned
+    /// [`QueryResponse`]; only request-level failures (an unknown
+    /// override algorithm) are an `Err`.
+    pub fn query(&mut self, req: &QueryRequest) -> Result<QueryResponse, EngineError> {
+        let override_algo = req.algo.as_ref().map(|spec| spec.build()).transpose()?;
+        let algo = override_algo.as_deref().unwrap_or(self.algo.as_ref());
+        let start = Instant::now();
+        let mut result = algo.search_with_workspace(self.graph, &req.nodes, &mut self.ws);
+        if let (Ok(r), Some(cap)) = (&result, req.max_community_size) {
+            if r.community.len() > cap {
+                result = Err(SearchError::CommunityTooLarge {
+                    size: r.community.len(),
+                    cap,
+                });
+            }
+        }
+        Ok(QueryResponse {
+            request: req.clone(),
+            algo: algo.name(),
+            result,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    fn barbell() -> Graph {
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn session_matches_one_shot_search() {
+        let g = barbell();
+        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let one_shot = AlgoSpec::new("fpa").build().unwrap();
+        for q in 0..6u32 {
+            assert_eq!(
+                session.search(&[q]),
+                one_shot.search(&g, &[q]),
+                "query {q} diverges from the workspace-free path"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_session_algo_is_typed() {
+        let g = barbell();
+        let err = Session::new(&g, &AlgoSpec::new("zeus")).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlgo { .. }));
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn request_override_and_tag_flow_through() {
+        let g = barbell();
+        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let resp = session
+            .query(&QueryRequest::new(vec![0]).with_tag("t-1"))
+            .unwrap();
+        assert_eq!(resp.algo, "FPA");
+        assert_eq!(resp.request.tag.as_deref(), Some("t-1"));
+        assert!(resp.seconds >= 0.0);
+
+        let resp = session
+            .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")))
+            .unwrap();
+        assert_eq!(resp.algo, "NCA");
+
+        let err = session
+            .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("zeus")))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlgo { .. }));
+    }
+
+    #[test]
+    fn size_cap_converts_to_a_search_error() {
+        let g = barbell();
+        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let uncapped = session.query(&QueryRequest::new(vec![0])).unwrap();
+        let size = uncapped.community_size().unwrap();
+        assert!(size >= 2, "barbell community is nontrivial");
+
+        let capped = session
+            .query(&QueryRequest::new(vec![0]).with_max_community_size(size - 1))
+            .unwrap();
+        assert_eq!(
+            capped.result,
+            Err(SearchError::CommunityTooLarge {
+                size,
+                cap: size - 1
+            })
+        );
+        // A cap at the exact size passes.
+        let exact = session
+            .query(&QueryRequest::new(vec![0]).with_max_community_size(size))
+            .unwrap();
+        assert!(exact.is_ok());
+    }
+
+    #[test]
+    fn per_query_search_errors_stay_in_the_response() {
+        let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut session = Session::new(&split, &AlgoSpec::new("fpa")).unwrap();
+        let resp = session.query(&QueryRequest::new(vec![0, 3])).unwrap();
+        assert!(!resp.is_ok());
+        assert_eq!(resp.community_size(), None);
+    }
+}

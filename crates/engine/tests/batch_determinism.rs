@@ -6,7 +6,7 @@
 //! behavioural equivalence of workspace-reusing search paths.
 
 use dmcs_engine::registry::{self, AlgoSpec};
-use dmcs_engine::BatchRunner;
+use dmcs_engine::{BatchRunner, QueryRequest};
 use dmcs_gen::{lfr, sbm};
 use dmcs_graph::{Graph, NodeId};
 use proptest::prelude::*;
@@ -14,21 +14,28 @@ use proptest::prelude::*;
 /// Compare a multi-threaded batch against the single-threaded reference
 /// for one algorithm, on every thread count worth distinguishing.
 fn assert_batch_deterministic(spec: &AlgoSpec, g: &Graph, queries: &[Vec<NodeId>]) {
-    let reference = BatchRunner::from_spec(spec, 1)
+    let requests = QueryRequest::from_node_lists(queries);
+    let reference = BatchRunner::new(spec.clone(), 1)
         .expect("registered algorithm")
-        .run(g, queries);
+        .run(g, &requests)
+        .expect("no overrides to fail");
     for threads in [2usize, 4] {
-        let parallel = BatchRunner::from_spec(spec, threads)
+        let parallel = BatchRunner::new(spec.clone(), threads)
             .expect("registered algorithm")
-            .run(g, queries);
-        assert_eq!(reference.outcomes.len(), parallel.outcomes.len());
+            .run(g, &requests)
+            .expect("no overrides to fail");
+        assert_eq!(reference.responses.len(), parallel.responses.len());
         for (i, (s, p)) in reference
-            .outcomes
+            .responses
             .iter()
-            .zip(&parallel.outcomes)
+            .zip(&parallel.responses)
             .enumerate()
         {
-            assert_eq!(s.query, p.query, "{}: query {i} reordered", spec.name);
+            assert_eq!(
+                s.request.nodes, p.request.nodes,
+                "{}: query {i} reordered",
+                spec.name
+            );
             assert_eq!(
                 s.result, p.result,
                 "{}: query {i} differs at {threads} threads",

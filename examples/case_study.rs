@@ -6,8 +6,8 @@
 //! cargo run --release --example case_study
 //! ```
 
-use dmcs::core::CommunitySearch;
-use dmcs::engine::registry::{self, AlgoSpec};
+use dmcs::engine::registry::AlgoSpec;
+use dmcs::engine::Session;
 use dmcs::graph::betweenness::node_betweenness;
 use dmcs::graph::eigen::{eigenvector_centrality_within, rank_of};
 use dmcs::graph::{GraphBuilder, NodeId};
@@ -53,20 +53,18 @@ fn main() {
     );
 
     let bc = node_betweenness(&g);
-    let algos: Vec<(&str, Box<dyn CommunitySearch>)> = ["FPA", "3-truss", "3-core"]
-        .into_iter()
-        .zip(registry::build_all(&[
-            AlgoSpec::new("fpa"),
-            AlgoSpec::with_k("kt", 3),
-            AlgoSpec::with_k("kc", 3),
-        ]))
-        .collect();
+    let lineup: Vec<(&str, AlgoSpec)> = vec![
+        ("FPA", AlgoSpec::new("fpa")),
+        ("3-truss", AlgoSpec::with_k("kt", 3)),
+        ("3-core", AlgoSpec::with_k("kc", 3)),
+    ];
     println!(
         "{:<8} {:>6} {:>14} {:>12} {:>10}",
         "algo", "|C|", "% adj to hub", "betw. rank", "eigen rank"
     );
-    for (label, algo) in &algos {
-        let r = algo.search(&g, &[HUB]).expect("hub query is valid");
+    for (label, spec) in &lineup {
+        let mut session = Session::new(&g, spec).expect("registered algorithm");
+        let r = session.search(&[HUB]).expect("hub query is valid");
         let c = &r.community;
         let adjacent = c
             .iter()

@@ -7,6 +7,7 @@
 //! ```
 
 use dmcs::engine::registry::{self, AlgoSpec};
+use dmcs::engine::Session;
 use dmcs::gen::datasets::karate_dataset;
 use dmcs::metrics;
 
@@ -21,7 +22,6 @@ fn main() {
     specs.push(AlgoSpec::new("louvain"));
     specs.push(AlgoSpec::new("nca"));
     specs.push(AlgoSpec::new("fpa"));
-    let algos = registry::build_all(&specs);
 
     println!(
         "query: node 0 (Mr. Hi); ground truth: his faction ({} members)\n",
@@ -31,19 +31,20 @@ fn main() {
         "{:<12} {:>5} {:>8} {:>8} {:>8}",
         "algo", "|C|", "NMI", "ARI", "F"
     );
-    for algo in &algos {
-        match algo.search(&ds.graph, &query) {
+    for spec in &specs {
+        let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+        match session.search(&query) {
             Ok(r) => {
                 println!(
                     "{:<12} {:>5} {:>8.3} {:>8.3} {:>8.3}",
-                    algo.name(),
+                    session.algo_name(),
                     r.community.len(),
                     metrics::nmi(n, &r.community, truth),
                     metrics::ari(n, &r.community, truth),
                     metrics::f_score(n, &r.community, truth),
                 );
             }
-            Err(e) => println!("{:<12} failed: {e}", algo.name()),
+            Err(e) => println!("{:<12} failed: {e}", session.algo_name()),
         }
     }
     println!(

@@ -7,7 +7,8 @@
 //! cargo run --release --example lfr_benchmark
 //! ```
 
-use dmcs::engine::registry::{self, AlgoSpec};
+use dmcs::engine::registry::AlgoSpec;
+use dmcs::engine::Session;
 use dmcs::gen::{lfr, queries, Dataset};
 use dmcs::metrics;
 
@@ -40,18 +41,21 @@ fn main() {
             measured
         );
 
-        let algos = registry::build_all(&[
+        let specs = [
             AlgoSpec::with_k("kc", 3),
             AlgoSpec::with_k("kt", 4),
             AlgoSpec::new("fpa"),
-        ]);
+        ];
         let sets = queries::sample_query_sets(&ds, 6, 1, 4, 99);
         println!("{:<6} {:>10} {:>10}", "algo", "med NMI", "med |C|");
-        for algo in &algos {
+        for spec in &specs {
+            // One session per (graph, algorithm): the query loop reuses
+            // the session's workspace buffers.
+            let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
             let mut nmis = Vec::new();
             let mut sizes = Vec::new();
             for (q, gt_idx) in &sets {
-                if let Ok(r) = algo.search(&ds.graph, q) {
+                if let Ok(r) = session.search(q) {
                     nmis.push(metrics::nmi(
                         ds.graph.n(),
                         &r.community,
@@ -65,7 +69,7 @@ fn main() {
             let med = |v: &Vec<f64>| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
             println!(
                 "{:<6} {:>10.3} {:>10.0}",
-                algo.name(),
+                session.algo_name(),
                 med(&nmis),
                 med(&sizes)
             );

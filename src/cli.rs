@@ -1,10 +1,10 @@
 //! Command-line interface of the `dmcs` binary: load a SNAP-format edge
 //! list, run a community-search algorithm (or a whole batch of queries),
-//! print the community / throughput report.
+//! print the community / throughput report as text or JSON-lines.
 //!
 //! ```text
 //! dmcs --graph karate.txt --query 0 --algo fpa --stats
-//! dmcs --demo --query 0,3 --algo nca
+//! dmcs --demo --query 0,3 --algo nca --format json
 //! dmcs --graph big.txt --queries q.txt --threads 8 --algo fpa
 //! ```
 //!
@@ -13,15 +13,31 @@
 //! `src/main.rs` is a thin wrapper. Algorithm labels resolve through the
 //! [`dmcs_engine::registry`], and the `--algo` section of the usage text
 //! is generated from it, so help cannot drift from the code.
+//!
+//! Every failure is a typed [`EngineError`]; `main` maps each variant to
+//! its documented exit code (2 = bad flags/params, 3 = unknown
+//! algorithm, 4 = I/O, 5 = unknown query node, 6 = search failure).
 
 use crate::core::topk::{top_k_communities, TopKConfig};
-use crate::core::{CommunitySearch, WeightedFpa, WeightedNca};
+use crate::core::{SearchResult, WeightedFpa, WeightedNca};
+use crate::engine::output::{report_jsonl, response_json, result_json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
-use crate::engine::BatchRunner;
+use crate::engine::{BatchRunner, EngineError, QueryRequest, Session};
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Goodness;
 use std::time::Instant;
+
+/// Output rendering of the binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// JSON-lines: one `response` object per query, one `summary` object
+    /// per batch — the schema of [`dmcs_engine::output`].
+    Json,
+}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +54,7 @@ pub struct CliConfig {
     pub no_pruning: bool,
     /// Print structural goodness statistics of the result.
     pub stats: bool,
-    /// Cap on how many member ids to print (0 = all).
+    /// Cap on how many member ids to print (0 = all; text format only).
     pub max_print: usize,
     /// Treat the input as a weighted edge list (`u v w`) and run the
     /// weighted search (`fpa` -> `WeightedFpa`, `nca` -> `WeightedNca`).
@@ -51,6 +67,8 @@ pub struct CliConfig {
     pub queries_path: Option<String>,
     /// Batch mode worker threads.
     pub threads: usize,
+    /// Output rendering (`--format {text,json}`).
+    pub format: OutputFormat,
 }
 
 impl Default for CliConfig {
@@ -68,6 +86,7 @@ impl Default for CliConfig {
             dot_path: None,
             queries_path: None,
             threads: 1,
+            format: OutputFormat::Text,
         }
     }
 }
@@ -91,17 +110,23 @@ OPTIONS:
     --queries <path>  batch mode: one query per line (comma-separated ids;
                       blank lines and # comments are skipped)
     --threads <n>     batch mode worker threads (default: 1)
+    --format <fmt>    output format: text (default) or json (JSON-lines,
+                      one response object per query; schema in README)
     --algo <name>     algorithm label (default: fpa), one of:
 {algos}    --k <int>         k for the algorithms marked [uses --k] (default: 3)
     --no-pruning      disable FPA's layer-based pruning
     --stats           print conductance/expansion/... of the result and
-                      the graph's resident memory footprint
+                      the graph's resident memory footprint (text format)
     --max-print <n>   print at most n member ids, 0 = all (default: 50)
     --weighted        input has `u v w` lines; use the weighted search
                       (only fpa and nca support weights)
     --top-k <n>       return up to n diverse communities (fpa only)
     --dot <path>      write a Graphviz DOT rendering of the result
     --help            show this text
+
+EXIT CODES:
+    0 success, 2 bad flags or parameters, 3 unknown algorithm,
+    4 I/O failure, 5 unknown query node, 6 search failure
 ",
         algos = registry::algo_help()
     )
@@ -110,18 +135,20 @@ OPTIONS:
 /// Parse one comma-separated query-id list with strict hygiene: empty
 /// tokens (trailing or doubled commas), non-numeric ids and duplicate
 /// ids are all rejected with a message naming the offender.
-pub fn parse_query_ids(s: &str) -> Result<Vec<u64>, String> {
+pub fn parse_query_ids(s: &str) -> Result<Vec<u64>, EngineError> {
     let mut ids = Vec::new();
     for tok in s.split(',') {
         let tok = tok.trim();
         if tok.is_empty() {
-            return Err(format!(
+            return Err(EngineError::bad_param(format!(
                 "empty query id in {s:?} (trailing or doubled comma?)"
-            ));
+            )));
         }
-        let id: u64 = tok.parse().map_err(|_| format!("bad query id {tok:?}"))?;
+        let id: u64 = tok
+            .parse()
+            .map_err(|_| EngineError::bad_param(format!("bad query id {tok:?}")))?;
         if ids.contains(&id) {
-            return Err(format!("duplicate query id {id}"));
+            return Err(EngineError::bad_param(format!("duplicate query id {id}")));
         }
         ids.push(id);
     }
@@ -129,14 +156,15 @@ pub fn parse_query_ids(s: &str) -> Result<Vec<u64>, String> {
 }
 
 /// Parse `args` (without the program name). `Ok(None)` means `--help`.
-pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
+pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
     let mut cfg = CliConfig::default();
     let mut demo = false;
     let mut threads_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |flag: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        let mut value = |flag: &str| -> Result<&String, EngineError> {
+            it.next()
+                .ok_or_else(|| EngineError::bad_param(format!("{flag} needs a value")))
         };
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
@@ -147,72 +175,95 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, String> {
             "--threads" => {
                 cfg.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "bad --threads value".to_string())?;
-                if cfg.threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
+                    .map_err(|_| EngineError::bad_param("bad --threads value"))?;
                 threads_set = true;
+            }
+            "--format" => {
+                cfg.format = match value("--format")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => {
+                        return Err(EngineError::bad_param(format!(
+                            "bad --format {other:?} (expected text or json)"
+                        )))
+                    }
+                };
             }
             "--algo" => cfg.algo = value("--algo")?.to_lowercase(),
             "--k" => {
                 cfg.k = value("--k")?
                     .parse()
-                    .map_err(|_| "bad --k value".to_string())?;
+                    .map_err(|_| EngineError::bad_param("bad --k value"))?;
             }
             "--no-pruning" => cfg.no_pruning = true,
             "--stats" => cfg.stats = true,
             "--max-print" => {
                 cfg.max_print = value("--max-print")?
                     .parse()
-                    .map_err(|_| "bad --max-print value".to_string())?;
+                    .map_err(|_| EngineError::bad_param("bad --max-print value"))?;
             }
             "--weighted" => cfg.weighted = true,
             "--top-k" => {
                 cfg.top_k = value("--top-k")?
                     .parse()
-                    .map_err(|_| "bad --top-k value".to_string())?;
+                    .map_err(|_| EngineError::bad_param("bad --top-k value"))?;
             }
             "--dot" => cfg.dot_path = Some(value("--dot")?.clone()),
-            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+            other => {
+                return Err(EngineError::bad_param(format!(
+                    "unknown argument {other:?}"
+                )))
+            }
         }
     }
     if demo && cfg.graph_path.is_some() {
-        return Err("--demo and --graph are mutually exclusive".into());
+        return Err(EngineError::bad_param(
+            "--demo and --graph are mutually exclusive",
+        ));
     }
     if !demo && cfg.graph_path.is_none() {
-        return Err(format!(
-            "either --graph or --demo is required\n\n{}",
-            usage()
+        return Err(EngineError::bad_param(
+            "either --graph or --demo is required",
         ));
     }
     if cfg.query.is_empty() && cfg.queries_path.is_none() {
-        return Err(format!("--query or --queries is required\n\n{}", usage()));
+        return Err(EngineError::bad_param("--query or --queries is required"));
     }
     if !cfg.query.is_empty() && cfg.queries_path.is_some() {
-        return Err("--query and --queries are mutually exclusive".into());
+        return Err(EngineError::bad_param(
+            "--query and --queries are mutually exclusive",
+        ));
     }
     if threads_set && cfg.queries_path.is_none() {
-        return Err("--threads requires --queries (batch mode)".into());
+        return Err(EngineError::bad_param(
+            "--threads requires --queries (batch mode)",
+        ));
     }
     if cfg.queries_path.is_some() {
         if cfg.weighted {
-            return Err("--queries does not support --weighted".into());
+            return Err(EngineError::bad_param(
+                "--queries does not support --weighted",
+            ));
         }
         if cfg.top_k > 0 {
-            return Err("--queries does not support --top-k".into());
+            return Err(EngineError::bad_param("--queries does not support --top-k"));
         }
         if cfg.dot_path.is_some() {
-            return Err("--queries does not support --dot".into());
+            return Err(EngineError::bad_param("--queries does not support --dot"));
         }
     }
     if cfg.weighted && !matches!(cfg.algo.as_str(), "fpa" | "nca") {
-        return Err("--weighted supports only --algo fpa or nca".into());
+        return Err(EngineError::bad_param(
+            "--weighted supports only --algo fpa or nca",
+        ));
     }
     if cfg.weighted && cfg.top_k > 0 {
-        return Err("--top-k is not available with --weighted".into());
+        return Err(EngineError::bad_param(
+            "--top-k is not available with --weighted",
+        ));
     }
     if cfg.top_k > 0 && cfg.algo != "fpa" {
-        return Err("--top-k supports only --algo fpa".into());
+        return Err(EngineError::bad_param("--top-k supports only --algo fpa"));
     }
     Ok(Some(cfg))
 }
@@ -229,18 +280,11 @@ pub fn algo_spec(cfg: &CliConfig) -> AlgoSpec {
     }
 }
 
-/// Resolve the algorithm label through the registry.
-pub fn make_algo(cfg: &CliConfig) -> Result<Box<dyn CommunitySearch>, String> {
-    algo_spec(cfg)
-        .build()
-        .map_err(|e| format!("{e}\n\n{}", usage()))
-}
-
 /// Load the graph named by the config. Returns the graph and the
 /// dense-id -> original-id mapping.
-pub fn load_graph(cfg: &CliConfig) -> Result<(Graph, Vec<u64>), String> {
+pub fn load_graph(cfg: &CliConfig) -> Result<(Graph, Vec<u64>), EngineError> {
     match &cfg.graph_path {
-        Some(path) => load_edge_list(path).map_err(|e| format!("cannot read {path}: {e}")),
+        Some(path) => load_edge_list(path).map_err(|e| EngineError::io(path, e)),
         None => {
             let g = crate::gen::karate::karate();
             let ids = (0..g.n() as u64).collect();
@@ -249,8 +293,9 @@ pub fn load_graph(cfg: &CliConfig) -> Result<(Graph, Vec<u64>), String> {
     }
 }
 
-/// Map original query ids to dense ids.
-pub fn map_queries(query: &[u64], original: &[u64]) -> Result<Vec<NodeId>, String> {
+/// Map original query ids to dense ids. An id missing from the graph is
+/// an [`EngineError::UnknownNode`] (exit code 5).
+pub fn map_queries(query: &[u64], original: &[u64]) -> Result<Vec<NodeId>, EngineError> {
     query
         .iter()
         .map(|&raw| {
@@ -258,9 +303,14 @@ pub fn map_queries(query: &[u64], original: &[u64]) -> Result<Vec<NodeId>, Strin
                 .iter()
                 .position(|&o| o == raw)
                 .map(|i| i as NodeId)
-                .ok_or_else(|| format!("query node {raw} does not appear in the graph"))
+                .ok_or_else(|| EngineError::unknown_node(raw))
         })
         .collect()
+}
+
+/// Wrap a write failure on the output stream.
+fn werr(e: std::io::Error) -> EngineError {
+    EngineError::io("<output>", e)
 }
 
 /// Print one search result (community in original ids, optional stats).
@@ -270,16 +320,16 @@ fn print_result<W: std::io::Write>(
     g: &Graph,
     original: &[u64],
     label: &str,
-    result: &crate::core::SearchResult,
+    result: &SearchResult,
     secs: f64,
-) -> Result<(), String> {
+) -> Result<(), EngineError> {
     writeln!(
         out,
         "algorithm: {label}   time: {secs:.3}s   |C| = {}   DM = {:.6}",
         result.community.len(),
         result.density_modularity
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(werr)?;
 
     let mut members: Vec<u64> = result
         .community
@@ -303,7 +353,7 @@ fn print_result<W: std::io::Write>(
         },
         &members[..shown]
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(werr)?;
 
     if cfg.stats {
         let l = g.internal_edges(&result.community);
@@ -318,7 +368,7 @@ fn print_result<W: std::io::Write>(
             good.internal_density(),
             good.separability()
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(werr)?;
     }
     Ok(())
 }
@@ -330,59 +380,88 @@ fn write_dot_file(
     g: &Graph,
     original: &[u64],
     communities: &[&[NodeId]],
-) -> Result<(), String> {
-    let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+) -> Result<(), EngineError> {
+    let file = std::fs::File::create(path).map_err(|e| EngineError::io(path, e))?;
     let labels = |v: NodeId| original[v as usize].to_string();
     crate::graph::dot::write_dot(g, communities, Some(&labels), file)
-        .map_err(|e| format!("cannot write {path}: {e}"))
+        .map_err(|e| EngineError::io(path, e))
 }
 
-/// Full CLI run; writes human-readable output to `out`.
-pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String> {
+/// Full CLI run; writes text or JSON-lines output to `out`.
+pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), EngineError> {
+    // Fail fast on an unregistered --algo, before loading any graph, so
+    // the error (exit code 3, with suggestion) is the only output. The
+    // weighted and top-k paths pin their algorithms at parse time.
+    if !cfg.weighted && cfg.top_k == 0 {
+        algo_spec(cfg).build()?;
+    }
+
     // Weighted path: its own loader and searchers.
     if cfg.weighted {
-        let path = cfg
-            .graph_path
-            .as_ref()
-            .ok_or("--weighted needs --graph (the demo graph is unweighted)")?;
-        let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let (wg, original) =
-            read_weighted_edge_list(file).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let path = cfg.graph_path.as_ref().ok_or_else(|| {
+            EngineError::bad_param("--weighted needs --graph (the demo graph is unweighted)")
+        })?;
+        let file = std::fs::File::open(path).map_err(|e| EngineError::io(path, e))?;
+        let (wg, original) = read_weighted_edge_list(file).map_err(|e| EngineError::io(path, e))?;
         let query = map_queries(&cfg.query, &original)?;
-        writeln!(
-            out,
-            "graph: {} nodes, {} edges, total weight {:.3}",
-            wg.n(),
-            wg.m(),
-            wg.total_weight()
-        )
-        .map_err(|e| e.to_string())?;
+        if cfg.format == OutputFormat::Text {
+            writeln!(
+                out,
+                "graph: {} nodes, {} edges, total weight {:.3}",
+                wg.n(),
+                wg.m(),
+                wg.total_weight()
+            )
+            .map_err(werr)?;
+        }
         let start = Instant::now();
         let (label, result) = match cfg.algo.as_str() {
             "fpa" => ("W-FPA", WeightedFpa.search(&wg, &query)),
             "nca" => ("W-NCA", WeightedNca::default().search(&wg, &query)),
             _ => unreachable!("parse() restricts weighted algos"),
         };
-        let result = result.map_err(|e| format!("{label}: {e}"))?;
         let secs = start.elapsed().as_secs_f64();
-        print_result(cfg, out, wg.topology(), &original, label, &result, secs)?;
+        let result = result.map_err(|e| EngineError::Search {
+            algo: label.into(),
+            source: e,
+        })?;
+        match cfg.format {
+            OutputFormat::Text => {
+                print_result(cfg, out, wg.topology(), &original, label, &result, secs)?
+            }
+            OutputFormat::Json => {
+                let line = result_json(
+                    label,
+                    None,
+                    &query,
+                    &Ok(result.clone()),
+                    secs,
+                    Some(&original),
+                );
+                writeln!(out, "{}", line.render()).map_err(werr)?;
+            }
+        }
         if let Some(dot) = &cfg.dot_path {
             write_dot_file(dot, wg.topology(), &original, &[&result.community])?;
-            writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+            if cfg.format == OutputFormat::Text {
+                writeln!(out, "DOT written to {dot}").map_err(werr)?;
+            }
         }
         return Ok(());
     }
 
     let (g, original) = load_graph(cfg)?;
-    writeln!(out, "graph: {} nodes, {} edges", g.n(), g.m()).map_err(|e| e.to_string())?;
-    if cfg.stats {
-        let bytes = g.memory_bytes();
-        writeln!(
-            out,
-            "graph memory: {bytes} bytes ({:.2} MiB)",
-            bytes as f64 / (1024.0 * 1024.0)
-        )
-        .map_err(|e| e.to_string())?;
+    if cfg.format == OutputFormat::Text {
+        writeln!(out, "graph: {} nodes, {} edges", g.n(), g.m()).map_err(werr)?;
+        if cfg.stats {
+            let bytes = g.memory_bytes();
+            writeln!(
+                out,
+                "graph memory: {bytes} bytes ({:.2} MiB)",
+                bytes as f64 / (1024.0 * 1024.0)
+            )
+            .map_err(werr)?;
+        }
     }
 
     // Batch path: fan a query file out across worker threads.
@@ -402,97 +481,161 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), String
                 min_dm: 0.0,
             },
         )
-        .map_err(|e| format!("top-k: {e}"))?;
+        .map_err(|e| EngineError::Search {
+            algo: "top-k FPA".into(),
+            source: e,
+        })?;
         let secs = start.elapsed().as_secs_f64();
-        writeln!(
-            out,
-            "top-{} search found {} communities:",
-            cfg.top_k,
-            rounds.len()
-        )
-        .map_err(|e| e.to_string())?;
-        for (i, r) in rounds.iter().enumerate() {
-            print_result(
-                cfg,
+        if cfg.format == OutputFormat::Text {
+            writeln!(
                 out,
-                &g,
-                &original,
-                &format!("FPA round {}", i + 1),
-                r,
-                secs,
-            )?;
+                "top-{} search found {} communities:",
+                cfg.top_k,
+                rounds.len()
+            )
+            .map_err(werr)?;
+        }
+        for (i, r) in rounds.iter().enumerate() {
+            match cfg.format {
+                OutputFormat::Text => print_result(
+                    cfg,
+                    out,
+                    &g,
+                    &original,
+                    &format!("FPA round {}", i + 1),
+                    r,
+                    secs,
+                )?,
+                OutputFormat::Json => {
+                    let tag = format!("round-{}", i + 1);
+                    let line = result_json(
+                        "FPA",
+                        Some(&tag),
+                        &query,
+                        &Ok(r.clone()),
+                        secs,
+                        Some(&original),
+                    );
+                    writeln!(out, "{}", line.render()).map_err(werr)?;
+                }
+            }
         }
         if let Some(dot) = &cfg.dot_path {
             let comms: Vec<&[NodeId]> = rounds.iter().map(|r| r.community.as_slice()).collect();
             write_dot_file(dot, &g, &original, &comms)?;
-            writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+            if cfg.format == OutputFormat::Text {
+                writeln!(out, "DOT written to {dot}").map_err(werr)?;
+            }
         }
         return Ok(());
     }
 
-    // Single-community path.
-    let algo = make_algo(cfg)?;
-    let start = Instant::now();
-    let result = algo
-        .search(&g, &query)
-        .map_err(|e| format!("{}: {e}", algo.name()))?;
-    let secs = start.elapsed().as_secs_f64();
-    print_result(cfg, out, &g, &original, algo.name(), &result, secs)?;
+    // Single-community path: a one-query session (the typed serving API;
+    // a long-running caller would keep the session and loop).
+    let mut session = Session::new(&g, &algo_spec(cfg))?;
+    let response = session.query(&QueryRequest::new(query))?;
+    let result = match &response.result {
+        Ok(r) => r,
+        Err(e) => {
+            return Err(EngineError::Search {
+                algo: response.algo.into(),
+                source: e.clone(),
+            })
+        }
+    };
+    match cfg.format {
+        OutputFormat::Text => print_result(
+            cfg,
+            out,
+            &g,
+            &original,
+            response.algo,
+            result,
+            response.seconds,
+        )?,
+        OutputFormat::Json => {
+            writeln!(
+                out,
+                "{}",
+                response_json(&response, Some(&original)).render()
+            )
+            .map_err(werr)?;
+        }
+    }
     if let Some(dot) = &cfg.dot_path {
         write_dot_file(dot, &g, &original, &[&result.community])?;
-        writeln!(out, "DOT written to {dot}").map_err(|e| e.to_string())?;
+        if cfg.format == OutputFormat::Text {
+            writeln!(out, "DOT written to {dot}").map_err(werr)?;
+        }
     }
     Ok(())
 }
 
 /// Parse a batch query file: one comma-separated query per line, blank
 /// lines and `#` comments skipped. Errors carry `file:line` context.
-pub fn parse_query_file(path: &str, text: &str) -> Result<Vec<Vec<u64>>, String> {
+pub fn parse_query_file(path: &str, text: &str) -> Result<Vec<Vec<u64>>, EngineError> {
     let mut queries = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        queries.push(parse_query_ids(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
+        queries.push(
+            parse_query_ids(line)
+                .map_err(|e| EngineError::bad_param(format!("{path}:{}: {e}", i + 1)))?,
+        );
     }
     if queries.is_empty() {
-        return Err(format!("{path}: contains no queries"));
+        return Err(EngineError::bad_param(format!(
+            "{path}: contains no queries"
+        )));
     }
     Ok(queries)
 }
 
 /// Batch execution over a loaded graph: map every query, run them on
 /// `cfg.threads` workers with deterministic output ordering, and print
-/// per-query lines plus the throughput summary.
+/// per-query lines plus the throughput summary (text) or JSON-lines.
 fn run_batch<W: std::io::Write>(
     cfg: &CliConfig,
     qpath: &str,
     g: &Graph,
     original: &[u64],
     out: &mut W,
-) -> Result<(), String> {
-    let text = std::fs::read_to_string(qpath).map_err(|e| format!("cannot read {qpath}: {e}"))?;
+) -> Result<(), EngineError> {
+    let text = std::fs::read_to_string(qpath).map_err(|e| EngineError::io(qpath, e))?;
     let raw_queries = parse_query_file(qpath, &text)?;
-    let mut dense = Vec::with_capacity(raw_queries.len());
-    for (i, q) in raw_queries.iter().enumerate() {
-        // 0-based "query N", matching the per-query output lines below.
-        dense.push(map_queries(q, original).map_err(|e| format!("{qpath}: query {i}: {e}"))?);
+    let mut requests = Vec::with_capacity(raw_queries.len());
+    for q in &raw_queries {
+        requests.push(QueryRequest::new(map_queries(q, original).map_err(
+            // 0-based "query N", matching the per-query output lines.
+            |e| e.with_node_context(format!("{qpath}: query {}", requests.len())),
+        )?));
     }
-    let runner = BatchRunner::from_spec(&algo_spec(cfg), cfg.threads)
-        .map_err(|e| format!("{e}\n\n{}", usage()))?;
-    let report = runner.run(g, &dense);
+    let runner = BatchRunner::new(algo_spec(cfg), cfg.threads)?;
+    let report = runner.run(g, &requests)?;
+
+    if cfg.format == OutputFormat::Json {
+        write!(
+            out,
+            "{}",
+            report_jsonl(runner.algo_name(), &report, Some(original))
+        )
+        .map_err(werr)?;
+        return Ok(());
+    }
+
     writeln!(
         out,
         "batch: {} queries, algo {}, {} thread{}",
-        report.outcomes.len(),
+        report.responses.len(),
         runner.algo_name(),
         cfg.threads,
         if cfg.threads == 1 { "" } else { "s" }
     )
-    .map_err(|e| e.to_string())?;
-    for ((i, raw), o) in raw_queries.iter().enumerate().zip(&report.outcomes) {
-        match &o.result {
+    .map_err(werr)?;
+    for ((i, raw), resp) in raw_queries.iter().enumerate().zip(&report.responses) {
+        match &resp.result {
             Ok(r) => {
                 let mut members: Vec<u64> =
                     r.community.iter().map(|&v| original[v as usize]).collect();
@@ -512,10 +655,10 @@ fn run_batch<W: std::io::Write>(
                     "query {i} {raw:?}: |C| = {}  DM = {:.6}  time = {:.4}s  members: {:?}{elided}",
                     r.community.len(),
                     r.density_modularity,
-                    o.seconds,
+                    resp.seconds,
                     &members[..shown],
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(werr)?;
                 if cfg.stats {
                     let l = g.internal_edges(&r.community);
                     let vol = g.degree_sum(&r.community);
@@ -530,13 +673,13 @@ fn run_batch<W: std::io::Write>(
                         good.internal_density(),
                         good.separability()
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(werr)?;
                 }
                 Ok(())
             }
             Err(e) => writeln!(out, "query {i} {raw:?}: error: {e}"),
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(werr)?;
     }
     writeln!(
         out,
@@ -546,14 +689,15 @@ fn run_batch<W: std::io::Write>(
         report.p50_seconds * 1e3,
         report.p95_seconds * 1e3,
         report.succeeded(),
-        report.outcomes.len()
+        report.responses.len()
     )
-    .map_err(|e| e.to_string())
+    .map_err(werr)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::output::Json;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -562,7 +706,7 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let cfg = parse(&args(
-            "--graph g.txt --query 1,2,3 --algo nca --k 4 --stats --max-print 0",
+            "--graph g.txt --query 1,2,3 --algo nca --k 4 --stats --max-print 0 --format json",
         ))
         .unwrap()
         .unwrap();
@@ -572,6 +716,7 @@ mod tests {
         assert_eq!(cfg.k, 4);
         assert!(cfg.stats);
         assert_eq!(cfg.max_print, 0);
+        assert_eq!(cfg.format, OutputFormat::Json);
     }
 
     #[test]
@@ -581,29 +726,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_input() {
-        assert!(parse(&args("--query 1")).is_err(), "graph source required");
-        assert!(parse(&args("--demo")).is_err(), "query required");
-        assert!(parse(&args("--demo --graph g --query 1")).is_err());
-        assert!(parse(&args("--demo --query x")).is_err());
-        assert!(parse(&args("--demo --query 1 --k nope")).is_err());
-        assert!(parse(&args("--wat")).is_err());
-        assert!(parse(&args("--graph")).is_err(), "missing value");
+    fn rejects_bad_input_with_exit_code_2() {
+        for bad in [
+            "--query 1",
+            "--demo",
+            "--demo --graph g --query 1",
+            "--demo --query x",
+            "--demo --query 1 --k nope",
+            "--wat",
+            "--graph",
+            "--demo --query 1 --format yaml",
+        ] {
+            let err = parse(&args(bad)).unwrap_err();
+            assert!(matches!(err, EngineError::BadParam { .. }), "{bad}: {err}");
+            assert_eq!(err.exit_code(), 2, "{bad}");
+        }
     }
 
     #[test]
     fn query_id_hygiene() {
         // Duplicates are named in the error.
-        let err = parse(&args("--demo --query 1,2,1")).unwrap_err();
+        let err = parse(&args("--demo --query 1,2,1"))
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("duplicate query id 1"), "{err}");
         // Trailing comma.
-        let err = parse(&[String::from("--demo"), "--query".into(), "1,2,".into()]).unwrap_err();
+        let err = parse(&[String::from("--demo"), "--query".into(), "1,2,".into()])
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("empty query id"), "{err}");
         // Doubled comma.
-        let err = parse(&[String::from("--demo"), "--query".into(), "1,,2".into()]).unwrap_err();
+        let err = parse(&[String::from("--demo"), "--query".into(), "1,,2".into()])
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("empty query id"), "{err}");
         // Non-numeric token is still named.
-        let err = parse(&args("--demo --query 1,x")).unwrap_err();
+        let err = parse(&args("--demo --query 1,x")).unwrap_err().to_string();
         assert!(err.contains("bad query id \"x\""), "{err}");
         // Plain lists still parse (with whitespace tolerance).
         let ids = parse_query_ids("3, 1 ,2").unwrap();
@@ -611,14 +769,33 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_query_id_is_reported_clearly() {
+    fn out_of_range_query_id_is_a_typed_unknown_node() {
         let cfg = parse(&args("--demo --query 999")).unwrap().unwrap();
         let mut out = Vec::new();
         let err = run(&cfg, &mut out).unwrap_err();
         assert!(
-            err.contains("query node 999 does not appear in the graph"),
+            matches!(err, EngineError::UnknownNode { id: 999, .. }),
             "{err}"
         );
+        assert_eq!(err.exit_code(), 5);
+        assert!(
+            err.to_string()
+                .contains("query node 999 does not appear in the graph"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_algo_is_typed_with_a_suggestion() {
+        let cfg = parse(&args("--demo --query 0 --algo fpa-dgm"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, &mut out).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let text = err.to_string();
+        assert!(text.contains("did you mean \"fpa-dmg\"?"), "{text}");
+        assert!(text.contains("valid: fpa"), "{text}");
     }
 
     #[test]
@@ -633,7 +810,6 @@ mod tests {
             parse(&args("--demo --query 1 --threads 2")).is_err(),
             "--threads needs --queries"
         );
-        assert!(parse(&args("--demo --queries q.txt --threads 0")).is_err());
         assert!(parse(&args("--demo --queries q.txt --threads x")).is_err());
         assert!(parse(&args("--demo --queries q.txt --top-k 2")).is_err());
         assert!(parse(&args("--demo --queries q.txt --dot o.dot")).is_err());
@@ -641,10 +817,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_is_rejected_by_the_engine() {
+        // Parse accepts --threads 0; the engine's BatchRunner validates
+        // it (EngineError::BadParam, exit code 2).
+        let dir = std::env::temp_dir().join("dmcs_cli_threads0");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("q.txt");
+        std::fs::write(&qfile, "0\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --queries {} --threads 0",
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, &mut out).unwrap_err();
+        assert!(matches!(err, EngineError::BadParam { .. }), "{err}");
+        assert!(err.to_string().contains("thread count"), "{err}");
+    }
+
+    #[test]
     fn query_file_parsing() {
         let qs = parse_query_file("q", "# header\n0\n\n1,2\n 3 \n").unwrap();
         assert_eq!(qs, vec![vec![0], vec![1, 2], vec![3]]);
-        let err = parse_query_file("q", "0\n1,1\n").unwrap_err();
+        let err = parse_query_file("q", "0\n1,1\n").unwrap_err().to_string();
         assert!(err.contains("q:2"), "line number in {err}");
         assert!(parse_query_file("q", "# only comments\n").is_err());
     }
@@ -697,6 +893,75 @@ mod tests {
     }
 
     #[test]
+    fn batch_json_output_is_valid_and_complete() {
+        let dir = std::env::temp_dir().join("dmcs_cli_batch_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("queries.txt");
+        std::fs::write(&qfile, "0\n33\n0,33\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --queries {} --threads 2 --format json",
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 responses + summary: {text}");
+        for (i, line) in lines.iter().enumerate() {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+            if i < 3 {
+                assert_eq!(v.get("type").unwrap().as_str(), Some("response"));
+                assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+                assert_eq!(v.get("algo").unwrap().as_str(), Some("FPA"));
+            } else {
+                assert_eq!(v.get("type").unwrap().as_str(), Some("summary"));
+                assert_eq!(v.get("queries").unwrap().as_f64(), Some(3.0));
+                assert_eq!(v.get("ok").unwrap().as_f64(), Some(3.0));
+            }
+        }
+        // The multi-node query echoes both ids.
+        let q3 = Json::parse(lines[2]).unwrap();
+        let ids: Vec<f64> = q3
+            .get("query")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![0.0, 33.0]);
+    }
+
+    #[test]
+    fn single_query_json_output() {
+        let cfg = parse(&args("--demo --query 0 --format json"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "exactly one JSON line: {text}");
+        let v = Json::parse(text.trim()).unwrap();
+        assert_eq!(v.get("algo").unwrap().as_str(), Some("FPA"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(v.get("dm").unwrap().as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn top_k_json_output_tags_rounds() {
+        let cfg = parse(&args("--demo --query 0 --top-k 2 --format json"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let first = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("tag").unwrap().as_str(), Some("round-1"));
+    }
+
+    #[test]
     fn batch_reports_per_query_errors_without_aborting() {
         let dir = std::env::temp_dir().join("dmcs_cli_batch_err");
         std::fs::create_dir_all(&dir).unwrap();
@@ -720,7 +985,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_unknown_id_names_file_and_query() {
+    fn batch_unknown_id_is_a_typed_unknown_node() {
         let dir = std::env::temp_dir().join("dmcs_cli_batch_badid");
         std::fs::create_dir_all(&dir).unwrap();
         let qfile = dir.join("q.txt");
@@ -730,17 +995,26 @@ mod tests {
             .unwrap();
         let mut out = Vec::new();
         let err = run(&cfg, &mut out).unwrap_err();
-        // 0-based, matching the "query N [...]" output lines.
-        assert!(err.contains("query 1"), "{err}");
-        assert!(err.contains("999"), "{err}");
+        assert!(
+            matches!(err, EngineError::UnknownNode { id: 999, .. }),
+            "{err}"
+        );
+        assert_eq!(err.exit_code(), 5);
+        // The error names the file and the (0-based) query index, matching
+        // the per-query output lines of a successful batch.
+        let text = err.to_string();
+        assert!(text.contains("q.txt: query 1:"), "{text}");
+        assert!(text.contains("999"), "{text}");
     }
 
     #[test]
-    fn usage_lists_every_registered_algorithm() {
+    fn usage_lists_every_registered_algorithm_and_the_exit_codes() {
         let text = usage();
         for name in registry::names() {
             assert!(text.contains(name), "{name} missing from usage");
         }
+        assert!(text.contains("EXIT CODES:"), "{text}");
+        assert!(text.contains("--format"), "{text}");
     }
 
     #[test]
@@ -765,13 +1039,16 @@ mod tests {
                 algo: name.into(),
                 ..Default::default()
             };
-            assert!(make_algo(&cfg).is_ok(), "{name} should resolve");
+            assert!(algo_spec(&cfg).build().is_ok(), "{name} should resolve");
         }
         let bad = CliConfig {
             algo: "zeus".into(),
             ..Default::default()
         };
-        assert!(make_algo(&bad).is_err());
+        assert!(matches!(
+            algo_spec(&bad).build(),
+            Err(EngineError::UnknownAlgo { .. })
+        ));
     }
 
     #[test]
@@ -814,14 +1091,6 @@ mod tests {
     }
 
     #[test]
-    fn unknown_query_id_is_reported() {
-        let cfg = parse(&args("--demo --query 999")).unwrap().unwrap();
-        let mut out = Vec::new();
-        let err = run(&cfg, &mut out).unwrap_err();
-        assert!(err.contains("999"));
-    }
-
-    #[test]
     fn flag_combination_rules() {
         assert!(parse(&args("--demo --query 0 --weighted --algo kc")).is_err());
         assert!(parse(&args("--demo --query 0 --weighted --top-k 2")).is_err());
@@ -853,6 +1122,25 @@ mod tests {
         assert!(text.contains("W-FPA"), "{text}");
         assert!(text.contains("total weight 18"), "{text}");
         assert!(text.contains("[1, 2, 3]"), "heavy triangle found: {text}");
+
+        // The weighted path renders JSON too.
+        let cfg_json = CliConfig {
+            format: OutputFormat::Json,
+            ..cfg
+        };
+        let mut out = Vec::new();
+        run(&cfg_json, &mut out).unwrap();
+        let v = Json::parse(String::from_utf8(out).unwrap().trim()).unwrap();
+        assert_eq!(v.get("algo").unwrap().as_str(), Some("W-FPA"));
+        let ids: Vec<f64> = v
+            .get("community")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

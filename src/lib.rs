@@ -6,7 +6,9 @@
 //! - [`graph`] — CSR graph substrate, traversals, decompositions.
 //! - [`core`] — density modularity and the NCA / FPA search algorithms.
 //! - [`baselines`] — the eleven baseline community-search algorithms.
-//! - [`engine`] — algorithm registry + batched concurrent query engine.
+//! - [`engine`] — the typed serving API: algorithm registry, the
+//!   [`EngineError`](dmcs_engine::EngineError) taxonomy, query
+//!   sessions, concurrent batches, JSON-lines output.
 //! - [`gen`] — LFR / SBM / toy-graph generators and embedded datasets.
 //! - [`metrics`] — NMI, ARI, F-score and friends.
 //!
@@ -29,12 +31,14 @@ pub use dmcs_graph as graph;
 pub use dmcs_metrics as metrics;
 
 /// Commonly used items: the graph type, the two main algorithms, the
-/// [`CommunitySearch`](dmcs_core::CommunitySearch) trait and the measures.
+/// [`CommunitySearch`](dmcs_core::CommunitySearch) trait, the serving
+/// API's entry points and the measures.
 pub mod prelude {
     pub use dmcs_core::{
         measure::{classic_modularity, density_modularity},
         CommunitySearch, Fpa, Nca, SearchResult,
     };
+    pub use dmcs_engine::{AlgoSpec, Engine, EngineError, QueryRequest, Session};
     pub use dmcs_graph::{Graph, GraphBuilder, NodeId};
     pub use dmcs_metrics::{ari, f_score, nmi};
 }

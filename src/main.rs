@@ -1,5 +1,20 @@
 //! `dmcs` — command-line community search. See [`dmcs::cli`] for the
 //! argument grammar; all logic lives in the library so it stays testable.
+//!
+//! Exit codes follow the [`dmcs::engine::EngineError`] taxonomy: 0 on
+//! success, 2 for bad flags/parameters (flag-level mistakes also print
+//! the usage text on stderr), 3 unknown algorithm, 4 I/O failure, 5
+//! unknown query node, 6 search failure.
+
+use dmcs::engine::EngineError;
+
+fn fail(e: EngineError, show_usage: bool) -> ! {
+    eprintln!("error: {e}");
+    if show_usage {
+        eprintln!("\n{}", dmcs::cli::usage());
+    }
+    std::process::exit(e.exit_code());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -8,13 +23,12 @@ fn main() {
         Ok(Some(cfg)) => {
             let mut out = std::io::stdout();
             if let Err(e) = dmcs::cli::run(&cfg, &mut out) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+                // Runtime failures (a bad query file, an I/O error, a
+                // refused search) keep stderr to the message itself.
+                fail(e, false);
             }
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
+        // Flag-level mistakes get the full usage text, like --help.
+        Err(e) => fail(e, true),
     }
 }

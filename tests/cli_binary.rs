@@ -140,14 +140,116 @@ fn bad_flags_exit_2_with_usage() {
 }
 
 #[test]
-fn missing_file_exits_1() {
+fn missing_file_exits_4() {
+    // I/O failures map to exit code 4 in the EngineError taxonomy.
     let out = dmcs()
         .args(["--graph", "/definitely/not/here.txt", "--query", "0"])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(4));
     let err = String::from_utf8(out.stderr).unwrap();
-    assert!(err.contains("cannot read"), "{err}");
+    assert!(err.contains("cannot access"), "{err}");
+}
+
+#[test]
+fn unknown_algo_exits_3_with_suggestion_and_names() {
+    // The documented exit code for an unregistered --algo label is 3,
+    // and stderr names the nearest registered label plus the full list.
+    let out = dmcs()
+        .args(["--demo", "--query", "0", "--algo", "fpa-dgm"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown algorithm \"fpa-dgm\""), "{err}");
+    assert!(err.contains("did you mean \"fpa-dmg\"?"), "{err}");
+    assert!(err.contains("valid: fpa, nca"), "{err}");
+}
+
+#[test]
+fn search_failure_exits_6() {
+    // The bitmask exact solver refuses the 34-node Karate component:
+    // a search failure, exit code 6.
+    let out = dmcs()
+        .args(["--demo", "--query", "0", "--algo", "exact"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6));
+}
+
+#[test]
+fn unknown_query_node_exits_5() {
+    let out = dmcs().args(["--demo", "--query", "999"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("query node 999"), "{err}");
+}
+
+/// Validate a blob of batch `--format json` output: every line parses
+/// as a JSON object, response lines precede exactly one mandatory
+/// summary line, and the counts agree. Used directly on a live run
+/// below and by the CI smoke step (which pipes a file in via
+/// `DMCS_JSON_FILE`).
+fn validate_jsonl(text: &str) {
+    use dmcs::engine::output::Json;
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "no output");
+    let mut responses = 0usize;
+    let mut ok = 0usize;
+    let mut saw_summary = false;
+    for (i, line) in lines.iter().enumerate() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}\n{line}"));
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("response") => {
+                assert_eq!(i, responses, "response lines must come first");
+                responses += 1;
+                if v.get("ok").unwrap().as_bool() == Some(true) {
+                    ok += 1;
+                    assert!(v.get("community").unwrap().as_arr().is_some());
+                } else {
+                    assert!(v.get("error").unwrap().as_str().is_some());
+                }
+            }
+            Some("summary") => {
+                assert_eq!(i, lines.len() - 1, "summary must be the last line");
+                assert_eq!(v.get("queries").unwrap().as_u64(), Some(responses as u64));
+                assert_eq!(v.get("ok").unwrap().as_u64(), Some(ok as u64));
+                saw_summary = true;
+            }
+            other => panic!("line {i}: unexpected type {other:?}"),
+        }
+    }
+    assert!(saw_summary, "batch output must end with a summary line");
+}
+
+#[test]
+fn json_smoke() {
+    // CI pipes the compiled binary's output through this validator via
+    // DMCS_JSON_FILE; locally the test spawns the binary itself.
+    if let Ok(path) = std::env::var("DMCS_JSON_FILE") {
+        validate_jsonl(&std::fs::read_to_string(&path).unwrap());
+        return;
+    }
+    let dir = std::env::temp_dir().join("dmcs_bin_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qfile = dir.join("q.txt");
+    std::fs::write(&qfile, "0\n33\n0,33\n").unwrap();
+    let out = dmcs()
+        .args([
+            "--demo",
+            "--queries",
+            qfile.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    validate_jsonl(&text);
+    assert_eq!(text.lines().count(), 4, "3 responses + summary");
 }
 
 #[test]

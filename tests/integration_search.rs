@@ -17,7 +17,10 @@ fn all_algorithms() -> Vec<Box<dyn CommunitySearch>> {
     specs.push(AlgoSpec::new("fpa-dmg"));
     specs.push(AlgoSpec::new("fpa"));
     specs.push(AlgoSpec::new("fpa").without_pruning());
-    registry::build_all(&specs)
+    specs
+        .iter()
+        .map(|s| s.build().expect("registered algorithm"))
+        .collect()
 }
 
 fn small_lfr() -> Dataset {
