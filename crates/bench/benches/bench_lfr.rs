@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmcs_engine::{registry, AlgoSpec, Session};
 use dmcs_gen::{lfr, queries, Dataset};
+use dmcs_graph::Snapshot;
 
 fn bench_lfr(c: &mut Criterion) {
     let g = lfr::generate(&lfr::LfrConfig {
@@ -28,12 +29,13 @@ fn bench_lfr(c: &mut Criterion) {
     let mut specs = registry::default_baseline_specs();
     specs.push(AlgoSpec::new("nca"));
     specs.push(AlgoSpec::new("fpa"));
+    let snap = Snapshot::freeze(ds.graph.clone());
     let mut group = c.benchmark_group("fig9_lfr1000");
     group.sample_size(10);
     for spec in &specs {
         // Sessions are the serving path: buffers persist across the
         // bench's repeated queries.
-        let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+        let mut session = Session::new(snap.clone(), spec).expect("registered algorithm");
         let name = session.algo_name();
         group.bench_function(name, |b| {
             b.iter(|| {

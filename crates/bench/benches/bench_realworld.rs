@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dmcs_engine::{AlgoSpec, Session};
 use dmcs_gen::{datasets, queries};
+use dmcs_graph::Snapshot;
 
 fn bench_realworld(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_realworld");
@@ -23,10 +24,11 @@ fn bench_realworld(c: &mut Criterion) {
         if ds.graph.n() <= 100 {
             specs.push(AlgoSpec::new("gn"));
         }
+        let snap = Snapshot::freeze(ds.graph.clone());
         for spec in &specs {
             // Sessions are the serving path: buffers persist across the
             // bench's repeated queries.
-            let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+            let mut session = Session::new(snap.clone(), spec).expect("registered algorithm");
             let name = session.algo_name();
             group.bench_with_input(BenchmarkId::new(name, &ds.name), &ds, |b, _ds| {
                 b.iter(|| {

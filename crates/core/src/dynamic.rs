@@ -1,15 +1,18 @@
 //! Incremental DMCS over a streaming graph.
 //!
 //! Community search is rarely one-shot: the underlying network changes
-//! and the same query is asked again. [`IncrementalSearch`] wraps a
-//! [`DynamicGraph`] and a query set and keeps the answer fresh with two
-//! strategies:
+//! and the same query is asked again. [`IncrementalSearch`] pins a query
+//! to a shared [`GraphStore`] — the same store a
+//! `dmcs_engine::Engine` serves batches from — and keeps the answer
+//! fresh with two strategies:
 //!
-//! - **exact caching** — the result is recomputed from a CSR snapshot
-//!   only when the graph's mutation counter has moved (DM depends on the
+//! - **exact caching** — the result is recomputed from the store's CSR
+//!   snapshot only when the store's version has moved (DM depends on the
 //!   *global* edge count through the `d_C²/(4m)` term, so *any* edge
 //!   change can shift the optimum — there is no sound "this update is far
-//!   away, skip it" rule);
+//!   away, skip it" rule); the snapshot rebuild itself is shared with
+//!   every other consumer of the store, so a burst of queries after one
+//!   update pays for one rebuild total;
 //! - **localized re-search** ([`IncrementalSearch::search_local`]) — a
 //!   documented approximation that runs FPA on the induced ball of radius
 //!   `r` around the query. The candidate pool shrinks from `|V|` to the
@@ -19,25 +22,28 @@
 
 use crate::{CommunitySearch, Fpa, SearchError, SearchResult};
 use dmcs_graph::dynamic::DynamicGraph;
-use dmcs_graph::{Graph, NodeId};
+use dmcs_graph::{Graph, GraphStore, NodeId};
+use std::sync::Arc;
 
-/// A query pinned to a mutable graph, with cached results.
+/// A query pinned to a shared, versioned graph store, with cached
+/// results.
 ///
 /// ```
 /// use dmcs_core::dynamic::IncrementalSearch;
 /// use dmcs_core::Fpa;
-/// use dmcs_graph::dynamic::DynamicGraph;
-/// use dmcs_graph::GraphBuilder;
+/// use dmcs_graph::{GraphBuilder, GraphStore};
+/// use std::sync::Arc;
 ///
 /// let base = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
-/// let mut inc = IncrementalSearch::new(DynamicGraph::from_graph(&base), vec![0], Fpa::default());
+/// let store = Arc::new(GraphStore::from_graph(base));
+/// let mut inc = IncrementalSearch::new(Arc::clone(&store), vec![0], Fpa::default());
 /// assert_eq!(inc.community().unwrap().community, vec![0, 1, 2]);
 /// inc.remove_edge(2, 3); // the bridge dissolves
 /// assert_eq!(inc.community().unwrap().community, vec![0, 1, 2]);
 /// assert_eq!(inc.recomputations, 2);
 /// ```
 pub struct IncrementalSearch {
-    graph: DynamicGraph,
+    store: Arc<GraphStore>,
     query: Vec<NodeId>,
     algo: Fpa,
     cached: Option<(u64, SearchResult)>,
@@ -47,10 +53,13 @@ pub struct IncrementalSearch {
 }
 
 impl IncrementalSearch {
-    /// Pin `query` to `graph`, searching with `algo`.
-    pub fn new(graph: DynamicGraph, query: Vec<NodeId>, algo: Fpa) -> Self {
+    /// Pin `query` to the shared `store`, searching with `algo`. Other
+    /// writers (an engine serving `--updates`, another tracker) may
+    /// mutate the store concurrently; every [`Self::community`] call
+    /// answers for the store's *current* version.
+    pub fn new(store: Arc<GraphStore>, query: Vec<NodeId>, algo: Fpa) -> Self {
         IncrementalSearch {
-            graph,
+            store,
             query,
             algo,
             cached: None,
@@ -58,40 +67,44 @@ impl IncrementalSearch {
         }
     }
 
-    /// The underlying graph (read-only).
-    pub fn graph(&self) -> &DynamicGraph {
-        &self.graph
+    /// Convenience: wrap a mutable graph in a fresh private store.
+    pub fn from_dynamic(graph: DynamicGraph, query: Vec<NodeId>, algo: Fpa) -> Self {
+        IncrementalSearch::new(Arc::new(GraphStore::from_dynamic(graph)), query, algo)
     }
 
-    /// Mutable access to the underlying graph (e.g. for
-    /// [`DynamicGraph::add_node`]). Safe with the cache: every mutation
-    /// bumps the graph's version, which [`Self::community`] checks.
-    pub fn graph_mut(&mut self) -> &mut DynamicGraph {
-        &mut self.graph
+    /// The underlying store (shareable with other consumers).
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
     }
 
     /// Insert an edge; returns whether the graph changed.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.graph.insert_edge(u, v)
+        self.store.insert_edge(u, v)
     }
 
     /// Remove an edge; returns whether the graph changed.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.graph.remove_edge(u, v)
+        self.store.remove_edge(u, v)
+    }
+
+    /// Append a fresh isolated node to the graph; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.store.add_node()
     }
 
     /// Current community — exact w.r.t. the current graph. Recomputes
-    /// only when the graph has mutated since the cached answer.
+    /// only when the store has mutated since the cached answer (and the
+    /// CSR snapshot it searches is itself rebuilt at most once per store
+    /// version, shared with all other store consumers).
     pub fn community(&mut self) -> Result<SearchResult, SearchError> {
-        let version = self.graph.version();
+        let snapshot = self.store.snapshot();
         if let Some((v, r)) = &self.cached {
-            if *v == version {
+            if *v == snapshot.version() {
                 return Ok(r.clone());
             }
         }
-        let snapshot = self.graph.snapshot();
-        let result = self.algo.search(&snapshot, &self.query)?;
-        self.cached = Some((version, result.clone()));
+        let result = self.algo.search(snapshot.graph(), &self.query)?;
+        self.cached = Some((snapshot.version(), result.clone()));
         self.recomputations += 1;
         Ok(result)
     }
@@ -102,9 +115,9 @@ impl IncrementalSearch {
     /// community members beyond the ball (choose `r` ≥ the expected
     /// community diameter — Fig 4 suggests 4 for social networks).
     pub fn search_local(&self, radius: u32) -> Result<SearchResult, SearchError> {
-        let ball = self.graph.ball(&self.query, radius);
-        let snapshot = self.graph.snapshot();
-        search_within(&snapshot, &ball, &self.query, &self.algo)
+        let ball = self.store.ball(&self.query, radius);
+        let snapshot = self.store.snapshot();
+        search_within(snapshot.graph(), &ball, &self.query, &self.algo)
     }
 }
 
@@ -145,15 +158,19 @@ mod tests {
     use super::*;
     use dmcs_graph::GraphBuilder;
 
-    fn barbell_dynamic() -> DynamicGraph {
+    fn barbell_store() -> Arc<GraphStore> {
         let g =
             GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
-        DynamicGraph::from_graph(&g)
+        Arc::new(GraphStore::from_graph(g))
+    }
+
+    fn tracker() -> IncrementalSearch {
+        IncrementalSearch::new(barbell_store(), vec![0], Fpa::default())
     }
 
     #[test]
     fn cache_hits_until_mutation() {
-        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let mut s = tracker();
         let a = s.community().unwrap();
         let b = s.community().unwrap();
         assert_eq!(a, b);
@@ -169,12 +186,13 @@ mod tests {
 
     #[test]
     fn incremental_equals_from_scratch() {
-        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let mut s = tracker();
         s.insert_edge(1, 4);
         s.insert_edge(0, 5);
         s.remove_edge(2, 3);
         let inc = s.community().unwrap();
-        let direct = Fpa::default().search(&s.graph().snapshot(), &[0]).unwrap();
+        let snapshot = s.store().snapshot();
+        let direct = Fpa::default().search(snapshot.graph(), &[0]).unwrap();
         assert_eq!(inc.community, direct.community);
         assert_eq!(inc.density_modularity, direct.density_modularity);
     }
@@ -183,7 +201,7 @@ mod tests {
     fn densification_grows_the_community() {
         // Start with two triangles; make the right one merge-worthy by
         // heavily wiring it to the left.
-        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let mut s = tracker();
         let before = s.community().unwrap();
         assert_eq!(before.community, vec![0, 1, 2]);
         for &(u, v) in &[(0u32, 3u32), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)] {
@@ -195,7 +213,7 @@ mod tests {
 
     #[test]
     fn edge_removal_shrinks_the_community() {
-        let mut s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let mut s = tracker();
         let _ = s.community().unwrap();
         // Cutting the bridge isolates the query triangle (and leaves the
         // query's component at exactly the triangle).
@@ -205,17 +223,42 @@ mod tests {
     }
 
     #[test]
+    fn external_writers_through_the_shared_store_invalidate() {
+        // The store is shared: a mutation by another writer (an engine
+        // serving updates, say) must invalidate this tracker's cache.
+        let store = barbell_store();
+        let mut s = IncrementalSearch::new(Arc::clone(&store), vec![0], Fpa::default());
+        let _ = s.community().unwrap();
+        assert_eq!(s.recomputations, 1);
+        store.remove_edge(2, 3); // not through the tracker
+        let after = s.community().unwrap();
+        assert_eq!(s.recomputations, 2, "shared-store mutation detected");
+        assert_eq!(after.community, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn node_growth_through_the_tracker() {
+        let mut s = tracker();
+        let v = s.add_node();
+        assert_eq!(v, 6);
+        assert!(s.insert_edge(0, v));
+        let r = s.community().unwrap();
+        assert!(r.community.contains(&0));
+    }
+
+    #[test]
     fn local_search_matches_global_when_ball_covers_component() {
-        let s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let s = tracker();
         let local = s.search_local(10).unwrap();
-        let global = Fpa::default().search(&s.graph().snapshot(), &[0]).unwrap();
+        let snapshot = s.store().snapshot();
+        let global = Fpa::default().search(snapshot.graph(), &[0]).unwrap();
         assert_eq!(local.community, global.community);
         assert!((local.density_modularity - global.density_modularity).abs() < 1e-12);
     }
 
     #[test]
     fn local_search_respects_the_ball() {
-        let s = IncrementalSearch::new(barbell_dynamic(), vec![0], Fpa::default());
+        let s = tracker();
         let local = s.search_local(1).unwrap();
         // Ball of radius 1 around node 0 = {0, 1, 2}: the community can
         // only live there.

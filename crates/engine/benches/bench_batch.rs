@@ -16,8 +16,7 @@ use dmcs_core::{CommunitySearch, Fpa, Nca};
 use dmcs_engine::{AlgoSpec, BatchRunner, Engine, QueryRequest, Session};
 use dmcs_gen::sbm;
 use dmcs_graph::view::QueryWorkspace;
-use dmcs_graph::{Graph, NodeId};
-use std::sync::Arc;
+use dmcs_graph::{Graph, GraphStore, NodeId, Snapshot};
 
 /// Eight planted blocks of 100 nodes: big enough that per-query state
 /// dominates, small enough that a full batch fits one bench iteration.
@@ -34,13 +33,14 @@ fn sbm_graph() -> (Graph, Vec<Vec<NodeId>>) {
 
 fn bench_batch_throughput(c: &mut Criterion) {
     let (g, queries) = sbm_graph();
+    let snap = Snapshot::freeze(g);
     let requests = QueryRequest::from_node_lists(&queries);
     let mut group = c.benchmark_group("batch_throughput_sbm800");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         let runner = BatchRunner::new(AlgoSpec::new("fpa"), threads).unwrap();
         group.bench_function(format!("fpa_threads{threads}"), |b| {
-            b.iter(|| black_box(runner.run(black_box(&g), black_box(&requests)).unwrap()))
+            b.iter(|| black_box(runner.run(black_box(&snap), black_box(&requests)).unwrap()))
         });
     }
     group.finish();
@@ -131,7 +131,9 @@ fn bench_session_vs_fresh_batch(c: &mut Criterion) {
     let blocks = [200usize; 250];
     let (frag, comms) = sbm::planted_partition(&blocks, 0.06, 0.0, 7);
     let queries: Vec<Vec<NodeId>> = comms.iter().map(|c| vec![c[0]]).collect();
-    let engine = Engine::new(Arc::new(frag));
+    // Cache capacity 0: this bench isolates workspace/session reuse,
+    // not the result cache (bench_store covers cached repeats).
+    let engine = Engine::with_cache_capacity(GraphStore::from_graph(frag), 0);
     let spec = AlgoSpec::new("fpa");
 
     let mut group = c.benchmark_group("session_reuse_fragmented50k");
@@ -147,7 +149,7 @@ fn bench_session_vs_fresh_batch(c: &mut Criterion) {
         })
     });
 
-    let mut session: Session<'_> = engine.session(&spec).unwrap();
+    let mut session: Session = engine.session(&spec).unwrap();
     let mut j = 0usize;
     group.bench_function("session_repeated_single_queries", |b| {
         b.iter(|| {

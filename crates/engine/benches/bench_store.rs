@@ -1,0 +1,91 @@
+//! Versioned-store benchmarks backing the two performance claims of the
+//! live-update path:
+//!
+//! 1. **Snapshot rebuild cost scales with graph size** (`O(|V| + |E|)`),
+//!    and the lazy cache makes the *read* path free between mutations —
+//!    `snapshot_rebuild` measures a mutate→snapshot cycle (forced
+//!    rebuild) against a pure snapshot read (Arc clone) at 10k and 50k
+//!    nodes.
+//! 2. **Repeated queries are dominated by the result cache** —
+//!    `cached_repeats` compares a repeated single query on the
+//!    fragmented-50k serving graph with the version-keyed cache against
+//!    the same query recomputed every time (cache capacity 0).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmcs_engine::{AlgoSpec, Engine, QueryRequest};
+use dmcs_gen::sbm;
+use dmcs_graph::{Graph, GraphStore};
+
+/// The fragmented serving graph of the engine's other benches: 250
+/// disconnected ~200-node blocks.
+fn fragmented(blocks: usize) -> Graph {
+    let sizes = vec![200usize; blocks];
+    let (g, _) = sbm::planted_partition(&sizes, 0.06, 0.0, 7);
+    g
+}
+
+fn bench_snapshot_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_snapshot_rebuild");
+    group.sample_size(10);
+    for blocks in [50usize, 250] {
+        let n = blocks * 200;
+        let store = GraphStore::from_graph(fragmented(blocks));
+        // Mutate + read: every iteration bumps the version (toggling one
+        // edge), so snapshot() pays the full CSR rebuild.
+        group.bench_function(format!("rebuild_n{n}"), |b| {
+            b.iter(|| {
+                // 0-1 is an intra-block edge: remove re-add toggles the
+                // version twice without changing the final graph.
+                store.remove_edge(0, 1);
+                store.insert_edge(0, 1);
+                black_box(store.snapshot().m())
+            })
+        });
+        // Read-only: snapshot() between mutations is an Arc clone.
+        let store = GraphStore::from_graph(fragmented(blocks));
+        store.snapshot();
+        group.bench_function(format!("cached_read_n{n}"), |b| {
+            b.iter(|| black_box(store.snapshot().m()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_repeats(c: &mut Criterion) {
+    let g = fragmented(250);
+    let spec = AlgoSpec::new("fpa");
+    let req = [QueryRequest::new(vec![0])];
+
+    let mut group = c.benchmark_group("cached_repeats_fragmented50k");
+    group.sample_size(10);
+
+    // Uncached: capacity 0 disables the cache, every repeat recomputes
+    // (workspace reuse still applies via per-batch sessions).
+    let uncached = Engine::with_cache_capacity(GraphStore::from_graph(g.clone()), 0);
+    group.bench_function("uncached_repeated_query", |b| {
+        b.iter(|| black_box(uncached.run_batch(&spec, &req, 1).unwrap().succeeded()))
+    });
+
+    // Cached: after the first miss every repeat is a version-keyed hit.
+    let cached = Engine::from_graph(g);
+    cached.run_batch(&spec, &req, 1).unwrap(); // warm the entry
+    group.bench_function("cached_repeated_query", |b| {
+        b.iter(|| black_box(cached.run_batch(&spec, &req, 1).unwrap().cache_hits))
+    });
+
+    // Update-then-query: each iteration invalidates (version bump) and
+    // recomputes plus pays one snapshot rebuild — the worst case of the
+    // mutate→snapshot→query cycle.
+    let churn = Engine::from_graph(fragmented(250));
+    group.bench_function("update_then_query", |b| {
+        b.iter(|| {
+            churn.remove_edge(0, 1);
+            churn.insert_edge(0, 1);
+            black_box(churn.run_batch(&spec, &req, 1).unwrap().cache_misses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_rebuild, bench_cached_repeats);
+criterion_main!(benches);

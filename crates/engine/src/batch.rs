@@ -1,5 +1,5 @@
 //! Concurrent batch execution: fan a slice of [`QueryRequest`]s out
-//! across scoped worker threads over one shared graph, with
+//! across scoped worker threads over one pinned graph snapshot, with
 //! deterministic result ordering and a throughput summary.
 //!
 //! Each worker is a thin wrapper over a per-thread
@@ -11,13 +11,33 @@
 //! so the output of [`BatchRunner::run`] is bit-identical to sequential
 //! execution regardless of the thread count — a property the engine's
 //! property tests pin down for every registered algorithm.
+//!
+//! Two serving optimisations happen transparently:
+//!
+//! - **In-batch dedup** — requests that resolve to the same
+//!   `(algorithm, params, nodes, cap)` work item are answered once and
+//!   the answer is fanned back out to every duplicate in submission
+//!   order (tags stay per-request). [`BatchReport::unique_queries`]
+//!   reports how much work the dedup saved.
+//! - **Cross-batch caching** — when a shared
+//!   [`ResponseCache`] is attached (as
+//!   [`Engine::run_batch`](crate::Engine::run_batch) does), workers
+//!   consult it per executed query; [`BatchReport::cache_hits`] /
+//!   [`cache_misses`](BatchReport::cache_misses) surface the outcome.
+//!
+//! All queries run against the **pinned** [`Snapshot`]: updates landing
+//! in the owning [`GraphStore`](dmcs_graph::GraphStore) mid-batch do not
+//! tear the batch.
 
+use crate::cache::ResponseCache;
 use crate::error::EngineError;
 use crate::registry::{self, AlgoSpec};
 use crate::request::{QueryRequest, QueryResponse};
 use crate::session::Session;
-use dmcs_graph::Graph;
+use dmcs_graph::{NodeId, Snapshot};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A completed batch: per-request responses in submission order plus the
@@ -34,112 +54,29 @@ pub struct BatchReport {
     pub p50_seconds: f64,
     /// 95th-percentile per-query latency (seconds).
     pub p95_seconds: f64,
+    /// Distinct `(algorithm, params, nodes, cap)` work items actually
+    /// dispatched — duplicates beyond this were answered by fan-out.
+    pub unique_queries: usize,
+    /// Executed queries answered from the shared result cache (0 when no
+    /// cache was attached).
+    pub cache_hits: usize,
+    /// Executed queries that missed the shared result cache (0 when no
+    /// cache was attached).
+    pub cache_misses: usize,
 }
 
 impl BatchReport {
-    /// Number of requests that produced a community.
-    pub fn succeeded(&self) -> usize {
-        self.responses.iter().filter(|r| r.is_ok()).count()
-    }
-}
-
-/// Executes batches of requests with a default algorithm and a worker
-/// count.
-#[derive(Debug, Clone)]
-pub struct BatchRunner {
-    spec: AlgoSpec,
-    algo_name: &'static str,
-    threads: usize,
-}
-
-impl BatchRunner {
-    /// Runner for `spec` on `threads` workers.
-    ///
-    /// `threads == 0` is an [`EngineError::BadParam`]; an unregistered
-    /// label is an [`EngineError::UnknownAlgo`] (detected here, not at
-    /// run time). A thread count larger than a batch is clamped to one
-    /// worker per request when the batch runs.
-    pub fn new(spec: AlgoSpec, threads: usize) -> Result<Self, EngineError> {
-        if threads == 0 {
-            return Err(EngineError::bad_param(
-                "batch thread count must be at least 1 (got 0)",
-            ));
-        }
-        let algo_name = spec.build()?.name();
-        Ok(BatchRunner {
-            spec,
-            algo_name,
-            threads,
-        })
-    }
-
-    /// Display name of the default algorithm.
-    pub fn algo_name(&self) -> &'static str {
-        self.algo_name
-    }
-
-    /// Configured worker count (before per-batch clamping).
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Run every request and aggregate the report. Responses come back
-    /// in submission order whatever the thread count.
-    ///
-    /// Per-query search failures land inside their [`QueryResponse`];
-    /// only request-level failures (an unknown per-request algorithm
-    /// override) abort the batch, and those are detected up front —
-    /// before any query runs.
-    pub fn run(&self, g: &Graph, requests: &[QueryRequest]) -> Result<BatchReport, EngineError> {
-        // Check every override label now so workers cannot fail
-        // mid-batch. A registry lookup suffices: construction itself is
-        // infallible once the label resolves (params are plain config).
-        for req in requests {
-            if let Some(spec) = &req.algo {
-                if registry::find(&spec.name).is_none() {
-                    return Err(EngineError::unknown_algo(spec.name.clone()));
-                }
-            }
-        }
-
-        let start = Instant::now();
-        let workers = self.threads.min(requests.len()).max(1);
-        let responses: Vec<QueryResponse> = if workers == 1 {
-            let mut session = Session::new(g, &self.spec)?;
-            requests
-                .iter()
-                .map(|req| answer(&mut session, req))
-                .collect()
-        } else {
-            let next = AtomicUsize::new(0);
-            let mut indexed = std::thread::scope(
-                |scope| -> Result<Vec<(usize, QueryResponse)>, EngineError> {
-                    let mut handles = Vec::with_capacity(workers);
-                    for _ in 0..workers {
-                        let next = &next;
-                        let mut session = Session::new(g, &self.spec)?;
-                        handles.push(scope.spawn(move || {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(req) = requests.get(i) else { break };
-                                local.push((i, answer(&mut session, req)));
-                            }
-                            local
-                        }));
-                    }
-                    let mut indexed = Vec::with_capacity(requests.len());
-                    for h in handles {
-                        indexed.extend(h.join().expect("batch worker panicked"));
-                    }
-                    Ok(indexed)
-                },
-            )?;
-            indexed.sort_unstable_by_key(|&(i, _)| i);
-            indexed.into_iter().map(|(_, r)| r).collect()
-        };
-        let wall_seconds = start.elapsed().as_secs_f64();
-
+    /// Assemble a report from finished responses: computes throughput
+    /// and the latency percentiles. Used by [`BatchRunner::run`] and by
+    /// the CLI's `--updates` loop (which interleaves queries with
+    /// mutations and builds its report at the end).
+    pub fn from_responses(
+        responses: Vec<QueryResponse>,
+        wall_seconds: f64,
+        unique_queries: usize,
+        cache_hits: usize,
+        cache_misses: usize,
+    ) -> Self {
         let mut lat: Vec<f64> = responses.iter().map(|r| r.seconds).collect();
         lat.sort_unstable_by(|a, b| a.total_cmp(b));
         let pct = |p: f64| -> f64 {
@@ -155,29 +92,216 @@ impl BatchRunner {
         } else {
             0.0
         };
-        Ok(BatchReport {
+        BatchReport {
             responses,
             wall_seconds,
             queries_per_sec,
             p50_seconds,
             p95_seconds,
+            unique_queries,
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Number of requests that produced a community.
+    pub fn succeeded(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_ok()).count()
+    }
+}
+
+/// Executes batches of requests with a default algorithm and a worker
+/// count.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    spec: AlgoSpec,
+    algo_name: &'static str,
+    threads: usize,
+    cache: Option<Arc<ResponseCache>>,
+}
+
+/// The dedup identity of one request: everything that determines its
+/// answer (the correlation tag deliberately excluded).
+type WorkKey = (String, u32, bool, Vec<NodeId>, Option<usize>);
+
+impl BatchRunner {
+    /// Runner for `spec` on `threads` workers.
+    ///
+    /// `threads == 0` is an [`EngineError::BadParam`]; an unregistered
+    /// label is an [`EngineError::UnknownAlgo`] (detected here, not at
+    /// run time). A thread count larger than a batch is clamped to one
+    /// worker per distinct request when the batch runs.
+    pub fn new(spec: AlgoSpec, threads: usize) -> Result<Self, EngineError> {
+        if threads == 0 {
+            return Err(EngineError::bad_param(
+                "batch thread count must be at least 1 (got 0)",
+            ));
+        }
+        let algo_name = spec.build()?.name();
+        Ok(BatchRunner {
+            spec,
+            algo_name,
+            threads,
+            cache: None,
         })
+    }
+
+    /// Attach a shared result cache; worker sessions consult it per
+    /// executed query and the report's hit/miss counters light up.
+    pub fn with_cache(mut self, cache: Arc<ResponseCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Display name of the default algorithm.
+    pub fn algo_name(&self) -> &'static str {
+        self.algo_name
+    }
+
+    /// Configured worker count (before per-batch clamping).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Open one worker session over `snap`, attaching the shared cache
+    /// when configured.
+    fn worker_session(&self, snap: &Snapshot) -> Result<Session, EngineError> {
+        let session = Session::new(snap.clone(), &self.spec)?;
+        Ok(match &self.cache {
+            Some(cache) => session.with_cache(Arc::clone(cache)),
+            None => session,
+        })
+    }
+
+    /// Run every request against the pinned snapshot and aggregate the
+    /// report. Responses come back in submission order whatever the
+    /// thread count.
+    ///
+    /// Per-query search failures land inside their [`QueryResponse`];
+    /// only request-level failures (an unknown per-request algorithm
+    /// override) abort the batch, and those are detected up front —
+    /// before any query runs.
+    pub fn run(
+        &self,
+        snap: &Snapshot,
+        requests: &[QueryRequest],
+    ) -> Result<BatchReport, EngineError> {
+        // Check every override label now so workers cannot fail
+        // mid-batch. A registry lookup suffices: construction itself is
+        // infallible once the label resolves (params are plain config).
+        for req in requests {
+            if let Some(spec) = &req.algo {
+                if registry::find(&spec.name).is_none() {
+                    return Err(EngineError::unknown_algo(spec.name.clone()));
+                }
+            }
+        }
+
+        let start = Instant::now();
+
+        // Dedup: answer each distinct work item once, fan back out below.
+        let mut seen: HashMap<WorkKey, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new(); // representative request index
+        let mut assign: Vec<usize> = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let spec = req.algo.as_ref().unwrap_or(&self.spec);
+            let key: WorkKey = (
+                spec.name.clone(),
+                spec.params.k,
+                spec.params.layer_pruning,
+                req.nodes.clone(),
+                req.max_community_size,
+            );
+            let slot = *seen.entry(key).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+            assign.push(slot);
+        }
+        let work: Vec<&QueryRequest> = unique.iter().map(|&i| &requests[i]).collect();
+
+        let workers = self.threads.min(work.len()).max(1);
+        let executed: Vec<QueryResponse> = if workers == 1 {
+            let mut session = self.worker_session(snap)?;
+            work.iter().map(|req| answer(&mut session, req)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let work = &work;
+            let mut indexed = std::thread::scope(
+                |scope| -> Result<Vec<(usize, QueryResponse)>, EngineError> {
+                    let mut handles = Vec::with_capacity(workers);
+                    for _ in 0..workers {
+                        let next = &next;
+                        let mut session = self.worker_session(snap)?;
+                        handles.push(scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(req) = work.get(i) else { break };
+                                local.push((i, answer(&mut session, req)));
+                            }
+                            local
+                        }));
+                    }
+                    let mut indexed = Vec::with_capacity(work.len());
+                    for h in handles {
+                        indexed.extend(h.join().expect("batch worker panicked"));
+                    }
+                    Ok(indexed)
+                },
+            )?;
+            indexed.sort_unstable_by_key(|&(i, _)| i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let (cache_hits, cache_misses) = if self.cache.is_some() {
+            let hits = executed.iter().filter(|r| r.cached).count();
+            (hits, executed.len() - hits)
+        } else {
+            (0, 0)
+        };
+
+        // Fan the executed answers back out to submission order; each
+        // duplicate echoes its own request (tag and all) around the
+        // shared answer.
+        let responses: Vec<QueryResponse> = assign
+            .iter()
+            .zip(requests)
+            .map(|(&slot, req)| {
+                let mut resp = executed[slot].clone();
+                resp.request = req.clone();
+                resp
+            })
+            .collect();
+
+        Ok(BatchReport::from_responses(
+            responses,
+            wall_seconds,
+            work.len(),
+            cache_hits,
+            cache_misses,
+        ))
     }
 }
 
 /// One request through a worker's session. Overrides were pre-resolved
 /// by [`BatchRunner::run`], so a request-level error here is impossible.
-fn answer(session: &mut Session<'_>, req: &QueryRequest) -> QueryResponse {
+fn answer(session: &mut Session, req: &QueryRequest) -> QueryResponse {
     session.query(req).expect("overrides pre-validated")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmcs_graph::{GraphBuilder, NodeId};
+    use dmcs_graph::{Graph, GraphBuilder};
 
     fn barbell() -> Graph {
         GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    fn barbell_snap() -> Snapshot {
+        Snapshot::freeze(barbell())
     }
 
     fn requests() -> Vec<QueryRequest> {
@@ -186,21 +310,22 @@ mod tests {
 
     #[test]
     fn batch_matches_sequential_and_preserves_order() {
-        let g = barbell();
+        let snap = barbell_snap();
         let reqs = requests();
         let seq = BatchRunner::new(AlgoSpec::new("fpa"), 1)
             .unwrap()
-            .run(&g, &reqs)
+            .run(&snap, &reqs)
             .unwrap();
         let par = BatchRunner::new(AlgoSpec::new("fpa"), 4)
             .unwrap()
-            .run(&g, &reqs)
+            .run(&snap, &reqs)
             .unwrap();
         assert_eq!(seq.responses.len(), par.responses.len());
         for (s, p) in seq.responses.iter().zip(&par.responses) {
             assert_eq!(s.request, p.request);
             assert_eq!(s.result, p.result);
         }
+        assert_eq!(seq.unique_queries, 6, "all distinct, nothing deduped");
     }
 
     #[test]
@@ -211,11 +336,10 @@ mod tests {
 
         // 64 threads over 3 requests: clamped to one worker per request,
         // still deterministic and complete.
-        let g = barbell();
         let reqs = QueryRequest::from_node_lists(&[vec![0], vec![3], vec![5]]);
         let runner = BatchRunner::new(AlgoSpec::new("fpa"), 64).unwrap();
         assert_eq!(runner.threads(), 64);
-        let report = runner.run(&g, &reqs).unwrap();
+        let report = runner.run(&barbell_snap(), &reqs).unwrap();
         assert_eq!(report.responses.len(), 3);
         assert_eq!(report.succeeded(), 3);
     }
@@ -228,38 +352,37 @@ mod tests {
 
     #[test]
     fn unknown_override_fails_before_any_query_runs() {
-        let g = barbell();
         let reqs = vec![
             QueryRequest::new(vec![0]),
             QueryRequest::new(vec![1]).with_algo(AlgoSpec::new("zeus")),
         ];
         let err = BatchRunner::new(AlgoSpec::new("fpa"), 2)
             .unwrap()
-            .run(&g, &reqs)
+            .run(&barbell_snap(), &reqs)
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownAlgo { .. }));
     }
 
     #[test]
     fn per_request_overrides_run_their_own_algorithm() {
-        let g = barbell();
         let reqs = vec![
             QueryRequest::new(vec![0]),
             QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")),
         ];
         let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
             .unwrap()
-            .run(&g, &reqs)
+            .run(&barbell_snap(), &reqs)
             .unwrap();
         assert_eq!(report.responses[0].algo, "FPA");
         assert_eq!(report.responses[1].algo, "NCA");
+        assert_eq!(report.unique_queries, 2, "different algos never dedup");
     }
 
     #[test]
     fn per_query_errors_do_not_abort_the_batch() {
         // A multi-node query spanning two components fails; the batch
         // records the error and keeps going.
-        let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let split = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
         let reqs = QueryRequest::from_node_lists(&[vec![0u32], vec![0, 3], vec![2]]);
         let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
             .unwrap()
@@ -274,25 +397,94 @@ mod tests {
 
     #[test]
     fn report_statistics_are_sane() {
-        let g = barbell();
         let report = BatchRunner::new(AlgoSpec::new("nca"), 2)
             .unwrap()
-            .run(&g, &requests())
+            .run(&barbell_snap(), &requests())
             .unwrap();
         assert!(report.wall_seconds > 0.0);
         assert!(report.queries_per_sec > 0.0);
         assert!(report.p50_seconds <= report.p95_seconds);
         assert_eq!(report.succeeded(), 6);
+        assert_eq!((report.cache_hits, report.cache_misses), (0, 0));
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let g = barbell();
         let report = BatchRunner::new(AlgoSpec::new("fpa"), 4)
             .unwrap()
-            .run(&g, &[])
+            .run(&barbell_snap(), &[])
             .unwrap();
         assert!(report.responses.is_empty());
         assert_eq!(report.p50_seconds, 0.0);
+        assert_eq!(report.unique_queries, 0);
+    }
+
+    #[test]
+    fn duplicate_requests_are_answered_once_and_fanned_out() {
+        let reqs = vec![
+            QueryRequest::new(vec![0]).with_tag("a"),
+            QueryRequest::new(vec![5]),
+            QueryRequest::new(vec![0]).with_tag("b"), // dup of [0]
+            QueryRequest::new(vec![0]).with_max_community_size(1), // NOT a dup (cap differs)
+            QueryRequest::new(vec![5]),               // dup of [5]
+        ];
+        for threads in [1usize, 3] {
+            let report = BatchRunner::new(AlgoSpec::new("fpa"), threads)
+                .unwrap()
+                .run(&barbell_snap(), &reqs)
+                .unwrap();
+            assert_eq!(report.unique_queries, 3, "{threads} threads");
+            assert_eq!(report.responses.len(), 5, "every request answered");
+            // Duplicates share the answer (and its timing) but keep
+            // their own request echo.
+            assert_eq!(report.responses[0].result, report.responses[2].result);
+            assert_eq!(report.responses[0].seconds, report.responses[2].seconds);
+            assert_eq!(report.responses[0].request.tag.as_deref(), Some("a"));
+            assert_eq!(report.responses[2].request.tag.as_deref(), Some("b"));
+            assert_eq!(report.responses[1].result, report.responses[4].result);
+            // The capped variant ran separately and failed its cap.
+            assert!(matches!(
+                report.responses[3].result,
+                Err(dmcs_core::SearchError::CommunityTooLarge { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn dedup_output_matches_the_undeduped_answer() {
+        // A batch of pure duplicates must answer exactly like a batch of
+        // one, fanned out.
+        let single = BatchRunner::new(AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .run(&barbell_snap(), &[QueryRequest::new(vec![0])])
+            .unwrap();
+        let many: Vec<QueryRequest> = (0..8).map(|_| QueryRequest::new(vec![0])).collect();
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 4)
+            .unwrap()
+            .run(&barbell_snap(), &many)
+            .unwrap();
+        assert_eq!(report.unique_queries, 1);
+        for resp in &report.responses {
+            assert_eq!(resp.result, single.responses[0].result);
+        }
+    }
+
+    #[test]
+    fn attached_cache_counts_hits_across_batches() {
+        let cache = Arc::new(ResponseCache::new(64));
+        let snap = barbell_snap();
+        let runner = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let first = runner.run(&snap, &requests()).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.cache_misses, 6);
+        let second = runner.run(&snap, &requests()).unwrap();
+        assert_eq!(second.cache_hits, 6, "same snapshot version: all hits");
+        assert_eq!(second.cache_misses, 0);
+        for (a, b) in first.responses.iter().zip(&second.responses) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.seconds, b.seconds, "hits replay original timings");
+        }
     }
 }

@@ -1,0 +1,320 @@
+//! The version-keyed response cache: a hand-rolled LRU (the workspace's
+//! dependency policy admits no cache crate) mapping `(algorithm, params,
+//! sorted query nodes, store id, graph version)` to a finished answer.
+//!
+//! Correctness comes entirely from the **graph version in the key**: a
+//! mutation bumps the store version, so every entry computed against the
+//! old graph simply stops matching — there is no invalidation walk, no
+//! "is this update near the query" heuristic (DM depends on the global
+//! edge count, so *any* edge change can shift any answer). Stale entries
+//! age out of the LRU like everything else.
+//!
+//! A cached answer replays the original response verbatim — including
+//! its `seconds` — so a cache hit renders **byte-identical** JSON to the
+//! miss that populated it. Community-size caps are applied *after*
+//! retrieval (they are response shaping, not search work), so one cached
+//! search serves requests with different caps.
+
+use crate::registry::AlgoSpec;
+use dmcs_core::{SearchError, SearchResult};
+use dmcs_graph::{NodeId, Snapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default entry capacity of an engine's cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// What one cache entry answers: the exact search outcome plus the
+/// display name of the algorithm that ran and the wall time of the
+/// *original* computation (replayed on hits, keeping output byte-stable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    /// Display name of the algorithm that computed the entry.
+    pub algo: &'static str,
+    /// The raw (un-capped) search outcome.
+    pub result: Result<SearchResult, SearchError>,
+    /// Wall-clock seconds of the original computation.
+    pub seconds: f64,
+}
+
+/// Cache key: everything that determines a search outcome.
+///
+/// Query nodes are **sorted** — the searches treat the query as a set,
+/// so `[0, 33]` and `[33, 0]` share an entry. The snapshot's
+/// `(store id, version)` pair is the staleness discriminator (see the
+/// module docs): versions only order mutations *within* one store, so
+/// the process-unique store id keeps snapshots of different graphs from
+/// ever colliding in a shared cache. `k` participates even for
+/// algorithms that ignore it; that only costs duplicate entries for
+/// off-label `--k` usage, never a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry label of the algorithm.
+    pub algo: String,
+    /// The `k` parameter.
+    pub k: u32,
+    /// FPA's layer-pruning toggle.
+    pub layer_pruning: bool,
+    /// Query nodes, sorted ascending.
+    pub nodes: Vec<NodeId>,
+    /// Process-unique id of the graph store the answer belongs to.
+    pub store: u64,
+    /// Graph-store version the answer is valid for.
+    pub version: u64,
+}
+
+impl CacheKey {
+    /// Key for running `spec` on `nodes` against the epoch `snapshot`
+    /// pins.
+    pub fn new(spec: &AlgoSpec, nodes: &[NodeId], snapshot: &Snapshot) -> CacheKey {
+        let mut nodes = nodes.to_vec();
+        nodes.sort_unstable();
+        CacheKey {
+            algo: spec.name.clone(),
+            k: spec.params.k,
+            layer_pruning: spec.params.layer_pruning,
+            nodes,
+            store: snapshot.store_id(),
+            version: snapshot.version(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    answer: CachedAnswer,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe LRU of query answers with hit/miss counters.
+///
+/// One instance is shared by everything serving a given
+/// [`GraphStore`](dmcs_graph::GraphStore) — the engine hands clones of
+/// one `Arc<ResponseCache>` to every [`Session`](crate::Session) it
+/// opens, so a batch worker's miss becomes the next request's hit.
+///
+/// ```
+/// use dmcs_engine::cache::{CacheKey, CachedAnswer, ResponseCache};
+/// use dmcs_engine::AlgoSpec;
+///
+/// use dmcs_graph::{GraphBuilder, Snapshot};
+///
+/// let cache = ResponseCache::new(2);
+/// let snap = Snapshot::freeze(GraphBuilder::from_edges(34, &[(0, 33)]));
+/// let key = CacheKey::new(&AlgoSpec::new("fpa"), &[33, 0], &snap);
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key.clone(), CachedAnswer {
+///     algo: "FPA",
+///     result: Err(dmcs_core::SearchError::EmptyQuery),
+///     seconds: 0.25,
+/// });
+/// assert_eq!(cache.get(&key).unwrap().seconds, 0.25);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ResponseCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// storage: every lookup is a miss and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            inner: Mutex::new(LruInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruInner> {
+        self.inner.lock().expect("response cache lock poisoned")
+    }
+
+    /// Look `key` up, bumping its recency and the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.answer.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `answer` under `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Eviction is a linear min-scan over u64 recency ticks. At the
+        // default capacity (1024) that is microseconds, paid only on a
+        // miss that already paid a full search; an index that made this
+        // O(log n) would clone keys on every *hit*, the wrong trade.
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(evict) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&evict);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                answer,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count (across every consumer sharing this cache).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(secs: f64) -> CachedAnswer {
+        CachedAnswer {
+            algo: "FPA",
+            result: Ok(SearchResult {
+                community: vec![0, 1],
+                density_modularity: 0.5,
+                removal_order: vec![],
+                iterations: 1,
+            }),
+            seconds: secs,
+        }
+    }
+
+    fn key(nodes: &[NodeId], version: u64) -> CacheKey {
+        let mut nodes = nodes.to_vec();
+        nodes.sort_unstable();
+        CacheKey {
+            algo: "fpa".into(),
+            k: 3,
+            layer_pruning: true,
+            nodes,
+            store: 0,
+            version,
+        }
+    }
+
+    #[test]
+    fn keys_sort_nodes_and_separate_versions_and_stores() {
+        use dmcs_graph::GraphBuilder;
+        let snap = Snapshot::freeze(GraphBuilder::from_edges(34, &[(0, 33)]));
+        assert_eq!(
+            CacheKey::new(&AlgoSpec::new("fpa"), &[33, 0], &snap),
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0, 33], &snap),
+            "query is a set"
+        );
+        assert_ne!(key(&[0], 1), key(&[0], 2), "versions separate epochs");
+        assert_ne!(
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
+            CacheKey::new(&AlgoSpec::new("nca"), &[0], &snap),
+        );
+        assert_ne!(
+            CacheKey::new(&AlgoSpec::with_k("kc", 3), &[0], &snap),
+            CacheKey::new(&AlgoSpec::with_k("kc", 4), &[0], &snap),
+        );
+        // Two different graphs frozen at the same version must never
+        // share an entry: the process-unique store id separates them.
+        let other = Snapshot::freeze(GraphBuilder::from_edges(34, &[(0, 1)]));
+        assert_eq!((snap.version(), other.version()), (0, 0));
+        assert_ne!(
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0], &other),
+            "store identity is part of the key"
+        );
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let cache = ResponseCache::new(8);
+        assert!(cache.get(&key(&[0], 0)).is_none());
+        cache.insert(key(&[0], 0), answer(0.125));
+        let got = cache.get(&key(&[0], 0)).unwrap();
+        assert_eq!(got.seconds, 0.125, "original timing replayed");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResponseCache::new(2);
+        cache.insert(key(&[0], 0), answer(0.1));
+        cache.insert(key(&[1], 0), answer(0.2));
+        // Touch [0] so [1] is the coldest.
+        assert!(cache.get(&key(&[0], 0)).is_some());
+        cache.insert(key(&[2], 0), answer(0.3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(&[0], 0)).is_some(), "recently used survives");
+        assert!(cache.get(&key(&[1], 0)).is_none(), "coldest evicted");
+        assert!(cache.get(&key(&[2], 0)).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResponseCache::new(2);
+        cache.insert(key(&[0], 0), answer(0.1));
+        cache.insert(key(&[1], 0), answer(0.2));
+        cache.insert(key(&[0], 0), answer(0.9)); // overwrite, no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(&[0], 0)).unwrap().seconds, 0.9);
+        assert!(cache.get(&key(&[1], 0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResponseCache::new(0);
+        cache.insert(key(&[0], 0), answer(0.1));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(&[0], 0)).is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -13,12 +13,14 @@
 //! | [`Io`]           | 4         | a file could not be read or written       |
 //! | [`UnknownNode`]  | 5         | a query id does not appear in the graph   |
 //! | [`Search`]       | 6         | the search itself failed                  |
+//! | [`BadUpdate`]    | 7         | a `--updates` script line is invalid      |
 //!
 //! [`BadParam`]: EngineError::BadParam
 //! [`UnknownAlgo`]: EngineError::UnknownAlgo
 //! [`Io`]: EngineError::Io
 //! [`UnknownNode`]: EngineError::UnknownNode
 //! [`Search`]: EngineError::Search
+//! [`BadUpdate`]: EngineError::BadUpdate
 
 use crate::registry;
 use dmcs_core::SearchError;
@@ -81,6 +83,14 @@ pub enum EngineError {
         /// The underlying search error (also exposed via `source()`).
         source: SearchError,
     },
+    /// A line of a `--updates` script is malformed or names an
+    /// impossible mutation (unknown node in `del`, duplicate `add`, …).
+    BadUpdate {
+        /// 1-based line number in the update script.
+        line: usize,
+        /// What is wrong with the line.
+        reason: String,
+    },
 }
 
 impl EngineError {
@@ -94,6 +104,7 @@ impl EngineError {
             EngineError::Io { .. } => 4,
             EngineError::UnknownNode { .. } => 5,
             EngineError::Search { .. } => 6,
+            EngineError::BadUpdate { .. } => 7,
         }
     }
 
@@ -121,6 +132,14 @@ impl EngineError {
     /// An [`EngineError::UnknownNode`] with no extra context.
     pub fn unknown_node(id: u64) -> Self {
         EngineError::UnknownNode { id, context: None }
+    }
+
+    /// Shorthand for an [`EngineError::BadUpdate`] at `line` (1-based).
+    pub fn bad_update(line: usize, reason: impl Into<String>) -> Self {
+        EngineError::BadUpdate {
+            line,
+            reason: reason.into(),
+        }
     }
 
     /// Attach (or replace) the context of an [`EngineError::UnknownNode`];
@@ -158,6 +177,9 @@ impl std::fmt::Display for EngineError {
             // conversion; don't render a leading ": " in that case.
             EngineError::Search { algo, source } if algo.is_empty() => write!(f, "{source}"),
             EngineError::Search { algo, source } => write!(f, "{algo}: {source}"),
+            EngineError::BadUpdate { line, reason } => {
+                write!(f, "update script line {line}: {reason}")
+            }
         }
     }
 }
@@ -200,13 +222,14 @@ mod tests {
                 algo: "FPA".into(),
                 source: SearchError::EmptyQuery,
             },
+            EngineError::bad_update(3, "unknown op \"swap\""),
         ]
     }
 
     #[test]
     fn exit_codes_are_distinct_and_documented() {
         let codes: Vec<i32> = all_variants().iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -227,6 +250,7 @@ mod tests {
         assert!(texts[2].contains("/no/such/file") && texts[2].contains("gone"));
         assert_eq!(texts[3], "query node 999 does not appear in the graph");
         assert_eq!(texts[4], "FPA: query set is empty");
+        assert_eq!(texts[5], "update script line 3: unknown op \"swap\"");
 
         // Context prefixes the unknown-node message when present.
         let contextual = EngineError::unknown_node(7).with_node_context("q.txt: query 3");
@@ -282,6 +306,7 @@ mod tests {
             EngineError::bad_param("x"),
             EngineError::unknown_algo("zeus"),
             EngineError::unknown_node(1),
+            EngineError::bad_update(1, "x"),
         ] {
             assert!(e.source().is_none(), "{e:?} has no cause");
         }

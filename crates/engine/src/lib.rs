@@ -2,8 +2,10 @@
 //!
 //! Turns the one-shot, single-threaded community search into a serving
 //! API: typed requests and responses, long-lived sessions with reusable
-//! buffers, concurrent batches over one shared graph, a typed error
-//! taxonomy with stable exit codes, and structured (JSON-lines) output.
+//! buffers, concurrent batches over pinned graph snapshots, live graph
+//! updates through a versioned store, a version-keyed result cache, a
+//! typed error taxonomy with stable exit codes, and structured
+//! (JSON-lines) output.
 //!
 //! - [`registry`] — [`AlgoSpec`] (label + params) → `Box<dyn
 //!   CommunitySearch>`; the **only** algorithm-construction site in the
@@ -17,30 +19,38 @@
 //! - [`request`] — [`QueryRequest`] (query nodes + per-request algorithm
 //!   override, size cap, correlation tag) and [`QueryResponse`] (the
 //!   [`SearchResult`](dmcs_core::SearchResult) plus the algorithm that
-//!   ran and the query's wall time).
-//! - [`session`] — [`Session`]: a resolved algorithm + a persistent
-//!   [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace), so repeated
-//!   single queries get the buffer-reuse speedup that batches get from
-//!   per-worker workspaces.
+//!   ran, the query's wall time, and whether the answer came from the
+//!   cache).
+//! - [`cache`] — [`ResponseCache`], the
+//!   hand-rolled LRU keyed by `(algorithm, params, sorted query nodes,
+//!   store id, graph version)`: updates invalidate by *version*, never
+//!   by guessing locality.
+//! - [`session`] — [`Session`]: a pinned
+//!   [`dmcs_graph::Snapshot`] + resolved algorithm + a
+//!   persistent [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace), so
+//!   repeated single queries get the buffer-reuse speedup that batches
+//!   get from per-worker workspaces.
 //! - [`batch`] — [`BatchRunner`]: `std::thread::scope` fan-out with an
-//!   atomic work queue where every worker is a per-thread [`Session`];
-//!   deterministic (submission-order) responses and a
-//!   throughput/latency [`BatchReport`].
+//!   atomic work queue where every worker is a per-thread [`Session`]
+//!   over the same pinned snapshot; in-batch dedup of identical
+//!   requests; deterministic (submission-order) responses and a
+//!   throughput/latency [`BatchReport`] with cache counters.
 //! - [`output`] — a hand-rolled [`Json`](output::Json) writer/parser
 //!   rendering responses and reports as JSON-lines (the CLI's
 //!   `--format json`).
-//! - [`Engine`] — an `Arc<Graph>` + convenience entry points, the handle
-//!   a server would hold per loaded dataset.
+//! - [`Engine`] — a shared [`GraphStore`] + result cache + convenience
+//!   entry points: the handle a server holds per loaded dataset, serving
+//!   queries *and* mutations concurrently.
 //!
 //! ```
 //! use dmcs_engine::{registry::AlgoSpec, Engine, QueryRequest};
 //! use dmcs_graph::GraphBuilder;
-//! use std::sync::Arc;
 //!
 //! let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
-//! let engine = Engine::new(Arc::new(g));
+//! let engine = Engine::from_graph(g);
 //!
-//! // Repeated single queries: one session, reused buffers.
+//! // Repeated single queries: one session, reused buffers, cached
+//! // answers (the session pins the current snapshot).
 //! let mut session = engine.session(&AlgoSpec::new("fpa"))?;
 //! let result = session.search(&[0])?;
 //! assert!(result.community.contains(&0));
@@ -54,12 +64,17 @@
 //! assert_eq!(report.responses.len(), 2);
 //! assert!(report.responses.iter().all(|r| r.is_ok()));
 //! assert_eq!(report.responses[1].request.tag.as_deref(), Some("vip"));
+//!
+//! // A live update: lands in the store, served by the next snapshot.
+//! engine.insert_edge(2, 4);
+//! assert_eq!(engine.snapshot().version(), 1);
 //! # Ok::<(), dmcs_engine::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod output;
 pub mod registry;
@@ -67,53 +82,114 @@ pub mod request;
 pub mod session;
 
 pub use batch::{BatchReport, BatchRunner};
+pub use cache::ResponseCache;
 pub use error::EngineError;
 pub use registry::{AlgoParams, AlgoSpec};
 pub use request::{QueryRequest, QueryResponse};
 pub use session::Session;
 
-use dmcs_graph::Graph;
+use cache::DEFAULT_CACHE_CAPACITY;
+use dmcs_graph::{GraphStore, NodeId, Snapshot};
 use std::sync::Arc;
 
-/// A loaded dataset ready to serve queries: the shared graph plus the
-/// engine entry points. Clone-cheap (the graph is behind an [`Arc`]), so
-/// one instance can be handed to many serving tasks.
-#[derive(Clone)]
+/// A loaded dataset ready to serve queries *and* mutations: a shared
+/// [`GraphStore`], a shared version-keyed [`ResponseCache`], and the
+/// engine entry points. Clone-cheap (both are behind [`Arc`]s), so one
+/// instance can be handed to many serving tasks; mutators take `&self`.
+///
+/// Reads pin snapshots: a batch (or session) opened before an update
+/// keeps answering against the graph it started with, while the next
+/// [`Engine::snapshot`] call sees the new epoch. Cache entries carry the
+/// epoch in their key, so updates invalidate exactly the answers they
+/// could have changed — all of them, and only by version.
+#[derive(Debug, Clone)]
 pub struct Engine {
-    graph: Arc<Graph>,
+    store: Arc<GraphStore>,
+    cache: Arc<ResponseCache>,
 }
 
 impl Engine {
-    /// Wrap a shared graph.
-    pub fn new(graph: Arc<Graph>) -> Self {
-        Engine { graph }
+    /// Serve an existing store (pass a [`GraphStore`] to hand over
+    /// ownership, or an `Arc<GraphStore>` to share it with other
+    /// writers, e.g. a [`dmcs_core::dynamic::IncrementalSearch`]), with
+    /// a default-capacity result cache.
+    pub fn new(store: impl Into<Arc<GraphStore>>) -> Self {
+        Engine::with_cache_capacity(store, DEFAULT_CACHE_CAPACITY)
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// Like [`Engine::new`] with an explicit cache capacity (0 disables
+    /// caching).
+    pub fn with_cache_capacity(store: impl Into<Arc<GraphStore>>, capacity: usize) -> Self {
+        Engine {
+            store: store.into(),
+            cache: Arc::new(ResponseCache::new(capacity)),
+        }
     }
 
-    /// A clone of the shared handle.
-    pub fn graph_handle(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+    /// Build a store around a static graph and serve it.
+    pub fn from_graph(graph: dmcs_graph::Graph) -> Self {
+        Engine::new(GraphStore::from_graph(graph))
     }
 
-    /// Open a [`Session`] for `spec` over this engine's graph — the
-    /// entry point for repeated single queries.
-    pub fn session(&self, spec: &AlgoSpec) -> Result<Session<'_>, EngineError> {
-        Session::new(&self.graph, spec)
+    /// The underlying versioned store.
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// The shared result cache (for counter inspection).
+    pub fn cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    /// A snapshot of the current graph epoch (see
+    /// [`GraphStore::snapshot`]: lazy rebuild, then `Arc` clones).
+    pub fn snapshot(&self) -> Snapshot {
+        self.store.snapshot()
+    }
+
+    /// The store's current mutation counter.
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// Insert an edge into the live graph (see
+    /// [`GraphStore::insert_edge`]). In-flight snapshots are unaffected;
+    /// cached answers for the old epoch stop matching.
+    pub fn insert_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.store.insert_edge(u, v)
+    }
+
+    /// Remove an edge from the live graph (see
+    /// [`GraphStore::remove_edge`]).
+    pub fn remove_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.store.remove_edge(u, v)
+    }
+
+    /// Append a fresh isolated node to the live graph; returns its id.
+    pub fn add_node(&self) -> NodeId {
+        self.store.add_node()
+    }
+
+    /// Open a [`Session`] for `spec`, pinned to the **current** snapshot
+    /// and sharing the engine's result cache — the entry point for
+    /// repeated single queries. Re-open after updates to serve the new
+    /// epoch.
+    pub fn session(&self, spec: &AlgoSpec) -> Result<Session, EngineError> {
+        Ok(Session::new(self.snapshot(), spec)?.with_cache(Arc::clone(&self.cache)))
     }
 
     /// Resolve `spec` through the registry and run the whole batch on
-    /// `threads` workers (clamped to one worker per request).
+    /// `threads` workers (clamped to one worker per distinct request)
+    /// against the current snapshot, consulting the shared cache.
     pub fn run_batch(
         &self,
         spec: &AlgoSpec,
         requests: &[QueryRequest],
         threads: usize,
     ) -> Result<BatchReport, EngineError> {
-        BatchRunner::new(spec.clone(), threads)?.run(&self.graph, requests)
+        BatchRunner::new(spec.clone(), threads)?
+            .with_cache(Arc::clone(&self.cache))
+            .run(&self.snapshot(), requests)
     }
 }
 
@@ -122,10 +198,13 @@ mod tests {
     use super::*;
     use dmcs_graph::GraphBuilder;
 
+    fn triangle_engine() -> Engine {
+        Engine::from_graph(GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]))
+    }
+
     #[test]
     fn engine_round_trip() {
-        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
-        let engine = Engine::new(Arc::new(g));
+        let engine = triangle_engine();
         let report = engine
             .run_batch(&AlgoSpec::new("nca"), &[QueryRequest::new(vec![0])], 1)
             .unwrap();
@@ -134,16 +213,60 @@ mod tests {
             engine.run_batch(&AlgoSpec::new("nope"), &[], 1),
             Err(EngineError::UnknownAlgo { .. })
         ));
-        assert_eq!(engine.graph().n(), engine.graph_handle().n());
+        assert_eq!(engine.store().n(), engine.snapshot().n());
     }
 
     #[test]
     fn engine_sessions_serve_repeated_queries() {
-        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
-        let engine = Engine::new(Arc::new(g));
+        let engine = triangle_engine();
         let mut session = engine.session(&AlgoSpec::new("fpa")).unwrap();
         for q in 0..3u32 {
             assert!(session.search(&[q]).unwrap().community.contains(&q));
         }
+    }
+
+    #[test]
+    fn engine_serves_updates_through_fresh_snapshots() {
+        let engine = triangle_engine();
+        let pinned = engine.snapshot();
+        let v = engine.add_node();
+        assert!(engine.insert_edge(2, v));
+        assert_eq!(pinned.n(), 3, "pinned snapshot ignores the update");
+        let fresh = engine.snapshot();
+        assert_eq!(fresh.n(), 4);
+        assert_eq!(fresh.version(), 2);
+        assert_eq!(engine.version(), 2);
+        assert!(!engine.insert_edge(2, v), "duplicate rejected");
+    }
+
+    #[test]
+    fn engine_batches_hit_the_shared_cache_until_an_update() {
+        let engine = triangle_engine();
+        let reqs = [QueryRequest::new(vec![0])];
+        let spec = AlgoSpec::new("fpa");
+        let first = engine.run_batch(&spec, &reqs, 1).unwrap();
+        assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+        let second = engine.run_batch(&spec, &reqs, 1).unwrap();
+        assert_eq!((second.cache_hits, second.cache_misses), (1, 0));
+        assert_eq!(second.responses[0].seconds, first.responses[0].seconds);
+
+        // An update moves the version: the same query recomputes.
+        engine.remove_edge(0, 1);
+        let third = engine.run_batch(&spec, &reqs, 1).unwrap();
+        assert_eq!((third.cache_hits, third.cache_misses), (0, 1));
+        assert_eq!(engine.cache().hits(), 1);
+        assert_eq!(engine.cache().misses(), 2);
+    }
+
+    #[test]
+    fn shared_store_between_engines() {
+        let store = Arc::new(GraphStore::from_graph(GraphBuilder::from_edges(
+            3,
+            &[(0, 1), (1, 2)],
+        )));
+        let a = Engine::new(Arc::clone(&store));
+        let b = Engine::new(Arc::clone(&store));
+        a.insert_edge(0, 2);
+        assert_eq!(b.snapshot().m(), 3, "writers share the store");
     }
 }

@@ -21,8 +21,17 @@
 //!
 //! ```json
 //! {"type":"summary","algo":"FPA","queries":3,"ok":2,"wall_seconds":0.004,
-//!  "queries_per_sec":750.0,"p50_seconds":0.001,"p95_seconds":0.002}
+//!  "queries_per_sec":750.0,"p50_seconds":0.001,"p95_seconds":0.002,
+//!  "unique":3,"cache_hits":0,"cache_misses":3}
 //! ```
+//!
+//! `unique` counts the distinct work items the batch actually dispatched
+//! (in-batch dedup answers the rest by fan-out); `cache_hits` /
+//! `cache_misses` count executed queries served from / missing the
+//! engine's version-keyed result cache (both 0 when no cache was
+//! attached). Responses served from the cache are **byte-identical** to
+//! the response that populated the entry — there is deliberately no
+//! per-response cached marker.
 //!
 //! Node ids in `query` and `community` are in the *original* (input
 //! file) id space when a mapping is supplied, dense ids otherwise.
@@ -497,6 +506,18 @@ pub fn summary_json(algo: &str, report: &BatchReport) -> Json {
         ),
         ("p50_seconds".to_string(), Json::Num(report.p50_seconds)),
         ("p95_seconds".to_string(), Json::Num(report.p95_seconds)),
+        (
+            "unique".to_string(),
+            Json::UInt(report.unique_queries as u64),
+        ),
+        (
+            "cache_hits".to_string(),
+            Json::UInt(report.cache_hits as u64),
+        ),
+        (
+            "cache_misses".to_string(),
+            Json::UInt(report.cache_misses as u64),
+        ),
     ])
 }
 

@@ -95,8 +95,16 @@ pub struct QueryResponse {
     /// The search result, or the per-query error. A failed query never
     /// aborts a batch.
     pub result: Result<SearchResult, SearchError>,
-    /// Wall-clock seconds of this query alone.
+    /// Wall-clock seconds of this query alone. A response served from
+    /// the version-keyed cache replays the *original* computation's
+    /// timing, so repeated output stays byte-identical.
     pub seconds: f64,
+    /// Whether this response was served from the engine's version-keyed
+    /// result cache rather than computed. Not part of the JSON `response`
+    /// schema (hits must render byte-identically to the miss that
+    /// populated them); batch-level hit/miss counts are surfaced in
+    /// [`BatchReport`](crate::BatchReport) and the JSON `summary` line.
+    pub cached: bool,
 }
 
 impl QueryResponse {
@@ -152,6 +160,7 @@ mod tests {
                 iterations: 1,
             }),
             seconds: 0.001,
+            cached: false,
         };
         assert_eq!(ok.community_size(), Some(3));
         assert_eq!(ok.dm_score(), Some(0.5));

@@ -1,31 +1,41 @@
-//! Sessions: a resolved algorithm plus a persistent
-//! [`QueryWorkspace`], so *repeated single queries* get the same
-//! buffer-reuse speedup that batches get from their per-worker
-//! workspaces.
+//! Sessions: a pinned graph [`Snapshot`], a resolved algorithm, a
+//! persistent [`QueryWorkspace`], and (optionally) a handle on the
+//! engine's shared version-keyed result cache.
 //!
-//! A serving task holds one [`Session`] per (dataset, algorithm) pair
+//! A serving task holds one [`Session`] per (snapshot, algorithm) pair
 //! and feeds it requests one at a time; the `O(n)` alive-mask / degree /
 //! distance allocations are paid once per session, not once per query.
 //! [`BatchRunner`](crate::BatchRunner) workers are thin wrappers over
-//! exactly this type — one session per worker thread.
+//! exactly this type — one session per worker thread, all pinning the
+//! same snapshot.
+//!
+//! **Pinning:** the session answers every query against the snapshot it
+//! was opened with, even while updates land in the owning
+//! [`GraphStore`](dmcs_graph::GraphStore). Long-lived callers that want
+//! to see updates re-open their session (cheap — the store hands out
+//! `Arc` clones between mutations) when
+//! [`Snapshot::version`](dmcs_graph::Snapshot::version) falls behind the
+//! store; the CLI's `--updates` loop does exactly that.
 
+use crate::cache::{CacheKey, CachedAnswer, ResponseCache};
 use crate::error::EngineError;
 use crate::registry::AlgoSpec;
 use crate::request::{QueryRequest, QueryResponse};
 use dmcs_core::{CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::view::QueryWorkspace;
-use dmcs_graph::{Graph, NodeId};
+use dmcs_graph::{NodeId, Snapshot};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// A live query session: one graph, one resolved algorithm, one
-/// recyclable workspace.
+/// A live query session: one pinned snapshot, one resolved algorithm,
+/// one recyclable workspace, and an optional shared result cache.
 ///
 /// ```
 /// use dmcs_engine::{AlgoSpec, QueryRequest, Session};
-/// use dmcs_graph::GraphBuilder;
+/// use dmcs_graph::{GraphBuilder, Snapshot};
 ///
 /// let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
-/// let mut session = Session::new(&g, &AlgoSpec::new("fpa"))?;
+/// let mut session = Session::new(Snapshot::freeze(g), &AlgoSpec::new("fpa"))?;
 ///
 /// // Hot path: repeated single queries reuse the session's workspace.
 /// for q in [0u32, 5, 3] {
@@ -40,35 +50,50 @@ use std::time::Instant;
 /// assert_eq!(response.request.tag.as_deref(), Some("demo"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Session<'g> {
-    graph: &'g Graph,
+pub struct Session {
+    snapshot: Snapshot,
+    spec: AlgoSpec,
     algo: Box<dyn CommunitySearch>,
     ws: QueryWorkspace,
+    cache: Option<Arc<ResponseCache>>,
 }
 
-impl std::fmt::Debug for Session<'_> {
+impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("algo", &self.algo.name())
-            .field("graph_nodes", &self.graph.n())
+            .field("graph_nodes", &self.snapshot.n())
+            .field("graph_version", &self.snapshot.version())
+            .field("cache", &self.cache.is_some())
             .finish_non_exhaustive()
     }
 }
 
-impl<'g> Session<'g> {
-    /// Resolve `spec` through the registry and open a session over
-    /// `graph`.
-    pub fn new(graph: &'g Graph, spec: &AlgoSpec) -> Result<Self, EngineError> {
+impl Session {
+    /// Resolve `spec` through the registry and open a session pinned to
+    /// `snapshot`.
+    pub fn new(snapshot: Snapshot, spec: &AlgoSpec) -> Result<Self, EngineError> {
         Ok(Session {
-            graph,
+            snapshot,
+            spec: spec.clone(),
             algo: spec.build()?,
             ws: QueryWorkspace::new(),
+            cache: None,
         })
     }
 
-    /// The graph this session serves.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// Attach a shared result cache. Subsequent [`Session::query`] calls
+    /// consult it before searching and populate it after; the cache key
+    /// carries the pinned snapshot's store id and version, so entries
+    /// never cross graph epochs (or stores).
+    pub fn with_cache(mut self, cache: Arc<ResponseCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The snapshot this session is pinned to.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
     }
 
     /// Display name of the session's algorithm.
@@ -76,54 +101,102 @@ impl<'g> Session<'g> {
         self.algo.name()
     }
 
-    /// Run one query through the session's algorithm and workspace —
-    /// the hot path for repeated single queries.
+    /// Run one query through the session's algorithm and workspace — the
+    /// raw hot path for repeated single queries. Always computes (the
+    /// result cache is consulted only by the typed [`Session::query`]
+    /// path).
     pub fn search(&mut self, nodes: &[NodeId]) -> Result<SearchResult, SearchError> {
         self.algo
-            .search_with_workspace(self.graph, nodes, &mut self.ws)
+            .search_with_workspace(self.snapshot.graph(), nodes, &mut self.ws)
     }
 
-    /// Answer one typed request: apply the request's algorithm override
-    /// (if any), time the search, and enforce the community-size cap.
+    /// Answer one typed request: consult the result cache (when
+    /// attached), apply the request's algorithm override (if any), time
+    /// the search, and enforce the community-size cap.
     ///
     /// Per-query *search* failures land inside the returned
     /// [`QueryResponse`]; only request-level failures (an unknown
-    /// override algorithm) are an `Err`.
+    /// override algorithm) are an `Err`. A cache hit replays the
+    /// original computation — algorithm name, outcome **and** timing —
+    /// so repeated output is byte-identical; the size cap is applied
+    /// after retrieval, so one cached search serves any cap.
     pub fn query(&mut self, req: &QueryRequest) -> Result<QueryResponse, EngineError> {
         let override_algo = req.algo.as_ref().map(|spec| spec.build()).transpose()?;
-        let algo = override_algo.as_deref().unwrap_or(self.algo.as_ref());
-        let start = Instant::now();
-        let mut result = algo.search_with_workspace(self.graph, &req.nodes, &mut self.ws);
-        if let (Ok(r), Some(cap)) = (&result, req.max_community_size) {
-            if r.community.len() > cap {
-                result = Err(SearchError::CommunityTooLarge {
-                    size: r.community.len(),
-                    cap,
-                });
+        let (algo, spec) = match (&override_algo, &req.algo) {
+            (Some(boxed), Some(spec)) => (boxed.as_ref(), spec),
+            _ => (self.algo.as_ref(), &self.spec),
+        };
+
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| CacheKey::new(spec, &req.nodes, &self.snapshot));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                return Ok(respond(req, hit.algo, hit.result, hit.seconds, true));
             }
         }
-        Ok(QueryResponse {
-            request: req.clone(),
-            algo: algo.name(),
-            result,
-            seconds: start.elapsed().as_secs_f64(),
-        })
+
+        let start = Instant::now();
+        let result = algo.search_with_workspace(self.snapshot.graph(), &req.nodes, &mut self.ws);
+        let seconds = start.elapsed().as_secs_f64();
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(
+                key,
+                CachedAnswer {
+                    algo: algo.name(),
+                    result: result.clone(),
+                    seconds,
+                },
+            );
+        }
+        Ok(respond(req, algo.name(), result, seconds, false))
+    }
+}
+
+/// Shape a raw search outcome into the response for `req`: apply the
+/// community-size cap and echo the request back.
+fn respond(
+    req: &QueryRequest,
+    algo: &'static str,
+    mut result: Result<SearchResult, SearchError>,
+    seconds: f64,
+    cached: bool,
+) -> QueryResponse {
+    if let (Ok(r), Some(cap)) = (&result, req.max_community_size) {
+        if r.community.len() > cap {
+            result = Err(SearchError::CommunityTooLarge {
+                size: r.community.len(),
+                cap,
+            });
+        }
+    }
+    QueryResponse {
+        request: req.clone(),
+        algo,
+        result,
+        seconds,
+        cached,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmcs_graph::GraphBuilder;
+    use dmcs_graph::{Graph, GraphBuilder};
 
     fn barbell() -> Graph {
         GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
+    fn session(algo: &str) -> Session {
+        Session::new(Snapshot::freeze(barbell()), &AlgoSpec::new(algo)).unwrap()
+    }
+
     #[test]
     fn session_matches_one_shot_search() {
         let g = barbell();
-        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let mut session = session("fpa");
         let one_shot = AlgoSpec::new("fpa").build().unwrap();
         for q in 0..6u32 {
             assert_eq!(
@@ -136,22 +209,21 @@ mod tests {
 
     #[test]
     fn unknown_session_algo_is_typed() {
-        let g = barbell();
-        let err = Session::new(&g, &AlgoSpec::new("zeus")).unwrap_err();
+        let err = Session::new(Snapshot::freeze(barbell()), &AlgoSpec::new("zeus")).unwrap_err();
         assert!(matches!(err, EngineError::UnknownAlgo { .. }));
         assert_eq!(err.exit_code(), 3);
     }
 
     #[test]
     fn request_override_and_tag_flow_through() {
-        let g = barbell();
-        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let mut session = session("fpa");
         let resp = session
             .query(&QueryRequest::new(vec![0]).with_tag("t-1"))
             .unwrap();
         assert_eq!(resp.algo, "FPA");
         assert_eq!(resp.request.tag.as_deref(), Some("t-1"));
         assert!(resp.seconds >= 0.0);
+        assert!(!resp.cached, "no cache attached");
 
         let resp = session
             .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")))
@@ -166,8 +238,7 @@ mod tests {
 
     #[test]
     fn size_cap_converts_to_a_search_error() {
-        let g = barbell();
-        let mut session = Session::new(&g, &AlgoSpec::new("fpa")).unwrap();
+        let mut session = session("fpa");
         let uncapped = session.query(&QueryRequest::new(vec![0])).unwrap();
         let size = uncapped.community_size().unwrap();
         assert!(size >= 2, "barbell community is nontrivial");
@@ -192,9 +263,68 @@ mod tests {
     #[test]
     fn per_query_search_errors_stay_in_the_response() {
         let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
-        let mut session = Session::new(&split, &AlgoSpec::new("fpa")).unwrap();
+        let mut session = Session::new(Snapshot::freeze(split), &AlgoSpec::new("fpa")).unwrap();
         let resp = session.query(&QueryRequest::new(vec![0, 3])).unwrap();
         assert!(!resp.is_ok());
         assert_eq!(resp.community_size(), None);
+    }
+
+    #[test]
+    fn cache_hit_replays_the_original_response() {
+        let cache = Arc::new(ResponseCache::new(16));
+        let mut session = session("fpa").with_cache(Arc::clone(&cache));
+        let miss = session.query(&QueryRequest::new(vec![0])).unwrap();
+        assert!(!miss.cached);
+        let hit = session.query(&QueryRequest::new(vec![0])).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.result, miss.result);
+        assert_eq!(hit.seconds, miss.seconds, "original timing replayed");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Node order does not defeat the cache (queries are sets) ...
+        let mut multi = session.query(&QueryRequest::new(vec![0, 2])).unwrap();
+        assert!(!multi.cached);
+        multi = session.query(&QueryRequest::new(vec![2, 0])).unwrap();
+        assert!(multi.cached);
+
+        // ... and caps are applied after retrieval.
+        let capped = session
+            .query(&QueryRequest::new(vec![0]).with_max_community_size(1))
+            .unwrap();
+        assert!(capped.cached, "cap variants share the cached search");
+        assert!(matches!(
+            capped.result,
+            Err(SearchError::CommunityTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_errors_are_replayed_too() {
+        let split = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let cache = Arc::new(ResponseCache::new(16));
+        let mut session = Session::new(Snapshot::freeze(split), &AlgoSpec::new("fpa"))
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let miss = session.query(&QueryRequest::new(vec![0, 3])).unwrap();
+        assert!(!miss.is_ok() && !miss.cached);
+        let hit = session.query(&QueryRequest::new(vec![0, 3])).unwrap();
+        assert!(hit.cached, "deterministic failures are cacheable");
+        assert_eq!(hit.result, miss.result);
+    }
+
+    #[test]
+    fn override_requests_use_their_own_cache_slot() {
+        let cache = Arc::new(ResponseCache::new(16));
+        let mut session = session("fpa").with_cache(Arc::clone(&cache));
+        session.query(&QueryRequest::new(vec![0])).unwrap();
+        let other = session
+            .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")))
+            .unwrap();
+        assert!(!other.cached, "different algorithm, different key");
+        let again = session
+            .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("nca")))
+            .unwrap();
+        assert!(again.cached);
+        assert_eq!(again.algo, "NCA");
     }
 }

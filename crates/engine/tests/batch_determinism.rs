@@ -8,21 +8,22 @@
 use dmcs_engine::registry::{self, AlgoSpec};
 use dmcs_engine::{BatchRunner, QueryRequest};
 use dmcs_gen::{lfr, sbm};
-use dmcs_graph::{Graph, NodeId};
+use dmcs_graph::{Graph, NodeId, Snapshot};
 use proptest::prelude::*;
 
 /// Compare a multi-threaded batch against the single-threaded reference
 /// for one algorithm, on every thread count worth distinguishing.
 fn assert_batch_deterministic(spec: &AlgoSpec, g: &Graph, queries: &[Vec<NodeId>]) {
+    let snap = Snapshot::freeze(g.clone());
     let requests = QueryRequest::from_node_lists(queries);
     let reference = BatchRunner::new(spec.clone(), 1)
         .expect("registered algorithm")
-        .run(g, &requests)
+        .run(&snap, &requests)
         .expect("no overrides to fail");
     for threads in [2usize, 4] {
         let parallel = BatchRunner::new(spec.clone(), threads)
             .expect("registered algorithm")
-            .run(g, &requests)
+            .run(&snap, &requests)
             .expect("no overrides to fail");
         assert_eq!(reference.responses.len(), parallel.responses.len());
         for (i, (s, p)) in reference

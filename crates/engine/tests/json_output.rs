@@ -28,6 +28,7 @@ fn fixed_report() -> BatchReport {
             algo: "FPA",
             result: ok_result(vec![0, 1, 2], 0.5, 3),
             seconds: 0.015625,
+            cached: false,
         },
         QueryResponse {
             request: QueryRequest::new(vec![5, 3])
@@ -36,12 +37,14 @@ fn fixed_report() -> BatchReport {
             algo: "NCA",
             result: ok_result(vec![3, 4, 5], 0.25, 1),
             seconds: 0.5,
+            cached: true, // cached responses render identically
         },
         QueryResponse {
             request: QueryRequest::new(vec![0, 3]),
             algo: "FPA",
             result: Err(SearchError::Graph(GraphError::QueryDisconnected)),
             seconds: 0.125,
+            cached: false,
         },
     ];
     BatchReport {
@@ -50,6 +53,9 @@ fn fixed_report() -> BatchReport {
         queries_per_sec: 4.0,
         p50_seconds: 0.125,
         p95_seconds: 0.5,
+        unique_queries: 3,
+        cache_hits: 1,
+        cache_misses: 2,
     }
 }
 

@@ -6,7 +6,7 @@
 use dmcs_engine::output::{report_jsonl, Json};
 use dmcs_engine::{AlgoSpec, BatchRunner, QueryRequest};
 use dmcs_gen::sbm;
-use dmcs_graph::NodeId;
+use dmcs_graph::{NodeId, Snapshot};
 use proptest::prelude::*;
 
 proptest! {
@@ -31,7 +31,7 @@ proptest! {
 
         let report = BatchRunner::new(AlgoSpec::new("fpa"), threads)
             .expect("registered")
-            .run(&g, &requests)
+            .run(&Snapshot::freeze(g), &requests)
             .expect("overrides resolve");
         let rendered = report_jsonl("FPA", &report, Some(&original));
 

@@ -1,0 +1,167 @@
+//! The serving contracts of the versioned store, end to end:
+//!
+//! 1. a batch pins its snapshot — updates landing mid-stream never
+//!    change its answers (bit-identical to a pre-update run);
+//! 2. the result cache invalidates by version — a repeated query after
+//!    *any* update recomputes, while a repeat with no intervening update
+//!    is a hit with byte-identical JSON;
+//! 3. in-batch dedup plus the shared cache compose across batches.
+
+use dmcs_engine::output::{report_jsonl, response_json};
+use dmcs_engine::{AlgoSpec, BatchRunner, Engine, QueryRequest};
+use dmcs_gen::sbm;
+use dmcs_graph::{GraphStore, NodeId, Snapshot};
+
+fn planted_store() -> GraphStore {
+    // 4 planted blocks of 24 nodes: answers are nontrivial communities.
+    let (g, _) = sbm::planted_partition(&[24usize; 4], 0.5, 0.02, 11);
+    GraphStore::from_graph(g)
+}
+
+fn requests() -> Vec<QueryRequest> {
+    QueryRequest::from_node_lists(
+        &(0..96u32)
+            .step_by(8)
+            .map(|v| vec![v])
+            .collect::<Vec<Vec<NodeId>>>(),
+    )
+}
+
+#[test]
+fn a_batch_started_before_an_update_runs_on_its_pinned_snapshot() {
+    let store = planted_store();
+    let runner = BatchRunner::new(AlgoSpec::new("fpa"), 2).unwrap();
+    let reqs = requests();
+
+    // Reference run, no updates anywhere.
+    let pinned: Snapshot = store.snapshot();
+    let before = runner.run(&pinned, &reqs).unwrap();
+
+    // Land a burst of updates in the store *between* pinning and
+    // running — the snapshot must not see them.
+    assert!(store.insert_edge(0, 95));
+    assert!(store.insert_edge(1, 94));
+    assert!(store.remove_edge(0, 95));
+    let again = runner.run(&pinned, &reqs).unwrap();
+    assert_eq!(before.responses.len(), again.responses.len());
+    for (a, b) in before.responses.iter().zip(&again.responses) {
+        assert_eq!(a.result, b.result, "pinned batch ignores updates");
+    }
+    // Byte-for-byte: the rendered JSON (minus per-run timings, which the
+    // fixed responses carry along) is identical.
+    let render = |r| report_jsonl("FPA", r, None);
+    let strip_summary = |s: String| {
+        s.lines()
+            .filter(|l| l.contains("\"response\""))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    // Timings differ per run; compare everything except "seconds".
+    let scrub = |lines: Vec<String>| -> Vec<String> {
+        lines
+            .into_iter()
+            .map(|l| {
+                let mut v = dmcs_engine::output::Json::parse(&l).unwrap();
+                if let dmcs_engine::output::Json::Obj(members) = &mut v {
+                    members.retain(|(k, _)| k != "seconds");
+                }
+                v.render()
+            })
+            .collect()
+    };
+    assert_eq!(
+        scrub(strip_summary(render(&before))),
+        scrub(strip_summary(render(&again)))
+    );
+
+    // A fresh snapshot *does* see the net update.
+    let fresh = store.snapshot();
+    assert_eq!(fresh.version(), 3);
+    assert!(fresh.has_edge(1, 94));
+    assert!(!fresh.has_edge(0, 95));
+}
+
+#[test]
+fn repeated_query_is_a_byte_identical_hit_until_any_update() {
+    let engine = Engine::new(planted_store());
+    let spec = AlgoSpec::new("fpa");
+    let req = [QueryRequest::new(vec![3])];
+
+    let first = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+
+    // Repeat with no intervening update: a hit, and the response line
+    // (including the replayed timing) renders byte-identically.
+    let second = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!((second.cache_hits, second.cache_misses), (1, 0));
+    assert_eq!(
+        response_json(&first.responses[0], None).render(),
+        response_json(&second.responses[0], None).render(),
+        "cache hit must be byte-identical JSON"
+    );
+
+    // An unrelated-looking update (an edge across the far blocks — the
+    // cache must not guess locality) invalidates by version.
+    assert!(engine.insert_edge(70, 95));
+    let third = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!(
+        (third.cache_hits, third.cache_misses),
+        (0, 1),
+        "any update recomputes: DM depends on the global edge count"
+    );
+
+    // And the recomputation is an honest answer for the new graph.
+    let direct = Engine::new(GraphStore::from_graph(engine.snapshot().graph().clone()));
+    let check = direct.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!(third.responses[0].result, check.responses[0].result);
+}
+
+#[test]
+fn dedup_and_cache_compose_across_batches() {
+    let engine = Engine::new(planted_store());
+    let spec = AlgoSpec::new("fpa");
+    // 9 requests, 3 distinct.
+    let reqs: Vec<QueryRequest> = (0..9u32).map(|i| QueryRequest::new(vec![i % 3])).collect();
+    let first = engine.run_batch(&spec, &reqs, 4).unwrap();
+    assert_eq!(first.unique_queries, 3);
+    assert_eq!((first.cache_hits, first.cache_misses), (0, 3));
+    assert_eq!(first.responses.len(), 9);
+
+    let second = engine.run_batch(&spec, &reqs, 4).unwrap();
+    assert_eq!(second.unique_queries, 3);
+    assert_eq!(
+        (second.cache_hits, second.cache_misses),
+        (3, 0),
+        "second batch is served entirely from the cache"
+    );
+    for (a, b) in first.responses.iter().zip(&second.responses) {
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.seconds, b.seconds, "hits replay original timings");
+    }
+    assert_eq!(engine.cache().hits(), 3);
+    assert_eq!(engine.cache().misses(), 3);
+}
+
+#[test]
+fn sessions_pin_and_reopen_across_epochs() {
+    let engine = Engine::new(planted_store());
+    let spec = AlgoSpec::new("fpa");
+    let mut old = engine.session(&spec).unwrap();
+    let before = old.query(&QueryRequest::new(vec![0])).unwrap();
+
+    engine.insert_edge(0, 95);
+    // The old session still answers for its pinned epoch — same bytes.
+    let replay = old.query(&QueryRequest::new(vec![0])).unwrap();
+    assert!(replay.cached, "old epoch still cached");
+    assert_eq!(
+        response_json(&before, None).render(),
+        response_json(&replay, None).render()
+    );
+
+    // A re-opened session serves the new epoch.
+    let mut fresh = engine.session(&spec).unwrap();
+    assert_eq!(fresh.snapshot().version(), 1);
+    let after = fresh.query(&QueryRequest::new(vec![0])).unwrap();
+    assert!(!after.cached, "new epoch, new computation");
+    assert!(after.result.as_ref().unwrap().community.contains(&0));
+}

@@ -52,12 +52,14 @@ pub mod mincut;
 pub mod pagerank;
 pub mod stats;
 pub mod steiner;
+pub mod store;
 pub mod traversal;
 pub mod truss;
 pub mod view;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
+pub use store::{GraphStore, Snapshot};
 pub use view::SubgraphView;
 
 /// Node identifier. `u32` keeps adjacency arrays half the size of `usize`

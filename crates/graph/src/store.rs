@@ -1,0 +1,408 @@
+//! The versioned graph store: one mutable [`DynamicGraph`] of record
+//! plus epoch-versioned, immutable CSR [`Snapshot`]s for the search
+//! algorithms.
+//!
+//! The serving problem this solves: community search is rarely one-shot
+//! — the network gains edges while queries keep arriving. Peeling
+//! algorithms need the immutable CSR [`Graph`], mutations need the
+//! adjacency-vector [`DynamicGraph`]; [`GraphStore`] owns both and keeps
+//! them consistent:
+//!
+//! ```text
+//!            writes                         reads
+//!   insert_edge / remove_edge        snapshot() ── Snapshot (pinned)
+//!            │                               │
+//!            ▼                               ▼
+//!      DynamicGraph ──(lazy rebuild on ──▶ Arc<Graph> @ version v
+//!      version v       first read after
+//!                      a mutation)
+//! ```
+//!
+//! - **Mutations** land in the `DynamicGraph` and bump its monotonic
+//!   [`version`](DynamicGraph::version); the cached CSR is *not* rebuilt
+//!   eagerly, so a burst of updates costs `O(deg)` each, not
+//!   `O(|V| + |E|)` each.
+//! - **Reads** call [`GraphStore::snapshot`], which rebuilds the CSR at
+//!   most once per version (on the first read after a mutation) and
+//!   hands out cheap [`Snapshot`] clones after that.
+//! - A [`Snapshot`] **pins** its epoch: an in-flight batch keeps the
+//!   graph it started with while later updates land in the store, so
+//!   concurrent serve-and-mutate never tears a query. The carried
+//!   [`Snapshot::version`] is what version-keyed result caches key on.
+
+use crate::dynamic::DynamicGraph;
+use crate::{Graph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Process-unique store ids: versions only order mutations *within* one
+/// store, so caches keyed by version alone could confuse two different
+/// graphs at the same version. Every [`GraphStore`] (and every
+/// standalone [`Snapshot::freeze`]) draws a fresh id; the id travels on
+/// each [`Snapshot`] for cache keys to include.
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn next_store_id() -> u64 {
+    NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An immutable view of the graph at one store epoch: a shared CSR
+/// [`Graph`] plus the store version it was built from. Clones share the
+/// underlying graph (an [`Arc`]), so pinning a snapshot per worker or
+/// per batch is free.
+///
+/// Dereferences to [`Graph`], so a `&Snapshot` goes anywhere a `&Graph`
+/// does:
+///
+/// ```
+/// use dmcs_graph::{GraphBuilder, Snapshot};
+///
+/// let snap = Snapshot::freeze(GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]));
+/// assert_eq!(snap.version(), 0);
+/// assert_eq!(snap.n(), 3); // Deref to Graph
+/// ```
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    graph: Arc<Graph>,
+    store_id: u64,
+    version: u64,
+}
+
+impl Snapshot {
+    /// Freeze a standalone graph as a version-0 snapshot — the bridge
+    /// for static workloads (benchmark line-ups, examples) that have a
+    /// [`Graph`] and no store.
+    pub fn freeze(graph: Graph) -> Snapshot {
+        Snapshot {
+            graph: Arc::new(graph),
+            store_id: next_store_id(),
+            version: 0,
+        }
+    }
+
+    /// The CSR graph this snapshot pins.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The store version this snapshot was built from. Version-keyed
+    /// caches use this (together with [`Snapshot::store_id`]) as the
+    /// staleness discriminator.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Process-unique id of the store (or `freeze` call) this snapshot
+    /// came from. Cache keys include it so snapshots of *different*
+    /// graphs that happen to share a version can never collide.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Whether two snapshots share the same underlying graph allocation
+    /// (i.e. one is a clone of the other, not a rebuild).
+    pub fn shares_graph(&self, other: &Snapshot) -> bool {
+        Arc::ptr_eq(&self.graph, &other.graph)
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl AsRef<Graph> for Snapshot {
+    fn as_ref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+struct Inner {
+    dynamic: DynamicGraph,
+    /// CSR rebuilt lazily: valid iff `cached.version == dynamic.version()`.
+    cached: Option<Snapshot>,
+}
+
+// The id lives outside `Inner` so reads need not take the lock for it.
+
+/// The engine's storage layer: a mutable [`DynamicGraph`] of record and
+/// a lazily rebuilt, epoch-versioned CSR snapshot, safe to share across
+/// serving threads (`&self` mutators; interior `RwLock`).
+///
+/// ```
+/// use dmcs_graph::{GraphBuilder, GraphStore};
+///
+/// let store = GraphStore::from_graph(GraphBuilder::from_edges(4, &[(0, 1), (1, 2)]));
+/// let pinned = store.snapshot(); // version 0
+///
+/// store.insert_edge(2, 3); // lands in the DynamicGraph only
+/// assert_eq!(pinned.m(), 2, "pinned snapshot is immutable");
+///
+/// let fresh = store.snapshot(); // first read after the mutation: rebuild
+/// assert_eq!(fresh.m(), 3);
+/// assert_eq!(fresh.version(), 1);
+/// assert_eq!(store.snapshot().version(), 1, "no mutation, no rebuild");
+/// ```
+pub struct GraphStore {
+    id: u64,
+    inner: RwLock<Inner>,
+}
+
+impl GraphStore {
+    /// An empty store on `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        GraphStore::from_dynamic(DynamicGraph::new(n))
+    }
+
+    /// Adopt a mutable graph as the store's graph of record.
+    pub fn from_dynamic(dynamic: DynamicGraph) -> Self {
+        GraphStore {
+            id: next_store_id(),
+            inner: RwLock::new(Inner {
+                dynamic,
+                cached: None,
+            }),
+        }
+    }
+
+    /// Seed the store from an immutable graph. The given CSR is adopted
+    /// as the cached snapshot for the store's initial version, so reads
+    /// before the first mutation cost nothing.
+    pub fn from_graph(graph: Graph) -> Self {
+        let dynamic = DynamicGraph::from_graph(&graph);
+        let version = dynamic.version();
+        let id = next_store_id();
+        GraphStore {
+            id,
+            inner: RwLock::new(Inner {
+                dynamic,
+                cached: Some(Snapshot {
+                    graph: Arc::new(graph),
+                    store_id: id,
+                    version,
+                }),
+            }),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("graph store lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("graph store lock poisoned")
+    }
+
+    /// Process-unique identity of this store (carried by its snapshots;
+    /// see [`Snapshot::store_id`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The store's mutation counter (monotonically nondecreasing; bumped
+    /// by every effective mutation, exactly as
+    /// [`DynamicGraph::version`]).
+    pub fn version(&self) -> u64 {
+        self.read().dynamic.version()
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.read().dynamic.n()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.read().dynamic.m()
+    }
+
+    /// Edge test on the *live* graph (`O(log deg)`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.read().dynamic.has_edge(u, v)
+    }
+
+    /// Insert the undirected edge `{u, v}` into the live graph. Returns
+    /// `false` (and changes nothing, including the version) for
+    /// self-loops, out-of-range endpoints, or existing edges. Existing
+    /// snapshots are unaffected; the next [`snapshot`](Self::snapshot)
+    /// call rebuilds.
+    pub fn insert_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.write().dynamic.insert_edge(u, v)
+    }
+
+    /// Remove the undirected edge `{u, v}` from the live graph. Returns
+    /// `false` when absent.
+    pub fn remove_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.write().dynamic.remove_edge(u, v)
+    }
+
+    /// Append a fresh isolated node to the live graph; returns its id.
+    pub fn add_node(&self) -> NodeId {
+        self.write().dynamic.add_node()
+    }
+
+    /// A snapshot of the current epoch. Rebuilds the CSR at most once
+    /// per version — the first read after a mutation pays
+    /// `O(|V| + |E|)`, every other call is an `Arc` clone.
+    pub fn snapshot(&self) -> Snapshot {
+        {
+            let inner = self.read();
+            let version = inner.dynamic.version();
+            if let Some(s) = &inner.cached {
+                if s.version == version {
+                    return s.clone();
+                }
+            }
+        }
+        let mut inner = self.write();
+        let version = inner.dynamic.version();
+        // Double-checked: another writer may have rebuilt between locks.
+        if let Some(s) = &inner.cached {
+            if s.version == version {
+                return s.clone();
+            }
+        }
+        let snap = Snapshot {
+            graph: Arc::new(inner.dynamic.snapshot()),
+            store_id: self.id,
+            version,
+        };
+        inner.cached = Some(snap.clone());
+        snap
+    }
+
+    /// Run `f` against the live [`DynamicGraph`] under the read lock —
+    /// for read-only inspections that have no dedicated accessor.
+    pub fn with_dynamic<R>(&self, f: impl FnOnce(&DynamicGraph) -> R) -> R {
+        f(&self.read().dynamic)
+    }
+
+    /// Nodes within `radius` hops of any node in `seeds` on the *live*
+    /// graph (see [`DynamicGraph::ball`]) — the locality set used by
+    /// localized re-search after an update.
+    pub fn ball(&self, seeds: &[NodeId], radius: u32) -> Vec<NodeId> {
+        self.read().dynamic.ball(seeds, radius)
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.read();
+        f.debug_struct("GraphStore")
+            .field("n", &inner.dynamic.n())
+            .field("m", &inner.dynamic.m())
+            .field("version", &inner.dynamic.version())
+            .field("snapshot_cached", &inner.cached.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn barbell() -> Graph {
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn from_graph_serves_the_seed_without_a_rebuild() {
+        let store = GraphStore::from_graph(barbell());
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert_eq!(a.version(), 0);
+        assert!(a.shares_graph(&b), "no mutation: same Arc, no rebuild");
+        assert_eq!(a.n(), 6);
+        assert_eq!(a.m(), 7);
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let store = GraphStore::from_graph(barbell());
+        let pinned = store.snapshot();
+        assert!(store.insert_edge(0, 3));
+        assert!(store.remove_edge(2, 3));
+        assert_eq!(pinned.m(), 7, "pinned snapshot never changes");
+        assert_eq!(pinned.version(), 0);
+
+        let fresh = store.snapshot();
+        assert_eq!(fresh.version(), 2);
+        assert_eq!(fresh.m(), 7 + 1 - 1);
+        assert!(fresh.has_edge(0, 3));
+        assert!(!fresh.has_edge(2, 3));
+        assert!(!pinned.shares_graph(&fresh));
+    }
+
+    #[test]
+    fn rebuild_happens_once_per_version() {
+        let store = GraphStore::from_graph(barbell());
+        store.insert_edge(1, 4);
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert!(a.shares_graph(&b), "second read reuses the rebuild");
+        // An ineffective mutation does not move the version.
+        assert!(!store.insert_edge(1, 4));
+        assert!(store.snapshot().shares_graph(&a));
+    }
+
+    #[test]
+    fn node_growth_flows_into_snapshots() {
+        let store = GraphStore::new(2);
+        assert!(store.insert_edge(0, 1));
+        let v = store.add_node();
+        assert_eq!(v, 2);
+        assert!(store.insert_edge(1, v));
+        let snap = store.snapshot();
+        assert_eq!(snap.n(), 3);
+        assert_eq!(snap.m(), 2);
+        assert_eq!(store.version(), 3);
+        assert_eq!(snap.version(), 3);
+    }
+
+    #[test]
+    fn ball_and_with_dynamic_see_the_live_graph() {
+        let store = GraphStore::from_graph(barbell());
+        assert_eq!(store.ball(&[0], 1), vec![0, 1, 2]);
+        store.insert_edge(0, 5);
+        assert_eq!(store.ball(&[0], 1), vec![0, 1, 2, 5]);
+        assert_eq!(store.with_dynamic(|d| d.degree(0)), 3);
+        assert!(store.has_edge(0, 5));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_converge() {
+        let store = GraphStore::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..15u32 {
+                        store.insert_edge(t * 16 + i, t * 16 + i + 1);
+                        let snap = store.snapshot();
+                        assert!(snap.m() > 0);
+                        assert!(snap.version() <= store.version());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.m(), 60);
+        let snap = store.snapshot();
+        assert_eq!(snap.m(), 60);
+        assert_eq!(snap.version(), 60);
+    }
+
+    #[test]
+    fn freeze_is_version_zero_and_derefs() {
+        let snap = Snapshot::freeze(barbell());
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.graph().m(), 7);
+        // Deref and AsRef both reach the Graph API.
+        assert_eq!(snap.neighbors(0), &[1, 2]);
+        let as_graph: &Graph = snap.as_ref();
+        assert_eq!(as_graph.n(), 6);
+    }
+}

@@ -10,7 +10,7 @@ use dmcs::engine::registry::AlgoSpec;
 use dmcs::engine::Session;
 use dmcs::graph::betweenness::node_betweenness;
 use dmcs::graph::eigen::{eigenvector_centrality_within, rank_of};
-use dmcs::graph::{GraphBuilder, NodeId};
+use dmcs::graph::{GraphBuilder, NodeId, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +52,7 @@ fn main() {
         g.degree(HUB)
     );
 
+    let snap = Snapshot::freeze(g.clone());
     let bc = node_betweenness(&g);
     let lineup: Vec<(&str, AlgoSpec)> = vec![
         ("FPA", AlgoSpec::new("fpa")),
@@ -63,7 +64,7 @@ fn main() {
         "algo", "|C|", "% adj to hub", "betw. rank", "eigen rank"
     );
     for (label, spec) in &lineup {
-        let mut session = Session::new(&g, spec).expect("registered algorithm");
+        let mut session = Session::new(snap.clone(), spec).expect("registered algorithm");
         let r = session.search(&[HUB]).expect("hub query is valid");
         let c = &r.community;
         let adjacent = c

@@ -9,12 +9,14 @@
 use dmcs::engine::registry::{self, AlgoSpec};
 use dmcs::engine::Session;
 use dmcs::gen::datasets::karate_dataset;
+use dmcs::graph::Snapshot;
 use dmcs::metrics;
 
 fn main() {
     let ds = karate_dataset();
     let query = [0u32]; // Mr. Hi himself
     let truth = &ds.communities[0];
+    let snap = Snapshot::freeze(ds.graph.clone());
     let n = ds.graph.n();
 
     let mut specs = registry::small_graph_baseline_specs();
@@ -32,7 +34,7 @@ fn main() {
         "algo", "|C|", "NMI", "ARI", "F"
     );
     for spec in &specs {
-        let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+        let mut session = Session::new(snap.clone(), spec).expect("registered algorithm");
         match session.search(&query) {
             Ok(r) => {
                 println!(

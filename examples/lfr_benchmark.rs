@@ -10,6 +10,7 @@
 use dmcs::engine::registry::AlgoSpec;
 use dmcs::engine::Session;
 use dmcs::gen::{lfr, queries, Dataset};
+use dmcs::graph::Snapshot;
 use dmcs::metrics;
 
 fn main() {
@@ -46,12 +47,13 @@ fn main() {
             AlgoSpec::with_k("kt", 4),
             AlgoSpec::new("fpa"),
         ];
+        let snap = Snapshot::freeze(ds.graph.clone());
         let sets = queries::sample_query_sets(&ds, 6, 1, 4, 99);
         println!("{:<6} {:>10} {:>10}", "algo", "med NMI", "med |C|");
         for spec in &specs {
             // One session per (graph, algorithm): the query loop reuses
             // the session's workspace buffers.
-            let mut session = Session::new(&ds.graph, spec).expect("registered algorithm");
+            let mut session = Session::new(snap.clone(), spec).expect("registered algorithm");
             let mut nmis = Vec::new();
             let mut sizes = Vec::new();
             for (q, gt_idx) in &sets {

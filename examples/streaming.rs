@@ -1,5 +1,6 @@
 //! Streaming community search: maintain a query's community while the
-//! network grows, with cached exact refresh and localized re-search.
+//! network grows, with cached exact refresh, localized re-search, and a
+//! serving engine sharing the same versioned store.
 //!
 //! ```text
 //! cargo run --release --example streaming
@@ -8,7 +9,10 @@
 use dmcs::core::dynamic::IncrementalSearch;
 use dmcs::core::topk::{top_k_communities, TopKConfig};
 use dmcs::core::Fpa;
+use dmcs::engine::{AlgoSpec, Engine, QueryRequest};
 use dmcs::graph::dynamic::DynamicGraph;
+use dmcs::graph::GraphStore;
+use std::sync::Arc;
 
 fn main() {
     // A collaboration network starts as two 4-cliques sharing author 0.
@@ -22,8 +26,12 @@ fn main() {
     }
     println!("day 0: {} authors, {} collaborations", g.n(), g.m());
 
+    // One versioned store of record; the tracker and the serving engine
+    // below share it.
+    let store = Arc::new(GraphStore::from_dynamic(g));
+
     // Author 0 sits in two communities — top-k sees both.
-    let rounds = top_k_communities(&g.snapshot(), &[0], TopKConfig::default()).unwrap();
+    let rounds = top_k_communities(&store.snapshot(), &[0], TopKConfig::default()).unwrap();
     println!("top-k communities of author 0:");
     for (i, r) in rounds.iter().enumerate() {
         println!(
@@ -35,13 +43,13 @@ fn main() {
     }
 
     // Pin the query and stream updates.
-    let mut inc = IncrementalSearch::new(g, vec![0], Fpa::default());
+    let mut inc = IncrementalSearch::new(Arc::clone(&store), vec![0], Fpa::default());
     let day0 = inc.community().unwrap();
     println!("\ntracked community: {:?}", day0.community);
 
     // Day 1: five new authors join and densify the left group.
     for _ in 0..5 {
-        let v = inc.graph_mut().add_node();
+        let v = inc.add_node();
         for anchor in [1, 2, 3] {
             inc.insert_edge(v, anchor);
         }
@@ -75,5 +83,36 @@ fn main() {
     println!(
         "local refresh (radius 2): {:?} (DM {:.3})",
         local.community, local.density_modularity
+    );
+
+    // Day 4: a serving engine over the SAME store — its snapshots track
+    // the tracker's mutations, and its version-keyed cache turns repeat
+    // traffic into hits until the next update.
+    let engine = Engine::new(Arc::clone(&store));
+    let spec = AlgoSpec::new("fpa");
+    let requests: Vec<QueryRequest> = [0u32, 4, 0, 4, 0]
+        .iter()
+        .map(|&v| QueryRequest::new(vec![v]))
+        .collect();
+    let report = engine.run_batch(&spec, &requests, 2).unwrap();
+    println!(
+        "\nday 4, engine batch on the shared store (version {}): {} queries, {} unique, {} cache hits",
+        engine.version(),
+        report.responses.len(),
+        report.unique_queries,
+        report.cache_hits,
+    );
+    let report = engine.run_batch(&spec, &requests, 2).unwrap();
+    println!(
+        "        repeat batch: {} cache hits, {} misses (all served from the version-keyed cache)",
+        report.cache_hits, report.cache_misses
+    );
+    engine.insert_edge(0, 4);
+    let report = engine.run_batch(&spec, &requests, 2).unwrap();
+    println!(
+        "        after one more update (version {}): {} hits, {} misses (cache invalidated by version)",
+        engine.version(),
+        report.cache_hits,
+        report.cache_misses
     );
 }

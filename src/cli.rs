@@ -6,6 +6,7 @@
 //! dmcs --graph karate.txt --query 0 --algo fpa --stats
 //! dmcs --demo --query 0,3 --algo nca --format json
 //! dmcs --graph big.txt --queries q.txt --threads 8 --algo fpa
+//! dmcs --demo --updates script.txt --format json
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy
@@ -16,16 +17,25 @@
 //!
 //! Every failure is a typed [`EngineError`]; `main` maps each variant to
 //! its documented exit code (2 = bad flags/params, 3 = unknown
-//! algorithm, 4 = I/O, 5 = unknown query node, 6 = search failure).
+//! algorithm, 4 = I/O, 5 = unknown query node, 6 = search failure,
+//! 7 = bad update-script line).
+//!
+//! Every mode serves through the versioned
+//! [`GraphStore`](dmcs_graph::GraphStore) behind an [`Engine`]: queries
+//! pin epoch snapshots, and the
+//! `--updates` mode interleaves `add` / `del` mutations with `query`
+//! lines, exercising the full mutate → snapshot → query →
+//! cache-invalidate cycle in a single run.
 
 use crate::core::topk::{top_k_communities, TopKConfig};
 use crate::core::{SearchResult, WeightedFpa, WeightedNca};
-use crate::engine::output::{report_jsonl, response_json, result_json};
+use crate::engine::output::{report_jsonl, response_json, result_json, summary_json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
-use crate::engine::{BatchRunner, EngineError, QueryRequest, Session};
+use crate::engine::{BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Session};
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Goodness;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Output rendering of the binary.
@@ -65,6 +75,9 @@ pub struct CliConfig {
     pub dot_path: Option<String>,
     /// Batch mode: path to a file with one query per line.
     pub queries_path: Option<String>,
+    /// Live-update mode: path to a script of interleaved `add u v` /
+    /// `del u v` / `query id[,id...]` lines.
+    pub updates_path: Option<String>,
     /// Batch mode worker threads.
     pub threads: usize,
     /// Output rendering (`--format {text,json}`).
@@ -85,6 +98,7 @@ impl Default for CliConfig {
             top_k: 0,
             dot_path: None,
             queries_path: None,
+            updates_path: None,
             threads: 1,
             format: OutputFormat::Text,
         }
@@ -102,6 +116,7 @@ dmcs — Density-Modularity based Community Search (SIGMOD 2022)
 USAGE:
     dmcs [--graph <edge-list> | --demo] --query <id[,id...]> [options]
     dmcs [--graph <edge-list> | --demo] --queries <file> [--threads <n>] [options]
+    dmcs [--graph <edge-list> | --demo] --updates <file> [options]
 
 OPTIONS:
     --graph <path>    SNAP-format edge list (`u v` per line, # comments)
@@ -109,6 +124,12 @@ OPTIONS:
     --query <ids>     comma-separated query node ids (file id space)
     --queries <path>  batch mode: one query per line (comma-separated ids;
                       blank lines and # comments are skipped)
+    --updates <path>  live-update mode: interleaved script of `add u v`,
+                      `del u v` and `query id[,id...]` lines (file id
+                      space; `add` may introduce new ids; blank lines and
+                      # comments are skipped); queries answer against the
+                      graph as mutated so far, with version-keyed result
+                      caching
     --threads <n>     batch mode worker threads (default: 1)
     --format <fmt>    output format: text (default) or json (JSON-lines,
                       one response object per query; schema in README)
@@ -126,7 +147,8 @@ OPTIONS:
 
 EXIT CODES:
     0 success, 2 bad flags or parameters, 3 unknown algorithm,
-    4 I/O failure, 5 unknown query node, 6 search failure
+    4 I/O failure, 5 unknown query node, 6 search failure,
+    7 bad update-script line
 ",
         algos = registry::algo_help()
     )
@@ -172,6 +194,7 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
             "--demo" => demo = true,
             "--query" => cfg.query = parse_query_ids(value("--query")?)?,
             "--queries" => cfg.queries_path = Some(value("--queries")?.clone()),
+            "--updates" => cfg.updates_path = Some(value("--updates")?.clone()),
             "--threads" => {
                 cfg.threads = value("--threads")?
                     .parse()
@@ -226,12 +249,19 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
             "either --graph or --demo is required",
         ));
     }
-    if cfg.query.is_empty() && cfg.queries_path.is_none() {
-        return Err(EngineError::bad_param("--query or --queries is required"));
-    }
-    if !cfg.query.is_empty() && cfg.queries_path.is_some() {
+    if cfg.query.is_empty() && cfg.queries_path.is_none() && cfg.updates_path.is_none() {
         return Err(EngineError::bad_param(
-            "--query and --queries are mutually exclusive",
+            "--query, --queries or --updates is required",
+        ));
+    }
+    let sources = [
+        !cfg.query.is_empty(),
+        cfg.queries_path.is_some(),
+        cfg.updates_path.is_some(),
+    ];
+    if sources.iter().filter(|&&s| s).count() > 1 {
+        return Err(EngineError::bad_param(
+            "--query, --queries and --updates are mutually exclusive",
         ));
     }
     if threads_set && cfg.queries_path.is_none() {
@@ -250,6 +280,24 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
         }
         if cfg.dot_path.is_some() {
             return Err(EngineError::bad_param("--queries does not support --dot"));
+        }
+    }
+    if cfg.updates_path.is_some() {
+        if cfg.weighted {
+            return Err(EngineError::bad_param(
+                "--updates does not support --weighted",
+            ));
+        }
+        if cfg.top_k > 0 {
+            return Err(EngineError::bad_param("--updates does not support --top-k"));
+        }
+        if cfg.dot_path.is_some() {
+            return Err(EngineError::bad_param("--updates does not support --dot"));
+        }
+        if cfg.stats {
+            return Err(EngineError::bad_param(
+                "--updates does not support --stats (the graph changes mid-run)",
+            ));
         }
     }
     if cfg.weighted && !matches!(cfg.algo.as_str(), "fpa" | "nca") {
@@ -450,11 +498,16 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
         return Ok(());
     }
 
+    // Every unweighted mode serves through the versioned store: the
+    // engine owns a GraphStore (seeded from the loaded edge list) plus
+    // the version-keyed result cache, and queries pin snapshots.
     let (g, original) = load_graph(cfg)?;
+    let engine = Engine::from_graph(g);
     if cfg.format == OutputFormat::Text {
-        writeln!(out, "graph: {} nodes, {} edges", g.n(), g.m()).map_err(werr)?;
+        let snap = engine.snapshot();
+        writeln!(out, "graph: {} nodes, {} edges", snap.n(), snap.m()).map_err(werr)?;
         if cfg.stats {
-            let bytes = g.memory_bytes();
+            let bytes = snap.memory_bytes();
             writeln!(
                 out,
                 "graph memory: {bytes} bytes ({:.2} MiB)",
@@ -464,17 +517,23 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
         }
     }
 
+    // Live-update path: interleaved mutations and queries.
+    if let Some(upath) = &cfg.updates_path {
+        return run_updates(cfg, upath, &engine, original, out);
+    }
+
     // Batch path: fan a query file out across worker threads.
     if let Some(qpath) = &cfg.queries_path {
-        return run_batch(cfg, qpath, &g, &original, out);
+        return run_batch(cfg, qpath, &engine, &original, out);
     }
+    let snap = engine.snapshot();
     let query = map_queries(&cfg.query, &original)?;
 
     // Top-k path: several diverse communities.
     if cfg.top_k > 0 {
         let start = Instant::now();
         let rounds = top_k_communities(
-            &g,
+            &snap,
             &query,
             TopKConfig {
                 k: cfg.top_k,
@@ -500,7 +559,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
                 OutputFormat::Text => print_result(
                     cfg,
                     out,
-                    &g,
+                    &snap,
                     &original,
                     &format!("FPA round {}", i + 1),
                     r,
@@ -522,7 +581,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
         }
         if let Some(dot) = &cfg.dot_path {
             let comms: Vec<&[NodeId]> = rounds.iter().map(|r| r.community.as_slice()).collect();
-            write_dot_file(dot, &g, &original, &comms)?;
+            write_dot_file(dot, &snap, &original, &comms)?;
             if cfg.format == OutputFormat::Text {
                 writeln!(out, "DOT written to {dot}").map_err(werr)?;
             }
@@ -532,7 +591,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
 
     // Single-community path: a one-query session (the typed serving API;
     // a long-running caller would keep the session and loop).
-    let mut session = Session::new(&g, &algo_spec(cfg))?;
+    let mut session = engine.session(&algo_spec(cfg))?;
     let response = session.query(&QueryRequest::new(query))?;
     let result = match &response.result {
         Ok(r) => r,
@@ -547,7 +606,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
         OutputFormat::Text => print_result(
             cfg,
             out,
-            &g,
+            &snap,
             &original,
             response.algo,
             result,
@@ -563,7 +622,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
         }
     }
     if let Some(dot) = &cfg.dot_path {
-        write_dot_file(dot, &g, &original, &[&result.community])?;
+        write_dot_file(dot, &snap, &original, &[&result.community])?;
         if cfg.format == OutputFormat::Text {
             writeln!(out, "DOT written to {dot}").map_err(werr)?;
         }
@@ -593,13 +652,78 @@ pub fn parse_query_file(path: &str, text: &str) -> Result<Vec<Vec<u64>>, EngineE
     Ok(queries)
 }
 
-/// Batch execution over a loaded graph: map every query, run them on
+/// Sorted community members in original ids, elided to `--max-print`.
+fn members_string(cfg: &CliConfig, original: &[u64], community: &[NodeId]) -> String {
+    let mut members: Vec<u64> = community.iter().map(|&v| original[v as usize]).collect();
+    members.sort_unstable();
+    let shown = if cfg.max_print == 0 {
+        members.len()
+    } else {
+        cfg.max_print.min(members.len())
+    };
+    let elided = if shown < members.len() {
+        format!(" (+{} more)", members.len() - shown)
+    } else {
+        String::new()
+    };
+    format!("{:?}{elided}", &members[..shown])
+}
+
+/// One per-query text line (shared by the batch and update modes).
+fn write_query_line<W: std::io::Write>(
+    cfg: &CliConfig,
+    out: &mut W,
+    original: &[u64],
+    i: usize,
+    raw: &[u64],
+    resp: &QueryResponse,
+) -> std::io::Result<()> {
+    match &resp.result {
+        Ok(r) => writeln!(
+            out,
+            "query {i} {raw:?}: |C| = {}  DM = {:.6}  time = {:.4}s  members: {}{}",
+            r.community.len(),
+            r.density_modularity,
+            resp.seconds,
+            members_string(cfg, original, &r.community),
+            if resp.cached { "  [cached]" } else { "" },
+        ),
+        Err(e) => writeln!(out, "query {i} {raw:?}: error: {e}"),
+    }
+}
+
+/// The text-format throughput/cache footer (batch and update modes).
+fn write_summary_lines<W: std::io::Write>(
+    out: &mut W,
+    report: &BatchReport,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "throughput: {:.1} queries/sec  wall {:.3}s  p50 {:.2}ms  p95 {:.2}ms  ok {}/{}",
+        report.queries_per_sec,
+        report.wall_seconds,
+        report.p50_seconds * 1e3,
+        report.p95_seconds * 1e3,
+        report.succeeded(),
+        report.responses.len()
+    )?;
+    writeln!(
+        out,
+        "cache: {} hits, {} misses  unique: {}/{}",
+        report.cache_hits,
+        report.cache_misses,
+        report.unique_queries,
+        report.responses.len()
+    )
+}
+
+/// Batch execution through the engine: map every query, run them on
 /// `cfg.threads` workers with deterministic output ordering, and print
 /// per-query lines plus the throughput summary (text) or JSON-lines.
 fn run_batch<W: std::io::Write>(
     cfg: &CliConfig,
     qpath: &str,
-    g: &Graph,
+    engine: &Engine,
     original: &[u64],
     out: &mut W,
 ) -> Result<(), EngineError> {
@@ -612,16 +736,12 @@ fn run_batch<W: std::io::Write>(
             |e| e.with_node_context(format!("{qpath}: query {}", requests.len())),
         )?));
     }
-    let runner = BatchRunner::new(algo_spec(cfg), cfg.threads)?;
-    let report = runner.run(g, &requests)?;
+    let spec = algo_spec(cfg);
+    let algo_name = spec.build()?.name();
+    let report = engine.run_batch(&spec, &requests, cfg.threads)?;
 
     if cfg.format == OutputFormat::Json {
-        write!(
-            out,
-            "{}",
-            report_jsonl(runner.algo_name(), &report, Some(original))
-        )
-        .map_err(werr)?;
+        write!(out, "{}", report_jsonl(algo_name, &report, Some(original))).map_err(werr)?;
         return Ok(());
     }
 
@@ -629,69 +749,265 @@ fn run_batch<W: std::io::Write>(
         out,
         "batch: {} queries, algo {}, {} thread{}",
         report.responses.len(),
-        runner.algo_name(),
+        algo_name,
         cfg.threads,
         if cfg.threads == 1 { "" } else { "s" }
     )
     .map_err(werr)?;
+    let snap = engine.snapshot();
+    let g: &Graph = &snap;
     for ((i, raw), resp) in raw_queries.iter().enumerate().zip(&report.responses) {
-        match &resp.result {
-            Ok(r) => {
-                let mut members: Vec<u64> =
-                    r.community.iter().map(|&v| original[v as usize]).collect();
-                members.sort_unstable();
-                let shown = if cfg.max_print == 0 {
-                    members.len()
-                } else {
-                    cfg.max_print.min(members.len())
-                };
-                let elided = if shown < members.len() {
-                    format!(" (+{} more)", members.len() - shown)
-                } else {
-                    String::new()
-                };
+        write_query_line(cfg, out, original, i, raw, resp).map_err(werr)?;
+        if cfg.stats {
+            if let Ok(r) = &resp.result {
+                let l = g.internal_edges(&r.community);
+                let vol = g.degree_sum(&r.community);
+                let good = Goodness::from_counts(g.n(), r.community.len(), l, vol, g.m() as u64);
                 writeln!(
                     out,
-                    "query {i} {raw:?}: |C| = {}  DM = {:.6}  time = {:.4}s  members: {:?}{elided}",
-                    r.community.len(),
-                    r.density_modularity,
-                    resp.seconds,
-                    &members[..shown],
+                    "  stats: conductance {:.4}  expansion {:.3}  cut-ratio {:.5}  int-density {:.4}  separability {:.3}",
+                    good.conductance(),
+                    good.expansion(),
+                    good.cut_ratio(),
+                    good.internal_density(),
+                    good.separability()
                 )
                 .map_err(werr)?;
-                if cfg.stats {
-                    let l = g.internal_edges(&r.community);
-                    let vol = g.degree_sum(&r.community);
-                    let good =
-                        Goodness::from_counts(g.n(), r.community.len(), l, vol, g.m() as u64);
+            }
+        }
+    }
+    write_summary_lines(out, &report).map_err(werr)
+}
+
+/// One operation of a `--updates` script (original/file id space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `add u v` — insert the edge; unseen ids create fresh nodes.
+    Add(u64, u64),
+    /// `del u v` — remove an existing edge between known nodes.
+    Del(u64, u64),
+    /// `query id[,id...]` — answer against the graph as mutated so far.
+    Query(Vec<u64>),
+}
+
+/// Parse a `--updates` script with the same strict-grammar discipline as
+/// the JSON parser: blank lines and `#` comments are skipped, everything
+/// else must be exactly `add u v`, `del u v` or `query id[,id...]`.
+/// Violations are [`EngineError::BadUpdate`]s carrying the 1-based line
+/// number (exit code 7).
+pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let op = tokens.next().expect("non-empty line has a first token");
+        match op {
+            "add" | "del" => {
+                let mut endpoint = |which: &str| -> Result<u64, EngineError> {
+                    let tok = tokens.next().ok_or_else(|| {
+                        EngineError::bad_update(
+                            line_no,
+                            format!("{op} needs two node ids (missing {which})"),
+                        )
+                    })?;
+                    tok.parse().map_err(|_| {
+                        EngineError::bad_update(line_no, format!("bad node id {tok:?}"))
+                    })
+                };
+                let u = endpoint("u")?;
+                let v = endpoint("v")?;
+                if let Some(extra) = tokens.next() {
+                    return Err(EngineError::bad_update(
+                        line_no,
+                        format!("trailing token {extra:?} after {op} {u} {v}"),
+                    ));
+                }
+                if u == v {
+                    return Err(EngineError::bad_update(
+                        line_no,
+                        format!("self-loop {op} {u} {u} (simple graph)"),
+                    ));
+                }
+                ops.push((
+                    line_no,
+                    if op == "add" {
+                        UpdateOp::Add(u, v)
+                    } else {
+                        UpdateOp::Del(u, v)
+                    },
+                ));
+            }
+            "query" => {
+                let ids = line[op.len()..].trim();
+                if ids.is_empty() {
+                    return Err(EngineError::bad_update(
+                        line_no,
+                        "query needs at least one node id",
+                    ));
+                }
+                let ids = parse_query_ids(ids)
+                    .map_err(|e| EngineError::bad_update(line_no, e.to_string()))?;
+                ops.push((line_no, UpdateOp::Query(ids)));
+            }
+            other => {
+                return Err(EngineError::bad_update(
+                    line_no,
+                    format!("unknown op {other:?} (expected add, del or query)"),
+                ))
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// Dense id for original id `id`, creating a fresh store node on first
+/// sight (the `add` path may grow the graph).
+fn resolve_or_create(
+    engine: &Engine,
+    index: &mut HashMap<u64, NodeId>,
+    original: &mut Vec<u64>,
+    id: u64,
+) -> NodeId {
+    *index.entry(id).or_insert_with(|| {
+        let dense = engine.add_node();
+        debug_assert_eq!(dense as usize, original.len(), "id spaces in lockstep");
+        original.push(id);
+        dense
+    })
+}
+
+/// Live-update execution: apply the script in order against the
+/// engine's store. Mutations land in the [`GraphStore`]; each `query`
+/// pins the then-current snapshot (re-opening its session only when the
+/// version moved) and consults the version-keyed cache, so a repeated
+/// query with no intervening update is a byte-identical cache hit while
+/// any update forces recomputation. Ends with the batch-style summary
+/// carrying the cache hit/miss counters.
+///
+/// [`GraphStore`]: dmcs_graph::GraphStore
+fn run_updates<W: std::io::Write>(
+    cfg: &CliConfig,
+    upath: &str,
+    engine: &Engine,
+    mut original: Vec<u64>,
+    out: &mut W,
+) -> Result<(), EngineError> {
+    let text = std::fs::read_to_string(upath).map_err(|e| EngineError::io(upath, e))?;
+    let ops = parse_update_script(&text)?;
+    if ops.is_empty() {
+        return Err(EngineError::bad_param(format!(
+            "{upath}: contains no operations"
+        )));
+    }
+    let spec = algo_spec(cfg);
+    let algo_name = spec.build()?.name();
+    let mut index: HashMap<u64, NodeId> = original
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| (o, i as NodeId))
+        .collect();
+
+    let mut session: Option<Session> = None;
+    let mut responses: Vec<QueryResponse> = Vec::new();
+    let start = Instant::now();
+    for (line_no, op) in &ops {
+        match op {
+            UpdateOp::Add(a, b) => {
+                let u = resolve_or_create(engine, &mut index, &mut original, *a);
+                let v = resolve_or_create(engine, &mut index, &mut original, *b);
+                if !engine.insert_edge(u, v) {
+                    return Err(EngineError::bad_update(
+                        *line_no,
+                        format!("edge {a} {b} already exists"),
+                    ));
+                }
+                if cfg.format == OutputFormat::Text {
                     writeln!(
                         out,
-                        "  stats: conductance {:.4}  expansion {:.3}  cut-ratio {:.5}  int-density {:.4}  separability {:.3}",
-                        good.conductance(),
-                        good.expansion(),
-                        good.cut_ratio(),
-                        good.internal_density(),
-                        good.separability()
+                        "update add {a} {b}: {} nodes, {} edges (version {})",
+                        engine.store().n(),
+                        engine.store().m(),
+                        engine.version()
                     )
                     .map_err(werr)?;
                 }
-                Ok(())
             }
-            Err(e) => writeln!(out, "query {i} {raw:?}: error: {e}"),
+            UpdateOp::Del(a, b) => {
+                let known = |id: u64| -> Result<NodeId, EngineError> {
+                    index.get(&id).copied().ok_or_else(|| {
+                        EngineError::bad_update(*line_no, format!("unknown node {id}"))
+                    })
+                };
+                let (u, v) = (known(*a)?, known(*b)?);
+                if !engine.remove_edge(u, v) {
+                    return Err(EngineError::bad_update(
+                        *line_no,
+                        format!("edge {a} {b} does not exist"),
+                    ));
+                }
+                if cfg.format == OutputFormat::Text {
+                    writeln!(
+                        out,
+                        "update del {a} {b}: {} nodes, {} edges (version {})",
+                        engine.store().n(),
+                        engine.store().m(),
+                        engine.version()
+                    )
+                    .map_err(werr)?;
+                }
+            }
+            UpdateOp::Query(ids) => {
+                let nodes: Vec<NodeId> = ids
+                    .iter()
+                    .map(|&raw| {
+                        index.get(&raw).copied().ok_or_else(|| {
+                            EngineError::unknown_node(raw)
+                                .with_node_context(format!("{upath}:{line_no}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Re-pin only when an update moved the store version;
+                // between updates the session (and its workspace) is
+                // reused just like a batch worker's.
+                let fresh = session
+                    .as_ref()
+                    .is_none_or(|s| s.snapshot().version() != engine.version());
+                if fresh {
+                    session = Some(engine.session(&spec)?);
+                }
+                let resp = session
+                    .as_mut()
+                    .expect("session opened above")
+                    .query(&QueryRequest::new(nodes))?;
+                match cfg.format {
+                    OutputFormat::Text => {
+                        write_query_line(cfg, out, &original, responses.len(), ids, &resp)
+                            .map_err(werr)?
+                    }
+                    OutputFormat::Json => {
+                        writeln!(out, "{}", response_json(&resp, Some(&original)).render())
+                            .map_err(werr)?
+                    }
+                }
+                responses.push(resp);
+            }
         }
-        .map_err(werr)?;
     }
-    writeln!(
-        out,
-        "throughput: {:.1} queries/sec  wall {:.3}s  p50 {:.2}ms  p95 {:.2}ms  ok {}/{}",
-        report.queries_per_sec,
-        report.wall_seconds,
-        report.p50_seconds * 1e3,
-        report.p95_seconds * 1e3,
-        report.succeeded(),
-        report.responses.len()
-    )
-    .map_err(werr)
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let hits = responses.iter().filter(|r| r.cached).count();
+    let misses = responses.len() - hits;
+    let unique = responses.len();
+    let report = BatchReport::from_responses(responses, wall_seconds, unique, hits, misses);
+    match cfg.format {
+        OutputFormat::Json => {
+            writeln!(out, "{}", summary_json(algo_name, &report).render()).map_err(werr)
+        }
+        OutputFormat::Text => write_summary_lines(out, &report).map_err(werr),
+    }
 }
 
 #[cfg(test)]
@@ -1151,6 +1467,220 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("FPA round 1"), "{text}");
         assert!(text.contains("search found"), "{text}");
+    }
+
+    #[test]
+    fn updates_flag_rules() {
+        assert!(parse(&args("--demo --updates u.txt")).is_ok());
+        for bad in [
+            "--demo --updates u.txt --query 1",
+            "--demo --updates u.txt --queries q.txt",
+            "--demo --updates u.txt --threads 2",
+            "--demo --updates u.txt --stats",
+            "--demo --updates u.txt --top-k 2",
+            "--demo --updates u.txt --dot o.dot",
+            "--graph g --updates u.txt --weighted",
+        ] {
+            let err = parse(&args(bad)).unwrap_err();
+            assert!(matches!(err, EngineError::BadParam { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn update_script_parses_the_strict_grammar() {
+        let ops = parse_update_script(
+            "# warmup\nadd 7 9\n\ndel 7 9\nquery 0\n  query 1, 2  \nadd 100 0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                (2, UpdateOp::Add(7, 9)),
+                (4, UpdateOp::Del(7, 9)),
+                (5, UpdateOp::Query(vec![0])),
+                (6, UpdateOp::Query(vec![1, 2])),
+                (7, UpdateOp::Add(100, 0)),
+            ]
+        );
+        assert!(parse_update_script("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_script_rejects_malformed_lines_with_line_numbers() {
+        for (script, line, needle) in [
+            ("add 1", 1, "missing v"),
+            ("query 0\nadd 1 2 3", 2, "trailing token"),
+            ("add 1 x", 1, "bad node id \"x\""),
+            ("add 4 4", 1, "self-loop"),
+            ("del 4 4", 1, "self-loop"),
+            ("query", 1, "at least one node id"),
+            ("query 1,,2", 1, "empty query id"),
+            ("query 1,1", 1, "duplicate query id"),
+            ("swap 1 2", 1, "unknown op \"swap\""),
+            ("# fine\n\nadd 0 1\nqueryx 2", 4, "unknown op \"queryx\""),
+        ] {
+            let err = parse_update_script(script).unwrap_err();
+            match &err {
+                EngineError::BadUpdate { line: l, reason } => {
+                    assert_eq!(*l, line, "{script:?}: {err}");
+                    assert!(reason.contains(needle), "{script:?}: {err}");
+                }
+                other => panic!("{script:?}: expected BadUpdate, got {other:?}"),
+            }
+            assert_eq!(err.exit_code(), 7, "{script:?}");
+        }
+    }
+
+    #[test]
+    fn updates_end_to_end_text_mode() {
+        let dir = std::env::temp_dir().join("dmcs_cli_updates");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ufile = dir.join("script.txt");
+        // Karate has no 0-9 edge; 40/41 are brand-new nodes.
+        std::fs::write(
+            &ufile,
+            "query 0\nquery 0\nadd 0 9\nquery 0\nquery 0\nadd 40 41\ndel 40 41\nquery 0\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!("--demo --updates {}", ufile.display())))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("34 nodes, 78 edges"), "{text}");
+        assert!(
+            text.contains("update add 0 9: 34 nodes, 79 edges (version 1)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("update add 40 41: 36 nodes, 80 edges (version 4)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("update del 40 41: 36 nodes, 79 edges (version 5)"),
+            "{text}"
+        );
+        // Query 1 repeats query 0 unchanged (hit); query 3 repeats after
+        // an update (recomputed); query 4 repeats again (hit); query 5
+        // runs after add+del restored nothing relevant — new version, so
+        // recomputed.
+        assert_eq!(text.matches("[cached]").count(), 2, "{text}");
+        assert!(text.contains("cache: 2 hits, 3 misses"), "{text}");
+        assert!(text.contains("ok 5/5"), "{text}");
+    }
+
+    #[test]
+    fn updates_json_repeats_are_byte_identical_until_an_update() {
+        let dir = std::env::temp_dir().join("dmcs_cli_updates_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ufile = dir.join("script.txt");
+        std::fs::write(&ufile, "query 0\nquery 0\nadd 0 9\nquery 0\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --updates {} --format json",
+            ufile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 responses + summary: {text}");
+        assert_eq!(
+            lines[0], lines[1],
+            "repeat with no update: byte-identical cache hit"
+        );
+        let summary = Json::parse(lines[3]).unwrap();
+        assert_eq!(summary.get("type").unwrap().as_str(), Some("summary"));
+        assert_eq!(summary.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(summary.get("cache_misses").unwrap().as_u64(), Some(2));
+        for line in &lines[..3] {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+            assert!(
+                v.get("cached").is_none(),
+                "no per-response cache marker in JSON"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_runtime_errors_are_bad_updates() {
+        let dir = std::env::temp_dir().join("dmcs_cli_updates_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_script = |script: &str| -> EngineError {
+            let ufile = dir.join("s.txt");
+            std::fs::write(&ufile, script).unwrap();
+            let cfg = parse(&args(&format!("--demo --updates {}", ufile.display())))
+                .unwrap()
+                .unwrap();
+            run(&cfg, &mut Vec::new()).unwrap_err()
+        };
+        // Duplicate add: karate has the 0-1 edge.
+        let err = run_script("add 0 1\n");
+        assert!(
+            matches!(err, EngineError::BadUpdate { line: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("already exists"), "{err}");
+        // Deleting an absent edge.
+        let err = run_script("query 0\ndel 0 9\n");
+        assert!(
+            matches!(err, EngineError::BadUpdate { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        // Deleting around an unknown node.
+        let err = run_script("del 999 0\n");
+        assert!(err.to_string().contains("unknown node 999"), "{err}");
+        // Querying an unknown node is the usual exit-5 UnknownNode with
+        // file:line context.
+        let err = run_script("add 0 9\nquery 777\n");
+        assert!(
+            matches!(err, EngineError::UnknownNode { id: 777, .. }),
+            "{err}"
+        );
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.to_string().contains(":2:"), "{err}");
+        // An empty script is a BadParam naming the file.
+        let err = run_script("# nothing\n");
+        assert!(matches!(err, EngineError::BadParam { .. }), "{err}");
+        assert!(err.to_string().contains("no operations"), "{err}");
+    }
+
+    #[test]
+    fn updates_can_grow_a_community() {
+        // Wire three new members into Mr. Hi's neighbourhood and watch
+        // the answer change between pinned epochs.
+        let dir = std::env::temp_dir().join("dmcs_cli_updates_grow");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ufile = dir.join("grow.txt");
+        std::fs::write(
+            &ufile,
+            "query 0\nadd 50 0\nadd 50 1\nadd 50 2\nadd 50 3\nquery 50\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --updates {} --format json",
+            ufile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let second = Json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(second.get("ok").unwrap().as_bool(), Some(true));
+        let comm: Vec<u64> = second
+            .get("community")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert!(comm.contains(&50), "new node joins its community: {text}");
     }
 
     #[test]

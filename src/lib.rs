@@ -39,6 +39,6 @@ pub mod prelude {
         CommunitySearch, Fpa, Nca, SearchResult,
     };
     pub use dmcs_engine::{AlgoSpec, Engine, EngineError, QueryRequest, Session};
-    pub use dmcs_graph::{Graph, GraphBuilder, NodeId};
+    pub use dmcs_graph::{Graph, GraphBuilder, GraphStore, NodeId, Snapshot};
     pub use dmcs_metrics::{ari, f_score, nmi};
 }

@@ -4,7 +4,7 @@
 //! Exit codes follow the [`dmcs::engine::EngineError`] taxonomy: 0 on
 //! success, 2 for bad flags/parameters (flag-level mistakes also print
 //! the usage text on stderr), 3 unknown algorithm, 4 I/O failure, 5
-//! unknown query node, 6 search failure.
+//! unknown query node, 6 search failure, 7 bad `--updates` script line.
 
 use dmcs::engine::EngineError;
 

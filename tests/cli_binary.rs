@@ -214,6 +214,17 @@ fn validate_jsonl(text: &str) {
                 assert_eq!(i, lines.len() - 1, "summary must be the last line");
                 assert_eq!(v.get("queries").unwrap().as_u64(), Some(responses as u64));
                 assert_eq!(v.get("ok").unwrap().as_u64(), Some(ok as u64));
+                // The cache/dedup counters are part of the schema: always
+                // present, and they never exceed the query count.
+                let hits = v.get("cache_hits").expect("cache_hits").as_u64().unwrap();
+                let misses = v
+                    .get("cache_misses")
+                    .expect("cache_misses")
+                    .as_u64()
+                    .unwrap();
+                let unique = v.get("unique").expect("unique").as_u64().unwrap();
+                assert!(hits + misses <= responses as u64, "{hits}+{misses}");
+                assert!(unique <= responses as u64);
                 saw_summary = true;
             }
             other => panic!("line {i}: unexpected type {other:?}"),
@@ -250,6 +261,58 @@ fn json_smoke() {
     let text = String::from_utf8(out.stdout).unwrap();
     validate_jsonl(&text);
     assert_eq!(text.lines().count(), 4, "3 responses + summary");
+}
+
+#[test]
+fn malformed_update_line_exits_7() {
+    // Satellite contract: a bad --updates line is a BadUpdate with its
+    // own documented exit code, naming the 1-based line.
+    let dir = std::env::temp_dir().join("dmcs_bin_bad_update");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ufile = dir.join("bad.txt");
+    std::fs::write(&ufile, "query 0\nadd 1 2 3\n").unwrap();
+    let out = dmcs()
+        .args(["--demo", "--updates", ufile.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("update script line 2"), "{err}");
+    assert!(err.contains("trailing token"), "{err}");
+}
+
+#[test]
+fn updates_json_smoke() {
+    // A full mutate → snapshot → query → cache-invalidate cycle through
+    // the compiled binary, validated like any batch JSON output.
+    let dir = std::env::temp_dir().join("dmcs_bin_updates");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ufile = dir.join("script.txt");
+    std::fs::write(&ufile, "query 0\nquery 0\nadd 0 9\nquery 0\nquery 0\n").unwrap();
+    let out = dmcs()
+        .args([
+            "--demo",
+            "--updates",
+            ufile.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    validate_jsonl(&text);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "4 responses + summary: {text}");
+    assert_eq!(lines[0], lines[1], "pre-update repeat: byte-identical");
+    assert_eq!(lines[2], lines[3], "post-update repeat: byte-identical");
+    assert_ne!(
+        lines[1], lines[2],
+        "the update changed the epoch (timings recomputed at minimum)"
+    );
+    let summary = text.lines().last().unwrap();
+    assert!(summary.contains("\"cache_hits\":2"), "{summary}");
+    assert!(summary.contains("\"cache_misses\":2"), "{summary}");
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Property: applying a random interleaving of edge inserts, edge
+//! removals and node additions to a [`DynamicGraph`] and snapshotting is
+//! indistinguishable from building the final edge set from scratch with
+//! [`GraphBuilder`] — and the mutation version is monotone, bumping
+//! exactly on effective mutations. The same interleaving driven through
+//! a [`GraphStore`] (with interleaved snapshot reads, exercising the
+//! lazy rebuild) agrees too.
+
+use dmcs::graph::dynamic::DynamicGraph;
+use dmcs::graph::{Graph, GraphBuilder, GraphStore, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One scripted mutation. Node ids are drawn a little beyond the
+/// initial node count so out-of-range rejections (and later, post-grow
+/// acceptances of the same id) are exercised.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(NodeId, NodeId),
+    Remove(NodeId, NodeId),
+    AddNode,
+}
+
+fn op_strategy(id_bound: u32) -> impl Strategy<Value = Op> {
+    // The vendored proptest shim has no tuple strategies or prop_oneof;
+    // chain flat_maps: kind 0-3 insert, 4-6 remove, 7 add-node.
+    (0u8..8).prop_flat_map(move |kind| {
+        (0..id_bound).prop_flat_map(move |u| {
+            (0..id_bound).prop_map(move |v| match kind {
+                0..=3 => Op::Insert(u, v),
+                4..=6 => Op::Remove(u, v),
+                _ => Op::AddNode,
+            })
+        })
+    })
+}
+
+/// Reference model: the node count plus the normalized edge set.
+#[derive(Debug, Default)]
+struct Model {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl Model {
+    fn apply(&mut self, op: Op) -> bool {
+        match op {
+            Op::Insert(u, v) => {
+                if u == v || u as usize >= self.n || v as usize >= self.n {
+                    return false;
+                }
+                self.edges.insert((u.min(v), u.max(v)))
+            }
+            Op::Remove(u, v) => {
+                if u as usize >= self.n || v as usize >= self.n {
+                    return false;
+                }
+                self.edges.remove(&(u.min(v), u.max(v)))
+            }
+            Op::AddNode => {
+                self.n += 1;
+                true
+            }
+        }
+    }
+
+    fn build(&self) -> Graph {
+        let edges: Vec<(NodeId, NodeId)> = self.edges.iter().copied().collect();
+        GraphBuilder::from_edges(self.n, &edges)
+    }
+}
+
+fn assert_same_graph(got: &Graph, want: &Graph) {
+    assert_eq!(got.n(), want.n(), "node counts diverge");
+    assert_eq!(got.m(), want.m(), "edge counts diverge");
+    for v in 0..want.n() as NodeId {
+        assert_eq!(got.neighbors(v), want.neighbors(v), "adjacency of {v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaving_then_snapshot_equals_from_scratch(
+        n0 in 0usize..10,
+        ops in proptest::collection::vec(op_strategy(14), 0..80),
+    ) {
+        let mut dynamic = DynamicGraph::new(n0);
+        let mut model = Model { n: n0, ..Model::default() };
+        let mut version = dynamic.version();
+        prop_assert_eq!(version, 0, "construction is not a mutation");
+
+        for &op in &ops {
+            let effective = model.apply(op);
+            let changed = match op {
+                Op::Insert(u, v) => dynamic.insert_edge(u, v),
+                Op::Remove(u, v) => dynamic.remove_edge(u, v),
+                Op::AddNode => { dynamic.add_node(); true }
+            };
+            prop_assert_eq!(changed, effective, "effectiveness agrees with the model on {:?}", op);
+            // Version monotonicity: +1 on effective mutations, frozen otherwise.
+            let next = dynamic.version();
+            prop_assert_eq!(next, version + u64::from(effective), "version step on {:?}", op);
+            version = next;
+        }
+
+        prop_assert_eq!(dynamic.n(), model.n);
+        prop_assert_eq!(dynamic.m(), model.edges.len());
+        assert_same_graph(&dynamic.snapshot(), &model.build());
+    }
+
+    #[test]
+    fn store_snapshots_agree_under_interleaved_reads(
+        n0 in 0usize..10,
+        ops in proptest::collection::vec(op_strategy(14), 0..60),
+        read_every in 1usize..5,
+    ) {
+        let store = GraphStore::new(n0);
+        let mut model = Model { n: n0, ..Model::default() };
+        let mut last_version = store.version();
+
+        for (i, &op) in ops.iter().enumerate() {
+            let effective = model.apply(op);
+            let changed = match op {
+                Op::Insert(u, v) => store.insert_edge(u, v),
+                Op::Remove(u, v) => store.remove_edge(u, v),
+                Op::AddNode => { store.add_node(); true }
+            };
+            prop_assert_eq!(changed, effective);
+            prop_assert!(store.version() >= last_version, "version is monotone");
+            last_version = store.version();
+
+            // Interleaved reads force (and then reuse) lazy rebuilds.
+            if i % read_every == 0 {
+                let snap = store.snapshot();
+                prop_assert_eq!(snap.version(), store.version());
+                prop_assert_eq!(snap.m(), model.edges.len());
+                prop_assert!(store.snapshot().shares_graph(&snap),
+                    "no mutation between reads: same rebuild");
+            }
+        }
+
+        assert_same_graph(&store.snapshot(), &model.build());
+        prop_assert_eq!(store.snapshot().version(), store.version());
+    }
+}
