@@ -18,6 +18,12 @@
 //! - [`theory`] — executable versions of Definition 3 (free-rider effect)
 //!   and Definition 4 (resolution-limit), used to validate Lemmas 1–2
 //!   empirically.
+//! - [`weighted`] / [`weighted_nca`] — `W-FPA` and `W-NCA`, the two
+//!   searchers maximising the *weighted* form of Definition 2. Both
+//!   implement [`CommunitySearch`] over any [`dmcs_graph::Graph`]
+//!   (graphs without a weights lane fall back to unit weights) and are
+//!   registered as `fpa-w` / `nca-w` in the engine's registry, so they
+//!   serve through sessions, batches and the result cache.
 //!
 //! ## Quick start
 //!

@@ -7,62 +7,77 @@
 //! objective (`w_S` replaces `l_S`, strengths replace degrees) and through
 //! the weighted density ratio `Θ_v = d_v / w_{v,S}` (strength over the
 //! weight of alive incident edges).
+//!
+//! [`WeightedFpa`] implements [`CommunitySearch`] over any [`Graph`]: a
+//! graph carrying a weights lane is searched by weight, and one without
+//! falls back to unit weights (where the weighted DM coincides with the
+//! unweighted one). It is registered as `fpa-w` in the engine's
+//! algorithm registry, so it serves through sessions, batches and the
+//! version-keyed result cache like every other algorithm, with the same
+//! per-worker [`QueryWorkspace`] buffer reuse.
 
-use crate::{SearchError, SearchResult};
+use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::steiner::steiner_seed;
-use dmcs_graph::traversal::{component_of, multi_source_bfs, UNREACHABLE};
-use dmcs_graph::weighted::WeightedGraph;
-use dmcs_graph::{GraphError, NodeId};
+use dmcs_graph::traversal::{multi_source_bfs_collect, UNREACHABLE};
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{Graph, NodeId};
 
-/// FPA over a [`WeightedGraph`], maximising the weighted density
-/// modularity.
+/// FPA maximising the *weighted* density modularity (`fpa-w` in the
+/// registry).
+///
+/// ```
+/// use dmcs_core::{CommunitySearch, WeightedFpa};
+/// use dmcs_graph::weighted::WeightedGraphBuilder;
+///
+/// // Heavy triangle, light triangle, light bridge.
+/// let mut b = WeightedGraphBuilder::new(6);
+/// for (u, v, w) in [(0, 1, 5.0), (1, 2, 5.0), (0, 2, 5.0),
+///                   (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0), (2, 3, 0.5)] {
+///     b.add_edge(u, v, w);
+/// }
+/// let r = WeightedFpa.search(&b.build(), &[0]).unwrap();
+/// assert_eq!(r.community, vec![0, 1, 2]);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WeightedFpa;
 
-impl WeightedFpa {
-    /// Find a connected community containing all of `query` with high
-    /// weighted density modularity.
-    pub fn search(&self, g: &WeightedGraph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        let topo = g.topology();
-        if query.is_empty() {
-            return Err(SearchError::EmptyQuery);
-        }
-        for &q in query {
-            if q as usize >= topo.n() {
-                return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
-            }
-        }
-        if !dmcs_graph::traversal::same_component(topo, query) {
-            return Err(SearchError::Graph(GraphError::QueryDisconnected));
-        }
-        let seed = steiner_seed(topo, query)?;
-        let component = component_of(topo, seed[0]);
-        let dist = multi_source_bfs(topo, &seed);
-        let max_dist = component
-            .iter()
-            .map(|&v| dist[v as usize])
-            .max()
-            .unwrap_or(0);
-        debug_assert!(component.iter().all(|&v| dist[v as usize] != UNREACHABLE));
+impl CommunitySearch for WeightedFpa {
+    fn name(&self) -> &'static str {
+        "W-FPA"
+    }
 
-        // Alive state with incremental weighted counts.
-        let mut alive = vec![false; topo.n()];
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        self.search_with_workspace(g, query, &mut QueryWorkspace::new())
+    }
+
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        validate_query(g, query)?;
+        let seed = steiner_seed(g, query)?;
+        let mut dist = ws.take_dist(g.n());
+        let component = multi_source_bfs_collect(g, &seed, &mut dist);
+        let mut max_dist = 0u32;
         for &v in &component {
-            alive[v as usize] = true;
+            debug_assert_ne!(dist[v as usize], UNREACHABLE);
+            max_dist = max_dist.max(dist[v as usize]);
         }
-        // w_{v,S}: weight of alive incident edges.
-        let mut local_w: Vec<f64> = (0..topo.n() as NodeId)
-            .map(|v| {
-                if alive[v as usize] {
-                    g.weighted_neighbors(v)
-                        .filter(|&(u, _)| alive[u as usize])
-                        .map(|(_, w)| w)
-                        .sum()
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+
+        // Alive state with incremental weighted counts, over pooled
+        // buffers: the view's alive mask tracks S, `local_w[v]` is
+        // `w_{v,S}` (weight of alive incident edges).
+        let mut view = ws.view(g, &component);
+        let mut local_w = ws.take_weights(g.n());
+        for &v in &component {
+            local_w[v as usize] = g
+                .weighted_neighbors(v)
+                .filter(|&(u, _)| view.contains(u))
+                .map(|(_, w)| w)
+                .sum();
+        }
         let mut w_s: f64 = component.iter().map(|&v| local_w[v as usize]).sum::<f64>() / 2.0;
         let mut d_s: f64 = g.strength_sum(&component);
         let mut size = component.len();
@@ -92,7 +107,7 @@ impl WeightedFpa {
             let mut cand: Vec<NodeId> = layers[d as usize]
                 .iter()
                 .copied()
-                .filter(|&v| alive[v as usize])
+                .filter(|&v| view.contains(v))
                 .collect();
             while !cand.is_empty() {
                 let (pos, _) = cand
@@ -111,12 +126,12 @@ impl WeightedFpa {
                     .expect("cand non-empty");
                 let v = cand.swap_remove(pos);
                 // Remove v.
-                alive[v as usize] = false;
+                view.remove(v);
                 w_s -= local_w[v as usize];
                 d_s -= g.strength(v);
                 size -= 1;
                 for (u, w) in g.weighted_neighbors(v) {
-                    if alive[u as usize] {
+                    if view.contains(u) {
                         local_w[u as usize] -= w;
                     }
                 }
@@ -130,11 +145,15 @@ impl WeightedFpa {
         }
 
         let dead: std::collections::HashSet<NodeId> = removed[..best.1].iter().copied().collect();
-        let community: Vec<NodeId> = component
+        let mut community: Vec<NodeId> = component
             .iter()
             .copied()
             .filter(|v| !dead.contains(v))
             .collect();
+        community.sort_unstable();
+        ws.put_weights(local_w, &component);
+        ws.recycle(view, &component);
+        ws.put_dist(dist, &component);
         Ok(SearchResult {
             community,
             density_modularity: best.0,
@@ -147,8 +166,8 @@ impl WeightedFpa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CommunitySearch, Fpa};
-    use dmcs_graph::weighted::WeightedGraphBuilder;
+    use crate::Fpa;
+    use dmcs_graph::weighted::{WeightedGraph, WeightedGraphBuilder};
 
     /// Barbell with weights: left triangle heavy, right triangle light.
     fn weighted_barbell(left: f64, right: f64) -> WeightedGraph {
@@ -176,8 +195,21 @@ mod tests {
         let g = weighted_barbell(1.0, 1.0);
         for q in 0..6u32 {
             let wr = WeightedFpa.search(&g, &[q]).unwrap();
-            let ur = Fpa::without_pruning().search(g.topology(), &[q]).unwrap();
+            let ur = Fpa::without_pruning().search(&g, &[q]).unwrap();
             assert_eq!(wr.community, ur.community, "query {q}");
+        }
+    }
+
+    #[test]
+    fn laneless_graph_matches_unit_weights() {
+        // On a plain Graph the unit-weight fallback makes W-FPA behave
+        // exactly as on an explicitly unit-weighted lane.
+        let topo = dmcs_gen::karate::karate();
+        let unit = topo.clone().with_unit_weights();
+        for q in [0u32, 16, 33] {
+            let bare = WeightedFpa.search(&topo, &[q]).unwrap();
+            let lane = WeightedFpa.search(&unit, &[q]).unwrap();
+            assert_eq!(bare, lane, "query {q}");
         }
     }
 
@@ -199,6 +231,19 @@ mod tests {
         let r = WeightedFpa.search(&g, &[0, 5]).unwrap();
         for v in [0, 2, 3, 5] {
             assert!(r.community.contains(&v));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let g = weighted_barbell(0.5, 4.0);
+        let mut ws = QueryWorkspace::new();
+        for q in 0..6u32 {
+            let fresh = WeightedFpa.search(&g, &[q]).unwrap();
+            let reused = WeightedFpa
+                .search_with_workspace(&g, &[q], &mut ws)
+                .unwrap();
+            assert_eq!(fresh, reused, "query {q}");
         }
     }
 

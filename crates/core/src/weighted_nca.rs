@@ -16,17 +16,23 @@
 //! strength of `v` in `G`, `d_S` the strength sum of the alive set, and
 //! `w_G` the total edge weight. With unit weights this reduces exactly to
 //! the integer gain of the unweighted NCA.
+//!
+//! [`WeightedNca`] implements [`CommunitySearch`] over any [`Graph`]
+//! (unit-weight fallback when no weights lane is attached) and is
+//! registered as `nca-w`, so it composes with sessions, batches and the
+//! result cache like every other algorithm.
 
-use crate::{SearchError, SearchResult};
+use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::articulation::articulation_nodes;
-use dmcs_graph::traversal::{component_of, multi_source_bfs};
-use dmcs_graph::weighted::WeightedGraph;
-use dmcs_graph::{GraphError, NodeId, SubgraphView};
+use dmcs_graph::traversal::multi_source_bfs_collect;
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{Graph, NodeId};
 
-/// NCA over a [`WeightedGraph`], maximising weighted density modularity.
+/// NCA maximising the *weighted* density modularity (`nca-w` in the
+/// registry).
 ///
 /// ```
-/// use dmcs_core::WeightedNca;
+/// use dmcs_core::{CommunitySearch, WeightedNca};
 /// use dmcs_graph::weighted::WeightedGraphBuilder;
 ///
 /// // A heavy triangle and a light one, bridged: from node 0 the heavy
@@ -45,44 +51,37 @@ pub struct WeightedNca {
     pub max_iterations: Option<usize>,
 }
 
-impl WeightedNca {
-    /// Find a connected community containing all of `query` with high
-    /// weighted density modularity.
-    pub fn search(&self, g: &WeightedGraph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
-        let topo = g.topology();
-        if query.is_empty() {
-            return Err(SearchError::EmptyQuery);
-        }
-        for &q in query {
-            if q as usize >= topo.n() {
-                return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
-            }
-        }
-        if !dmcs_graph::traversal::same_component(topo, query) {
-            return Err(SearchError::Graph(GraphError::QueryDisconnected));
-        }
+impl CommunitySearch for WeightedNca {
+    fn name(&self) -> &'static str {
+        "W-NCA"
+    }
 
-        let component = component_of(topo, query[0]);
-        let mut is_query = vec![false; topo.n()];
-        for &q in query {
-            is_query[q as usize] = true;
-        }
-        let dist = multi_source_bfs(topo, query);
+    fn search(&self, g: &Graph, query: &[NodeId]) -> Result<SearchResult, SearchError> {
+        self.search_with_workspace(g, query, &mut QueryWorkspace::new())
+    }
 
-        let mut view = SubgraphView::from_nodes(topo, &component);
-        // Weighted running state.
-        let mut local_w: Vec<f64> = (0..topo.n() as NodeId)
-            .map(|v| {
-                if view.contains(v) {
-                    g.weighted_neighbors(v)
-                        .filter(|&(u, _)| view.contains(u))
-                        .map(|(_, w)| w)
-                        .sum()
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+    fn search_with_workspace(
+        &self,
+        g: &Graph,
+        query: &[NodeId],
+        ws: &mut QueryWorkspace,
+    ) -> Result<SearchResult, SearchError> {
+        validate_query(g, query)?;
+        // One multi-source BFS both computes query distances (the
+        // tie-break) and collects the component (queries are connected).
+        let mut dist = ws.take_dist(g.n());
+        let component = multi_source_bfs_collect(g, query, &mut dist);
+
+        let mut view = ws.view(g, &component);
+        // Weighted running state over the pooled f64 buffer.
+        let mut local_w = ws.take_weights(g.n());
+        for &v in &component {
+            local_w[v as usize] = g
+                .weighted_neighbors(v)
+                .filter(|&(u, _)| view.contains(u))
+                .map(|(_, w)| w)
+                .sum();
+        }
         let mut w_s: f64 = component.iter().map(|&v| local_w[v as usize]).sum::<f64>() / 2.0;
         let mut d_s: f64 = g.strength_sum(&component);
         let mut size = component.len();
@@ -102,9 +101,11 @@ impl WeightedNca {
         while iterations < cap && size > query.len() {
             let art = articulation_nodes(&view);
             // Best removable node by weighted Λ; ties: remove the farthest.
+            // Query nodes are exactly the BFS sources (`dist == 0`), so
+            // protecting them is an O(1) test per candidate.
             let mut chosen: Option<(NodeId, f64, u32)> = None;
             for v in view.iter_alive() {
-                if is_query[v as usize] || art[v as usize] {
+                if dist[v as usize] == 0 || art[v as usize] {
                     continue;
                 }
                 let d_v = g.strength(v);
@@ -137,11 +138,15 @@ impl WeightedNca {
         }
 
         let dead: std::collections::HashSet<NodeId> = removed[..best.1].iter().copied().collect();
-        let community: Vec<NodeId> = component
+        let mut community: Vec<NodeId> = component
             .iter()
             .copied()
             .filter(|v| !dead.contains(v))
             .collect();
+        community.sort_unstable();
+        ws.put_weights(local_w, &component);
+        ws.recycle(view, &component);
+        ws.put_dist(dist, &component);
         Ok(SearchResult {
             community,
             density_modularity: best.0,
@@ -154,8 +159,9 @@ impl WeightedNca {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CommunitySearch, Nca};
-    use dmcs_graph::weighted::WeightedGraphBuilder;
+    use crate::Nca;
+    use dmcs_graph::weighted::{WeightedGraph, WeightedGraphBuilder};
+    use dmcs_graph::SubgraphView;
 
     fn weighted_barbell(left: f64, right: f64) -> WeightedGraph {
         let mut b = WeightedGraphBuilder::new(6);
@@ -188,7 +194,7 @@ mod tests {
         let g = b.build();
         for q in 0..6u32 {
             let wr = WeightedNca::default().search(&g, &[q]).unwrap();
-            let ur = Nca::default().search(g.topology(), &[q]).unwrap();
+            let ur = Nca::default().search(&g, &[q]).unwrap();
             assert_eq!(wr.community, ur.community, "query {q}");
             assert!(
                 (wr.density_modularity - ur.density_modularity).abs() < 1e-9,
@@ -211,6 +217,9 @@ mod tests {
             let wr = WeightedNca::default().search(&g, &[q]).unwrap();
             let ur = Nca::default().search(&topo, &[q]).unwrap();
             assert_eq!(wr.community, ur.community, "query {q}");
+            // The unit-fallback path on the bare topology agrees too.
+            let bare = WeightedNca::default().search(&topo, &[q]).unwrap();
+            assert_eq!(bare.community, wr.community, "laneless query {q}");
         }
     }
 
@@ -228,8 +237,21 @@ mod tests {
         for v in [0, 5] {
             assert!(r.community.contains(&v));
         }
-        let view = SubgraphView::from_nodes(g.topology(), &r.community);
+        let view = SubgraphView::from_nodes(&g, &r.community);
         assert!(view.is_connected());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let g = weighted_barbell(3.0, 0.5);
+        let mut ws = QueryWorkspace::new();
+        for q in 0..6u32 {
+            let fresh = WeightedNca::default().search(&g, &[q]).unwrap();
+            let reused = WeightedNca::default()
+                .search_with_workspace(&g, &[q], &mut ws)
+                .unwrap();
+            assert_eq!(fresh, reused, "query {q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Weighted-serving benchmarks backing the two performance claims of the
+//! weights-lane design:
+//!
+//! 1. **The unweighted hot path did not regress** — the weights lane is
+//!    pay-for-what-you-use. `per_query_latency` measures single-query
+//!    FPA on the fragmented-50k serving graph three ways: unweighted FPA
+//!    on a bare graph (the PR-4 baseline shape), unweighted FPA on a
+//!    *lane-carrying* graph (the lane must be inert for unweighted
+//!    algorithms), and W-FPA on the weighted graph (the price of the
+//!    weighted objective: f64 arithmetic + per-layer scans instead of
+//!    the lazy heap).
+//! 2. **Weighted snapshot rebuilds stay `O(|V| + |E|)`** —
+//!    `snapshot_rebuild` compares a forced mutate→snapshot cycle on an
+//!    unweighted vs a weighted 50k-node store (the weighted rebuild adds
+//!    one slot-weight copy plus a strength pass).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dmcs_engine::{AlgoSpec, Engine, QueryRequest};
+use dmcs_gen::sbm;
+use dmcs_gen::weighting::{weight_by_communities, WeightingConfig};
+use dmcs_graph::{Graph, GraphStore, NodeId};
+
+/// The fragmented serving graph of the engine's other benches: 250
+/// disconnected ~200-node blocks (50k nodes), plus its planted blocks.
+fn fragmented(blocks: usize) -> (Graph, Vec<Vec<NodeId>>) {
+    let sizes = vec![200usize; blocks];
+    sbm::planted_partition(&sizes, 0.06, 0.0, 7)
+}
+
+/// Community-correlated weights over the fragmented topology (intra 5x,
+/// seeded jitter) — the weighted regime of Definition 2.
+fn weighted_fragmented(blocks: usize) -> Graph {
+    let (g, comms) = fragmented(blocks);
+    weight_by_communities(&g, &comms, WeightingConfig::default()).into_graph()
+}
+
+fn bench_per_query_latency(c: &mut Criterion) {
+    let (bare, _) = fragmented(250);
+    let laned = weighted_fragmented(250);
+    let req = [QueryRequest::new(vec![0])];
+
+    let mut group = c.benchmark_group("weighted_per_query_fragmented50k");
+    group.sample_size(10);
+
+    // Caching disabled throughout: every iteration pays the real search.
+    let baseline = Engine::with_cache_capacity(GraphStore::from_graph(bare), 0);
+    let spec = AlgoSpec::new("fpa");
+    group.bench_function("fpa_unweighted_bare_graph", |b| {
+        b.iter(|| black_box(baseline.run_batch(&spec, &req, 1).unwrap().succeeded()))
+    });
+
+    // Same unweighted algorithm, lane present: must be within noise of
+    // the bare-graph number (the lane is never consulted).
+    let inert = Engine::with_cache_capacity(GraphStore::from_graph(laned.clone()), 0);
+    group.bench_function("fpa_unweighted_lane_carrying_graph", |b| {
+        b.iter(|| black_box(inert.run_batch(&spec, &req, 1).unwrap().succeeded()))
+    });
+
+    // The weighted objective on the same graph.
+    let wspec = AlgoSpec::new("fpa").weighted();
+    group.bench_function("wfpa_weighted_graph", |b| {
+        b.iter(|| black_box(inert.run_batch(&wspec, &req, 1).unwrap().succeeded()))
+    });
+    group.finish();
+}
+
+fn bench_snapshot_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_snapshot_rebuild_n50k");
+    group.sample_size(10);
+
+    // Unweighted baseline: toggle one edge, rebuild.
+    let (bare, _) = fragmented(250);
+    let store = GraphStore::from_graph(bare);
+    group.bench_function("rebuild_unweighted", |b| {
+        b.iter(|| {
+            store.remove_edge(0, 1);
+            store.insert_edge(0, 1);
+            black_box(store.snapshot().m())
+        })
+    });
+
+    // Weighted: same toggle (weight preserved) plus the lane rebuild.
+    let wstore = GraphStore::from_graph(weighted_fragmented(250));
+    let w01 = wstore.edge_weight(0, 1).expect("intra-block edge");
+    group.bench_function("rebuild_weighted", |b| {
+        b.iter(|| {
+            wstore.remove_edge(0, 1);
+            wstore.insert_edge_w(0, 1, w01);
+            black_box(wstore.snapshot().m())
+        })
+    });
+
+    // Weight-only churn: set_weight → rebuild (the setw serving cycle).
+    group.bench_function("setw_then_rebuild", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            wstore.set_weight(0, 1, if flip { w01 * 2.0 } else { w01 });
+            black_box(wstore.snapshot().m())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_query_latency, bench_snapshot_rebuild);
+criterion_main!(benches);

@@ -121,8 +121,9 @@ pub struct BatchRunner {
 }
 
 /// The dedup identity of one request: everything that determines its
-/// answer (the correlation tag deliberately excluded).
-type WorkKey = (String, u32, bool, Vec<NodeId>, Option<usize>);
+/// answer — label, `k`, layer pruning, weightedness, nodes and cap (the
+/// correlation tag deliberately excluded).
+type WorkKey = (String, u32, bool, bool, Vec<NodeId>, Option<usize>);
 
 impl BatchRunner {
     /// Runner for `spec` on `threads` workers.
@@ -209,6 +210,7 @@ impl BatchRunner {
                 spec.name.clone(),
                 spec.params.k,
                 spec.params.layer_pruning,
+                spec.params.weighted,
                 req.nodes.clone(),
                 req.max_community_size,
             );

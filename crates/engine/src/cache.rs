@@ -56,6 +56,10 @@ pub struct CacheKey {
     pub k: u32,
     /// FPA's layer-pruning toggle.
     pub layer_pruning: bool,
+    /// Whether the spec asked for the weighted objective
+    /// ([`crate::AlgoParams::weighted`]) — a weighted and an unweighted
+    /// request over the same label must never share an entry.
+    pub weighted: bool,
     /// Query nodes, sorted ascending.
     pub nodes: Vec<NodeId>,
     /// Process-unique id of the graph store the answer belongs to.
@@ -74,6 +78,7 @@ impl CacheKey {
             algo: spec.name.clone(),
             k: spec.params.k,
             layer_pruning: spec.params.layer_pruning,
+            weighted: spec.params.weighted,
             nodes,
             store: snapshot.store_id(),
             version: snapshot.version(),
@@ -237,6 +242,7 @@ mod tests {
             algo: "fpa".into(),
             k: 3,
             layer_pruning: true,
+            weighted: false,
             nodes,
             store: 0,
             version,
@@ -260,6 +266,11 @@ mod tests {
         assert_ne!(
             CacheKey::new(&AlgoSpec::with_k("kc", 3), &[0], &snap),
             CacheKey::new(&AlgoSpec::with_k("kc", 4), &[0], &snap),
+        );
+        assert_ne!(
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
+            CacheKey::new(&AlgoSpec::new("fpa").weighted(), &[0], &snap),
+            "weightedness separates entries"
         );
         // Two different graphs frozen at the same version must never
         // share an entry: the process-unique store id separates them.

@@ -12,7 +12,10 @@
 //!   workspace. CLI `--algo` parsing, the experiment line-ups and the
 //!   generated help text all resolve through it; unknown labels come
 //!   back as [`EngineError::UnknownAlgo`] with a nearest-name
-//!   suggestion.
+//!   suggestion. Weighted serving is first-class: `fpa-w`/`nca-w` (or
+//!   any spec with [`AlgoParams::weighted`]) build the weighted
+//!   searchers, and weightedness participates in cache and batch-dedup
+//!   keys.
 //! - [`error`] — [`EngineError`], the workspace-wide error taxonomy.
 //!   Implements `std::error::Error` with full `source()` chains and maps
 //!   every variant to a distinct, documented process exit code.
@@ -157,6 +160,21 @@ impl Engine {
     /// cached answers for the old epoch stop matching.
     pub fn insert_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.store.insert_edge(u, v)
+    }
+
+    /// Insert an edge with weight `w` into the live (weighted) graph
+    /// (see [`GraphStore::insert_edge_w`]).
+    pub fn insert_edge_w(&self, u: NodeId, v: NodeId, w: f64) -> bool {
+        self.store.insert_edge_w(u, v, w)
+    }
+
+    /// Update the weight of an existing edge on the live (weighted)
+    /// graph, returning the previous weight (see
+    /// [`GraphStore::set_weight`]). A weight change bumps the version,
+    /// so cached answers for the old epoch stop matching — same
+    /// topology, different weights, different epoch.
+    pub fn set_weight(&self, u: NodeId, v: NodeId, w: f64) -> Option<f64> {
+        self.store.set_weight(u, v, w)
     }
 
     /// Remove an edge from the live graph (see

@@ -20,10 +20,17 @@
 //! followed, for batches, by exactly one `summary` object:
 //!
 //! ```json
-//! {"type":"summary","algo":"FPA","queries":3,"ok":2,"wall_seconds":0.004,
-//!  "queries_per_sec":750.0,"p50_seconds":0.001,"p95_seconds":0.002,
-//!  "unique":3,"cache_hits":0,"cache_misses":3}
+//! {"type":"summary","algo":"FPA","weighted":false,"queries":3,"ok":2,
+//!  "wall_seconds":0.004,"queries_per_sec":750.0,"p50_seconds":0.001,
+//!  "p95_seconds":0.002,"unique":3,"cache_hits":0,"cache_misses":3}
 //! ```
+//!
+//! `weighted` records whether the batch served the weighted density
+//! modularity (the CLI's `--weighted`, or an
+//! [`AlgoSpec`](crate::AlgoSpec) with the weighted parameter); weighted
+//! responses additionally reveal themselves through the algorithm name
+//! (`"W-FPA"` / `"W-NCA"`), and their `dm` field is the *weighted*
+//! objective.
 //!
 //! `unique` counts the distinct work items the batch actually dispatched
 //! (in-batch dedup answers the rest by fan-out); `cache_hits` /
@@ -489,11 +496,13 @@ pub fn response_json(resp: &QueryResponse, original: Option<&[u64]>) -> Json {
     )
 }
 
-/// The `summary` object of a [`BatchReport`].
-pub fn summary_json(algo: &str, report: &BatchReport) -> Json {
+/// The `summary` object of a [`BatchReport`]. `weighted` records
+/// whether the batch ran the weighted objective.
+pub fn summary_json(algo: &str, weighted: bool, report: &BatchReport) -> Json {
     Json::Obj(vec![
         ("type".to_string(), Json::str("summary")),
         ("algo".to_string(), Json::str(algo)),
+        ("weighted".to_string(), Json::Bool(weighted)),
         (
             "queries".to_string(),
             Json::UInt(report.responses.len() as u64),
@@ -524,13 +533,18 @@ pub fn summary_json(algo: &str, report: &BatchReport) -> Json {
 /// A whole [`BatchReport`] as JSON-lines: one `response` line per query
 /// in submission order, then one `summary` line. Every line is a
 /// complete JSON object; the result ends with a newline.
-pub fn report_jsonl(algo: &str, report: &BatchReport, original: Option<&[u64]>) -> String {
+pub fn report_jsonl(
+    algo: &str,
+    weighted: bool,
+    report: &BatchReport,
+    original: Option<&[u64]>,
+) -> String {
     let mut out = String::new();
     for resp in &report.responses {
         out.push_str(&response_json(resp, original).render());
         out.push('\n');
     }
-    out.push_str(&summary_json(algo, report).render());
+    out.push_str(&summary_json(algo, weighted, report).render());
     out.push('\n');
     out
 }

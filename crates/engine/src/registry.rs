@@ -14,7 +14,9 @@ use dmcs_baselines::{
     CliquePercolation, Cnm, Gn, HighCore, HighTruss, Huang2015, Icwi2008, KCore, KTruss, Kecc,
     LocalKCore, Louvain, Lpa, PprSweep, Wu2015,
 };
-use dmcs_core::{BranchAndBound, CommunitySearch, Exact, Fpa, FpaDmg, Nca, NcaDr};
+use dmcs_core::{
+    BranchAndBound, CommunitySearch, Exact, Fpa, FpaDmg, Nca, NcaDr, WeightedFpa, WeightedNca,
+};
 
 /// Tunable parameters an [`AlgoSpec`] carries to the factory. Algorithms
 /// ignore the fields they have no use for.
@@ -25,6 +27,13 @@ pub struct AlgoParams {
     pub k: u32,
     /// FPA's layer-based pruning strategy (§5.7). Only `fpa` reads it.
     pub layer_pruning: bool,
+    /// Serve the *weighted* density modularity: `fpa`/`nca` resolve to
+    /// their weight-aware implementations (exactly what the canonical
+    /// `fpa-w`/`nca-w` labels build). Entries that are not
+    /// [`weight_aware`](AlgoEntry::weight_aware) ignore it. Participates
+    /// in cache and batch-dedup keys — a weighted and an unweighted
+    /// request never share an answer.
+    pub weighted: bool,
 }
 
 impl Default for AlgoParams {
@@ -32,12 +41,14 @@ impl Default for AlgoParams {
         AlgoParams {
             k: 3,
             layer_pruning: true,
+            weighted: false,
         }
     }
 }
 
 /// One registry row: the stable label, a one-line summary for generated
-/// help text, whether `k` is meaningful, and the factory.
+/// help text, whether `k` is meaningful, whether the algorithm can serve
+/// the weighted objective, and the factory.
 pub struct AlgoEntry {
     /// Stable lookup label (lowercase; the CLI's `--algo` value).
     pub name: &'static str,
@@ -45,6 +56,9 @@ pub struct AlgoEntry {
     pub summary: &'static str,
     /// Whether the `k` parameter changes this algorithm's behaviour.
     pub uses_k: bool,
+    /// Whether this algorithm can maximise the *weighted* density
+    /// modularity (the CLI's `--weighted` accepts exactly these labels).
+    pub weight_aware: bool,
     factory: fn(&AlgoParams) -> Box<dyn CommunitySearch>,
 }
 
@@ -63,130 +77,175 @@ pub const REGISTRY: &[AlgoEntry] = &[
         name: "fpa",
         summary: "Fast Peeling Algorithm (§5.5, layer pruning §5.7) — the paper's default",
         uses_k: false,
+        weight_aware: true,
         factory: |p| {
-            Box::new(Fpa {
-                layer_pruning: p.layer_pruning,
-            })
+            if p.weighted {
+                Box::new(WeightedFpa)
+            } else {
+                Box::new(Fpa {
+                    layer_pruning: p.layer_pruning,
+                })
+            }
         },
     },
     AlgoEntry {
         name: "nca",
         summary: "Non-articulation Cancellation Algorithm (§5.4)",
         uses_k: false,
-        factory: |_| Box::new(Nca::default()),
+        weight_aware: true,
+        factory: |p| {
+            if p.weighted {
+                Box::new(WeightedNca::default())
+            } else {
+                Box::new(Nca::default())
+            }
+        },
+    },
+    AlgoEntry {
+        name: "fpa-w",
+        summary: "FPA on the weighted density modularity (Definition 2, weighted form)",
+        uses_k: false,
+        weight_aware: true,
+        factory: |_| Box::new(WeightedFpa),
+    },
+    AlgoEntry {
+        name: "nca-w",
+        summary: "NCA on the weighted density modularity",
+        uses_k: false,
+        weight_aware: true,
+        factory: |_| Box::new(WeightedNca::default()),
     },
     AlgoEntry {
         name: "fpa-dmg",
         summary: "FPA ablation scored by the unstable DM gain (Fig 3 (b)+(c))",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(FpaDmg),
     },
     AlgoEntry {
         name: "nca-dr",
         summary: "NCA ablation scored by the density ratio (Fig 3 (a)+(d))",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(NcaDr::default()),
     },
     AlgoEntry {
         name: "exact",
         summary: "bitmask exact optimum (components up to 26 nodes)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Exact),
     },
     AlgoEntry {
         name: "bnb",
         summary: "branch-and-bound exact optimum (~30-node components)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(BranchAndBound::default()),
     },
     AlgoEntry {
         name: "kc",
         summary: "connected k-core of the queries (Sozio & Gionis 2010)",
         uses_k: true,
+        weight_aware: false,
         factory: |p| Box::new(KCore::new(p.k)),
     },
     AlgoEntry {
         name: "kt",
         summary: "triangle-connected k-truss community (Huang et al. 2014)",
         uses_k: true,
+        weight_aware: false,
         factory: |p| Box::new(KTruss::new(p.k.max(3))),
     },
     AlgoEntry {
         name: "kecc",
         summary: "k-edge-connected component (Chang et al. 2015)",
         uses_k: true,
+        weight_aware: false,
         factory: |p| Box::new(Kecc::new(p.k.into())),
     },
     AlgoEntry {
         name: "highcore",
         summary: "k-core with k maximised",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(HighCore),
     },
     AlgoEntry {
         name: "hightruss",
         summary: "k-truss with k maximised",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(HighTruss),
     },
     AlgoEntry {
         name: "ls",
         summary: "local k-core expansion",
         uses_k: true,
+        weight_aware: false,
         factory: |p| Box::new(LocalKCore::new(p.k)),
     },
     AlgoEntry {
         name: "huang2015",
         summary: "closest truss community, 2-approx (Huang et al. 2015)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Huang2015::default()),
     },
     AlgoEntry {
         name: "wu2015",
         summary: "query-biased density deletion, η=0.5 (Wu et al. 2015)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Wu2015::default()),
     },
     AlgoEntry {
         name: "clique",
         summary: "densest clique-percolation community (Yuan et al. 2017)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(CliquePercolation::default()),
     },
     AlgoEntry {
         name: "cnm",
         summary: "agglomerative modularity, best-DM intermediate (Clauset et al. 2004)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Cnm),
     },
     AlgoEntry {
         name: "gn",
         summary: "divisive edge-betweenness, best-DM intermediate (Girvan & Newman 2002)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Gn::default()),
     },
     AlgoEntry {
         name: "icwi2008",
         summary: "Luo's local-modularity greedy (Luo et al. 2008)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Icwi2008),
     },
     AlgoEntry {
         name: "lpa",
         summary: "label propagation, label block of the query (Raghavan et al. 2007)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Lpa::default()),
     },
     AlgoEntry {
         name: "louvain",
         summary: "Louvain detection, community of the query (Blondel et al. 2008)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(Louvain::default()),
     },
     AlgoEntry {
         name: "ppr",
         summary: "personalized-PageRank sweep cut (Andersen et al. 2006)",
         uses_k: false,
+        weight_aware: false,
         factory: |_| Box::new(PprSweep::default()),
     },
 ];
@@ -239,7 +298,11 @@ pub fn algo_help() -> String {
     let mut out = String::new();
     for e in REGISTRY {
         let k = if e.uses_k { "  [uses --k]" } else { "" };
-        out.push_str(&format!("      {:width$}  {}{}\n", e.name, e.summary, k));
+        let w = if e.weight_aware { "  [weights]" } else { "" };
+        out.push_str(&format!(
+            "      {:width$}  {}{}{}\n",
+            e.name, e.summary, k, w
+        ));
     }
     out
 }
@@ -279,6 +342,23 @@ impl AlgoSpec {
     pub fn without_pruning(mut self) -> Self {
         self.params.layer_pruning = false;
         self
+    }
+
+    /// Serve the weighted density modularity (see
+    /// [`AlgoParams::weighted`]): `AlgoSpec::new("fpa").weighted()`
+    /// builds the same searcher as `AlgoSpec::new("fpa-w")`.
+    pub fn weighted(mut self) -> Self {
+        self.params.weighted = true;
+        self
+    }
+
+    /// Whether this spec resolves to a searcher maximising the
+    /// *weighted* objective: either [`AlgoParams::weighted`] is set or
+    /// the label is one of the canonical weighted entries (`fpa-w` /
+    /// `nca-w`, which build the weighted searchers unconditionally).
+    /// The JSON `summary.weighted` field reports this.
+    pub fn serves_weighted(&self) -> bool {
+        self.params.weighted || matches!(self.name.as_str(), "fpa-w" | "nca-w")
     }
 
     /// Instantiate the algorithm. An unregistered label is an
@@ -376,6 +456,40 @@ mod tests {
         let kc = AlgoSpec::with_k("kc", 5);
         assert_eq!(kc.params.k, 5);
         assert!(AlgoSpec::new("no-such-algo").build().is_err());
+    }
+
+    #[test]
+    fn weightedness_threads_through_specs_and_labels() {
+        // The weighted param reroutes fpa/nca to the weighted searchers…
+        assert_eq!(
+            AlgoSpec::new("fpa").weighted().build().unwrap().name(),
+            "W-FPA"
+        );
+        assert_eq!(
+            AlgoSpec::new("nca").weighted().build().unwrap().name(),
+            "W-NCA"
+        );
+        // …which is exactly what the canonical -w labels build.
+        assert_eq!(AlgoSpec::new("fpa-w").build().unwrap().name(), "W-FPA");
+        assert_eq!(AlgoSpec::new("nca-w").build().unwrap().name(), "W-NCA");
+        // Unweighted specs keep the classic implementations.
+        assert_eq!(AlgoSpec::new("fpa").build().unwrap().name(), "FPA");
+        // Weight-awareness is a registry attribute the CLI validates on.
+        for (label, aware) in [
+            ("fpa", true),
+            ("nca-w", true),
+            ("kc", false),
+            ("louvain", false),
+        ] {
+            assert_eq!(find(label).unwrap().weight_aware, aware, "{label}");
+        }
+        // Typos near the weighted labels get suggestions.
+        assert_eq!(suggest("fpa-v"), Some("fpa-w"));
+        assert_eq!(suggest("nca-W"), Some("nca-w"));
+        // serves_weighted covers both routes to a weighted searcher.
+        assert!(AlgoSpec::new("fpa-w").serves_weighted());
+        assert!(AlgoSpec::new("fpa").weighted().serves_weighted());
+        assert!(!AlgoSpec::new("fpa").serves_weighted());
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn fixed_report() -> BatchReport {
 
 #[test]
 fn report_matches_the_golden_file() {
-    let rendered = report_jsonl("FPA", &fixed_report(), None);
+    let rendered = report_jsonl("FPA", false, &fixed_report(), None);
     let golden = include_str!("golden/batch_report.jsonl");
     assert_eq!(
         rendered, golden,

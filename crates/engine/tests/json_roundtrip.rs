@@ -33,7 +33,7 @@ proptest! {
             .expect("registered")
             .run(&Snapshot::freeze(g), &requests)
             .expect("overrides resolve");
-        let rendered = report_jsonl("FPA", &report, Some(&original));
+        let rendered = report_jsonl("FPA", false, &report, Some(&original));
 
         let lines: Vec<&str> = rendered.lines().collect();
         prop_assert_eq!(lines.len(), report.responses.len() + 1, "responses + summary");
@@ -79,6 +79,7 @@ proptest! {
 
         let summary = Json::parse(lines[report.responses.len()]).expect("valid summary");
         prop_assert_eq!(summary.get("type").unwrap().as_str(), Some("summary"));
+        prop_assert_eq!(summary.get("weighted").unwrap().as_bool(), Some(false));
         prop_assert_eq!(
             summary.get("queries").unwrap().as_f64(),
             Some(report.responses.len() as f64)

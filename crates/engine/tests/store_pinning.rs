@@ -49,7 +49,7 @@ fn a_batch_started_before_an_update_runs_on_its_pinned_snapshot() {
     }
     // Byte-for-byte: the rendered JSON (minus per-run timings, which the
     // fixed responses carry along) is identical.
-    let render = |r| report_jsonl("FPA", r, None);
+    let render = |r| report_jsonl("FPA", false, r, None);
     let strip_summary = |s: String| {
         s.lines()
             .filter(|l| l.contains("\"response\""))
@@ -140,6 +140,70 @@ fn dedup_and_cache_compose_across_batches() {
     }
     assert_eq!(engine.cache().hits(), 3);
     assert_eq!(engine.cache().misses(), 3);
+}
+
+#[test]
+fn weight_only_updates_invalidate_the_cache() {
+    // Same topology, changed weight → new epoch → cache miss. The
+    // weighted objective depends on every weight through w_G, so the
+    // version-keyed cache must not serve pre-update answers.
+    let mut b = dmcs_graph::weighted::WeightedGraphBuilder::new(6);
+    for (u, v, w) in [
+        (0, 1, 5.0),
+        (1, 2, 5.0),
+        (0, 2, 5.0),
+        (3, 4, 1.0),
+        (4, 5, 1.0),
+        (3, 5, 1.0),
+        (2, 3, 0.5),
+    ] {
+        b.add_edge(u, v, w);
+    }
+    let engine = Engine::new(GraphStore::from_graph(b.build().into_graph()));
+    assert!(engine.store().is_weighted());
+    let spec = AlgoSpec::new("fpa").weighted();
+    let req = [QueryRequest::new(vec![3])];
+
+    let first = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!((first.cache_hits, first.cache_misses), (0, 1));
+    assert_eq!(first.responses[0].algo, "W-FPA");
+    // Light triangle from its own corner.
+    assert_eq!(
+        first.responses[0].result.as_ref().unwrap().community,
+        vec![3, 4, 5]
+    );
+
+    // Repeat: hit.
+    let repeat = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!((repeat.cache_hits, repeat.cache_misses), (1, 0));
+
+    // Weight-only update (no topological change): the version moves and
+    // the cached answer stops matching.
+    assert_eq!(engine.set_weight(2, 3, 40.0), Some(0.5));
+    let after = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!(
+        (after.cache_hits, after.cache_misses),
+        (0, 1),
+        "changed weight, same topology: must recompute"
+    );
+    // And the recomputed answer reflects the new weights: the massive
+    // bridge pulls node 2 into node 3's community.
+    assert!(after.responses[0]
+        .result
+        .as_ref()
+        .unwrap()
+        .community
+        .contains(&2));
+
+    // Re-setting the same weight is a no-op epoch-wise: hit again.
+    assert_eq!(engine.set_weight(2, 3, 40.0), Some(40.0));
+    let noop = engine.run_batch(&spec, &req, 1).unwrap();
+    assert_eq!((noop.cache_hits, noop.cache_misses), (1, 0));
+
+    // Weighted and unweighted specs never share cache slots.
+    let plain = engine.run_batch(&AlgoSpec::new("fpa"), &req, 1).unwrap();
+    assert_eq!((plain.cache_hits, plain.cache_misses), (0, 1));
+    assert_eq!(plain.responses[0].algo, "FPA");
 }
 
 #[test]

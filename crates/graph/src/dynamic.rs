@@ -10,11 +10,23 @@
 //! (e.g. `dmcs_core::dynamic::IncrementalSearch`) detect staleness
 //! exactly.
 //!
+//! A dynamic graph is **weighted** when it carries a per-edge weight
+//! lane (see [`DynamicGraph::new_weighted`]); weighted mutators
+//! ([`insert_edge_w`](DynamicGraph::insert_edge_w),
+//! [`set_weight`](DynamicGraph::set_weight)) bump the version like any
+//! other effective mutation — a weight change invalidates version-keyed
+//! caches exactly like a topology change, because the weighted density
+//! modularity depends on every edge weight through `w_G`. On an
+//! unweighted graph the weighted mutators refuse (return
+//! `false`/`None`) rather than silently inventing a lane.
+//!
 //! [`version`]: DynamicGraph::version
 
+use crate::weighted::valid_weight;
 use crate::{Graph, GraphBuilder, NodeId};
 
-/// A mutable, undirected simple graph (no self-loops, no multi-edges).
+/// A mutable, undirected simple graph (no self-loops, no multi-edges),
+/// optionally weighted.
 ///
 /// ```
 /// use dmcs_graph::dynamic::DynamicGraph;
@@ -30,28 +42,59 @@ use crate::{Graph, GraphBuilder, NodeId};
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
     adj: Vec<Vec<NodeId>>,
+    /// Weight of `adj[u][i]`'s edge, parallel to `adj`; `None` for
+    /// unweighted graphs.
+    wadj: Option<Vec<Vec<f64>>>,
     m: usize,
     version: u64,
 }
 
 impl DynamicGraph {
-    /// Empty graph on `n` nodes.
+    /// Empty unweighted graph on `n` nodes.
     pub fn new(n: usize) -> Self {
         DynamicGraph {
             adj: vec![Vec::new(); n],
+            wadj: None,
             m: 0,
             version: 0,
         }
     }
 
-    /// Start from a CSR snapshot.
+    /// Empty *weighted* graph on `n` nodes: edges carry weights,
+    /// [`DynamicGraph::set_weight`] works, and snapshots produce
+    /// lane-carrying [`Graph`]s.
+    pub fn new_weighted(n: usize) -> Self {
+        DynamicGraph {
+            adj: vec![Vec::new(); n],
+            wadj: Some(vec![Vec::new(); n]),
+            m: 0,
+            version: 0,
+        }
+    }
+
+    /// Start from a CSR snapshot. A weights lane on `g` carries over —
+    /// the dynamic graph is weighted iff `g` is.
     pub fn from_graph(g: &Graph) -> Self {
-        let mut d = DynamicGraph::new(g.n());
+        let mut d = if g.is_weighted() {
+            DynamicGraph::new_weighted(g.n())
+        } else {
+            DynamicGraph::new(g.n())
+        };
         for (u, v) in g.edges() {
-            d.insert_edge(u, v);
+            if d.is_weighted() {
+                let w = g.edge_weight(u, v).expect("edge iterated");
+                d.insert_edge_w(u, v, w);
+            } else {
+                d.insert_edge(u, v);
+            }
         }
         d.version = 0; // construction does not count as mutation
         d
+    }
+
+    /// Whether this graph carries per-edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.wadj.is_some()
     }
 
     /// Number of nodes.
@@ -65,7 +108,7 @@ impl DynamicGraph {
     }
 
     /// Mutation counter: bumped by every successful `insert_edge`,
-    /// `remove_edge` and `add_node`.
+    /// `insert_edge_w`, `remove_edge`, `set_weight` and `add_node`.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -87,28 +130,66 @@ impl DynamicGraph {
             .is_some_and(|a| a.binary_search(&v).is_ok())
     }
 
+    /// Weight of edge `(u, v)`: `Some(w)` when present (1.0 per edge on
+    /// an unweighted graph), `None` when absent.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let pos = self
+            .adj
+            .get(u as usize)
+            .and_then(|a| a.binary_search(&v).ok())?;
+        Some(match &self.wadj {
+            Some(w) => w[u as usize][pos],
+            None => 1.0,
+        })
+    }
+
     /// Append a fresh isolated node; returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());
+        if let Some(w) = &mut self.wadj {
+            w.push(Vec::new());
+        }
         self.version += 1;
         (self.adj.len() - 1) as NodeId
     }
 
     /// Insert the undirected edge `{u, v}`. Returns `false` (and changes
-    /// nothing) for self-loops, out-of-range endpoints, or existing edges.
+    /// nothing) for self-loops, out-of-range endpoints, or existing
+    /// edges. On a weighted graph the edge gets weight 1.0.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.insert_with(u, v, 1.0)
+    }
+
+    /// Insert the undirected edge `{u, v}` with weight `w`. Returns
+    /// `false` (and changes nothing) under the [`insert_edge`] rules,
+    /// and additionally when the graph is unweighted or `w` is
+    /// non-finite or not strictly positive.
+    ///
+    /// [`insert_edge`]: DynamicGraph::insert_edge
+    pub fn insert_edge_w(&mut self, u: NodeId, v: NodeId, w: f64) -> bool {
+        if !self.is_weighted() || !valid_weight(w) {
+            return false;
+        }
+        self.insert_with(u, v, w)
+    }
+
+    fn insert_with(&mut self, u: NodeId, v: NodeId, w: f64) -> bool {
         if u == v || u as usize >= self.n() || v as usize >= self.n() {
             return false;
         }
-        let pos = match self.adj[u as usize].binary_search(&v) {
+        let pos_u = match self.adj[u as usize].binary_search(&v) {
             Ok(_) => return false,
             Err(p) => p,
         };
-        self.adj[u as usize].insert(pos, v);
-        let pos = self.adj[v as usize]
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v = self.adj[v as usize]
             .binary_search(&u)
             .expect_err("symmetric edge cannot exist one-sided");
-        self.adj[v as usize].insert(pos, u);
+        self.adj[v as usize].insert(pos_v, u);
+        if let Some(wa) = &mut self.wadj {
+            wa[u as usize].insert(pos_u, w);
+            wa[v as usize].insert(pos_v, w);
+        }
         self.m += 1;
         self.version += 1;
         true
@@ -119,21 +200,49 @@ impl DynamicGraph {
         if u as usize >= self.n() || v as usize >= self.n() {
             return false;
         }
-        let Ok(pos) = self.adj[u as usize].binary_search(&v) else {
+        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
             return false;
         };
-        self.adj[u as usize].remove(pos);
-        let pos = self.adj[v as usize]
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize]
             .binary_search(&u)
             .expect("symmetric edge");
-        self.adj[v as usize].remove(pos);
+        self.adj[v as usize].remove(pos_v);
+        if let Some(wa) = &mut self.wadj {
+            wa[u as usize].remove(pos_u);
+            wa[v as usize].remove(pos_v);
+        }
         self.m -= 1;
         self.version += 1;
         true
     }
 
+    /// Set the weight of the existing edge `{u, v}` to `w`, returning
+    /// the previous weight. `None` (nothing changes) when the graph is
+    /// unweighted, the edge is absent, or `w` is invalid. The version
+    /// bumps only when the stored weight actually changes — re-setting
+    /// the current weight is a no-op, matching the effective-mutation
+    /// discipline of the other mutators.
+    pub fn set_weight(&mut self, u: NodeId, v: NodeId, w: f64) -> Option<f64> {
+        if !valid_weight(w) || u as usize >= self.n() || v as usize >= self.n() {
+            return None;
+        }
+        let wa = self.wadj.as_mut()?;
+        let pos_u = self.adj[u as usize].binary_search(&v).ok()?;
+        let pos_v = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("symmetric edge");
+        let old = wa[u as usize][pos_u];
+        if old != w {
+            wa[u as usize][pos_u] = w;
+            wa[v as usize][pos_v] = w;
+            self.version += 1;
+        }
+        Some(old)
+    }
+
     /// Snapshot to the immutable CSR representation the search algorithms
-    /// take.
+    /// take. A weighted dynamic graph produces a lane-carrying [`Graph`].
     pub fn snapshot(&self) -> Graph {
         let mut b = GraphBuilder::new(self.n());
         for (u, nbrs) in self.adj.iter().enumerate() {
@@ -143,7 +252,21 @@ impl DynamicGraph {
                 }
             }
         }
-        b.build()
+        let g = b.build();
+        match &self.wadj {
+            // The CSR adjacency of a simple graph built from sorted
+            // duplicate-free lists is exactly those lists, so the slot
+            // weights are the concatenated weight rows.
+            Some(wa) => {
+                let mut slot_weight = Vec::with_capacity(2 * g.m());
+                for row in wa {
+                    slot_weight.extend_from_slice(row);
+                }
+                debug_assert_eq!(slot_weight.len(), 2 * g.m());
+                g.attach_weights(slot_weight)
+            }
+            None => g,
+        }
     }
 
     /// Nodes within `radius` hops of any node in `seeds` (BFS ball) —
@@ -227,6 +350,7 @@ mod tests {
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
         let d = DynamicGraph::from_graph(&g);
         assert_eq!(d.version(), 0);
+        assert!(!d.is_weighted());
         let s = d.snapshot();
         for v in 0..4u32 {
             assert_eq!(s.neighbors(v), g.neighbors(v));
@@ -254,5 +378,71 @@ mod tests {
         assert_eq!(v, 1);
         assert!(d.insert_edge(0, v));
         assert_eq!(d.snapshot().m(), 1);
+    }
+
+    #[test]
+    fn weighted_insert_and_set_weight() {
+        let mut d = DynamicGraph::new_weighted(3);
+        assert!(d.is_weighted());
+        assert!(d.insert_edge_w(0, 1, 2.5));
+        assert!(!d.insert_edge_w(0, 1, 9.0), "duplicate rejected");
+        assert!(d.insert_edge(1, 2), "plain insert defaults to weight 1");
+        assert_eq!(d.edge_weight(0, 1), Some(2.5));
+        assert_eq!(d.edge_weight(1, 2), Some(1.0));
+        assert_eq!(d.edge_weight(0, 2), None);
+        assert_eq!(d.version(), 2);
+
+        // set_weight: effective change bumps, same value does not.
+        assert_eq!(d.set_weight(0, 1, 4.0), Some(2.5));
+        assert_eq!(d.version(), 3);
+        assert_eq!(d.set_weight(0, 1, 4.0), Some(4.0), "no-op re-set");
+        assert_eq!(d.version(), 3, "same weight: version frozen");
+        assert_eq!(d.set_weight(0, 2, 1.0), None, "absent edge");
+        assert_eq!(d.set_weight(0, 1, 0.0), None, "non-positive weight");
+        assert_eq!(d.set_weight(0, 1, f64::NAN), None, "non-finite weight");
+        assert_eq!(d.version(), 3);
+    }
+
+    #[test]
+    fn weighted_mutators_refuse_on_unweighted_graphs() {
+        let mut d = DynamicGraph::new(3);
+        assert!(d.insert_edge(0, 1));
+        assert!(!d.insert_edge_w(1, 2, 2.0), "no lane, no weighted insert");
+        assert_eq!(d.set_weight(0, 1, 2.0), None);
+        assert_eq!(d.m(), 1);
+        assert_eq!(d.version(), 1);
+    }
+
+    #[test]
+    fn weighted_remove_keeps_lanes_aligned() {
+        let mut d = DynamicGraph::new_weighted(4);
+        d.insert_edge_w(0, 1, 1.5);
+        d.insert_edge_w(0, 2, 2.5);
+        d.insert_edge_w(0, 3, 3.5);
+        assert!(d.remove_edge(0, 2));
+        assert_eq!(d.edge_weight(0, 1), Some(1.5));
+        assert_eq!(d.edge_weight(0, 3), Some(3.5));
+        assert_eq!(d.edge_weight(0, 2), None);
+        let s = d.snapshot();
+        assert!(s.is_weighted());
+        assert_eq!(s.edge_weight(0, 3), Some(3.5));
+        assert!((s.total_weight() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_from_graph_round_trips() {
+        let mut b = crate::weighted::WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 0.5);
+        b.add_edge(2, 3, 7.0);
+        let g = b.build().into_graph();
+        let d = DynamicGraph::from_graph(&g);
+        assert!(d.is_weighted());
+        assert_eq!(d.version(), 0);
+        let s = d.snapshot();
+        assert_eq!(s.edge_weight(0, 1), Some(2.0));
+        assert_eq!(s.edge_weight(1, 2), Some(0.5));
+        assert!((s.total_weight() - g.total_weight()).abs() < 1e-12);
+        assert!((s.strength(2) - 7.5).abs() < 1e-12);
     }
 }

@@ -73,41 +73,66 @@ pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()>
     write_edge_list(g, std::fs::File::create(path)?)
 }
 
-/// Parse a weighted edge list (`u v w` per line; a missing third column
-/// defaults to weight 1.0, so unweighted SNAP files load too). Returns
-/// the weighted graph and the dense-id -> original-id mapping.
+/// Parse a weighted edge list: strictly one `u v w` triple per line
+/// (`#`/`%` comments and blank lines skipped). Returns the weighted
+/// graph and the dense-id -> original-id mapping.
+///
+/// The grammar is deliberately strict — every violation is an
+/// `InvalidData` error naming the 1-based line, so a malformed dataset
+/// fails loudly at load time instead of skewing every weighted answer:
+///
+/// - a **missing** weight column (`u v`) is an error, not a silent 1.0
+///   — run without `--weighted` (or add an explicit weight) for
+///   unweighted files;
+/// - a **non-finite, zero or negative** weight is an error;
+/// - a **duplicate** edge (either orientation) is an error — weighted
+///   duplicates previously accumulated silently;
+/// - a **trailing** fourth column is an error;
+/// - a **self-loop** is an error (the model is a simple graph).
 pub fn read_weighted_edge_list<R: Read>(
     reader: R,
 ) -> std::io::Result<(crate::weighted::WeightedGraph, Vec<u64>)> {
     let mut edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
     let mut ids: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
     let mut original: Vec<u64> = Vec::new();
-    for line in BufReader::new(reader).lines() {
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = i + 1;
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
-        let mut it = trimmed.split_whitespace();
-        let (Some(a), Some(b)) = (it.next(), it.next()) else {
-            return Err(std::io::Error::new(
+        let bad = |msg: String| {
+            std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("malformed weighted edge line: {trimmed:?}"),
-            ));
+                format!("line {line_no}: {msg}"),
+            )
         };
-        let bad = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
-        let u: u64 = a.parse().map_err(|e| bad(format!("{e}")))?;
-        let v: u64 = b.parse().map_err(|e| bad(format!("{e}")))?;
-        let w: f64 = match it.next() {
-            Some(tok) => {
-                let w: f64 = tok.parse().map_err(|e| bad(format!("{e}")))?;
-                if !w.is_finite() || w < 0.0 {
-                    return Err(bad(format!("non-finite or negative weight {w}")));
-                }
-                w
-            }
-            None => 1.0,
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b), Some(wt)) = (it.next(), it.next(), it.next()) else {
+            return Err(bad(format!(
+                "expected `u v w`, got {trimmed:?} (missing weight column?)"
+            )));
         };
+        if let Some(extra) = it.next() {
+            return Err(bad(format!("trailing token {extra:?} after `u v w`")));
+        }
+        let u: u64 = a.parse().map_err(|_| bad(format!("bad node id {a:?}")))?;
+        let v: u64 = b.parse().map_err(|_| bad(format!("bad node id {b:?}")))?;
+        let w: f64 = wt.parse().map_err(|_| bad(format!("bad weight {wt:?}")))?;
+        if !crate::weighted::valid_weight(w) {
+            return Err(bad(format!(
+                "weight {w} {}",
+                crate::weighted::WEIGHT_CONSTRAINT
+            )));
+        }
+        if u == v {
+            return Err(bad(format!("self-loop {u} {u} (simple graph)")));
+        }
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(bad(format!("duplicate edge {u} {v}")));
+        }
         edges.push((u, v, w));
         for raw in [u, v] {
             ids.entry(raw).or_insert_with(|| {
@@ -248,17 +273,44 @@ mod tests {
     }
 
     #[test]
-    fn weighted_default_weight_is_one() {
-        let (g, _) = read_weighted_edge_list("5 6\n6 7 3.0\n".as_bytes()).unwrap();
-        assert!((g.total_weight() - 4.0).abs() < 1e-12);
+    fn weighted_rejects_missing_weight_with_line_number() {
+        // A missing third column no longer defaults to 1.0 — it is a
+        // typed load error naming the offending line.
+        let err = read_weighted_edge_list("5 6 1.0\n6 7\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("missing weight"), "{msg}");
     }
 
     #[test]
-    fn weighted_rejects_bad_weights() {
-        assert!(read_weighted_edge_list("0 1 -2\n".as_bytes()).is_err());
-        assert!(read_weighted_edge_list("0 1 inf\n".as_bytes()).is_err());
-        assert!(read_weighted_edge_list("0 1 abc\n".as_bytes()).is_err());
-        assert!(read_weighted_edge_list("0\n".as_bytes()).is_err());
+    fn weighted_rejects_bad_weights_with_line_numbers() {
+        for (text, needle) in [
+            ("0 1 -2\n", "finite and strictly positive"),
+            ("0 1 0\n", "finite and strictly positive"),
+            ("0 1 inf\n", "finite and strictly positive"),
+            ("0 1 nan\n", "finite and strictly positive"),
+            ("0 1 abc\n", "bad weight"),
+            ("0\n", "missing weight"),
+            ("x 1 2.0\n", "bad node id"),
+            ("0 1 2.0 9\n", "trailing token"),
+            ("3 3 2.0\n", "self-loop"),
+        ] {
+            let err = read_weighted_edge_list(text.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{text:?}");
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "{text:?}: {msg}");
+            assert!(msg.contains(needle), "{text:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn weighted_rejects_duplicate_edges_with_line_numbers() {
+        // Either orientation counts as the same undirected edge.
+        let err = read_weighted_edge_list("1 2 1.0\n# ok\n2 1 3.0\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("duplicate edge 2 1"), "{msg}");
     }
 
     #[test]

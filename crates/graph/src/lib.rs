@@ -73,6 +73,13 @@ pub type NodeId = u32;
 /// `neighbors.len() == 2 * m`. Adjacency lists are sorted, enabling
 /// `O(log deg)` membership tests via [`Graph::has_edge`].
 ///
+/// A graph optionally carries a **weights lane** — one `f64` per CSR
+/// slot, plus precomputed node strengths and the total edge weight (see
+/// the [`weighted`] module). Unweighted graphs pay nothing for the lane
+/// (a single `None` pointer), and the unweighted accessors never consult
+/// it; the weighted accessors fall back to unit weights when it is
+/// absent, so weight-aware algorithms run on any graph.
+///
 /// Build one with [`GraphBuilder`]:
 ///
 /// ```
@@ -86,8 +93,9 @@ pub type NodeId = u32;
 /// assert_eq!(g.n(), 4);
 /// assert_eq!(g.m(), 3);
 /// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(!g.is_weighted());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
     offsets: Vec<usize>,
@@ -95,6 +103,10 @@ pub struct Graph {
     neighbors: Vec<NodeId>,
     /// Number of undirected edges.
     m: usize,
+    /// Optional per-slot edge weights (see [`weighted`]). `None` for
+    /// unweighted graphs — boxed so the unweighted representation stays
+    /// one pointer wide and the hot path never touches weight state.
+    pub(crate) weights: Option<Box<weighted::WeightsLane>>,
 }
 
 impl Graph {
@@ -106,7 +118,17 @@ impl Graph {
             offsets,
             neighbors,
             m,
+            weights: None,
         }
+    }
+
+    /// Whether this graph carries a weights lane. Weighted accessors
+    /// ([`Graph::strength`], [`Graph::total_weight`],
+    /// [`Graph::weighted_neighbors`], …) work either way — without a
+    /// lane every edge counts as weight 1.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
     }
 
     /// Number of nodes (including isolated ones declared to the builder).
@@ -204,11 +226,14 @@ impl Graph {
     /// Heap + inline bytes of the CSR representation — the per-dataset
     /// resident footprint a serving deployment must budget for
     /// (`~ 8n + 8·2m` bytes: one `usize` offset per node, one `u32`
-    /// neighbour entry per edge direction).
+    /// neighbour entry per edge direction). A weights lane adds its own
+    /// `8·2m` slot weights plus `8n` strengths, so capacity planning for
+    /// weighted datasets stays honest.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.offsets.capacity() * std::mem::size_of::<usize>()
             + self.neighbors.capacity() * std::mem::size_of::<NodeId>()
+            + self.weights.as_deref().map_or(0, |w| w.memory_bytes())
     }
 
     /// Extract the induced subgraph `G[nodes]`, relabelling nodes to

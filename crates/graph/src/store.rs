@@ -224,13 +224,44 @@ impl GraphStore {
         self.read().dynamic.has_edge(u, v)
     }
 
+    /// Whether the live graph carries per-edge weights (see
+    /// [`DynamicGraph::is_weighted`]). Weighted mutators only succeed on
+    /// weighted stores.
+    pub fn is_weighted(&self) -> bool {
+        self.read().dynamic.is_weighted()
+    }
+
+    /// Weight of edge `(u, v)` on the *live* graph (`Some(1.0)` per edge
+    /// when the store is unweighted, `None` when the edge is absent).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.read().dynamic.edge_weight(u, v)
+    }
+
     /// Insert the undirected edge `{u, v}` into the live graph. Returns
     /// `false` (and changes nothing, including the version) for
     /// self-loops, out-of-range endpoints, or existing edges. Existing
     /// snapshots are unaffected; the next [`snapshot`](Self::snapshot)
-    /// call rebuilds.
+    /// call rebuilds. On a weighted store the edge gets weight 1.0.
     pub fn insert_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.write().dynamic.insert_edge(u, v)
+    }
+
+    /// Insert the undirected edge `{u, v}` with weight `w` into the live
+    /// (weighted) graph — see [`DynamicGraph::insert_edge_w`] for the
+    /// refusal rules. Bumps the version on success, so version-keyed
+    /// caches invalidate exactly as for a plain insert.
+    pub fn insert_edge_w(&self, u: NodeId, v: NodeId, w: f64) -> bool {
+        self.write().dynamic.insert_edge_w(u, v, w)
+    }
+
+    /// Update the weight of the existing edge `{u, v}` on the live
+    /// (weighted) graph, returning the previous weight — see
+    /// [`DynamicGraph::set_weight`]. A weight *change* bumps the store
+    /// version (the next snapshot rebuilds and cached answers for the
+    /// old epoch stop matching); re-setting the current weight is a
+    /// version-preserving no-op.
+    pub fn set_weight(&self, u: NodeId, v: NodeId, w: f64) -> Option<f64> {
+        self.write().dynamic.set_weight(u, v, w)
     }
 
     /// Remove the undirected edge `{u, v}` from the live graph. Returns
@@ -393,6 +424,45 @@ mod tests {
         let snap = store.snapshot();
         assert_eq!(snap.m(), 60);
         assert_eq!(snap.version(), 60);
+    }
+
+    #[test]
+    fn weighted_store_serves_lane_carrying_snapshots() {
+        let mut b = crate::weighted::WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 3.0);
+        let store = GraphStore::from_graph(b.build().into_graph());
+        assert!(store.is_weighted());
+        let v0 = store.snapshot();
+        assert!(v0.is_weighted());
+        assert_eq!(v0.edge_weight(0, 1), Some(2.0));
+
+        // A weight-only update bumps the version and re-snapshots.
+        assert_eq!(store.set_weight(0, 1, 5.0), Some(2.0));
+        assert_eq!(store.version(), 1);
+        let v1 = store.snapshot();
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v1.edge_weight(0, 1), Some(5.0));
+        assert_eq!(v0.edge_weight(0, 1), Some(2.0), "pinned epoch unchanged");
+
+        // Same-value re-set: no version move, snapshot reused.
+        assert_eq!(store.set_weight(0, 1, 5.0), Some(5.0));
+        assert!(store.snapshot().shares_graph(&v1));
+
+        // Weighted insert flows through too.
+        assert!(store.insert_edge_w(2, 3, 0.25));
+        assert_eq!(store.snapshot().edge_weight(2, 3), Some(0.25));
+        assert_eq!(store.edge_weight(2, 3), Some(0.25));
+    }
+
+    #[test]
+    fn weighted_mutators_refuse_on_unweighted_stores() {
+        let store = GraphStore::from_graph(barbell());
+        assert!(!store.is_weighted());
+        assert!(!store.insert_edge_w(0, 4, 2.0));
+        assert_eq!(store.set_weight(0, 1, 2.0), None);
+        assert_eq!(store.version(), 0, "refused ops never bump");
+        assert_eq!(store.edge_weight(0, 1), Some(1.0), "unweighted edge = 1");
     }
 
     #[test]

@@ -228,6 +228,9 @@ pub struct QueryWorkspace {
     alive: Option<Vec<bool>>,
     local_deg: Option<Vec<u32>>,
     dist: Option<Vec<u32>>,
+    /// Pooled `f64` per-node scratch (the weighted algorithms' local
+    /// incident-weight array `w_{v,S}`).
+    weights: Option<Vec<f64>>,
 }
 
 impl QueryWorkspace {
@@ -318,6 +321,32 @@ impl QueryWorkspace {
             dist[v as usize] = crate::traversal::UNREACHABLE;
         }
         self.dist = Some(dist);
+    }
+
+    /// Take the pooled per-node `f64` scratch buffer, sized to `n` with
+    /// every entry 0.0 — the weighted algorithms' local incident-weight
+    /// array. Same sparse-reset contract as the other buffers: pair with
+    /// [`QueryWorkspace::put_weights`], listing the nodes written.
+    pub fn take_weights(&mut self, n: usize) -> Vec<f64> {
+        let mut weights = self.weights.take().unwrap_or_default();
+        if weights.len() != n {
+            weights.clear();
+            weights.resize(n, 0.0);
+        }
+        debug_assert!(
+            weights.iter().all(|&w| w == 0.0),
+            "recycled weight buffer not clean"
+        );
+        weights
+    }
+
+    /// Return the weight buffer to the pool, resetting exactly the
+    /// entries the query wrote back to 0.0.
+    pub fn put_weights(&mut self, mut weights: Vec<f64>, written: &[NodeId]) {
+        for &v in written {
+            weights[v as usize] = 0.0;
+        }
+        self.weights = Some(weights);
     }
 }
 
@@ -443,6 +472,22 @@ mod tests {
         // Size change: re-initialised from scratch.
         let d3 = ws.take_dist(3);
         assert_eq!(d3, vec![UNREACHABLE; 3]);
+    }
+
+    #[test]
+    fn workspace_weight_buffer_round_trips() {
+        let mut ws = QueryWorkspace::new();
+        let mut w = ws.take_weights(4);
+        assert_eq!(w, vec![0.0; 4]);
+        w[1] = 2.5;
+        w[3] = 0.125;
+        ws.put_weights(w, &[1, 3]);
+        // Same size: handed back clean without a full refill.
+        let w2 = ws.take_weights(4);
+        assert_eq!(w2, vec![0.0; 4]);
+        ws.put_weights(w2, &[]);
+        // Size change: re-initialised from scratch.
+        assert_eq!(ws.take_weights(2), vec![0.0; 2]);
     }
 
     #[test]

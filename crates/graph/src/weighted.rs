@@ -3,124 +3,131 @@
 //! The paper states density modularity for *weighted* graphs
 //! (`DM(G,C) = (w_C − d_C²/(4 w_G)) / |C|`, where a node weight is the sum
 //! of its adjacent edge weights) and evaluates on unweighted social
-//! networks. This module supplies the weighted substrate so the weighted
-//! form is a first-class citizen: CSR storage with a parallel weight
-//! array, a weighted view with `O(deg)` removal maintaining `w_S`, and the
-//! strength (weighted-degree) accessors the measures need.
+//! networks. Weights are a first-class citizen of the CSR substrate: a
+//! [`Graph`] optionally carries a **weights lane** ([`WeightsLane`] —
+//! one `f64` per CSR slot, parallel to the neighbour array, plus
+//! precomputed node strengths and the total edge weight). The weighted
+//! accessors on [`Graph`] in this module fall back to unit weights when
+//! the lane is absent, so weight-aware algorithms run on any graph while
+//! the unweighted hot path never touches weight state.
+//!
+//! [`WeightedGraph`] survives as a thin wrapper whose invariant is
+//! "the lane is present": it [`Deref`](std::ops::Deref)s to [`Graph`],
+//! so all topology *and* weighted accessors come from the underlying
+//! graph, and [`WeightedGraph::into_graph`] hands the lane-carrying
+//! graph to anything expecting a plain [`Graph`] (snapshots, stores,
+//! engines).
 
 use crate::{Graph, GraphBuilder, NodeId};
 
-/// An immutable, undirected, simple graph with positive edge weights.
-///
-/// Internally a [`Graph`] plus a weight per CSR slot (each undirected edge
-/// stores its weight twice, once per direction).
+/// Is `w` an admissible edge weight (finite and strictly positive)?
+/// The single weight-domain predicate of the workspace — the builder,
+/// the dynamic-graph mutators, the edge-list reader and the CLI update
+/// grammar all enforce exactly this.
+pub fn valid_weight(w: f64) -> bool {
+    w.is_finite() && w > 0.0
+}
+
+/// The human-readable constraint [`valid_weight`] enforces, for error
+/// messages (`"weight {w} {WEIGHT_CONSTRAINT}"`).
+pub const WEIGHT_CONSTRAINT: &str = "must be finite and strictly positive";
+
+/// The per-slot weight overlay of a weighted [`Graph`]: each undirected
+/// edge stores its weight twice (once per CSR direction), node strengths
+/// and the total weight are precomputed so the measures get `O(1)`
+/// access.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WeightedGraph {
-    graph: Graph,
+pub struct WeightsLane {
     /// Weight of CSR slot `i` (parallel to the neighbour array).
-    slot_weight: Vec<f64>,
-    /// Sum of all edge weights (`w_G`).
-    total_weight: f64,
+    pub(crate) slot_weight: Vec<f64>,
     /// Node strengths: sum of adjacent edge weights (`d_v`).
-    strength: Vec<f64>,
-}
-
-/// Builder for [`WeightedGraph`]: duplicate edges accumulate weight.
-#[derive(Debug, Clone, Default)]
-pub struct WeightedGraphBuilder {
-    n: usize,
-    edges: std::collections::BTreeMap<(NodeId, NodeId), f64>,
-}
-
-impl WeightedGraphBuilder {
-    /// Create a builder for at least `n` nodes.
-    pub fn new(n: usize) -> Self {
-        WeightedGraphBuilder {
-            n,
-            edges: std::collections::BTreeMap::new(),
-        }
-    }
-
-    /// Add an undirected edge with weight `w > 0`. Parallel additions of
-    /// the same edge sum their weights; self-loops are ignored.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
-        assert!(w > 0.0 && w.is_finite(), "edge weight must be positive");
-        if u == v {
-            return;
-        }
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.n = self.n.max(key.1 as usize + 1);
-        *self.edges.entry(key).or_insert(0.0) += w;
-    }
-
-    /// Build the weighted graph.
-    pub fn build(self) -> WeightedGraph {
-        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
-        for &(u, v) in self.edges.keys() {
-            b.add_edge(u, v);
-        }
-        let graph = b.build();
-        let mut slot_weight = vec![0.0f64; 2 * graph.m()];
-        let mut strength = vec![0.0f64; graph.n()];
-        let mut total = 0.0f64;
-        for (&(u, v), &w) in &self.edges {
-            total += w;
-            strength[u as usize] += w;
-            strength[v as usize] += w;
-            let su = graph.csr_offset(u) + graph.neighbors(u).binary_search(&v).unwrap();
-            let sv = graph.csr_offset(v) + graph.neighbors(v).binary_search(&u).unwrap();
-            slot_weight[su] = w;
-            slot_weight[sv] = w;
-        }
-        WeightedGraph {
-            graph,
-            slot_weight,
-            total_weight: total,
-            strength,
-        }
-    }
-}
-
-impl WeightedGraph {
-    /// The underlying unweighted topology.
-    pub fn topology(&self) -> &Graph {
-        &self.graph
-    }
-
-    /// Number of nodes.
-    pub fn n(&self) -> usize {
-        self.graph.n()
-    }
-
-    /// Number of edges.
-    pub fn m(&self) -> usize {
-        self.graph.m()
-    }
-
+    pub(crate) strength: Vec<f64>,
     /// Sum of all edge weights (`w_G`).
-    pub fn total_weight(&self) -> f64 {
-        self.total_weight
+    pub(crate) total_weight: f64,
+}
+
+impl WeightsLane {
+    /// Heap bytes of the lane (slot weights + strengths).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slot_weight.capacity() * std::mem::size_of::<f64>()
+            + self.strength.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Graph {
+    /// Attach a weights lane given per-slot weights (strengths and the
+    /// total are derived). `slot_weight` must be parallel to the CSR
+    /// neighbour array and symmetric (both directions of an edge carry
+    /// the same weight).
+    pub(crate) fn attach_weights(mut self, slot_weight: Vec<f64>) -> Graph {
+        debug_assert_eq!(slot_weight.len(), self.neighbors.len());
+        let n = self.n();
+        let mut strength = vec![0.0f64; n];
+        for (v, s) in strength.iter_mut().enumerate() {
+            *s = slot_weight[self.offsets[v]..self.offsets[v + 1]]
+                .iter()
+                .sum();
+        }
+        let total_weight = strength.iter().sum::<f64>() / 2.0;
+        self.weights = Some(Box::new(WeightsLane {
+            slot_weight,
+            strength,
+            total_weight,
+        }));
+        self
     }
 
-    /// Node strength `d_v` (sum of adjacent edge weights).
+    /// Attach a unit weights lane (every edge weighs 1). The weighted
+    /// measures then coincide exactly with their unweighted forms — the
+    /// bridge that lets `--weighted` serve inputs without a weight
+    /// column (e.g. the demo graph).
+    pub fn with_unit_weights(self) -> Graph {
+        let slots = self.neighbors.len();
+        self.attach_weights(vec![1.0; slots])
+    }
+
+    /// Node strength `d_v` (sum of adjacent edge weights); the plain
+    /// degree when no weights lane is attached.
+    #[inline]
     pub fn strength(&self, v: NodeId) -> f64 {
-        self.strength[v as usize]
+        match &self.weights {
+            Some(w) => w.strength[v as usize],
+            None => self.degree(v) as f64,
+        }
     }
 
-    /// Iterate `(neighbor, weight)` pairs of `v`.
+    /// Sum of all edge weights (`w_G`); `m` when unweighted.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.total_weight,
+            None => self.m() as f64,
+        }
+    }
+
+    /// Weight of edge `(u, v)`, if the edge exists (1.0 per edge when
+    /// unweighted).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if u as usize >= self.n() {
+            return None;
+        }
+        let pos = self.neighbors(u).binary_search(&v).ok()?;
+        Some(match &self.weights {
+            Some(w) => w.slot_weight[self.csr_offset(u) + pos],
+            None => 1.0,
+        })
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `v` (unit weights when no
+    /// lane is attached).
     pub fn weighted_neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        let base = self.graph.csr_offset(v);
-        self.graph
-            .neighbors(v)
+        let base = self.csr_offset(v);
+        let lane = self.weights.as_deref();
+        self.neighbors(v)
             .iter()
             .enumerate()
-            .map(move |(i, &w)| (w, self.slot_weight[base + i]))
-    }
-
-    /// Weight of edge `(u, v)`, if present.
-    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        let pos = self.graph.neighbors(u).binary_search(&v).ok()?;
-        Some(self.slot_weight[self.graph.csr_offset(u) + pos])
+            .map(move |(i, &u)| (u, lane.map_or(1.0, |l| l.slot_weight[base + i])))
     }
 
     /// Sum of internal edge weights of the node set (`w_C`).
@@ -145,14 +152,120 @@ impl WeightedGraph {
         nodes.iter().map(|&v| self.strength(v)).sum()
     }
 
-    /// Weighted density modularity of `nodes` (Definition 2).
-    pub fn density_modularity(&self, nodes: &[NodeId]) -> f64 {
-        if nodes.is_empty() || self.total_weight == 0.0 {
+    /// Weighted density modularity of `nodes` (Definition 2, weighted
+    /// form). With unit weights (or no lane) this equals the unweighted
+    /// DM.
+    pub fn weighted_density_modularity(&self, nodes: &[NodeId]) -> f64 {
+        let w_g = self.total_weight();
+        if nodes.is_empty() || w_g == 0.0 {
             return f64::NEG_INFINITY;
         }
         let w_c = self.internal_weight(nodes);
         let d_c = self.strength_sum(nodes);
-        (w_c - d_c * d_c / (4.0 * self.total_weight)) / nodes.len() as f64
+        (w_c - d_c * d_c / (4.0 * w_g)) / nodes.len() as f64
+    }
+}
+
+/// An immutable, undirected, simple graph with positive edge weights —
+/// a [`Graph`] whose weights lane is guaranteed present. Dereferences to
+/// [`Graph`], so every topology and weighted accessor is available, and
+/// a `&WeightedGraph` coerces wherever a `&Graph` is expected (the
+/// weighted search algorithms, snapshots, stores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    graph: Graph,
+}
+
+/// Builder for [`WeightedGraph`]: duplicate edges accumulate weight.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraphBuilder {
+    n: usize,
+    edges: std::collections::BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl WeightedGraphBuilder {
+    /// Create a builder for at least `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WeightedGraphBuilder {
+            n,
+            edges: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Add an undirected edge with weight `w > 0`. Parallel additions of
+    /// the same edge sum their weights; self-loops are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!(valid_weight(w), "edge weight must be positive and finite");
+        if u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.n = self.n.max(key.1 as usize + 1);
+        *self.edges.entry(key).or_insert(0.0) += w;
+    }
+
+    /// Build the weighted graph.
+    pub fn build(self) -> WeightedGraph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        for &(u, v) in self.edges.keys() {
+            b.add_edge(u, v);
+        }
+        let graph = b.build();
+        let mut slot_weight = vec![0.0f64; 2 * graph.m()];
+        for (&(u, v), &w) in &self.edges {
+            let su = graph.csr_offset(u) + graph.neighbors(u).binary_search(&v).unwrap();
+            let sv = graph.csr_offset(v) + graph.neighbors(v).binary_search(&u).unwrap();
+            slot_weight[su] = w;
+            slot_weight[sv] = w;
+        }
+        WeightedGraph {
+            graph: graph.attach_weights(slot_weight),
+        }
+    }
+}
+
+impl WeightedGraph {
+    /// Wrap a graph, attaching a unit weights lane when it has none.
+    pub fn from_graph(graph: Graph) -> WeightedGraph {
+        WeightedGraph {
+            graph: if graph.is_weighted() {
+                graph
+            } else {
+                graph.with_unit_weights()
+            },
+        }
+    }
+
+    /// The underlying lane-carrying [`Graph`] — hand this to anything
+    /// expecting a plain graph (snapshots, stores, engines); the weights
+    /// travel with it.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// The underlying graph (weights lane included). Retained from the
+    /// pre-lane API; identical to dereferencing.
+    pub fn topology(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Weighted density modularity of `nodes` (Definition 2).
+    pub fn density_modularity(&self, nodes: &[NodeId]) -> f64 {
+        self.graph.weighted_density_modularity(nodes)
+    }
+}
+
+impl std::ops::Deref for WeightedGraph {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl AsRef<Graph> for WeightedGraph {
+    fn as_ref(&self) -> &Graph {
+        &self.graph
     }
 }
 
@@ -174,6 +287,7 @@ mod tests {
         let g = weighted_triangle_tail();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 4);
+        assert!(g.is_weighted());
         assert!((g.total_weight() - 6.5).abs() < 1e-12);
         assert!((g.strength(0) - 3.0).abs() < 1e-12);
         assert!((g.strength(2) - 4.5).abs() < 1e-12);
@@ -208,11 +322,45 @@ mod tests {
         }
         let wg = b.build();
         let c = vec![0, 1, 2];
-        let l = wg.topology().internal_edges(&c) as f64;
-        let d = wg.topology().degree_sum(&c) as f64;
-        let m = wg.topology().m() as f64;
+        let l = wg.internal_edges(&c) as f64;
+        let d = wg.degree_sum(&c) as f64;
+        let m = wg.m() as f64;
         let unweighted = (l - d * d / (4.0 * m)) / c.len() as f64;
         assert!((wg.density_modularity(&c) - unweighted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laneless_graph_reads_as_unit_weighted() {
+        // The weighted accessors on a plain Graph use unit weights.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert!(!g.is_weighted());
+        assert_eq!(g.total_weight(), 4.0);
+        assert_eq!(g.strength(2), 3.0);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+        let pairs: Vec<(NodeId, f64)> = g.weighted_neighbors(2).collect();
+        assert_eq!(pairs, vec![(0, 1.0), (1, 1.0), (3, 1.0)]);
+        // ... and the weighted DM equals the unweighted one.
+        let c = vec![0, 1, 2];
+        let unit = g.clone().with_unit_weights();
+        assert!(unit.is_weighted());
+        assert!(
+            (g.weighted_density_modularity(&c) - unit.weighted_density_modularity(&c)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn weights_lane_counts_in_memory_bytes() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let bare = g.memory_bytes();
+        let weighted = g.clone().with_unit_weights().memory_bytes();
+        // Lane floor: 2m slot weights + n strengths, 8 bytes each.
+        let lane_floor = (2 * g.m() + g.n()) * std::mem::size_of::<f64>();
+        assert!(
+            weighted >= bare + lane_floor,
+            "weighted {weighted} vs bare {bare} + lane {lane_floor}"
+        );
     }
 
     #[test]
@@ -270,5 +418,16 @@ mod tests {
         assert!((wg.strength_sum(&[0, 1, 2]) - 7.0).abs() < 1e-12);
         // Total weight = half the strength sum.
         assert!((wg.total_weight() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_graph_keeps_the_lane() {
+        let g = weighted_triangle_tail().into_graph();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+        assert!((g.total_weight() - 6.5).abs() < 1e-12);
+        // Round trip through the wrapper preserves the lane untouched.
+        let back = WeightedGraph::from_graph(g.clone());
+        assert_eq!(back.edge_weight(1, 2), Some(3.0));
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use dmcs::core::detect::{detect_communities, partition_density_modularity, DetectConfig};
-use dmcs::core::WeightedFpa;
+use dmcs::core::{CommunitySearch, WeightedFpa};
 use dmcs::gen::ring;
 use dmcs::graph::weighted::WeightedGraphBuilder;
 

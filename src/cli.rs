@@ -6,6 +6,7 @@
 //! dmcs --graph karate.txt --query 0 --algo fpa --stats
 //! dmcs --demo --query 0,3 --algo nca --format json
 //! dmcs --graph big.txt --queries q.txt --threads 8 --algo fpa
+//! dmcs --graph w.txt --weighted --queries q.txt --threads 8 --format json
 //! dmcs --demo --updates script.txt --format json
 //! ```
 //!
@@ -23,12 +24,21 @@
 //! Every mode serves through the versioned
 //! [`GraphStore`](dmcs_graph::GraphStore) behind an [`Engine`]: queries
 //! pin epoch snapshots, and the
-//! `--updates` mode interleaves `add` / `del` mutations with `query`
-//! lines, exercising the full mutate → snapshot → query →
+//! `--updates` mode interleaves `add` / `del` / `setw` mutations with
+//! `query` lines, exercising the full mutate → snapshot → query →
 //! cache-invalidate cycle in a single run.
+//!
+//! **Weighted serving** is the same stack, not a side door: `--weighted`
+//! loads a `u v w` edge list into a weighted
+//! [`GraphStore`](dmcs_graph::GraphStore) (the demo graph gets unit
+//! weights) and resolves `fpa`/`nca` to their
+//! weight-aware registry implementations (`fpa-w`/`nca-w`), so
+//! `--queries`, `--threads`, `--format json`, `--updates` (whose grammar
+//! grows `add u v w` and `setw u v w`) and the version-keyed result
+//! cache all compose with weights.
 
 use crate::core::topk::{top_k_communities, TopKConfig};
-use crate::core::{SearchResult, WeightedFpa, WeightedNca};
+use crate::core::SearchResult;
 use crate::engine::output::{report_jsonl, response_json, result_json, summary_json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
 use crate::engine::{BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Session};
@@ -66,8 +76,11 @@ pub struct CliConfig {
     pub stats: bool,
     /// Cap on how many member ids to print (0 = all; text format only).
     pub max_print: usize,
-    /// Treat the input as a weighted edge list (`u v w`) and run the
-    /// weighted search (`fpa` -> `WeightedFpa`, `nca` -> `WeightedNca`).
+    /// Serve the weighted density modularity: load the input as a
+    /// strict `u v w` edge list (the demo graph gets unit weights) and
+    /// resolve the algorithm to its weight-aware registry entry
+    /// (`fpa` -> `fpa-w`, `nca` -> `nca-w`). Composes with every mode:
+    /// `--query`, `--queries`/`--threads`, `--updates`, `--format json`.
     pub weighted: bool,
     /// Return up to this many diverse communities (0 = single community).
     pub top_k: usize,
@@ -129,7 +142,9 @@ OPTIONS:
                       space; `add` may introduce new ids; blank lines and
                       # comments are skipped); queries answer against the
                       graph as mutated so far, with version-keyed result
-                      caching
+                      caching. With --weighted the grammar grows
+                      `add u v w` and `setw u v w` (weight ops on an
+                      unweighted graph are exit-7 errors)
     --threads <n>     batch mode worker threads (default: 1)
     --format <fmt>    output format: text (default) or json (JSON-lines,
                       one response object per query; schema in README)
@@ -139,8 +154,10 @@ OPTIONS:
     --stats           print conductance/expansion/... of the result and
                       the graph's resident memory footprint (text format)
     --max-print <n>   print at most n member ids, 0 = all (default: 50)
-    --weighted        input has `u v w` lines; use the weighted search
-                      (only fpa and nca support weights)
+    --weighted        input has strict `u v w` lines (--demo gets unit
+                      weights); serve the weighted density modularity
+                      with an algorithm marked [weights]; composes with
+                      --queries, --threads, --updates and --format json
     --top-k <n>       return up to n diverse communities (fpa only)
     --dot <path>      write a Graphviz DOT rendering of the result
     --help            show this text
@@ -270,11 +287,6 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
         ));
     }
     if cfg.queries_path.is_some() {
-        if cfg.weighted {
-            return Err(EngineError::bad_param(
-                "--queries does not support --weighted",
-            ));
-        }
         if cfg.top_k > 0 {
             return Err(EngineError::bad_param("--queries does not support --top-k"));
         }
@@ -283,11 +295,6 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
         }
     }
     if cfg.updates_path.is_some() {
-        if cfg.weighted {
-            return Err(EngineError::bad_param(
-                "--updates does not support --weighted",
-            ));
-        }
         if cfg.top_k > 0 {
             return Err(EngineError::bad_param("--updates does not support --top-k"));
         }
@@ -300,10 +307,24 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
             ));
         }
     }
-    if cfg.weighted && !matches!(cfg.algo.as_str(), "fpa" | "nca") {
-        return Err(EngineError::bad_param(
-            "--weighted supports only --algo fpa or nca",
-        ));
+    // --weighted needs a weight-aware algorithm. A label the registry
+    // does not know at all is left for run() to reject with the richer
+    // UnknownAlgo error (exit 3, nearest-name suggestion).
+    if cfg.weighted {
+        if let Some(entry) = registry::find(&cfg.algo) {
+            if !entry.weight_aware {
+                return Err(EngineError::bad_param(format!(
+                    "--weighted does not support --algo {} (weight-aware: {})",
+                    cfg.algo,
+                    registry::REGISTRY
+                        .iter()
+                        .filter(|e| e.weight_aware)
+                        .map(|e| e.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
     }
     if cfg.weighted && cfg.top_k > 0 {
         return Err(EngineError::bad_param(
@@ -316,26 +337,41 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
     Ok(Some(cfg))
 }
 
-/// The registry spec a config's `--algo` / `--k` / `--no-pruning` flags
-/// describe.
+/// The registry spec a config's `--algo` / `--k` / `--no-pruning` /
+/// `--weighted` flags describe.
 pub fn algo_spec(cfg: &CliConfig) -> AlgoSpec {
     AlgoSpec {
         name: cfg.algo.clone(),
         params: AlgoParams {
             k: cfg.k,
             layer_pruning: !cfg.no_pruning,
+            weighted: cfg.weighted,
         },
     }
 }
 
 /// Load the graph named by the config. Returns the graph and the
-/// dense-id -> original-id mapping.
+/// dense-id -> original-id mapping. Under `--weighted` the file is
+/// parsed as a strict `u v w` edge list and the returned graph carries
+/// its weights lane (the demo graph gets unit weights), so the same
+/// engine/store/session stack serves both worlds.
 pub fn load_graph(cfg: &CliConfig) -> Result<(Graph, Vec<u64>), EngineError> {
     match &cfg.graph_path {
+        Some(path) if cfg.weighted => {
+            let file = std::fs::File::open(path).map_err(|e| EngineError::io(path, e))?;
+            let (wg, original) =
+                read_weighted_edge_list(file).map_err(|e| EngineError::io(path, e))?;
+            Ok((wg.into_graph(), original))
+        }
         Some(path) => load_edge_list(path).map_err(|e| EngineError::io(path, e)),
         None => {
             let g = crate::gen::karate::karate();
             let ids = (0..g.n() as u64).collect();
+            let g = if cfg.weighted {
+                g.with_unit_weights()
+            } else {
+                g
+            };
             Ok((g, ids))
         }
     }
@@ -439,73 +475,31 @@ fn write_dot_file(
 pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), EngineError> {
     // Fail fast on an unregistered --algo, before loading any graph, so
     // the error (exit code 3, with suggestion) is the only output. The
-    // weighted and top-k paths pin their algorithms at parse time.
-    if !cfg.weighted && cfg.top_k == 0 {
+    // top-k path pins its algorithm at parse time.
+    if cfg.top_k == 0 {
         algo_spec(cfg).build()?;
     }
 
-    // Weighted path: its own loader and searchers.
-    if cfg.weighted {
-        let path = cfg.graph_path.as_ref().ok_or_else(|| {
-            EngineError::bad_param("--weighted needs --graph (the demo graph is unweighted)")
-        })?;
-        let file = std::fs::File::open(path).map_err(|e| EngineError::io(path, e))?;
-        let (wg, original) = read_weighted_edge_list(file).map_err(|e| EngineError::io(path, e))?;
-        let query = map_queries(&cfg.query, &original)?;
-        if cfg.format == OutputFormat::Text {
-            writeln!(
-                out,
-                "graph: {} nodes, {} edges, total weight {:.3}",
-                wg.n(),
-                wg.m(),
-                wg.total_weight()
-            )
-            .map_err(werr)?;
-        }
-        let start = Instant::now();
-        let (label, result) = match cfg.algo.as_str() {
-            "fpa" => ("W-FPA", WeightedFpa.search(&wg, &query)),
-            "nca" => ("W-NCA", WeightedNca::default().search(&wg, &query)),
-            _ => unreachable!("parse() restricts weighted algos"),
-        };
-        let secs = start.elapsed().as_secs_f64();
-        let result = result.map_err(|e| EngineError::Search {
-            algo: label.into(),
-            source: e,
-        })?;
-        match cfg.format {
-            OutputFormat::Text => {
-                print_result(cfg, out, wg.topology(), &original, label, &result, secs)?
-            }
-            OutputFormat::Json => {
-                let line = result_json(
-                    label,
-                    None,
-                    &query,
-                    &Ok(result.clone()),
-                    secs,
-                    Some(&original),
-                );
-                writeln!(out, "{}", line.render()).map_err(werr)?;
-            }
-        }
-        if let Some(dot) = &cfg.dot_path {
-            write_dot_file(dot, wg.topology(), &original, &[&result.community])?;
-            if cfg.format == OutputFormat::Text {
-                writeln!(out, "DOT written to {dot}").map_err(werr)?;
-            }
-        }
-        return Ok(());
-    }
-
-    // Every unweighted mode serves through the versioned store: the
-    // engine owns a GraphStore (seeded from the loaded edge list) plus
-    // the version-keyed result cache, and queries pin snapshots.
+    // Every mode — weighted or not — serves through the versioned
+    // store: the engine owns a GraphStore (seeded from the loaded edge
+    // list, with its weights lane under --weighted) plus the
+    // version-keyed result cache, and queries pin snapshots.
     let (g, original) = load_graph(cfg)?;
     let engine = Engine::from_graph(g);
     if cfg.format == OutputFormat::Text {
         let snap = engine.snapshot();
-        writeln!(out, "graph: {} nodes, {} edges", snap.n(), snap.m()).map_err(werr)?;
+        if snap.is_weighted() {
+            writeln!(
+                out,
+                "graph: {} nodes, {} edges, total weight {:.3}",
+                snap.n(),
+                snap.m(),
+                snap.total_weight()
+            )
+            .map_err(werr)?;
+        } else {
+            writeln!(out, "graph: {} nodes, {} edges", snap.n(), snap.m()).map_err(werr)?;
+        }
         if cfg.stats {
             let bytes = snap.memory_bytes();
             writeln!(
@@ -741,7 +735,14 @@ fn run_batch<W: std::io::Write>(
     let report = engine.run_batch(&spec, &requests, cfg.threads)?;
 
     if cfg.format == OutputFormat::Json {
-        write!(out, "{}", report_jsonl(algo_name, &report, Some(original))).map_err(werr)?;
+        // `serves_weighted`, not the bare flag: `--algo fpa-w` runs the
+        // weighted objective even without `--weighted`.
+        write!(
+            out,
+            "{}",
+            report_jsonl(algo_name, spec.serves_weighted(), &report, Some(original))
+        )
+        .map_err(werr)?;
         return Ok(());
     }
 
@@ -780,21 +781,28 @@ fn run_batch<W: std::io::Write>(
 }
 
 /// One operation of a `--updates` script (original/file id space).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UpdateOp {
-    /// `add u v` — insert the edge; unseen ids create fresh nodes.
-    Add(u64, u64),
+    /// `add u v [w]` — insert the edge; unseen ids create fresh nodes.
+    /// The optional weight requires a weighted graph (`--weighted`);
+    /// without one a plain `add` inserts at weight 1.
+    Add(u64, u64, Option<f64>),
     /// `del u v` — remove an existing edge between known nodes.
     Del(u64, u64),
+    /// `setw u v w` — update the weight of an existing edge (weighted
+    /// graphs only).
+    SetW(u64, u64, f64),
     /// `query id[,id...]` — answer against the graph as mutated so far.
     Query(Vec<u64>),
 }
 
 /// Parse a `--updates` script with the same strict-grammar discipline as
 /// the JSON parser: blank lines and `#` comments are skipped, everything
-/// else must be exactly `add u v`, `del u v` or `query id[,id...]`.
-/// Violations are [`EngineError::BadUpdate`]s carrying the 1-based line
-/// number (exit code 7).
+/// else must be exactly `add u v [w]`, `del u v`, `setw u v w` or
+/// `query id[,id...]`. Violations are [`EngineError::BadUpdate`]s
+/// carrying the 1-based line number (exit code 7). Whether weight ops
+/// are *admissible* (they need a weighted graph) is checked at execution
+/// time, where the store is known.
 pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineError> {
     let mut ops = Vec::new();
     for (i, raw) in text.lines().enumerate() {
@@ -806,7 +814,7 @@ pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineE
         let mut tokens = line.split_whitespace();
         let op = tokens.next().expect("non-empty line has a first token");
         match op {
-            "add" | "del" => {
+            "add" | "del" | "setw" => {
                 let mut endpoint = |which: &str| -> Result<u64, EngineError> {
                     let tok = tokens.next().ok_or_else(|| {
                         EngineError::bad_update(
@@ -820,6 +828,34 @@ pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineE
                 };
                 let u = endpoint("u")?;
                 let v = endpoint("v")?;
+                // `add` takes an optional weight, `setw` a mandatory
+                // one, `del` none.
+                let mut weight = |mandatory: bool| -> Result<Option<f64>, EngineError> {
+                    let Some(tok) = tokens.next() else {
+                        if mandatory {
+                            return Err(EngineError::bad_update(
+                                line_no,
+                                format!("{op} {u} {v} needs a weight"),
+                            ));
+                        }
+                        return Ok(None);
+                    };
+                    let w: f64 = tok.parse().map_err(|_| {
+                        EngineError::bad_update(line_no, format!("bad weight {tok:?}"))
+                    })?;
+                    if !crate::graph::weighted::valid_weight(w) {
+                        return Err(EngineError::bad_update(
+                            line_no,
+                            format!("weight {w} {}", crate::graph::weighted::WEIGHT_CONSTRAINT),
+                        ));
+                    }
+                    Ok(Some(w))
+                };
+                let w = match op {
+                    "add" => weight(false)?,
+                    "setw" => weight(true)?,
+                    _ => None,
+                };
                 if let Some(extra) = tokens.next() {
                     return Err(EngineError::bad_update(
                         line_no,
@@ -834,10 +870,10 @@ pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineE
                 }
                 ops.push((
                     line_no,
-                    if op == "add" {
-                        UpdateOp::Add(u, v)
-                    } else {
-                        UpdateOp::Del(u, v)
+                    match op {
+                        "add" => UpdateOp::Add(u, v, w),
+                        "del" => UpdateOp::Del(u, v),
+                        _ => UpdateOp::SetW(u, v, w.expect("setw weight mandatory")),
                     },
                 ));
             }
@@ -856,7 +892,7 @@ pub fn parse_update_script(text: &str) -> Result<Vec<(usize, UpdateOp)>, EngineE
             other => {
                 return Err(EngineError::bad_update(
                     line_no,
-                    format!("unknown op {other:?} (expected add, del or query)"),
+                    format!("unknown op {other:?} (expected add, del, setw or query)"),
                 ))
             }
         }
@@ -916,21 +952,61 @@ fn run_updates<W: std::io::Write>(
     let start = Instant::now();
     for (line_no, op) in &ops {
         match op {
-            UpdateOp::Add(a, b) => {
+            UpdateOp::Add(a, b, w) => {
+                if w.is_some() && !engine.store().is_weighted() {
+                    return Err(EngineError::bad_update(
+                        *line_no,
+                        format!("weighted add {a} {b} requires --weighted (graph has no weights)"),
+                    ));
+                }
                 let u = resolve_or_create(engine, &mut index, &mut original, *a);
                 let v = resolve_or_create(engine, &mut index, &mut original, *b);
-                if !engine.insert_edge(u, v) {
+                let inserted = if engine.store().is_weighted() {
+                    engine.insert_edge_w(u, v, w.unwrap_or(1.0))
+                } else {
+                    engine.insert_edge(u, v)
+                };
+                if !inserted {
                     return Err(EngineError::bad_update(
                         *line_no,
                         format!("edge {a} {b} already exists"),
                     ));
                 }
                 if cfg.format == OutputFormat::Text {
+                    let weight_note = w.map_or(String::new(), |w| format!(" (weight {w})"));
                     writeln!(
                         out,
-                        "update add {a} {b}: {} nodes, {} edges (version {})",
+                        "update add {a} {b}{weight_note}: {} nodes, {} edges (version {})",
                         engine.store().n(),
                         engine.store().m(),
+                        engine.version()
+                    )
+                    .map_err(werr)?;
+                }
+            }
+            UpdateOp::SetW(a, b, w) => {
+                if !engine.store().is_weighted() {
+                    return Err(EngineError::bad_update(
+                        *line_no,
+                        format!("setw {a} {b} requires --weighted (graph has no weights)"),
+                    ));
+                }
+                let known = |id: u64| -> Result<NodeId, EngineError> {
+                    index.get(&id).copied().ok_or_else(|| {
+                        EngineError::bad_update(*line_no, format!("unknown node {id}"))
+                    })
+                };
+                let (u, v) = (known(*a)?, known(*b)?);
+                let Some(old) = engine.set_weight(u, v, *w) else {
+                    return Err(EngineError::bad_update(
+                        *line_no,
+                        format!("edge {a} {b} does not exist"),
+                    ));
+                };
+                if cfg.format == OutputFormat::Text {
+                    writeln!(
+                        out,
+                        "update setw {a} {b} {w} (was {old}): version {}",
                         engine.version()
                     )
                     .map_err(werr)?;
@@ -1003,9 +1079,12 @@ fn run_updates<W: std::io::Write>(
     let unique = responses.len();
     let report = BatchReport::from_responses(responses, wall_seconds, unique, hits, misses);
     match cfg.format {
-        OutputFormat::Json => {
-            writeln!(out, "{}", summary_json(algo_name, &report).render()).map_err(werr)
-        }
+        OutputFormat::Json => writeln!(
+            out,
+            "{}",
+            summary_json(algo_name, spec.serves_weighted(), &report).render()
+        )
+        .map_err(werr),
         OutputFormat::Text => write_summary_lines(out, &report).map_err(werr),
     }
 }
@@ -1129,7 +1208,13 @@ mod tests {
         assert!(parse(&args("--demo --queries q.txt --threads x")).is_err());
         assert!(parse(&args("--demo --queries q.txt --top-k 2")).is_err());
         assert!(parse(&args("--demo --queries q.txt --dot o.dot")).is_err());
-        assert!(parse(&args("--graph g --queries q.txt --weighted")).is_err());
+        // Weighted batches are first-class: --weighted composes with
+        // --queries and --threads.
+        assert!(parse(&args("--graph g --queries q.txt --weighted")).is_ok());
+        assert!(parse(&args(
+            "--graph g --queries q.txt --weighted --threads 4 --format json"
+        ))
+        .is_ok());
     }
 
     #[test]
@@ -1413,6 +1498,19 @@ mod tests {
         assert!(parse(&args("--demo --query 0 --top-k 2 --algo nca")).is_err());
         assert!(parse(&args("--demo --query 0 --top-k 2")).is_ok());
         assert!(parse(&args("--graph g --query 0 --weighted --algo nca")).is_ok());
+        // The canonical weighted labels and the demo graph are fine too.
+        assert!(parse(&args("--graph g --query 0 --weighted --algo fpa-w")).is_ok());
+        assert!(parse(&args("--demo --query 0 --weighted")).is_ok());
+        // The weight-aware rejection names the supported labels.
+        let err = parse(&args("--demo --query 0 --weighted --algo louvain"))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("weight-aware: fpa, nca, fpa-w, nca-w"),
+            "{err}"
+        );
+        // An unknown label is deferred to run() for the exit-3 error.
+        assert!(parse(&args("--demo --query 0 --weighted --algo zeus")).is_ok());
     }
 
     #[test]
@@ -1460,6 +1558,210 @@ mod tests {
     }
 
     #[test]
+    fn weighted_batch_end_to_end() {
+        // --weighted + --queries + --threads + --format json: the full
+        // serving stack (registry fpa-w, sessions, dedup, cache) on a
+        // weighted graph.
+        let dir = std::env::temp_dir().join("dmcs_cli_weighted_batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gfile = dir.join("w.txt");
+        std::fs::write(
+            &gfile,
+            "1 2 5.0\n2 3 5.0\n1 3 5.0\n4 5 1.0\n5 6 1.0\n4 6 1.0\n3 4 0.5\n",
+        )
+        .unwrap();
+        let qfile = dir.join("q.txt");
+        // Four queries, one duplicate — dedup must fire.
+        std::fs::write(&qfile, "1\n4\n1\n2,3\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--graph {} --weighted --queries {} --threads 2 --format json",
+            gfile.display(),
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "4 responses + summary: {text}");
+        assert_eq!(lines[0], lines[2], "deduped repeat answers identically");
+        for line in &lines[..4] {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("algo").unwrap().as_str(), Some("W-FPA"), "{line}");
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{line}");
+        }
+        // Query 1 lives in the heavy triangle.
+        let first = Json::parse(lines[0]).unwrap();
+        let comm: Vec<u64> = first
+            .get("community")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(comm, vec![1, 2, 3]);
+        let summary = Json::parse(lines[4]).unwrap();
+        assert_eq!(summary.get("type").unwrap().as_str(), Some("summary"));
+        assert_eq!(summary.get("algo").unwrap().as_str(), Some("W-FPA"));
+        assert_eq!(summary.get("weighted").unwrap().as_bool(), Some(true));
+        assert_eq!(summary.get("unique").unwrap().as_u64(), Some(3), "{text}");
+
+        // Text mode works too, with the weighted header.
+        let cfg_text = CliConfig {
+            format: OutputFormat::Text,
+            ..cfg
+        };
+        let mut out = Vec::new();
+        run(&cfg_text, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("total weight 18"), "{text}");
+        assert!(
+            text.contains("batch: 4 queries, algo W-FPA, 2 threads"),
+            "{text}"
+        );
+        assert!(text.contains("ok 4/4"), "{text}");
+    }
+
+    #[test]
+    fn weighted_updates_end_to_end_with_setw() {
+        let dir = std::env::temp_dir().join("dmcs_cli_weighted_updates");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gfile = dir.join("w.txt");
+        // Heavy triangle 1-2-3, light triangle 4-5-6, light bridge 3-4.
+        std::fs::write(
+            &gfile,
+            "1 2 5.0\n2 3 5.0\n1 3 5.0\n4 5 1.0\n5 6 1.0\n4 6 1.0\n3 4 0.5\n",
+        )
+        .unwrap();
+        let ufile = dir.join("script.txt");
+        // query; repeat (hit); weight-only update; re-query (recompute —
+        // the massive bridge now pulls 3 into 4's community); weighted
+        // add of a brand-new node.
+        std::fs::write(
+            &ufile,
+            "query 4\nquery 4\nsetw 3 4 50.0\nquery 4\nadd 7 4 9.0\nquery 7\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!(
+            "--graph {} --weighted --updates {} --format json",
+            gfile.display(),
+            ufile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "4 responses + summary: {text}");
+        assert_eq!(lines[0], lines[1], "repeat before setw: cache hit");
+        assert_ne!(lines[1], lines[2], "weight change moved the epoch");
+        let community = |line: &str| -> Vec<u64> {
+            Json::parse(line)
+                .unwrap()
+                .get("community")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .collect()
+        };
+        assert!(
+            community(lines[2]).contains(&3),
+            "heavy bridge pulls 3 in: {text}"
+        );
+        assert!(
+            community(lines[3]).contains(&7),
+            "new weighted node: {text}"
+        );
+        let summary = Json::parse(lines[4]).unwrap();
+        assert_eq!(summary.get("weighted").unwrap().as_bool(), Some(true));
+        assert_eq!(summary.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(summary.get("cache_misses").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn weight_ops_on_unweighted_graphs_are_typed_errors() {
+        let dir = std::env::temp_dir().join("dmcs_cli_weight_ops_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_script = |script: &str| -> EngineError {
+            let ufile = dir.join("s.txt");
+            std::fs::write(&ufile, script).unwrap();
+            let cfg = parse(&args(&format!("--demo --updates {}", ufile.display())))
+                .unwrap()
+                .unwrap();
+            run(&cfg, &mut Vec::new()).unwrap_err()
+        };
+        // setw without --weighted: BadUpdate (exit 7) naming the line.
+        let err = run_script("query 0\nsetw 0 1 2.0\n");
+        assert!(
+            matches!(err, EngineError::BadUpdate { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("requires --weighted"), "{err}");
+        assert_eq!(err.exit_code(), 7);
+        // A weighted add without --weighted too.
+        let err = run_script("add 0 9 2.5\n");
+        assert!(
+            matches!(err, EngineError::BadUpdate { line: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("requires --weighted"), "{err}");
+        // setw on a missing edge of a weighted graph is the usual
+        // does-not-exist BadUpdate (karate has no 0-9 edge; --demo
+        // --weighted serves unit weights).
+        let ufile = dir.join("s2.txt");
+        std::fs::write(&ufile, "setw 0 9 2.0\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --weighted --updates {}",
+            ufile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let err = run(&cfg, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn fpa_w_without_weighted_flag_reports_a_weighted_summary() {
+        // --algo fpa-w serves the weighted objective even without
+        // --weighted (unit fallback); the summary must say so.
+        let dir = std::env::temp_dir().join("dmcs_cli_fpa_w_summary");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("q.txt");
+        std::fs::write(&qfile, "0\n").unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --algo fpa-w --queries {} --format json",
+            qfile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = Json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(summary.get("algo").unwrap().as_str(), Some("W-FPA"));
+        assert_eq!(summary.get("weighted").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn demo_weighted_serves_unit_weights() {
+        // --demo --weighted: unit lane, W-FPA, same community as FPA on
+        // the topology.
+        let cfg = parse(&args("--demo --query 0 --weighted --format json"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let v = Json::parse(String::from_utf8(out).unwrap().trim()).unwrap();
+        assert_eq!(v.get("algo").unwrap().as_str(), Some("W-FPA"));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
     fn top_k_end_to_end_on_demo() {
         let cfg = parse(&args("--demo --query 0 --top-k 3")).unwrap().unwrap();
         let mut out = Vec::new();
@@ -1472,6 +1774,10 @@ mod tests {
     #[test]
     fn updates_flag_rules() {
         assert!(parse(&args("--demo --updates u.txt")).is_ok());
+        assert!(
+            parse(&args("--graph g --updates u.txt --weighted")).is_ok(),
+            "weighted live updates are first-class"
+        );
         for bad in [
             "--demo --updates u.txt --query 1",
             "--demo --updates u.txt --queries q.txt",
@@ -1479,7 +1785,6 @@ mod tests {
             "--demo --updates u.txt --stats",
             "--demo --updates u.txt --top-k 2",
             "--demo --updates u.txt --dot o.dot",
-            "--graph g --updates u.txt --weighted",
         ] {
             let err = parse(&args(bad)).unwrap_err();
             assert!(matches!(err, EngineError::BadParam { .. }), "{bad}: {err}");
@@ -1495,24 +1800,46 @@ mod tests {
         assert_eq!(
             ops,
             vec![
-                (2, UpdateOp::Add(7, 9)),
+                (2, UpdateOp::Add(7, 9, None)),
                 (4, UpdateOp::Del(7, 9)),
                 (5, UpdateOp::Query(vec![0])),
                 (6, UpdateOp::Query(vec![1, 2])),
-                (7, UpdateOp::Add(100, 0)),
+                (7, UpdateOp::Add(100, 0, None)),
             ]
         );
         assert!(parse_update_script("# only comments\n").unwrap().is_empty());
     }
 
     #[test]
+    fn update_script_parses_the_weighted_grammar() {
+        let ops = parse_update_script("add 7 9 2.5\nsetw 7 9 0.25\nadd 1 2\nquery 7\n").unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                (1, UpdateOp::Add(7, 9, Some(2.5))),
+                (2, UpdateOp::SetW(7, 9, 0.25)),
+                (3, UpdateOp::Add(1, 2, None)),
+                (4, UpdateOp::Query(vec![7])),
+            ]
+        );
+    }
+
+    #[test]
     fn update_script_rejects_malformed_lines_with_line_numbers() {
         for (script, line, needle) in [
             ("add 1", 1, "missing v"),
-            ("query 0\nadd 1 2 3", 2, "trailing token"),
+            ("query 0\nadd 1 2 3 4", 2, "trailing token"),
+            ("del 1 2 3", 1, "trailing token"),
+            ("setw 1 2 3 4", 1, "trailing token"),
             ("add 1 x", 1, "bad node id \"x\""),
             ("add 4 4", 1, "self-loop"),
             ("del 4 4", 1, "self-loop"),
+            ("add 1 2 x", 1, "bad weight \"x\""),
+            ("add 1 2 0", 1, "finite and strictly positive"),
+            ("add 1 2 -3", 1, "finite and strictly positive"),
+            ("add 1 2 inf", 1, "finite and strictly positive"),
+            ("setw 1 2", 1, "needs a weight"),
+            ("setw 1 2 nan", 1, "finite and strictly positive"),
             ("query", 1, "at least one node id"),
             ("query 1,,2", 1, "empty query id"),
             ("query 1,1", 1, "duplicate query id"),

@@ -35,6 +35,10 @@ fn every_cli_algorithm_answers_on_the_demo() {
     for algo in [
         "fpa",
         "nca",
+        // The weighted searchers run on any graph (unit-weight
+        // fallback when no weights lane is attached).
+        "fpa-w",
+        "nca-w",
         "fpa-dmg",
         "nca-dr",
         "kc",
@@ -214,6 +218,11 @@ fn validate_jsonl(text: &str) {
                 assert_eq!(i, lines.len() - 1, "summary must be the last line");
                 assert_eq!(v.get("queries").unwrap().as_u64(), Some(responses as u64));
                 assert_eq!(v.get("ok").unwrap().as_u64(), Some(ok as u64));
+                // Weightedness is part of the schema: always present.
+                assert!(
+                    v.get("weighted").expect("weighted").as_bool().is_some(),
+                    "summary.weighted must be a bool"
+                );
                 // The cache/dedup counters are part of the schema: always
                 // present, and they never exceed the query count.
                 let hits = v.get("cache_hits").expect("cache_hits").as_u64().unwrap();
@@ -270,7 +279,7 @@ fn malformed_update_line_exits_7() {
     let dir = std::env::temp_dir().join("dmcs_bin_bad_update");
     std::fs::create_dir_all(&dir).unwrap();
     let ufile = dir.join("bad.txt");
-    std::fs::write(&ufile, "query 0\nadd 1 2 3\n").unwrap();
+    std::fs::write(&ufile, "query 0\nadd 1 2 3 4\n").unwrap();
     let out = dmcs()
         .args(["--demo", "--updates", ufile.to_str().unwrap()])
         .output()
@@ -279,6 +288,25 @@ fn malformed_update_line_exits_7() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("update script line 2"), "{err}");
     assert!(err.contains("trailing token"), "{err}");
+}
+
+#[test]
+fn weight_op_without_weighted_flag_exits_7() {
+    // `add u v w` / `setw u v w` are grammar-valid but need a weighted
+    // graph: on an unweighted run they are typed BadUpdate errors with
+    // the documented exit code, naming the line and the fix.
+    let dir = std::env::temp_dir().join("dmcs_bin_weight_op");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ufile = dir.join("setw.txt");
+    std::fs::write(&ufile, "query 0\nsetw 0 1 2.5\n").unwrap();
+    let out = dmcs()
+        .args(["--demo", "--updates", ufile.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("update script line 2"), "{err}");
+    assert!(err.contains("requires --weighted"), "{err}");
 }
 
 #[test]
@@ -313,6 +341,67 @@ fn updates_json_smoke() {
     let summary = text.lines().last().unwrap();
     assert!(summary.contains("\"cache_hits\":2"), "{summary}");
     assert!(summary.contains("\"cache_misses\":2"), "{summary}");
+}
+
+#[test]
+fn weighted_batch_json_smoke() {
+    // The acceptance path of the weighted serving stack: --weighted
+    // --queries --threads 2 --format json through the compiled binary,
+    // with registry-resolved W-FPA and dedup/cache counters visible.
+    let dir = std::env::temp_dir().join("dmcs_bin_weighted_batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gfile = dir.join("w.txt");
+    std::fs::write(
+        &gfile,
+        "1 2 5.0\n2 3 5.0\n1 3 5.0\n4 5 1.0\n5 6 1.0\n4 6 1.0\n3 4 0.5\n",
+    )
+    .unwrap();
+    let qfile = dir.join("q.txt");
+    std::fs::write(&qfile, "1\n4\n1\n").unwrap();
+    let out = dmcs()
+        .args([
+            "--graph",
+            gfile.to_str().unwrap(),
+            "--weighted",
+            "--queries",
+            qfile.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    validate_jsonl(&text);
+    assert!(text.contains("\"algo\":\"W-FPA\""), "{text}");
+    assert!(text.contains("\"weighted\":true"), "{text}");
+    assert!(text.contains("\"unique\":2"), "dedup fired: {text}");
+}
+
+#[test]
+fn weighted_graph_load_errors_exit_4_with_line_numbers() {
+    // The strict weighted reader's typed errors surface as exit-4 I/O
+    // failures naming the offending line.
+    let dir = std::env::temp_dir().join("dmcs_bin_weighted_badfile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gfile = dir.join("bad.txt");
+    std::fs::write(&gfile, "1 2 5.0\n2 3\n").unwrap();
+    let out = dmcs()
+        .args([
+            "--graph",
+            gfile.to_str().unwrap(),
+            "--weighted",
+            "--query",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("missing weight"), "{err}");
 }
 
 #[test]

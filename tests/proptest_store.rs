@@ -4,12 +4,17 @@
 //! [`GraphBuilder`] — and the mutation version is monotone, bumping
 //! exactly on effective mutations. The same interleaving driven through
 //! a [`GraphStore`] (with interleaved snapshot reads, exercising the
-//! lazy rebuild) agrees too.
+//! lazy rebuild) agrees too. The weighted variant drives weighted
+//! inserts / removals / `set_weight` through a weighted store and
+//! compares against a from-scratch [`WeightedGraphBuilder`] build,
+//! pinning down that weight-only updates bump the version exactly when
+//! the stored weight changes.
 
 use dmcs::graph::dynamic::DynamicGraph;
+use dmcs::graph::weighted::WeightedGraphBuilder;
 use dmcs::graph::{Graph, GraphBuilder, GraphStore, NodeId};
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One scripted mutation. Node ids are drawn a little beyond the
 /// initial node count so out-of-range rejections (and later, post-grow
@@ -78,6 +83,113 @@ fn assert_same_graph(got: &Graph, want: &Graph) {
     }
 }
 
+/// One scripted *weighted* mutation. Weights are quantised to multiples
+/// of 0.5 in (0, 3.5] so equality comparisons are exact.
+#[derive(Debug, Clone, Copy)]
+enum WOp {
+    InsertW(NodeId, NodeId, f64),
+    Remove(NodeId, NodeId),
+    SetW(NodeId, NodeId, f64),
+    AddNode,
+}
+
+fn wop_strategy(id_bound: u32) -> impl Strategy<Value = WOp> {
+    // Same chained flat_map idiom as `op_strategy` (the vendored
+    // proptest shim has no tuple strategies): kind 0-3 weighted insert,
+    // 4-5 remove, 6 set-weight, 7 add-node.
+    (0u8..8).prop_flat_map(move |kind| {
+        (0..id_bound).prop_flat_map(move |u| {
+            (0..id_bound).prop_flat_map(move |v| {
+                (1u32..8).prop_map(move |wq| {
+                    let w = wq as f64 * 0.5;
+                    match kind {
+                        0..=3 => WOp::InsertW(u, v, w),
+                        4..=5 => WOp::Remove(u, v),
+                        6 => WOp::SetW(u, v, w),
+                        _ => WOp::AddNode,
+                    }
+                })
+            })
+        })
+    })
+}
+
+/// Weighted reference model: node count + normalized edge -> weight map.
+#[derive(Debug, Default)]
+struct WModel {
+    n: usize,
+    edges: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl WModel {
+    /// Apply `op`; returns whether it was an effective mutation.
+    fn apply(&mut self, op: WOp) -> bool {
+        match op {
+            WOp::InsertW(u, v, w) => {
+                if u == v || u as usize >= self.n || v as usize >= self.n {
+                    return false;
+                }
+                let key = (u.min(v), u.max(v));
+                if self.edges.contains_key(&key) {
+                    return false;
+                }
+                self.edges.insert(key, w);
+                true
+            }
+            WOp::Remove(u, v) => {
+                if u as usize >= self.n || v as usize >= self.n {
+                    return false;
+                }
+                self.edges.remove(&(u.min(v), u.max(v))).is_some()
+            }
+            WOp::SetW(u, v, w) => {
+                if u as usize >= self.n || v as usize >= self.n {
+                    return false;
+                }
+                match self.edges.get_mut(&(u.min(v), u.max(v))) {
+                    Some(old) if *old != w => {
+                        *old = w;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            WOp::AddNode => {
+                self.n += 1;
+                true
+            }
+        }
+    }
+
+    fn build(&self) -> Graph {
+        let mut b = WeightedGraphBuilder::new(self.n);
+        for (&(u, v), &w) in &self.edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build().into_graph();
+        // WeightedGraphBuilder grows to the max edge endpoint; isolated
+        // trailing nodes exist only in the model's count.
+        assert!(g.n() <= self.n);
+        g
+    }
+}
+
+fn assert_same_weighted_graph(got: &Graph, model: &WModel) {
+    let want = model.build();
+    assert_eq!(got.n(), model.n, "node counts diverge");
+    assert_eq!(got.m(), want.m(), "edge counts diverge");
+    assert!(got.is_weighted(), "snapshot must carry the lane");
+    for (&(u, v), &w) in &model.edges {
+        assert_eq!(got.edge_weight(u, v), Some(w), "weight of ({u},{v})");
+    }
+    let total: f64 = model.edges.values().sum();
+    assert!(
+        (got.total_weight() - total).abs() < 1e-9,
+        "total weight {} vs model {total}",
+        got.total_weight()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -142,6 +254,48 @@ proptest! {
         }
 
         assert_same_graph(&store.snapshot(), &model.build());
+        prop_assert_eq!(store.snapshot().version(), store.version());
+    }
+
+    #[test]
+    fn weighted_interleavings_match_from_scratch_builds(
+        n0 in 0usize..10,
+        ops in proptest::collection::vec(wop_strategy(14), 0..80),
+        read_every in 1usize..5,
+    ) {
+        let store = GraphStore::from_dynamic(DynamicGraph::new_weighted(n0));
+        prop_assert!(store.is_weighted());
+        let mut model = WModel { n: n0, ..WModel::default() };
+        let mut version = store.version();
+        prop_assert_eq!(version, 0, "construction is not a mutation");
+
+        for (i, &op) in ops.iter().enumerate() {
+            let effective = model.apply(op);
+            let changed = match op {
+                WOp::InsertW(u, v, w) => store.insert_edge_w(u, v, w),
+                WOp::Remove(u, v) => store.remove_edge(u, v),
+                // set_weight is effective exactly when the stored
+                // weight actually changes.
+                WOp::SetW(u, v, w) => matches!(store.set_weight(u, v, w), Some(old) if old != w),
+                WOp::AddNode => { store.add_node(); true }
+            };
+            prop_assert_eq!(changed, effective, "effectiveness agrees with the model on {:?}", op);
+            // Version monotonicity: +1 on effective mutations — weight-only
+            // updates included — frozen otherwise.
+            let next = store.version();
+            prop_assert_eq!(next, version + u64::from(effective), "version step on {:?}", op);
+            version = next;
+
+            // Interleaved reads force (and then reuse) lazy rebuilds of
+            // the lane-carrying snapshot.
+            if i % read_every == 0 {
+                let snap = store.snapshot();
+                prop_assert_eq!(snap.version(), store.version());
+                prop_assert_eq!(snap.m(), model.edges.len());
+            }
+        }
+
+        assert_same_weighted_graph(&store.snapshot(), &model);
         prop_assert_eq!(store.snapshot().version(), store.version());
     }
 }
