@@ -130,6 +130,21 @@ pub fn search_within(
     query: &[NodeId],
     algo: &dyn CommunitySearch,
 ) -> Result<SearchResult, SearchError> {
+    search_within_scored(g, nodes, query, algo, false)
+}
+
+/// [`search_within`] with an explicit objective: when `weighted`, the
+/// community is re-scored with the host graph's *weighted* density
+/// modularity (Definition 2; unit weights when the graph carries no
+/// lane), so weight-aware searchers compose with pool reduction — the
+/// induced subgraph itself keeps its weights lane either way.
+pub fn search_within_scored(
+    g: &Graph,
+    nodes: &[NodeId],
+    query: &[NodeId],
+    algo: &dyn CommunitySearch,
+    weighted: bool,
+) -> Result<SearchResult, SearchError> {
     let (sub, back) = g.induced(nodes);
     // Map queries into the induced id space.
     let mut fwd = std::collections::HashMap::with_capacity(back.len());
@@ -149,7 +164,11 @@ pub fn search_within(
     r.community = r.community.iter().map(|&v| back[v as usize]).collect();
     r.community.sort_unstable();
     r.removal_order = r.removal_order.iter().map(|&v| back[v as usize]).collect();
-    r.density_modularity = crate::measure::density_modularity(g, &r.community);
+    r.density_modularity = if weighted {
+        g.weighted_density_modularity(&r.community)
+    } else {
+        crate::measure::density_modularity(g, &r.community)
+    };
     Ok(r)
 }
 

@@ -11,8 +11,8 @@
 //! with the full-graph density modularity (comparable across rounds —
 //! rounds are ordered by construction, not necessarily by score).
 
-use crate::dynamic::search_within;
-use crate::{validate_query, Fpa, SearchError, SearchResult};
+use crate::dynamic::search_within_scored;
+use crate::{validate_query, CommunitySearch, Fpa, SearchError, SearchResult};
 use dmcs_graph::traversal::component_of;
 use dmcs_graph::{Graph, NodeId};
 
@@ -57,8 +57,22 @@ pub fn top_k_communities(
     query: &[NodeId],
     cfg: TopKConfig,
 ) -> Result<Vec<SearchResult>, SearchError> {
+    top_k_communities_with(g, query, cfg, &Fpa::default(), false)
+}
+
+/// [`top_k_communities`] with an explicit per-round searcher and
+/// objective — the registry-routed form: any [`CommunitySearch`] drives
+/// the rounds, and `weighted` scores them with the weighted density
+/// modularity (the induced round pools keep their weights lane), so
+/// top-k composes with `fpa-w`/`nca-w` exactly like single queries.
+pub fn top_k_communities_with(
+    g: &Graph,
+    query: &[NodeId],
+    cfg: TopKConfig,
+    algo: &dyn CommunitySearch,
+    weighted: bool,
+) -> Result<Vec<SearchResult>, SearchError> {
     validate_query(g, query)?;
-    let algo = Fpa::default();
     let mut pool: Vec<NodeId> = component_of(g, query[0]);
     let is_query = |v: NodeId| query.contains(&v);
     let mut out = Vec::new();
@@ -66,7 +80,7 @@ pub fn top_k_communities(
         if pool.len() <= query.len() {
             break;
         }
-        let Ok(r) = search_within(g, &pool, query, &algo) else {
+        let Ok(r) = search_within_scored(g, &pool, query, algo, weighted) else {
             break; // queries disconnected inside the reduced pool
         };
         if r.density_modularity < cfg.min_dm {
@@ -183,6 +197,60 @@ mod tests {
         let g = bowtie();
         assert!(top_k_communities(&g, &[], TopKConfig::default()).is_err());
         assert!(top_k_communities(&g, &[99], TopKConfig::default()).is_err());
+    }
+
+    #[test]
+    fn explicit_searcher_matches_the_default_wrapper() {
+        let g = bowtie();
+        let cfg = TopKConfig { k: 3, min_dm: 0.0 };
+        let via_wrapper = top_k_communities(&g, &[0], cfg).unwrap();
+        let via_with = top_k_communities_with(&g, &[0], cfg, &Fpa::default(), false).unwrap();
+        assert_eq!(via_wrapper, via_with);
+        // A different searcher drives the rounds too.
+        let nca = top_k_communities_with(&g, &[0], cfg, &crate::Nca::default(), false).unwrap();
+        assert!(!nca.is_empty());
+        for r in &nca {
+            assert!(r.community.contains(&0));
+        }
+    }
+
+    #[test]
+    fn weighted_rounds_score_the_weighted_objective() {
+        use dmcs_graph::weighted::WeightedGraphBuilder;
+        // The bowtie with the right wing triple-weighted: both wings are
+        // still found, and each round's DM matches the weighted measure
+        // of its community on the full graph.
+        let mut b = WeightedGraphBuilder::new(7);
+        for (c, w) in [([0u32, 1, 2, 3], 1.0), ([0, 4, 5, 6], 3.0)] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(c[i], c[j], w);
+                }
+            }
+        }
+        let g = b.build().into_graph();
+        let cfg = TopKConfig { k: 3, min_dm: 0.0 };
+        let rounds = top_k_communities_with(&g, &[0], cfg, &crate::WeightedFpa, true).unwrap();
+        assert!(rounds.len() >= 2, "got {} rounds", rounds.len());
+        for r in &rounds {
+            let expect = g.weighted_density_modularity(&r.community);
+            assert!(
+                (r.density_modularity - expect).abs() < 1e-12,
+                "round DM {} vs weighted measure {expect}",
+                r.density_modularity
+            );
+        }
+        // Both wings appear across the rounds (the round *order* is a
+        // property of the peeling sequence, not of the scores), and the
+        // heavy wing scores strictly higher under the weighted
+        // objective.
+        let mut wings: Vec<Vec<u32>> = rounds.iter().take(2).map(|r| r.community.clone()).collect();
+        wings.sort();
+        assert_eq!(wings, vec![vec![0, 1, 2, 3], vec![0, 4, 5, 6]]);
+        assert!(
+            g.weighted_density_modularity(&[0, 4, 5, 6])
+                > g.weighted_density_modularity(&[0, 1, 2, 3])
+        );
     }
 
     #[test]

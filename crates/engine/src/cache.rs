@@ -28,14 +28,47 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 /// What one cache entry answers: the exact search outcome plus the
 /// display name of the algorithm that ran and the wall time of the
 /// *original* computation (replayed on hits, keeping output byte-stable).
+///
+/// The outcome is a *list* of communities: single queries store exactly
+/// one ([`CachedAnswer::single`] / [`CachedAnswer::single_result`]),
+/// top-k enumerations store one per round. The two never collide — the
+/// key's [`CacheKey::top_k`] field separates them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedAnswer {
     /// Display name of the algorithm that computed the entry.
     pub algo: &'static str,
-    /// The raw (un-capped) search outcome.
-    pub result: Result<SearchResult, SearchError>,
+    /// The raw (un-capped) search outcome: one community per round
+    /// (exactly one for single queries).
+    pub result: Result<Vec<SearchResult>, SearchError>,
     /// Wall-clock seconds of the original computation.
     pub seconds: f64,
+}
+
+impl CachedAnswer {
+    /// Entry for a single-community outcome.
+    pub fn single(
+        algo: &'static str,
+        result: Result<SearchResult, SearchError>,
+        seconds: f64,
+    ) -> Self {
+        CachedAnswer {
+            algo,
+            result: result.map(|r| vec![r]),
+            seconds,
+        }
+    }
+
+    /// The outcome as a single-community result (the first round).
+    /// Meaningful only for entries stored under a single-query key.
+    pub fn single_result(&self) -> Result<SearchResult, SearchError> {
+        match &self.result {
+            Ok(rounds) => Ok(rounds
+                .first()
+                .expect("single-query entries hold exactly one community")
+                .clone()),
+            Err(e) => Err(e.clone()),
+        }
+    }
 }
 
 /// Cache key: everything that determines a search outcome.
@@ -62,6 +95,11 @@ pub struct CacheKey {
     pub weighted: bool,
     /// Query nodes, sorted ascending.
     pub nodes: Vec<NodeId>,
+    /// `0` for a single-community query; for a top-k enumeration, the
+    /// requested round count. Keeps a top-k answer (a *list* of
+    /// communities) from ever being replayed as a single answer or vice
+    /// versa, and separates different `k`s.
+    pub top_k: usize,
     /// Process-unique id of the graph store the answer belongs to.
     pub store: u64,
     /// Graph-store version the answer is valid for.
@@ -80,8 +118,18 @@ impl CacheKey {
             layer_pruning: spec.params.layer_pruning,
             weighted: spec.params.weighted,
             nodes,
+            top_k: 0,
             store: snapshot.store_id(),
             version: snapshot.version(),
+        }
+    }
+
+    /// Key for a top-`k` enumeration of `spec` on `nodes` against the
+    /// epoch `snapshot` pins.
+    pub fn for_top_k(spec: &AlgoSpec, nodes: &[NodeId], snapshot: &Snapshot, k: usize) -> CacheKey {
+        CacheKey {
+            top_k: k,
+            ..CacheKey::new(spec, nodes, snapshot)
         }
     }
 }
@@ -223,16 +271,16 @@ mod tests {
     use super::*;
 
     fn answer(secs: f64) -> CachedAnswer {
-        CachedAnswer {
-            algo: "FPA",
-            result: Ok(SearchResult {
+        CachedAnswer::single(
+            "FPA",
+            Ok(SearchResult {
                 community: vec![0, 1],
                 density_modularity: 0.5,
                 removal_order: vec![],
                 iterations: 1,
             }),
-            seconds: secs,
-        }
+            secs,
+        )
     }
 
     fn key(nodes: &[NodeId], version: u64) -> CacheKey {
@@ -244,6 +292,7 @@ mod tests {
             layer_pruning: true,
             weighted: false,
             nodes,
+            top_k: 0,
             store: 0,
             version,
         }
@@ -271,6 +320,16 @@ mod tests {
             CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
             CacheKey::new(&AlgoSpec::new("fpa").weighted(), &[0], &snap),
             "weightedness separates entries"
+        );
+        // A top-k enumeration never shares an entry with the single
+        // query (or a different k) over the same nodes.
+        assert_ne!(
+            CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
+            CacheKey::for_top_k(&AlgoSpec::new("fpa"), &[0], &snap, 3),
+        );
+        assert_ne!(
+            CacheKey::for_top_k(&AlgoSpec::new("fpa"), &[0], &snap, 2),
+            CacheKey::for_top_k(&AlgoSpec::new("fpa"), &[0], &snap, 3),
         );
         // Two different graphs frozen at the same version must never
         // share an entry: the process-unique store id separates them.

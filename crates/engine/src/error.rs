@@ -14,6 +14,8 @@
 //! | [`UnknownNode`]  | 5         | a query id does not appear in the graph   |
 //! | [`Search`]       | 6         | the search itself failed                  |
 //! | [`BadUpdate`]    | 7         | a `--updates` script line is invalid      |
+//! | [`Overloaded`]   | 8         | admission queue full, request rejected    |
+//! | [`BadRequest`]   | 9         | a wire-protocol request line is invalid   |
 //!
 //! [`BadParam`]: EngineError::BadParam
 //! [`UnknownAlgo`]: EngineError::UnknownAlgo
@@ -21,6 +23,8 @@
 //! [`UnknownNode`]: EngineError::UnknownNode
 //! [`Search`]: EngineError::Search
 //! [`BadUpdate`]: EngineError::BadUpdate
+//! [`Overloaded`]: EngineError::Overloaded
+//! [`BadRequest`]: EngineError::BadRequest
 
 use crate::registry;
 use dmcs_core::SearchError;
@@ -91,12 +95,30 @@ pub enum EngineError {
         /// What is wrong with the line.
         reason: String,
     },
+    /// The server's bounded admission queue is full: the request was
+    /// rejected instead of queueing unboundedly (backpressure, not an
+    /// internal failure — retry after a backoff).
+    Overloaded {
+        /// Requests currently admitted (in flight).
+        in_flight: usize,
+        /// The admission capacity that was exceeded.
+        capacity: usize,
+    },
+    /// A wire-protocol request line is invalid: not a JSON object, a
+    /// torn/partial line, an unknown `op`, or malformed arguments.
+    BadRequest {
+        /// 1-based request-line number within the connection.
+        line: usize,
+        /// What is wrong with the request.
+        reason: String,
+    },
 }
 
 impl EngineError {
     /// The process exit code the CLI maps this error to. Codes are
     /// stable, documented in the module table, and distinct per variant
-    /// (0 = success, 2–6 = the failure classes).
+    /// (0 = success, 2–9 = the failure classes). Over the wire the same
+    /// numbers travel as the `code` member of `error` reply lines.
     pub fn exit_code(&self) -> i32 {
         match self {
             EngineError::BadParam { .. } => 2,
@@ -105,6 +127,8 @@ impl EngineError {
             EngineError::UnknownNode { .. } => 5,
             EngineError::Search { .. } => 6,
             EngineError::BadUpdate { .. } => 7,
+            EngineError::Overloaded { .. } => 8,
+            EngineError::BadRequest { .. } => 9,
         }
     }
 
@@ -137,6 +161,23 @@ impl EngineError {
     /// Shorthand for an [`EngineError::BadUpdate`] at `line` (1-based).
     pub fn bad_update(line: usize, reason: impl Into<String>) -> Self {
         EngineError::BadUpdate {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`EngineError::Overloaded`] rejection.
+    pub fn overloaded(in_flight: usize, capacity: usize) -> Self {
+        EngineError::Overloaded {
+            in_flight,
+            capacity,
+        }
+    }
+
+    /// Shorthand for an [`EngineError::BadRequest`] at request `line`
+    /// (1-based within the connection).
+    pub fn bad_request(line: usize, reason: impl Into<String>) -> Self {
+        EngineError::BadRequest {
             line,
             reason: reason.into(),
         }
@@ -179,6 +220,17 @@ impl std::fmt::Display for EngineError {
             EngineError::Search { algo, source } => write!(f, "{algo}: {source}"),
             EngineError::BadUpdate { line, reason } => {
                 write!(f, "update script line {line}: {reason}")
+            }
+            EngineError::Overloaded {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "server overloaded: {in_flight} requests in flight at capacity {capacity}; \
+                 retry after a backoff"
+            ),
+            EngineError::BadRequest { line, reason } => {
+                write!(f, "bad request line {line}: {reason}")
             }
         }
     }
@@ -223,13 +275,15 @@ mod tests {
                 source: SearchError::EmptyQuery,
             },
             EngineError::bad_update(3, "unknown op \"swap\""),
+            EngineError::overloaded(16, 16),
+            EngineError::bad_request(2, "not a JSON object"),
         ]
     }
 
     #[test]
     fn exit_codes_are_distinct_and_documented() {
         let codes: Vec<i32> = all_variants().iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -251,6 +305,11 @@ mod tests {
         assert_eq!(texts[3], "query node 999 does not appear in the graph");
         assert_eq!(texts[4], "FPA: query set is empty");
         assert_eq!(texts[5], "update script line 3: unknown op \"swap\"");
+        assert_eq!(
+            texts[6],
+            "server overloaded: 16 requests in flight at capacity 16; retry after a backoff"
+        );
+        assert_eq!(texts[7], "bad request line 2: not a JSON object");
 
         // Context prefixes the unknown-node message when present.
         let contextual = EngineError::unknown_node(7).with_node_context("q.txt: query 3");
@@ -307,6 +366,8 @@ mod tests {
             EngineError::unknown_algo("zeus"),
             EngineError::unknown_node(1),
             EngineError::bad_update(1, "x"),
+            EngineError::overloaded(1, 1),
+            EngineError::bad_request(1, "x"),
         ] {
             assert!(e.source().is_none(), "{e:?} has no cause");
         }

@@ -41,6 +41,11 @@
 //! - [`output`] — a hand-rolled [`Json`](output::Json) writer/parser
 //!   rendering responses and reports as JSON-lines (the CLI's
 //!   `--format json`).
+//! - [`server`] — [`Server`], the `dmcs serve` socket daemon: unix/TCP
+//!   listeners on `std::net`, one snapshot-pinned [`Session`] per
+//!   connection, a versioned JSON-lines wire protocol
+//!   (`query`/`update`/`repin`/`stats`/`shutdown`), bounded admission
+//!   with typed overload replies, and graceful draining.
 //! - [`Engine`] — a shared [`GraphStore`] + result cache + convenience
 //!   entry points: the handle a server holds per loaded dataset, serving
 //!   queries *and* mutations concurrently.
@@ -82,6 +87,7 @@ pub mod error;
 pub mod output;
 pub mod registry;
 pub mod request;
+pub mod server;
 pub mod session;
 
 pub use batch::{BatchReport, BatchRunner};
@@ -89,7 +95,10 @@ pub use cache::ResponseCache;
 pub use error::EngineError;
 pub use registry::{AlgoParams, AlgoSpec};
 pub use request::{QueryRequest, QueryResponse};
-pub use session::Session;
+#[cfg(unix)]
+pub use server::install_sigterm_drain;
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use session::{Session, TopKOutcome};
 
 use cache::DEFAULT_CACHE_CAPACITY;
 use dmcs_graph::{GraphStore, NodeId, Snapshot};

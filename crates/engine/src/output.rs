@@ -8,19 +8,26 @@
 //!
 //! ## JSON-lines schema
 //!
-//! One `response` object per query, in submission order:
+//! Every object carries the protocol fields first: `protocol_version`
+//! (the wire-schema revision, [`PROTOCOL_VERSION`] — consumers reject
+//! lines from a future protocol instead of misparsing them) and `server`
+//! (the producing build, [`SERVER_ID`]). One `response` object per
+//! query, in submission order:
 //!
 //! ```json
-//! {"type":"response","tag":null,"algo":"FPA","query":[0,33],"ok":true,
+//! {"type":"response","protocol_version":1,"server":"dmcs/0.1.0","tag":null,
+//!  "algo":"FPA","query":[0,33],"ok":true,
 //!  "size":7,"dm":0.551,"iterations":27,"seconds":0.0012,"community":[0,1,2,3,7,13,33]}
-//! {"type":"response","tag":"t-9","algo":"FPA","query":[0,5],"ok":false,
+//! {"type":"response","protocol_version":1,"server":"dmcs/0.1.0","tag":"t-9",
+//!  "algo":"FPA","query":[0,5],"ok":false,
 //!  "error":"query nodes are not in the same connected component","seconds":0.0001}
 //! ```
 //!
 //! followed, for batches, by exactly one `summary` object:
 //!
 //! ```json
-//! {"type":"summary","algo":"FPA","weighted":false,"queries":3,"ok":2,
+//! {"type":"summary","protocol_version":1,"server":"dmcs/0.1.0","algo":"FPA",
+//!  "weighted":false,"queries":3,"ok":2,
 //!  "wall_seconds":0.004,"queries_per_sec":750.0,"p50_seconds":0.001,
 //!  "p95_seconds":0.002,"unique":3,"cache_hits":0,"cache_misses":3}
 //! ```
@@ -48,6 +55,32 @@ use crate::batch::BatchReport;
 use crate::request::QueryResponse;
 use dmcs_core::{SearchError, SearchResult};
 use dmcs_graph::NodeId;
+
+/// Revision of the JSON-lines wire schema. Bumped only on an
+/// incompatible change (a field rename, a meaning change); additive
+/// fields do not bump it. Every emitted object carries this as its
+/// `protocol_version` member.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Identity of the producing build, emitted as the `server` member of
+/// every object (`"dmcs/<crate version>"`).
+pub const SERVER_ID: &str = concat!("dmcs/", env!("CARGO_PKG_VERSION"));
+
+/// The two members every emitted object leads with, right after `type`.
+fn protocol_members() -> [(String, Json); 2] {
+    [
+        ("protocol_version".to_string(), Json::UInt(PROTOCOL_VERSION)),
+        ("server".to_string(), Json::str(SERVER_ID)),
+    ]
+}
+
+/// An object of the given `type` with the protocol fields in place.
+pub(crate) fn typed_obj(ty: &str, members: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("type".to_string(), Json::str(ty))];
+    all.extend(protocol_members());
+    all.extend(members);
+    Json::Obj(all)
+}
 
 /// A JSON value. Object member order is preserved (the writer emits a
 /// stable field order; the parser keeps whatever it reads).
@@ -458,7 +491,6 @@ pub fn result_json(
     original: Option<&[u64]>,
 ) -> Json {
     let mut members = vec![
-        ("type".to_string(), Json::str("response")),
         (
             "tag".to_string(),
             tag.map_or(Json::Null, |t| Json::str(t.to_string())),
@@ -481,7 +513,7 @@ pub fn result_json(
             members.push(("seconds".to_string(), Json::Num(seconds)));
         }
     }
-    Json::Obj(members)
+    typed_obj("response", members)
 }
 
 /// The `response` object for one [`QueryResponse`].
@@ -499,35 +531,37 @@ pub fn response_json(resp: &QueryResponse, original: Option<&[u64]>) -> Json {
 /// The `summary` object of a [`BatchReport`]. `weighted` records
 /// whether the batch ran the weighted objective.
 pub fn summary_json(algo: &str, weighted: bool, report: &BatchReport) -> Json {
-    Json::Obj(vec![
-        ("type".to_string(), Json::str("summary")),
-        ("algo".to_string(), Json::str(algo)),
-        ("weighted".to_string(), Json::Bool(weighted)),
-        (
-            "queries".to_string(),
-            Json::UInt(report.responses.len() as u64),
-        ),
-        ("ok".to_string(), Json::UInt(report.succeeded() as u64)),
-        ("wall_seconds".to_string(), Json::Num(report.wall_seconds)),
-        (
-            "queries_per_sec".to_string(),
-            Json::Num(report.queries_per_sec),
-        ),
-        ("p50_seconds".to_string(), Json::Num(report.p50_seconds)),
-        ("p95_seconds".to_string(), Json::Num(report.p95_seconds)),
-        (
-            "unique".to_string(),
-            Json::UInt(report.unique_queries as u64),
-        ),
-        (
-            "cache_hits".to_string(),
-            Json::UInt(report.cache_hits as u64),
-        ),
-        (
-            "cache_misses".to_string(),
-            Json::UInt(report.cache_misses as u64),
-        ),
-    ])
+    typed_obj(
+        "summary",
+        vec![
+            ("algo".to_string(), Json::str(algo)),
+            ("weighted".to_string(), Json::Bool(weighted)),
+            (
+                "queries".to_string(),
+                Json::UInt(report.responses.len() as u64),
+            ),
+            ("ok".to_string(), Json::UInt(report.succeeded() as u64)),
+            ("wall_seconds".to_string(), Json::Num(report.wall_seconds)),
+            (
+                "queries_per_sec".to_string(),
+                Json::Num(report.queries_per_sec),
+            ),
+            ("p50_seconds".to_string(), Json::Num(report.p50_seconds)),
+            ("p95_seconds".to_string(), Json::Num(report.p95_seconds)),
+            (
+                "unique".to_string(),
+                Json::UInt(report.unique_queries as u64),
+            ),
+            (
+                "cache_hits".to_string(),
+                Json::UInt(report.cache_hits as u64),
+            ),
+            (
+                "cache_misses".to_string(),
+                Json::UInt(report.cache_misses as u64),
+            ),
+        ],
+    )
 }
 
 /// A whole [`BatchReport`] as JSON-lines: one `response` line per query
@@ -675,6 +709,12 @@ mod tests {
         let line = result_json("FPA", Some("t"), &[0], &ok, 0.25, Some(&original)).render();
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("type").unwrap().as_str(), Some("response"));
+        assert_eq!(
+            v.get("protocol_version").unwrap().as_u64(),
+            Some(PROTOCOL_VERSION)
+        );
+        assert_eq!(v.get("server").unwrap().as_str(), Some(SERVER_ID));
+        assert!(SERVER_ID.starts_with("dmcs/"));
         assert_eq!(v.get("tag").unwrap().as_str(), Some("t"));
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("size").unwrap().as_f64(), Some(2.0));

@@ -1,0 +1,1317 @@
+//! `dmcs serve` — a long-lived socket daemon fronting the typed engine
+//! API with a versioned JSON-lines wire protocol.
+//!
+//! The daemon listens on a unix socket and/or a TCP address
+//! (hand-rolled on `std::net` / `std::os::unix::net` — the workspace's
+//! dependency policy admits no async runtime or socket crate) and
+//! serves each connection from its own thread. Every connection opens a
+//! [`Session`] pinned to the snapshot current at accept time, so a
+//! client's answers are consistent under concurrent updates until it
+//! explicitly asks to re-pin; all connections share the engine's
+//! [`GraphStore`](dmcs_graph::GraphStore) and version-keyed result
+//! cache, so one client's computation is every client's cache hit.
+//!
+//! ## Wire protocol (protocol_version 1)
+//!
+//! Requests are JSON objects, one per line, parsed by the same strict
+//! parser that backs `--format json` validation. The envelope is an
+//! `op` member naming the operation; node ids are in the *original*
+//! (input file) id space:
+//!
+//! | op | request members | reply `type` |
+//! |---|---|---|
+//! | `query` | `nodes` (required), `tag`, `k` | `response`, or `topk` when `k` > 0 |
+//! | `update` | `action` (`add`/`del`/`setw`), `u`, `v`, `w` | `update` |
+//! | `repin` | — | `repin` |
+//! | `stats` | — | `stats` |
+//! | `shutdown` | — | `shutdown` |
+//!
+//! Replies are JSON-lines carrying the schema's protocol fields
+//! (`protocol_version`, `server`) like every other output of the
+//! workspace. Failures are typed `error` lines mirroring the
+//! [`EngineError`] taxonomy:
+//!
+//! ```json
+//! {"type":"error","protocol_version":1,"server":"dmcs/0.1.0","line":3,"code":9,
+//!  "error":"bad request line 3: not a JSON object"}
+//! ```
+//!
+//! `line` is the 1-based request line number on this connection and
+//! `code` is the exit-code analog of the error class (5 unknown node,
+//! 7 bad update, 8 overloaded, 9 bad request).
+//!
+//! **Framing** is newline-delimited and defensive: a torn line (the
+//! peer closes mid-request) and an oversized line (longer than
+//! [`ServerConfig::max_line_bytes`]) are typed
+//! [`EngineError::BadRequest`] replies — never hangs; the oversized
+//! line's remainder is discarded up to the next newline so the
+//! connection resynchronises. Pipelined requests on one connection are
+//! answered strictly in order.
+//!
+//! **Backpressure**: queries and updates pass a bounded admission gate
+//! shared by all connections ([`ServerConfig::queue_cap`] concurrent
+//! work items). Past capacity the daemon answers immediately with a
+//! typed [`EngineError::Overloaded`] error line (code 8) instead of
+//! queueing unboundedly; `stats`, `repin` and `shutdown` are control
+//! ops and always admitted.
+//!
+//! **Draining**: a `shutdown` op or SIGTERM (see
+//! [`install_sigterm_drain`]) puts the daemon into drain mode:
+//! listeners stop accepting, every connection finishes the requests it
+//! already received, flushes its per-connection `summary` line, and the
+//! unix socket file is unlinked before [`Server::run`] returns.
+
+use crate::batch::BatchReport;
+use crate::error::EngineError;
+use crate::output::{response_json, summary_json, typed_obj, Json};
+use crate::registry::AlgoSpec;
+use crate::request::{QueryRequest, QueryResponse};
+use crate::{Engine, Session};
+use dmcs_graph::NodeId;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::Scope;
+use std::time::{Duration, Instant};
+
+/// How long a blocked read/accept waits before re-checking the drain
+/// flag. Bounds shutdown latency, not throughput (data ready on the
+/// socket returns immediately).
+const POLL: Duration = Duration::from_millis(25);
+
+/// Where and how the daemon listens.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the unix socket to bind (`None` = no unix listener). A
+    /// stale file at the path is removed before binding.
+    pub unix_path: Option<String>,
+    /// TCP address to bind, e.g. `127.0.0.1:7171` (`None` = no TCP
+    /// listener; port `0` binds an ephemeral port — read it back with
+    /// [`Server::tcp_addr`]).
+    pub tcp_addr: Option<String>,
+    /// Bounded admission: how many queries/updates may be in flight at
+    /// once across all connections. Requests past the cap get an
+    /// immediate typed [`EngineError::Overloaded`] reply (code 8). `0`
+    /// rejects every work op — useful to test client backoff paths.
+    pub queue_cap: usize,
+    /// Longest accepted request line in bytes; longer lines are typed
+    /// [`EngineError::BadRequest`] replies and discarded up to the next
+    /// newline.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            unix_path: None,
+            tcp_addr: None,
+            queue_cap: 64,
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Original-id ↔ dense-id mapping shared by all connections. `add`
+/// ops may introduce fresh ids; `original` only ever grows, in lockstep
+/// with the store's node count.
+struct IdSpace {
+    index: HashMap<u64, NodeId>,
+    original: Vec<u64>,
+}
+
+/// State shared by the listeners and every connection thread.
+struct Shared {
+    engine: Engine,
+    spec: AlgoSpec,
+    algo_name: &'static str,
+    ids: RwLock<IdSpace>,
+    drain: AtomicBool,
+    in_flight: AtomicUsize,
+    queue_cap: usize,
+    max_line_bytes: usize,
+    served: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Set by the SIGTERM handler (signal handlers may only touch statics);
+/// folded into [`Shared::draining`].
+static SIGTERM_DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGTERM handler that puts every running [`Server`] in this
+/// process into drain mode — the graceful-shutdown path for daemons run
+/// under an init system or CI harness. Hand-rolled `signal(2)` binding;
+/// the handler body is a single atomic store (async-signal-safe).
+#[cfg(unix)]
+pub fn install_sigterm_drain() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_DRAIN.store(true, Ordering::SeqCst);
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst) || SIGTERM_DRAIN.load(Ordering::SeqCst)
+    }
+
+    /// Try to admit one work op through the bounded gate.
+    fn admit(&self) -> bool {
+        let prev = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.queue_cap {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A remote-control handle on a running server: cheap to clone into
+/// tests or signal glue. Dropping it does not stop the server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Put the server into drain mode (idempotent): stop accepting,
+    /// finish in-flight requests, flush summaries, return from
+    /// [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+/// Counters of a finished [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Queries and updates served (admitted work ops, including ones
+    /// whose search failed; excluding overload rejections).
+    pub served: u64,
+    /// Result-cache hits across all connections.
+    pub cache_hits: u64,
+    /// Result-cache misses across all connections.
+    pub cache_misses: u64,
+}
+
+/// The daemon: bound listeners plus the shared serving state. Built
+/// with [`Server::bind`], driven to completion with [`Server::run`].
+pub struct Server {
+    shared: Arc<Shared>,
+    #[cfg(unix)]
+    unix: Option<UnixListener>,
+    unix_path: Option<PathBuf>,
+    tcp: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Validate `spec`, bind the configured listeners (at least one is
+    /// required) and return the ready-to-run server. `original` is the
+    /// dense → original id mapping of the loaded graph, as produced by
+    /// the edge-list readers.
+    pub fn bind(
+        engine: Engine,
+        spec: AlgoSpec,
+        original: Vec<u64>,
+        cfg: &ServerConfig,
+    ) -> Result<Server, EngineError> {
+        let algo_name = spec.build()?.name();
+        if cfg.unix_path.is_none() && cfg.tcp_addr.is_none() {
+            return Err(EngineError::bad_param(
+                "serve needs at least one listener (--unix <path> and/or --tcp <addr>)",
+            ));
+        }
+        let index = original
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, i as NodeId))
+            .collect();
+        let shared = Arc::new(Shared {
+            engine,
+            spec,
+            algo_name,
+            ids: RwLock::new(IdSpace { index, original }),
+            drain: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            queue_cap: cfg.queue_cap,
+            max_line_bytes: cfg.max_line_bytes.max(2),
+            served: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        });
+
+        #[cfg(unix)]
+        let (unix, unix_path) = match &cfg.unix_path {
+            Some(path) => {
+                let pb = PathBuf::from(path);
+                // A stale socket file from a crashed predecessor blocks
+                // bind(2); remove it (a live listener is unaffected on
+                // its end — it holds the inode, not the name).
+                let _ = std::fs::remove_file(&pb);
+                let listener = UnixListener::bind(&pb).map_err(|e| EngineError::io(path, e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| EngineError::io(path, e))?;
+                (Some(listener), Some(pb))
+            }
+            None => (None, None),
+        };
+        #[cfg(not(unix))]
+        let unix_path: Option<PathBuf> = match &cfg.unix_path {
+            Some(_) => {
+                return Err(EngineError::bad_param(
+                    "--unix sockets are not available on this platform",
+                ))
+            }
+            None => None,
+        };
+
+        let (tcp, tcp_addr) = match &cfg.tcp_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr).map_err(|e| EngineError::io(addr, e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| EngineError::io(addr, e))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| EngineError::io(addr, e))?;
+                (Some(listener), Some(local))
+            }
+            None => (None, None),
+        };
+
+        Ok(Server {
+            shared,
+            #[cfg(unix)]
+            unix,
+            unix_path,
+            tcp,
+            tcp_addr,
+        })
+    }
+
+    /// The control handle (clone it before [`Server::run`] consumes the
+    /// server).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The bound TCP address, when a TCP listener is configured —
+    /// resolves `--tcp 127.0.0.1:0` to the actual ephemeral port.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound unix socket path, when a unix listener is configured.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Serve until drained (a `shutdown` op, [`ServerHandle::shutdown`]
+    /// or SIGTERM via [`install_sigterm_drain`]): accept loops and
+    /// per-connection threads all run inside one scope, so every thread
+    /// is joined — and the unix socket file unlinked — before this
+    /// returns.
+    pub fn run(self) -> ServerStats {
+        let shared = &*self.shared;
+        std::thread::scope(|scope| {
+            if let Some(listener) = &self.tcp {
+                scope.spawn(move || accept_tcp(listener, shared, scope));
+            }
+            #[cfg(unix)]
+            if let Some(listener) = &self.unix {
+                scope.spawn(move || accept_unix(listener, shared, scope));
+            }
+        });
+        // All listeners and connections are done; close the listeners
+        // and release the socket name (dropping the unix listener does
+        // not unlink the file).
+        drop(self.tcp);
+        #[cfg(unix)]
+        drop(self.unix);
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        ServerStats {
+            connections: shared.connections.load(Ordering::SeqCst),
+            served: shared.served.load(Ordering::SeqCst),
+            cache_hits: shared.engine.cache().hits(),
+            cache_misses: shared.engine.cache().misses(),
+        }
+    }
+}
+
+fn accept_tcp<'s, 'e>(listener: &'e TcpListener, shared: &'e Shared, scope: &'s Scope<'s, 'e>) {
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                scope.spawn(move || serve_conn(shared, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix<'s, 'e>(listener: &'e UnixListener, shared: &'e Shared, scope: &'s Scope<'s, 'e>) {
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(POLL));
+                scope.spawn(move || serve_conn(shared, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// What a processed request asks the connection loop to do next.
+enum Flow {
+    Continue,
+    /// `shutdown` op: close this connection (after its summary) and
+    /// drain the server.
+    Close,
+}
+
+/// Per-connection bookkeeping for the closing `summary` line.
+struct ConnState {
+    /// 1-based count of request lines received (including empty,
+    /// malformed and discarded ones — the client can correlate error
+    /// replies with what it sent).
+    line_no: usize,
+    /// Single-query responses served, for the summary percentiles.
+    responses: Vec<QueryResponse>,
+    started: Instant,
+}
+
+/// Serve one connection: newline-framed requests in, JSON-lines out,
+/// strictly in order, ending with a `summary` line.
+fn serve_conn<S: Read + Write>(shared: &Shared, mut stream: S) {
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    let mut session = match shared.engine.session(&shared.spec) {
+        Ok(s) => s,
+        // The spec was validated at bind time; an error here would be a
+        // registry regression — drop the connection rather than panic a
+        // server thread.
+        Err(_) => return,
+    };
+    let mut conn = ConnState {
+        line_no: 0,
+        responses: Vec::new(),
+        started: Instant::now(),
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Oversized-line recovery: when set, bytes are dropped until the
+    // next newline so the connection resynchronises on line boundaries.
+    let mut discarding = false;
+
+    'conn: loop {
+        // Answer every complete line already buffered (pipelining).
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            conn.line_no += 1;
+            if line.len() - 1 > shared.max_line_bytes {
+                // A complete-but-oversized line (it can arrive whole when
+                // the peer writes fast): same typed reply as the
+                // streaming case below, no resync needed.
+                let e = EngineError::bad_request(
+                    conn.line_no,
+                    format!("request line exceeds {} bytes", shared.max_line_bytes),
+                );
+                if write_reply(&mut stream, &error_json(conn.line_no, &e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            match process_line(shared, &mut session, &mut conn, &mut stream, text.trim()) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Close) => break 'conn,
+                Err(_) => return, // peer gone mid-write: nothing to flush
+            }
+        }
+        if !discarding && buf.len() > shared.max_line_bytes {
+            conn.line_no += 1; // the dropped line keeps its sequence slot
+            let e = EngineError::bad_request(
+                conn.line_no,
+                format!(
+                    "request line exceeds {} bytes; discarding to the next newline",
+                    shared.max_line_bytes
+                ),
+            );
+            if write_reply(&mut stream, &error_json(conn.line_no, &e)).is_err() {
+                return;
+            }
+            buf.clear();
+            discarding = true;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() && !discarding {
+                    // Torn request: the peer closed mid-line. A typed
+                    // reply instead of silence (best effort — the write
+                    // side may already be gone too).
+                    conn.line_no += 1;
+                    let e = EngineError::bad_request(
+                        conn.line_no,
+                        "connection closed mid-request (torn line, no trailing newline)",
+                    );
+                    let _ = write_reply(&mut stream, &error_json(conn.line_no, &e));
+                }
+                break;
+            }
+            Ok(n) => {
+                let mut bytes = &chunk[..n];
+                if discarding {
+                    match bytes.iter().position(|&b| b == b'\n') {
+                        Some(p) => {
+                            bytes = &bytes[p + 1..];
+                            discarding = false;
+                        }
+                        None => continue,
+                    }
+                }
+                buf.extend_from_slice(bytes);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle: buffered complete lines were all processed
+                // above, so draining now honours "in-flight requests
+                // finish".
+                if shared.draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+
+    // Per-connection summary: same schema as a batch footer.
+    let wall = conn.started.elapsed().as_secs_f64();
+    let hits = conn.responses.iter().filter(|r| r.cached).count();
+    let misses = conn.responses.len() - hits;
+    let unique = conn.responses.len();
+    let report = BatchReport::from_responses(conn.responses, wall, unique, hits, misses);
+    let summary = summary_json(shared.algo_name, shared.spec.serves_weighted(), &report);
+    let _ = write_reply(&mut stream, &summary);
+}
+
+fn write_reply<W: Write>(out: &mut W, reply: &Json) -> std::io::Result<()> {
+    let mut line = reply.render();
+    line.push('\n');
+    out.write_all(line.as_bytes())?;
+    out.flush()
+}
+
+/// A wire `error` line for `err`, tagged with the request's line number
+/// and the error's exit-code analog.
+fn error_json(line_no: usize, err: &EngineError) -> Json {
+    typed_obj(
+        "error",
+        vec![
+            ("line".to_string(), Json::UInt(line_no as u64)),
+            ("code".to_string(), Json::UInt(err.exit_code() as u64)),
+            ("error".to_string(), Json::str(err.to_string())),
+        ],
+    )
+}
+
+/// Parse and execute one request line, writing exactly one reply line
+/// (empty input lines are ignored). `Err` means the peer is gone.
+fn process_line<S: Write>(
+    shared: &Shared,
+    session: &mut Session,
+    conn: &mut ConnState,
+    stream: &mut S,
+    text: &str,
+) -> std::io::Result<Flow> {
+    if text.is_empty() {
+        return Ok(Flow::Continue);
+    }
+    let line_no = conn.line_no;
+    let bad = |reason: String| EngineError::bad_request(line_no, reason);
+    let parsed = match Json::parse(text) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => {
+            write_reply(
+                stream,
+                &error_json(line_no, &bad("not a JSON object".into())),
+            )?;
+            return Ok(Flow::Continue);
+        }
+        Err(e) => {
+            write_reply(
+                stream,
+                &error_json(line_no, &bad(format!("not valid JSON: {e}"))),
+            )?;
+            return Ok(Flow::Continue);
+        }
+    };
+    let Some(op) = parsed.get("op").and_then(Json::as_str) else {
+        write_reply(
+            stream,
+            &error_json(line_no, &bad("missing \"op\" member (string)".into())),
+        )?;
+        return Ok(Flow::Continue);
+    };
+    match op {
+        "query" => {
+            let reply = op_query(shared, session, conn, &parsed, line_no);
+            write_reply(stream, &reply)?;
+            Ok(Flow::Continue)
+        }
+        "update" => {
+            let reply = op_update(shared, &parsed, line_no);
+            write_reply(stream, &reply)?;
+            Ok(Flow::Continue)
+        }
+        "repin" => {
+            let reply = match shared.engine.session(&shared.spec) {
+                Ok(fresh) => {
+                    *session = fresh;
+                    let snap = session.snapshot();
+                    typed_obj(
+                        "repin",
+                        vec![
+                            ("version".to_string(), Json::UInt(snap.version())),
+                            ("nodes".to_string(), Json::UInt(snap.n() as u64)),
+                            ("edges".to_string(), Json::UInt(snap.m() as u64)),
+                        ],
+                    )
+                }
+                Err(e) => error_json(line_no, &e),
+            };
+            write_reply(stream, &reply)?;
+            Ok(Flow::Continue)
+        }
+        "stats" => {
+            let snap_version = shared.engine.version();
+            let store = shared.engine.store();
+            let cache = shared.engine.cache();
+            let reply = typed_obj(
+                "stats",
+                vec![
+                    ("algo".to_string(), Json::str(shared.algo_name)),
+                    (
+                        "weighted".to_string(),
+                        Json::Bool(shared.spec.serves_weighted()),
+                    ),
+                    ("version".to_string(), Json::UInt(snap_version)),
+                    ("nodes".to_string(), Json::UInt(store.n() as u64)),
+                    ("edges".to_string(), Json::UInt(store.m() as u64)),
+                    (
+                        "pinned_version".to_string(),
+                        Json::UInt(session.snapshot().version()),
+                    ),
+                    ("cache_hits".to_string(), Json::UInt(cache.hits())),
+                    ("cache_misses".to_string(), Json::UInt(cache.misses())),
+                    (
+                        "in_flight".to_string(),
+                        Json::UInt(shared.in_flight.load(Ordering::SeqCst) as u64),
+                    ),
+                    ("queue_cap".to_string(), Json::UInt(shared.queue_cap as u64)),
+                    (
+                        "connections".to_string(),
+                        Json::UInt(shared.connections.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "served".to_string(),
+                        Json::UInt(shared.served.load(Ordering::SeqCst)),
+                    ),
+                    ("draining".to_string(), Json::Bool(shared.draining())),
+                ],
+            );
+            write_reply(stream, &reply)?;
+            Ok(Flow::Continue)
+        }
+        "shutdown" => {
+            shared.drain.store(true, Ordering::SeqCst);
+            let reply = typed_obj("shutdown", vec![("draining".to_string(), Json::Bool(true))]);
+            write_reply(stream, &reply)?;
+            Ok(Flow::Close)
+        }
+        other => {
+            write_reply(
+                stream,
+                &error_json(
+                    line_no,
+                    &bad(format!(
+                        "unknown op {other:?} (expected query, update, repin, stats or shutdown)"
+                    )),
+                ),
+            )?;
+            Ok(Flow::Continue)
+        }
+    }
+}
+
+/// `{"op":"query","nodes":[...],"tag":...,"k":...}` — a single
+/// community (the typed [`Session::query`] path, rendered exactly like
+/// `--format json`) or, with `k` > 0, a top-k enumeration as one `topk`
+/// line.
+fn op_query(
+    shared: &Shared,
+    session: &mut Session,
+    conn: &mut ConnState,
+    req: &Json,
+    line_no: usize,
+) -> Json {
+    let Some(raw_nodes) = req.get("nodes").and_then(Json::as_arr) else {
+        return error_json(
+            line_no,
+            &EngineError::bad_request(line_no, "query needs a \"nodes\" array of node ids"),
+        );
+    };
+    let mut nodes_raw = Vec::with_capacity(raw_nodes.len());
+    for v in raw_nodes {
+        match v.as_u64() {
+            Some(id) => nodes_raw.push(id),
+            None => {
+                return error_json(
+                    line_no,
+                    &EngineError::bad_request(
+                        line_no,
+                        format!("bad node id {} (unsigned integers only)", v.render()),
+                    ),
+                )
+            }
+        }
+    }
+    let k = match req.get("k") {
+        None => 0,
+        Some(v) => match v.as_u64() {
+            Some(k) => k as usize,
+            None => {
+                return error_json(
+                    line_no,
+                    &EngineError::bad_request(line_no, "\"k\" must be an unsigned integer"),
+                )
+            }
+        },
+    };
+    let tag = req.get("tag").and_then(Json::as_str).map(str::to_string);
+
+    if !shared.admit() {
+        let e = EngineError::overloaded(shared.in_flight.load(Ordering::SeqCst), shared.queue_cap);
+        return error_json(line_no, &e);
+    }
+    let reply = serve_admitted_query(shared, session, conn, &nodes_raw, k, tag, line_no);
+    shared.release();
+    reply
+}
+
+/// The admitted body of a `query` op (the caller pairs admit/release).
+fn serve_admitted_query(
+    shared: &Shared,
+    session: &mut Session,
+    conn: &mut ConnState,
+    nodes_raw: &[u64],
+    k: usize,
+    tag: Option<String>,
+    line_no: usize,
+) -> Json {
+    // Original → dense, under the shared id map.
+    let dense: Result<Vec<NodeId>, u64> = {
+        let ids = shared.ids.read().expect("id map lock");
+        nodes_raw
+            .iter()
+            .map(|raw| ids.index.get(raw).copied().ok_or(*raw))
+            .collect()
+    };
+    let dense = match dense {
+        Ok(d) => d,
+        Err(raw) => return error_json(line_no, &EngineError::unknown_node(raw)),
+    };
+
+    if k > 0 {
+        let outcome = session.top_k(&dense, k);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+        let ids = shared.ids.read().expect("id map lock");
+        return topk_json(&outcome, k, tag.as_deref(), nodes_raw, &ids.original);
+    }
+
+    let mut request = QueryRequest::new(dense);
+    if let Some(t) = tag {
+        request = request.with_tag(t);
+    }
+    match session.query(&request) {
+        Ok(resp) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            let ids = shared.ids.read().expect("id map lock");
+            let json = response_json(&resp, Some(&ids.original));
+            conn.responses.push(resp); // feeds the closing summary line
+            json
+        }
+        // Unreachable without per-request algo overrides, but keep the
+        // taxonomy honest rather than panicking a connection thread.
+        Err(e) => error_json(line_no, &e),
+    }
+}
+
+/// One `topk` reply line: the enumeration's rounds inlined, communities
+/// in original ids.
+fn topk_json(
+    outcome: &crate::session::TopKOutcome,
+    k: usize,
+    tag: Option<&str>,
+    query_raw: &[u64],
+    original: &[u64],
+) -> Json {
+    let mut query: Vec<u64> = query_raw.to_vec();
+    query.sort_unstable();
+    let mut members = vec![
+        ("tag".to_string(), tag.map_or(Json::Null, Json::str)),
+        ("algo".to_string(), Json::str(outcome.algo)),
+        (
+            "query".to_string(),
+            Json::Arr(query.into_iter().map(Json::UInt).collect()),
+        ),
+        ("k".to_string(), Json::UInt(k as u64)),
+    ];
+    match &outcome.rounds {
+        Ok(rounds) => {
+            members.push(("ok".to_string(), Json::Bool(true)));
+            members.push(("seconds".to_string(), Json::Num(outcome.seconds)));
+            let rounds_json: Vec<Json> = rounds
+                .iter()
+                .map(|r| {
+                    let mut community: Vec<u64> =
+                        r.community.iter().map(|&v| original[v as usize]).collect();
+                    community.sort_unstable();
+                    Json::Obj(vec![
+                        ("size".to_string(), Json::UInt(r.community.len() as u64)),
+                        ("dm".to_string(), Json::Num(r.density_modularity)),
+                        ("iterations".to_string(), Json::UInt(r.iterations as u64)),
+                        (
+                            "community".to_string(),
+                            Json::Arr(community.into_iter().map(Json::UInt).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            members.push(("rounds".to_string(), Json::Arr(rounds_json)));
+        }
+        Err(e) => {
+            members.push(("ok".to_string(), Json::Bool(false)));
+            members.push(("error".to_string(), Json::str(e.to_string())));
+            members.push(("seconds".to_string(), Json::Num(outcome.seconds)));
+        }
+    }
+    typed_obj("topk", members)
+}
+
+/// `{"op":"update","action":"add|del|setw","u":..,"v":..,"w":..}` —
+/// same semantics (and error taxonomy) as a `--updates` script line,
+/// applied to the live store. Sessions keep serving their pinned
+/// snapshot until the client sends `repin`.
+fn op_update(shared: &Shared, req: &Json, line_no: usize) -> Json {
+    let Some(action) = req.get("action").and_then(Json::as_str) else {
+        return error_json(
+            line_no,
+            &EngineError::bad_request(
+                line_no,
+                "update needs an \"action\" member (add, del or setw)",
+            ),
+        );
+    };
+    let endpoint = |name: &str| -> Result<u64, EngineError> {
+        req.get(name).and_then(Json::as_u64).ok_or_else(|| {
+            EngineError::bad_request(line_no, format!("update needs {name:?} (unsigned node id)"))
+        })
+    };
+    let (u_raw, v_raw) = match (endpoint("u"), endpoint("v")) {
+        (Ok(u), Ok(v)) => (u, v),
+        (Err(e), _) | (_, Err(e)) => return error_json(line_no, &e),
+    };
+    let weight = match req.get("w") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(w) if dmcs_graph::weighted::valid_weight(w) => Some(w),
+            Some(w) => {
+                return error_json(
+                    line_no,
+                    &EngineError::bad_update(
+                        line_no,
+                        format!("weight {w} {}", dmcs_graph::weighted::WEIGHT_CONSTRAINT),
+                    ),
+                )
+            }
+            None => {
+                return error_json(
+                    line_no,
+                    &EngineError::bad_request(line_no, "\"w\" must be a number"),
+                )
+            }
+        },
+    };
+    if u_raw == v_raw {
+        return error_json(
+            line_no,
+            &EngineError::bad_update(line_no, format!("self-loop {action} {u_raw} {u_raw}")),
+        );
+    }
+
+    if !shared.admit() {
+        let e = EngineError::overloaded(shared.in_flight.load(Ordering::SeqCst), shared.queue_cap);
+        return error_json(line_no, &e);
+    }
+    let reply = apply_update(shared, action, u_raw, v_raw, weight, line_no);
+    shared.release();
+    reply
+}
+
+/// The admitted body of an `update` op.
+fn apply_update(
+    shared: &Shared,
+    action: &str,
+    u_raw: u64,
+    v_raw: u64,
+    weight: Option<f64>,
+    line_no: usize,
+) -> Json {
+    let engine = &shared.engine;
+    let bad_update = |reason: String| EngineError::bad_update(line_no, reason);
+    // Dense ids for known nodes (del/setw never create).
+    let known = |raw: u64| -> Result<NodeId, EngineError> {
+        shared
+            .ids
+            .read()
+            .expect("id map lock")
+            .index
+            .get(&raw)
+            .copied()
+            .ok_or_else(|| bad_update(format!("unknown node {raw}")))
+    };
+    let mut extra: Vec<(String, Json)> = Vec::new();
+    let outcome: Result<(), EngineError> = match action {
+        "add" => {
+            if weight.is_some() && !engine.store().is_weighted() {
+                Err(bad_update(format!(
+                    "weighted add {u_raw} {v_raw} requires a weighted graph"
+                )))
+            } else {
+                // Unseen ids create fresh store nodes, in lockstep with
+                // the shared id map (one write lock spans both).
+                let (u, v) = {
+                    let mut ids = shared.ids.write().expect("id map lock");
+                    let mut resolve = |raw: u64| -> NodeId {
+                        if let Some(&dense) = ids.index.get(&raw) {
+                            return dense;
+                        }
+                        let dense = engine.add_node();
+                        debug_assert_eq!(
+                            dense as usize,
+                            ids.original.len(),
+                            "id spaces in lockstep"
+                        );
+                        ids.index.insert(raw, dense);
+                        ids.original.push(raw);
+                        dense
+                    };
+                    let u = resolve(u_raw);
+                    let v = resolve(v_raw);
+                    (u, v)
+                };
+                let inserted = if engine.store().is_weighted() {
+                    engine.insert_edge_w(u, v, weight.unwrap_or(1.0))
+                } else {
+                    engine.insert_edge(u, v)
+                };
+                if inserted {
+                    Ok(())
+                } else {
+                    Err(bad_update(format!("edge {u_raw} {v_raw} already exists")))
+                }
+            }
+        }
+        "del" => match (known(u_raw), known(v_raw)) {
+            (Ok(u), Ok(v)) => {
+                if engine.remove_edge(u, v) {
+                    Ok(())
+                } else {
+                    Err(bad_update(format!("edge {u_raw} {v_raw} does not exist")))
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        },
+        "setw" => {
+            if !engine.store().is_weighted() {
+                Err(bad_update(format!(
+                    "setw {u_raw} {v_raw} requires a weighted graph"
+                )))
+            } else {
+                match weight {
+                    None => Err(EngineError::bad_request(
+                        line_no,
+                        "setw needs a \"w\" member",
+                    )),
+                    Some(w) => match (known(u_raw), known(v_raw)) {
+                        (Ok(u), Ok(v)) => match engine.set_weight(u, v, w) {
+                            Some(old) => {
+                                extra.push(("previous".to_string(), Json::Num(old)));
+                                Ok(())
+                            }
+                            None => Err(bad_update(format!("edge {u_raw} {v_raw} does not exist"))),
+                        },
+                        (Err(e), _) | (_, Err(e)) => Err(e),
+                    },
+                }
+            }
+        }
+        other => Err(EngineError::bad_request(
+            line_no,
+            format!("unknown update action {other:?} (expected add, del or setw)"),
+        )),
+    };
+    match outcome {
+        Ok(()) => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            let mut members = vec![
+                ("action".to_string(), Json::str(action)),
+                ("u".to_string(), Json::UInt(u_raw)),
+                ("v".to_string(), Json::UInt(v_raw)),
+            ];
+            members.extend(extra);
+            members.extend([
+                ("version".to_string(), Json::UInt(engine.version())),
+                ("nodes".to_string(), Json::UInt(engine.store().n() as u64)),
+                ("edges".to_string(), Json::UInt(engine.store().m() as u64)),
+            ]);
+            typed_obj("update", members)
+        }
+        Err(e) => error_json(line_no, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    fn demo_engine() -> (Engine, Vec<u64>) {
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        (Engine::from_graph(g), (0..6).collect())
+    }
+
+    /// In-memory stream double: requests in, replies captured.
+    struct Script {
+        input: std::io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Script {
+        fn new(text: &str) -> Self {
+            Script {
+                input: std::io::Cursor::new(text.as_bytes().to_vec()),
+                output: Vec::new(),
+            }
+        }
+
+        fn replies(&self) -> Vec<Json> {
+            String::from_utf8(self.output.clone())
+                .unwrap()
+                .lines()
+                .map(|l| Json::parse(l).unwrap())
+                .collect()
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Script {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn shared(engine: Engine, original: Vec<u64>, queue_cap: usize) -> Shared {
+        let index = original
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, i as NodeId))
+            .collect();
+        Shared {
+            engine,
+            spec: AlgoSpec::new("fpa"),
+            algo_name: "FPA",
+            ids: RwLock::new(IdSpace { index, original }),
+            drain: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            queue_cap,
+            max_line_bytes: 64 * 1024,
+            served: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn query_update_repin_round_trip() {
+        let (engine, original) = demo_engine();
+        let sh = shared(engine, original, 8);
+        let mut io = Script::new(
+            "{\"op\":\"query\",\"nodes\":[0],\"tag\":\"a\"}\n\
+             {\"op\":\"update\",\"action\":\"add\",\"u\":0,\"v\":3}\n\
+             {\"op\":\"query\",\"nodes\":[0]}\n\
+             {\"op\":\"repin\"}\n\
+             {\"op\":\"query\",\"nodes\":[0]}\n",
+        );
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        // 5 requests + closing summary.
+        assert_eq!(replies.len(), 6, "{replies:?}");
+        assert_eq!(replies[0].get("type").unwrap().as_str(), Some("response"));
+        assert_eq!(replies[0].get("tag").unwrap().as_str(), Some("a"));
+        assert_eq!(replies[1].get("type").unwrap().as_str(), Some("update"));
+        assert_eq!(replies[1].get("version").unwrap().as_u64(), Some(1));
+        // Pinned session: the pre-update answer replays (cache hit on
+        // the old epoch) even after the store moved.
+        assert_eq!(replies[2], replies[0].clone_without_tag());
+        assert_eq!(replies[3].get("type").unwrap().as_str(), Some("repin"));
+        assert_eq!(replies[3].get("version").unwrap().as_u64(), Some(1));
+        // Fresh epoch: same query, different graph.
+        assert_eq!(replies[4].get("type").unwrap().as_str(), Some("response"));
+        assert_ne!(replies[4], replies[2]);
+        assert_eq!(replies[5].get("type").unwrap().as_str(), Some("summary"));
+        assert_eq!(replies[5].get("queries").unwrap().as_u64(), Some(3));
+    }
+
+    impl Json {
+        /// Test helper: the same object with `"tag": null` (queries
+        /// repeated without a tag should otherwise replay identically).
+        fn clone_without_tag(&self) -> Json {
+            match self {
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .iter()
+                        .map(|(k, v)| {
+                            if k == "tag" {
+                                (k.clone(), Json::Null)
+                            } else {
+                                (k.clone(), v.clone())
+                            }
+                        })
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_bad_requests() {
+        let (engine, original) = demo_engine();
+        let sh = shared(engine, original, 8);
+        let mut io = Script::new(
+            "this is not json\n\
+             [1,2,3]\n\
+             {\"nodes\":[0]}\n\
+             {\"op\":\"dance\"}\n\
+             {\"op\":\"query\"}\n\
+             {\"op\":\"query\",\"nodes\":[\"zero\"]}\n\
+             {\"op\":\"query\",\"nodes\":[77]}\n",
+        );
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        assert_eq!(replies.len(), 8, "{replies:?}");
+        for (i, expect_code) in [(0, 9), (1, 9), (2, 9), (3, 9), (4, 9), (5, 9), (6, 5)] {
+            let r = &replies[i];
+            assert_eq!(r.get("type").unwrap().as_str(), Some("error"), "{r:?}");
+            assert_eq!(
+                r.get("code").unwrap().as_u64(),
+                Some(expect_code),
+                "line {i}: {r:?}"
+            );
+            assert_eq!(r.get("line").unwrap().as_u64(), Some(i as u64 + 1));
+        }
+        assert_eq!(replies[7].get("type").unwrap().as_str(), Some("summary"));
+        assert_eq!(replies[7].get("queries").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn zero_queue_cap_rejects_work_but_not_control() {
+        let (engine, original) = demo_engine();
+        let sh = shared(engine, original, 0);
+        let mut io = Script::new(
+            "{\"op\":\"query\",\"nodes\":[0]}\n\
+             {\"op\":\"update\",\"action\":\"add\",\"u\":0,\"v\":5}\n\
+             {\"op\":\"stats\"}\n",
+        );
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        assert_eq!(replies.len(), 4, "{replies:?}");
+        for r in &replies[..2] {
+            assert_eq!(r.get("type").unwrap().as_str(), Some("error"), "{r:?}");
+            assert_eq!(r.get("code").unwrap().as_u64(), Some(8));
+            assert!(r
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("overloaded"));
+        }
+        assert_eq!(replies[2].get("type").unwrap().as_str(), Some("stats"));
+        assert_eq!(replies[2].get("queue_cap").unwrap().as_u64(), Some(0));
+        assert_eq!(replies[2].get("served").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn update_taxonomy_matches_the_script_mode() {
+        let (engine, original) = demo_engine();
+        let sh = shared(engine, original, 8);
+        let mut io = Script::new(
+            "{\"op\":\"update\",\"action\":\"add\",\"u\":0,\"v\":1}\n\
+             {\"op\":\"update\",\"action\":\"del\",\"u\":0,\"v\":9}\n\
+             {\"op\":\"update\",\"action\":\"setw\",\"u\":0,\"v\":1,\"w\":2.0}\n\
+             {\"op\":\"update\",\"action\":\"add\",\"u\":4,\"v\":4}\n\
+             {\"op\":\"update\",\"action\":\"add\",\"u\":0,\"v\":1,\"w\":-2.0}\n\
+             {\"op\":\"update\",\"action\":\"add\",\"u\":0,\"v\":9}\n",
+        );
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        assert_eq!(replies.len(), 7, "{replies:?}");
+        // Duplicate edge, unknown node, setw on unweighted, self-loop,
+        // invalid weight: all exit-7 analogs.
+        for r in &replies[..5] {
+            assert_eq!(r.get("type").unwrap().as_str(), Some("error"), "{r:?}");
+            assert_eq!(r.get("code").unwrap().as_u64(), Some(7), "{r:?}");
+        }
+        // A fresh id creates a node (id map growth).
+        let grown = &replies[5];
+        assert_eq!(grown.get("type").unwrap().as_str(), Some("update"));
+        assert_eq!(grown.get("nodes").unwrap().as_u64(), Some(7));
+        let ids = sh.ids.read().unwrap();
+        assert_eq!(ids.original.last(), Some(&9));
+        assert_eq!(ids.index.get(&9), Some(&6));
+    }
+
+    #[test]
+    fn top_k_over_the_wire() {
+        // Two 4-cliques sharing node 0, original ids shifted by 100.
+        let mut b = GraphBuilder::new(7);
+        for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(c[i], c[j]);
+                }
+            }
+        }
+        let engine = Engine::from_graph(b.build());
+        let original: Vec<u64> = (100..107).collect();
+        let sh = shared(engine, original, 8);
+        let mut io = Script::new("{\"op\":\"query\",\"nodes\":[100],\"k\":3}\n");
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        assert_eq!(replies.len(), 2, "{replies:?}");
+        let topk = &replies[0];
+        assert_eq!(topk.get("type").unwrap().as_str(), Some("topk"));
+        assert_eq!(topk.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(topk.get("k").unwrap().as_u64(), Some(3));
+        let rounds = topk.get("rounds").unwrap().as_arr().unwrap();
+        assert_eq!(rounds.len(), 2, "both wings");
+        for round in rounds {
+            let community = round.get("community").unwrap().as_arr().unwrap();
+            assert!(
+                community.iter().all(|v| v.as_u64().unwrap() >= 100),
+                "communities are reported in original ids: {round:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_and_oversized_lines_resync() {
+        let (engine, original) = demo_engine();
+        let mut sh = shared(engine, original, 8);
+        sh.max_line_bytes = 32;
+        let huge = format!("{{\"op\":\"query\",\"nodes\":[{}]}}", "0,".repeat(64) + "0");
+        let mut io = Script::new(&format!(
+            "{huge}\n{{\"op\":\"query\",\"nodes\":[0]}}\n{{\"op\":\"stats\""
+        ));
+        serve_conn(&sh, &mut io);
+        let replies = io.replies();
+        assert_eq!(replies.len(), 4, "{replies:?}");
+        // Oversized line: typed 9, then the connection resyncs and the
+        // next request is served normally.
+        assert_eq!(replies[0].get("code").unwrap().as_u64(), Some(9));
+        assert!(replies[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds 32 bytes"));
+        assert_eq!(replies[1].get("type").unwrap().as_str(), Some("response"));
+        // Torn final line (EOF without newline): typed 9, then summary.
+        assert_eq!(replies[2].get("code").unwrap().as_u64(), Some(9));
+        assert!(replies[2]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("torn line"));
+        assert_eq!(replies[3].get("type").unwrap().as_str(), Some("summary"));
+    }
+
+    #[test]
+    fn shutdown_op_drains_and_still_summarises() {
+        let (engine, original) = demo_engine();
+        let sh = shared(engine, original, 8);
+        let mut io = Script::new(
+            "{\"op\":\"query\",\"nodes\":[0]}\n\
+             {\"op\":\"shutdown\"}\n\
+             {\"op\":\"query\",\"nodes\":[1]}\n",
+        );
+        serve_conn(&sh, &mut io);
+        assert!(sh.draining());
+        let replies = io.replies();
+        // The request pipelined after shutdown is not served.
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert_eq!(replies[1].get("type").unwrap().as_str(), Some("shutdown"));
+        assert_eq!(replies[2].get("type").unwrap().as_str(), Some("summary"));
+        assert_eq!(replies[2].get("queries").unwrap().as_u64(), Some(1));
+    }
+}

@@ -21,11 +21,29 @@ use crate::cache::{CacheKey, CachedAnswer, ResponseCache};
 use crate::error::EngineError;
 use crate::registry::AlgoSpec;
 use crate::request::{QueryRequest, QueryResponse};
+use dmcs_core::topk::{top_k_communities_with, TopKConfig};
 use dmcs_core::{CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{NodeId, Snapshot};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A finished top-k enumeration from [`Session::top_k`]: the rounds (one
+/// community each), stamped like a [`QueryResponse`] so callers render
+/// and cache it the same way.
+#[derive(Debug, Clone)]
+pub struct TopKOutcome {
+    /// Display name of the algorithm that drove the rounds.
+    pub algo: &'static str,
+    /// One community per round, diversity-ordered (empty when no round
+    /// clears the objective floor), or the validation error.
+    pub rounds: Result<Vec<SearchResult>, SearchError>,
+    /// Wall-clock seconds of the computation (the *original* one when
+    /// served from the cache).
+    pub seconds: f64,
+    /// Whether the outcome was replayed from the shared result cache.
+    pub cached: bool,
+}
 
 /// A live query session: one pinned snapshot, one resolved algorithm,
 /// one recyclable workspace, and an optional shared result cache.
@@ -133,7 +151,13 @@ impl Session {
             .map(|_| CacheKey::new(spec, &req.nodes, &self.snapshot));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(hit) = cache.get(key) {
-                return Ok(respond(req, hit.algo, hit.result, hit.seconds, true));
+                return Ok(respond(
+                    req,
+                    hit.algo,
+                    hit.single_result(),
+                    hit.seconds,
+                    true,
+                ));
             }
         }
 
@@ -143,14 +167,64 @@ impl Session {
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             cache.insert(
                 key,
+                CachedAnswer::single(algo.name(), result.clone(), seconds),
+            );
+        }
+        Ok(respond(req, algo.name(), result, seconds, false))
+    }
+
+    /// Enumerate up to `k` node-diverse communities for `nodes`, driving
+    /// each round with the session's algorithm (weighted labels score
+    /// the weighted objective) and consulting the shared result cache
+    /// (when attached) under a top-k key — so repeated enumerations
+    /// replay byte-identically, like single queries. Rounds below DM 0
+    /// are cut off (the [`TopKConfig`] default).
+    pub fn top_k(&mut self, nodes: &[NodeId], k: usize) -> TopKOutcome {
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| CacheKey::for_top_k(&self.spec, nodes, &self.snapshot, k));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                return TopKOutcome {
+                    algo: hit.algo,
+                    rounds: hit.result,
+                    seconds: hit.seconds,
+                    cached: true,
+                };
+            }
+        }
+
+        let cfg = TopKConfig {
+            k,
+            ..TopKConfig::default()
+        };
+        let weighted = self.spec.serves_weighted();
+        let start = Instant::now();
+        let rounds = top_k_communities_with(
+            self.snapshot.graph(),
+            nodes,
+            cfg,
+            self.algo.as_ref(),
+            weighted,
+        );
+        let seconds = start.elapsed().as_secs_f64();
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(
+                key,
                 CachedAnswer {
-                    algo: algo.name(),
-                    result: result.clone(),
+                    algo: self.algo.name(),
+                    result: rounds.clone(),
                     seconds,
                 },
             );
         }
-        Ok(respond(req, algo.name(), result, seconds, false))
+        TopKOutcome {
+            algo: self.algo.name(),
+            rounds,
+            seconds,
+            cached: false,
+        }
     }
 }
 
@@ -310,6 +384,44 @@ mod tests {
         let hit = session.query(&QueryRequest::new(vec![0, 3])).unwrap();
         assert!(hit.cached, "deterministic failures are cacheable");
         assert_eq!(hit.result, miss.result);
+    }
+
+    #[test]
+    fn top_k_enumerates_caches_and_replays() {
+        // Two 4-cliques sharing node 0: two legitimate communities.
+        let mut b = GraphBuilder::new(7);
+        for c in [[0u32, 1, 2, 3], [0, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(c[i], c[j]);
+                }
+            }
+        }
+        let snap = Snapshot::freeze(b.build());
+        let cache = Arc::new(ResponseCache::new(16));
+        let mut session = Session::new(snap, &AlgoSpec::new("fpa"))
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+
+        let miss = session.top_k(&[0], 3);
+        assert!(!miss.cached);
+        assert_eq!(miss.algo, "FPA");
+        let rounds = miss.rounds.as_ref().unwrap();
+        assert_eq!(rounds.len(), 2, "both wings of the bowtie");
+
+        let hit = session.top_k(&[0], 3);
+        assert!(hit.cached);
+        assert_eq!(hit.rounds.as_ref().unwrap(), rounds);
+        assert_eq!(hit.seconds, miss.seconds, "original timing replayed");
+
+        // A single query over the same nodes is a different cache slot.
+        let single = session.query(&QueryRequest::new(vec![0])).unwrap();
+        assert!(!single.cached, "top-k entries never answer single queries");
+
+        // Validation errors surface inside the outcome (and cache too).
+        let bad = session.top_k(&[99], 2);
+        assert!(bad.rounds.is_err());
+        assert!(session.top_k(&[99], 2).cached);
     }
 
     #[test]

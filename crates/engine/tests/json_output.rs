@@ -79,6 +79,16 @@ fn every_golden_line_is_valid_json() {
         let v = Json::parse(line).unwrap_or_else(|e| panic!("golden line {i}: {e}"));
         let ty = v.get("type").and_then(|t| t.as_str()).expect("type field");
         assert!(matches!(ty, "response" | "summary"), "line {i}: {ty}");
+        assert_eq!(
+            v.get("protocol_version").and_then(|p| p.as_u64()),
+            Some(dmcs_engine::output::PROTOCOL_VERSION),
+            "line {i}: protocol_version"
+        );
+        assert_eq!(
+            v.get("server").and_then(|s| s.as_str()),
+            Some(dmcs_engine::output::SERVER_ID),
+            "line {i}: server"
+        );
     }
 }
 

@@ -238,7 +238,9 @@ impl Graph {
 
     /// Extract the induced subgraph `G[nodes]`, relabelling nodes to
     /// `0..nodes.len()` in the order given. Returns the subgraph and the
-    /// mapping `new -> old`.
+    /// mapping `new -> old`. When this graph carries a weights lane the
+    /// subgraph carries one too, each surviving edge keeping its weight —
+    /// so weighted measures evaluated inside the subgraph stay faithful.
     pub fn induced(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
         let mut new_id = vec![NodeId::MAX; self.n()];
         for (i, &v) in nodes.iter().enumerate() {
@@ -252,7 +254,26 @@ impl Graph {
                 }
             }
         }
-        (b.build(), nodes.to_vec())
+        let sub = b.build();
+        let sub = if self.is_weighted() {
+            // Fill the subgraph's slot-weight lane by looking each kept
+            // edge up in the host lane (the subgraph relabelling need not
+            // preserve adjacency order, so slots are resolved per edge).
+            let mut slot_weight = vec![0.0f64; 2 * sub.m()];
+            for (i, &v) in nodes.iter().enumerate() {
+                let base = sub.csr_offset(i as NodeId);
+                for (slot, &w_new) in sub.neighbors(i as NodeId).iter().enumerate() {
+                    let w_old = nodes[w_new as usize];
+                    slot_weight[base + slot] = self
+                        .edge_weight(v, w_old)
+                        .expect("kept edge exists in the host graph");
+                }
+            }
+            sub.attach_weights(slot_weight)
+        } else {
+            sub
+        };
+        (sub, nodes.to_vec())
     }
 }
 
@@ -339,6 +360,29 @@ mod tests {
         assert!(sub.has_edge(0, 1)); // old (1,2)
         assert!(sub.has_edge(1, 2)); // old (2,3)
         assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_weights() {
+        let mut b = weighted::WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 3.0);
+        b.add_edge(0, 2, 1.5);
+        b.add_edge(2, 3, 0.5);
+        let g = b.build().into_graph();
+        // Keep nodes out of id order: the relabelling must still land
+        // every weight on the right subgraph slot.
+        let (sub, map) = g.induced(&[2, 0, 1]);
+        assert_eq!(map, vec![2, 0, 1]);
+        assert!(sub.is_weighted());
+        assert_eq!(sub.m(), 3);
+        assert_eq!(sub.edge_weight(1, 2), Some(2.0)); // old (0,1)
+        assert_eq!(sub.edge_weight(0, 2), Some(3.0)); // old (2,1)
+        assert_eq!(sub.edge_weight(0, 1), Some(1.5)); // old (2,0)
+        assert!((sub.total_weight() - 6.5).abs() < 1e-12);
+        // The unweighted host stays laneless through induced().
+        let (plain, _) = path4().induced(&[1, 2, 3]);
+        assert!(!plain.is_weighted());
     }
 
     #[test]

@@ -37,11 +37,12 @@
 //! grows `add u v w` and `setw u v w`) and the version-keyed result
 //! cache all compose with weights.
 
-use crate::core::topk::{top_k_communities, TopKConfig};
 use crate::core::SearchResult;
 use crate::engine::output::{report_jsonl, response_json, result_json, summary_json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
-use crate::engine::{BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Session};
+use crate::engine::{
+    BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Server, ServerConfig, Session,
+};
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::Goodness;
@@ -130,6 +131,8 @@ USAGE:
     dmcs [--graph <edge-list> | --demo] --query <id[,id...]> [options]
     dmcs [--graph <edge-list> | --demo] --queries <file> [--threads <n>] [options]
     dmcs [--graph <edge-list> | --demo] --updates <file> [options]
+    dmcs serve [--graph <edge-list> | --demo] (--unix <path> | --tcp <addr>) [options]
+                      (socket daemon; see `dmcs serve --help`)
 
 OPTIONS:
     --graph <path>    SNAP-format edge list (`u v` per line, # comments)
@@ -158,14 +161,17 @@ OPTIONS:
                       weights); serve the weighted density modularity
                       with an algorithm marked [weights]; composes with
                       --queries, --threads, --updates and --format json
-    --top-k <n>       return up to n diverse communities (fpa only)
+    --top-k <n>       return up to n diverse communities per query;
+                      composes with --algo and --weighted (rounds run
+                      the resolved searcher and score its objective)
     --dot <path>      write a Graphviz DOT rendering of the result
     --help            show this text
 
 EXIT CODES:
     0 success, 2 bad flags or parameters, 3 unknown algorithm,
     4 I/O failure, 5 unknown query node, 6 search failure,
-    7 bad update-script line
+    7 bad update-script line, 8 server overloaded (wire code),
+    9 bad wire request (wire code)
 ",
         algos = registry::algo_help()
     )
@@ -307,9 +313,14 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
             ));
         }
     }
-    // --weighted needs a weight-aware algorithm. A label the registry
-    // does not know at all is left for run() to reject with the richer
-    // UnknownAlgo error (exit 3, nearest-name suggestion).
+    validate_weighted_algo(&cfg)?;
+    Ok(Some(cfg))
+}
+
+/// `--weighted` needs a weight-aware algorithm. A label the registry
+/// does not know at all is left for run() to reject with the richer
+/// UnknownAlgo error (exit 3, nearest-name suggestion).
+fn validate_weighted_algo(cfg: &CliConfig) -> Result<(), EngineError> {
     if cfg.weighted {
         if let Some(entry) = registry::find(&cfg.algo) {
             if !entry.weight_aware {
@@ -326,15 +337,7 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
             }
         }
     }
-    if cfg.weighted && cfg.top_k > 0 {
-        return Err(EngineError::bad_param(
-            "--top-k is not available with --weighted",
-        ));
-    }
-    if cfg.top_k > 0 && cfg.algo != "fpa" {
-        return Err(EngineError::bad_param("--top-k supports only --algo fpa"));
-    }
-    Ok(Some(cfg))
+    Ok(())
 }
 
 /// The registry spec a config's `--algo` / `--k` / `--no-pruning` /
@@ -474,11 +477,8 @@ fn write_dot_file(
 /// Full CLI run; writes text or JSON-lines output to `out`.
 pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), EngineError> {
     // Fail fast on an unregistered --algo, before loading any graph, so
-    // the error (exit code 3, with suggestion) is the only output. The
-    // top-k path pins its algorithm at parse time.
-    if cfg.top_k == 0 {
-        algo_spec(cfg).build()?;
-    }
+    // the error (exit code 3, with suggestion) is the only output.
+    algo_spec(cfg).build()?;
 
     // Every mode — weighted or not — serves through the versioned
     // store: the engine owns a GraphStore (seeded from the loaded edge
@@ -523,22 +523,19 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
     let snap = engine.snapshot();
     let query = map_queries(&cfg.query, &original)?;
 
-    // Top-k path: several diverse communities.
+    // Top-k path: several diverse communities, served through the
+    // session like every other query — the registry resolves the
+    // searcher (so --algo and --weighted compose) and the version-keyed
+    // cache replays repeat enumerations.
     if cfg.top_k > 0 {
-        let start = Instant::now();
-        let rounds = top_k_communities(
-            &snap,
-            &query,
-            TopKConfig {
-                k: cfg.top_k,
-                min_dm: 0.0,
-            },
-        )
-        .map_err(|e| EngineError::Search {
-            algo: "top-k FPA".into(),
+        let mut session = engine.session(&algo_spec(cfg))?;
+        let outcome = session.top_k(&query, cfg.top_k);
+        let algo = outcome.algo;
+        let rounds = outcome.rounds.map_err(|e| EngineError::Search {
+            algo: format!("top-k {algo}"),
             source: e,
         })?;
-        let secs = start.elapsed().as_secs_f64();
+        let secs = outcome.seconds;
         if cfg.format == OutputFormat::Text {
             writeln!(
                 out,
@@ -555,14 +552,14 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
                     out,
                     &snap,
                     &original,
-                    &format!("FPA round {}", i + 1),
+                    &format!("{algo} round {}", i + 1),
                     r,
                     secs,
                 )?,
                 OutputFormat::Json => {
                     let tag = format!("round-{}", i + 1);
                     let line = result_json(
-                        "FPA",
+                        algo,
                         Some(&tag),
                         &query,
                         &Ok(r.clone()),
@@ -1089,6 +1086,173 @@ fn run_updates<W: std::io::Write>(
     }
 }
 
+/// Parsed `dmcs serve` command line: the shared graph/algorithm flags
+/// plus the daemon's listener configuration.
+#[derive(Debug, Clone)]
+pub struct ServeCli {
+    /// Graph and algorithm options (the query/batch members are unused
+    /// — clients send queries over the socket).
+    pub cfg: CliConfig,
+    /// Listeners, admission cap and framing limit.
+    pub server: ServerConfig,
+}
+
+/// Usage text for `dmcs serve --help` and serve parse errors.
+pub fn serve_usage() -> String {
+    format!(
+        "\
+dmcs serve — long-lived socket daemon for community-search queries
+
+USAGE:
+    dmcs serve [--graph <edge-list> | --demo] (--unix <path> | --tcp <addr>) [options]
+
+LISTENERS (at least one):
+    --unix <path>     bind a unix stream socket at <path> (a stale
+                      socket file is replaced; unlinked on shutdown)
+    --tcp <addr>      bind a TCP listener, e.g. 127.0.0.1:7171
+                      (port 0 picks an ephemeral port, printed on start)
+
+OPTIONS:
+    --graph <path>    SNAP-format edge list (`u v` per line, # comments)
+    --demo            use the embedded Zachary Karate Club instead
+    --weighted        input has strict `u v w` lines; serve the weighted
+                      density modularity (--demo gets unit weights)
+    --algo <name>     algorithm label (default: fpa), one of:
+{algos}    --k <int>         k for the algorithms marked [uses --k] (default: 3)
+    --no-pruning      disable FPA's layer-based pruning
+    --queue-cap <n>   bounded admission: at most n queries/updates in
+                      flight across all connections; requests past the
+                      cap get a typed overload error line, wire code 8
+                      (default: 64)
+    --max-line-bytes <n>  longest accepted request line; longer lines
+                      get a typed error line, wire code 9
+                      (default: 65536)
+    --help            show this text
+
+WIRE PROTOCOL (one JSON object per line; see README \"Serving\"):
+    {{\"op\":\"query\",\"nodes\":[1,2],\"tag\":\"t\",\"k\":0}}   -> response / topk line
+    {{\"op\":\"update\",\"action\":\"add\",\"u\":1,\"v\":2}}    -> update line
+    {{\"op\":\"repin\"}}                                 -> pin the current epoch
+    {{\"op\":\"stats\"}}                                 -> server counters
+    {{\"op\":\"shutdown\"}}                              -> drain and exit
+
+Every connection is pinned to the graph epoch current at accept time
+until it sends repin. Replies carry protocol_version/server fields;
+errors carry the exit-code analog (5 unknown node, 7 bad update,
+8 overloaded, 9 bad request). SIGTERM drains gracefully.
+
+EXIT CODES:
+    0 clean shutdown, 2 bad flags or parameters, 3 unknown algorithm,
+    4 I/O failure (bind or socket error)
+",
+        algos = registry::algo_help()
+    )
+}
+
+/// Parse `dmcs serve` arguments (without the program name and the
+/// leading `serve`). `Ok(None)` means `--help`.
+pub fn parse_serve(args: &[String]) -> Result<Option<ServeCli>, EngineError> {
+    let mut cfg = CliConfig::default();
+    let mut server = ServerConfig::default();
+    let mut demo = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, EngineError> {
+            it.next()
+                .ok_or_else(|| EngineError::bad_param(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--graph" => cfg.graph_path = Some(value("--graph")?.clone()),
+            "--demo" => demo = true,
+            "--weighted" => cfg.weighted = true,
+            "--algo" => cfg.algo = value("--algo")?.to_lowercase(),
+            "--k" => {
+                cfg.k = value("--k")?
+                    .parse()
+                    .map_err(|_| EngineError::bad_param("bad --k value"))?;
+            }
+            "--no-pruning" => cfg.no_pruning = true,
+            "--unix" => server.unix_path = Some(value("--unix")?.clone()),
+            "--tcp" => server.tcp_addr = Some(value("--tcp")?.clone()),
+            "--queue-cap" => {
+                server.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|_| EngineError::bad_param("bad --queue-cap value"))?;
+            }
+            "--max-line-bytes" => {
+                server.max_line_bytes = value("--max-line-bytes")?
+                    .parse()
+                    .map_err(|_| EngineError::bad_param("bad --max-line-bytes value"))?;
+            }
+            other => {
+                return Err(EngineError::bad_param(format!(
+                    "unknown serve argument {other:?}"
+                )))
+            }
+        }
+    }
+    if demo && cfg.graph_path.is_some() {
+        return Err(EngineError::bad_param(
+            "--demo and --graph are mutually exclusive",
+        ));
+    }
+    if !demo && cfg.graph_path.is_none() {
+        return Err(EngineError::bad_param(
+            "either --graph or --demo is required",
+        ));
+    }
+    if server.unix_path.is_none() && server.tcp_addr.is_none() {
+        return Err(EngineError::bad_param(
+            "serve needs at least one listener (--unix <path> and/or --tcp <addr>)",
+        ));
+    }
+    validate_weighted_algo(&cfg)?;
+    Ok(Some(ServeCli { cfg, server }))
+}
+
+/// Load the graph, bind the listeners and serve until drained (a
+/// `shutdown` op or SIGTERM). Startup and shutdown banners go to `out`.
+pub fn run_serve<W: std::io::Write>(serve: &ServeCli, out: &mut W) -> Result<(), EngineError> {
+    let cfg = &serve.cfg;
+    // Fail fast on an unregistered --algo before touching the graph.
+    let algo_name = algo_spec(cfg).build()?.name();
+    let (g, original) = load_graph(cfg)?;
+    let engine = Engine::from_graph(g);
+    let snap = engine.snapshot();
+    writeln!(
+        out,
+        "serving {} ({} nodes, {} edges{}) with {algo_name}",
+        if cfg.graph_path.is_some() {
+            cfg.graph_path.as_deref().unwrap()
+        } else {
+            "demo graph"
+        },
+        snap.n(),
+        snap.m(),
+        if cfg.weighted { ", weighted" } else { "" },
+    )
+    .map_err(werr)?;
+    let server = Server::bind(engine, algo_spec(cfg), original, &serve.server)?;
+    if let Some(path) = server.unix_path() {
+        writeln!(out, "listening on unix socket {}", path.display()).map_err(werr)?;
+    }
+    if let Some(addr) = server.tcp_addr() {
+        writeln!(out, "listening on tcp {addr}").map_err(werr)?;
+    }
+    out.flush().map_err(werr)?;
+    #[cfg(unix)]
+    crate::engine::install_sigterm_drain();
+    let stats = server.run();
+    writeln!(
+        out,
+        "drained: {} connections, {} requests served (cache: {} hits, {} misses)",
+        stats.connections, stats.served, stats.cache_hits, stats.cache_misses
+    )
+    .map_err(werr)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1494,8 +1658,10 @@ mod tests {
     #[test]
     fn flag_combination_rules() {
         assert!(parse(&args("--demo --query 0 --weighted --algo kc")).is_err());
-        assert!(parse(&args("--demo --query 0 --weighted --top-k 2")).is_err());
-        assert!(parse(&args("--demo --query 0 --top-k 2 --algo nca")).is_err());
+        // --top-k routes through the registry now: it composes with
+        // --weighted and any registered algorithm.
+        assert!(parse(&args("--demo --query 0 --weighted --top-k 2")).is_ok());
+        assert!(parse(&args("--demo --query 0 --top-k 2 --algo nca")).is_ok());
         assert!(parse(&args("--demo --query 0 --top-k 2")).is_ok());
         assert!(parse(&args("--graph g --query 0 --weighted --algo nca")).is_ok());
         // The canonical weighted labels and the demo graph are fine too.

@@ -5,19 +5,40 @@
 //! success, 2 for bad flags/parameters (flag-level mistakes also print
 //! the usage text on stderr), 3 unknown algorithm, 4 I/O failure, 5
 //! unknown query node, 6 search failure, 7 bad `--updates` script line.
+//! Codes 8 (server overloaded) and 9 (bad wire request) are the wire
+//! analogs used by the `dmcs serve` protocol's `error` lines.
+//!
+//! `dmcs serve` (see [`dmcs::cli::run_serve`]) starts the socket daemon
+//! instead of a one-shot run.
 
 use dmcs::engine::EngineError;
 
-fn fail(e: EngineError, show_usage: bool) -> ! {
+fn fail(e: EngineError, usage: Option<String>) -> ! {
     eprintln!("error: {e}");
-    if show_usage {
-        eprintln!("\n{}", dmcs::cli::usage());
+    if let Some(text) = usage {
+        eprintln!("\n{text}");
     }
     std::process::exit(e.exit_code());
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `dmcs serve ...` — the long-lived socket daemon.
+    if args.first().map(String::as_str) == Some("serve") {
+        match dmcs::cli::parse_serve(&args[1..]) {
+            Ok(None) => print!("{}", dmcs::cli::serve_usage()),
+            Ok(Some(serve)) => {
+                let mut out = std::io::stdout();
+                if let Err(e) = dmcs::cli::run_serve(&serve, &mut out) {
+                    fail(e, None);
+                }
+            }
+            Err(e) => fail(e, Some(dmcs::cli::serve_usage())),
+        }
+        return;
+    }
+
     match dmcs::cli::parse(&args) {
         Ok(None) => print!("{}", dmcs::cli::usage()),
         Ok(Some(cfg)) => {
@@ -25,10 +46,10 @@ fn main() {
             if let Err(e) = dmcs::cli::run(&cfg, &mut out) {
                 // Runtime failures (a bad query file, an I/O error, a
                 // refused search) keep stderr to the message itself.
-                fail(e, false);
+                fail(e, None);
             }
         }
         // Flag-level mistakes get the full usage text, like --help.
-        Err(e) => fail(e, true),
+        Err(e) => fail(e, Some(dmcs::cli::usage())),
     }
 }

@@ -189,10 +189,11 @@ fn unknown_query_node_exits_5() {
     assert!(err.contains("query node 999"), "{err}");
 }
 
-/// Validate a blob of batch `--format json` output: every line parses
-/// as a JSON object, response lines precede exactly one mandatory
-/// summary line, and the counts agree. Used directly on a live run
-/// below and by the CI smoke step (which pipes a file in via
+/// Validate a blob of `--format json` (or `dmcs serve` wire) output:
+/// every line parses as a JSON object carrying the protocol fields
+/// (`protocol_version`, `server`), all lines precede exactly one
+/// mandatory summary line, and the counts agree. Used directly on live
+/// runs below and by the CI smoke steps (which pipe a file in via
 /// `DMCS_JSON_FILE`).
 fn validate_jsonl(text: &str) {
     use dmcs::engine::output::Json;
@@ -203,9 +204,20 @@ fn validate_jsonl(text: &str) {
     let mut saw_summary = false;
     for (i, line) in lines.iter().enumerate() {
         let v = Json::parse(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}\n{line}"));
+        // Wire versioning is part of every line of the schema.
+        assert_eq!(
+            v.get("protocol_version").and_then(|p| p.as_u64()),
+            Some(1),
+            "line {i}: protocol_version must be 1\n{line}"
+        );
+        let server = v
+            .get("server")
+            .and_then(|s| s.as_str())
+            .unwrap_or_else(|| panic!("line {i}: missing server field\n{line}"));
+        assert!(server.starts_with("dmcs/"), "line {i}: server {server:?}");
+        assert!(!saw_summary, "line {i}: nothing may follow the summary");
         match v.get("type").and_then(|t| t.as_str()) {
             Some("response") => {
-                assert_eq!(i, responses, "response lines must come first");
                 responses += 1;
                 if v.get("ok").unwrap().as_bool() == Some(true) {
                     ok += 1;
@@ -213,6 +225,31 @@ fn validate_jsonl(text: &str) {
                 } else {
                     assert!(v.get("error").unwrap().as_str().is_some());
                 }
+            }
+            // Wire-protocol lines of `dmcs serve` (the daemon smoke
+            // pipes a connection transcript through this validator).
+            Some("topk") => {
+                if v.get("ok").unwrap().as_bool() == Some(true) {
+                    assert!(v.get("rounds").unwrap().as_arr().is_some());
+                }
+            }
+            Some("update") => {
+                assert!(v.get("version").unwrap().as_u64().is_some());
+            }
+            Some("repin") => {
+                assert!(v.get("version").unwrap().as_u64().is_some());
+            }
+            Some("stats") => {
+                assert!(v.get("cache_hits").unwrap().as_u64().is_some());
+                assert!(v.get("cache_misses").unwrap().as_u64().is_some());
+            }
+            Some("shutdown") => {
+                assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
+            }
+            Some("error") => {
+                let code = v.get("code").unwrap().as_u64().unwrap();
+                assert!((2..=9).contains(&code), "line {i}: wire code {code}");
+                assert!(v.get("line").unwrap().as_u64().is_some());
             }
             Some("summary") => {
                 assert_eq!(i, lines.len() - 1, "summary must be the last line");
@@ -239,7 +276,7 @@ fn validate_jsonl(text: &str) {
             other => panic!("line {i}: unexpected type {other:?}"),
         }
     }
-    assert!(saw_summary, "batch output must end with a summary line");
+    assert!(saw_summary, "output must end with a summary line");
 }
 
 #[test]
@@ -426,4 +463,140 @@ fn top_k_and_dot_flow() {
     assert!(text.contains("FPA round 1"), "{text}");
     let dot_text = std::fs::read_to_string(&dot).unwrap();
     assert!(dot_text.starts_with("graph dmcs {"));
+}
+
+#[test]
+fn weighted_top_k_composes() {
+    // --top-k used to be fpa-only and unweighted-only; it now routes
+    // through the registry like every other query.
+    let out = dmcs()
+        .args(["--demo", "--query", "0", "--top-k", "2", "--weighted"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("W-FPA round 1"), "{text}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_smoke_over_a_unix_socket() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("dmcs-bin-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut daemon = dmcs()
+        .args(["serve", "--demo", "--unix", path.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Wait for the listener (the daemon prints its banner after bind).
+    let mut waited = 0;
+    while !path.exists() {
+        assert!(waited < 5_000, "daemon never bound {path:?}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        waited += 20;
+    }
+
+    let stream = UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut transcript = String::new();
+    for req in [
+        r#"{"op":"query","nodes":[0],"tag":"smoke"}"#,
+        r#"{"op":"query","nodes":[0],"k":2}"#,
+        r#"{"op":"update","action":"add","u":0,"v":9}"#,
+        r#"{"op":"repin"}"#,
+        r#"{"op":"nope"}"#,
+        r#"{"op":"stats"}"#,
+        r#"{"op":"shutdown"}"#,
+    ] {
+        writeln!(stream, "{req}").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        transcript.push_str(&line);
+    }
+    // The closing summary line arrives before EOF.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    transcript.push_str(&line);
+    // The whole wire transcript passes the schema validator.
+    validate_jsonl(&transcript);
+    assert!(transcript.contains("\"type\":\"topk\""), "{transcript}");
+    assert!(transcript.contains("\"code\":9"), "{transcript}");
+
+    // Clean exit after drain, and the socket file is gone.
+    let status = daemon.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+    let mut banner = String::new();
+    std::io::Read::read_to_string(daemon.stdout.as_mut().unwrap(), &mut banner).unwrap();
+    assert!(banner.contains("listening on unix socket"), "{banner}");
+    assert!(banner.contains("drained:"), "{banner}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_overload_wire_code_8() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = std::env::temp_dir().join(format!("dmcs-bin-cap0-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut daemon = dmcs()
+        .args([
+            "serve",
+            "--demo",
+            "--unix",
+            path.to_str().unwrap(),
+            "--queue-cap",
+            "0",
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut waited = 0;
+    while !path.exists() {
+        assert!(waited < 5_000, "daemon never bound {path:?}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        waited += 20;
+    }
+
+    let stream = UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    writeln!(stream, r#"{{"op":"query","nodes":[0]}}"#).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"code\":8"), "{line}");
+    assert!(line.contains("overloaded"), "{line}");
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).unwrap();
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+}
+
+#[test]
+fn serve_without_listeners_exits_2() {
+    let out = dmcs().args(["serve", "--demo"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("at least one listener"), "{err}");
+    assert!(err.contains("dmcs serve"), "serve usage on stderr: {err}");
+}
+
+#[test]
+fn serve_help_documents_the_wire_protocol() {
+    let out = dmcs().args(["serve", "--help"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "--unix",
+        "--tcp",
+        "--queue-cap",
+        "\"op\":\"query\"",
+        "repin",
+    ] {
+        assert!(text.contains(needle), "missing {needle}: {text}");
+    }
 }
