@@ -176,6 +176,10 @@ impl FpaSetup {
         // reached set, so no separate `component_of` pass is needed.
         let mut dist = ws.take_dist(g.n());
         let component = multi_source_bfs_collect(g, &seed, &mut dist);
+        // Shard-scoped caching: the answer depends only on this component
+        // (plus the global edge count, handled by the caller's fingerprint
+        // semantics) — record which shards it intersects.
+        ws.note_component(&component);
         let mut max_dist = 0u32;
         for &v in &component {
             let d = dist[v as usize];

@@ -1,20 +1,30 @@
-//! Versioned-store benchmarks backing the two performance claims of the
-//! live-update path:
+//! Versioned-store benchmarks backing the performance claims of the
+//! live-update path (results committed as `BENCH_7.json`; regenerate
+//! with `scripts/bench_to_json.py`):
 //!
-//! 1. **Snapshot rebuild cost scales with graph size** (`O(|V| + |E|)`),
-//!    and the lazy cache makes the *read* path free between mutations —
-//!    `snapshot_rebuild` measures a mutate→snapshot cycle (forced
-//!    rebuild) against a pure snapshot read (Arc clone) at 10k and 50k
-//!    nodes.
+//! 1. **Incremental rebuild beats full rebuild** — `store_snapshot_rebuild`
+//!    measures a mutate→snapshot cycle at 10k and 50k nodes three ways:
+//!    `full_rebuild` (a single-shard store — the pre-sharding code path,
+//!    every row re-serialized), `one_dirty_shard` (16 shards, the update
+//!    touches one — the steady loop recycles the retired snapshot and
+//!    patches just that shard's segments in place), and `all_dirty`
+//!    (16 shards, every shard touched — the worst case, which must not
+//!    regress against `full_rebuild_batch`, the *same* 16-edge write
+//!    batch on a single-shard store). `cached_read` is the no-mutation
+//!    baseline: snapshot() between versions is an Arc clone.
 //! 2. **Repeated queries are dominated by the result cache** —
 //!    `cached_repeats` compares a repeated single query on the
-//!    fragmented-50k serving graph with the version-keyed cache against
-//!    the same query recomputed every time (cache capacity 0).
+//!    fragmented-50k serving graph with the shard-scoped cache against
+//!    the same query recomputed every time (cache capacity 0), plus the
+//!    mutate→snapshot→query worst case.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dmcs_engine::{AlgoSpec, Engine, QueryRequest};
 use dmcs_gen::sbm;
-use dmcs_graph::{Graph, GraphStore};
+use dmcs_graph::{Graph, GraphStore, NodeId};
+
+/// Shard count of the incremental-rebuild benches (the store default).
+const SHARDS: usize = 16;
 
 /// The fragmented serving graph of the engine's other benches: 250
 /// disconnected ~200-node blocks.
@@ -24,23 +34,87 @@ fn fragmented(blocks: usize) -> Graph {
     g
 }
 
+/// One intra-block node pair per shard (for `n` nodes over [`SHARDS`]
+/// shards): toggling these edges dirties every shard at once.
+fn per_shard_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    let shard_size = n.div_ceil(SHARDS);
+    (0..SHARDS)
+        .map(|s| {
+            let v = (s * shard_size) as NodeId;
+            (v, v + 1)
+        })
+        .collect()
+}
+
 fn bench_snapshot_rebuild(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_snapshot_rebuild");
     group.sample_size(10);
     for blocks in [50usize, 250] {
         let n = blocks * 200;
-        let store = GraphStore::from_graph(fragmented(blocks));
-        // Mutate + read: every iteration bumps the version (toggling one
-        // edge), so snapshot() pays the full CSR rebuild.
-        group.bench_function(format!("rebuild_n{n}"), |b| {
+
+        // Full rebuild: a single-shard store re-serializes every row —
+        // the pre-sharding baseline. The 0-1 toggle (an intra-block
+        // pair) bumps the version without changing the final graph.
+        let store = GraphStore::from_graph_sharded(fragmented(blocks), 1);
+        store.insert_edge(0, 1); // ensure the toggled edge exists
+        group.bench_function(format!("full_rebuild_n{n}"), |b| {
             b.iter(|| {
-                // 0-1 is an intra-block edge: remove re-add toggles the
-                // version twice without changing the final graph.
                 store.remove_edge(0, 1);
                 store.insert_edge(0, 1);
                 black_box(store.snapshot().m())
             })
         });
+
+        // One dirty shard of 16: the same toggle leaves 15 shards'
+        // CSR segments to be copied forward from the previous snapshot.
+        let store = GraphStore::from_graph_sharded(fragmented(blocks), SHARDS);
+        store.insert_edge(0, 1);
+        store.snapshot();
+        group.bench_function(format!("one_dirty_shard_n{n}"), |b| {
+            b.iter(|| {
+                store.remove_edge(0, 1);
+                store.insert_edge(0, 1);
+                black_box(store.snapshot().m())
+            })
+        });
+
+        // The same 16-edge batch on a single-shard store: the fair
+        // baseline for `all_dirty` below (identical write workload,
+        // pre-sharding layout).
+        let store = GraphStore::from_graph_sharded(fragmented(blocks), 1);
+        let pairs = per_shard_pairs(n);
+        for &(u, v) in &pairs {
+            store.insert_edge(u, v); // ensure every toggled edge exists
+        }
+        store.snapshot();
+        group.bench_function(format!("full_rebuild_batch_n{n}"), |b| {
+            b.iter(|| {
+                for &(u, v) in &pairs {
+                    store.remove_edge(u, v);
+                    store.insert_edge(u, v);
+                }
+                black_box(store.snapshot().m())
+            })
+        });
+
+        // All 16 shards dirty: one edge toggled per shard — the
+        // incremental path's worst case, which must not regress against
+        // the full rebuild of the same batch.
+        let store = GraphStore::from_graph_sharded(fragmented(blocks), SHARDS);
+        for &(u, v) in &pairs {
+            store.insert_edge(u, v); // ensure every toggled edge exists
+        }
+        store.snapshot();
+        group.bench_function(format!("all_dirty_n{n}"), |b| {
+            b.iter(|| {
+                for &(u, v) in &pairs {
+                    store.remove_edge(u, v);
+                    store.insert_edge(u, v);
+                }
+                black_box(store.snapshot().m())
+            })
+        });
+
         // Read-only: snapshot() between mutations is an Arc clone.
         let store = GraphStore::from_graph(fragmented(blocks));
         store.snapshot();
@@ -66,16 +140,18 @@ fn bench_cached_repeats(c: &mut Criterion) {
         b.iter(|| black_box(uncached.run_batch(&spec, &req, 1).unwrap().succeeded()))
     });
 
-    // Cached: after the first miss every repeat is a version-keyed hit.
+    // Cached: after the first miss every repeat is a fingerprint-valid
+    // hit.
     let cached = Engine::from_graph(g);
     cached.run_batch(&spec, &req, 1).unwrap(); // warm the entry
     group.bench_function("cached_repeated_query", |b| {
         b.iter(|| black_box(cached.run_batch(&spec, &req, 1).unwrap().cache_hits))
     });
 
-    // Update-then-query: each iteration invalidates (version bump) and
-    // recomputes plus pays one snapshot rebuild — the worst case of the
-    // mutate→snapshot→query cycle.
+    // Update-then-query: each iteration invalidates the queried
+    // component's shard and recomputes, plus pays one (incremental)
+    // snapshot rebuild — the worst case of the mutate→snapshot→query
+    // cycle.
     let churn = Engine::from_graph(fragmented(250));
     group.bench_function("update_then_query", |b| {
         b.iter(|| {

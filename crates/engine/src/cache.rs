@@ -1,13 +1,28 @@
-//! The version-keyed response cache: a hand-rolled LRU (the workspace's
+//! The shard-scoped response cache: a hand-rolled LRU (the workspace's
 //! dependency policy admits no cache crate) mapping `(algorithm, params,
-//! sorted query nodes, store id, graph version)` to a finished answer.
+//! sorted query nodes, store id)` to finished answers, each validated by
+//! a **shard fingerprint**.
 //!
-//! Correctness comes entirely from the **graph version in the key**: a
-//! mutation bumps the store version, so every entry computed against the
-//! old graph simply stops matching — there is no invalidation walk, no
-//! "is this update near the query" heuristic (DM depends on the global
-//! edge count, so *any* edge change can shift any answer). Stale entries
-//! age out of the LRU like everything else.
+//! Correctness comes from the fingerprint: every entry records the
+//! `(shard, version)` pairs of the shards its community's component
+//! actually touched (captured at search time via
+//! [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace) shard tracking),
+//! and a lookup replays the entry only while the serving snapshot still
+//! carries those exact shard versions. An update to shard 3 therefore
+//! stops matching entries whose communities touch shard 3 — and leaves
+//! entries living entirely in shards 0–2 hot. When a search path cannot
+//! report what it touched (top-k enumerations, validation errors,
+//! algorithms without component tracking) the entry conservatively
+//! fingerprints *every* shard, degrading to whole-graph invalidation,
+//! never to a wrong answer.
+//!
+//! One deliberate relaxation: the fingerprint covers the query's
+//! *component*, while the density modularity's normalization reads the
+//! global edge count — an update in a *different* component rescales DM
+//! values without re-running searches whose component is untouched. The
+//! community membership served is unchanged by such updates; callers
+//! that need globally renormalized DM scores re-query after re-pinning.
+//! Stale entries age out of the LRU like everything else.
 //!
 //! A cached answer replays the original response verbatim — including
 //! its `seconds` — so a cache hit renders **byte-identical** JSON to the
@@ -21,6 +36,29 @@ use dmcs_graph::{NodeId, Snapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A cache entry's validity certificate: the `(shard, shard version)`
+/// pairs the answer depends on, sorted by shard. Built with
+/// [`fingerprint`].
+pub type ShardFingerprint = Vec<(u32, u64)>;
+
+/// Build the fingerprint for an answer computed against `snapshot`:
+/// `touched` is the sorted shard list the query's component covered
+/// (from [`QueryWorkspace::take_touched_shards`]), or `None` to
+/// conservatively pin every shard.
+///
+/// [`QueryWorkspace::take_touched_shards`]: dmcs_graph::view::QueryWorkspace::take_touched_shards
+pub fn fingerprint(snapshot: &Snapshot, touched: Option<&[u32]>) -> ShardFingerprint {
+    let versions = snapshot.shard_versions();
+    match touched {
+        Some(shards) => shards.iter().map(|&s| (s, versions[s as usize])).collect(),
+        None => versions
+            .iter()
+            .enumerate()
+            .map(|(s, &v)| (s as u32, v))
+            .collect(),
+    }
+}
 
 /// Default entry capacity of an engine's cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
@@ -71,16 +109,17 @@ impl CachedAnswer {
     }
 }
 
-/// Cache key: everything that determines a search outcome.
+/// Cache key: everything that determines a search outcome, *except* the
+/// graph epoch — staleness is handled by each entry's
+/// [`ShardFingerprint`], not by the key.
 ///
 /// Query nodes are **sorted** — the searches treat the query as a set,
-/// so `[0, 33]` and `[33, 0]` share an entry. The snapshot's
-/// `(store id, version)` pair is the staleness discriminator (see the
-/// module docs): versions only order mutations *within* one store, so
-/// the process-unique store id keeps snapshots of different graphs from
-/// ever colliding in a shared cache. `k` participates even for
-/// algorithms that ignore it; that only costs duplicate entries for
-/// off-label `--k` usage, never a wrong answer.
+/// so `[0, 33]` and `[33, 0]` share an entry. The process-unique store
+/// id keeps snapshots of different graphs from ever colliding in a
+/// shared cache (shard versions only order mutations *within* one
+/// store). `k` participates even for algorithms that ignore it; that
+/// only costs duplicate entries for off-label `--k` usage, never a
+/// wrong answer.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Registry label of the algorithm.
@@ -102,12 +141,10 @@ pub struct CacheKey {
     pub top_k: usize,
     /// Process-unique id of the graph store the answer belongs to.
     pub store: u64,
-    /// Graph-store version the answer is valid for.
-    pub version: u64,
 }
 
 impl CacheKey {
-    /// Key for running `spec` on `nodes` against the epoch `snapshot`
+    /// Key for running `spec` on `nodes` against the store `snapshot`
     /// pins.
     pub fn new(spec: &AlgoSpec, nodes: &[NodeId], snapshot: &Snapshot) -> CacheKey {
         let mut nodes = nodes.to_vec();
@@ -120,12 +157,11 @@ impl CacheKey {
             nodes,
             top_k: 0,
             store: snapshot.store_id(),
-            version: snapshot.version(),
         }
     }
 
     /// Key for a top-`k` enumeration of `spec` on `nodes` against the
-    /// epoch `snapshot` pins.
+    /// store `snapshot` pins.
     pub fn for_top_k(spec: &AlgoSpec, nodes: &[NodeId], snapshot: &Snapshot, k: usize) -> CacheKey {
         CacheKey {
             top_k: k,
@@ -138,11 +174,25 @@ impl CacheKey {
 struct Entry {
     answer: CachedAnswer,
     last_used: u64,
+    /// The shard versions this entry is valid for (see [`fingerprint`]).
+    fingerprint: ShardFingerprint,
 }
 
+impl Entry {
+    /// Whether this entry may answer a query served at `shard_versions`.
+    fn matches(&self, shard_versions: &[u64]) -> bool {
+        self.fingerprint
+            .iter()
+            .all(|&(s, v)| shard_versions.get(s as usize) == Some(&v))
+    }
+}
+
+/// Buckets per key: sessions pinned to *different epochs* can each keep
+/// a live entry under the same key (their fingerprints differ), so an
+/// old-epoch reader's replay never thrashes a new-epoch writer's entry.
 #[derive(Debug, Default)]
 struct LruInner {
-    map: HashMap<CacheKey, Entry>,
+    map: HashMap<CacheKey, Vec<Entry>>,
     tick: u64,
 }
 
@@ -154,7 +204,7 @@ struct LruInner {
 /// opens, so a batch worker's miss becomes the next request's hit.
 ///
 /// ```
-/// use dmcs_engine::cache::{CacheKey, CachedAnswer, ResponseCache};
+/// use dmcs_engine::cache::{fingerprint, CacheKey, CachedAnswer, ResponseCache};
 /// use dmcs_engine::AlgoSpec;
 ///
 /// use dmcs_graph::{GraphBuilder, Snapshot};
@@ -162,13 +212,17 @@ struct LruInner {
 /// let cache = ResponseCache::new(2);
 /// let snap = Snapshot::freeze(GraphBuilder::from_edges(34, &[(0, 33)]));
 /// let key = CacheKey::new(&AlgoSpec::new("fpa"), &[33, 0], &snap);
-/// assert!(cache.get(&key).is_none());
-/// cache.insert(key.clone(), CachedAnswer {
-///     algo: "FPA",
-///     result: Err(dmcs_core::SearchError::EmptyQuery),
-///     seconds: 0.25,
-/// });
-/// assert_eq!(cache.get(&key).unwrap().seconds, 0.25);
+/// assert!(cache.get(&key, snap.shard_versions()).is_none());
+/// cache.insert(
+///     key.clone(),
+///     CachedAnswer {
+///         algo: "FPA",
+///         result: Err(dmcs_core::SearchError::EmptyQuery),
+///         seconds: 0.25,
+///     },
+///     fingerprint(&snap, None),
+/// );
+/// assert_eq!(cache.get(&key, snap.shard_versions()).unwrap().seconds, 0.25);
 /// assert_eq!((cache.hits(), cache.misses()), (1, 1));
 /// ```
 #[derive(Debug)]
@@ -195,12 +249,19 @@ impl ResponseCache {
         self.inner.lock().expect("response cache lock poisoned")
     }
 
-    /// Look `key` up, bumping its recency and the hit/miss counters.
-    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+    /// Look `key` up for a caller serving at `shard_versions` (the
+    /// pinned snapshot's [`Snapshot::shard_versions`]), bumping the
+    /// matched entry's recency and the hit/miss counters. Entries whose
+    /// fingerprints no longer match are left to age out.
+    pub fn get(&self, key: &CacheKey, shard_versions: &[u64]) -> Option<CachedAnswer> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(key) {
+        let hit = inner
+            .map
+            .get_mut(key)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.matches(shard_versions)));
+        match hit {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -213,41 +274,61 @@ impl ResponseCache {
         }
     }
 
-    /// Store `answer` under `key`, evicting the least-recently-used
-    /// entry when at capacity.
-    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+    /// Store `answer` under `key` with its validity `fingerprint`,
+    /// evicting the least-recently-used entry when at capacity. An
+    /// existing entry with the *same* fingerprint is overwritten in
+    /// place; entries for other epochs coexist in the key's bucket.
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer, fingerprint: ShardFingerprint) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        if let Some(existing) = inner
+            .map
+            .get_mut(&key)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.fingerprint == fingerprint))
+        {
+            existing.answer = answer;
+            existing.last_used = tick;
+            return;
+        }
         // Eviction is a linear min-scan over u64 recency ticks. At the
         // default capacity (1024) that is microseconds, paid only on a
         // miss that already paid a full search; an index that made this
         // O(log n) would clone keys on every *hit*, the wrong trade.
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            if let Some(evict) = inner
+        if inner.map.values().map(Vec::len).sum::<usize>() >= self.capacity {
+            let evict = inner
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&evict);
+                .filter_map(|(k, bucket)| {
+                    bucket
+                        .iter()
+                        .map(|e| e.last_used)
+                        .min()
+                        .map(|used| (used, k.clone()))
+                })
+                .min_by_key(|&(used, _)| used)
+                .map(|(used, k)| (k, used));
+            if let Some((k, used)) = evict {
+                let bucket = inner.map.get_mut(&k).expect("evict key exists");
+                bucket.retain(|e| e.last_used != used);
+                if bucket.is_empty() {
+                    inner.map.remove(&k);
+                }
             }
         }
-        inner.map.insert(
-            key,
-            Entry {
-                answer,
-                last_used: tick,
-            },
-        );
+        inner.map.entry(key).or_default().push(Entry {
+            answer,
+            last_used: tick,
+            fingerprint,
+        });
     }
 
-    /// Number of live entries.
+    /// Number of live entries (across all epochs).
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        self.lock().map.values().map(Vec::len).sum()
     }
 
     /// Whether the cache currently holds no entries.
@@ -283,7 +364,7 @@ mod tests {
         )
     }
 
-    fn key(nodes: &[NodeId], version: u64) -> CacheKey {
+    fn key(nodes: &[NodeId]) -> CacheKey {
         let mut nodes = nodes.to_vec();
         nodes.sort_unstable();
         CacheKey {
@@ -294,12 +375,16 @@ mod tests {
             nodes,
             top_k: 0,
             store: 0,
-            version,
         }
     }
 
+    /// Fingerprint pinning shard 0 at version `v`.
+    fn fp(v: u64) -> ShardFingerprint {
+        vec![(0, v)]
+    }
+
     #[test]
-    fn keys_sort_nodes_and_separate_versions_and_stores() {
+    fn keys_sort_nodes_and_separate_params_and_stores() {
         use dmcs_graph::GraphBuilder;
         let snap = Snapshot::freeze(GraphBuilder::from_edges(34, &[(0, 33)]));
         assert_eq!(
@@ -307,7 +392,6 @@ mod tests {
             CacheKey::new(&AlgoSpec::new("fpa"), &[0, 33], &snap),
             "query is a set"
         );
-        assert_ne!(key(&[0], 1), key(&[0], 2), "versions separate epochs");
         assert_ne!(
             CacheKey::new(&AlgoSpec::new("fpa"), &[0], &snap),
             CacheKey::new(&AlgoSpec::new("nca"), &[0], &snap),
@@ -345,9 +429,9 @@ mod tests {
     #[test]
     fn round_trip_and_counters() {
         let cache = ResponseCache::new(8);
-        assert!(cache.get(&key(&[0], 0)).is_none());
-        cache.insert(key(&[0], 0), answer(0.125));
-        let got = cache.get(&key(&[0], 0)).unwrap();
+        assert!(cache.get(&key(&[0]), &[0]).is_none());
+        cache.insert(key(&[0]), answer(0.125), fp(0));
+        let got = cache.get(&key(&[0]), &[0]).unwrap();
         assert_eq!(got.seconds, 0.125, "original timing replayed");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -357,34 +441,90 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache = ResponseCache::new(2);
-        cache.insert(key(&[0], 0), answer(0.1));
-        cache.insert(key(&[1], 0), answer(0.2));
+        cache.insert(key(&[0]), answer(0.1), fp(0));
+        cache.insert(key(&[1]), answer(0.2), fp(0));
         // Touch [0] so [1] is the coldest.
-        assert!(cache.get(&key(&[0], 0)).is_some());
-        cache.insert(key(&[2], 0), answer(0.3));
+        assert!(cache.get(&key(&[0]), &[0]).is_some());
+        cache.insert(key(&[2]), answer(0.3), fp(0));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key(&[0], 0)).is_some(), "recently used survives");
-        assert!(cache.get(&key(&[1], 0)).is_none(), "coldest evicted");
-        assert!(cache.get(&key(&[2], 0)).is_some());
+        assert!(
+            cache.get(&key(&[0]), &[0]).is_some(),
+            "recently used survives"
+        );
+        assert!(cache.get(&key(&[1]), &[0]).is_none(), "coldest evicted");
+        assert!(cache.get(&key(&[2]), &[0]).is_some());
     }
 
     #[test]
-    fn reinserting_an_existing_key_does_not_evict() {
+    fn reinserting_a_fingerprint_overwrites_in_place() {
         let cache = ResponseCache::new(2);
-        cache.insert(key(&[0], 0), answer(0.1));
-        cache.insert(key(&[1], 0), answer(0.2));
-        cache.insert(key(&[0], 0), answer(0.9)); // overwrite, no eviction
+        cache.insert(key(&[0]), answer(0.1), fp(0));
+        cache.insert(key(&[1]), answer(0.2), fp(0));
+        cache.insert(key(&[0]), answer(0.9), fp(0)); // overwrite, no eviction
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&key(&[0], 0)).unwrap().seconds, 0.9);
-        assert!(cache.get(&key(&[1], 0)).is_some());
+        assert_eq!(cache.get(&key(&[0]), &[0]).unwrap().seconds, 0.9);
+        assert!(cache.get(&key(&[1]), &[0]).is_some());
     }
 
     #[test]
     fn zero_capacity_disables_storage() {
         let cache = ResponseCache::new(0);
-        cache.insert(key(&[0], 0), answer(0.1));
+        cache.insert(key(&[0]), answer(0.1), fp(0));
         assert!(cache.is_empty());
-        assert!(cache.get(&key(&[0], 0)).is_none());
+        assert!(cache.get(&key(&[0]), &[0]).is_none());
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn shard_scoped_invalidation() {
+        let cache = ResponseCache::new(8);
+        // An answer whose community touches only shard 1 (version 5).
+        cache.insert(key(&[0]), answer(0.1), vec![(1, 5)]);
+        // Updates in other shards leave the entry hot ...
+        assert!(cache.get(&key(&[0]), &[9, 5, 7]).is_some());
+        assert!(cache.get(&key(&[0]), &[0, 5, 99]).is_some());
+        // ... but a shard-1 move kills it.
+        assert!(cache.get(&key(&[0]), &[9, 6, 7]).is_none());
+        // A fingerprint naming a shard the serving layout lacks never
+        // matches (defensive: store ids should already prevent this).
+        cache.insert(key(&[1]), answer(0.2), vec![(7, 0)]);
+        assert!(cache.get(&key(&[1]), &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn epochs_coexist_in_one_bucket() {
+        let cache = ResponseCache::new(8);
+        // Old epoch (shard 0 @ 0) and new epoch (shard 0 @ 1) both live.
+        cache.insert(key(&[0]), answer(0.1), fp(0));
+        cache.insert(key(&[0]), answer(0.2), fp(1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.get(&key(&[0]), &[0]).unwrap().seconds,
+            0.1,
+            "old-epoch pinned session replays its own entry"
+        );
+        assert_eq!(cache.get(&key(&[0]), &[1]).unwrap().seconds, 0.2);
+    }
+
+    #[test]
+    fn fingerprint_builder_covers_touched_or_all_shards() {
+        use dmcs_graph::GraphBuilder;
+        let snap = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1)]));
+        assert_eq!(fingerprint(&snap, None), vec![(0, 0)], "freeze: one shard");
+        assert_eq!(fingerprint(&snap, Some(&[0])), vec![(0, 0)]);
+
+        let store = dmcs_graph::GraphStore::with_shards(8, 4);
+        store.insert_edge(0, 7); // shards 0 and 3
+        let snap = store.snapshot();
+        assert_eq!(
+            fingerprint(&snap, Some(&[0, 3])),
+            vec![(0, 1), (3, 1)],
+            "touched shards pin their current versions"
+        );
+        assert_eq!(
+            fingerprint(&snap, None),
+            vec![(0, 1), (1, 0), (2, 0), (3, 1)],
+            "no tracking: conservative all-shard pin"
+        );
     }
 }

@@ -3,8 +3,8 @@
 //! Turns the one-shot, single-threaded community search into a serving
 //! API: typed requests and responses, long-lived sessions with reusable
 //! buffers, concurrent batches over pinned graph snapshots, live graph
-//! updates through a versioned store, a version-keyed result cache, a
-//! typed error taxonomy with stable exit codes, and structured
+//! updates through a versioned sharded store, a shard-scoped result
+//! cache, a typed error taxonomy with stable exit codes, and structured
 //! (JSON-lines) output.
 //!
 //! - [`registry`] — [`AlgoSpec`] (label + params) → `Box<dyn
@@ -26,8 +26,9 @@
 //!   cache).
 //! - [`cache`] — [`ResponseCache`], the
 //!   hand-rolled LRU keyed by `(algorithm, params, sorted query nodes,
-//!   store id, graph version)`: updates invalidate by *version*, never
-//!   by guessing locality.
+//!   store id)` with entries validated by a *shard fingerprint*: the
+//!   versions of exactly the store shards the answering search touched.
+//!   Updates to other shards leave the entry live.
 //! - [`session`] — [`Session`]: a pinned
 //!   [`dmcs_graph::Snapshot`] + resolved algorithm + a
 //!   persistent [`QueryWorkspace`](dmcs_graph::view::QueryWorkspace), so
@@ -105,15 +106,17 @@ use dmcs_graph::{GraphStore, NodeId, Snapshot};
 use std::sync::Arc;
 
 /// A loaded dataset ready to serve queries *and* mutations: a shared
-/// [`GraphStore`], a shared version-keyed [`ResponseCache`], and the
-/// engine entry points. Clone-cheap (both are behind [`Arc`]s), so one
-/// instance can be handed to many serving tasks; mutators take `&self`.
+/// sharded [`GraphStore`], a shared shard-scoped [`ResponseCache`], and
+/// the engine entry points. Clone-cheap (both are behind [`Arc`]s), so
+/// one instance can be handed to many serving tasks; mutators take
+/// `&self`.
 ///
 /// Reads pin snapshots: a batch (or session) opened before an update
 /// keeps answering against the graph it started with, while the next
-/// [`Engine::snapshot`] call sees the new epoch. Cache entries carry the
-/// epoch in their key, so updates invalidate exactly the answers they
-/// could have changed — all of them, and only by version.
+/// [`Engine::snapshot`] call sees the new epoch. Cache entries carry a
+/// shard fingerprint — the versions of the shards their search actually
+/// touched — so an update in one shard invalidates the answers living
+/// there and leaves the rest of the cache warm.
 #[derive(Debug, Clone)]
 pub struct Engine {
     store: Arc<GraphStore>,
@@ -138,9 +141,18 @@ impl Engine {
         }
     }
 
-    /// Build a store around a static graph and serve it.
+    /// Build a store around a static graph and serve it (default shard
+    /// count — [`dmcs_graph::DEFAULT_SHARD_COUNT`]).
     pub fn from_graph(graph: dmcs_graph::Graph) -> Self {
         Engine::new(GraphStore::from_graph(graph))
+    }
+
+    /// Like [`Engine::from_graph`] with an explicit shard count for the
+    /// store (the CLI's `--shards`). More shards mean finer-grained
+    /// incremental rebuilds and cache invalidation; the count is fixed
+    /// for the store's lifetime.
+    pub fn from_graph_sharded(graph: dmcs_graph::Graph, shards: usize) -> Self {
+        Engine::new(GraphStore::from_graph_sharded(graph, shards))
     }
 
     /// The underlying versioned store.
@@ -162,6 +174,24 @@ impl Engine {
     /// The store's current mutation counter.
     pub fn version(&self) -> u64 {
         self.store.version()
+    }
+
+    /// Number of shards the store partitions its node-id space into.
+    pub fn shard_count(&self) -> usize {
+        self.store.shard_count()
+    }
+
+    /// Snapshot-rebuild counters (see
+    /// [`dmcs_graph::RebuildStats`]): shard count, rebuild count,
+    /// dirty/reused shard totals and last-rebuild timings.
+    pub fn rebuild_stats(&self) -> dmcs_graph::RebuildStats {
+        self.store.rebuild_stats()
+    }
+
+    /// Number of shards currently dirty relative to the cached snapshot
+    /// (what the next [`Engine::snapshot`] call would recompile).
+    pub fn dirty_shards(&self) -> usize {
+        self.store.dirty_shards()
     }
 
     /// Insert an edge into the live graph (see

@@ -8,7 +8,7 @@
 //! [`Session`] pinned to the snapshot current at accept time, so a
 //! client's answers are consistent under concurrent updates until it
 //! explicitly asks to re-pin; all connections share the engine's
-//! [`GraphStore`](dmcs_graph::GraphStore) and version-keyed result
+//! [`GraphStore`](dmcs_graph::GraphStore) and shard-scoped result
 //! cache, so one client's computation is every client's cache hit.
 //!
 //! ## Wire protocol (protocol_version 1)
@@ -625,6 +625,7 @@ fn process_line<S: Write>(
             let snap_version = shared.engine.version();
             let store = shared.engine.store();
             let cache = shared.engine.cache();
+            let rb = store.rebuild_stats();
             let reply = typed_obj(
                 "stats",
                 vec![
@@ -642,6 +643,21 @@ fn process_line<S: Write>(
                     ),
                     ("cache_hits".to_string(), Json::UInt(cache.hits())),
                     ("cache_misses".to_string(), Json::UInt(cache.misses())),
+                    ("shards".to_string(), Json::UInt(store.shard_count() as u64)),
+                    (
+                        "dirty_shards".to_string(),
+                        Json::UInt(store.dirty_shards() as u64),
+                    ),
+                    ("rebuilds".to_string(), Json::UInt(rb.rebuilds)),
+                    ("shards_rebuilt".to_string(), Json::UInt(rb.shards_rebuilt)),
+                    (
+                        "last_dirty_shards".to_string(),
+                        Json::UInt(rb.last_dirty_shards as u64),
+                    ),
+                    (
+                        "last_rebuild_seconds".to_string(),
+                        Json::Num(rb.last_rebuild_seconds),
+                    ),
                     (
                         "in_flight".to_string(),
                         Json::UInt(shared.in_flight.load(Ordering::SeqCst) as u64),

@@ -1,6 +1,6 @@
 //! Sessions: a pinned graph [`Snapshot`], a resolved algorithm, a
 //! persistent [`QueryWorkspace`], and (optionally) a handle on the
-//! engine's shared version-keyed result cache.
+//! engine's shared shard-scoped result cache.
 //!
 //! A serving task holds one [`Session`] per (snapshot, algorithm) pair
 //! and feeds it requests one at a time; the `O(n)` alive-mask / degree /
@@ -17,7 +17,7 @@
 //! [`Snapshot::version`](dmcs_graph::Snapshot::version) falls behind the
 //! store; the CLI's `--updates` loop does exactly that.
 
-use crate::cache::{CacheKey, CachedAnswer, ResponseCache};
+use crate::cache::{fingerprint, CacheKey, CachedAnswer, ResponseCache};
 use crate::error::EngineError;
 use crate::registry::AlgoSpec;
 use crate::request::{QueryRequest, QueryResponse};
@@ -102,8 +102,10 @@ impl Session {
 
     /// Attach a shared result cache. Subsequent [`Session::query`] calls
     /// consult it before searching and populate it after; the cache key
-    /// carries the pinned snapshot's store id and version, so entries
-    /// never cross graph epochs (or stores).
+    /// carries the pinned snapshot's store id, and each entry carries a
+    /// shard fingerprint validated against the pinned snapshot's shard
+    /// versions — so entries never cross stores, and they survive
+    /// updates that touch none of the shards their community lives in.
     pub fn with_cache(mut self, cache: Arc<ResponseCache>) -> Self {
         self.cache = Some(cache);
         self
@@ -150,7 +152,7 @@ impl Session {
             .as_ref()
             .map(|_| CacheKey::new(spec, &req.nodes, &self.snapshot));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(hit) = cache.get(key) {
+            if let Some(hit) = cache.get(key, self.snapshot.shard_versions()) {
                 return Ok(respond(
                     req,
                     hit.algo,
@@ -159,15 +161,22 @@ impl Session {
                     true,
                 ));
             }
+            // Record which shards the search actually explores, so the
+            // entry's fingerprint can be scoped to them.
+            self.ws.begin_shard_tracking(self.snapshot.shard_layout());
         }
 
         let start = Instant::now();
         let result = algo.search_with_workspace(self.snapshot.graph(), &req.nodes, &mut self.ws);
         let seconds = start.elapsed().as_secs_f64();
         if let (Some(cache), Some(key)) = (&self.cache, key) {
+            // Algorithms that never report a component (or error paths)
+            // fall back to a conservative all-shards fingerprint.
+            let touched = self.ws.take_touched_shards();
             cache.insert(
                 key,
                 CachedAnswer::single(algo.name(), result.clone(), seconds),
+                fingerprint(&self.snapshot, touched.as_deref()),
             );
         }
         Ok(respond(req, algo.name(), result, seconds, false))
@@ -185,7 +194,7 @@ impl Session {
             .as_ref()
             .map(|_| CacheKey::for_top_k(&self.spec, nodes, &self.snapshot, k));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(hit) = cache.get(key) {
+            if let Some(hit) = cache.get(key, self.snapshot.shard_versions()) {
                 return TopKOutcome {
                     algo: hit.algo,
                     rounds: hit.result,
@@ -210,6 +219,8 @@ impl Session {
         );
         let seconds = start.elapsed().as_secs_f64();
         if let (Some(cache), Some(key)) = (&self.cache, key) {
+            // Top-k rounds peel diverse regions; no single component is
+            // tracked, so the entry pins every shard (conservative).
             cache.insert(
                 key,
                 CachedAnswer {
@@ -217,6 +228,7 @@ impl Session {
                     result: rounds.clone(),
                     seconds,
                 },
+                fingerprint(&self.snapshot, None),
             );
         }
         TopKOutcome {

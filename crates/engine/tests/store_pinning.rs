@@ -2,15 +2,17 @@
 //!
 //! 1. a batch pins its snapshot — updates landing mid-stream never
 //!    change its answers (bit-identical to a pre-update run);
-//! 2. the result cache invalidates by version — a repeated query after
-//!    *any* update recomputes, while a repeat with no intervening update
-//!    is a hit with byte-identical JSON;
+//! 2. the result cache invalidates by *shard fingerprint* — a repeated
+//!    query recomputes after any update touching a shard its component
+//!    lives in (in a connected graph: any update at all), while a repeat
+//!    with no intervening update is a hit with byte-identical JSON, and
+//!    an update confined to other shards leaves the hit hot;
 //! 3. in-batch dedup plus the shared cache compose across batches.
 
 use dmcs_engine::output::{report_jsonl, response_json};
 use dmcs_engine::{AlgoSpec, BatchRunner, Engine, QueryRequest};
 use dmcs_gen::sbm;
-use dmcs_graph::{GraphStore, NodeId, Snapshot};
+use dmcs_graph::{GraphBuilder, GraphStore, NodeId, Snapshot};
 
 fn planted_store() -> GraphStore {
     // 4 planted blocks of 24 nodes: answers are nontrivial communities.
@@ -100,14 +102,16 @@ fn repeated_query_is_a_byte_identical_hit_until_any_update() {
         "cache hit must be byte-identical JSON"
     );
 
-    // An unrelated-looking update (an edge across the far blocks — the
-    // cache must not guess locality) invalidates by version.
+    // An unrelated-looking update (an edge across the far blocks): the
+    // planted graph is one connected component, so the cached answer's
+    // fingerprint covers every shard the component spans — including
+    // the mutated ones — and the entry stops matching.
     assert!(engine.insert_edge(70, 95));
     let third = engine.run_batch(&spec, &req, 1).unwrap();
     assert_eq!(
         (third.cache_hits, third.cache_misses),
         (0, 1),
-        "any update recomputes: DM depends on the global edge count"
+        "an update inside the component recomputes"
     );
 
     // And the recomputation is an honest answer for the new graph.
@@ -140,6 +144,48 @@ fn dedup_and_cache_compose_across_batches() {
     }
     assert_eq!(engine.cache().hits(), 3);
     assert_eq!(engine.cache().misses(), 3);
+}
+
+#[test]
+fn update_in_one_shard_leaves_other_shards_cached_answers_hot() {
+    // Two disjoint triangles in different shards of an 8-node store
+    // split 4 ways: shard ranges {0,1} {2,3} {4,5} {6,7}. The left
+    // triangle {0,1,2} lives in shards 0-1, the right one {5,6,7} in
+    // shards 2-3.
+    let g = GraphBuilder::from_edges(8, &[(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)]);
+    let engine = Engine::new(GraphStore::from_graph_sharded(g, 4));
+    assert_eq!(engine.shard_count(), 4);
+    let spec = AlgoSpec::new("fpa");
+    let left = [QueryRequest::new(vec![0])];
+    let right = [QueryRequest::new(vec![6])];
+
+    let first_left = engine.run_batch(&spec, &left, 1).unwrap();
+    let _first_right = engine.run_batch(&spec, &right, 1).unwrap();
+    assert_eq!((engine.cache().hits(), engine.cache().misses()), (0, 2));
+
+    // Mutate the right triangle only: bumps shards 2 and 3.
+    assert!(engine.remove_edge(5, 7));
+
+    // The left answer survives as a byte-identical hit — the update
+    // never touched shards 0 or 1, the only ones its fingerprint pins.
+    let replay_left = engine.run_batch(&spec, &left, 1).unwrap();
+    assert_eq!(
+        (replay_left.cache_hits, replay_left.cache_misses),
+        (1, 0),
+        "update in shard 2/3 must not evict a shard-0/1 answer"
+    );
+    assert_eq!(
+        response_json(&first_left.responses[0], None).render(),
+        response_json(&replay_left.responses[0], None).render(),
+        "cache hit must replay byte-identical JSON"
+    );
+
+    // The right answer's shards moved: it recomputes honestly.
+    let replay_right = engine.run_batch(&spec, &right, 1).unwrap();
+    assert_eq!((replay_right.cache_hits, replay_right.cache_misses), (0, 1));
+    let direct = Engine::new(GraphStore::from_graph(engine.snapshot().graph().clone()));
+    let check = direct.run_batch(&spec, &right, 1).unwrap();
+    assert_eq!(replay_right.responses[0].result, check.responses[0].result);
 }
 
 #[test]

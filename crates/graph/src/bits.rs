@@ -1,0 +1,143 @@
+//! Flat `u64` bitsets for the hot node-membership masks.
+//!
+//! The peeling view's alive mask and the BFS visited sets were
+//! `Vec<bool>` — one byte per node. A [`BitMask`] packs them 64 nodes
+//! per word, an 8x footprint cut that keeps multi-million-node masks in
+//! cache, while preserving the workspace pooling contract the views rely
+//! on: the mask is reset *sparsely* (clear exactly the bits a query
+//! set), so recycling stays `O(|component|)`, not `O(n)`.
+
+/// A growable bitset over `usize` indices.
+#[derive(Debug, Clone, Default)]
+pub struct BitMask {
+    words: Vec<u64>,
+}
+
+impl BitMask {
+    /// An empty mask (no capacity; see [`BitMask::resize`]).
+    pub fn new() -> Self {
+        BitMask::default()
+    }
+
+    /// A cleared mask covering indices `0..n`.
+    pub fn with_len(n: usize) -> Self {
+        BitMask {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Grow the mask to cover indices `0..n` (new bits are zero; the
+    /// mask never shrinks, matching `Vec::resize(n, false)` as the
+    /// workspace pools use it).
+    pub fn resize(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Number of indices the mask currently covers (a multiple of 64).
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// True when no bit is set — the pooled-buffer clean invariant,
+    /// checked in one word-compare pass instead of a byte scan.
+    pub fn is_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate the set bits in ascending index order, word at a time
+    /// (`O(words + ones)` per full pass).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |&w| {
+                let w = w & (w - 1); // drop lowest set bit
+                (w != 0).then_some(w)
+            })
+            .map(move |w| wi * 64 + w.trailing_zeros() as usize)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let mut m = BitMask::with_len(130);
+        assert!(m.is_clear());
+        for i in [0usize, 63, 64, 65, 127, 128, 129] {
+            assert!(!m.get(i));
+            m.set(i);
+            assert!(m.get(i));
+        }
+        m.clear(64);
+        assert!(!m.get(64));
+        assert!(m.get(63) && m.get(65));
+        assert_eq!(
+            m.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 65, 127, 128, 129]
+        );
+    }
+
+    #[test]
+    fn resize_grows_with_clean_bits() {
+        let mut m = BitMask::new();
+        assert_eq!(m.capacity(), 0);
+        m.resize(10);
+        assert_eq!(m.capacity(), 64);
+        m.set(9);
+        m.resize(200);
+        assert!(m.get(9));
+        assert!(m.capacity() >= 200);
+        assert!(!m.get(199));
+        // Shrinking requests are no-ops: capacity is monotone.
+        m.resize(1);
+        assert!(m.get(9));
+    }
+
+    #[test]
+    fn sparse_clear_restores_clean() {
+        let mut m = BitMask::with_len(256);
+        let touched = [3usize, 70, 130, 255];
+        for &i in &touched {
+            m.set(i);
+        }
+        assert!(!m.is_clear());
+        for &i in &touched {
+            m.clear(i);
+        }
+        assert!(m.is_clear());
+    }
+
+    #[test]
+    fn iter_ones_handles_dense_words() {
+        let mut m = BitMask::with_len(64);
+        for i in 0..64 {
+            m.set(i);
+        }
+        assert_eq!(m.iter_ones().count(), 64);
+        assert_eq!(m.iter_ones().next(), Some(0));
+        assert_eq!(m.iter_ones().last(), Some(63));
+    }
+}

@@ -10,6 +10,16 @@
 //! (e.g. `dmcs_core::dynamic::IncrementalSearch`) detect staleness
 //! exactly.
 //!
+//! The node-id space is additionally partitioned into `P` range
+//! **shards** (a fixed [`ShardLayout`], default [`DEFAULT_SHARD_COUNT`]),
+//! each with its own mutation counter: an effective edge op bumps the
+//! shards of both endpoints, `add_node` bumps the shard of the new
+//! node. Shard counters are what make snapshot rebuilds *incremental*
+//! (clean shards' CSR segments are reused; see
+//! [`GraphStore`](crate::GraphStore)) and cache invalidation
+//! *shard-scoped* (a cached answer only dies when a shard its community
+//! touches moves).
+//!
 //! A dynamic graph is **weighted** when it carries a per-edge weight
 //! lane (see [`DynamicGraph::new_weighted`]); weighted mutators
 //! ([`insert_edge_w`](DynamicGraph::insert_edge_w),
@@ -25,6 +35,91 @@
 use crate::weighted::valid_weight;
 use crate::{Graph, GraphBuilder, NodeId};
 
+/// Default shard count for sharded dynamic graphs (see [`ShardLayout`]).
+///
+/// Sixteen node-id-range shards keep per-shard versioning cheap (one
+/// `u64` each) while making a single-edge update dirty at most 2/16 of
+/// the graph on the next snapshot rebuild.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// Node-id-range partitioning of a graph into `P` shards.
+///
+/// The layout is fixed when the graph is created: `shard_size` is
+/// `ceil(n / P)` for the *initial* node count `n`, and
+/// [`shard_of`](ShardLayout::shard_of) maps node `v` to shard
+/// `min(v / shard_size, P - 1)`. Nodes added later land in the last
+/// shard once they run past `shard_size * P`, so shard indices recorded
+/// in cache fingerprints never go stale.
+///
+/// ```
+/// use dmcs_graph::dynamic::ShardLayout;
+///
+/// let layout = ShardLayout::new(100, 4); // shard_size = 25
+/// assert_eq!(layout.shards(), 4);
+/// assert_eq!(layout.shard_of(0), 0);
+/// assert_eq!(layout.shard_of(99), 3);
+/// assert_eq!(layout.shard_of(1_000), 3, "late nodes clamp to the last shard");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    shards: usize,
+    shard_size: usize,
+}
+
+impl ShardLayout {
+    /// Layout of `shards` node-id-range shards over an initial `n` nodes.
+    /// A `shards` of 0 is treated as 1.
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardLayout {
+            shards,
+            shard_size: n.div_ceil(shards).max(1),
+        }
+    }
+
+    /// The trivial one-shard layout (used by
+    /// [`Snapshot::freeze`](crate::Snapshot::freeze), where there is no
+    /// store to shard).
+    pub fn single() -> Self {
+        ShardLayout {
+            shards: 1,
+            shard_size: usize::MAX,
+        }
+    }
+
+    /// Number of shards `P`.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning node `v`: `min(v / shard_size, P - 1)`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        ((v as usize) / self.shard_size).min(self.shards - 1)
+    }
+
+    /// Node-id range `[start, end)` of shard `s` for a graph currently
+    /// holding `n` nodes. The ranges of all shards partition `0..n`, and
+    /// growing `n` by one (an `add_node`) changes exactly the range of
+    /// the shard owning the new node.
+    pub fn node_range(&self, s: usize, n: usize) -> (usize, usize) {
+        debug_assert!(s < self.shards);
+        let start = self.shard_size.saturating_mul(s).min(n);
+        let end = if s + 1 == self.shards {
+            n
+        } else {
+            self.shard_size.saturating_mul(s + 1).min(n)
+        };
+        (start, end)
+    }
+}
+
+impl Default for ShardLayout {
+    fn default() -> Self {
+        ShardLayout::single()
+    }
+}
+
 /// A mutable, undirected simple graph (no self-loops, no multi-edges),
 /// optionally weighted.
 ///
@@ -39,7 +134,7 @@ use crate::{Graph, GraphBuilder, NodeId};
 /// assert_eq!(g.snapshot().m(), 2);
 /// assert_eq!(g.version(), 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DynamicGraph {
     adj: Vec<Vec<NodeId>>,
     /// Weight of `adj[u][i]`'s edge, parallel to `adj`; `None` for
@@ -47,16 +142,39 @@ pub struct DynamicGraph {
     wadj: Option<Vec<Vec<f64>>>,
     m: usize,
     version: u64,
+    layout: ShardLayout,
+    /// Per-shard mutation counters, parallel to the layout: an edge op
+    /// bumps the shards of *both* endpoints, `add_node` bumps the shard
+    /// of the new node. `sum` relates to [`version`](Self::version) but
+    /// is not equal to it (cross-shard ops bump two shard counters and
+    /// the global counter once).
+    shard_versions: Vec<u64>,
+}
+
+impl Default for DynamicGraph {
+    fn default() -> Self {
+        DynamicGraph::new(0)
+    }
 }
 
 impl DynamicGraph {
-    /// Empty unweighted graph on `n` nodes.
+    /// Empty unweighted graph on `n` nodes with the
+    /// [`DEFAULT_SHARD_COUNT`] layout.
     pub fn new(n: usize) -> Self {
+        DynamicGraph::with_shards(n, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Empty unweighted graph on `n` nodes partitioned into `shards`
+    /// node-id-range shards (see [`ShardLayout`]).
+    pub fn with_shards(n: usize, shards: usize) -> Self {
+        let layout = ShardLayout::new(n, shards);
         DynamicGraph {
             adj: vec![Vec::new(); n],
             wadj: None,
             m: 0,
             version: 0,
+            shard_versions: vec![0; layout.shards()],
+            layout,
         }
     }
 
@@ -64,21 +182,28 @@ impl DynamicGraph {
     /// [`DynamicGraph::set_weight`] works, and snapshots produce
     /// lane-carrying [`Graph`]s.
     pub fn new_weighted(n: usize) -> Self {
-        DynamicGraph {
-            adj: vec![Vec::new(); n],
-            wadj: Some(vec![Vec::new(); n]),
-            m: 0,
-            version: 0,
-        }
+        DynamicGraph::new_weighted_with_shards(n, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Empty weighted graph on `n` nodes with an explicit shard count.
+    pub fn new_weighted_with_shards(n: usize, shards: usize) -> Self {
+        let mut d = DynamicGraph::with_shards(n, shards);
+        d.wadj = Some(vec![Vec::new(); n]);
+        d
     }
 
     /// Start from a CSR snapshot. A weights lane on `g` carries over —
     /// the dynamic graph is weighted iff `g` is.
     pub fn from_graph(g: &Graph) -> Self {
+        DynamicGraph::from_graph_with_shards(g, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Start from a CSR snapshot with an explicit shard count.
+    pub fn from_graph_with_shards(g: &Graph, shards: usize) -> Self {
         let mut d = if g.is_weighted() {
-            DynamicGraph::new_weighted(g.n())
+            DynamicGraph::new_weighted_with_shards(g.n(), shards)
         } else {
-            DynamicGraph::new(g.n())
+            DynamicGraph::with_shards(g.n(), shards)
         };
         for (u, v) in g.edges() {
             if d.is_weighted() {
@@ -88,7 +213,9 @@ impl DynamicGraph {
                 d.insert_edge(u, v);
             }
         }
-        d.version = 0; // construction does not count as mutation
+        // Construction does not count as mutation.
+        d.version = 0;
+        d.shard_versions.iter_mut().for_each(|v| *v = 0);
         d
     }
 
@@ -111,6 +238,46 @@ impl DynamicGraph {
     /// `insert_edge_w`, `remove_edge`, `set_weight` and `add_node`.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The node-id-range shard layout (fixed at construction).
+    pub fn shard_layout(&self) -> ShardLayout {
+        self.layout
+    }
+
+    /// Per-shard mutation counters: an effective edge op bumps the
+    /// shards of *both* endpoints (once, if they coincide); `add_node`
+    /// bumps the shard of the new node. A shard whose counter is
+    /// unchanged since a snapshot has bitwise-identical adjacency (and
+    /// weight) rows in it — that is the contract the incremental
+    /// rebuild in [`GraphStore`](crate::GraphStore) relies on.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.shard_versions
+    }
+
+    /// Bump the global version plus the shard counters of both endpoints
+    /// of an effective edge op (once if they share a shard).
+    fn touch_edge(&mut self, u: NodeId, v: NodeId) {
+        let su = self.layout.shard_of(u);
+        let sv = self.layout.shard_of(v);
+        self.shard_versions[su] += 1;
+        if sv != su {
+            self.shard_versions[sv] += 1;
+        }
+        self.version += 1;
+    }
+
+    /// The live adjacency rows (sorted, duplicate-free) — the
+    /// incremental CSR rebuild serializes dirty shards straight from
+    /// these.
+    pub(crate) fn adj_rows(&self) -> &[Vec<NodeId>] {
+        &self.adj
+    }
+
+    /// The live per-row weight lanes, parallel to
+    /// [`adj_rows`](Self::adj_rows); `None` on unweighted graphs.
+    pub(crate) fn weight_rows(&self) -> Option<&[Vec<f64>]> {
+        self.wadj.as_deref()
     }
 
     /// Degree of `v`.
@@ -143,14 +310,17 @@ impl DynamicGraph {
         })
     }
 
-    /// Append a fresh isolated node; returns its id.
+    /// Append a fresh isolated node; returns its id. Dirties exactly the
+    /// shard the new node lands in (late nodes clamp to the last shard).
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());
         if let Some(w) = &mut self.wadj {
             w.push(Vec::new());
         }
+        let id = (self.adj.len() - 1) as NodeId;
+        self.shard_versions[self.layout.shard_of(id)] += 1;
         self.version += 1;
-        (self.adj.len() - 1) as NodeId
+        id
     }
 
     /// Insert the undirected edge `{u, v}`. Returns `false` (and changes
@@ -191,7 +361,7 @@ impl DynamicGraph {
             wa[v as usize].insert(pos_v, w);
         }
         self.m += 1;
-        self.version += 1;
+        self.touch_edge(u, v);
         true
     }
 
@@ -213,7 +383,7 @@ impl DynamicGraph {
             wa[v as usize].remove(pos_v);
         }
         self.m -= 1;
-        self.version += 1;
+        self.touch_edge(u, v);
         true
     }
 
@@ -236,7 +406,7 @@ impl DynamicGraph {
         if old != w {
             wa[u as usize][pos_u] = w;
             wa[v as usize][pos_v] = w;
-            self.version += 1;
+            self.touch_edge(u, v);
         }
         Some(old)
     }
@@ -316,6 +486,69 @@ mod tests {
         assert!(!g.remove_edge(0, 1), "already gone");
         assert_eq!(g.m(), 1);
         assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn shard_layout_partitions_the_id_space() {
+        let l = ShardLayout::new(10, 4); // shard_size = 3
+        assert_eq!(l.shards(), 4);
+        assert_eq!(l.shard_of(0), 0);
+        assert_eq!(l.shard_of(2), 0);
+        assert_eq!(l.shard_of(3), 1);
+        assert_eq!(l.shard_of(9), 3);
+        assert_eq!(l.shard_of(500), 3, "late nodes clamp to the last shard");
+        // Ranges partition 0..n, for the original n and after growth.
+        for n in [10usize, 11, 13, 40] {
+            let mut covered = 0usize;
+            for s in 0..l.shards() {
+                let (start, end) = l.node_range(s, n);
+                assert_eq!(start, covered, "contiguous at n={n}");
+                assert!(end >= start);
+                covered = end;
+            }
+            assert_eq!(covered, n);
+        }
+        // Degenerate layouts stay well-formed.
+        assert_eq!(ShardLayout::new(0, 16).shard_of(0), 0);
+        assert_eq!(ShardLayout::new(5, 0).shards(), 1);
+        assert_eq!(ShardLayout::single().shard_of(NodeId::MAX), 0);
+    }
+
+    #[test]
+    fn shard_versions_bump_per_endpoint_shard() {
+        // shard_size = 2: nodes {0,1} shard 0, {2,3} shard 1, {4,5} shard 2.
+        let mut g = DynamicGraph::with_shards(6, 3);
+        assert_eq!(g.shard_versions(), &[0, 0, 0]);
+        g.insert_edge(0, 1); // intra-shard: one bump
+        assert_eq!(g.shard_versions(), &[1, 0, 0]);
+        g.insert_edge(1, 4); // cross-shard: both endpoint shards
+        assert_eq!(g.shard_versions(), &[2, 0, 1]);
+        g.insert_edge(1, 4); // no-op: nothing moves
+        assert_eq!(g.shard_versions(), &[2, 0, 1]);
+        g.remove_edge(1, 4);
+        assert_eq!(g.shard_versions(), &[3, 0, 2]);
+        assert_eq!(g.version(), 3, "global counter still one per effective op");
+    }
+
+    #[test]
+    fn add_node_dirties_its_own_shard_only() {
+        let mut g = DynamicGraph::with_shards(4, 2); // shard_size = 2
+        let v = g.add_node(); // id 4 -> clamps to last shard (1)
+        assert_eq!(v, 4);
+        assert_eq!(g.shard_versions(), &[0, 1]);
+        assert_eq!(g.shard_layout().shard_of(v), 1);
+        assert_eq!(g.version(), 1);
+    }
+
+    #[test]
+    fn weighted_set_weight_touches_both_shards() {
+        let mut g = DynamicGraph::new_weighted_with_shards(4, 2); // {0,1} | {2,3}
+        g.insert_edge_w(0, 3, 2.0);
+        assert_eq!(g.shard_versions(), &[1, 1]);
+        assert_eq!(g.set_weight(0, 3, 5.0), Some(2.0));
+        assert_eq!(g.shard_versions(), &[2, 2]);
+        assert_eq!(g.set_weight(0, 3, 5.0), Some(5.0), "no-op re-set");
+        assert_eq!(g.shard_versions(), &[2, 2]);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod articulation;
 pub mod betweenness;
+pub mod bits;
 pub mod builder;
 pub mod cliques;
 pub mod clustering;
@@ -59,7 +60,8 @@ pub mod view;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
-pub use store::{GraphStore, Snapshot};
+pub use dynamic::{ShardLayout, DEFAULT_SHARD_COUNT};
+pub use store::{GraphStore, RebuildStats, Snapshot};
 pub use view::SubgraphView;
 
 /// Node identifier. `u32` keeps adjacency arrays half the size of `usize`

@@ -19,18 +19,32 @@
 //! ```
 //!
 //! - **Mutations** land in the `DynamicGraph` and bump its monotonic
-//!   [`version`](DynamicGraph::version); the cached CSR is *not* rebuilt
-//!   eagerly, so a burst of updates costs `O(deg)` each, not
-//!   `O(|V| + |E|)` each.
+//!   [`version`](DynamicGraph::version) plus the counters of the shards
+//!   they touch; the cached CSR is *not* rebuilt eagerly, so a burst of
+//!   updates costs `O(deg)` each, not `O(|V| + |E|)` each.
 //! - **Reads** call [`GraphStore::snapshot`], which rebuilds the CSR at
 //!   most once per version (on the first read after a mutation) and
-//!   hands out cheap [`Snapshot`] clones after that.
+//!   hands out cheap [`Snapshot`] clones after that. The rebuild is
+//!   **incremental**: the node-id space is partitioned into `P` shards
+//!   (see [`ShardLayout`]), only shards whose counter moved since the
+//!   previous snapshot have their CSR segments re-serialized (fanned out
+//!   across a `std::thread::scope` pool when there is enough dirty
+//!   work), and clean shards' neighbour/weight segments are copied
+//!   verbatim from the previous snapshot's arrays — so post-update
+//!   snapshot cost scales with the write footprint, not the graph.
+//!   Better still, the store keeps the snapshot displaced two epochs ago
+//!   and, when nothing outside the store still pins it and slot counts
+//!   line up, *patches its buffers in place* — the steady mutate→read
+//!   loop then pays `O(dirty rows)` per snapshot with no allocation or
+//!   copy-forward at all (see `rebuild_csr` for the tier rules).
 //! - A [`Snapshot`] **pins** its epoch: an in-flight batch keeps the
 //!   graph it started with while later updates land in the store, so
 //!   concurrent serve-and-mutate never tears a query. The carried
-//!   [`Snapshot::version`] is what version-keyed result caches key on.
+//!   [`Snapshot::version`] orders epochs, and the carried
+//!   [`Snapshot::shard_versions`] vector is what shard-scoped result
+//!   caches validate their fingerprints against.
 
-use crate::dynamic::DynamicGraph;
+use crate::dynamic::{DynamicGraph, ShardLayout};
 use crate::{Graph, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -66,17 +80,24 @@ pub struct Snapshot {
     graph: Arc<Graph>,
     store_id: u64,
     version: u64,
+    layout: ShardLayout,
+    /// Per-shard counters at the epoch this snapshot was built (shared;
+    /// snapshots are cloned per worker/batch).
+    shard_versions: Arc<[u64]>,
 }
 
 impl Snapshot {
     /// Freeze a standalone graph as a version-0 snapshot — the bridge
     /// for static workloads (benchmark line-ups, examples) that have a
-    /// [`Graph`] and no store.
+    /// [`Graph`] and no store. Frozen snapshots use the trivial
+    /// one-shard layout.
     pub fn freeze(graph: Graph) -> Snapshot {
         Snapshot {
             graph: Arc::new(graph),
             store_id: next_store_id(),
             version: 0,
+            layout: ShardLayout::single(),
+            shard_versions: Arc::from(vec![0u64]),
         }
     }
 
@@ -104,6 +125,25 @@ impl Snapshot {
     pub fn shares_graph(&self, other: &Snapshot) -> bool {
         Arc::ptr_eq(&self.graph, &other.graph)
     }
+
+    /// The node-id-range shard layout of the store this snapshot came
+    /// from (the trivial single shard for [`Snapshot::freeze`]).
+    pub fn shard_layout(&self) -> ShardLayout {
+        self.layout
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// Per-shard mutation counters at this snapshot's epoch.
+    /// Shard-scoped caches record, per answer, the counters of the
+    /// shards the answer's community touched, and replay the answer only
+    /// while those counters still match the serving snapshot's.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.shard_versions
+    }
 }
 
 impl std::ops::Deref for Snapshot {
@@ -120,10 +160,38 @@ impl AsRef<Graph> for Snapshot {
     }
 }
 
+/// Counters describing the store's incremental snapshot rebuilds —
+/// surfaced by `--stats` and the serve daemon's `stats` op so operators
+/// can see how much of each rebuild the sharding actually saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RebuildStats {
+    /// Number of shards in the store's layout.
+    pub shards: usize,
+    /// Snapshot rebuilds performed so far (reads served from the cached
+    /// snapshot do not count).
+    pub rebuilds: u64,
+    /// Total dirty shards re-serialized across all rebuilds.
+    pub shards_rebuilt: u64,
+    /// Total clean shards whose CSR segments were copied forward.
+    pub shards_reused: u64,
+    /// Dirty-shard count of the most recent rebuild.
+    pub last_dirty_shards: usize,
+    /// Wall-clock seconds of the most recent rebuild.
+    pub last_rebuild_seconds: f64,
+}
+
 struct Inner {
     dynamic: DynamicGraph,
     /// CSR rebuilt lazily: valid iff `cached.version == dynamic.version()`.
     cached: Option<Snapshot>,
+    /// The snapshot displaced by `cached` — kept one extra generation so
+    /// a rebuild can recycle its buffers *in place* when nothing outside
+    /// the store still pins them (see `patch_in_place`). In the
+    /// steady-state mutate→snapshot serving loop this turns the rebuild
+    /// into a pure `O(dirty rows)` patch with no allocation or
+    /// copy-forward at all.
+    retired: Option<Snapshot>,
+    stats: RebuildStats,
 }
 
 // The id lives outside `Inner` so reads need not take the lock for it.
@@ -152,38 +220,67 @@ pub struct GraphStore {
 }
 
 impl GraphStore {
-    /// An empty store on `n` isolated nodes.
+    /// An empty store on `n` isolated nodes (default shard layout).
     pub fn new(n: usize) -> Self {
         GraphStore::from_dynamic(DynamicGraph::new(n))
     }
 
-    /// Adopt a mutable graph as the store's graph of record.
+    /// An empty store on `n` isolated nodes partitioned into `shards`
+    /// node-id-range shards.
+    pub fn with_shards(n: usize, shards: usize) -> Self {
+        GraphStore::from_dynamic(DynamicGraph::with_shards(n, shards))
+    }
+
+    /// Adopt a mutable graph as the store's graph of record (keeping its
+    /// shard layout).
     pub fn from_dynamic(dynamic: DynamicGraph) -> Self {
+        let stats = RebuildStats {
+            shards: dynamic.shard_layout().shards(),
+            ..RebuildStats::default()
+        };
         GraphStore {
             id: next_store_id(),
             inner: RwLock::new(Inner {
                 dynamic,
                 cached: None,
+                retired: None,
+                stats,
             }),
         }
     }
 
-    /// Seed the store from an immutable graph. The given CSR is adopted
-    /// as the cached snapshot for the store's initial version, so reads
-    /// before the first mutation cost nothing.
+    /// Seed the store from an immutable graph (default shard layout).
+    /// The given CSR is adopted as the cached snapshot for the store's
+    /// initial version, so reads before the first mutation cost nothing.
     pub fn from_graph(graph: Graph) -> Self {
-        let dynamic = DynamicGraph::from_graph(&graph);
+        GraphStore::from_graph_sharded(graph, crate::dynamic::DEFAULT_SHARD_COUNT)
+    }
+
+    /// Seed the store from an immutable graph with an explicit shard
+    /// count (see [`ShardLayout`]); the CSR is adopted as the initial
+    /// cached snapshot exactly as in [`GraphStore::from_graph`].
+    pub fn from_graph_sharded(graph: Graph, shards: usize) -> Self {
+        let dynamic = DynamicGraph::from_graph_with_shards(&graph, shards);
         let version = dynamic.version();
         let id = next_store_id();
+        let stats = RebuildStats {
+            shards: dynamic.shard_layout().shards(),
+            ..RebuildStats::default()
+        };
+        let cached = Some(Snapshot {
+            graph: Arc::new(graph),
+            store_id: id,
+            version,
+            layout: dynamic.shard_layout(),
+            shard_versions: Arc::from(dynamic.shard_versions().to_vec()),
+        });
         GraphStore {
             id,
             inner: RwLock::new(Inner {
                 dynamic,
-                cached: Some(Snapshot {
-                    graph: Arc::new(graph),
-                    store_id: id,
-                    version,
-                }),
+                cached,
+                retired: None,
+                stats,
             }),
         }
     }
@@ -276,8 +373,10 @@ impl GraphStore {
     }
 
     /// A snapshot of the current epoch. Rebuilds the CSR at most once
-    /// per version — the first read after a mutation pays
-    /// `O(|V| + |E|)`, every other call is an `Arc` clone.
+    /// per version — the first read after a mutation pays an
+    /// *incremental* rebuild (only dirty shards' segments are
+    /// re-serialized; clean shards are copied forward from the previous
+    /// snapshot), every other call is an `Arc` clone.
     pub fn snapshot(&self) -> Snapshot {
         {
             let inner = self.read();
@@ -289,6 +388,7 @@ impl GraphStore {
             }
         }
         let mut inner = self.write();
+        let inner = &mut *inner;
         let version = inner.dynamic.version();
         // Double-checked: another writer may have rebuilt between locks.
         if let Some(s) = &inner.cached {
@@ -296,13 +396,66 @@ impl GraphStore {
                 return s.clone();
             }
         }
+        let started = std::time::Instant::now();
+        let recycle = inner.retired.take();
+        let (graph, dirty) = rebuild_csr(&inner.dynamic, inner.cached.as_ref(), recycle);
         let snap = Snapshot {
-            graph: Arc::new(inner.dynamic.snapshot()),
+            graph: Arc::new(graph),
             store_id: self.id,
             version,
+            layout: inner.dynamic.shard_layout(),
+            shard_versions: Arc::from(inner.dynamic.shard_versions().to_vec()),
         };
-        inner.cached = Some(snap.clone());
+        let shards = inner.dynamic.shard_layout().shards();
+        inner.stats.rebuilds += 1;
+        inner.stats.shards_rebuilt += dirty as u64;
+        inner.stats.shards_reused += (shards - dirty) as u64;
+        inner.stats.last_dirty_shards = dirty;
+        inner.stats.last_rebuild_seconds = started.elapsed().as_secs_f64();
+        // The displaced snapshot becomes the recycling candidate for the
+        // *next* rebuild (once every outside clone of it is dropped).
+        inner.retired = inner.cached.replace(snap.clone());
         snap
+    }
+
+    /// Rebuild counters (shard count, dirty-shard counts, timings) —
+    /// see [`RebuildStats`].
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.read().stats
+    }
+
+    /// Number of node-id-range shards in the store's layout.
+    pub fn shard_count(&self) -> usize {
+        self.read().dynamic.shard_layout().shards()
+    }
+
+    /// The store's shard layout.
+    pub fn shard_layout(&self) -> ShardLayout {
+        self.read().dynamic.shard_layout()
+    }
+
+    /// The live per-shard mutation counters (see
+    /// [`DynamicGraph::shard_versions`]).
+    pub fn shard_versions(&self) -> Vec<u64> {
+        self.read().dynamic.shard_versions().to_vec()
+    }
+
+    /// Number of shards the *next* [`snapshot`](Self::snapshot) call
+    /// would re-serialize: shards whose counter moved since the cached
+    /// snapshot (all of them when no snapshot is cached yet). Zero means
+    /// the next read is a free `Arc` clone.
+    pub fn dirty_shards(&self) -> usize {
+        let inner = self.read();
+        match &inner.cached {
+            Some(s) => inner
+                .dynamic
+                .shard_versions()
+                .iter()
+                .zip(s.shard_versions.iter())
+                .filter(|(live, snap)| live != snap)
+                .count(),
+            None => inner.dynamic.shard_layout().shards(),
+        }
     }
 
     /// Run `f` against the live [`DynamicGraph`] under the read lock —
@@ -319,6 +472,343 @@ impl GraphStore {
     }
 }
 
+/// Below this many total CSR slots a rebuild always runs sequentially —
+/// thread spawn/join overhead dwarfs the serialization work.
+const PARALLEL_REBUILD_MIN_SLOTS: usize = 1 << 16;
+
+/// One shard's slice of the flat CSR arrays being filled.
+struct ShardFill<'a> {
+    shard: usize,
+    /// Node-id range `[start, end)` of the shard.
+    start: usize,
+    end: usize,
+    nbrs: &'a mut [NodeId],
+    wts: Option<&'a mut [f64]>,
+}
+
+/// Recompile the CSR from the live adjacency, re-serializing only dirty
+/// shards. Returns the graph and the number of dirty shards (relative to
+/// `prev`, the snapshot the store currently caches).
+///
+/// Three tiers, fastest applicable wins:
+///
+/// 1. **In-place patch** — when `recycle` (the snapshot displaced two
+///    epochs ago) is held by nobody else and every stale shard kept its
+///    slot count, its buffers are patched in place: `O(stale rows)` with
+///    zero allocation or copy-forward (see [`patch_in_place`]).
+/// 2. **Copy-forward** — fresh arrays; dirty shards re-serialize their
+///    live rows, clean shards' offset/neighbour/weight segments are
+///    copied verbatim from `prev` (offsets shifted by a constant), fanned
+///    out across a `std::thread::scope` pool when there is enough dirty
+///    work.
+/// 3. **Full rebuild** — no usable `prev` (layout or weightedness
+///    changed, or first snapshot): every shard is dirty under tier 2.
+///
+/// Soundness of reusing a clean shard (tiers 1 and 2): every effective
+/// mutation bumps the shard counters of *both* endpoints (and `add_node`
+/// the shard of the new node, the only shard whose node range changes),
+/// so a shard whose counter matches the reference snapshot's has
+/// bitwise-identical adjacency rows, weight rows, and node range — its
+/// segments differ from that snapshot's only by their base offset.
+fn rebuild_csr(
+    dynamic: &DynamicGraph,
+    prev: Option<&Snapshot>,
+    recycle: Option<Snapshot>,
+) -> (Graph, usize) {
+    let n = dynamic.n();
+    let layout = dynamic.shard_layout();
+    let shards = layout.shards();
+    let adj = dynamic.adj_rows();
+    let wadj = dynamic.weight_rows();
+
+    let reusable = prev.filter(|s| s.layout == layout && s.graph.is_weighted() == wadj.is_some());
+    let dirty: Vec<bool> = match reusable {
+        Some(prev) => dynamic
+            .shard_versions()
+            .iter()
+            .zip(prev.shard_versions.iter())
+            .map(|(live, snap)| live != snap)
+            .collect(),
+        None => vec![true; shards],
+    };
+    let dirty_count = dirty.iter().filter(|&&d| d).count();
+
+    // Tier 1: patch the retired snapshot's buffers in place.
+    if let Some(retired) = recycle {
+        if let Ok(graph) = patch_in_place(dynamic, retired) {
+            return (graph, dirty_count);
+        }
+    }
+
+    // Tiers 2/3. Offsets: a clean shard's segment is the previous
+    // snapshot's shifted by a constant, so only dirty shards scan their
+    // live row lengths. (Empty shards contribute nothing; skipping them
+    // also keeps a clamped `start` beyond the previous snapshot's node
+    // count from being consulted.)
+    let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    for (shard, &shard_dirty) in dirty.iter().enumerate() {
+        let (start, end) = layout.node_range(shard, n);
+        if start == end {
+            continue;
+        }
+        let base = *offsets.last().expect("offsets seeded with 0");
+        if shard_dirty {
+            let mut acc = base;
+            for row in &adj[start..end] {
+                acc += row.len();
+                offsets.push(acc);
+            }
+        } else {
+            // Clean and non-empty: the node range is identical in `prev`
+            // (see the soundness note above), so its offsets are too, up
+            // to the base shift.
+            let prev = reusable.expect("clean shard implies reusable snapshot");
+            let seg = &prev.graph.offsets[start..=end];
+            let prev_base = seg[0];
+            offsets.extend(seg[1..].iter().map(|&o| o - prev_base + base));
+        }
+    }
+    debug_assert_eq!(offsets.len(), n + 1);
+    let total = *offsets.last().expect("offsets never empty");
+
+    let workers = if dirty_count > 1 && total >= PARALLEL_REBUILD_MIN_SLOTS {
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .min(dirty_count)
+    } else {
+        1
+    };
+
+    let (neighbors, slot_weight) = if workers <= 1 {
+        fill_sequential(adj, wadj, layout, n, total, &dirty, reusable)
+    } else {
+        fill_parallel(adj, wadj, layout, n, &offsets, &dirty, reusable, workers)
+    };
+
+    let graph = Graph::from_csr(offsets, neighbors);
+    let graph = match slot_weight {
+        Some(sw) => graph.attach_weights(sw),
+        None => graph,
+    };
+    (graph, dirty_count)
+}
+
+/// Sequential CSR fill: append shard segments in node-id order — dirty
+/// shards serialize their live rows, clean shards memcpy the previous
+/// snapshot's segments. Appending into `with_capacity` buffers skips the
+/// zero-initialization a carve-into-segments fill would pay.
+fn fill_sequential(
+    adj: &[Vec<NodeId>],
+    wadj: Option<&[Vec<f64>]>,
+    layout: ShardLayout,
+    n: usize,
+    total: usize,
+    dirty: &[bool],
+    reusable: Option<&Snapshot>,
+) -> (Vec<NodeId>, Option<Vec<f64>>) {
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(total);
+    let mut slot_weight: Option<Vec<f64>> = wadj.map(|_| Vec::with_capacity(total));
+    for (shard, &shard_dirty) in dirty.iter().enumerate() {
+        let (start, end) = layout.node_range(shard, n);
+        if start == end {
+            continue;
+        }
+        if shard_dirty {
+            match (&mut slot_weight, wadj) {
+                (Some(w), Some(wrows)) => {
+                    for (row, wrow) in adj[start..end].iter().zip(&wrows[start..end]) {
+                        neighbors.extend_from_slice(row);
+                        w.extend_from_slice(wrow);
+                    }
+                }
+                _ => {
+                    for row in &adj[start..end] {
+                        neighbors.extend_from_slice(row);
+                    }
+                }
+            }
+        } else {
+            let prev = reusable.expect("clean shard implies reusable snapshot");
+            let base = prev.graph.offsets[start];
+            let stop = prev.graph.offsets[end];
+            neighbors.extend_from_slice(&prev.graph.neighbors[base..stop]);
+            if let Some(w) = &mut slot_weight {
+                let lane = prev.graph.weights.as_deref().expect("weighted prev");
+                w.extend_from_slice(&lane.slot_weight[base..stop]);
+            }
+        }
+    }
+    (neighbors, slot_weight)
+}
+
+/// Parallel CSR fill: carve zero-initialized flat arrays into disjoint
+/// per-shard segments and round-robin them over a scoped thread pool.
+#[allow(clippy::too_many_arguments)]
+fn fill_parallel(
+    adj: &[Vec<NodeId>],
+    wadj: Option<&[Vec<f64>]>,
+    layout: ShardLayout,
+    n: usize,
+    offsets: &[usize],
+    dirty: &[bool],
+    reusable: Option<&Snapshot>,
+    workers: usize,
+) -> (Vec<NodeId>, Option<Vec<f64>>) {
+    let total = *offsets.last().expect("offsets never empty");
+    let mut neighbors = vec![0 as NodeId; total];
+    let mut slot_weight = wadj.map(|_| vec![0.0f64; total]);
+
+    // Carve the flat arrays into disjoint per-shard segments (shards are
+    // contiguous node-id ranges, so segments tile the arrays in order).
+    let shards = layout.shards();
+    let mut jobs = Vec::with_capacity(shards);
+    {
+        let mut rest_n: &mut [NodeId] = &mut neighbors;
+        let mut rest_w: Option<&mut [f64]> = slot_weight.as_deref_mut();
+        for shard in 0..shards {
+            let (start, end) = layout.node_range(shard, n);
+            let len = offsets[end] - offsets[start];
+            let (seg_n, tail) = rest_n.split_at_mut(len);
+            rest_n = tail;
+            let wts = rest_w.take().map(|rw| {
+                let (seg_w, tail) = rw.split_at_mut(len);
+                rest_w = Some(tail);
+                seg_w
+            });
+            jobs.push(ShardFill {
+                shard,
+                start,
+                end,
+                nbrs: seg_n,
+                wts,
+            });
+        }
+    }
+
+    let fill = |job: &mut ShardFill<'_>| {
+        if dirty[job.shard] {
+            // Serialize the live rows (already sorted and deduped).
+            let mut cursor = 0usize;
+            #[allow(clippy::needless_range_loop)] // parallel arrays, hot copy loop
+            for v in job.start..job.end {
+                let row = &adj[v];
+                job.nbrs[cursor..cursor + row.len()].copy_from_slice(row);
+                if let Some(w) = &mut job.wts {
+                    w[cursor..cursor + row.len()].copy_from_slice(&wadj.expect("weighted fill")[v]);
+                }
+                cursor += row.len();
+            }
+        } else if !job.nbrs.is_empty() {
+            // Clean shard: memcpy the previous snapshot's segments. (An
+            // empty segment is skipped outright — an empty shard's
+            // clamped `start` may lie beyond the previous snapshot's
+            // node count, so its offsets must not be consulted.)
+            let prev = reusable.expect("clean shard implies reusable snapshot");
+            let base = prev.graph.offsets[job.start];
+            job.nbrs
+                .copy_from_slice(&prev.graph.neighbors[base..base + job.nbrs.len()]);
+            if let Some(w) = &mut job.wts {
+                let lane = prev.graph.weights.as_deref().expect("weighted prev");
+                w.copy_from_slice(&lane.slot_weight[base..base + w.len()]);
+            }
+        }
+    };
+
+    // Round-robin the shard jobs over the workers; each worker owns
+    // disjoint segments, so a scoped spawn per worker suffices.
+    let mut buckets: Vec<Vec<ShardFill<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        buckets[i % workers].push(job);
+    }
+    let fill = &fill;
+    std::thread::scope(|scope| {
+        for mut bucket in buckets {
+            scope.spawn(move || {
+                for job in &mut bucket {
+                    fill(job);
+                }
+            });
+        }
+    });
+
+    (neighbors, slot_weight)
+}
+
+/// Try to rebuild by patching `retired`'s CSR buffers in place.
+///
+/// Applicable when the store holds the only reference to the retired
+/// graph, the layout / weightedness / node count are unchanged, and every
+/// *stale* shard (counter moved since the retired epoch) kept its total
+/// slot count — then no offset outside the stale shards shifts, and the
+/// rebuild degenerates to rewriting the stale shards' offset, neighbour,
+/// and weight segments from the live rows. Shards whose counter still
+/// matches the retired epoch have bitwise-identical rows (same argument
+/// as the copy-forward tier), so their segments are already correct.
+///
+/// On any precondition failure the retired snapshot is simply dropped and
+/// the caller falls back to the copy-forward tier.
+fn patch_in_place(dynamic: &DynamicGraph, retired: Snapshot) -> Result<Graph, ()> {
+    let n = dynamic.n();
+    let layout = dynamic.shard_layout();
+    let adj = dynamic.adj_rows();
+    let wadj = dynamic.weight_rows();
+    if retired.layout != layout
+        || retired.graph.n() != n
+        || retired.graph.is_weighted() != wadj.is_some()
+    {
+        return Err(());
+    }
+    let live = dynamic.shard_versions();
+    let stale: Vec<usize> = (0..layout.shards())
+        .filter(|&s| retired.shard_versions[s] != live[s])
+        .collect();
+    // Every stale shard must keep its slot count, or offsets past it
+    // would shift and the whole tail would need rewriting anyway.
+    for &s in &stale {
+        let (start, end) = layout.node_range(s, n);
+        let new_len: usize = adj[start..end].iter().map(Vec::len).sum();
+        if new_len != retired.graph.offsets[end] - retired.graph.offsets[start] {
+            return Err(());
+        }
+    }
+    // Nobody else may observe the mutation: the store's retired slot must
+    // hold the only strong reference.
+    let mut graph = Arc::try_unwrap(retired.graph).map_err(|_| ())?;
+    for &s in &stale {
+        let (start, end) = layout.node_range(s, n);
+        let mut cursor = graph.offsets[start];
+        #[allow(clippy::needless_range_loop)] // parallel arrays, hot patch loop
+        for v in start..end {
+            let row = &adj[v];
+            graph.neighbors[cursor..cursor + row.len()].copy_from_slice(row);
+            if let Some(lane) = graph.weights.as_deref_mut() {
+                lane.slot_weight[cursor..cursor + row.len()]
+                    .copy_from_slice(&wadj.expect("weighted patch")[v]);
+            }
+            cursor += row.len();
+            graph.offsets[v + 1] = cursor;
+        }
+    }
+    if let Some(lane) = graph.weights.as_deref_mut() {
+        // Re-derive the aggregates exactly as `attach_weights` does, so a
+        // patched graph is bit-identical to a from-scratch build: stale
+        // nodes' strengths from their new slots, then the total from all
+        // strengths.
+        for &s in &stale {
+            let (start, end) = layout.node_range(s, n);
+            for v in start..end {
+                lane.strength[v] = lane.slot_weight[graph.offsets[v]..graph.offsets[v + 1]]
+                    .iter()
+                    .sum();
+            }
+        }
+        lane.total_weight = lane.strength.iter().sum::<f64>() / 2.0;
+    }
+    Ok(graph)
+}
+
 impl std::fmt::Debug for GraphStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.read();
@@ -326,6 +816,7 @@ impl std::fmt::Debug for GraphStore {
             .field("n", &inner.dynamic.n())
             .field("m", &inner.dynamic.m())
             .field("version", &inner.dynamic.version())
+            .field("shards", &inner.dynamic.shard_layout().shards())
             .field("snapshot_cached", &inner.cached.is_some())
             .finish()
     }
@@ -463,6 +954,220 @@ mod tests {
         assert_eq!(store.set_weight(0, 1, 2.0), None);
         assert_eq!(store.version(), 0, "refused ops never bump");
         assert_eq!(store.edge_weight(0, 1), Some(1.0), "unweighted edge = 1");
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_from_scratch() {
+        // Ring + chords across 64 nodes, 8 shards of 8.
+        let store = GraphStore::with_shards(64, 8);
+        for v in 0..64u32 {
+            store.insert_edge(v, (v + 1) % 64);
+        }
+        let first = store.snapshot(); // full rebuild (no cached snapshot)
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 8);
+
+        // One edge inside shard 2 ({16..24}): only shard 2 is dirty.
+        assert!(store.insert_edge(17, 20));
+        assert_eq!(store.dirty_shards(), 1);
+        let second = store.snapshot();
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 1);
+        assert_eq!(store.rebuild_stats().shards_reused, 7);
+
+        // The incremental result must equal a from-scratch build.
+        let scratch = store.with_dynamic(|d| d.snapshot());
+        assert_eq!(second.n(), scratch.n());
+        assert_eq!(second.m(), scratch.m());
+        for v in 0..64u32 {
+            assert_eq!(second.neighbors(v), scratch.neighbors(v), "node {v}");
+        }
+        assert!(!first.shares_graph(&second));
+
+        // Cross-shard edge dirties both endpoint shards.
+        assert!(store.insert_edge(1, 62));
+        assert_eq!(store.dirty_shards(), 2);
+        let third = store.snapshot();
+        assert!(third.has_edge(1, 62));
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 2);
+        assert_eq!(store.dirty_shards(), 0, "fresh snapshot: nothing dirty");
+    }
+
+    #[test]
+    fn incremental_rebuild_carries_weights() {
+        let store = GraphStore::from_dynamic(
+            crate::dynamic::DynamicGraph::new_weighted_with_shards(16, 4),
+        );
+        for v in 0..15u32 {
+            assert!(store.insert_edge_w(v, v + 1, f64::from(v) + 0.5));
+        }
+        let _first = store.snapshot();
+        // Touch only shard 0 ({0..4}) with a weight change.
+        assert_eq!(store.set_weight(1, 2, 9.0), Some(1.5));
+        let snap = store.snapshot();
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 1);
+        assert_eq!(snap.edge_weight(1, 2), Some(9.0));
+        // Clean shards' weights copied forward intact.
+        assert_eq!(snap.edge_weight(10, 11), Some(10.5));
+        let scratch = store.with_dynamic(|d| d.snapshot());
+        for v in 0..16u32 {
+            assert_eq!(snap.neighbors(v), scratch.neighbors(v));
+        }
+        assert!((snap.total_weight() - scratch.total_weight()).abs() < 1e-12);
+        assert!((snap.strength(11) - scratch.strength(11)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_growth_rebuilds_incrementally() {
+        let store = GraphStore::with_shards(8, 4); // shard_size 2
+        store.insert_edge(0, 1);
+        let _ = store.snapshot();
+        let v = store.add_node(); // id 8 clamps into the last shard
+        assert_eq!(store.dirty_shards(), 1);
+        store.insert_edge(7, v); // still only the last shard
+        assert_eq!(store.dirty_shards(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.n(), 9);
+        assert!(snap.has_edge(7, 8));
+        assert_eq!(snap.neighbors(0), &[1]);
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 1);
+    }
+
+    #[test]
+    fn node_growth_past_prior_range_skips_empty_clean_shards() {
+        // shard_size 1: shards 4..7 are empty at n = 4. Growing to n = 5
+        // dirties only shard 4; shard 5's clamped start (5) now lies
+        // beyond the previous snapshot's offsets — the rebuild must not
+        // consult them for a zero-length segment.
+        let store = GraphStore::with_shards(4, 8);
+        store.insert_edge(0, 1);
+        let _ = store.snapshot();
+        let v = store.add_node();
+        assert_eq!(v, 4);
+        assert_eq!(store.dirty_shards(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.n(), 5);
+        assert_eq!(snap.neighbors(0), &[1]);
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 1);
+    }
+
+    #[test]
+    fn steady_churn_recycles_the_retired_snapshot_in_place() {
+        // A mutate→snapshot loop that keeps no outside snapshot alive:
+        // from the third rebuild on, the store recycles the snapshot
+        // displaced two epochs ago and patches only the stale shard — the
+        // result must still match a from-scratch build every time.
+        let store = GraphStore::with_shards(32, 8); // shard_size 4
+        for v in 0..31u32 {
+            store.insert_edge(v, v + 1);
+        }
+        for round in 0..5 {
+            // Toggle an edge inside shard 1 ({4..8}): slot counts are
+            // restored, so the patch tier applies once a retired buffer
+            // exists.
+            assert!(store.remove_edge(5, 6));
+            assert!(store.insert_edge(5, 6));
+            let snap = store.snapshot();
+            let scratch = store.with_dynamic(|d| d.snapshot());
+            for v in 0..32u32 {
+                assert_eq!(
+                    snap.neighbors(v),
+                    scratch.neighbors(v),
+                    "round {round} node {v}"
+                );
+            }
+            assert_eq!(
+                store.rebuild_stats().last_dirty_shards,
+                if round == 0 { 8 } else { 1 }
+            );
+        }
+        // A slot-count-changing update in the same shard still lands
+        // correctly (the patch tier refuses; copy-forward takes over).
+        assert!(store.insert_edge(4, 6));
+        let snap = store.snapshot();
+        assert_eq!(snap.neighbors(4), &[3, 5, 6]);
+        let scratch = store.with_dynamic(|d| d.snapshot());
+        for v in 0..32u32 {
+            assert_eq!(snap.neighbors(v), scratch.neighbors(v));
+        }
+        assert_eq!(store.rebuild_stats().last_dirty_shards, 1);
+    }
+
+    #[test]
+    fn weighted_churn_patches_strengths_and_totals_exactly() {
+        // Weight toggles keep slot counts, so the patch tier engages;
+        // strengths and the total must re-derive exactly as a scratch
+        // build computes them.
+        let store = GraphStore::from_dynamic(
+            crate::dynamic::DynamicGraph::new_weighted_with_shards(16, 4),
+        );
+        for v in 0..15u32 {
+            assert!(store.insert_edge_w(v, v + 1, 1.0));
+        }
+        let _ = store.snapshot();
+        for round in 0..4 {
+            let w = f64::from(round) + 2.0;
+            assert_ne!(store.set_weight(5, 6, w), None); // shard 1
+            let snap = store.snapshot();
+            let scratch = store.with_dynamic(|d| d.snapshot());
+            assert_eq!(snap.edge_weight(5, 6), Some(w));
+            assert_eq!(snap.total_weight(), scratch.total_weight(), "round {round}");
+            for v in 0..16u32 {
+                assert_eq!(
+                    snap.strength(v),
+                    scratch.strength(v),
+                    "round {round} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_pinned_retired_snapshot_is_never_patched() {
+        // Hold every snapshot: the store can never recycle buffers, and
+        // pinned epochs stay immutable through arbitrary churn.
+        let store = GraphStore::with_shards(16, 4);
+        store.insert_edge(0, 1);
+        let mut pinned = vec![store.snapshot()];
+        for _ in 0..4 {
+            assert!(store.remove_edge(0, 1));
+            assert!(store.insert_edge(0, 1));
+            pinned.push(store.snapshot());
+        }
+        for snap in &pinned {
+            assert_eq!(snap.neighbors(0), &[1], "epoch {} torn", snap.version());
+            assert_eq!(snap.m(), 1);
+        }
+    }
+
+    #[test]
+    fn snapshots_carry_shard_versions() {
+        let store = GraphStore::with_shards(8, 2); // {0..4} | {4..8}
+        let a = store.snapshot();
+        assert_eq!(a.shards(), 2);
+        assert_eq!(a.shard_versions(), &[0, 0]);
+        store.insert_edge(0, 7);
+        let b = store.snapshot();
+        assert_eq!(b.shard_versions(), &[1, 1]);
+        assert_eq!(a.shard_versions(), &[0, 0], "pinned epoch unchanged");
+        store.insert_edge(5, 6);
+        let c = store.snapshot();
+        assert_eq!(c.shard_versions(), &[1, 2]);
+        assert_eq!(store.shard_versions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rebuild_stats_accumulate() {
+        let store = GraphStore::from_graph_sharded(barbell(), 3);
+        assert_eq!(store.shard_count(), 3);
+        let stats = store.rebuild_stats();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.rebuilds, 0, "adopted seed is not a rebuild");
+        store.insert_edge(0, 4);
+        let _ = store.snapshot();
+        let _ = store.snapshot(); // cached: no second rebuild
+        let stats = store.rebuild_stats();
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(stats.shards_rebuilt, stats.last_dirty_shards as u64);
+        assert!(stats.last_rebuild_seconds >= 0.0);
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! of Definitions 5–7), so removal is `O(deg(v))` and all peeling state the
 //! measures need is maintained incrementally.
 
+use crate::bits::BitMask;
+use crate::dynamic::ShardLayout;
 use crate::{Graph, NodeId};
 
 /// A node-induced subgraph of a [`Graph`] supporting cheap node removal.
 #[derive(Debug, Clone)]
 pub struct SubgraphView<'g> {
     graph: &'g Graph,
-    alive: Vec<bool>,
+    /// Alive mask, one bit per node (see [`BitMask`]).
+    alive: BitMask,
     /// `k_{v,S}`: number of alive neighbours of `v` (meaningful only while
     /// `alive[v]`, but kept consistent for dead nodes too).
     local_deg: Vec<u32>,
@@ -27,9 +30,13 @@ impl<'g> SubgraphView<'g> {
     pub fn full(graph: &'g Graph) -> Self {
         let n = graph.n();
         let local_deg = (0..n as NodeId).map(|v| graph.degree(v) as u32).collect();
+        let mut alive = BitMask::with_len(n);
+        for v in 0..n {
+            alive.set(v);
+        }
         SubgraphView {
             graph,
-            alive: vec![true; n],
+            alive,
             local_deg,
             n_alive: n,
             m_alive: graph.m() as u64,
@@ -39,16 +46,16 @@ impl<'g> SubgraphView<'g> {
     /// View containing exactly `nodes`.
     pub fn from_nodes(graph: &'g Graph, nodes: &[NodeId]) -> Self {
         let n = graph.n();
-        let mut alive = vec![false; n];
+        let mut alive = BitMask::with_len(n);
         for &v in nodes {
-            alive[v as usize] = true;
+            alive.set(v as usize);
         }
         let mut local_deg = vec![0u32; n];
         let mut m_alive = 0u64;
         for &v in nodes {
             let mut d = 0u32;
             for &w in graph.neighbors(v) {
-                if alive[w as usize] {
+                if alive.get(w as usize) {
                     d += 1;
                     if v < w {
                         m_alive += 1;
@@ -75,7 +82,7 @@ impl<'g> SubgraphView<'g> {
     /// Is `v` in the view?
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.alive[v as usize]
+        self.alive.get(v as usize)
     }
 
     /// Number of alive nodes (`|S|`).
@@ -101,11 +108,11 @@ impl<'g> SubgraphView<'g> {
     ///
     /// Panics in debug builds if `v` is already removed.
     pub fn remove(&mut self, v: NodeId) -> u32 {
-        debug_assert!(self.alive[v as usize], "removing dead node {v}");
-        self.alive[v as usize] = false;
+        debug_assert!(self.alive.get(v as usize), "removing dead node {v}");
+        self.alive.clear(v as usize);
         let k = self.local_deg[v as usize];
         for &w in self.graph.neighbors(v) {
-            if self.alive[w as usize] {
+            if self.alive.get(w as usize) {
                 self.local_deg[w as usize] -= 1;
             }
         }
@@ -117,11 +124,11 @@ impl<'g> SubgraphView<'g> {
     /// Re-insert a previously removed node (used by algorithms that undo
     /// speculative removals). `O(deg(v))`.
     pub fn restore(&mut self, v: NodeId) {
-        debug_assert!(!self.alive[v as usize], "restoring alive node {v}");
-        self.alive[v as usize] = true;
+        debug_assert!(!self.alive.get(v as usize), "restoring alive node {v}");
+        self.alive.set(v as usize);
         let mut k = 0u32;
         for &w in self.graph.neighbors(v) {
-            if self.alive[w as usize] {
+            if self.alive.get(w as usize) {
                 self.local_deg[w as usize] += 1;
                 k += 1;
             }
@@ -131,13 +138,10 @@ impl<'g> SubgraphView<'g> {
         self.m_alive += k as u64;
     }
 
-    /// Iterate alive nodes in ascending id order. `O(n)` per full pass.
+    /// Iterate alive nodes in ascending id order. `O(n/64 + |S|)` per
+    /// full pass — the bitset skips dead regions a word at a time.
     pub fn iter_alive(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.alive
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(v, _)| v as NodeId)
+        self.alive.iter_ones().map(|v| v as NodeId)
     }
 
     /// Collect alive nodes into a vector.
@@ -152,7 +156,7 @@ impl<'g> SubgraphView<'g> {
             .neighbors(v)
             .iter()
             .copied()
-            .filter(move |&w| self.alive[w as usize])
+            .filter(move |&w| self.alive.get(w as usize))
     }
 
     /// Restrict the view to the connected component containing `seed`,
@@ -163,15 +167,15 @@ impl<'g> SubgraphView<'g> {
             return 0;
         }
         let n = self.graph.n();
-        let mut in_comp = vec![false; n];
+        let mut in_comp = BitMask::with_len(n);
         let mut queue = std::collections::VecDeque::new();
-        in_comp[seed as usize] = true;
+        in_comp.set(seed as usize);
         queue.push_back(seed);
         let mut size = 1usize;
         while let Some(u) = queue.pop_front() {
             for w in self.alive_neighbors(u).collect::<Vec<_>>() {
-                if !in_comp[w as usize] {
-                    in_comp[w as usize] = true;
+                if !in_comp.get(w as usize) {
+                    in_comp.set(w as usize);
                     size += 1;
                     queue.push_back(w);
                 }
@@ -179,7 +183,7 @@ impl<'g> SubgraphView<'g> {
         }
         let to_remove: Vec<NodeId> = self
             .iter_alive()
-            .filter(|&v| !in_comp[v as usize])
+            .filter(|&v| !in_comp.get(v as usize))
             .collect();
         for v in to_remove {
             self.remove(v);
@@ -193,14 +197,14 @@ impl<'g> SubgraphView<'g> {
         let Some(seed) = self.iter_alive().next() else {
             return true;
         };
-        let mut seen = vec![false; self.graph.n()];
+        let mut seen = BitMask::with_len(self.graph.n());
         let mut stack = vec![seed];
-        seen[seed as usize] = true;
+        seen.set(seed as usize);
         let mut count = 1usize;
         while let Some(u) = stack.pop() {
             for w in self.alive_neighbors(u) {
-                if !seen[w as usize] {
-                    seen[w as usize] = true;
+                if !seen.get(w as usize) {
+                    seen.set(w as usize);
                     count += 1;
                     stack.push(w);
                 }
@@ -223,14 +227,36 @@ impl<'g> SubgraphView<'g> {
 /// The alive mask is reset *sparsely* (only the entries the previous
 /// query touched), so recycling costs `O(|component|)`, not `O(n)`.
 /// Workspaces are plain owned state: keep one per worker thread.
+///
+/// A workspace can additionally **track the shards a query touches**
+/// (see [`QueryWorkspace::begin_shard_tracking`]): the search algorithms
+/// call [`note_component`](QueryWorkspace::note_component) on the
+/// component they actually explore, and the caller collects the touched
+/// shard set afterwards — the ingredient of shard-scoped cache
+/// fingerprints.
 #[derive(Debug, Default)]
 pub struct QueryWorkspace {
-    alive: Option<Vec<bool>>,
+    alive: Option<BitMask>,
     local_deg: Option<Vec<u32>>,
     dist: Option<Vec<u32>>,
     /// Pooled `f64` per-node scratch (the weighted algorithms' local
     /// incident-weight array `w_{v,S}`).
     weights: Option<Vec<f64>>,
+    /// Present between `begin_shard_tracking` and `take_touched_shards`.
+    shard_tracking: Option<ShardTracker>,
+}
+
+/// Shards touched by the current query (installed by
+/// [`QueryWorkspace::begin_shard_tracking`]).
+#[derive(Debug)]
+struct ShardTracker {
+    layout: ShardLayout,
+    touched: Vec<bool>,
+    /// Whether any component was noted — distinguishes "query touched
+    /// no shards" (impossible for a served answer) from "the algorithm
+    /// never reported", so error paths fall back to conservative
+    /// all-shard fingerprints.
+    noted: bool,
 }
 
 impl QueryWorkspace {
@@ -246,21 +272,21 @@ impl QueryWorkspace {
         let n = graph.n();
         let mut alive = self.alive.take().unwrap_or_default();
         let mut local_deg = self.local_deg.take().unwrap_or_default();
-        debug_assert!(alive.iter().all(|&a| !a), "recycled mask not clean");
+        debug_assert!(alive.is_clear(), "recycled mask not clean");
         debug_assert!(
             local_deg.iter().all(|&d| d == 0),
             "recycled degrees not clean"
         );
-        alive.resize(n, false);
+        alive.resize(n);
         local_deg.resize(n, 0);
         for &v in nodes {
-            alive[v as usize] = true;
+            alive.set(v as usize);
         }
         let mut m_alive = 0u64;
         for &v in nodes {
             let mut d = 0u32;
             for &w in graph.neighbors(v) {
-                if alive[w as usize] {
+                if alive.get(w as usize) {
                     d += 1;
                     if v < w {
                         m_alive += 1;
@@ -288,11 +314,52 @@ impl QueryWorkspace {
             ..
         } = view;
         for &v in nodes {
-            alive[v as usize] = false;
+            alive.clear(v as usize);
             local_deg[v as usize] = 0;
         }
         self.alive = Some(alive);
         self.local_deg = Some(local_deg);
+    }
+
+    /// Start recording which shards of `layout` the next query touches.
+    /// Any previous tracking state is discarded.
+    pub fn begin_shard_tracking(&mut self, layout: ShardLayout) {
+        self.shard_tracking = Some(ShardTracker {
+            touched: vec![false; layout.shards()],
+            layout,
+            noted: false,
+        });
+    }
+
+    /// Record that the query explored `nodes` (typically the connected
+    /// component a community search peels). `O(|nodes|)`; a no-op when
+    /// tracking is not active.
+    pub fn note_component(&mut self, nodes: &[NodeId]) {
+        if let Some(t) = &mut self.shard_tracking {
+            t.noted = true;
+            for &v in nodes {
+                t.touched[t.layout.shard_of(v)] = true;
+            }
+        }
+    }
+
+    /// Finish tracking and return the sorted shard indices the query
+    /// touched, or `None` when tracking was never started or the
+    /// algorithm never reported a component (callers then fall back to
+    /// an all-shards fingerprint).
+    pub fn take_touched_shards(&mut self) -> Option<Vec<u32>> {
+        let t = self.shard_tracking.take()?;
+        if !t.noted {
+            return None;
+        }
+        Some(
+            t.touched
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(s, _)| s as u32)
+                .collect(),
+        )
     }
 
     /// Take the pooled BFS-distance buffer, sized to `n` with **every
@@ -488,6 +555,27 @@ mod tests {
         ws.put_weights(w2, &[]);
         // Size change: re-initialised from scratch.
         assert_eq!(ws.take_weights(2), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn shard_tracking_records_touched_shards() {
+        let mut ws = QueryWorkspace::new();
+        // Not started: noting is a no-op and take yields None.
+        ws.note_component(&[1, 2]);
+        assert_eq!(ws.take_touched_shards(), None);
+
+        let layout = ShardLayout::new(8, 4); // shard_size 2
+        ws.begin_shard_tracking(layout);
+        ws.note_component(&[0, 1, 5]); // shards 0 and 2
+        ws.note_component(&[7]); // shard 3
+        assert_eq!(ws.take_touched_shards(), Some(vec![0, 2, 3]));
+        // Tracking is consumed.
+        ws.note_component(&[2]);
+        assert_eq!(ws.take_touched_shards(), None);
+
+        // Started but never noted (error path): conservative None.
+        ws.begin_shard_tracking(layout);
+        assert_eq!(ws.take_touched_shards(), None);
     }
 
     #[test]

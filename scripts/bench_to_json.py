@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Distill `cargo bench` output (the vendored criterion shim) into a
+committed BENCH_*.json so a perf trajectory exists across PRs.
+
+The shim prints one line per benchmark:
+
+    store_snapshot_rebuild/one_dirty_shard_n50000: median 15.706 us (10 samples x 1712 iters)
+
+This script runs a bench target (or reads the lines from stdin), parses
+those lines, normalizes every median to seconds, and — for the
+`store_snapshot_rebuild` group — derives the headline ratios the sharded
+store claims: how many times faster a single-dirty-shard rebuild is than
+a full rebuild at each graph size, and how the all-dirty worst case
+compares to the full rebuild.
+
+Usage:
+    python3 scripts/bench_to_json.py --out BENCH_7.json
+    cargo bench -q -p dmcs-engine --bench bench_store | \
+        python3 scripts/bench_to_json.py --stdin --out BENCH_7.json
+
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+LINE = re.compile(
+    r"^(?P<group>[^/\s]+)/(?P<name>\S+): median (?P<val>[0-9.]+) (?P<unit>ns|us|ms|s) "
+    r"\((?P<samples>\d+) samples x (?P<iters>\d+) iters\)$"
+)
+
+TO_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse(lines):
+    results = []
+    for line in lines:
+        m = LINE.match(line.strip())
+        if not m:
+            continue
+        results.append(
+            {
+                "group": m["group"],
+                "name": m["name"],
+                "median_seconds": float(m["val"]) * TO_SECONDS[m["unit"]],
+                "samples": int(m["samples"]),
+                "iters_per_sample": int(m["iters"]),
+            }
+        )
+    return results
+
+
+def derive_rebuild_ratios(results):
+    """full_rebuild / one_dirty_shard and all_dirty / full_rebuild per n."""
+    rebuild = {
+        r["name"]: r["median_seconds"]
+        for r in results
+        if r["group"] == "store_snapshot_rebuild"
+    }
+    sizes = sorted(
+        {
+            int(m["n"])
+            for name in rebuild
+            for m in [re.search(r"_n(?P<n>\d+)$", name)]
+            if m
+        }
+    )
+    derived = []
+    for n in sizes:
+        full = rebuild.get(f"full_rebuild_n{n}")
+        one = rebuild.get(f"one_dirty_shard_n{n}")
+        all_dirty = rebuild.get(f"all_dirty_n{n}")
+        # The all-dirty comparison baseline is the same 16-edge batch on
+        # a single-shard store (falling back to the single-toggle full
+        # rebuild if the batch baseline is absent).
+        full_batch = rebuild.get(f"full_rebuild_batch_n{n}", full)
+        if not (full and one and all_dirty):
+            continue
+        derived.append(
+            {
+                "n": n,
+                "full_over_one_dirty_shard": round(full / one, 2),
+                "all_dirty_over_full_batch": round(all_dirty / full_batch, 3),
+            }
+        )
+    return derived
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="-", help="output path (default stdout)")
+    ap.add_argument("--stdin", action="store_true", help="parse stdin instead of running cargo")
+    ap.add_argument("--package", default="dmcs-engine")
+    ap.add_argument("--bench", default="bench_store")
+    args = ap.parse_args()
+
+    if args.stdin:
+        lines = sys.stdin.read().splitlines()
+    else:
+        proc = subprocess.run(
+            ["cargo", "bench", "-q", "-p", args.package, "--bench", args.bench],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        lines = proc.stdout.splitlines() + proc.stderr.splitlines()
+
+    results = parse(lines)
+    if not results:
+        sys.exit("no benchmark lines recognized — is the vendored criterion shim in use?")
+
+    doc = {
+        "bench": args.bench,
+        "package": args.package,
+        "generated_by": "scripts/bench_to_json.py",
+        "unit": "median_seconds are wall-clock seconds per iteration",
+        "results": results,
+        "derived": {"store_snapshot_rebuild": derive_rebuild_ratios(results)},
+    }
+    rendered = json.dumps(doc, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(rendered)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+
+
+if __name__ == "__main__":
+    main()

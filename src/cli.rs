@@ -34,11 +34,11 @@
 //! weights) and resolves `fpa`/`nca` to their
 //! weight-aware registry implementations (`fpa-w`/`nca-w`), so
 //! `--queries`, `--threads`, `--format json`, `--updates` (whose grammar
-//! grows `add u v w` and `setw u v w`) and the version-keyed result
+//! grows `add u v w` and `setw u v w`) and the shard-scoped result
 //! cache all compose with weights.
 
 use crate::core::SearchResult;
-use crate::engine::output::{report_jsonl, response_json, result_json, summary_json};
+use crate::engine::output::{report_jsonl, response_json, result_json, summary_json, Json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
 use crate::engine::{
     BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Server, ServerConfig, Session,
@@ -96,6 +96,10 @@ pub struct CliConfig {
     pub threads: usize,
     /// Output rendering (`--format {text,json}`).
     pub format: OutputFormat,
+    /// Shard count for the versioned store (`--shards`): node-id ranges
+    /// per shard, giving incremental dirty-shard-only snapshot rebuilds
+    /// and shard-scoped cache invalidation under updates.
+    pub shards: usize,
 }
 
 impl Default for CliConfig {
@@ -115,6 +119,7 @@ impl Default for CliConfig {
             updates_path: None,
             threads: 1,
             format: OutputFormat::Text,
+            shards: crate::graph::DEFAULT_SHARD_COUNT,
         }
     }
 }
@@ -144,8 +149,10 @@ OPTIONS:
                       `del u v` and `query id[,id...]` lines (file id
                       space; `add` may introduce new ids; blank lines and
                       # comments are skipped); queries answer against the
-                      graph as mutated so far, with version-keyed result
-                      caching. With --weighted the grammar grows
+                      graph as mutated so far — consecutive mutations
+                      coalesce into one dirty-shard rebuild at the next
+                      query — with shard-scoped result caching. With
+                      --weighted the grammar grows
                       `add u v w` and `setw u v w` (weight ops on an
                       unweighted graph are exit-7 errors)
     --threads <n>     batch mode worker threads (default: 1)
@@ -165,6 +172,10 @@ OPTIONS:
                       composes with --algo and --weighted (rounds run
                       the resolved searcher and score its objective)
     --dot <path>      write a Graphviz DOT rendering of the result
+    --shards <n>      partition the store's node-id space into n shards
+                      (default: 16): updates dirty only the shards they
+                      touch, so snapshot rebuilds recompile dirty shards
+                      and cached answers scoped to clean shards survive
     --help            show this text
 
 EXIT CODES:
@@ -255,6 +266,14 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
                     .map_err(|_| EngineError::bad_param("bad --top-k value"))?;
             }
             "--dot" => cfg.dot_path = Some(value("--dot")?.clone()),
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| EngineError::bad_param("bad --shards value"))?;
+                if cfg.shards == 0 {
+                    return Err(EngineError::bad_param("--shards must be at least 1"));
+                }
+            }
             other => {
                 return Err(EngineError::bad_param(format!(
                     "unknown argument {other:?}"
@@ -481,11 +500,11 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
     algo_spec(cfg).build()?;
 
     // Every mode — weighted or not — serves through the versioned
-    // store: the engine owns a GraphStore (seeded from the loaded edge
-    // list, with its weights lane under --weighted) plus the
-    // version-keyed result cache, and queries pin snapshots.
+    // store: the engine owns a sharded GraphStore (seeded from the
+    // loaded edge list, with its weights lane under --weighted) plus
+    // the shard-scoped result cache, and queries pin snapshots.
     let (g, original) = load_graph(cfg)?;
-    let engine = Engine::from_graph(g);
+    let engine = Engine::from_graph_sharded(g, cfg.shards);
     if cfg.format == OutputFormat::Text {
         let snap = engine.snapshot();
         if snap.is_weighted() {
@@ -508,6 +527,19 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
                 bytes as f64 / (1024.0 * 1024.0)
             )
             .map_err(werr)?;
+            let rb = engine.rebuild_stats();
+            writeln!(
+                out,
+                "store: {} shards, {} dirty  rebuilds: {} ({} shards rebuilt, {} reused)  last: {} dirty in {:.6}s",
+                rb.shards,
+                engine.dirty_shards(),
+                rb.rebuilds,
+                rb.shards_rebuilt,
+                rb.shards_reused,
+                rb.last_dirty_shards,
+                rb.last_rebuild_seconds
+            )
+            .map_err(werr)?;
         }
     }
 
@@ -525,7 +557,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
 
     // Top-k path: several diverse communities, served through the
     // session like every other query — the registry resolves the
-    // searcher (so --algo and --weighted compose) and the version-keyed
+    // searcher (so --algo and --weighted compose) and the shared result
     // cache replays repeat enumerations.
     if cfg.top_k > 0 {
         let mut session = engine.session(&algo_spec(cfg))?;
@@ -914,12 +946,17 @@ fn resolve_or_create(
 }
 
 /// Live-update execution: apply the script in order against the
-/// engine's store. Mutations land in the [`GraphStore`]; each `query`
+/// engine's store. Mutations land in the [`GraphStore`] **without
+/// snapshotting** — a run of consecutive `add`/`del`/`setw` lines
+/// coalesces into dirty shard versions, and the CSR is recompiled (dirty
+/// shards only) exactly when the next `query` line forces a read; a
+/// script ending in mutations never pays a final rebuild. Each `query`
 /// pins the then-current snapshot (re-opening its session only when the
-/// version moved) and consults the version-keyed cache, so a repeated
+/// version moved) and consults the shard-scoped cache, so a repeated
 /// query with no intervening update is a byte-identical cache hit while
-/// any update forces recomputation. Ends with the batch-style summary
-/// carrying the cache hit/miss counters.
+/// updates invalidate exactly the cached answers whose shards they
+/// touched. Ends with the batch-style summary carrying the cache
+/// hit/miss counters (and, in JSON, the store's rebuild counters).
 ///
 /// [`GraphStore`]: dmcs_graph::GraphStore
 fn run_updates<W: std::io::Write>(
@@ -1076,12 +1113,21 @@ fn run_updates<W: std::io::Write>(
     let unique = responses.len();
     let report = BatchReport::from_responses(responses, wall_seconds, unique, hits, misses);
     match cfg.format {
-        OutputFormat::Json => writeln!(
-            out,
-            "{}",
-            summary_json(algo_name, spec.serves_weighted(), &report).render()
-        )
-        .map_err(werr),
+        OutputFormat::Json => {
+            // The updates-mode summary additionally carries the store's
+            // rebuild counters: how many snapshot recompilations the
+            // script's query lines forced (coalesced mutation runs pay
+            // one), and how many shard segments they actually touched.
+            let mut line = summary_json(algo_name, spec.serves_weighted(), &report);
+            if let Json::Obj(members) = &mut line {
+                let rb = engine.rebuild_stats();
+                members.push(("shards".to_string(), Json::UInt(rb.shards as u64)));
+                members.push(("rebuilds".to_string(), Json::UInt(rb.rebuilds)));
+                members.push(("shards_rebuilt".to_string(), Json::UInt(rb.shards_rebuilt)));
+                members.push(("shards_reused".to_string(), Json::UInt(rb.shards_reused)));
+            }
+            writeln!(out, "{}", line.render()).map_err(werr)
+        }
         OutputFormat::Text => write_summary_lines(out, &report).map_err(werr),
     }
 }
@@ -1120,6 +1166,8 @@ OPTIONS:
     --algo <name>     algorithm label (default: fpa), one of:
 {algos}    --k <int>         k for the algorithms marked [uses --k] (default: 3)
     --no-pruning      disable FPA's layer-based pruning
+    --shards <n>      partition the store's node-id space into n shards
+                      (default: 16; see `dmcs --help`)
     --queue-cap <n>   bounded admission: at most n queries/updates in
                       flight across all connections; requests past the
                       cap get a typed overload error line, wire code 8
@@ -1173,6 +1221,14 @@ pub fn parse_serve(args: &[String]) -> Result<Option<ServeCli>, EngineError> {
                     .map_err(|_| EngineError::bad_param("bad --k value"))?;
             }
             "--no-pruning" => cfg.no_pruning = true,
+            "--shards" => {
+                cfg.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| EngineError::bad_param("bad --shards value"))?;
+                if cfg.shards == 0 {
+                    return Err(EngineError::bad_param("--shards must be at least 1"));
+                }
+            }
             "--unix" => server.unix_path = Some(value("--unix")?.clone()),
             "--tcp" => server.tcp_addr = Some(value("--tcp")?.clone()),
             "--queue-cap" => {
@@ -1218,7 +1274,7 @@ pub fn run_serve<W: std::io::Write>(serve: &ServeCli, out: &mut W) -> Result<(),
     // Fail fast on an unregistered --algo before touching the graph.
     let algo_name = algo_spec(cfg).build()?.name();
     let (g, original) = load_graph(cfg)?;
-    let engine = Engine::from_graph(g);
+    let engine = Engine::from_graph_sharded(g, cfg.shards);
     let snap = engine.snapshot();
     writeln!(
         out,
@@ -1276,6 +1332,22 @@ mod tests {
         assert!(cfg.stats);
         assert_eq!(cfg.max_print, 0);
         assert_eq!(cfg.format, OutputFormat::Json);
+        assert_eq!(cfg.shards, crate::graph::DEFAULT_SHARD_COUNT);
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let cfg = parse(&args("--demo --query 0 --shards 4"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert!(parse(&args("--demo --query 0 --shards 0")).is_err());
+        assert!(parse(&args("--demo --query 0 --shards nope")).is_err());
+        let serve = parse_serve(&args("--demo --tcp 127.0.0.1:0 --shards 8"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(serve.cfg.shards, 8);
+        assert!(parse_serve(&args("--demo --tcp 127.0.0.1:0 --shards 0")).is_err());
     }
 
     #[test]
@@ -2061,6 +2133,57 @@ mod tests {
         assert_eq!(text.matches("[cached]").count(), 2, "{text}");
         assert!(text.contains("cache: 2 hits, 3 misses"), "{text}");
         assert!(text.contains("ok 5/5"), "{text}");
+    }
+
+    #[test]
+    fn updates_coalesce_mutations_into_one_rebuild_per_query() {
+        let dir = std::env::temp_dir().join("dmcs_cli_updates_coalesce");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ufile = dir.join("script.txt");
+        // The run of three mutations between the queries must coalesce
+        // into one dirty-shard rebuild (paid by the second query); the
+        // trailing add never pays one. The first query reads the seed
+        // snapshot adopted at load, which counts no rebuild at all.
+        std::fs::write(
+            &ufile,
+            "query 0\nadd 0 9\nadd 9 10\ndel 0 9\nquery 0\nadd 26 27\n",
+        )
+        .unwrap();
+        let cfg = parse(&args(&format!(
+            "--demo --updates {} --format json",
+            ufile.display()
+        )))
+        .unwrap()
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = Json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(summary.get("type").and_then(Json::as_str), Some("summary"));
+        assert_eq!(summary.get("shards").and_then(Json::as_u64), Some(16));
+        assert_eq!(summary.get("rebuilds").and_then(Json::as_u64), Some(1));
+        let rebuilt = summary
+            .get("shards_rebuilt")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let reused = summary.get("shards_reused").and_then(Json::as_u64).unwrap();
+        assert!((1..16).contains(&rebuilt), "incremental: {rebuilt}");
+        assert_eq!(rebuilt + reused, 16, "one rebuild covers all shards");
+    }
+
+    #[test]
+    fn stats_prints_the_store_shard_line() {
+        let cfg = parse(&args("--demo --query 0 --stats --shards 4"))
+            .unwrap()
+            .unwrap();
+        let mut out = Vec::new();
+        run(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("store: 4 shards, 0 dirty"), "{text}");
+        assert!(
+            text.contains("rebuilds: 0 (0 shards rebuilt, 0 reused)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -242,6 +242,22 @@ fn validate_jsonl(text: &str) {
             Some("stats") => {
                 assert!(v.get("cache_hits").unwrap().as_u64().is_some());
                 assert!(v.get("cache_misses").unwrap().as_u64().is_some());
+                // Sharded-store counters are part of the stats schema.
+                let shards = v.get("shards").expect("stats.shards").as_u64().unwrap();
+                assert!(shards >= 1, "line {i}: shards {shards}");
+                assert!(v.get("dirty_shards").unwrap().as_u64().is_some());
+                let rebuilds = v.get("rebuilds").expect("stats.rebuilds").as_u64().unwrap();
+                let rebuilt = v
+                    .get("shards_rebuilt")
+                    .expect("stats.shards_rebuilt")
+                    .as_u64()
+                    .unwrap();
+                assert!(
+                    rebuilt <= rebuilds * shards,
+                    "line {i}: {rebuilt} shards rebuilt over {rebuilds} rebuilds x {shards}"
+                );
+                assert!(v.get("last_dirty_shards").unwrap().as_u64().is_some());
+                assert!(v.get("last_rebuild_seconds").unwrap().as_f64().is_some());
             }
             Some("shutdown") => {
                 assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
@@ -271,6 +287,29 @@ fn validate_jsonl(text: &str) {
                 let unique = v.get("unique").expect("unique").as_u64().unwrap();
                 assert!(hits + misses <= responses as u64, "{hits}+{misses}");
                 assert!(unique <= responses as u64);
+                // `--updates` summaries also carry the store's rebuild
+                // counters; when present they must satisfy the sharding
+                // invariant (every shard of every rebuild was either
+                // re-serialized or copied forward).
+                if let Some(shards) = v.get("shards").and_then(|s| s.as_u64()) {
+                    assert!(shards >= 1, "line {i}: shards {shards}");
+                    let rebuilds = v.get("rebuilds").expect("rebuilds").as_u64().unwrap();
+                    let rebuilt = v
+                        .get("shards_rebuilt")
+                        .expect("shards_rebuilt")
+                        .as_u64()
+                        .unwrap();
+                    let reused = v
+                        .get("shards_reused")
+                        .expect("shards_reused")
+                        .as_u64()
+                        .unwrap();
+                    assert_eq!(
+                        rebuilt + reused,
+                        rebuilds * shards,
+                        "line {i}: rebuild counters inconsistent"
+                    );
+                }
                 saw_summary = true;
             }
             other => panic!("line {i}: unexpected type {other:?}"),
@@ -378,6 +417,10 @@ fn updates_json_smoke() {
     let summary = text.lines().last().unwrap();
     assert!(summary.contains("\"cache_hits\":2"), "{summary}");
     assert!(summary.contains("\"cache_misses\":2"), "{summary}");
+    // The one mutation burst cost exactly one incremental rebuild on the
+    // default 16-shard layout (the seed snapshot is adopted, not built).
+    assert!(summary.contains("\"shards\":16"), "{summary}");
+    assert!(summary.contains("\"rebuilds\":1"), "{summary}");
 }
 
 #[test]

@@ -4,7 +4,11 @@
 //! [`GraphBuilder`] — and the mutation version is monotone, bumping
 //! exactly on effective mutations. The same interleaving driven through
 //! a [`GraphStore`] (with interleaved snapshot reads, exercising the
-//! lazy rebuild) agrees too. The weighted variant drives weighted
+//! lazy rebuild) agrees too — including *sharded* stores, whose
+//! interleaved reads take the incremental dirty-shard-only rebuild
+//! path, and whose per-shard version vector must bump exactly on the
+//! effective ops touching each shard (cross-shard edges dirty both
+//! endpoint shards). The weighted variant drives weighted
 //! inserts / removals / `set_weight` through a weighted store and
 //! compares against a from-scratch [`WeightedGraphBuilder`] build,
 //! pinning down that weight-only updates bump the version exactly when
@@ -255,6 +259,93 @@ proptest! {
 
         assert_same_graph(&store.snapshot(), &model.build());
         prop_assert_eq!(store.snapshot().version(), store.version());
+    }
+
+    #[test]
+    fn sharded_stores_rebuild_to_the_from_scratch_graph(
+        n0 in 0usize..10,
+        shards in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(14), 0..60),
+        read_every in 1usize..5,
+    ) {
+        // Interleaved reads force *incremental* rebuilds (clean shards
+        // copied forward from the previous snapshot); the final graph
+        // must still be indistinguishable from a from-scratch build.
+        let store = GraphStore::with_shards(n0, shards);
+        prop_assert_eq!(store.shard_count(), shards);
+        let mut model = Model { n: n0, ..Model::default() };
+
+        for (i, &op) in ops.iter().enumerate() {
+            let effective = model.apply(op);
+            let changed = match op {
+                Op::Insert(u, v) => store.insert_edge(u, v),
+                Op::Remove(u, v) => store.remove_edge(u, v),
+                Op::AddNode => { store.add_node(); true }
+            };
+            prop_assert_eq!(changed, effective);
+            if i % read_every == 0 {
+                let snap = store.snapshot();
+                prop_assert_eq!(snap.version(), store.version());
+                prop_assert_eq!(snap.m(), model.edges.len());
+                prop_assert_eq!(snap.shards(), shards);
+            }
+        }
+
+        assert_same_graph(&store.snapshot(), &model.build());
+        let stats = store.rebuild_stats();
+        prop_assert_eq!(
+            stats.shards_rebuilt + stats.shards_reused,
+            stats.rebuilds * shards as u64,
+            "every rebuild accounts for every shard"
+        );
+    }
+
+    #[test]
+    fn shard_versions_bump_exactly_on_effective_ops(
+        n0 in 0usize..10,
+        shards in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(14), 0..80),
+    ) {
+        // Per-shard version model: an effective edge op bumps the shard
+        // of *both* endpoints (once when they share a shard — so a
+        // cross-shard edge dirties exactly two shards), add_node bumps
+        // only the new id's shard, rejected ops bump nothing.
+        let mut dynamic = DynamicGraph::with_shards(n0, shards);
+        let layout = dynamic.shard_layout();
+        prop_assert_eq!(layout.shards(), shards);
+        let mut model = Model { n: n0, ..Model::default() };
+        let mut want = vec![0u64; shards];
+        prop_assert_eq!(dynamic.shard_versions(), &want[..], "construction leaves shards clean");
+
+        for &op in &ops {
+            let effective = model.apply(op);
+            let changed = match op {
+                Op::Insert(u, v) => dynamic.insert_edge(u, v),
+                Op::Remove(u, v) => dynamic.remove_edge(u, v),
+                Op::AddNode => { dynamic.add_node(); true }
+            };
+            prop_assert_eq!(changed, effective);
+            if effective {
+                match op {
+                    Op::Insert(u, v) | Op::Remove(u, v) => {
+                        let (a, b) = (layout.shard_of(u), layout.shard_of(v));
+                        want[a] += 1;
+                        if b != a {
+                            want[b] += 1;
+                        }
+                    }
+                    Op::AddNode => {
+                        let id = (dynamic.n() - 1) as NodeId;
+                        want[layout.shard_of(id)] += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(dynamic.shard_versions(), &want[..], "per-shard versions after {:?}", op);
+        }
+
+        // The global version is the total of effective ops; per-shard
+        // versions decompose it minus the shared-shard edge ops.
+        prop_assert!(want.iter().sum::<u64>() >= dynamic.version());
     }
 
     #[test]
