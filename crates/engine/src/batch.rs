@@ -225,7 +225,9 @@ impl BatchRunner {
         let workers = self.threads.min(work.len()).max(1);
         let executed: Vec<QueryResponse> = if workers == 1 {
             let mut session = self.worker_session(snap)?;
-            work.iter().map(|req| answer(&mut session, req)).collect()
+            work.iter()
+                .map(|req| session.query(req))
+                .collect::<Result<_, _>>()?
         } else {
             let next = AtomicUsize::new(0);
             let work = &work;
@@ -235,19 +237,34 @@ impl BatchRunner {
                     for _ in 0..workers {
                         let next = &next;
                         let mut session = self.worker_session(snap)?;
+                        // Workers carry per-request Results home instead
+                        // of unwrapping on their own thread (overrides
+                        // were pre-resolved, so errors are unexpected —
+                        // but a worker must not decide to panic for the
+                        // whole batch).
                         handles.push(scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(req) = work.get(i) else { break };
-                                local.push((i, answer(&mut session, req)));
+                                local.push((i, session.query(req)));
                             }
                             local
                         }));
                     }
                     let mut indexed = Vec::with_capacity(work.len());
                     for h in handles {
-                        indexed.extend(h.join().expect("batch worker panicked"));
+                        match h.join() {
+                            Ok(local) => {
+                                for (i, r) in local {
+                                    indexed.push((i, r?));
+                                }
+                            }
+                            // A worker panic is a bug in search code;
+                            // re-raise it on the batch thread rather
+                            // than inventing an error value for it.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
                     }
                     Ok(indexed)
                 },
@@ -285,12 +302,6 @@ impl BatchRunner {
             cache_misses,
         ))
     }
-}
-
-/// One request through a worker's session. Overrides were pre-resolved
-/// by [`BatchRunner::run`], so a request-level error here is impossible.
-fn answer(session: &mut Session, req: &QueryRequest) -> QueryResponse {
-    session.query(req).expect("overrides pre-validated")
 }
 
 #[cfg(test)]

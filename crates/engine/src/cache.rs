@@ -97,13 +97,15 @@ impl CachedAnswer {
     }
 
     /// The outcome as a single-community result (the first round).
-    /// Meaningful only for entries stored under a single-query key.
+    /// Meaningful only for entries stored under a single-query key; an
+    /// (impossible by construction) empty entry surfaces as
+    /// [`SearchError::EmptyQuery`] rather than tearing the thread down.
     pub fn single_result(&self) -> Result<SearchResult, SearchError> {
         match &self.result {
-            Ok(rounds) => Ok(rounds
-                .first()
-                .expect("single-query entries hold exactly one community")
-                .clone()),
+            Ok(rounds) => match rounds.first() {
+                Some(first) => Ok(first.clone()),
+                None => Err(SearchError::EmptyQuery),
+            },
             Err(e) => Err(e.clone()),
         }
     }
@@ -245,8 +247,14 @@ impl ResponseCache {
         }
     }
 
+    // A poisoned mutex means some other thread panicked mid-operation;
+    // the LRU state is still structurally sound (every mutation below
+    // is panic-free between lock and unlock), so serve through it
+    // rather than cascading the panic into every serving thread.
     fn lock(&self) -> std::sync::MutexGuard<'_, LruInner> {
-        self.inner.lock().expect("response cache lock poisoned")
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Look `key` up for a caller serving at `shard_versions` (the
@@ -312,10 +320,11 @@ impl ResponseCache {
                 .min_by_key(|&(used, _)| used)
                 .map(|(used, k)| (k, used));
             if let Some((k, used)) = evict {
-                let bucket = inner.map.get_mut(&k).expect("evict key exists");
-                bucket.retain(|e| e.last_used != used);
-                if bucket.is_empty() {
-                    inner.map.remove(&k);
+                if let Some(bucket) = inner.map.get_mut(&k) {
+                    bucket.retain(|e| e.last_used != used);
+                    if bucket.is_empty() {
+                        inner.map.remove(&k);
+                    }
                 }
             }
         }

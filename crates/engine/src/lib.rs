@@ -82,6 +82,9 @@
 
 #![warn(missing_docs)]
 
+// Each module carries its own `//!` docs; outer `///` docs here would
+// make rustdoc resolve those modules' intra-doc links in *this* scope,
+// where they dangle.
 pub mod batch;
 pub mod cache;
 pub mod error;

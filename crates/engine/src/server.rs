@@ -147,6 +147,7 @@ static SIGTERM_DRAIN: AtomicBool = AtomicBool::new(false);
 /// under an init system or CI harness. Hand-rolled `signal(2)` binding;
 /// the handler body is a single atomic store (async-signal-safe).
 #[cfg(unix)]
+#[allow(unsafe_code)] // lone workspace exception: dependency-free signal(2) FFI
 pub fn install_sigterm_drain() {
     extern "C" fn on_sigterm(_signum: i32) {
         SIGTERM_DRAIN.store(true, Ordering::SeqCst);
@@ -163,6 +164,22 @@ pub fn install_sigterm_drain() {
 impl Shared {
     fn draining(&self) -> bool {
         self.drain.load(Ordering::SeqCst) || SIGTERM_DRAIN.load(Ordering::SeqCst)
+    }
+
+    // Id-map access with poison recovery: a panicking connection thread
+    // must not take the map down with it. Both id spaces only ever grow
+    // (appends under the write lock), so a poisoned guard still holds a
+    // usable — at worst slightly stale — mapping.
+    fn ids_read(&self) -> std::sync::RwLockReadGuard<'_, IdSpace> {
+        self.ids
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn ids_write(&self) -> std::sync::RwLockWriteGuard<'_, IdSpace> {
+        self.ids
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Try to admit one work op through the bounded gate.
@@ -765,7 +782,7 @@ fn serve_admitted_query(
 ) -> Json {
     // Original → dense, under the shared id map.
     let dense: Result<Vec<NodeId>, u64> = {
-        let ids = shared.ids.read().expect("id map lock");
+        let ids = shared.ids_read();
         nodes_raw
             .iter()
             .map(|raw| ids.index.get(raw).copied().ok_or(*raw))
@@ -779,7 +796,7 @@ fn serve_admitted_query(
     if k > 0 {
         let outcome = session.top_k(&dense, k);
         shared.served.fetch_add(1, Ordering::SeqCst);
-        let ids = shared.ids.read().expect("id map lock");
+        let ids = shared.ids_read();
         return topk_json(&outcome, k, tag.as_deref(), nodes_raw, &ids.original);
     }
 
@@ -790,7 +807,7 @@ fn serve_admitted_query(
     match session.query(&request) {
         Ok(resp) => {
             shared.served.fetch_add(1, Ordering::SeqCst);
-            let ids = shared.ids.read().expect("id map lock");
+            let ids = shared.ids_read();
             let json = response_json(&resp, Some(&ids.original));
             conn.responses.push(resp); // feeds the closing summary line
             json
@@ -927,9 +944,7 @@ fn apply_update(
     // Dense ids for known nodes (del/setw never create).
     let known = |raw: u64| -> Result<NodeId, EngineError> {
         shared
-            .ids
-            .read()
-            .expect("id map lock")
+            .ids_read()
             .index
             .get(&raw)
             .copied()
@@ -946,7 +961,7 @@ fn apply_update(
                 // Unseen ids create fresh store nodes, in lockstep with
                 // the shared id map (one write lock spans both).
                 let (u, v) = {
-                    let mut ids = shared.ids.write().expect("id map lock");
+                    let mut ids = shared.ids_write();
                     let mut resolve = |raw: u64| -> NodeId {
                         if let Some(&dense) = ids.index.get(&raw) {
                             return dense;

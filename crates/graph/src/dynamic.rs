@@ -207,7 +207,9 @@ impl DynamicGraph {
         };
         for (u, v) in g.edges() {
             if d.is_weighted() {
-                let w = g.edge_weight(u, v).expect("edge iterated");
+                // Every iterated edge of a weighted graph has a weight;
+                // 1.0 is the unweighted convention, not a new policy.
+                let w = g.edge_weight(u, v).unwrap_or(1.0);
                 d.insert_edge_w(u, v, w);
             } else {
                 d.insert_edge(u, v);
@@ -373,10 +375,14 @@ impl DynamicGraph {
         let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
             return false;
         };
+        // Both positions are resolved before either row is touched, so a
+        // (by-construction impossible) asymmetric adjacency is left
+        // intact and reported as "absent" instead of half-removed.
+        let Ok(pos_v) = self.adj[v as usize].binary_search(&u) else {
+            debug_assert!(false, "adjacency must be symmetric");
+            return false;
+        };
         self.adj[u as usize].remove(pos_u);
-        let pos_v = self.adj[v as usize]
-            .binary_search(&u)
-            .expect("symmetric edge");
         self.adj[v as usize].remove(pos_v);
         if let Some(wa) = &mut self.wadj {
             wa[u as usize].remove(pos_u);
@@ -399,9 +405,10 @@ impl DynamicGraph {
         }
         let wa = self.wadj.as_mut()?;
         let pos_u = self.adj[u as usize].binary_search(&v).ok()?;
-        let pos_v = self.adj[v as usize]
-            .binary_search(&u)
-            .expect("symmetric edge");
+        let Ok(pos_v) = self.adj[v as usize].binary_search(&u) else {
+            debug_assert!(false, "adjacency must be symmetric");
+            return None;
+        };
         let old = wa[u as usize][pos_u];
         if old != w {
             wa[u as usize][pos_u] = w;

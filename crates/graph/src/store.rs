@@ -285,12 +285,21 @@ impl GraphStore {
         }
     }
 
+    // Poison recovery: a reader panicking mid-snapshot cannot corrupt
+    // `Inner` (readers never mutate), and the write path replaces
+    // `cached`/`retired` wholesale rather than editing in place, so a
+    // poisoned guard still sees a coherent store. Serving threads keep
+    // serving instead of inheriting another thread's panic.
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
-        self.inner.read().expect("graph store lock poisoned")
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
-        self.inner.write().expect("graph store lock poisoned")
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Process-unique identity of this store (carried by its snapshots;
@@ -406,6 +415,20 @@ impl GraphStore {
             layout: inner.dynamic.shard_layout(),
             shard_versions: Arc::from(inner.dynamic.shard_versions().to_vec()),
         };
+        // Shard counters only ever advance, so under an unchanged layout
+        // the new epoch's version vector dominates the displaced one —
+        // the invariant cache staleness checks rely on.
+        debug_assert!(
+            inner.cached.as_ref().is_none_or(|prev| {
+                prev.layout != snap.layout
+                    || prev
+                        .shard_versions
+                        .iter()
+                        .zip(snap.shard_versions.iter())
+                        .all(|(old, new)| old <= new)
+            }),
+            "per-shard versions must be monotone across epochs"
+        );
         let shards = inner.dynamic.shard_layout().shards();
         inner.stats.rebuilds += 1;
         inner.stats.shards_rebuilt += dirty as u64;
@@ -552,25 +575,36 @@ fn rebuild_csr(
         if start == end {
             continue;
         }
-        let base = *offsets.last().expect("offsets seeded with 0");
-        if shard_dirty {
-            let mut acc = base;
-            for row in &adj[start..end] {
-                acc += row.len();
-                offsets.push(acc);
+        let base = offsets.last().copied().unwrap_or(0);
+        // A shard can only be clean when a reusable snapshot exists (all
+        // shards are dirty otherwise), but scanning the live rows is
+        // correct either way — so the unreachable arm serializes rather
+        // than panicking a serving thread.
+        let reuse = if shard_dirty { None } else { reusable };
+        match reuse {
+            Some(prev) => {
+                // Clean and non-empty: the node range is identical in
+                // `prev` (see the soundness note above), so its offsets
+                // are too, up to the base shift.
+                let seg = &prev.graph.offsets[start..=end];
+                let prev_base = seg[0];
+                offsets.extend(seg[1..].iter().map(|&o| o - prev_base + base));
             }
-        } else {
-            // Clean and non-empty: the node range is identical in `prev`
-            // (see the soundness note above), so its offsets are too, up
-            // to the base shift.
-            let prev = reusable.expect("clean shard implies reusable snapshot");
-            let seg = &prev.graph.offsets[start..=end];
-            let prev_base = seg[0];
-            offsets.extend(seg[1..].iter().map(|&o| o - prev_base + base));
+            None => {
+                let mut acc = base;
+                for row in &adj[start..end] {
+                    acc += row.len();
+                    offsets.push(acc);
+                }
+            }
         }
     }
     debug_assert_eq!(offsets.len(), n + 1);
-    let total = *offsets.last().expect("offsets never empty");
+    debug_assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "CSR offsets must be monotone"
+    );
+    let total = offsets.last().copied().unwrap_or(0);
 
     let workers = if dirty_count > 1 && total >= PARALLEL_REBUILD_MIN_SLOTS {
         std::thread::available_parallelism()
@@ -615,8 +649,20 @@ fn fill_sequential(
         if start == end {
             continue;
         }
-        if shard_dirty {
-            match (&mut slot_weight, wadj) {
+        // Clean shards only exist when a reusable snapshot does; the
+        // unreachable clean-without-prev arm re-serializes (always
+        // correct) instead of panicking.
+        let reuse = if shard_dirty { None } else { reusable };
+        match reuse {
+            Some(prev) => {
+                let base = prev.graph.offsets[start];
+                let stop = prev.graph.offsets[end];
+                neighbors.extend_from_slice(&prev.graph.neighbors[base..stop]);
+                if let (Some(w), Some(lane)) = (&mut slot_weight, prev.graph.weights.as_deref()) {
+                    w.extend_from_slice(&lane.slot_weight[base..stop]);
+                }
+            }
+            None => match (&mut slot_weight, wadj) {
                 (Some(w), Some(wrows)) => {
                     for (row, wrow) in adj[start..end].iter().zip(&wrows[start..end]) {
                         neighbors.extend_from_slice(row);
@@ -628,16 +674,7 @@ fn fill_sequential(
                         neighbors.extend_from_slice(row);
                     }
                 }
-            }
-        } else {
-            let prev = reusable.expect("clean shard implies reusable snapshot");
-            let base = prev.graph.offsets[start];
-            let stop = prev.graph.offsets[end];
-            neighbors.extend_from_slice(&prev.graph.neighbors[base..stop]);
-            if let Some(w) = &mut slot_weight {
-                let lane = prev.graph.weights.as_deref().expect("weighted prev");
-                w.extend_from_slice(&lane.slot_weight[base..stop]);
-            }
+            },
         }
     }
     (neighbors, slot_weight)
@@ -645,7 +682,6 @@ fn fill_sequential(
 
 /// Parallel CSR fill: carve zero-initialized flat arrays into disjoint
 /// per-shard segments and round-robin them over a scoped thread pool.
-#[allow(clippy::too_many_arguments)]
 fn fill_parallel(
     adj: &[Vec<NodeId>],
     wadj: Option<&[Vec<f64>]>,
@@ -656,7 +692,7 @@ fn fill_parallel(
     reusable: Option<&Snapshot>,
     workers: usize,
 ) -> (Vec<NodeId>, Option<Vec<f64>>) {
-    let total = *offsets.last().expect("offsets never empty");
+    let total = offsets.last().copied().unwrap_or(0);
     let mut neighbors = vec![0 as NodeId; total];
     let mut slot_weight = wadj.map(|_| vec![0.0f64; total]);
 
@@ -688,30 +724,37 @@ fn fill_parallel(
     }
 
     let fill = |job: &mut ShardFill<'_>| {
-        if dirty[job.shard] {
-            // Serialize the live rows (already sorted and deduped).
-            let mut cursor = 0usize;
-            #[allow(clippy::needless_range_loop)] // parallel arrays, hot copy loop
-            for v in job.start..job.end {
-                let row = &adj[v];
-                job.nbrs[cursor..cursor + row.len()].copy_from_slice(row);
-                if let Some(w) = &mut job.wts {
-                    w[cursor..cursor + row.len()].copy_from_slice(&wadj.expect("weighted fill")[v]);
+        // As in the sequential fill: a clean shard implies a reusable
+        // snapshot, and the unreachable clean-without-prev arm falls
+        // back to serializing the live rows rather than panicking a
+        // pool thread.
+        let reuse = if dirty[job.shard] { None } else { reusable };
+        match reuse {
+            Some(prev) if !job.nbrs.is_empty() => {
+                // Clean shard: memcpy the previous snapshot's segments.
+                let base = prev.graph.offsets[job.start];
+                job.nbrs
+                    .copy_from_slice(&prev.graph.neighbors[base..base + job.nbrs.len()]);
+                if let (Some(w), Some(lane)) = (&mut job.wts, prev.graph.weights.as_deref()) {
+                    w.copy_from_slice(&lane.slot_weight[base..base + w.len()]);
                 }
-                cursor += row.len();
             }
-        } else if !job.nbrs.is_empty() {
-            // Clean shard: memcpy the previous snapshot's segments. (An
-            // empty segment is skipped outright — an empty shard's
-            // clamped `start` may lie beyond the previous snapshot's
-            // node count, so its offsets must not be consulted.)
-            let prev = reusable.expect("clean shard implies reusable snapshot");
-            let base = prev.graph.offsets[job.start];
-            job.nbrs
-                .copy_from_slice(&prev.graph.neighbors[base..base + job.nbrs.len()]);
-            if let Some(w) = &mut job.wts {
-                let lane = prev.graph.weights.as_deref().expect("weighted prev");
-                w.copy_from_slice(&lane.slot_weight[base..base + w.len()]);
+            // Clean but empty segment: nothing to copy — and an empty
+            // shard's clamped `start` may lie beyond the previous
+            // snapshot's node count, so its offsets must not be
+            // consulted.
+            Some(_) => {}
+            None => {
+                // Serialize the live rows (already sorted and deduped).
+                let mut cursor = 0usize;
+                for v in job.start..job.end {
+                    let row = &adj[v];
+                    job.nbrs[cursor..cursor + row.len()].copy_from_slice(row);
+                    if let (Some(w), Some(wrows)) = (&mut job.wts, wadj) {
+                        w[cursor..cursor + row.len()].copy_from_slice(&wrows[v]);
+                    }
+                    cursor += row.len();
+                }
             }
         }
     };
@@ -779,18 +822,28 @@ fn patch_in_place(dynamic: &DynamicGraph, retired: Snapshot) -> Result<Graph, ()
     for &s in &stale {
         let (start, end) = layout.node_range(s, n);
         let mut cursor = graph.offsets[start];
-        #[allow(clippy::needless_range_loop)] // parallel arrays, hot patch loop
+        let boundary = graph.offsets[end];
         for v in start..end {
             let row = &adj[v];
             graph.neighbors[cursor..cursor + row.len()].copy_from_slice(row);
-            if let Some(lane) = graph.weights.as_deref_mut() {
-                lane.slot_weight[cursor..cursor + row.len()]
-                    .copy_from_slice(&wadj.expect("weighted patch")[v]);
+            if let (Some(lane), Some(wrows)) = (graph.weights.as_deref_mut(), wadj) {
+                lane.slot_weight[cursor..cursor + row.len()].copy_from_slice(&wrows[v]);
             }
             cursor += row.len();
             graph.offsets[v + 1] = cursor;
         }
+        // Slot conservation was verified before the patch began; the
+        // rewrite must land exactly on the shard's pre-patch boundary.
+        debug_assert_eq!(
+            cursor, boundary,
+            "in-place patch must conserve shard slot counts"
+        );
     }
+    debug_assert_eq!(
+        graph.offsets.last().copied().unwrap_or(0),
+        graph.neighbors.len(),
+        "patched offsets must still span the slot array"
+    );
     if let Some(lane) = graph.weights.as_deref_mut() {
         // Re-derive the aggregates exactly as `attach_weights` does, so a
         // patched graph is bit-identical to a from-scratch build: stale

@@ -1,0 +1,164 @@
+//! `dmcs-lint` binary: lint the repo (or specific files), stream
+//! findings as JSON lines, and gate on the baseline ratchet.
+//!
+//! ```text
+//! cargo run -p dmcs-lint                      # full repo, gated by lint-baseline.txt
+//! cargo run -p dmcs-lint -- --all             # also print baselined findings
+//! cargo run -p dmcs-lint -- --update-baseline # regenerate the ratchet file
+//! cargo run -p dmcs-lint -- --serving-file F  # fixture mode: all rules on F, no baseline
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or stale baseline), 2 usage or I/O
+//! error.
+
+use dmcs_lint::{baseline, json_escape, lint_repo, rules, scan};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: dmcs-lint [--root PATH] [--baseline PATH] [--update-baseline] \
+                     [--all] [--serving-file PATH]...
+  --root PATH           repo root (default: the workspace this binary was built from)
+  --baseline PATH       ratchet file (default: <root>/lint-baseline.txt)
+  --update-baseline     rewrite the ratchet file from the current findings and exit 0
+  --all                 print baselined findings too (default: only new ones)
+  --serving-file PATH   fixture mode: apply every source rule to PATH (repeatable);
+                        skips the repo walk, consistency checks and baseline
+exit codes: 0 clean, 1 findings or stale baseline, 2 usage or I/O error";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut show_all = false;
+    let mut serving_files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--all" => show_all = true,
+            "--serving-file" => match args.next() {
+                Some(v) => serving_files.push(PathBuf::from(v)),
+                None => return usage_error("--serving-file needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Fixture mode: every rule, given files only, no baseline.
+    if !serving_files.is_empty() {
+        let mut findings = Vec::new();
+        for path in &serving_files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("dmcs-lint: cannot read {}: {e}", path.display());
+                    return 2;
+                }
+            };
+            let scanned = scan::ScannedFile::new(path.to_string_lossy().replace('\\', "/"), &text);
+            findings.extend(rules::check_file(&scanned, true));
+        }
+        for f in &findings {
+            println!("{}", f.to_json_line());
+        }
+        print_summary(findings.len(), findings.len(), 0, 0, findings.is_empty());
+        return i32::from(!findings.is_empty());
+    }
+
+    let root = root.unwrap_or_else(|| {
+        // crates/lint/ → workspace root, two levels up from this
+        // crate's manifest.
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or(manifest)
+    });
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let findings = match lint_repo(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dmcs-lint: {e}");
+            return 2;
+        }
+    };
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&findings)) {
+            eprintln!("dmcs-lint: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        eprintln!(
+            "dmcs-lint: wrote {} ({} findings frozen)",
+            baseline_path.display(),
+            findings.len()
+        );
+        return 0;
+    }
+
+    let frozen = match baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dmcs-lint: {e}");
+            return 2;
+        }
+    };
+    let verdict = baseline::apply(&findings, &frozen);
+    for f in &verdict.new {
+        println!("{}", f.to_json_line());
+    }
+    if show_all {
+        for f in &verdict.baselined {
+            println!("{}", f.to_json_line());
+        }
+    }
+    for (rule, file, frozen, live) in &verdict.stale {
+        println!(
+            "{{\"type\":\"stale-baseline\",\"rule\":\"{}\",\"file\":\"{}\",\"frozen\":{frozen},\"live\":{live}}}",
+            json_escape(rule),
+            json_escape(file)
+        );
+        eprintln!(
+            "dmcs-lint: baseline is stale for ({rule}, {file}): frozen {frozen}, live {live} — \
+             run `cargo run -p dmcs-lint -- --update-baseline` to tighten the ratchet"
+        );
+    }
+    print_summary(
+        findings.len(),
+        verdict.new.len(),
+        verdict.baselined.len(),
+        verdict.stale.len(),
+        verdict.ok(),
+    );
+    i32::from(!verdict.ok())
+}
+
+fn print_summary(total: usize, new: usize, baselined: usize, stale: usize, ok: bool) {
+    println!(
+        "{{\"type\":\"lint-summary\",\"tool\":\"dmcs-lint/{}\",\"findings\":{total},\"new\":{new},\
+         \"baselined\":{baselined},\"stale\":{stale},\"ok\":{ok}}}",
+        env!("CARGO_PKG_VERSION")
+    );
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("dmcs-lint: {msg}\n{USAGE}");
+    2
+}

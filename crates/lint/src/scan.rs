@@ -1,0 +1,340 @@
+//! Minimal Rust source model for the lint rules: strip comments and
+//! string literals (so rule patterns never match prose), and mark the
+//! `#[cfg(test)]` / `#[test]` regions (so test code is exempt from the
+//! serving-path rules).
+//!
+//! This is deliberately **not** a Rust parser. The rules only need three
+//! facts per source position — "is this code?", "is this inside a test
+//! region?", "what brace depth is this?" — and a character-level state
+//! machine answers all three without a syntax tree. The trade-off is
+//! documented per rule: matching is conservative and textual, and the
+//! baseline ratchet (see [`crate::baseline`]) absorbs any pre-existing
+//! site a rule is too blunt about.
+
+/// One scanned source file: the raw text, the comment/string-stripped
+/// text (same length, same line structure), and the per-line test mask.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Path as reported in findings (repo-relative when scanned via
+    /// [`crate::rules`]' repo walk).
+    pub rel_path: String,
+    /// Original lines, used only where prose matters (doc-comment
+    /// detection).
+    pub raw_lines: Vec<String>,
+    /// Lines with comments and string/char literals blanked to spaces.
+    /// Byte offsets line up with `raw_lines`.
+    pub code_lines: Vec<String>,
+    /// `true` for every line inside a `#[cfg(test)]` or `#[test]` item.
+    pub test_lines: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Scan `text` into the stripped + test-masked model.
+    pub fn new(rel_path: impl Into<String>, text: &str) -> ScannedFile {
+        let stripped = strip(text);
+        let test_mask = test_regions(&stripped, text.lines().count());
+        ScannedFile {
+            rel_path: rel_path.into(),
+            raw_lines: text.lines().map(str::to_string).collect(),
+            code_lines: stripped.lines().map(str::to_string).collect(),
+            test_lines: test_mask,
+        }
+    }
+
+    /// The stripped text re-joined (used by scope-aware rules that need
+    /// to see across lines).
+    pub fn code_text(&self) -> String {
+        self.code_lines.join("\n")
+    }
+}
+
+/// Replace every comment and string/character literal in `text` with
+/// spaces, preserving length and newlines so byte offsets and line
+/// numbers survive. Handles nested block comments, raw strings with any
+/// number of `#`s, byte/raw-byte strings, char literals, and leaves
+/// lifetimes (`'a`) alone.
+pub fn strip(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    // Push `n` blanks, preserving newlines from the source range.
+    let blank = |out: &mut Vec<u8>, src: &[u8]| {
+        for &c in src {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = text[i..].find('\n').map_or(b.len(), |p| i + p);
+                blank(&mut out, &b[i..end]);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(b, i);
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let j = skip_raw_or_byte_string(b, i);
+                blank(&mut out, &b[i..j]);
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes with a
+                // `'` within a few bytes; a lifetime never does.
+                if let Some(j) = char_literal_end(b, i) {
+                    blank(&mut out, &b[i..j]);
+                    i = j;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Only ASCII is ever replaced, so the output is valid UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// End (exclusive) of the plain string literal starting at `i` (which
+/// must be `"`), honouring backslash escapes.
+fn skip_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether position `i` starts one of `r"`, `r#"`, `b"`, `br"`, `br#"`
+/// (a raw or byte string prefix rather than an identifier).
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Reject when the r/b is the tail of an identifier (e.g. `var"`
+    // cannot happen, but `attr` followed by `"`... guard anyway).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// End (exclusive) of the raw/byte string starting at `i`.
+fn skip_raw_or_byte_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return j;
+    }
+    // Raw: ends at `"` followed by `hashes` hashes, no escapes.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// If a char literal starts at `i` (a `'`), its end (exclusive);
+/// `None` when this is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escape: consume up to the closing quote (handles \n, \u{...}).
+        j += 1;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j < b.len()).then_some(j + 1);
+    }
+    // Unescaped: exactly one scalar then a quote ⇒ char literal.
+    // (Multi-byte UTF-8 scalars are fine: skip continuation bytes.)
+    j += 1;
+    while j < b.len() && (b[j] & 0xC0) == 0x80 {
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'\'').then_some(j + 1)
+}
+
+/// Per-line test mask: `true` inside any item introduced by
+/// `#[cfg(test)]` or `#[test]` (the attribute line itself included).
+/// Works on the *stripped* text so string contents can't fake an
+/// attribute.
+fn test_regions(stripped: &str, line_count: usize) -> Vec<bool> {
+    let mut mask = vec![false; line_count];
+    let bytes = stripped.as_bytes();
+    // Byte offset → line number.
+    let mut line_starts = vec![0usize];
+    for (i, &c) in bytes.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |pos: usize| -> usize {
+        match line_starts.binary_search(&pos) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    };
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(p) = stripped[from..].find(attr) {
+            let start = from + p;
+            from = start + attr.len();
+            // Find the start of the item body: the first `{` after the
+            // attribute — or stop at a `;` (e.g. `mod tests;`) first.
+            let mut j = start + attr.len();
+            let mut open = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => {
+                        open = Some(j);
+                        break;
+                    }
+                    b';' => break,
+                    _ => j += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            // Matching close brace.
+            let mut depth = 0usize;
+            let mut k = open;
+            let mut close = bytes.len().saturating_sub(1);
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let (a, b) = (line_of(start), line_of(close));
+            for l in mask.iter_mut().take(b + 1).skip(a) {
+                *l = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r#"let x = "panic!(\"no\")"; // .unwrap()
+/* block .expect( */ let y = 'a'; let z: &'static str = r#inner;"#
+            .replace("r#inner", "r#\".unwrap()\"#");
+        let out = strip(&src);
+        assert!(!out.contains("panic!"), "{out}");
+        assert!(!out.contains(".unwrap("), "{out}");
+        assert!(!out.contains(".expect("), "{out}");
+        assert!(out.contains("let x ="), "{out}");
+        assert!(out.contains("&'static str"), "lifetime survives: {out}");
+        assert_eq!(out.len(), src.len(), "length-preserving");
+    }
+
+    #[test]
+    fn marks_test_regions() {
+        let src = "fn live() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { b.unwrap(); }\n\
+                   }\n\
+                   fn live2() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(!f.test_lines[0]);
+        assert!(f.test_lines[1] && f.test_lines[2] && f.test_lines[3] && f.test_lines[4]);
+        assert!(!f.test_lines[5]);
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() {\n    x.unwrap();\n}\nfn live() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.test_lines[0] && f.test_lines[1] && f.test_lines[2] && f.test_lines[3]);
+        assert!(!f.test_lines[4]);
+    }
+
+    #[test]
+    fn external_test_mod_declaration_has_no_region() {
+        let f = ScannedFile::new(
+            "x.rs",
+            "#[cfg(test)]\nmod tests;\nfn live() { a.unwrap(); }\n",
+        );
+        assert!(!f.test_lines[2]);
+    }
+}

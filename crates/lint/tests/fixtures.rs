@@ -1,0 +1,129 @@
+//! Rule coverage via fixtures: every known-bad file under
+//! `tests/fixtures/` must fire exactly its rule, the clean file must
+//! pass everything, and the live repo must be clean modulo the
+//! committed baseline.
+
+use dmcs_lint::rules::{
+    check_file, RULE_GUARD_ACROSS_SNAPSHOT, RULE_PROCESS_EXIT, RULE_PUB_UNDOCUMENTED,
+    RULE_SERVING_PANIC,
+};
+use dmcs_lint::scan::ScannedFile;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> ScannedFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    ScannedFile::new(name, &text)
+}
+
+/// The bad fixture must produce at least one finding, every finding
+/// must be of the expected rule, and no other rule may fire.
+fn assert_fires_exactly(name: &str, rule: &str) {
+    let findings = check_file(&fixture(name), true);
+    assert!(
+        !findings.is_empty(),
+        "{name}: expected `{rule}` findings, got none"
+    );
+    for f in &findings {
+        assert_eq!(
+            f.rule, rule,
+            "{name}: expected only `{rule}`, also fired `{}` at line {}: {}",
+            f.rule, f.line, f.msg
+        );
+    }
+}
+
+#[test]
+fn bad_unwrap_fires_serving_panic() {
+    assert_fires_exactly("bad_unwrap.rs", RULE_SERVING_PANIC);
+}
+
+#[test]
+fn bad_expect_fires_serving_panic() {
+    assert_fires_exactly("bad_expect.rs", RULE_SERVING_PANIC);
+}
+
+#[test]
+fn bad_panic_fires_serving_panic() {
+    assert_fires_exactly("bad_panic.rs", RULE_SERVING_PANIC);
+}
+
+#[test]
+fn bad_unreachable_fires_serving_panic() {
+    assert_fires_exactly("bad_unreachable.rs", RULE_SERVING_PANIC);
+}
+
+#[test]
+fn bad_guard_fires_guard_across_snapshot() {
+    assert_fires_exactly("bad_guard_across_snapshot.rs", RULE_GUARD_ACROSS_SNAPSHOT);
+}
+
+#[test]
+fn bad_process_exit_fires_process_exit() {
+    assert_fires_exactly("bad_process_exit.rs", RULE_PROCESS_EXIT);
+}
+
+#[test]
+fn bad_missing_doc_fires_pub_undocumented() {
+    assert_fires_exactly("bad_missing_doc.rs", RULE_PUB_UNDOCUMENTED);
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let findings = check_file(&fixture("clean.rs"), true);
+    assert!(findings.is_empty(), "clean.rs must pass: {findings:?}");
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the repo root")
+        .to_path_buf()
+}
+
+/// The live repo is clean modulo `lint-baseline.txt` — the same gate CI
+/// applies, run in-process.
+#[test]
+fn repo_self_check_modulo_baseline() {
+    let root = repo_root();
+    let findings = dmcs_lint::lint_repo(&root).expect("repo walk");
+    let frozen =
+        dmcs_lint::baseline::load(&root.join("lint-baseline.txt")).expect("baseline parses");
+    let verdict = dmcs_lint::baseline::apply(&findings, &frozen);
+    assert!(
+        verdict.ok(),
+        "repo lint failed:\nnew: {:#?}\nstale: {:?}",
+        verdict.new,
+        verdict.stale
+    );
+}
+
+/// The gate itself gates: the binary exits nonzero on a seeded
+/// violation and reports it as a JSON finding line.
+#[test]
+fn binary_flags_seeded_violation() {
+    let bad = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_unwrap.rs");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_dmcs-lint"))
+        .arg("--serving-file")
+        .arg(&bad)
+        .output()
+        .expect("spawn dmcs-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded violation must fail the gate"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"rule\":\"serving-panic\""),
+        "findings must stream as JSON lines: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"type\":\"lint-summary\""),
+        "a summary line closes the report: {stdout}"
+    );
+}

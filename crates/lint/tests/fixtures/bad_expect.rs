@@ -1,0 +1,4 @@
+// Fixture: fires `serving-panic` (expect) and nothing else.
+fn serve(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}

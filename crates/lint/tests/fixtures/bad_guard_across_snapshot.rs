@@ -1,0 +1,6 @@
+// Fixture: fires `guard-across-snapshot` and nothing else.
+fn serve(store: &Store) {
+    let guard = store.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let snap = store.snapshot();
+    drop((guard, snap));
+}

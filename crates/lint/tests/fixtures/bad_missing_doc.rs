@@ -1,0 +1,2 @@
+// Fixture: fires `pub-undocumented` and nothing else.
+pub fn serve() {}

@@ -1,0 +1,7 @@
+// Fixture: fires `serving-panic` (panic!) and nothing else.
+fn serve(x: u32) -> u32 {
+    if x > 9 {
+        panic!("fixture");
+    }
+    x
+}

@@ -1,0 +1,4 @@
+// Fixture: fires `process-exit` and nothing else.
+fn serve(code: i32) {
+    std::process::exit(code);
+}

@@ -1,0 +1,7 @@
+// Fixture: fires `serving-panic` (unreachable!) and nothing else.
+fn serve(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: passes every rule. The strings and comments below contain
+// every banned pattern to prove the scanner strips them, and the test
+// region at the bottom may panic freely.
+
+/// Documented public item.
+pub fn serve(x: Option<u32>) -> u32 {
+    // prose mentions .unwrap( and panic! and std::process::exit
+    let msg = "strings mention .expect( and unreachable! too";
+    let fallback = msg.len() as u32;
+    x.unwrap_or(fallback)
+}
+
+fn scoped_guard(store: &Store) {
+    {
+        let guard = store.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(guard);
+    }
+    let snap = store.snapshot();
+    drop(snap);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}
