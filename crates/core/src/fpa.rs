@@ -15,13 +15,14 @@
 
 use crate::measure::{density_ratio, dm_gain};
 use crate::peel::{PeelState, TieRule};
-use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
-use dmcs_graph::steiner::steiner_seed;
-use dmcs_graph::traversal::{multi_source_bfs_collect, UNREACHABLE};
+use crate::{validate_query_nodes, CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::steiner::steiner_seed_with_workspace;
+use dmcs_graph::traversal::{multi_source_bfs_collect, multi_source_bfs_preset, UNREACHABLE};
 use dmcs_graph::view::QueryWorkspace;
-use dmcs_graph::{Graph, NodeId};
+use dmcs_graph::{Graph, GraphError, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// The Fast Peeling Algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -76,7 +77,7 @@ impl CommunitySearch for Fpa {
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
         let setup = FpaSetup::prepare(g, query, ws)?;
-        let mut st = PeelState::new_in(g, &setup.component, TieRule::PreferLater, ws);
+        let mut st = PeelState::new_in_component(g, &setup.component, TieRule::PreferLater, ws);
         let mut iterations = 0usize;
 
         let start_layer = if self.layer_pruning {
@@ -118,7 +119,7 @@ impl CommunitySearch for FpaDmg {
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
         let setup = FpaSetup::prepare(g, query, ws)?;
-        let mut st = PeelState::new_in(g, &setup.component, TieRule::PreferLater, ws);
+        let mut st = PeelState::new_in_component(g, &setup.component, TieRule::PreferLater, ws);
         let mut iterations = 0usize;
         for d in (1..=setup.max_dist).rev() {
             // Candidates: alive nodes at distance d. Λ is unstable, so we
@@ -155,8 +156,10 @@ impl CommunitySearch for FpaDmg {
 /// Shared preparation: validation, Steiner seed, component restriction,
 /// distance layers.
 struct FpaSetup {
-    /// Nodes of the connected component containing the seed.
-    component: Vec<NodeId>,
+    /// Nodes of the connected component containing the seed, sorted
+    /// ascending (shared with the workspace's last-component memo, so a
+    /// repeat query in the same component clones an `Arc`, not a `Vec`).
+    component: Arc<[NodeId]>,
     /// `dist[v]` = BFS distance from the seed (UNREACHABLE outside the
     /// component).
     dist: Vec<u32>,
@@ -168,26 +171,50 @@ struct FpaSetup {
 
 impl FpaSetup {
     fn prepare(g: &Graph, query: &[NodeId], ws: &mut QueryWorkspace) -> Result<Self, SearchError> {
-        validate_query(g, query)?;
+        validate_query_nodes(g, query)?;
+        // Last-component memo: when every query node is a member of the
+        // component the previous query explored (same graph epoch — the
+        // session layer arms the memo), that membership already proves
+        // the query connected, so the validation BFS is skipped and the
+        // memoized component replaces the collection pass below.
+        let memo = ws.memoized_component(query);
+        if memo.is_none() && !dmcs_graph::traversal::same_component(g, query) {
+            return Err(SearchError::Graph(GraphError::QueryDisconnected));
+        }
         // §5.6: merge multiple queries into a protected connected seed.
-        let seed = steiner_seed(g, query)?;
-        // One BFS both layers the component by seed distance and collects
-        // it — the component of the (connected) seed is exactly the
-        // reached set, so no separate `component_of` pass is needed.
+        let seed = steiner_seed_with_workspace(g, query, ws)?;
         let mut dist = ws.take_dist(g.n());
-        let component = multi_source_bfs_collect(g, &seed, &mut dist);
+        let component = match memo {
+            Some(component) => {
+                // The component is known; one BFS layers it by seed
+                // distance without the visited-collection and sort that
+                // `multi_source_bfs_collect` pays.
+                multi_source_bfs_preset(g, &seed, &mut dist);
+                component
+            }
+            None => {
+                // One BFS both layers the component by seed distance and
+                // collects it — the component of the (connected) seed is
+                // exactly the reached set, so no separate `component_of`
+                // pass is needed.
+                let component: Arc<[NodeId]> =
+                    Arc::from(multi_source_bfs_collect(g, &seed, &mut dist));
+                ws.memoize_component(&component, g.n());
+                component
+            }
+        };
         // Shard-scoped caching: the answer depends only on this component
         // (plus the global edge count, handled by the caller's fingerprint
         // semantics) — record which shards it intersects.
         ws.note_component(&component);
         let mut max_dist = 0u32;
-        for &v in &component {
+        for &v in component.iter() {
             let d = dist[v as usize];
             debug_assert_ne!(d, UNREACHABLE);
             max_dist = max_dist.max(d);
         }
         let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); max_dist as usize + 1];
-        for &v in &component {
+        for &v in component.iter() {
             layers[dist[v as usize] as usize].push(v);
         }
         Ok(FpaSetup {
@@ -214,7 +241,7 @@ fn prune_layers(st: &mut PeelState<'_>, setup: &FpaSetup) -> u32 {
     let mut layer_l = vec![0u64; nl];
     let mut layer_d = vec![0u64; nl];
     let mut layer_n = vec![0usize; nl];
-    for &v in &setup.component {
+    for &v in setup.component.iter() {
         let dv = setup.dist[v as usize];
         layer_n[dv as usize] += 1;
         layer_d[dv as usize] += g.degree(v) as u64;
@@ -424,6 +451,49 @@ mod tests {
                 let reused = alg.search_with_workspace(&g, &[q], &mut ws).unwrap();
                 assert_eq!(fresh, reused, "{} query {q}", alg.name());
             }
+        }
+    }
+
+    #[test]
+    fn component_memo_reuse_is_bit_identical() {
+        // Two disjoint triangles with tails: consecutive same-component
+        // queries hit the memo; a query in the other component replaces
+        // it. Results must match a memo-free workspace bit for bit.
+        let g = GraphBuilder::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (6, 7),
+            ],
+        );
+        let queries: &[&[NodeId]] = &[&[0], &[1], &[0, 3], &[4], &[7, 5], &[6], &[2], &[0, 1, 2]];
+        for alg in [
+            &Fpa::default() as &dyn CommunitySearch,
+            &Fpa::without_pruning(),
+            &FpaDmg,
+        ] {
+            let mut plain = QueryWorkspace::new();
+            let mut memoed = QueryWorkspace::new();
+            memoed.arm_component_memo((u64::MAX, 0));
+            for q in queries {
+                let want = alg.search_with_workspace(&g, q, &mut plain).unwrap();
+                let got = alg.search_with_workspace(&g, q, &mut memoed).unwrap();
+                assert_eq!(want, got, "{} query {q:?}", alg.name());
+            }
+            assert!(
+                memoed.memo_hits() >= 4,
+                "{}: consecutive same-component queries must hit, got {}",
+                alg.name(),
+                memoed.memo_hits()
+            );
+            // Disconnected queries still error with the memo armed.
+            assert!(alg.search_with_workspace(&g, &[0, 4], &mut memoed).is_err());
         }
     }
 

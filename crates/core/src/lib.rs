@@ -157,6 +157,18 @@ pub trait CommunitySearch: Send + Sync {
 }
 
 pub(crate) fn validate_query(g: &Graph, query: &[NodeId]) -> Result<(), SearchError> {
+    validate_query_nodes(g, query)?;
+    if !dmcs_graph::traversal::same_component(g, query) {
+        return Err(SearchError::Graph(GraphError::QueryDisconnected));
+    }
+    Ok(())
+}
+
+/// The allocation-free half of [`validate_query`]: empty and bounds
+/// checks only. Callers that can prove connectivity another way (e.g.
+/// every query node is a member of one memoized connected component)
+/// use this to skip the validation BFS.
+pub(crate) fn validate_query_nodes(g: &Graph, query: &[NodeId]) -> Result<(), SearchError> {
     if query.is_empty() {
         return Err(SearchError::EmptyQuery);
     }
@@ -164,9 +176,6 @@ pub(crate) fn validate_query(g: &Graph, query: &[NodeId]) -> Result<(), SearchEr
         if q as usize >= g.n() {
             return Err(SearchError::Graph(GraphError::NodeOutOfRange(q)));
         }
-    }
-    if !dmcs_graph::traversal::same_component(g, query) {
-        return Err(SearchError::Graph(GraphError::QueryDisconnected));
     }
     Ok(())
 }

@@ -56,6 +56,21 @@ impl<'g> PeelState<'g> {
         Self::with_view(ws.view(graph, nodes), graph, nodes, tie)
     }
 
+    /// [`PeelState::new_in`] for the case where `nodes` is a **closed
+    /// component** (every neighbour of a member is a member — exactly
+    /// what FPA peels after restricting to the query's connected
+    /// component). Builds the view in `O(|nodes|)` via
+    /// [`QueryWorkspace::view_component`] instead of scanning every
+    /// incident edge.
+    pub fn new_in_component(
+        graph: &'g Graph,
+        nodes: &[NodeId],
+        tie: TieRule,
+        ws: &mut QueryWorkspace,
+    ) -> Self {
+        Self::with_view(ws.view_component(graph, nodes), graph, nodes, tie)
+    }
+
     fn with_view(view: SubgraphView<'g>, graph: &'g Graph, nodes: &[NodeId], tie: TieRule) -> Self {
         let d_s = graph.degree_sum(nodes);
         let m = graph.m() as u64;

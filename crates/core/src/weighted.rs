@@ -17,7 +17,7 @@
 //! per-worker [`QueryWorkspace`] buffer reuse.
 
 use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
-use dmcs_graph::steiner::steiner_seed;
+use dmcs_graph::steiner::steiner_seed_with_workspace;
 use dmcs_graph::traversal::{multi_source_bfs_collect, UNREACHABLE};
 use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, NodeId};
@@ -57,7 +57,7 @@ impl CommunitySearch for WeightedFpa {
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
         validate_query(g, query)?;
-        let seed = steiner_seed(g, query)?;
+        let seed = steiner_seed_with_workspace(g, query, ws)?;
         let mut dist = ws.take_dist(g.n());
         let component = multi_source_bfs_collect(g, &seed, &mut dist);
         let mut max_dist = 0u32;

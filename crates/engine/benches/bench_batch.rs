@@ -13,10 +13,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dmcs_core::{CommunitySearch, Fpa, Nca};
-use dmcs_engine::{AlgoSpec, BatchRunner, Engine, QueryRequest, Session};
+use dmcs_engine::{AlgoSpec, BatchRunner, Engine, PlanMode, QueryRequest, Session};
 use dmcs_gen::sbm;
+use dmcs_graph::layout::{self, ComputeGraph, NodeMap};
 use dmcs_graph::view::QueryWorkspace;
-use dmcs_graph::{Graph, GraphStore, NodeId, Snapshot};
+use dmcs_graph::{Graph, GraphStore, LayoutPolicy, NodeId, Snapshot};
 
 /// Eight planted blocks of 100 nodes: big enough that per-query state
 /// dominates, small enough that a full batch fits one bench iteration.
@@ -161,10 +162,215 @@ fn bench_session_vs_fresh_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// A deterministic random permutation (`order[internal] = external`,
+/// the shape `layout::apply_order` takes) via Fisher–Yates over a
+/// splitmix-style generator — no external RNG crates.
+fn scramble_order(n: usize, mut state: u64) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((state >> 33) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// A scrambled fragmented workload (`n_blocks` components of 200 nodes)
+/// shared by the locality and planning benchmarks below: the
+/// planted-partition generator emits its blocks *contiguously* (already
+/// the best possible layout), so the graph is first scrambled by a
+/// random permutation — the realistic "ids arrived in load order" case —
+/// and the layout pass has real work to undo. Returns the scrambled
+/// graph plus each block's members in scrambled id space.
+fn scrambled_fragmented(n_blocks: usize) -> (Graph, Vec<Vec<NodeId>>) {
+    let blocks = vec![200usize; n_blocks];
+    let (frag, comms) = sbm::planted_partition(&blocks, 0.04, 0.0, 7);
+    let order = scramble_order(frag.n(), 0xD1CE_5EED);
+    let scrambled = layout::apply_order(&frag, &order);
+    let mut inv = vec![0 as NodeId; frag.n()];
+    for (i, &ext) in order.iter().enumerate() {
+        inv[ext as usize] = i as NodeId;
+    }
+    let comms: Vec<Vec<NodeId>> = comms
+        .iter()
+        .map(|c| c.iter().map(|&v| inv[v as usize]).collect())
+        .collect();
+    (scrambled, comms)
+}
+
+/// **Locality claim** — `layout_fpa_fragmented50k` runs the same
+/// per-query FPA workload against each layout policy's compute mirror
+/// of the scrambled graph (identity = the scrambled CSR itself).
+/// BFS/RCM make each ~200-node component contiguous again, so the
+/// peeling loops and distance-array writes touch a compact id range
+/// instead of 250 cache lines scattered over 50k slots.
+fn bench_layout_locality(c: &mut Criterion) {
+    let (scrambled, comms) = scrambled_fragmented(250);
+    let queries: Vec<Vec<NodeId>> = comms.iter().map(|c| vec![c[0], c[c.len() / 2]]).collect();
+    let fpa = Fpa::default();
+    let mut group = c.benchmark_group("layout_fpa_fragmented50k");
+    group.sample_size(30);
+    for policy in LayoutPolicy::ALL {
+        let (graph, map): (Graph, NodeMap) = match ComputeGraph::build(&scrambled, policy) {
+            Some(mirror) => (mirror.graph().clone(), mirror.map().clone()),
+            None => (scrambled.clone(), NodeMap::identity()),
+        };
+        let queries: Vec<Vec<NodeId>> = queries
+            .iter()
+            .map(|q| q.iter().map(|&v| map.to_internal(v)).collect())
+            .collect();
+        let mut ws = QueryWorkspace::new();
+        let mut i = 0usize;
+        group.bench_function(policy.as_str(), |b| {
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(fpa.search_with_workspace(&graph, q, &mut ws).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// **Scheduling claim** — `batch_sched_fragmented100k` runs a 4000-query
+/// batch (8 queries per component, interleaved round-robin across the
+/// 500 components — the worst case for any per-worker locality) with
+/// the planner off (ungrouped, no memo: the pre-planner baseline) and
+/// on auto (component-grouped group stealing + per-worker component
+/// memo). Results are bit-identical either way — the layout_invariance
+/// and batch tests pin that — so the delta is pure scheduling.
+fn bench_batch_scheduling(c: &mut Criterion) {
+    let (scrambled, comms) = scrambled_fragmented(500);
+    // Multi-node queries throughout: that is the paper's multi-query
+    // setting, and the case component scheduling targets — connectivity
+    // validation for an unmemoized multi-node query costs a full-graph
+    // BFS, which membership in the memoized component replaces.
+    let mut queries: Vec<Vec<NodeId>> = Vec::new();
+    for round in 0..8usize {
+        for comm in &comms {
+            let h = comm.len() / 2;
+            queries.push(match round % 4 {
+                0 => vec![comm[round], comm[h + round]],
+                1 => vec![comm[round + 4], comm[h / 2 + round]],
+                2 => vec![comm[round + 8], comm[h + round + 4], comm[h / 4 + round]],
+                _ => vec![comm[round + 12], comm[h / 3 + round]],
+            });
+        }
+    }
+    // `plan_auto_rcm` stacks both tentpole levers: the batch served
+    // from a physically RCM-renumbered store (what a fresh load under
+    // `--layout rcm` order would look like) *and* component-grouped
+    // scheduling — against the scrambled, ungrouped, memo-free
+    // baseline. `plan_auto` on the scrambled store isolates the pure
+    // scheduling win.
+    let rcm = ComputeGraph::build(&scrambled, LayoutPolicy::Rcm).expect("rcm builds a mirror");
+    let rcm_queries: Vec<Vec<NodeId>> = queries
+        .iter()
+        .map(|q| q.iter().map(|&v| rcm.map().to_internal(v)).collect())
+        .collect();
+    let scrambled_snap = Snapshot::freeze(scrambled);
+    let cases = [
+        (
+            "plan_off",
+            PlanMode::Off,
+            scrambled_snap.clone(),
+            QueryRequest::from_node_lists(&queries),
+        ),
+        (
+            "plan_auto",
+            PlanMode::Auto,
+            scrambled_snap,
+            QueryRequest::from_node_lists(&queries),
+        ),
+        (
+            "plan_auto_rcm",
+            PlanMode::Auto,
+            Snapshot::freeze(rcm.graph().clone()),
+            QueryRequest::from_node_lists(&rcm_queries),
+        ),
+    ];
+    let mut group = c.benchmark_group("batch_sched_fragmented100k");
+    group.sample_size(20);
+    // One worker: the benefit measured here is the component-consecutive
+    // execution order and the memo it feeds (on multicore, grouping
+    // additionally parallelises across groups — group stealing — but a
+    // thread count above the machine's core count only adds scheduler
+    // noise to both sides of the comparison).
+    for (label, mode, snap, requests) in &cases {
+        let runner = BatchRunner::new(AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .with_plan(*mode);
+        group.bench_function(*label, |b| {
+            b.iter(|| black_box(runner.run(black_box(snap), black_box(requests)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// **Memo claim** — `session_memo_fragmented50k` isolates the session
+/// fix: consecutive same-component queries on one session used to
+/// re-derive the component per query (an `O(n)` validation BFS plus a
+/// collect-and-sort); the armed workspace memo now proves connectivity
+/// by membership and reuses the component slice.
+fn bench_session_memo(c: &mut Criterion) {
+    let (scrambled, comms) = scrambled_fragmented(250);
+    // Consecutive same-component queries, the serving pattern the memo
+    // targets (a client exploring one region before moving on).
+    let queries: Vec<Vec<NodeId>> = comms
+        .iter()
+        .flat_map(|c| {
+            [
+                vec![c[0]],
+                vec![c[0], c[c.len() / 2]],
+                vec![c[1]],
+                vec![c[2], c[c.len() / 4]],
+            ]
+        })
+        .collect();
+    let spec = AlgoSpec::new("fpa");
+    let snap = Snapshot::freeze(scrambled);
+    let mut group = c.benchmark_group("session_memo_fragmented50k");
+    group.sample_size(30);
+
+    let mut off = Session::new(snap.clone(), &spec).unwrap().without_memo();
+    let mut i = 0usize;
+    group.bench_function("memo_off", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(off.search(q).unwrap())
+        })
+    });
+
+    let mut on = Session::new(snap, &spec).unwrap();
+    let mut j = 0usize;
+    group.bench_function("memo_on", |b| {
+        b.iter(|| {
+            let q = &queries[j % queries.len()];
+            j += 1;
+            black_box(on.search(q).unwrap())
+        })
+    });
+    group.finish();
+    // Regression guard: the memoized session must actually have reused
+    // components (3 of every 4 consecutive queries share one).
+    assert!(off.memo_hits() == 0, "disarmed session must never hit");
+    assert!(
+        on.memo_hits() > 0,
+        "memoized session answered consecutive same-component queries \
+         without a single memo hit — the session memo regressed"
+    );
+}
+
 criterion_group!(
     benches,
     bench_batch_throughput,
     bench_workspace_reuse,
-    bench_session_vs_fresh_batch
+    bench_session_vs_fresh_batch,
+    bench_layout_locality,
+    bench_batch_scheduling,
+    bench_session_memo
 );
 criterion_main!(benches);

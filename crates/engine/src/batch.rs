@@ -12,7 +12,7 @@
 //! execution regardless of the thread count — a property the engine's
 //! property tests pin down for every registered algorithm.
 //!
-//! Two serving optimisations happen transparently:
+//! Three serving optimisations happen transparently:
 //!
 //! - **In-batch dedup** — requests that resolve to the same
 //!   `(algorithm, params, nodes, cap)` work item are answered once and
@@ -24,6 +24,17 @@
 //!   [`Engine::run_batch`](crate::Engine::run_batch) does), workers
 //!   consult it per executed query; [`BatchReport::cache_hits`] /
 //!   [`cache_misses`](BatchReport::cache_misses) surface the outcome.
+//! - **Component-aware scheduling** — under the default
+//!   [`PlanMode::Auto`] plan on a fragmented snapshot, work items are
+//!   grouped by the connected component of their first query node
+//!   (from the snapshot's cached [`ComponentIndex`](
+//!   dmcs_graph::ComponentIndex)) and workers steal *groups* instead
+//!   of single queries. Consecutive queries on a worker then share a
+//!   component, so the worker session's memoized component BFS is
+//!   reused ([`BatchReport::shared_bfs_reuses`]) and the peeling loops
+//!   walk cache-warm CSR rows. Grouping only permutes execution order;
+//!   responses are still re-ordered to submission order, so output
+//!   stays bit-identical to the ungrouped path.
 //!
 //! All queries run against the **pinned** [`Snapshot`]: updates landing
 //! in the owning [`GraphStore`](dmcs_graph::GraphStore) mid-batch do not
@@ -31,6 +42,7 @@
 
 use crate::cache::ResponseCache;
 use crate::error::EngineError;
+use crate::plan::{PlanMode, QueryPlan};
 use crate::registry::{self, AlgoSpec};
 use crate::request::{QueryRequest, QueryResponse};
 use crate::session::Session;
@@ -63,6 +75,19 @@ pub struct BatchReport {
     /// Executed queries that missed the shared result cache (0 when no
     /// cache was attached).
     pub cache_misses: usize,
+    /// Connected-component groups the scheduler formed (0 when the plan
+    /// ran ungrouped).
+    pub groups: usize,
+    /// Work items dispatched through component-grouped scheduling (0
+    /// when the plan ran ungrouped).
+    pub grouped_queries: usize,
+    /// Queries that reused a component BFS memoized by an earlier query
+    /// on the same worker session (0 when the plan disabled the memo).
+    pub shared_bfs_reuses: u64,
+    /// Label of the query plan that scheduled the batch, e.g.
+    /// `"auto:grouped+memo"`; `"off"` for unplanned paths like the
+    /// CLI's `--updates` loop.
+    pub plan: &'static str,
 }
 
 impl BatchReport {
@@ -101,7 +126,28 @@ impl BatchReport {
             unique_queries,
             cache_hits,
             cache_misses,
+            groups: 0,
+            grouped_queries: 0,
+            shared_bfs_reuses: 0,
+            plan: "off",
         }
+    }
+
+    /// Record how the batch was scheduled: group/memo counters plus the
+    /// plan label. [`BatchRunner::run`] calls this; the defaults from
+    /// [`BatchReport::from_responses`] describe an unplanned run.
+    pub fn with_scheduling(
+        mut self,
+        groups: usize,
+        grouped_queries: usize,
+        shared_bfs_reuses: u64,
+        plan: &'static str,
+    ) -> Self {
+        self.groups = groups;
+        self.grouped_queries = grouped_queries;
+        self.shared_bfs_reuses = shared_bfs_reuses;
+        self.plan = plan;
+        self
     }
 
     /// Number of requests that produced a community.
@@ -118,6 +164,7 @@ pub struct BatchRunner {
     algo_name: &'static str,
     threads: usize,
     cache: Option<Arc<ResponseCache>>,
+    plan_mode: PlanMode,
 }
 
 /// The dedup identity of one request: everything that determines its
@@ -144,6 +191,7 @@ impl BatchRunner {
             algo_name,
             threads,
             cache: None,
+            plan_mode: PlanMode::default(),
         })
     }
 
@@ -152,6 +200,20 @@ impl BatchRunner {
     pub fn with_cache(mut self, cache: Arc<ResponseCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Select the planner mode ([`PlanMode::Auto`] by default). The plan
+    /// only chooses execution strategy — grouping and memoization —
+    /// never results; [`BatchRunner::run`] output is bit-identical
+    /// across modes.
+    pub fn with_plan(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// The configured planner mode.
+    pub fn plan_mode(&self) -> PlanMode {
+        self.plan_mode
     }
 
     /// Display name of the default algorithm.
@@ -165,9 +227,15 @@ impl BatchRunner {
     }
 
     /// Open one worker session over `snap`, attaching the shared cache
-    /// when configured.
-    fn worker_session(&self, snap: &Snapshot) -> Result<Session, EngineError> {
+    /// when configured and disarming the component memo when the plan
+    /// says so.
+    fn worker_session(&self, snap: &Snapshot, memoize: bool) -> Result<Session, EngineError> {
         let session = Session::new(snap.clone(), &self.spec)?;
+        let session = if memoize {
+            session
+        } else {
+            session.without_memo()
+        };
         Ok(match &self.cache {
             Some(cache) => session.with_cache(Arc::clone(cache)),
             None => session,
@@ -199,6 +267,7 @@ impl BatchRunner {
         }
 
         let start = Instant::now();
+        let plan = QueryPlan::choose(self.plan_mode, snap);
 
         // Dedup: answer each distinct work item once, fan back out below.
         let mut seen: HashMap<WorkKey, usize> = HashMap::new();
@@ -222,40 +291,86 @@ impl BatchRunner {
         }
         let work: Vec<&QueryRequest> = unique.iter().map(|&i| &requests[i]).collect();
 
-        let workers = self.threads.min(work.len()).max(1);
-        let executed: Vec<QueryResponse> = if workers == 1 {
-            let mut session = self.worker_session(snap)?;
-            work.iter()
-                .map(|req| session.query(req))
-                .collect::<Result<_, _>>()?
+        // Schedule: under a grouped plan, one group per connected
+        // component of the first query node (groups ordered by first
+        // appearance, members in submission order); otherwise one
+        // singleton group per work item, which is plain per-query work
+        // stealing. Grouping is a heuristic about *locality only* —
+        // multi-node or out-of-range queries still validate inside the
+        // search, whatever group they land in.
+        let grouped = plan.grouped && work.len() > 1;
+        let groups: Vec<Vec<usize>> = if grouped {
+            let index = snap.component_index();
+            let mut by_label: HashMap<u32, usize> = HashMap::new();
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (i, req) in work.iter().enumerate() {
+                // Out-of-range first nodes (doomed to a validation
+                // error) share one sentinel group.
+                let label = req.nodes.first().map_or(u32::MAX, |&v| {
+                    if (v as usize) < snap.n() {
+                        index.label(v)
+                    } else {
+                        u32::MAX
+                    }
+                });
+                let slot = *by_label.entry(label).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[slot].push(i);
+            }
+            groups
+        } else {
+            (0..work.len()).map(|i| vec![i]).collect()
+        };
+
+        let workers = self.threads.min(groups.len()).max(1);
+        let shared_bfs_reuses: u64;
+        let mut indexed: Vec<(usize, QueryResponse)> = if workers == 1 {
+            let mut session = self.worker_session(snap, plan.memoize)?;
+            let mut indexed = Vec::with_capacity(work.len());
+            for group in &groups {
+                for &i in group {
+                    indexed.push((i, session.query(work[i])?));
+                }
+            }
+            shared_bfs_reuses = session.memo_hits();
+            indexed
         } else {
             let next = AtomicUsize::new(0);
             let work = &work;
-            let mut indexed = std::thread::scope(
-                |scope| -> Result<Vec<(usize, QueryResponse)>, EngineError> {
+            let groups = &groups;
+            let (indexed, reuses) = std::thread::scope(
+                |scope| -> Result<(Vec<(usize, QueryResponse)>, u64), EngineError> {
                     let mut handles = Vec::with_capacity(workers);
                     for _ in 0..workers {
                         let next = &next;
-                        let mut session = self.worker_session(snap)?;
+                        let mut session = self.worker_session(snap, plan.memoize)?;
                         // Workers carry per-request Results home instead
                         // of unwrapping on their own thread (overrides
                         // were pre-resolved, so errors are unexpected —
                         // but a worker must not decide to panic for the
-                        // whole batch).
+                        // whole batch). They steal whole groups so a
+                        // group's queries stay on one session (and its
+                        // memo); a slow group never stalls the others.
                         handles.push(scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(req) = work.get(i) else { break };
-                                local.push((i, session.query(req)));
+                                let g = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(g) else { break };
+                                for &i in group {
+                                    local.push((i, session.query(work[i])));
+                                }
                             }
-                            local
+                            (local, session.memo_hits())
                         }));
                     }
                     let mut indexed = Vec::with_capacity(work.len());
+                    let mut reuses = 0u64;
                     for h in handles {
                         match h.join() {
-                            Ok(local) => {
+                            Ok((local, hits)) => {
+                                reuses += hits;
                                 for (i, r) in local {
                                     indexed.push((i, r?));
                                 }
@@ -266,12 +381,16 @@ impl BatchRunner {
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
                     }
-                    Ok(indexed)
+                    Ok((indexed, reuses))
                 },
             )?;
-            indexed.sort_unstable_by_key(|&(i, _)| i);
-            indexed.into_iter().map(|(_, r)| r).collect()
+            shared_bfs_reuses = reuses;
+            indexed
         };
+        // Grouped order is an execution detail; answers go home in
+        // submission order whatever the plan or thread count.
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        let executed: Vec<QueryResponse> = indexed.into_iter().map(|(_, r)| r).collect();
         let wall_seconds = start.elapsed().as_secs_f64();
 
         let (cache_hits, cache_misses) = if self.cache.is_some() {
@@ -300,6 +419,12 @@ impl BatchRunner {
             work.len(),
             cache_hits,
             cache_misses,
+        )
+        .with_scheduling(
+            if grouped { groups.len() } else { 0 },
+            if grouped { work.len() } else { 0 },
+            shared_bfs_reuses,
+            plan.label,
         ))
     }
 }
@@ -480,6 +605,112 @@ mod tests {
         for resp in &report.responses {
             assert_eq!(resp.result, single.responses[0].result);
         }
+    }
+
+    /// Three components (two triangles and a 4-path) with queries
+    /// interleaved across them — the worst case for per-query component
+    /// derivation and the best case for grouping.
+    fn fragmented_snap() -> Snapshot {
+        let mut b = GraphBuilder::new(10);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        for (u, v) in [(6, 7), (7, 8), (8, 9)] {
+            b.add_edge(u, v);
+        }
+        Snapshot::freeze(b.build())
+    }
+
+    fn interleaved_requests() -> Vec<QueryRequest> {
+        QueryRequest::from_node_lists(&[
+            vec![0u32],
+            vec![3],
+            vec![6],
+            vec![1],
+            vec![4],
+            vec![7, 9],
+            vec![2],
+            vec![5, 3],
+            vec![8],
+        ])
+    }
+
+    #[test]
+    fn grouped_plan_matches_plan_off_bit_identically() {
+        let snap = fragmented_snap();
+        let reqs = interleaved_requests();
+        let baseline = BatchRunner::new(AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .with_plan(PlanMode::Off)
+            .run(&snap, &reqs)
+            .unwrap();
+        assert_eq!(baseline.plan, "off");
+        assert_eq!(
+            (
+                baseline.groups,
+                baseline.grouped_queries,
+                baseline.shared_bfs_reuses
+            ),
+            (0, 0, 0)
+        );
+        for threads in [1usize, 2, 4] {
+            let grouped = BatchRunner::new(AlgoSpec::new("fpa"), threads)
+                .unwrap()
+                .with_plan(PlanMode::Auto)
+                .run(&snap, &reqs)
+                .unwrap();
+            assert_eq!(grouped.plan, "auto:grouped+memo", "{threads} threads");
+            assert_eq!(grouped.groups, 3, "{threads} threads");
+            assert_eq!(grouped.grouped_queries, reqs.len(), "{threads} threads");
+            for (a, b) in baseline.responses.iter().zip(&grouped.responses) {
+                assert_eq!(a.request, b.request, "{threads} threads");
+                assert_eq!(a.result, b.result, "{threads} threads");
+                assert_eq!(a.algo, b.algo, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_reuses_component_bfs_across_a_group() {
+        // Single worker: all 9 queries run on one session; with three
+        // groups of 3 the first of each group misses the memo and the
+        // other two hit it.
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .run(&fragmented_snap(), &interleaved_requests())
+            .unwrap();
+        assert_eq!(report.groups, 3);
+        assert_eq!(report.shared_bfs_reuses, 6);
+    }
+
+    #[test]
+    fn connected_graphs_plan_memo_without_grouping() {
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&barbell_snap(), &requests())
+            .unwrap();
+        assert_eq!(report.plan, "auto:memo");
+        assert_eq!((report.groups, report.grouped_queries), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_queries_share_the_sentinel_group() {
+        let reqs = QueryRequest::from_node_lists(&[vec![0u32], vec![99], vec![3], vec![98]]);
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&barbell_snap(), &reqs)
+            .unwrap();
+        // Barbell is connected → ungrouped; the doomed queries still
+        // answer with their validation error.
+        assert!(report.responses[0].is_ok());
+        assert!(!report.responses[1].is_ok());
+        let split = fragmented_snap();
+        let report = BatchRunner::new(AlgoSpec::new("fpa"), 2)
+            .unwrap()
+            .run(&split, &reqs)
+            .unwrap();
+        assert_eq!(report.groups, 3, "two components + one sentinel group");
+        assert!(!report.responses[3].is_ok());
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub mod batch;
 pub mod cache;
 pub mod error;
 pub mod output;
+pub mod plan;
 pub mod registry;
 pub mod request;
 pub mod server;
@@ -97,6 +98,7 @@ pub mod session;
 pub use batch::{BatchReport, BatchRunner};
 pub use cache::ResponseCache;
 pub use error::EngineError;
+pub use plan::{PlanMode, QueryPlan};
 pub use registry::{AlgoParams, AlgoSpec};
 pub use request::{QueryRequest, QueryResponse};
 #[cfg(unix)]
@@ -240,15 +242,31 @@ impl Engine {
 
     /// Resolve `spec` through the registry and run the whole batch on
     /// `threads` workers (clamped to one worker per distinct request)
-    /// against the current snapshot, consulting the shared cache.
+    /// against the current snapshot, consulting the shared cache. Plans
+    /// under [`PlanMode::Auto`]; see [`Engine::run_batch_planned`].
     pub fn run_batch(
         &self,
         spec: &AlgoSpec,
         requests: &[QueryRequest],
         threads: usize,
     ) -> Result<BatchReport, EngineError> {
+        self.run_batch_planned(spec, requests, threads, PlanMode::Auto)
+    }
+
+    /// [`Engine::run_batch`] with an explicit planner mode (the CLI's
+    /// `--plan`). Plans choose execution strategy only — grouping and
+    /// memoization — so responses are bit-identical across modes; the
+    /// report's scheduling counters and `plan` label record the choice.
+    pub fn run_batch_planned(
+        &self,
+        spec: &AlgoSpec,
+        requests: &[QueryRequest],
+        threads: usize,
+        plan: PlanMode,
+    ) -> Result<BatchReport, EngineError> {
         BatchRunner::new(spec.clone(), threads)?
             .with_cache(Arc::clone(&self.cache))
+            .with_plan(plan)
             .run(&self.snapshot(), requests)
     }
 }

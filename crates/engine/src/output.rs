@@ -29,7 +29,8 @@
 //! {"type":"summary","protocol_version":1,"server":"dmcs/0.1.0","algo":"FPA",
 //!  "weighted":false,"queries":3,"ok":2,
 //!  "wall_seconds":0.004,"queries_per_sec":750.0,"p50_seconds":0.001,
-//!  "p95_seconds":0.002,"unique":3,"cache_hits":0,"cache_misses":3}
+//!  "p95_seconds":0.002,"unique":3,"cache_hits":0,"cache_misses":3,
+//!  "groups":2,"grouped_queries":3,"shared_bfs_reuses":1,"plan":"auto:grouped+memo"}
 //! ```
 //!
 //! `weighted` records whether the batch served the weighted density
@@ -46,6 +47,14 @@
 //! attached). Responses served from the cache are **byte-identical** to
 //! the response that populated the entry — there is deliberately no
 //! per-response cached marker.
+//!
+//! `groups` / `grouped_queries` / `shared_bfs_reuses` describe the
+//! component-aware scheduler: how many connected-component groups the
+//! plan formed, how many work items ran through them (both 0 on an
+//! ungrouped run), and how many queries reused a component BFS memoized
+//! by an earlier query on the same worker. `plan` is the planner's
+//! label (`"auto:grouped+memo"`, `"auto:memo"`, `"off"`); none of these
+//! affect response bytes — plans choose execution strategy only.
 //!
 //! Node ids in `query` and `community` are in the *original* (input
 //! file) id space when a mapping is supplied, dense ids otherwise.
@@ -560,6 +569,16 @@ pub fn summary_json(algo: &str, weighted: bool, report: &BatchReport) -> Json {
                 "cache_misses".to_string(),
                 Json::UInt(report.cache_misses as u64),
             ),
+            ("groups".to_string(), Json::UInt(report.groups as u64)),
+            (
+                "grouped_queries".to_string(),
+                Json::UInt(report.grouped_queries as u64),
+            ),
+            (
+                "shared_bfs_reuses".to_string(),
+                Json::UInt(report.shared_bfs_reuses),
+            ),
+            ("plan".to_string(), Json::str(report.plan)),
         ],
     )
 }

@@ -1,0 +1,155 @@
+//! Stats-driven query planning: pick *execution strategy* — never
+//! results — from cheap per-snapshot graph statistics.
+//!
+//! The planner reads the snapshot's component index (a one-pass
+//! union-find computed lazily and cached on the snapshot, see
+//! [`Snapshot::component_index`](dmcs_graph::Snapshot::component_index))
+//! and decides two things:
+//!
+//! - **`grouped`** — whether a [`BatchRunner`](crate::BatchRunner)
+//!   should schedule queries component-by-component so that consecutive
+//!   queries on a worker share a connected component (and therefore the
+//!   worker session's memoized component BFS). Grouping only pays when
+//!   the graph is fragmented; on a single-component graph it is a no-op
+//!   reordering, so the planner turns it off.
+//! - **`memoize`** — whether worker sessions arm the per-workspace
+//!   component memo at all ([`QueryWorkspace::arm_component_memo`](
+//!   dmcs_graph::view::QueryWorkspace::arm_component_memo)).
+//!
+//! ## Why the planner never touches the algorithm
+//!
+//! Every knob the planner controls is **result-invariant**: grouping
+//! only permutes the order in which workers *execute* queries (the
+//! report still lists responses in submission order), and the component
+//! memo short-circuits a BFS whose outcome is fully determined by the
+//! snapshot. The planner deliberately has no authority over *which*
+//! algorithm answers a query — the peeling algorithms break ties by
+//! node id and track best-snapshots by removal order, so substituting
+//! an "equivalent" algorithm (or reordering its removals) could return
+//! a different, equally valid community. The engine's contract is
+//! byte-identical output for identical requests, with or without a
+//! plan; strategy choices that cannot alter bytes are the planner's
+//! entire vocabulary.
+
+use dmcs_graph::Snapshot;
+
+/// Planner switch, selected with `--plan auto|off` on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Choose strategy from per-snapshot statistics (the default).
+    #[default]
+    Auto,
+    /// Disable planning: ungrouped scheduling, no component memo. The
+    /// baseline execution path, kept selectable for benchmarks and for
+    /// bisecting suspected planner regressions.
+    Off,
+}
+
+impl PlanMode {
+    /// Stable lowercase name, the inverse of the [`FromStr`](std::str::FromStr) parse.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanMode::Auto => "auto",
+            PlanMode::Off => "off",
+        }
+    }
+}
+
+impl std::str::FromStr for PlanMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(PlanMode::Auto),
+            "off" => Ok(PlanMode::Off),
+            other => Err(format!("unknown plan mode '{other}' (expected auto|off)")),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The execution strategy chosen for one snapshot: all fields are
+/// result-invariant (see the module docs for why that is a hard rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Schedule batch queries grouped by connected component.
+    pub grouped: bool,
+    /// Arm the per-worker component memo.
+    pub memoize: bool,
+    /// Human-readable label surfaced in batch summaries and server
+    /// `stats` output, e.g. `"auto:grouped+memo"`.
+    pub label: &'static str,
+}
+
+impl QueryPlan {
+    /// Choose a plan for `snapshot` under `mode`.
+    ///
+    /// `Auto` always memoizes (the memo is free when it never hits) and
+    /// groups exactly when the snapshot has more than one connected
+    /// component — on a connected graph every query shares the single
+    /// component, so grouping would reorder work for no locality gain.
+    /// `Off` disables everything.
+    pub fn choose(mode: PlanMode, snapshot: &Snapshot) -> QueryPlan {
+        match mode {
+            PlanMode::Off => QueryPlan {
+                grouped: false,
+                memoize: false,
+                label: "off",
+            },
+            PlanMode::Auto => {
+                let fragmented = snapshot.component_index().count() > 1;
+                QueryPlan {
+                    grouped: fragmented,
+                    memoize: true,
+                    label: if fragmented {
+                        "auto:grouped+memo"
+                    } else {
+                        "auto:memo"
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmcs_graph::GraphBuilder;
+
+    #[test]
+    fn mode_round_trips_through_strings() {
+        for mode in [PlanMode::Auto, PlanMode::Off] {
+            assert_eq!(mode.as_str().parse::<PlanMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.as_str());
+        }
+        assert!("tortoise".parse::<PlanMode>().is_err());
+        assert_eq!(PlanMode::default(), PlanMode::Auto);
+    }
+
+    #[test]
+    fn auto_groups_only_fragmented_snapshots() {
+        let connected = Snapshot::freeze(GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]));
+        let plan = QueryPlan::choose(PlanMode::Auto, &connected);
+        assert!(!plan.grouped && plan.memoize);
+        assert_eq!(plan.label, "auto:memo");
+
+        let split = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
+        let plan = QueryPlan::choose(PlanMode::Auto, &split);
+        assert!(plan.grouped && plan.memoize);
+        assert_eq!(plan.label, "auto:grouped+memo");
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        let split = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
+        let plan = QueryPlan::choose(PlanMode::Off, &split);
+        assert!(!plan.grouped && !plan.memoize);
+        assert_eq!(plan.label, "off");
+    }
+}

@@ -658,6 +658,19 @@ fn process_line<S: Write>(
                         "pinned_version".to_string(),
                         Json::UInt(session.snapshot().version()),
                     ),
+                    // What the auto planner chooses for the pinned
+                    // snapshot (the daemon serves single queries, so
+                    // this reports strategy, it never alters results).
+                    (
+                        "plan".to_string(),
+                        Json::str(
+                            crate::plan::QueryPlan::choose(
+                                crate::plan::PlanMode::Auto,
+                                session.snapshot(),
+                            )
+                            .label,
+                        ),
+                    ),
                     ("cache_hits".to_string(), Json::UInt(cache.hits())),
                     ("cache_misses".to_string(), Json::UInt(cache.misses())),
                     ("shards".to_string(), Json::UInt(store.shard_count() as u64)),

@@ -90,14 +90,36 @@ impl std::fmt::Debug for Session {
 impl Session {
     /// Resolve `spec` through the registry and open a session pinned to
     /// `snapshot`.
+    ///
+    /// The workspace's component memo is armed with the snapshot's epoch
+    /// key, so consecutive queries landing in the same connected
+    /// component skip the per-query component BFS (memoization is free
+    /// when it never hits; [`Session::without_memo`] turns it off for
+    /// `--plan off` runs and baseline benchmarks).
     pub fn new(snapshot: Snapshot, spec: &AlgoSpec) -> Result<Self, EngineError> {
+        let mut ws = QueryWorkspace::new();
+        ws.arm_component_memo(snapshot.epoch_key());
         Ok(Session {
             snapshot,
             spec: spec.clone(),
             algo: spec.build()?,
-            ws: QueryWorkspace::new(),
+            ws,
             cache: None,
         })
+    }
+
+    /// Disarm the workspace's component memo — every query re-derives
+    /// its connected component from scratch. Used by `--plan off` and by
+    /// benchmarks that measure the memo's effect.
+    pub fn without_memo(mut self) -> Self {
+        self.ws.disarm_component_memo();
+        self
+    }
+
+    /// Number of queries so far that reused the memoized component of
+    /// an earlier query on this session (always 0 when disarmed).
+    pub fn memo_hits(&self) -> u64 {
+        self.ws.memo_hits()
     }
 
     /// Attach a shared result cache. Subsequent [`Session::query`] calls

@@ -56,6 +56,10 @@ fn fixed_report() -> BatchReport {
         unique_queries: 3,
         cache_hits: 1,
         cache_misses: 2,
+        groups: 2,
+        grouped_queries: 3,
+        shared_bfs_reuses: 1,
+        plan: "auto:grouped+memo",
     }
 }
 

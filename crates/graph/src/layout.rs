@@ -1,0 +1,463 @@
+//! Locality-aware CSR node renumbering.
+//!
+//! The CSR substrate serves queries whose working set is one connected
+//! component, but nothing guarantees that a component's rows sit near
+//! each other in the neighbour array — real edge lists arrive in
+//! arbitrary id order, and a BFS over a scattered component touches one
+//! cache line per node. This module renumbers nodes so that topological
+//! neighbours become memory neighbours:
+//!
+//! - [`LayoutPolicy::Degree`] — hubs first (descending degree). Groups
+//!   the high-traffic rows at the front of the array, the classic
+//!   push/pull layout for power-law graphs.
+//! - [`LayoutPolicy::Bfs`] — breadth-first visitation order per
+//!   component. Frontier neighbours land in adjacent rows, so the BFS
+//!   and peeling loops stream the neighbour array nearly sequentially.
+//! - [`LayoutPolicy::Rcm`] — reverse Cuthill–McKee: BFS from a minimum
+//!   degree seed expanding cheapest-first, then reversed; the standard
+//!   bandwidth-minimising ordering from sparse linear algebra.
+//!
+//! A renumbered graph is **internal only**. Every public surface of the
+//! engine — queries, updates, shard assignment, JSON output, cache keys
+//! — speaks stable *external* ids; the [`NodeMap`] carried by a
+//! [`ComputeGraph`] translates in both directions and is
+//! identity-optimized so stores that never opt in pay nothing.
+//!
+//! Why the serving search path does **not** run on the permuted graph:
+//! the peeling algorithms break density ties by node id (smallest id
+//! wins the heap) and a best-snapshot competition by removal order, so
+//! executing on permuted ids can legitimately select a *different*
+//! equally-dense community. The engine's results contract is
+//! byte-identical JSON across layouts, so searches execute on the
+//! canonical external-id CSR while the permuted mirror accelerates
+//! id-insensitive passes (BFS distance sweeps, stats, bulk scans) and
+//! serves as the benchmark substrate for layout experiments.
+
+use crate::traversal::connected_components;
+use crate::{Graph, NodeId};
+use std::sync::Arc;
+
+/// Node renumbering policy of a store or snapshot. `Identity` is the
+/// default and costs nothing; the other policies build a permuted
+/// compute mirror at snapshot-build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutPolicy {
+    /// Keep external ids as internal ids (no mirror is built).
+    #[default]
+    Identity,
+    /// Descending-degree order (hubs first), ties broken by id.
+    Degree,
+    /// Per-component breadth-first visitation order.
+    Bfs,
+    /// Reverse Cuthill–McKee (bandwidth-minimising) order.
+    Rcm,
+}
+
+impl LayoutPolicy {
+    /// All policies, in the order the CLI documents them.
+    pub const ALL: [LayoutPolicy; 4] = [
+        LayoutPolicy::Identity,
+        LayoutPolicy::Degree,
+        LayoutPolicy::Bfs,
+        LayoutPolicy::Rcm,
+    ];
+
+    /// The canonical lowercase name (`identity`, `degree`, `bfs`, `rcm`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LayoutPolicy::Identity => "identity",
+            LayoutPolicy::Degree => "degree",
+            LayoutPolicy::Bfs => "bfs",
+            LayoutPolicy::Rcm => "rcm",
+        }
+    }
+}
+
+impl std::str::FromStr for LayoutPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "identity" => Ok(LayoutPolicy::Identity),
+            "degree" => Ok(LayoutPolicy::Degree),
+            "bfs" => Ok(LayoutPolicy::Bfs),
+            "rcm" => Ok(LayoutPolicy::Rcm),
+            other => Err(format!(
+                "unknown layout policy '{other}' (expected identity, degree, bfs or rcm)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Bidirectional external↔internal id translation for one renumbered
+/// graph. Identity maps carry no allocation and translate in `O(1)`
+/// with no memory traffic, so un-renumbered stores pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    inner: Option<Arc<MapInner>>,
+}
+
+#[derive(Debug)]
+struct MapInner {
+    /// `to_internal[external] = internal`.
+    to_internal: Vec<NodeId>,
+    /// `to_external[internal] = external`.
+    to_external: Vec<NodeId>,
+}
+
+impl NodeMap {
+    /// The identity map (every id maps to itself).
+    pub fn identity() -> NodeMap {
+        NodeMap { inner: None }
+    }
+
+    /// Build a map from an ordering where `order[internal] = external`.
+    /// `order` must be a permutation of `0..order.len()`.
+    pub fn from_order(order: &[NodeId]) -> NodeMap {
+        let mut to_internal = vec![0 as NodeId; order.len()];
+        for (internal, &external) in order.iter().enumerate() {
+            to_internal[external as usize] = internal as NodeId;
+        }
+        NodeMap {
+            inner: Some(Arc::new(MapInner {
+                to_internal,
+                to_external: order.to_vec(),
+            })),
+        }
+    }
+
+    /// Whether this is the allocation-free identity map.
+    pub fn is_identity(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Translate an external (public, stable) id to the internal
+    /// (permuted CSR) id.
+    #[inline]
+    pub fn to_internal(&self, external: NodeId) -> NodeId {
+        match &self.inner {
+            Some(m) => m.to_internal[external as usize],
+            None => external,
+        }
+    }
+
+    /// Translate an internal (permuted CSR) id back to the external id.
+    #[inline]
+    pub fn to_external(&self, internal: NodeId) -> NodeId {
+        match &self.inner {
+            Some(m) => m.to_external[internal as usize],
+            None => internal,
+        }
+    }
+}
+
+/// A permuted compute mirror of a canonical graph: the renumbered CSR,
+/// the [`NodeMap`] that translates ids, and the policy that produced
+/// it. Built behind a store's layout policy at snapshot-build time;
+/// see the module docs for why serving searches stay on the canonical
+/// graph.
+#[derive(Debug)]
+pub struct ComputeGraph {
+    graph: Graph,
+    map: NodeMap,
+    policy: LayoutPolicy,
+}
+
+impl ComputeGraph {
+    /// Build the mirror for `policy`. Returns `None` for
+    /// [`LayoutPolicy::Identity`] (the canonical graph *is* the mirror;
+    /// nothing to build or store).
+    pub fn build(g: &Graph, policy: LayoutPolicy) -> Option<ComputeGraph> {
+        let order = compute_order(g, policy)?;
+        let graph = apply_order(g, &order);
+        Some(ComputeGraph {
+            graph,
+            map: NodeMap::from_order(&order),
+            policy,
+        })
+    }
+
+    /// The renumbered CSR graph (internal ids).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The external↔internal translation map.
+    pub fn map(&self) -> &NodeMap {
+        &self.map
+    }
+
+    /// The policy that produced this mirror.
+    pub fn policy(&self) -> LayoutPolicy {
+        self.policy
+    }
+}
+
+/// Compute the node ordering for `policy`: `order[internal] = external`.
+/// Returns `None` for [`LayoutPolicy::Identity`].
+pub fn compute_order(g: &Graph, policy: LayoutPolicy) -> Option<Vec<NodeId>> {
+    match policy {
+        LayoutPolicy::Identity => None,
+        LayoutPolicy::Degree => Some(degree_order(g)),
+        LayoutPolicy::Bfs => Some(bfs_order(g)),
+        LayoutPolicy::Rcm => Some(rcm_order(g)),
+    }
+}
+
+/// Renumber `g` by an explicit ordering (`order[internal] = external`;
+/// must be a permutation of `0..g.n()`). The result is isomorphic to
+/// `g` — same degrees, same edges up to relabeling — with the weights
+/// lane, when present, permuted alongside the neighbour array. Public
+/// so benchmarks and tests can apply custom (e.g. scrambling)
+/// permutations through the same code path the store uses.
+pub fn apply_order(g: &Graph, order: &[NodeId]) -> Graph {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must cover every node");
+    let map = NodeMap::from_order(order);
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            order.iter().all(|&v| {
+                let fresh = !seen[v as usize];
+                seen[v as usize] = true;
+                fresh
+            })
+        },
+        "order must be a permutation"
+    );
+
+    let weighted = g.is_weighted();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for &external in order {
+        acc += g.degree(external);
+        offsets.push(acc);
+    }
+    let mut neighbors = Vec::with_capacity(acc);
+    let mut slot_weight: Option<Vec<f64>> = weighted.then(|| Vec::with_capacity(acc));
+    // Per-row scratch: translate, then sort so adjacency stays sorted
+    // (the CSR invariant `has_edge` and the views binary-search on).
+    let mut row: Vec<(NodeId, f64)> = Vec::new();
+    for &external in order {
+        row.clear();
+        for (u, w) in g.weighted_neighbors(external) {
+            row.push((map.to_internal(u), w));
+        }
+        row.sort_unstable_by_key(|&(v, _)| v);
+        neighbors.extend(row.iter().map(|&(v, _)| v));
+        if let Some(sw) = &mut slot_weight {
+            sw.extend(row.iter().map(|&(_, w)| w));
+        }
+    }
+    let graph = Graph::from_csr(offsets, neighbors);
+    match slot_weight {
+        Some(sw) => graph.attach_weights(sw),
+        None => graph,
+    }
+}
+
+/// Descending-degree order, ties broken by ascending external id.
+fn degree_order(g: &Graph) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    order
+}
+
+/// Per-component BFS visitation order: components in ascending order of
+/// their smallest node id, frontier expanded in sorted-adjacency order.
+fn bfs_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.n();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n as NodeId {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in g.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Reverse Cuthill–McKee: per component, BFS from a minimum-degree seed
+/// expanding neighbours cheapest-degree-first, with the full visitation
+/// order reversed at the end (components stay contiguous).
+fn rcm_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.n();
+    let (labels, count) = connected_components(g);
+    // Minimum-degree seed per component (ties: smallest id — the scan
+    // order guarantees it).
+    let mut seed: Vec<Option<NodeId>> = vec![None; count];
+    for v in 0..n as NodeId {
+        let c = labels[v as usize] as usize;
+        match seed[c] {
+            Some(s) if g.degree(s) <= g.degree(v) => {}
+            _ => seed[c] = Some(v),
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut nbrs: Vec<NodeId> = Vec::new();
+    for root in seed.into_iter().flatten() {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            nbrs.clear();
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !visited[u as usize]),
+            );
+            nbrs.sort_unstable_by_key(|&u| (g.degree(u), u));
+            for &u in &nbrs {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::WeightedGraphBuilder;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> Graph {
+        GraphBuilder::from_edges(7, &[(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6), (2, 4)])
+    }
+
+    /// Every edge of `g` must appear, relabeled, in `p` and vice versa.
+    fn assert_isomorphic(g: &Graph, p: &Graph, map: &NodeMap) {
+        assert_eq!(g.n(), p.n());
+        assert_eq!(g.m(), p.m());
+        for v in 0..g.n() as NodeId {
+            let pv = map.to_internal(v);
+            assert_eq!(g.degree(v), p.degree(pv), "degree of {v}");
+            let mut want: Vec<NodeId> =
+                g.neighbors(v).iter().map(|&u| map.to_internal(u)).collect();
+            want.sort_unstable();
+            assert_eq!(p.neighbors(pv), want.as_slice(), "row of {v}");
+        }
+    }
+
+    #[test]
+    fn identity_policy_builds_no_mirror() {
+        let g = two_triangles();
+        assert!(ComputeGraph::build(&g, LayoutPolicy::Identity).is_none());
+        assert!(compute_order(&g, LayoutPolicy::Identity).is_none());
+        let map = NodeMap::identity();
+        assert!(map.is_identity());
+        assert_eq!(map.to_internal(5), 5);
+        assert_eq!(map.to_external(5), 5);
+    }
+
+    #[test]
+    fn all_policies_produce_isomorphic_graphs() {
+        let g = two_triangles();
+        for policy in [LayoutPolicy::Degree, LayoutPolicy::Bfs, LayoutPolicy::Rcm] {
+            let mirror = ComputeGraph::build(&g, policy).expect("non-identity builds");
+            assert_eq!(mirror.policy(), policy);
+            assert_isomorphic(&g, mirror.graph(), mirror.map());
+        }
+    }
+
+    #[test]
+    fn node_map_round_trips() {
+        let g = two_triangles();
+        for policy in [LayoutPolicy::Degree, LayoutPolicy::Bfs, LayoutPolicy::Rcm] {
+            let mirror = ComputeGraph::build(&g, policy).unwrap();
+            for v in 0..g.n() as NodeId {
+                assert_eq!(mirror.map().to_external(mirror.map().to_internal(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = two_triangles();
+        let order = compute_order(&g, LayoutPolicy::Degree).unwrap();
+        // Node 2 and 4 have degree 3; 2 < 4 breaks the tie.
+        assert_eq!(&order[..2], &[2, 4]);
+        // Isolated node 3 (degree 0) lands last.
+        assert_eq!(order[g.n() - 1], 3);
+    }
+
+    #[test]
+    fn bfs_order_keeps_components_contiguous() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let order = compute_order(&g, LayoutPolicy::Bfs).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_a_path() {
+        // A path labeled in scrambled order has bandwidth > 1; RCM
+        // restores the chain layout (bandwidth exactly 1).
+        let g = GraphBuilder::from_edges(6, &[(0, 3), (3, 1), (1, 5), (5, 2), (2, 4)]);
+        let order = compute_order(&g, LayoutPolicy::Rcm).unwrap();
+        let p = apply_order(&g, &order);
+        let map = NodeMap::from_order(&order);
+        assert_isomorphic(&g, &p, &map);
+        let bandwidth = (0..p.n() as NodeId)
+            .flat_map(|v| p.neighbors(v).iter().map(move |&u| v.abs_diff(u)))
+            .max()
+            .unwrap();
+        assert_eq!(bandwidth, 1, "RCM must recover the chain layout");
+    }
+
+    #[test]
+    fn apply_order_carries_weights() {
+        let mut b = WeightedGraphBuilder::new(4);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 3.0);
+        b.add_edge(2, 3, 0.5);
+        let g = b.build().into_graph();
+        let order = vec![3, 2, 1, 0];
+        let p = apply_order(&g, &order);
+        let map = NodeMap::from_order(&order);
+        assert!(p.is_weighted());
+        assert_eq!(
+            p.edge_weight(map.to_internal(1), map.to_internal(2)),
+            Some(3.0)
+        );
+        assert!((p.total_weight() - g.total_weight()).abs() < 1e-12);
+        for v in 0..4 {
+            assert!((p.strength(map.to_internal(v)) - g.strength(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in LayoutPolicy::ALL {
+            assert_eq!(policy.as_str().parse::<LayoutPolicy>(), Ok(policy));
+            assert_eq!(format!("{policy}"), policy.as_str());
+        }
+        assert!("zcurve".parse::<LayoutPolicy>().is_err());
+    }
+}

@@ -49,6 +49,7 @@ pub mod dot;
 pub mod dynamic;
 pub mod eigen;
 pub mod io;
+pub mod layout;
 pub mod mincut;
 pub mod pagerank;
 pub mod stats;
@@ -61,7 +62,9 @@ pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use dynamic::{ShardLayout, DEFAULT_SHARD_COUNT};
+pub use layout::{ComputeGraph, LayoutPolicy, NodeMap};
 pub use store::{GraphStore, RebuildStats, Snapshot};
+pub use traversal::ComponentIndex;
 pub use view::SubgraphView;
 
 /// Node identifier. `u32` keeps adjacency arrays half the size of `usize`

@@ -7,7 +7,10 @@
 //! paper's five steps: pick a query node, run single-source shortest paths,
 //! keep the paths ending at the other queries, and return the union.
 
-use crate::dijkstra::{dijkstra_with_parents, path_from_parents, UnitWeights};
+use crate::dijkstra::{
+    dijkstra_with_parents, dijkstra_with_parents_into, path_from_parents, UnitWeights,
+};
+use crate::view::QueryWorkspace;
 use crate::{Graph, GraphError, NodeId};
 
 /// Steiner seed: a connected node set containing every query node, built by
@@ -35,6 +38,52 @@ pub fn steiner_seed(g: &Graph, query: &[NodeId]) -> Result<Vec<NodeId>, GraphErr
             return Err(GraphError::QueryDisconnected);
         };
         seed.extend(path);
+    }
+    seed.sort_unstable();
+    seed.dedup();
+    Ok(seed)
+}
+
+/// [`steiner_seed`] over a workspace's pooled shortest-path-tree buffers:
+/// identical root choice, traversal order and tie-breaks — byte-identical
+/// seeds — without the two `O(n)` array allocations the one-shot variant
+/// pays per multi-node query. On fragmented graphs those allocations (not
+/// the traversal, which only visits the root's component) dominate the
+/// seed cost, so the serving path always routes through here.
+pub fn steiner_seed_with_workspace(
+    g: &Graph,
+    query: &[NodeId],
+    ws: &mut QueryWorkspace,
+) -> Result<Vec<NodeId>, GraphError> {
+    for &q in query {
+        if q as usize >= g.n() {
+            return Err(GraphError::NodeOutOfRange(q));
+        }
+    }
+    let Some(&root) = query.first() else {
+        return Ok(Vec::new());
+    };
+    if query.len() == 1 {
+        return Ok(vec![root]);
+    }
+    let (mut dist, mut parent) = ws.take_path_tree(g.n());
+    let mut reached = Vec::new();
+    dijkstra_with_parents_into(g, root, &UnitWeights, &mut dist, &mut parent, &mut reached);
+    let mut seed: Vec<NodeId> = Vec::new();
+    let mut disconnected = false;
+    for &q in query {
+        match path_from_parents(&parent, q) {
+            Some(path) => seed.extend(path),
+            None => {
+                disconnected = true;
+                break;
+            }
+        }
+    }
+    // The buffers go back to the pool on the error path too.
+    ws.put_path_tree(dist, parent, &reached);
+    if disconnected {
+        return Err(GraphError::QueryDisconnected);
     }
     seed.sort_unstable();
     seed.dedup();

@@ -45,9 +45,11 @@
 //!   caches validate their fingerprints against.
 
 use crate::dynamic::{DynamicGraph, ShardLayout};
+use crate::layout::{ComputeGraph, LayoutPolicy};
+use crate::traversal::ComponentIndex;
 use crate::{Graph, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Process-unique store ids: versions only order mutations *within* one
 /// store, so caches keyed by version alone could confuse two different
@@ -84,6 +86,12 @@ pub struct Snapshot {
     /// Per-shard counters at the epoch this snapshot was built (shared;
     /// snapshots are cloned per worker/batch).
     shard_versions: Arc<[u64]>,
+    /// Locality-renumbered compute mirror, built when the store's
+    /// [`LayoutPolicy`] is non-identity (see [`Snapshot::compute`]).
+    compute: Option<Arc<ComputeGraph>>,
+    /// Lazily computed connected-component index, shared by all clones
+    /// of this epoch (see [`Snapshot::component_index`]).
+    components: Arc<OnceLock<ComponentIndex>>,
 }
 
 impl Snapshot {
@@ -92,12 +100,22 @@ impl Snapshot {
     /// [`Graph`] and no store. Frozen snapshots use the trivial
     /// one-shard layout.
     pub fn freeze(graph: Graph) -> Snapshot {
+        Snapshot::freeze_with_layout(graph, LayoutPolicy::Identity)
+    }
+
+    /// [`Snapshot::freeze`] with an explicit layout policy: a
+    /// non-identity policy builds the renumbered compute mirror
+    /// up front.
+    pub fn freeze_with_layout(graph: Graph, policy: LayoutPolicy) -> Snapshot {
+        let compute = ComputeGraph::build(&graph, policy).map(Arc::new);
         Snapshot {
             graph: Arc::new(graph),
             store_id: next_store_id(),
             version: 0,
             layout: ShardLayout::single(),
             shard_versions: Arc::from(vec![0u64]),
+            compute,
+            components: Arc::new(OnceLock::new()),
         }
     }
 
@@ -143,6 +161,48 @@ impl Snapshot {
     /// while those counters still match the serving snapshot's.
     pub fn shard_versions(&self) -> &[u64] {
         &self.shard_versions
+    }
+
+    /// The locality-renumbered compute mirror, when the snapshot was
+    /// built under a non-identity [`LayoutPolicy`]. `None` under the
+    /// identity policy — the canonical graph *is* the layout, and
+    /// identity stores pay neither build time nor memory for a mirror.
+    ///
+    /// The serving search path deliberately does **not** run on the
+    /// mirror: peeling breaks density ties by node id, so permuted ids
+    /// could select a different (equally valid) community and break the
+    /// byte-identical-across-layouts results contract. The mirror
+    /// accelerates id-insensitive work — BFS sweeps, stats, bulk scans
+    /// — and is the substrate of the layout benchmarks (see
+    /// [`crate::layout`] for the full argument).
+    pub fn compute(&self) -> Option<&ComputeGraph> {
+        self.compute.as_deref()
+    }
+
+    /// The layout policy this snapshot was built under.
+    pub fn layout_policy(&self) -> LayoutPolicy {
+        self.compute
+            .as_deref()
+            .map_or(LayoutPolicy::Identity, ComputeGraph::policy)
+    }
+
+    /// The connected-component index of this epoch's graph, computed on
+    /// first use and shared by every clone of the snapshot — the batch
+    /// scheduler's grouping labels and the planner's skew statistics
+    /// both read from here, so the union-find runs at most once per
+    /// store epoch.
+    pub fn component_index(&self) -> &ComponentIndex {
+        self.components
+            .get_or_init(|| ComponentIndex::compute(&self.graph))
+    }
+
+    /// A process-unique key identifying this snapshot's (store, epoch)
+    /// pair — what workspace-level memoization uses to prove that two
+    /// consecutive queries saw the same graph. Distinct stores never
+    /// share a key (store ids are process-unique), and within a store
+    /// the version moves on every effective mutation.
+    pub fn epoch_key(&self) -> (u64, u64) {
+        (self.store_id, self.version)
     }
 }
 
@@ -192,6 +252,9 @@ struct Inner {
     /// copy-forward at all.
     retired: Option<Snapshot>,
     stats: RebuildStats,
+    /// Node renumbering policy applied to every snapshot built from
+    /// here on (identity by default: no mirror, no cost).
+    layout_policy: LayoutPolicy,
 }
 
 // The id lives outside `Inner` so reads need not take the lock for it.
@@ -245,6 +308,7 @@ impl GraphStore {
                 cached: None,
                 retired: None,
                 stats,
+                layout_policy: LayoutPolicy::Identity,
             }),
         }
     }
@@ -273,6 +337,8 @@ impl GraphStore {
             version,
             layout: dynamic.shard_layout(),
             shard_versions: Arc::from(dynamic.shard_versions().to_vec()),
+            compute: None,
+            components: Arc::new(OnceLock::new()),
         });
         GraphStore {
             id,
@@ -281,7 +347,46 @@ impl GraphStore {
                 cached,
                 retired: None,
                 stats,
+                layout_policy: LayoutPolicy::Identity,
             }),
+        }
+    }
+
+    /// Set the layout policy at construction time (builder-style):
+    /// `GraphStore::from_graph(g).with_layout(LayoutPolicy::Bfs)`.
+    /// See [`GraphStore::set_layout_policy`].
+    pub fn with_layout(self, policy: LayoutPolicy) -> Self {
+        self.set_layout_policy(policy);
+        self
+    }
+
+    /// The layout policy snapshots are currently built under.
+    pub fn layout_policy(&self) -> LayoutPolicy {
+        self.read().layout_policy
+    }
+
+    /// Change the node renumbering policy. Takes effect immediately: if
+    /// a snapshot is cached for the current version, its compute mirror
+    /// is rebuilt under the new policy (the canonical graph, version
+    /// and component index are untouched — external ids never move, so
+    /// already-pinned snapshots and caches stay valid).
+    pub fn set_layout_policy(&self, policy: LayoutPolicy) {
+        let mut inner = self.write();
+        if inner.layout_policy == policy {
+            return;
+        }
+        inner.layout_policy = policy;
+        if let Some(s) = &inner.cached {
+            let compute = ComputeGraph::build(&s.graph, policy).map(Arc::new);
+            inner.cached = Some(Snapshot {
+                graph: Arc::clone(&s.graph),
+                store_id: s.store_id,
+                version: s.version,
+                layout: s.layout,
+                shard_versions: Arc::clone(&s.shard_versions),
+                compute,
+                components: Arc::clone(&s.components),
+            });
         }
     }
 
@@ -408,12 +513,15 @@ impl GraphStore {
         let started = std::time::Instant::now();
         let recycle = inner.retired.take();
         let (graph, dirty) = rebuild_csr(&inner.dynamic, inner.cached.as_ref(), recycle);
+        let compute = ComputeGraph::build(&graph, inner.layout_policy).map(Arc::new);
         let snap = Snapshot {
             graph: Arc::new(graph),
             store_id: self.id,
             version,
             layout: inner.dynamic.shard_layout(),
             shard_versions: Arc::from(inner.dynamic.shard_versions().to_vec()),
+            compute,
+            components: Arc::new(OnceLock::new()),
         };
         // Shard counters only ever advance, so under an unchanged layout
         // the new epoch's version vector dominates the displaced one —
@@ -1221,6 +1329,67 @@ mod tests {
         assert_eq!(stats.rebuilds, 1);
         assert_eq!(stats.shards_rebuilt, stats.last_dirty_shards as u64);
         assert!(stats.last_rebuild_seconds >= 0.0);
+    }
+
+    #[test]
+    fn layout_policy_builds_and_rebuilds_the_mirror() {
+        let store = GraphStore::from_graph(barbell()).with_layout(LayoutPolicy::Bfs);
+        assert_eq!(store.layout_policy(), LayoutPolicy::Bfs);
+        let snap = store.snapshot();
+        assert_eq!(snap.layout_policy(), LayoutPolicy::Bfs);
+        let mirror = snap.compute().expect("non-identity policy has a mirror");
+        assert_eq!(mirror.graph().n(), snap.n());
+        assert_eq!(mirror.graph().m(), snap.m());
+        // The canonical graph still speaks external ids.
+        assert_eq!(snap.neighbors(0), &[1, 2]);
+
+        // Mutations flow through: the next snapshot rebuilds the mirror.
+        store.insert_edge(0, 5);
+        let fresh = store.snapshot();
+        assert_eq!(fresh.compute().unwrap().graph().m(), 8);
+
+        // Switching back to identity drops the mirror without moving
+        // the version.
+        store.set_layout_policy(LayoutPolicy::Identity);
+        let plain = store.snapshot();
+        assert!(plain.compute().is_none());
+        assert_eq!(plain.version(), fresh.version());
+        assert!(plain.shares_graph(&fresh));
+    }
+
+    #[test]
+    fn identity_stores_build_no_mirror() {
+        let store = GraphStore::from_graph(barbell());
+        assert_eq!(store.layout_policy(), LayoutPolicy::Identity);
+        let snap = store.snapshot();
+        assert!(snap.compute().is_none());
+        assert_eq!(snap.layout_policy(), LayoutPolicy::Identity);
+    }
+
+    #[test]
+    fn component_index_is_shared_per_epoch() {
+        let store = GraphStore::from_graph(barbell());
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert_eq!(a.component_index().count(), 1);
+        // Clones of one epoch share the lazily computed index.
+        assert!(std::ptr::eq(a.component_index(), b.component_index()));
+        store.remove_edge(2, 3);
+        let c = store.snapshot();
+        assert_eq!(c.component_index().count(), 2);
+        assert_eq!(c.component_index().largest(), 3);
+        assert_eq!(a.component_index().count(), 1, "pinned epoch unchanged");
+    }
+
+    #[test]
+    fn epoch_keys_distinguish_stores_and_versions() {
+        let a = GraphStore::from_graph(barbell());
+        let b = GraphStore::from_graph(barbell());
+        assert_ne!(a.snapshot().epoch_key(), b.snapshot().epoch_key());
+        let before = a.snapshot().epoch_key();
+        a.insert_edge(0, 4);
+        assert_ne!(a.snapshot().epoch_key(), before);
+        assert_eq!(a.snapshot().epoch_key(), a.snapshot().epoch_key());
     }
 
     #[test]

@@ -203,6 +203,100 @@ pub fn diameter_within(g: &Graph, nodes: &[NodeId]) -> Option<u32> {
     Some(diam)
 }
 
+/// Dense connected-component labels plus per-component sizes — the
+/// cheap per-snapshot structure the batch scheduler groups queries by
+/// and the query planner reads its skew statistics from.
+///
+/// Built by union-find (union by size, path halving) over the edge
+/// list: `O(m α(n))` with no queue allocation, then relabeled densely
+/// so that label `k` is the component whose smallest node id is the
+/// `k`-th smallest among component minima (matching
+/// [`connected_components`]' labeling order).
+#[derive(Debug, Clone)]
+pub struct ComponentIndex {
+    labels: Vec<u32>,
+    sizes: Vec<u32>,
+}
+
+impl ComponentIndex {
+    /// Compute the index for `g`.
+    pub fn compute(g: &Graph) -> ComponentIndex {
+        let n = g.n();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        let mut rank: Vec<u32> = vec![1; n];
+
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                // Path halving: point v at its grandparent as we climb.
+                let grand = parent[parent[v as usize] as usize];
+                parent[v as usize] = grand;
+                v = grand;
+            }
+            v
+        }
+
+        for (u, v) in g.edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru == rv {
+                continue;
+            }
+            // Union by size.
+            let (big, small) = if rank[ru as usize] >= rank[rv as usize] {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            parent[small as usize] = big;
+            rank[big as usize] += rank[small as usize];
+        }
+
+        // Dense relabel in ascending order of each root's smallest
+        // member — node 0's component gets label 0, and so on.
+        let mut labels = vec![0u32; n];
+        let mut dense: Vec<u32> = vec![u32::MAX; n];
+        let mut sizes: Vec<u32> = Vec::new();
+        for v in 0..n as u32 {
+            let root = find(&mut parent, v);
+            let label = if dense[root as usize] == u32::MAX {
+                let l = sizes.len() as u32;
+                dense[root as usize] = l;
+                sizes.push(rank[root as usize]);
+                l
+            } else {
+                dense[root as usize]
+            };
+            labels[v as usize] = label;
+        }
+        ComponentIndex { labels, sizes }
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The dense component label of node `v` (`v` must be in range).
+    #[inline]
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Per-node labels, indexed by node id.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Per-component node counts, indexed by label.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Node count of the largest component (0 on the empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +382,30 @@ mod tests {
         let g = path5();
         assert_eq!(eccentricity_within(&g, &[0, 1, 2], 0), Some(2));
         assert_eq!(eccentricity_within(&g, &[0, 1, 2], 1), Some(1));
+    }
+
+    #[test]
+    fn component_index_matches_bfs_labeling() {
+        let g = GraphBuilder::from_edges(7, &[(0, 1), (1, 2), (4, 3), (5, 6)]);
+        let idx = ComponentIndex::compute(&g);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(idx.count(), count);
+        assert_eq!(idx.labels(), labels.as_slice());
+        assert_eq!(idx.sizes(), &[3, 2, 2]);
+        assert_eq!(idx.largest(), 3);
+        assert_eq!(idx.label(3), idx.label(4));
+        assert_ne!(idx.label(0), idx.label(6));
+    }
+
+    #[test]
+    fn component_index_on_degenerate_graphs() {
+        let empty = GraphBuilder::new(0).build();
+        let idx = ComponentIndex::compute(&empty);
+        assert_eq!(idx.count(), 0);
+        assert_eq!(idx.largest(), 0);
+        let isolated = GraphBuilder::new(3).build();
+        let idx = ComponentIndex::compute(&isolated);
+        assert_eq!(idx.count(), 3);
+        assert_eq!(idx.sizes(), &[1, 1, 1]);
     }
 }

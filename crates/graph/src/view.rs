@@ -10,6 +10,7 @@
 use crate::bits::BitMask;
 use crate::dynamic::ShardLayout;
 use crate::{Graph, NodeId};
+use std::sync::Arc;
 
 /// A node-induced subgraph of a [`Graph`] supporting cheap node removal.
 #[derive(Debug, Clone)]
@@ -242,8 +243,39 @@ pub struct QueryWorkspace {
     /// Pooled `f64` per-node scratch (the weighted algorithms' local
     /// incident-weight array `w_{v,S}`).
     weights: Option<Vec<f64>>,
+    /// Pooled shortest-path-tree distances (`INFINITY`-clean) for the
+    /// Steiner-seed pass of multi-node queries.
+    path_dist: Option<Vec<f64>>,
+    /// Pooled shortest-path-tree parents (`NodeId::MAX`-clean), paired
+    /// with `path_dist`.
+    path_parent: Option<Vec<NodeId>>,
     /// Present between `begin_shard_tracking` and `take_touched_shards`.
     shard_tracking: Option<ShardTracker>,
+    /// Last-component memo (present iff armed; see
+    /// [`QueryWorkspace::arm_component_memo`]).
+    memo: Option<ComponentMemo>,
+}
+
+/// The workspace's last-component memo: consecutive queries landing in
+/// the same connected component of the same graph epoch skip the
+/// connectivity-validation BFS and the visited-set collection — the
+/// memoized sorted component *is* that result. Armed per graph epoch by
+/// the session layer; a query against a different epoch can never hit.
+#[derive(Debug)]
+struct ComponentMemo {
+    /// The `(store_id, version)` pair of the snapshot the memo is valid
+    /// for (see `Snapshot::epoch_key`): store ids are process-unique and
+    /// versions move on every effective mutation, so a stale hit is
+    /// impossible — unlike pointer-keying, which an allocator reusing a
+    /// freed graph's address would defeat.
+    epoch: (u64, u64),
+    /// The memoized component, sorted ascending (shared, so repeat
+    /// queries clone an `Arc`, not the node vector).
+    nodes: Option<Arc<[NodeId]>>,
+    /// Membership mask over the memoized component.
+    member: BitMask,
+    /// Number of queries that reused the memoized component.
+    hits: u64,
 }
 
 /// Shards touched by the current query (installed by
@@ -415,6 +447,170 @@ impl QueryWorkspace {
         }
         self.weights = Some(weights);
     }
+
+    /// Take the pooled shortest-path-tree buffers — `f64` distances (all
+    /// `INFINITY`) and parent pointers (all `NodeId::MAX`), sized to `n`.
+    /// Multi-node queries grow a Steiner seed from a shortest-path tree
+    /// before peeling; without pooling those two `O(n)` arrays were
+    /// allocated and zeroed per query, which dominated the per-query
+    /// constant on fragmented graphs. Same sparse-reset contract as the
+    /// other buffers: pair with [`QueryWorkspace::put_path_tree`],
+    /// listing the nodes the traversal reached.
+    pub fn take_path_tree(&mut self, n: usize) -> (Vec<f64>, Vec<NodeId>) {
+        let mut dist = self.path_dist.take().unwrap_or_default();
+        if dist.len() != n {
+            dist.clear();
+            dist.resize(n, f64::INFINITY);
+        }
+        let mut parent = self.path_parent.take().unwrap_or_default();
+        if parent.len() != n {
+            parent.clear();
+            parent.resize(n, NodeId::MAX);
+        }
+        debug_assert!(
+            dist.iter().all(|&d| d == f64::INFINITY) && parent.iter().all(|&p| p == NodeId::MAX),
+            "recycled path-tree buffers not clean"
+        );
+        (dist, parent)
+    }
+
+    /// Return the shortest-path-tree buffers to the pool, resetting
+    /// exactly the entries the traversal reached.
+    pub fn put_path_tree(
+        &mut self,
+        mut dist: Vec<f64>,
+        mut parent: Vec<NodeId>,
+        reached: &[NodeId],
+    ) {
+        for &v in reached {
+            dist[v as usize] = f64::INFINITY;
+            parent[v as usize] = NodeId::MAX;
+        }
+        self.path_dist = Some(dist);
+        self.path_parent = Some(parent);
+    }
+
+    /// Build a view over `nodes` when `nodes` is known to be a **closed
+    /// component** — every neighbour of a member is a member (e.g. a
+    /// full connected component). Then each node's local degree is its
+    /// full degree and the edge count is half the degree sum, so the
+    /// view costs `O(|nodes|)` instead of the `O(Σ deg)` edge scan of
+    /// [`QueryWorkspace::view`]. Recycle with
+    /// [`QueryWorkspace::recycle`] as usual.
+    pub fn view_component<'g>(&mut self, graph: &'g Graph, nodes: &[NodeId]) -> SubgraphView<'g> {
+        let n = graph.n();
+        let mut alive = self.alive.take().unwrap_or_default();
+        let mut local_deg = self.local_deg.take().unwrap_or_default();
+        debug_assert!(alive.is_clear(), "recycled mask not clean");
+        debug_assert!(
+            local_deg.iter().all(|&d| d == 0),
+            "recycled degrees not clean"
+        );
+        alive.resize(n);
+        local_deg.resize(n, 0);
+        let mut degree_sum = 0u64;
+        for &v in nodes {
+            alive.set(v as usize);
+            let d = graph.degree(v) as u32;
+            local_deg[v as usize] = d;
+            degree_sum += u64::from(d);
+        }
+        debug_assert!(
+            nodes
+                .iter()
+                .flat_map(|&v| graph.neighbors(v))
+                .all(|&u| alive.get(u as usize)),
+            "view_component requires a neighbour-closed node set"
+        );
+        SubgraphView {
+            graph,
+            alive,
+            local_deg,
+            n_alive: nodes.len(),
+            m_alive: degree_sum / 2,
+        }
+    }
+
+    /// Enable the last-component memo for the graph epoch identified by
+    /// `epoch` (a `Snapshot::epoch_key`). Arming a different epoch
+    /// clears any memoized component; arming the same epoch again is a
+    /// no-op, so sessions call this unconditionally per query.
+    pub fn arm_component_memo(&mut self, epoch: (u64, u64)) {
+        match &mut self.memo {
+            Some(m) if m.epoch == epoch => {}
+            Some(m) => {
+                if let Some(nodes) = m.nodes.take() {
+                    for &v in nodes.iter() {
+                        m.member.clear(v as usize);
+                    }
+                }
+                m.epoch = epoch;
+            }
+            None => {
+                self.memo = Some(ComponentMemo {
+                    epoch,
+                    nodes: None,
+                    member: BitMask::new(),
+                    hits: 0,
+                });
+            }
+        }
+    }
+
+    /// Disable the memo (plan `off`): probes miss and stores are
+    /// dropped until re-armed. The hit counter is discarded too.
+    pub fn disarm_component_memo(&mut self) {
+        self.memo = None;
+    }
+
+    /// If the memo is armed and every node of `query` lies in the
+    /// memoized component, return that component (sorted ascending) and
+    /// count a hit. Membership of every query node in one connected
+    /// component also proves the query is connected, so callers skip
+    /// their validation BFS on a hit. Query nodes must already be
+    /// bounds-checked against the graph.
+    pub fn memoized_component(&mut self, query: &[NodeId]) -> Option<Arc<[NodeId]>> {
+        let m = self.memo.as_mut()?;
+        let nodes = m.nodes.as_ref()?;
+        if query.is_empty()
+            || !query
+                .iter()
+                .all(|&q| (q as usize) < m.member.capacity() && m.member.get(q as usize))
+        {
+            return None;
+        }
+        m.hits += 1;
+        Some(Arc::clone(nodes))
+    }
+
+    /// Memoize `component` (the sorted connected component the current
+    /// query explored) for subsequent [`memoized_component`] probes.
+    /// Replaces any previously memoized component. A no-op when the
+    /// memo is not armed.
+    ///
+    /// [`memoized_component`]: QueryWorkspace::memoized_component
+    pub fn memoize_component(&mut self, component: &Arc<[NodeId]>, n: usize) {
+        let Some(m) = self.memo.as_mut() else {
+            return;
+        };
+        if let Some(old) = m.nodes.take() {
+            for &v in old.iter() {
+                m.member.clear(v as usize);
+            }
+        }
+        m.member.resize(n);
+        for &v in component.iter() {
+            m.member.set(v as usize);
+        }
+        m.nodes = Some(Arc::clone(component));
+    }
+
+    /// Number of queries that reused the memoized component since the
+    /// memo was (last) armed — the `shared_bfs_reuses` observability
+    /// counter. Zero while disarmed.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.as_ref().map_or(0, |m| m.hits)
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +772,67 @@ mod tests {
         // Started but never noted (error path): conservative None.
         ws.begin_shard_tracking(layout);
         assert_eq!(ws.take_touched_shards(), None);
+    }
+
+    #[test]
+    fn view_component_matches_edge_scan_view() {
+        // Two components; {0,1,2} is neighbour-closed in this graph.
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);
+        let mut ws = QueryWorkspace::new();
+        let comp = [0u32, 1, 2];
+        let fast = ws.view_component(&g, &comp);
+        let slow = SubgraphView::from_nodes(&g, &comp);
+        assert_eq!(fast.n_alive(), slow.n_alive());
+        assert_eq!(fast.m_alive(), slow.m_alive());
+        for &v in &comp {
+            assert_eq!(fast.local_degree(v), slow.local_degree(v));
+        }
+        assert!(!fast.contains(3));
+        ws.recycle(fast, &comp);
+        // Recycled buffers stay clean for the other component.
+        let other = [3u32, 4, 5];
+        let again = ws.view_component(&g, &other);
+        assert_eq!(again.n_alive(), 3);
+        assert_eq!(again.m_alive(), 2);
+        ws.recycle(again, &other);
+    }
+
+    #[test]
+    fn component_memo_hits_and_epoch_invalidation() {
+        let mut ws = QueryWorkspace::new();
+        // Disarmed: probes miss, stores drop, counter reads zero.
+        assert!(ws.memoized_component(&[0]).is_none());
+        let comp: Arc<[NodeId]> = Arc::from(vec![0u32, 1, 2]);
+        ws.memoize_component(&comp, 6);
+        assert!(ws.memoized_component(&[0]).is_none());
+        assert_eq!(ws.memo_hits(), 0);
+
+        ws.arm_component_memo((7, 0));
+        assert!(ws.memoized_component(&[0]).is_none(), "nothing stored yet");
+        ws.memoize_component(&comp, 6);
+        let hit = ws.memoized_component(&[2, 0]).expect("members hit");
+        assert_eq!(hit.as_ref(), &[0, 1, 2]);
+        assert!(ws.memoized_component(&[1, 3]).is_none(), "3 not a member");
+        assert!(ws.memoized_component(&[9]).is_none(), "out of mask range");
+        assert!(ws.memoized_component(&[]).is_none(), "empty never hits");
+        assert_eq!(ws.memo_hits(), 1);
+
+        // Same epoch re-arm keeps the memo; new epoch clears it.
+        ws.arm_component_memo((7, 0));
+        assert!(ws.memoized_component(&[1]).is_some());
+        ws.arm_component_memo((7, 1));
+        assert!(ws.memoized_component(&[1]).is_none());
+
+        // Replacing the memo clears the old membership sparsely.
+        let other: Arc<[NodeId]> = Arc::from(vec![3u32, 4]);
+        ws.memoize_component(&comp, 6);
+        ws.memoize_component(&other, 6);
+        assert!(ws.memoized_component(&[0]).is_none(), "old component gone");
+        assert!(ws.memoized_component(&[3, 4]).is_some());
+
+        ws.disarm_component_memo();
+        assert_eq!(ws.memo_hits(), 0);
+        assert!(ws.memoized_component(&[3]).is_none());
     }
 
     #[test]

@@ -13,10 +13,17 @@ store claims: how many times faster a single-dirty-shard rebuild is than
 a full rebuild at each graph size, and how the all-dirty worst case
 compares to the full rebuild.
 
+For `bench_batch` runs it additionally derives the locality/planning
+ratios (renumbered vs identity layout per-query FPA, planned vs
+unplanned batch, session memo on vs off) under
+`derived.locality_and_planning`.
+
 Usage:
     python3 scripts/bench_to_json.py --out BENCH_7.json
     cargo bench -q -p dmcs-engine --bench bench_store | \
         python3 scripts/bench_to_json.py --stdin --out BENCH_7.json
+    cargo bench -q -p dmcs-engine --bench bench_batch | \
+        python3 scripts/bench_to_json.py --stdin --out BENCH_9.json
 
 No dependencies beyond the standard library.
 """
@@ -89,6 +96,53 @@ def derive_rebuild_ratios(results):
     return derived
 
 
+def _ratio(times, baseline, contender):
+    """baseline/contender rounded, or None if either is missing."""
+    base, cont = times.get(baseline), times.get(contender)
+    if not (base and cont):
+        return None
+    return round(base / cont, 3)
+
+
+def derive_locality_ratios(results):
+    """Headline ratios of the locality/planning benches (`bench_batch`).
+
+    - ``layout_fpa``: identity-layout per-query FPA time over each
+      renumbered compute mirror (>1 means the renumbering is faster) on
+      the scrambled fragmented-50k graph.
+    - ``batch_sched``: ungrouped/unmemoized batch wall-clock over the
+      planned variants — ``plan_auto`` isolates component-grouped
+      scheduling + the component memo on the same scrambled store;
+      ``plan_auto_rcm`` is the full stack (the same planned batch served
+      from a physically RCM-renumbered store), the end-to-end
+      `--layout rcm --plan auto` configuration.
+    - ``session_memo``: the session's consecutive-same-component stream
+      without over with the workspace component memo.
+    """
+    by_group = {}
+    for r in results:
+        by_group.setdefault(r["group"], {})[r["name"]] = r["median_seconds"]
+    derived = {}
+    layout = by_group.get("layout_fpa_fragmented50k", {})
+    for policy in ("degree", "bfs", "rcm"):
+        ratio = _ratio(layout, "identity", policy)
+        if ratio is not None:
+            derived[f"layout_identity_over_{policy}"] = ratio
+    sched = by_group.get("batch_sched_fragmented100k", {})
+    for name, key in (
+        ("plan_auto", "sched_off_over_auto"),
+        ("plan_auto_rcm", "sched_off_over_auto_rcm"),
+    ):
+        ratio = _ratio(sched, "plan_off", name)
+        if ratio is not None:
+            derived[key] = ratio
+    memo = by_group.get("session_memo_fragmented50k", {})
+    ratio = _ratio(memo, "memo_off", "memo_on")
+    if ratio is not None:
+        derived["session_memo_off_over_on"] = ratio
+    return derived
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default="-", help="output path (default stdout)")
@@ -118,8 +172,14 @@ def main():
         "generated_by": "scripts/bench_to_json.py",
         "unit": "median_seconds are wall-clock seconds per iteration",
         "results": results,
-        "derived": {"store_snapshot_rebuild": derive_rebuild_ratios(results)},
+        "derived": {},
     }
+    rebuild = derive_rebuild_ratios(results)
+    if rebuild:
+        doc["derived"]["store_snapshot_rebuild"] = rebuild
+    locality = derive_locality_ratios(results)
+    if locality:
+        doc["derived"]["locality_and_planning"] = locality
     rendered = json.dumps(doc, indent=2) + "\n"
     if args.out == "-":
         sys.stdout.write(rendered)

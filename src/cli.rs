@@ -41,10 +41,11 @@ use crate::core::SearchResult;
 use crate::engine::output::{report_jsonl, response_json, result_json, summary_json, Json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
 use crate::engine::{
-    BatchReport, Engine, EngineError, QueryRequest, QueryResponse, Server, ServerConfig, Session,
+    BatchReport, Engine, EngineError, PlanMode, QueryRequest, QueryResponse, Server, ServerConfig,
+    Session,
 };
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, LayoutPolicy, NodeId};
 use crate::metrics::Goodness;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -100,6 +101,16 @@ pub struct CliConfig {
     /// per shard, giving incremental dirty-shard-only snapshot rebuilds
     /// and shard-scoped cache invalidation under updates.
     pub shards: usize,
+    /// Query planner mode (`--plan {auto,off}`): whether batches pick
+    /// component-grouped scheduling and the per-worker component memo
+    /// from snapshot statistics. Strategy only — output bytes are
+    /// identical across modes.
+    pub plan: PlanMode,
+    /// Compute-mirror layout policy (`--layout
+    /// {identity,degree,bfs,rcm}`): the store additionally builds a
+    /// cache-friendly renumbered CSR mirror per snapshot. Public ids
+    /// (and all output) stay in the external id space.
+    pub layout: LayoutPolicy,
 }
 
 impl Default for CliConfig {
@@ -120,6 +131,8 @@ impl Default for CliConfig {
             threads: 1,
             format: OutputFormat::Text,
             shards: crate::graph::DEFAULT_SHARD_COUNT,
+            plan: PlanMode::default(),
+            layout: LayoutPolicy::default(),
         }
     }
 }
@@ -176,6 +189,15 @@ OPTIONS:
                       (default: 16): updates dirty only the shards they
                       touch, so snapshot rebuilds recompile dirty shards
                       and cached answers scoped to clean shards survive
+    --plan <mode>     query planner: auto (default; batches schedule
+                      component-grouped with a per-worker component memo
+                      when snapshot stats warrant it) or off (ungrouped
+                      baseline). Execution strategy only — results are
+                      bit-identical across modes
+    --layout <policy> snapshot compute-mirror layout: identity (default;
+                      no mirror), degree, bfs or rcm — builds a
+                      renumbered cache-friendly CSR mirror per snapshot;
+                      ids in all output stay in the input id space
     --help            show this text
 
 EXIT CODES:
@@ -273,6 +295,16 @@ pub fn parse(args: &[String]) -> Result<Option<CliConfig>, EngineError> {
                 if cfg.shards == 0 {
                     return Err(EngineError::bad_param("--shards must be at least 1"));
                 }
+            }
+            "--plan" => {
+                cfg.plan = value("--plan")?.parse().map_err(|e: String| {
+                    EngineError::bad_param(format!("bad --plan value: {e}"))
+                })?;
+            }
+            "--layout" => {
+                cfg.layout = value("--layout")?.parse().map_err(|e: String| {
+                    EngineError::bad_param(format!("bad --layout value: {e}"))
+                })?;
             }
             other => {
                 return Err(EngineError::bad_param(format!(
@@ -505,6 +537,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
     // the shard-scoped result cache, and queries pin snapshots.
     let (g, original) = load_graph(cfg)?;
     let engine = Engine::from_graph_sharded(g, cfg.shards);
+    engine.store().set_layout_policy(cfg.layout);
     if cfg.format == OutputFormat::Text {
         let snap = engine.snapshot();
         if snap.is_weighted() {
@@ -737,6 +770,11 @@ fn write_summary_lines<W: std::io::Write>(
         report.cache_misses,
         report.unique_queries,
         report.responses.len()
+    )?;
+    writeln!(
+        out,
+        "plan: {}  groups: {} ({} queries)  shared-bfs reuses: {}",
+        report.plan, report.groups, report.grouped_queries, report.shared_bfs_reuses
     )
 }
 
@@ -761,7 +799,7 @@ fn run_batch<W: std::io::Write>(
     }
     let spec = algo_spec(cfg);
     let algo_name = spec.build()?.name();
-    let report = engine.run_batch(&spec, &requests, cfg.threads)?;
+    let report = engine.run_batch_planned(&spec, &requests, cfg.threads, cfg.plan)?;
 
     if cfg.format == OutputFormat::Json {
         // `serves_weighted`, not the bare flag: `--algo fpa-w` runs the
@@ -1168,6 +1206,8 @@ OPTIONS:
     --no-pruning      disable FPA's layer-based pruning
     --shards <n>      partition the store's node-id space into n shards
                       (default: 16; see `dmcs --help`)
+    --layout <policy> snapshot compute-mirror layout: identity (default),
+                      degree, bfs or rcm (see `dmcs --help`)
     --queue-cap <n>   bounded admission: at most n queries/updates in
                       flight across all connections; requests past the
                       cap get a typed overload error line, wire code 8
@@ -1229,6 +1269,11 @@ pub fn parse_serve(args: &[String]) -> Result<Option<ServeCli>, EngineError> {
                     return Err(EngineError::bad_param("--shards must be at least 1"));
                 }
             }
+            "--layout" => {
+                cfg.layout = value("--layout")?.parse().map_err(|e: String| {
+                    EngineError::bad_param(format!("bad --layout value: {e}"))
+                })?;
+            }
             "--unix" => server.unix_path = Some(value("--unix")?.clone()),
             "--tcp" => server.tcp_addr = Some(value("--tcp")?.clone()),
             "--queue-cap" => {
@@ -1275,6 +1320,7 @@ pub fn run_serve<W: std::io::Write>(serve: &ServeCli, out: &mut W) -> Result<(),
     let algo_name = algo_spec(cfg).build()?.name();
     let (g, original) = load_graph(cfg)?;
     let engine = Engine::from_graph_sharded(g, cfg.shards);
+    engine.store().set_layout_policy(cfg.layout);
     let snap = engine.snapshot();
     writeln!(
         out,

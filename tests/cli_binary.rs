@@ -258,6 +258,11 @@ fn validate_jsonl(text: &str) {
                 );
                 assert!(v.get("last_dirty_shards").unwrap().as_u64().is_some());
                 assert!(v.get("last_rebuild_seconds").unwrap().as_f64().is_some());
+                // The daemon reports its current query plan label.
+                assert!(
+                    v.get("plan").expect("stats.plan").as_str().is_some(),
+                    "stats.plan must be a string"
+                );
             }
             Some("shutdown") => {
                 assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
@@ -287,6 +292,27 @@ fn validate_jsonl(text: &str) {
                 let unique = v.get("unique").expect("unique").as_u64().unwrap();
                 assert!(hits + misses <= responses as u64, "{hits}+{misses}");
                 assert!(unique <= responses as u64);
+                // Scheduling counters are part of the schema: groups and
+                // grouped_queries are 0 on ungrouped runs, and a group
+                // is never empty.
+                let groups = v.get("groups").expect("groups").as_u64().unwrap();
+                let grouped = v
+                    .get("grouped_queries")
+                    .expect("grouped_queries")
+                    .as_u64()
+                    .unwrap();
+                assert!(groups <= grouped, "line {i}: {groups} groups > {grouped}");
+                assert!(grouped <= responses as u64);
+                let reuses = v
+                    .get("shared_bfs_reuses")
+                    .expect("shared_bfs_reuses")
+                    .as_u64()
+                    .unwrap();
+                assert!(reuses <= unique, "line {i}: {reuses} reuses > {unique}");
+                assert!(
+                    v.get("plan").expect("plan").as_str().is_some(),
+                    "summary.plan must be a string"
+                );
                 // `--updates` summaries also carry the store's rebuild
                 // counters; when present they must satisfy the sharding
                 // invariant (every shard of every rebuild was either
