@@ -16,8 +16,11 @@
 use crate::measure::{density_ratio, dm_gain};
 use crate::peel::{PeelState, TieRule};
 use crate::{validate_query_nodes, CommunitySearch, SearchError, SearchResult};
+use dmcs_graph::layout::NodeMap;
 use dmcs_graph::steiner::steiner_seed_with_workspace;
-use dmcs_graph::traversal::{multi_source_bfs_collect, multi_source_bfs_preset, UNREACHABLE};
+use dmcs_graph::traversal::{
+    multi_source_bfs_collect, multi_source_bfs_preset, same_component_with_workspace, UNREACHABLE,
+};
 use dmcs_graph::view::QueryWorkspace;
 use dmcs_graph::{Graph, GraphError, NodeId};
 use std::cmp::Reverse;
@@ -76,12 +79,12 @@ impl CommunitySearch for Fpa {
         query: &[NodeId],
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
-        let setup = FpaSetup::prepare(g, query, ws)?;
+        let mut setup = FpaSetup::prepare(g, query, ws)?;
         let mut st = PeelState::new_in_component(g, &setup.component, TieRule::PreferLater, ws);
         let mut iterations = 0usize;
 
         let start_layer = if self.layer_pruning {
-            let target = prune_layers(&mut st, &setup);
+            let target = prune_layers(&mut st, &mut setup);
             iterations += 1; // the bulk phase counts as one pass
             target
         } else {
@@ -90,7 +93,7 @@ impl CommunitySearch for Fpa {
 
         // Node-level peeling, outermost layer first.
         for d in (1..=start_layer).rev() {
-            peel_layer_by_ratio(g, &mut st, &setup, d, &mut iterations);
+            peel_layer_by_ratio(g, &mut st, &mut setup, d, &mut iterations);
             if self.layer_pruning {
                 // §5.7: node-level peeling applies only to the outermost
                 // layer of the selected subgraph.
@@ -136,9 +139,16 @@ impl CommunitySearch for FpaDmg {
                     .map(|(i, &v)| {
                         let k = st.view().local_degree(v) as u64;
                         let dv = g.degree(v) as u64;
-                        // Tie-break towards the smallest node id, matching
-                        // FPA's heap order.
-                        (i, (dm_gain(st.m(), k, st.d_s(), dv), std::cmp::Reverse(v)))
+                        // Tie-break towards the smallest *canonical* node
+                        // id, matching FPA's heap order and keeping the
+                        // removal sequence layout-invariant.
+                        (
+                            i,
+                            (
+                                dm_gain(st.m(), k, st.d_s(), dv),
+                                std::cmp::Reverse(setup.canon.to_external(v)),
+                            ),
+                        )
                     })
                     .max_by_key(|&(_, key)| key)
                     .expect("cand non-empty");
@@ -167,6 +177,11 @@ struct FpaSetup {
     layers: Vec<Vec<NodeId>>,
     /// Largest non-empty layer index.
     max_dist: u32,
+    /// Canonical external ordering for id tie-breaks (identity unless
+    /// the workspace serves from a renumbered mirror — then every tie
+    /// compares external ids so the removal sequence stays byte-
+    /// identical to canonical-order execution).
+    canon: NodeMap,
 }
 
 impl FpaSetup {
@@ -178,7 +193,7 @@ impl FpaSetup {
         // the query connected, so the validation BFS is skipped and the
         // memoized component replaces the collection pass below.
         let memo = ws.memoized_component(query);
-        if memo.is_none() && !dmcs_graph::traversal::same_component(g, query) {
+        if memo.is_none() && !same_component_with_workspace(g, query, ws) {
             return Err(SearchError::Graph(GraphError::QueryDisconnected));
         }
         // §5.6: merge multiple queries into a protected connected seed.
@@ -222,6 +237,7 @@ impl FpaSetup {
             dist,
             layers,
             max_dist,
+            canon: ws.canon().clone(),
         })
     }
 }
@@ -232,7 +248,7 @@ impl FpaSetup {
 /// winning strip to the peel state and register the snapshot. Returns the
 /// index of the outermost remaining layer — the one node-level peeling
 /// processes next.
-fn prune_layers(st: &mut PeelState<'_>, setup: &FpaSetup) -> u32 {
+fn prune_layers(st: &mut PeelState<'_>, setup: &mut FpaSetup) -> u32 {
     let g = st.view().graph();
     let m = st.m();
     let nl = setup.max_dist as usize + 1;
@@ -265,9 +281,19 @@ fn prune_layers(st: &mut PeelState<'_>, setup: &FpaSetup) -> u32 {
             target = dd - 1;
         }
     }
-    // Apply the winning strip.
+    // Apply the winning strip, outermost layer first, each layer in
+    // ascending canonical id order. Layers are ascending by internal id
+    // (the component list is sorted), which *is* canonical order on the
+    // canonical substrate — a mirror-serving workspace re-sorts in
+    // place (the stripped layers are never read again) so the recorded
+    // removal sequence stays byte-identical across layouts.
+    let ext = setup.canon.external_ids();
     for dd in ((target + 1)..=setup.max_dist).rev() {
-        for &v in &setup.layers[dd as usize] {
+        let layer = &mut setup.layers[dd as usize];
+        if let Some(ext) = ext {
+            layer.sort_unstable_by_key(|&v| ext[v as usize]);
+        }
+        for &v in layer.iter() {
             st.remove_untracked(v);
         }
     }
@@ -281,39 +307,62 @@ fn prune_layers(st: &mut PeelState<'_>, setup: &FpaSetup) -> u32 {
 fn peel_layer_by_ratio(
     g: &Graph,
     st: &mut PeelState<'_>,
-    setup: &FpaSetup,
+    setup: &mut FpaSetup,
     d: u32,
     iterations: &mut usize,
 ) {
     let layer = &setup.layers[d as usize];
-    let mut in_layer = std::collections::HashSet::with_capacity(layer.len());
-    let mut heap: BinaryHeap<(OrdF64, Reverse<NodeId>)> = BinaryHeap::with_capacity(layer.len());
+    // Canonical tie-break key, hoisted to a plain slice read (identity
+    // maps translate for free).
+    let ext = setup.canon.external_ids();
+    let canon_key = |v: NodeId| match ext {
+        Some(e) => e[v as usize],
+        None => v,
+    };
+    // Layer membership rides the distance array instead of a hash set:
+    // `dist[v] == d` means "still in the layer" (every layer-`d` node is
+    // alive when its layer comes up — removals so far were in deeper
+    // layers), and an accepted removal retires the entry to UNREACHABLE.
+    // The layers above `d` were already stripped or peeled and `dist` is
+    // sparse-reset wholesale on `put_dist`, so the mutation is private
+    // to this pass.
+    let dist = &mut setup.dist;
+    // Heap entries order by (Θ, canonical external id descending-Reverse);
+    // the trailing internal id is the node to operate on and never decides
+    // the order (canonical ids are unique), so pop order — and therefore
+    // the removal sequence — is identical across layout policies.
+    let mut heap: BinaryHeap<(OrdF64, Reverse<NodeId>, NodeId)> =
+        BinaryHeap::with_capacity(layer.len());
     for &v in layer {
         if st.view().contains(v) {
-            in_layer.insert(v);
             let theta = density_ratio(g.degree(v) as u64, st.view().local_degree(v) as u64);
-            heap.push((OrdF64(theta), Reverse(v)));
+            heap.push((OrdF64(theta), Reverse(canon_key(v)), v));
+        } else {
+            dist[v as usize] = UNREACHABLE;
         }
     }
-    while let Some((OrdF64(theta), Reverse(v))) = heap.pop() {
-        if !in_layer.contains(&v) {
+    let mut neighbors: Vec<NodeId> = Vec::new();
+    while let Some((OrdF64(theta), _, v)) = heap.pop() {
+        if dist[v as usize] != d {
             continue; // already removed
         }
         let current = density_ratio(g.degree(v) as u64, st.view().local_degree(v) as u64);
         if theta != current && !(theta.is_infinite() && current.is_infinite()) {
-            heap.push((OrdF64(current), Reverse(v)));
+            heap.push((OrdF64(current), Reverse(canon_key(v)), v));
             continue; // stale entry; re-queue with the fresh Θ
         }
-        in_layer.remove(&v);
+        dist[v as usize] = UNREACHABLE;
         // Stability (Lemma 5): only neighbours' Θ changed; re-queue the
-        // same-layer ones.
-        let neighbors: Vec<NodeId> = st.view().alive_neighbors(v).collect();
+        // same-layer ones. The scratch vec is reused across removals —
+        // the borrow on the view ends before `remove` needs it mutably.
+        neighbors.clear();
+        neighbors.extend(st.view().alive_neighbors(v));
         st.remove(v);
         *iterations += 1;
-        for w in neighbors {
-            if in_layer.contains(&w) {
+        for &w in &neighbors {
+            if dist[w as usize] == d {
                 let t = density_ratio(g.degree(w) as u64, st.view().local_degree(w) as u64);
-                heap.push((OrdF64(t), Reverse(w)));
+                heap.push((OrdF64(t), Reverse(canon_key(w)), w));
             }
         }
     }
@@ -334,9 +383,9 @@ fn finish(
 }
 
 /// Total-ordered f64 for the Θ heap (Θ is never NaN: degrees are finite
-/// and `k = 0` maps to +∞).
+/// and `k = 0` maps to +∞). Shared with the weighted FPA's layer scans.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {

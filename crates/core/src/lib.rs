@@ -164,6 +164,21 @@ pub(crate) fn validate_query(g: &Graph, query: &[NodeId]) -> Result<(), SearchEr
     Ok(())
 }
 
+/// [`validate_query`] over the workspace's pooled visit buffers: same
+/// checks, zero allocations once the workspace is warm (see
+/// [`dmcs_graph::traversal::same_component_with_workspace`]).
+pub(crate) fn validate_query_in(
+    g: &Graph,
+    query: &[NodeId],
+    ws: &mut QueryWorkspace,
+) -> Result<(), SearchError> {
+    validate_query_nodes(g, query)?;
+    if !dmcs_graph::traversal::same_component_with_workspace(g, query, ws) {
+        return Err(SearchError::Graph(GraphError::QueryDisconnected));
+    }
+    Ok(())
+}
+
 /// The allocation-free half of [`validate_query`]: empty and bounds
 /// checks only. Callers that can prove connectivity another way (e.g.
 /// every query node is a member of one memoized connected component)

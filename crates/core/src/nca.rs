@@ -12,7 +12,7 @@
 
 use crate::measure::{density_ratio, dm_gain};
 use crate::peel::{PeelState, TieRule};
-use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
+use crate::{validate_query_in, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::articulation::articulation_nodes;
 use dmcs_graph::traversal::multi_source_bfs_collect;
 use dmcs_graph::view::QueryWorkspace;
@@ -101,7 +101,7 @@ fn run_nca(
     max_iterations: Option<usize>,
     ws: &mut QueryWorkspace,
 ) -> Result<SearchResult, SearchError> {
-    validate_query(g, query)?;
+    validate_query_in(g, query, ws)?;
     // One BFS from the query set yields everything the loop needs: the
     // connected component containing the queries (the reached set), the
     // tie-break distances ("keep the node that is closely located to the
@@ -109,6 +109,11 @@ fn run_nca(
     // query marks themselves (`dist == 0` exactly on query nodes).
     let mut dist = ws.take_dist(g.n());
     let comp = multi_source_bfs_collect(g, query, &mut dist);
+    // Canonical ordering for full-tie resolution: on the identity layout
+    // the ascending `iter_alive` scan with strict `better` already keeps
+    // the smallest id, so the extra clause is inert there; on a mirror it
+    // restores exactly that canonical winner.
+    let canon = ws.canon().clone();
 
     let mut st = PeelState::new_in(g, &comp, TieRule::KeepEarlier, ws);
     let cap = max_iterations.unwrap_or(usize::MAX);
@@ -129,8 +134,20 @@ fn run_nca(
             let d = dist[v as usize];
             let better = match (&best, score) {
                 (None, _) => true,
-                (Some((_, bg, _, bd)), Score::Gain) => gain > *bg || (gain == *bg && d > *bd),
-                (Some((_, _, br, bd)), Score::Ratio) => ratio > *br || (ratio == *br && d > *bd),
+                (Some((bv, bg, _, bd)), Score::Gain) => {
+                    gain > *bg
+                        || (gain == *bg && d > *bd)
+                        || (gain == *bg
+                            && d == *bd
+                            && canon.to_external(v) < canon.to_external(*bv))
+                }
+                (Some((bv, _, br, bd)), Score::Ratio) => {
+                    ratio > *br
+                        || (ratio == *br && d > *bd)
+                        || (ratio == *br
+                            && d == *bd
+                            && canon.to_external(v) < canon.to_external(*bv))
+                }
             };
             if better {
                 best = Some((v, gain, ratio, d));

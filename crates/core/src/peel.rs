@@ -184,14 +184,7 @@ impl<'g> PeelState<'g> {
     /// `best_prefix` removals) and return `(community, best_dm,
     /// removal_order)`.
     pub fn finish(self) -> (Vec<NodeId>, f64, Vec<NodeId>) {
-        let dead: std::collections::HashSet<NodeId> =
-            self.removed[..self.best_prefix].iter().copied().collect();
-        let community: Vec<NodeId> = self
-            .initial
-            .iter()
-            .copied()
-            .filter(|v| !dead.contains(v))
-            .collect();
+        let community = subtract_sorted(&self.initial, &self.removed[..self.best_prefix]);
         (community, self.best_dm, self.removed)
     }
 
@@ -207,15 +200,29 @@ impl<'g> PeelState<'g> {
             ..
         } = self;
         ws.recycle(view, &initial);
-        let dead: std::collections::HashSet<NodeId> =
-            removed[..best_prefix].iter().copied().collect();
-        let community: Vec<NodeId> = initial
-            .iter()
-            .copied()
-            .filter(|v| !dead.contains(v))
-            .collect();
+        let community = subtract_sorted(&initial, &removed[..best_prefix]);
         (community, best_dm, removed)
     }
+}
+
+/// `initial \ dead` preserving `initial`'s (sorted) order. Sorting a
+/// scratch copy of `dead` and merge-subtracting beats hashed membership
+/// on every peel finish — this runs once per query, over the whole
+/// component.
+fn subtract_sorted(initial: &[NodeId], dead: &[NodeId]) -> Vec<NodeId> {
+    let mut dead: Vec<NodeId> = dead.to_vec();
+    dead.sort_unstable();
+    let mut di = 0usize;
+    initial
+        .iter()
+        .copied()
+        .filter(|&v| {
+            while di < dead.len() && dead[di] < v {
+                di += 1;
+            }
+            di >= dead.len() || dead[di] != v
+        })
+        .collect()
 }
 
 #[cfg(test)]

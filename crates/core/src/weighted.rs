@@ -16,7 +16,8 @@
 //! version-keyed result cache like every other algorithm, with the same
 //! per-worker [`QueryWorkspace`] buffer reuse.
 
-use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
+use crate::fpa::OrdF64;
+use crate::{validate_query_in, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::steiner::steiner_seed_with_workspace;
 use dmcs_graph::traversal::{multi_source_bfs_collect, UNREACHABLE};
 use dmcs_graph::view::QueryWorkspace;
@@ -56,7 +57,8 @@ impl CommunitySearch for WeightedFpa {
         query: &[NodeId],
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
-        validate_query(g, query)?;
+        validate_query_in(g, query, ws)?;
+        let canon = ws.canon().clone();
         let seed = steiner_seed_with_workspace(g, query, ws)?;
         let mut dist = ws.take_dist(g.n());
         let component = multi_source_bfs_collect(g, &seed, &mut dist);
@@ -120,9 +122,12 @@ impl CommunitySearch for WeightedFpa {
                         } else {
                             g.strength(v) / k
                         };
-                        (i, theta)
+                        // Θ ties go to the smallest canonical node id —
+                        // the same deterministic rule as the unweighted
+                        // FPA heap, independent of `swap_remove` order.
+                        (i, (OrdF64(theta), std::cmp::Reverse(canon.to_external(v))))
                     })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("Θ not NaN"))
+                    .max_by_key(|&(_, key)| key)
                     .expect("cand non-empty");
                 let v = cand.swap_remove(pos);
                 // Remove v.

@@ -22,7 +22,7 @@
 //! registered as `nca-w`, so it composes with sessions, batches and the
 //! result cache like every other algorithm.
 
-use crate::{validate_query, CommunitySearch, SearchError, SearchResult};
+use crate::{validate_query_in, CommunitySearch, SearchError, SearchResult};
 use dmcs_graph::articulation::articulation_nodes;
 use dmcs_graph::traversal::multi_source_bfs_collect;
 use dmcs_graph::view::QueryWorkspace;
@@ -66,11 +66,16 @@ impl CommunitySearch for WeightedNca {
         query: &[NodeId],
         ws: &mut QueryWorkspace,
     ) -> Result<SearchResult, SearchError> {
-        validate_query(g, query)?;
+        validate_query_in(g, query, ws)?;
         // One multi-source BFS both computes query distances (the
         // tie-break) and collects the component (queries are connected).
         let mut dist = ws.take_dist(g.n());
         let component = multi_source_bfs_collect(g, query, &mut dist);
+        // Full-tie resolution by canonical id — inert on the identity
+        // layout (ascending scan + strict `better` already keeps the
+        // smallest id); weighted kernels never mirror-serve, but the
+        // clause keeps the tie policy uniform across searchers.
+        let canon = ws.canon().clone();
 
         let mut view = ws.view(g, &component);
         // Weighted running state over the pooled f64 buffer.
@@ -113,7 +118,13 @@ impl CommunitySearch for WeightedNca {
                 let dd = dist[v as usize];
                 let better = match &chosen {
                     None => true,
-                    Some((_, bg, bd)) => gain > *bg || (gain == *bg && dd > *bd),
+                    Some((bv, bg, bd)) => {
+                        gain > *bg
+                            || (gain == *bg && dd > *bd)
+                            || (gain == *bg
+                                && dd == *bd
+                                && canon.to_external(v) < canon.to_external(*bv))
+                    }
                 };
                 if better {
                     chosen = Some((v, gain, dd));

@@ -185,8 +185,15 @@ fn scramble_order(n: usize, mut state: u64) -> Vec<NodeId> {
 /// and the layout pass has real work to undo. Returns the scrambled
 /// graph plus each block's members in scrambled id space.
 fn scrambled_fragmented(n_blocks: usize) -> (Graph, Vec<Vec<NodeId>>) {
-    let blocks = vec![200usize; n_blocks];
-    let (frag, comms) = sbm::planted_partition(&blocks, 0.04, 0.0, 7);
+    scrambled_blocks(n_blocks, 200, 0.04)
+}
+
+/// The same scrambled-fragmented construction with a chosen block size
+/// and intra-block density (`scrambled_fragmented` is the 200-node
+/// incarnation the locality/planning groups share).
+fn scrambled_blocks(n_blocks: usize, per: usize, p_in: f64) -> (Graph, Vec<Vec<NodeId>>) {
+    let blocks = vec![per; n_blocks];
+    let (frag, comms) = sbm::planted_partition(&blocks, p_in, 0.0, 7);
     let order = scramble_order(frag.n(), 0xD1CE_5EED);
     let scrambled = layout::apply_order(&frag, &order);
     let mut inv = vec![0 as NodeId; frag.n()];
@@ -364,6 +371,221 @@ fn bench_session_memo(c: &mut Criterion) {
     );
 }
 
+/// **Mirror-serving claim** — `mirror_fpa_fragmented50k` runs the same
+/// single-node FPA workload through [`Session::search`] with mirror
+/// serving on (per layout policy) and off (`canonical`, the scrambled
+/// CSR). The responses are byte-identical — the session tests and
+/// `layout_invariance` pin that — so the delta is pure substrate: the
+/// mirror packs each ~200-node component into a contiguous id range,
+/// and the canonical tie-break shim's id translation is the only tax.
+/// Queries sweep the components in two passes (never two consecutive
+/// queries in one component), so every call is a component-memo miss —
+/// the cold-component serving shape the mirror exists for; the memo's
+/// own win is priced separately by `session_memo_fragmented50k`.
+fn bench_mirror_serving(c: &mut Criterion) {
+    let (scrambled, comms) = scrambled_fragmented(250);
+    let queries: Vec<Vec<NodeId>> = comms
+        .iter()
+        .map(|c| vec![c[0]])
+        .chain(comms.iter().map(|c| vec![c[c.len() / 2]]))
+        .collect();
+    let spec = AlgoSpec::new("fpa");
+    let mut group = c.benchmark_group("mirror_fpa_fragmented50k");
+    group.sample_size(30);
+    // Single-core box with noisy neighbours: a longer window keeps the
+    // substrate ratio from wobbling run to run.
+    group.measurement_time(std::time::Duration::from_secs(10));
+
+    let canonical_snap = Snapshot::freeze(scrambled.clone());
+    let mut canonical = Session::new(canonical_snap, &spec)
+        .unwrap()
+        .without_mirror();
+    let mut i = 0usize;
+    group.bench_function("canonical", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(canonical.search(q).unwrap())
+        })
+    });
+
+    for policy in [LayoutPolicy::Identity, LayoutPolicy::Bfs, LayoutPolicy::Rcm] {
+        let store = GraphStore::from_graph(scrambled.clone()).with_layout(policy);
+        let mut session = Session::new(store.snapshot(), &spec).unwrap();
+        let mut j = 0usize;
+        group.bench_function(format!("mirror_{}", policy.as_str()), |b| {
+            b.iter(|| {
+                let q = &queries[j % queries.len()];
+                j += 1;
+                black_box(session.search(q).unwrap())
+            })
+        });
+        // Regression guard: the non-identity sessions must actually have
+        // served from the mirror, not silently fallen back.
+        assert_eq!(
+            session.mirror_served() > 0,
+            policy != LayoutPolicy::Identity,
+            "mirror serving active exactly for non-identity policies"
+        );
+    }
+    group.finish();
+}
+
+/// **Bitset-frontier claim** — `validate_bfs_fragmented50k` compares the
+/// validation BFS the engine used to run (a fresh `vec![false; n]`
+/// bytemask per call) against the pooled `u64` bitset frontier
+/// ([`same_component_with_workspace`]): 8× less frontier memory touched
+/// per visit plus zero allocations once the workspace is warm.
+fn bench_validation_bfs(c: &mut Criterion) {
+    use dmcs_graph::traversal::same_component_with_workspace;
+    let (scrambled, comms) = scrambled_fragmented(250);
+    // Two-node in-component queries: the BFS must actually run (single
+    // nodes short-circuit) and walk a whole ~200-node component.
+    let queries: Vec<Vec<NodeId>> = comms.iter().map(|c| vec![c[0], c[c.len() - 1]]).collect();
+    let mut group = c.benchmark_group("validate_bfs_fragmented50k");
+    group.sample_size(30);
+
+    let mut i = 0usize;
+    group.bench_function("bytemask_fresh", |b| {
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            // The pre-bitset shape: allocate a bytemask and a queue per
+            // call, scan the mask as `bool`s.
+            let mut visited = vec![false; scrambled.n()];
+            let mut queue: Vec<NodeId> = Vec::new();
+            visited[q[0] as usize] = true;
+            queue.push(q[0]);
+            let mut head = 0usize;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &w in scrambled.neighbors(u) {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        queue.push(w);
+                    }
+                }
+            }
+            black_box(q[1..].iter().all(|&v| visited[v as usize]))
+        })
+    });
+
+    let mut ws = QueryWorkspace::new();
+    let mut j = 0usize;
+    group.bench_function("bitset_pooled", |b| {
+        b.iter(|| {
+            let q = &queries[j % queries.len()];
+            j += 1;
+            black_box(same_component_with_workspace(&scrambled, q, &mut ws))
+        })
+    });
+    group.finish();
+}
+
+/// **Skew-aware planning claim** — `plan_skew_giant50k` runs a batch
+/// over one 40k-node giant component plus 50 two-hundred-node
+/// villages: fragmented by *count* (51 components), but 80% of the mass
+/// is the giant, and so is virtually all of the traffic. A count-only
+/// planner (simulated via the `count_only` plan override) turns
+/// grouping on — a no-op here (the giant's queries form one group in
+/// submission order) that still pays the group build, and one that
+/// *actively hurts* on multi-worker runs, where stealing whole groups
+/// would pin the giant's entire query stream to a single worker. The
+/// skew-aware auto planner sees `skew > 0.75`, skips grouping and
+/// keeps only the memo — it must never lose to the planner-off
+/// baseline, and count-only gains nothing over it (parity: grouping
+/// had nothing to recover).
+fn bench_plan_skew(c: &mut Criterion) {
+    let giant = 40_000usize;
+    let villages = 50usize;
+    let per = 200usize;
+    let mut b = dmcs_graph::GraphBuilder::new(giant + villages * per);
+    for v in 0..giant as NodeId {
+        b.add_edge(v, (v + 1) % giant as NodeId); // ring: connected
+        if v % 13 == 0 {
+            b.add_edge(v, (v + giant as NodeId / 7) % giant as NodeId);
+        }
+    }
+    for blk in 0..villages {
+        let base = (giant + blk * per) as NodeId;
+        for i in 0..per as NodeId {
+            b.add_edge(base + i, base + (i + 1) % per as NodeId);
+            if i % 7 == 0 {
+                b.add_edge(base + i, base + (i + per as NodeId / 3) % per as NodeId);
+            }
+        }
+    }
+    let snap = Snapshot::freeze(b.build());
+    assert!(snap.component_index().count() > 1, "fragmented by count");
+    let skew = snap.component_index().largest() as f64 / snap.graph().n() as f64;
+    assert!(
+        skew > 0.75 && skew < 0.9,
+        "giant plus villages: skew {skew}"
+    );
+
+    // Giant-dominated traffic with an occasional village single — the
+    // skewed serving shape: each giant two-node query validates and
+    // peels the full 40k component (memoized consecutively under auto),
+    // and the rare village query is what evicts a naive memo.
+    let mut queries: Vec<Vec<NodeId>> = Vec::new();
+    for i in 0..150usize {
+        let a = ((i * 2_347) % (giant - 40)) as NodeId;
+        queries.push(vec![a, a + 23]);
+        if i % 37 == 0 {
+            let blk = (i / 37) % villages;
+            queries.push(vec![(giant + blk * per) as NodeId]);
+        }
+    }
+    let requests = QueryRequest::from_node_lists(&queries);
+
+    let auto_plan = dmcs_engine::QueryPlan::choose(PlanMode::Auto, &snap);
+    assert!(
+        !auto_plan.grouped && auto_plan.memoize,
+        "skew must veto grouping: {auto_plan:?}"
+    );
+    let count_only = dmcs_engine::QueryPlan {
+        grouped: true, // what a count>1 planner would decide here
+        label: "count-only",
+        ..auto_plan
+    };
+
+    let mut group = c.benchmark_group("plan_skew_giant50k");
+    group.sample_size(10);
+    // One worker: the CI containers are single-core, so the comparison
+    // isolates what the plans cost and recover per query — the memo
+    // (auto vs off) and the pointless group build (count-only vs auto).
+    // The multi-worker serialization cost of grouping a giant is
+    // structural (workers steal whole groups; see `BatchRunner::run`)
+    // and is not priced here.
+    let cases: [(&str, BatchRunner); 3] = [
+        (
+            "plan_off",
+            BatchRunner::new(AlgoSpec::new("fpa"), 1)
+                .unwrap()
+                .with_plan(PlanMode::Off),
+        ),
+        (
+            "plan_auto",
+            BatchRunner::new(AlgoSpec::new("fpa"), 1)
+                .unwrap()
+                .with_plan(PlanMode::Auto),
+        ),
+        (
+            "count_only",
+            BatchRunner::new(AlgoSpec::new("fpa"), 1)
+                .unwrap()
+                .with_plan_override(count_only),
+        ),
+    ];
+    for (label, runner) in &cases {
+        group.bench_function(*label, |b| {
+            b.iter(|| black_box(runner.run(black_box(&snap), black_box(&requests)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_throughput,
@@ -371,6 +593,9 @@ criterion_group!(
     bench_session_vs_fresh_batch,
     bench_layout_locality,
     bench_batch_scheduling,
-    bench_session_memo
+    bench_session_memo,
+    bench_mirror_serving,
+    bench_validation_bfs,
+    bench_plan_skew
 );
 criterion_main!(benches);

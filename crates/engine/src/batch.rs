@@ -84,6 +84,13 @@ pub struct BatchReport {
     /// Queries that reused a component BFS memoized by an earlier query
     /// on the same worker session (0 when the plan disabled the memo).
     pub shared_bfs_reuses: u64,
+    /// Queries executed on the snapshot's renumbered compute mirror (0
+    /// when no mirror exists or the plan disabled mirror serving).
+    pub mirror_served: u64,
+    /// Largest-component mass fraction of the snapshot the planner saw
+    /// (`1.0` for a connected or empty graph) — the statistic behind
+    /// the grouping decision.
+    pub skew: f64,
     /// Label of the query plan that scheduled the batch, e.g.
     /// `"auto:grouped+memo"`; `"off"` for unplanned paths like the
     /// CLI's `--updates` loop.
@@ -129,24 +136,30 @@ impl BatchReport {
             groups: 0,
             grouped_queries: 0,
             shared_bfs_reuses: 0,
+            mirror_served: 0,
+            skew: 1.0,
             plan: "off",
         }
     }
 
-    /// Record how the batch was scheduled: group/memo counters plus the
-    /// plan label. [`BatchRunner::run`] calls this; the defaults from
-    /// [`BatchReport::from_responses`] describe an unplanned run.
+    /// Record how the batch was scheduled: group/memo/mirror counters
+    /// plus the plan's label and skew statistic. [`BatchRunner::run`]
+    /// calls this; the defaults from [`BatchReport::from_responses`]
+    /// describe an unplanned run.
     pub fn with_scheduling(
         mut self,
         groups: usize,
         grouped_queries: usize,
         shared_bfs_reuses: u64,
-        plan: &'static str,
+        mirror_served: u64,
+        plan: &QueryPlan,
     ) -> Self {
         self.groups = groups;
         self.grouped_queries = grouped_queries;
         self.shared_bfs_reuses = shared_bfs_reuses;
-        self.plan = plan;
+        self.mirror_served = mirror_served;
+        self.skew = plan.skew;
+        self.plan = plan.label;
         self
     }
 
@@ -165,12 +178,17 @@ pub struct BatchRunner {
     threads: usize,
     cache: Option<Arc<ResponseCache>>,
     plan_mode: PlanMode,
+    plan_override: Option<QueryPlan>,
 }
 
 /// The dedup identity of one request: everything that determines its
 /// answer — label, `k`, layer pruning, weightedness, nodes and cap (the
 /// correlation tag deliberately excluded).
 type WorkKey = (String, u32, bool, bool, Vec<NodeId>, Option<usize>);
+
+/// What the multi-worker scope hands back: submission-indexed responses
+/// plus the workers' summed memo-hit and mirror-served counters.
+type WorkerHarvest = (Vec<(usize, QueryResponse)>, u64, u64);
 
 impl BatchRunner {
     /// Runner for `spec` on `threads` workers.
@@ -192,7 +210,19 @@ impl BatchRunner {
             threads,
             cache: None,
             plan_mode: PlanMode::default(),
+            plan_override: None,
         })
+    }
+
+    /// Replace the planner's decision with a fixed plan. Plans are
+    /// result-invariant, so this cannot change responses — it exists so
+    /// benchmarks and regression bisects can force a specific strategy
+    /// (e.g. count-only grouping on a giant-component graph) that
+    /// [`QueryPlan::choose`] would refuse.
+    #[doc(hidden)]
+    pub fn with_plan_override(mut self, plan: QueryPlan) -> Self {
+        self.plan_override = Some(plan);
+        self
     }
 
     /// Attach a shared result cache; worker sessions consult it per
@@ -227,15 +257,16 @@ impl BatchRunner {
     }
 
     /// Open one worker session over `snap`, attaching the shared cache
-    /// when configured and disarming the component memo when the plan
-    /// says so.
-    fn worker_session(&self, snap: &Snapshot, memoize: bool) -> Result<Session, EngineError> {
-        let session = Session::new(snap.clone(), &self.spec)?;
-        let session = if memoize {
-            session
-        } else {
-            session.without_memo()
-        };
+    /// when configured, disarming the component memo and mirror serving
+    /// when the plan says so.
+    fn worker_session(&self, snap: &Snapshot, plan: &QueryPlan) -> Result<Session, EngineError> {
+        let mut session = Session::new(snap.clone(), &self.spec)?;
+        if !plan.memoize {
+            session = session.without_memo();
+        }
+        if !plan.mirror {
+            session = session.without_mirror();
+        }
         Ok(match &self.cache {
             Some(cache) => session.with_cache(Arc::clone(cache)),
             None => session,
@@ -267,7 +298,10 @@ impl BatchRunner {
         }
 
         let start = Instant::now();
-        let plan = QueryPlan::choose(self.plan_mode, snap);
+        let plan = match self.plan_override {
+            Some(plan) => plan,
+            None => QueryPlan::choose(self.plan_mode, snap),
+        };
 
         // Dedup: answer each distinct work item once, fan back out below.
         let mut seen: HashMap<WorkKey, usize> = HashMap::new();
@@ -326,8 +360,9 @@ impl BatchRunner {
 
         let workers = self.threads.min(groups.len()).max(1);
         let shared_bfs_reuses: u64;
+        let mirror_served: u64;
         let mut indexed: Vec<(usize, QueryResponse)> = if workers == 1 {
-            let mut session = self.worker_session(snap, plan.memoize)?;
+            let mut session = self.worker_session(snap, &plan)?;
             let mut indexed = Vec::with_capacity(work.len());
             for group in &groups {
                 for &i in group {
@@ -335,17 +370,19 @@ impl BatchRunner {
                 }
             }
             shared_bfs_reuses = session.memo_hits();
+            mirror_served = session.mirror_served();
             indexed
         } else {
             let next = AtomicUsize::new(0);
             let work = &work;
             let groups = &groups;
-            let (indexed, reuses) = std::thread::scope(
-                |scope| -> Result<(Vec<(usize, QueryResponse)>, u64), EngineError> {
+            let plan = &plan;
+            let (indexed, reuses, mirrored) =
+                std::thread::scope(|scope| -> Result<WorkerHarvest, EngineError> {
                     let mut handles = Vec::with_capacity(workers);
                     for _ in 0..workers {
                         let next = &next;
-                        let mut session = self.worker_session(snap, plan.memoize)?;
+                        let mut session = self.worker_session(snap, plan)?;
                         // Workers carry per-request Results home instead
                         // of unwrapping on their own thread (overrides
                         // were pre-resolved, so errors are unexpected —
@@ -362,15 +399,17 @@ impl BatchRunner {
                                     local.push((i, session.query(work[i])));
                                 }
                             }
-                            (local, session.memo_hits())
+                            (local, session.memo_hits(), session.mirror_served())
                         }));
                     }
                     let mut indexed = Vec::with_capacity(work.len());
                     let mut reuses = 0u64;
+                    let mut mirrored = 0u64;
                     for h in handles {
                         match h.join() {
-                            Ok((local, hits)) => {
+                            Ok((local, hits, served)) => {
                                 reuses += hits;
+                                mirrored += served;
                                 for (i, r) in local {
                                     indexed.push((i, r?));
                                 }
@@ -381,10 +420,10 @@ impl BatchRunner {
                             Err(payload) => std::panic::resume_unwind(payload),
                         }
                     }
-                    Ok((indexed, reuses))
-                },
-            )?;
+                    Ok((indexed, reuses, mirrored))
+                })?;
             shared_bfs_reuses = reuses;
+            mirror_served = mirrored;
             indexed
         };
         // Grouped order is an execution detail; answers go home in
@@ -424,7 +463,8 @@ impl BatchRunner {
             if grouped { groups.len() } else { 0 },
             if grouped { work.len() } else { 0 },
             shared_bfs_reuses,
-            plan.label,
+            mirror_served,
+            &plan,
         ))
     }
 }
@@ -711,6 +751,41 @@ mod tests {
             .unwrap();
         assert_eq!(report.groups, 3, "two components + one sentinel group");
         assert!(!report.responses[3].is_ok());
+    }
+
+    #[test]
+    fn mirror_serving_batches_match_plan_off_bit_identically() {
+        use dmcs_graph::{GraphStore, LayoutPolicy};
+        let mut b = GraphBuilder::new(10);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        for (u, v) in [(6, 7), (7, 8), (8, 9)] {
+            b.add_edge(u, v);
+        }
+        let store = GraphStore::from_graph(b.build());
+        store.set_layout_policy(LayoutPolicy::Rcm);
+        let snap = store.snapshot();
+        let reqs = interleaved_requests();
+        let single_node = reqs.iter().filter(|r| r.nodes.len() == 1).count() as u64;
+        let baseline = BatchRunner::new(AlgoSpec::new("fpa"), 1)
+            .unwrap()
+            .with_plan(PlanMode::Off)
+            .run(&snap, &reqs)
+            .unwrap();
+        assert_eq!((baseline.mirror_served, baseline.plan), (0, "off"));
+        for threads in [1usize, 2, 4] {
+            let mirrored = BatchRunner::new(AlgoSpec::new("fpa"), threads)
+                .unwrap()
+                .run(&snap, &reqs)
+                .unwrap();
+            assert_eq!(mirrored.plan, "auto:grouped+memo+mirror");
+            assert_eq!(mirrored.mirror_served, single_node, "{threads} threads");
+            assert!((mirrored.skew - 0.4).abs() < 1e-12);
+            for (a, b) in baseline.responses.iter().zip(&mirrored.responses) {
+                assert_eq!(a.result, b.result, "{threads} threads");
+            }
+        }
     }
 
     #[test]

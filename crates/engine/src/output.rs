@@ -30,7 +30,8 @@
 //!  "weighted":false,"queries":3,"ok":2,
 //!  "wall_seconds":0.004,"queries_per_sec":750.0,"p50_seconds":0.001,
 //!  "p95_seconds":0.002,"unique":3,"cache_hits":0,"cache_misses":3,
-//!  "groups":2,"grouped_queries":3,"shared_bfs_reuses":1,"plan":"auto:grouped+memo"}
+//!  "groups":2,"grouped_queries":3,"shared_bfs_reuses":1,"plan":"auto:grouped+memo",
+//!  "mirror_served":0,"skew":0.5}
 //! ```
 //!
 //! `weighted` records whether the batch served the weighted density
@@ -53,8 +54,12 @@
 //! plan formed, how many work items ran through them (both 0 on an
 //! ungrouped run), and how many queries reused a component BFS memoized
 //! by an earlier query on the same worker. `plan` is the planner's
-//! label (`"auto:grouped+memo"`, `"auto:memo"`, `"off"`); none of these
-//! affect response bytes — plans choose execution strategy only.
+//! label (`"auto:grouped+memo"`, `"auto:memo+mirror"`, `"off"`);
+//! `mirror_served` counts queries executed on the snapshot's renumbered
+//! compute mirror (always byte-identical to canonical execution, see
+//! `dmcs_graph::layout`), and `skew` is the largest-component mass
+//! fraction the planner weighed. None of these affect response bytes —
+//! plans choose execution strategy only.
 //!
 //! Node ids in `query` and `community` are in the *original* (input
 //! file) id space when a mapping is supplied, dense ids otherwise.
@@ -579,6 +584,11 @@ pub fn summary_json(algo: &str, weighted: bool, report: &BatchReport) -> Json {
                 Json::UInt(report.shared_bfs_reuses),
             ),
             ("plan".to_string(), Json::str(report.plan)),
+            (
+                "mirror_served".to_string(),
+                Json::UInt(report.mirror_served),
+            ),
+            ("skew".to_string(), Json::Num(report.skew)),
         ],
     )
 }

@@ -15,6 +15,17 @@
 //! - **`memoize`** — whether worker sessions arm the per-workspace
 //!   component memo at all ([`QueryWorkspace::arm_component_memo`](
 //!   dmcs_graph::view::QueryWorkspace::arm_component_memo)).
+//! - **`mirror`** — whether sessions may execute mirror-safe searches on
+//!   the snapshot's renumbered compute mirror (the canonical tie-break
+//!   shim keeps the output byte-identical; see `dmcs_graph::layout`).
+//!
+//! Grouping is **skew-aware**, not just count-aware: a graph that is one
+//! giant component plus dust has many components but no locality to
+//! recover — nearly every query lands in the giant component anyway, so
+//! grouping would only pay scheduling overhead. The planner computes the
+//! largest-component mass fraction ([`QueryPlan::skew`]) from the
+//! snapshot's component index and groups only fragmented snapshots whose
+//! mass is actually spread out.
 //!
 //! ## Why the planner never touches the algorithm
 //!
@@ -75,41 +86,69 @@ impl std::fmt::Display for PlanMode {
 
 /// The execution strategy chosen for one snapshot: all fields are
 /// result-invariant (see the module docs for why that is a hard rule).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryPlan {
     /// Schedule batch queries grouped by connected component.
     pub grouped: bool,
     /// Arm the per-worker component memo.
     pub memoize: bool,
+    /// Let sessions serve mirror-safe searches from the renumbered
+    /// compute mirror (only ever true when the snapshot carries one).
+    pub mirror: bool,
+    /// Largest-component mass fraction of the snapshot (`1.0` on a
+    /// connected or empty graph) — the statistic behind the grouping
+    /// decision, surfaced in summaries and `stats` replies.
+    pub skew: f64,
     /// Human-readable label surfaced in batch summaries and server
     /// `stats` output, e.g. `"auto:grouped+memo"`.
     pub label: &'static str,
 }
 
+/// Above this largest-component mass fraction the snapshot is treated as
+/// "one giant component plus dust": grouping cannot recover locality
+/// that was never spread out, so Auto plans skip it.
+const SKEW_GROUPING_CUTOFF: f64 = 0.75;
+
 impl QueryPlan {
     /// Choose a plan for `snapshot` under `mode`.
     ///
-    /// `Auto` always memoizes (the memo is free when it never hits) and
-    /// groups exactly when the snapshot has more than one connected
-    /// component — on a connected graph every query shares the single
-    /// component, so grouping would reorder work for no locality gain.
-    /// `Off` disables everything.
+    /// `Auto` always memoizes (the memo is free when it never hits),
+    /// groups exactly when the snapshot is fragmented **and** its mass
+    /// is spread out (`skew < SKEW_GROUPING_CUTOFF`, 0.75), and serves
+    /// from the mirror whenever the snapshot carries one — the
+    /// canonical tie-break shim makes that unconditionally safe, and
+    /// per-query eligibility (algorithm, weights) is the session's
+    /// call. `Off` disables everything; `skew` is still reported so
+    /// observability does not depend on the plan.
     pub fn choose(mode: PlanMode, snapshot: &Snapshot) -> QueryPlan {
+        let index = snapshot.component_index();
+        let n = snapshot.graph().n();
+        let skew = if n == 0 {
+            1.0
+        } else {
+            index.largest() as f64 / n as f64
+        };
         match mode {
             PlanMode::Off => QueryPlan {
                 grouped: false,
                 memoize: false,
+                mirror: false,
+                skew,
                 label: "off",
             },
             PlanMode::Auto => {
-                let fragmented = snapshot.component_index().count() > 1;
+                let grouped = index.count() > 1 && skew < SKEW_GROUPING_CUTOFF;
+                let mirror = snapshot.compute().is_some();
                 QueryPlan {
-                    grouped: fragmented,
+                    grouped,
                     memoize: true,
-                    label: if fragmented {
-                        "auto:grouped+memo"
-                    } else {
-                        "auto:memo"
+                    mirror,
+                    skew,
+                    label: match (grouped, mirror) {
+                        (false, false) => "auto:memo",
+                        (true, false) => "auto:grouped+memo",
+                        (false, true) => "auto:memo+mirror",
+                        (true, true) => "auto:grouped+memo+mirror",
                     },
                 }
             }
@@ -136,20 +175,52 @@ mod tests {
     fn auto_groups_only_fragmented_snapshots() {
         let connected = Snapshot::freeze(GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]));
         let plan = QueryPlan::choose(PlanMode::Auto, &connected);
-        assert!(!plan.grouped && plan.memoize);
+        assert!(!plan.grouped && plan.memoize && !plan.mirror);
         assert_eq!(plan.label, "auto:memo");
+        assert!((plan.skew - 1.0).abs() < 1e-12);
 
         let split = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
         let plan = QueryPlan::choose(PlanMode::Auto, &split);
         assert!(plan.grouped && plan.memoize);
         assert_eq!(plan.label, "auto:grouped+memo");
+        assert!((plan.skew - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_disables_grouping_on_giant_plus_dust() {
+        // A 16-node path plus 2 isolated dust components: fragmented by
+        // count (3 components) but 16/18 ≈ 0.89 of the mass is one giant
+        // component — grouping has no locality to recover.
+        let edges: Vec<(u32, u32)> = (0..15u32).map(|v| (v, v + 1)).collect();
+        let giant = Snapshot::freeze(GraphBuilder::from_edges(18, &edges));
+        assert!(giant.component_index().count() > 1);
+        let plan = QueryPlan::choose(PlanMode::Auto, &giant);
+        assert!(!plan.grouped, "skew {} must veto grouping", plan.skew);
+        assert!(plan.skew > SKEW_GROUPING_CUTOFF);
+        assert_eq!(plan.label, "auto:memo");
+    }
+
+    #[test]
+    fn auto_serves_from_the_mirror_when_one_exists() {
+        use dmcs_graph::{GraphStore, LayoutPolicy};
+        let store = GraphStore::from_graph(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
+        let plan = QueryPlan::choose(PlanMode::Auto, &store.snapshot());
+        assert!(!plan.mirror, "identity layout builds no mirror");
+        store.set_layout_policy(LayoutPolicy::Bfs);
+        let plan = QueryPlan::choose(PlanMode::Auto, &store.snapshot());
+        assert!(plan.mirror && plan.grouped);
+        assert_eq!(plan.label, "auto:grouped+memo+mirror");
+        // Off never mirrors, but still reports the skew statistic.
+        let off = QueryPlan::choose(PlanMode::Off, &store.snapshot());
+        assert!(!off.mirror);
+        assert!((off.skew - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn off_disables_everything() {
         let split = Snapshot::freeze(GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]));
         let plan = QueryPlan::choose(PlanMode::Off, &split);
-        assert!(!plan.grouped && !plan.memoize);
+        assert!(!plan.grouped && !plan.memoize && !plan.mirror);
         assert_eq!(plan.label, "off");
     }
 }

@@ -59,6 +59,13 @@ pub struct AlgoEntry {
     /// Whether this algorithm can maximise the *weighted* density
     /// modularity (the CLI's `--weighted` accepts exactly these labels).
     pub weight_aware: bool,
+    /// Whether the (unweighted) searcher carries the canonical tie-break
+    /// shim and may therefore execute on a renumbered compute mirror
+    /// with byte-identical output (sessions consult this before
+    /// mirror-serving; see `dmcs_graph::layout`). Weighted serving is
+    /// never mirror-safe — floating-point sums depend on traversal
+    /// order — so `serves_weighted` specs stay canonical regardless.
+    pub mirror_safe: bool,
     factory: fn(&AlgoParams) -> Box<dyn CommunitySearch>,
 }
 
@@ -78,6 +85,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "Fast Peeling Algorithm (§5.5, layer pruning §5.7) — the paper's default",
         uses_k: false,
         weight_aware: true,
+        mirror_safe: true,
         factory: |p| {
             if p.weighted {
                 Box::new(WeightedFpa)
@@ -93,6 +101,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "Non-articulation Cancellation Algorithm (§5.4)",
         uses_k: false,
         weight_aware: true,
+        mirror_safe: true,
         factory: |p| {
             if p.weighted {
                 Box::new(WeightedNca::default())
@@ -106,6 +115,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "FPA on the weighted density modularity (Definition 2, weighted form)",
         uses_k: false,
         weight_aware: true,
+        mirror_safe: false,
         factory: |_| Box::new(WeightedFpa),
     },
     AlgoEntry {
@@ -113,6 +123,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "NCA on the weighted density modularity",
         uses_k: false,
         weight_aware: true,
+        mirror_safe: false,
         factory: |_| Box::new(WeightedNca::default()),
     },
     AlgoEntry {
@@ -120,6 +131,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "FPA ablation scored by the unstable DM gain (Fig 3 (b)+(c))",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: true,
         factory: |_| Box::new(FpaDmg),
     },
     AlgoEntry {
@@ -127,6 +139,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "NCA ablation scored by the density ratio (Fig 3 (a)+(d))",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: true,
         factory: |_| Box::new(NcaDr::default()),
     },
     AlgoEntry {
@@ -134,6 +147,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "bitmask exact optimum (components up to 26 nodes)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Exact),
     },
     AlgoEntry {
@@ -141,6 +155,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "branch-and-bound exact optimum (~30-node components)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(BranchAndBound::default()),
     },
     AlgoEntry {
@@ -148,6 +163,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "connected k-core of the queries (Sozio & Gionis 2010)",
         uses_k: true,
         weight_aware: false,
+        mirror_safe: false,
         factory: |p| Box::new(KCore::new(p.k)),
     },
     AlgoEntry {
@@ -155,6 +171,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "triangle-connected k-truss community (Huang et al. 2014)",
         uses_k: true,
         weight_aware: false,
+        mirror_safe: false,
         factory: |p| Box::new(KTruss::new(p.k.max(3))),
     },
     AlgoEntry {
@@ -162,6 +179,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "k-edge-connected component (Chang et al. 2015)",
         uses_k: true,
         weight_aware: false,
+        mirror_safe: false,
         factory: |p| Box::new(Kecc::new(p.k.into())),
     },
     AlgoEntry {
@@ -169,6 +187,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "k-core with k maximised",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(HighCore),
     },
     AlgoEntry {
@@ -176,6 +195,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "k-truss with k maximised",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(HighTruss),
     },
     AlgoEntry {
@@ -183,6 +203,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "local k-core expansion",
         uses_k: true,
         weight_aware: false,
+        mirror_safe: false,
         factory: |p| Box::new(LocalKCore::new(p.k)),
     },
     AlgoEntry {
@@ -190,6 +211,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "closest truss community, 2-approx (Huang et al. 2015)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Huang2015::default()),
     },
     AlgoEntry {
@@ -197,6 +219,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "query-biased density deletion, η=0.5 (Wu et al. 2015)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Wu2015::default()),
     },
     AlgoEntry {
@@ -204,6 +227,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "densest clique-percolation community (Yuan et al. 2017)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(CliquePercolation::default()),
     },
     AlgoEntry {
@@ -211,6 +235,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "agglomerative modularity, best-DM intermediate (Clauset et al. 2004)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Cnm),
     },
     AlgoEntry {
@@ -218,6 +243,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "divisive edge-betweenness, best-DM intermediate (Girvan & Newman 2002)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Gn::default()),
     },
     AlgoEntry {
@@ -225,6 +251,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "Luo's local-modularity greedy (Luo et al. 2008)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Icwi2008),
     },
     AlgoEntry {
@@ -232,6 +259,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "label propagation, label block of the query (Raghavan et al. 2007)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Lpa::default()),
     },
     AlgoEntry {
@@ -239,6 +267,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "Louvain detection, community of the query (Blondel et al. 2008)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(Louvain::default()),
     },
     AlgoEntry {
@@ -246,6 +275,7 @@ pub const REGISTRY: &[AlgoEntry] = &[
         summary: "personalized-PageRank sweep cut (Andersen et al. 2006)",
         uses_k: false,
         weight_aware: false,
+        mirror_safe: false,
         factory: |_| Box::new(PprSweep::default()),
     },
 ];
@@ -490,6 +520,19 @@ mod tests {
         assert!(AlgoSpec::new("fpa-w").serves_weighted());
         assert!(AlgoSpec::new("fpa").weighted().serves_weighted());
         assert!(!AlgoSpec::new("fpa").serves_weighted());
+    }
+
+    #[test]
+    fn mirror_safety_covers_exactly_the_shimmed_peelers() {
+        let safe: Vec<&str> = REGISTRY
+            .iter()
+            .filter(|e| e.mirror_safe)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(safe, ["fpa", "nca", "fpa-dmg", "nca-dr"]);
+        // The canonical weighted labels must never mirror-serve.
+        assert!(!find("fpa-w").unwrap().mirror_safe);
+        assert!(!find("nca-w").unwrap().mirror_safe);
     }
 
     #[test]

@@ -545,7 +545,12 @@ fn serve_conn<S: Read + Write>(shared: &Shared, mut stream: S) {
     let hits = conn.responses.iter().filter(|r| r.cached).count();
     let misses = conn.responses.len() - hits;
     let unique = conn.responses.len();
-    let report = BatchReport::from_responses(conn.responses, wall, unique, hits, misses);
+    let mut report = BatchReport::from_responses(conn.responses, wall, unique, hits, misses);
+    // The daemon serves on an auto plan: surface how many queries ran
+    // on the compute mirror and the pinned snapshot's skew statistic.
+    report.mirror_served = session.mirror_served();
+    report.skew =
+        crate::plan::QueryPlan::choose(crate::plan::PlanMode::Auto, session.snapshot()).skew;
     let summary = summary_json(shared.algo_name, shared.spec.serves_weighted(), &report);
     let _ = write_reply(&mut stream, &summary);
 }
@@ -643,6 +648,8 @@ fn process_line<S: Write>(
             let store = shared.engine.store();
             let cache = shared.engine.cache();
             let rb = store.rebuild_stats();
+            let plan =
+                crate::plan::QueryPlan::choose(crate::plan::PlanMode::Auto, session.snapshot());
             let reply = typed_obj(
                 "stats",
                 vec![
@@ -660,17 +667,15 @@ fn process_line<S: Write>(
                     ),
                     // What the auto planner chooses for the pinned
                     // snapshot (the daemon serves single queries, so
-                    // this reports strategy, it never alters results).
+                    // this reports strategy, it never alters results),
+                    // plus its skew statistic and how many of this
+                    // connection's queries ran on the compute mirror.
+                    ("plan".to_string(), Json::str(plan.label)),
                     (
-                        "plan".to_string(),
-                        Json::str(
-                            crate::plan::QueryPlan::choose(
-                                crate::plan::PlanMode::Auto,
-                                session.snapshot(),
-                            )
-                            .label,
-                        ),
+                        "mirror_served".to_string(),
+                        Json::UInt(session.mirror_served()),
                     ),
+                    ("skew".to_string(), Json::Num(plan.skew)),
                     ("cache_hits".to_string(), Json::UInt(cache.hits())),
                     ("cache_misses".to_string(), Json::UInt(cache.misses())),
                     ("shards".to_string(), Json::UInt(store.shard_count() as u64)),

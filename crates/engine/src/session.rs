@@ -16,6 +16,18 @@
 //! `Arc` clones between mutations) when
 //! [`Snapshot::version`](dmcs_graph::Snapshot::version) falls behind the
 //! store; the CLI's `--updates` loop does exactly that.
+//!
+//! **Mirror serving:** when the pinned snapshot carries a renumbered
+//! compute mirror (a non-identity `--layout`) and the session's
+//! algorithm is registered mirror-safe, eligible queries execute on the
+//! cache-friendly mirror through a second workspace whose canonical
+//! [`NodeMap`](dmcs_graph::layout::NodeMap) drives every id tie-break.
+//! Results are translated back to external ids at this boundary, so
+//! responses — including removal order — are byte-identical to
+//! canonical execution; [`Session::mirror_served`] counts how many
+//! queries took the fast substrate. Multi-node queries stay canonical
+//! (their Steiner seed construction is id-sensitive), as do weighted
+//! specs and per-request algorithm overrides.
 
 use crate::cache::{fingerprint, CacheKey, CachedAnswer, ResponseCache};
 use crate::error::EngineError;
@@ -73,7 +85,77 @@ pub struct Session {
     spec: AlgoSpec,
     algo: Box<dyn CommunitySearch>,
     ws: QueryWorkspace,
+    mirror: Option<MirrorServing>,
+    mirror_served: u64,
     cache: Option<Arc<ResponseCache>>,
+}
+
+/// The mirror-serving half of a session: a second workspace whose canon
+/// map is the mirror's external ordering (so kernel tie-breaks compare
+/// canonical ids) and whose component memo speaks internal ids.
+struct MirrorServing {
+    ws: QueryWorkspace,
+    /// Sentinel-filled (`NodeId::MAX`) slots indexed by
+    /// [`ComputeGraph::ext_rank`](dmcs_graph::layout::ComputeGraph::ext_rank),
+    /// lazily sized to the mirror; `mirror_search` parks each community
+    /// member at its rank and sweeps the touched band back out in
+    /// canonical order, restoring the sentinels as it goes.
+    rank_slots: Vec<NodeId>,
+}
+
+/// Execute one single-node query on the snapshot's compute mirror and
+/// translate the result back to external ids. The canonical tie-break
+/// shim (armed via the workspace's canon map) makes the removal
+/// sequence identical to canonical-order execution, so this is a pure
+/// substrate swap. The eligibility gate guarantees `q` is in range, so
+/// no error path can leak an internal id.
+fn mirror_search(
+    algo: &dyn CommunitySearch,
+    compute: &dmcs_graph::layout::ComputeGraph,
+    mirror: &mut MirrorServing,
+    q: NodeId,
+) -> Result<SearchResult, SearchError> {
+    let map = compute.map();
+    let internal = [map.to_internal(q)];
+    let mut r = algo.search_with_workspace(compute.graph(), &internal, &mut mirror.ws)?;
+    // A compute mirror is never the identity map, so the table is
+    // always present; index it directly rather than paying
+    // `to_external`'s indirection per translated node.
+    if let Some(ext) = map.external_ids() {
+        // Community: translate *and* canonically order in linear time.
+        // Each member parks its external id at its component-band rank;
+        // sweeping the touched band emits ascending external ids (the
+        // community lives in exactly one component, whose band ranks
+        // ascend by external id), replacing the `O(k log k)` sort this
+        // path used to pay per query.
+        let rank = compute.ext_rank();
+        let slots = &mut mirror.rank_slots;
+        if slots.len() < rank.len() {
+            slots.resize(rank.len(), NodeId::MAX);
+        }
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &v in &r.community {
+            let rk = rank[v as usize] as usize;
+            slots[rk] = ext[v as usize];
+            lo = lo.min(rk);
+            hi = hi.max(rk);
+        }
+        let mut sorted = Vec::with_capacity(r.community.len());
+        if lo <= hi {
+            for slot in &mut slots[lo..=hi] {
+                if *slot != NodeId::MAX {
+                    sorted.push(*slot);
+                    *slot = NodeId::MAX;
+                }
+            }
+        }
+        debug_assert_eq!(sorted.len(), r.community.len());
+        r.community = sorted;
+        for v in &mut r.removal_order {
+            *v = ext[*v as usize];
+        }
+    }
+    Ok(r)
 }
 
 impl std::fmt::Debug for Session {
@@ -99,11 +181,33 @@ impl Session {
     pub fn new(snapshot: Snapshot, spec: &AlgoSpec) -> Result<Self, EngineError> {
         let mut ws = QueryWorkspace::new();
         ws.arm_component_memo(snapshot.epoch_key());
+        // Mirror serving: only when the snapshot carries a mirror and
+        // the algorithm is registered mirror-safe (and the spec is not
+        // weighted — float sums are traversal-order sensitive). The
+        // mirror workspace's canon map is what makes kernel tie-breaks
+        // compare canonical ids.
+        let mirror = match snapshot.compute() {
+            Some(compute)
+                if !spec.serves_weighted()
+                    && crate::registry::find(&spec.name).is_some_and(|e| e.mirror_safe) =>
+            {
+                let mut mws = QueryWorkspace::new();
+                mws.set_canon(compute.map().clone());
+                mws.arm_component_memo(snapshot.epoch_key());
+                Some(MirrorServing {
+                    ws: mws,
+                    rank_slots: Vec::new(),
+                })
+            }
+            _ => None,
+        };
         Ok(Session {
             snapshot,
             spec: spec.clone(),
             algo: spec.build()?,
             ws,
+            mirror,
+            mirror_served: 0,
             cache: None,
         })
     }
@@ -113,13 +217,31 @@ impl Session {
     /// benchmarks that measure the memo's effect.
     pub fn without_memo(mut self) -> Self {
         self.ws.disarm_component_memo();
+        if let Some(m) = &mut self.mirror {
+            m.ws.disarm_component_memo();
+        }
+        self
+    }
+
+    /// Disable mirror serving — every query executes on the canonical
+    /// CSR. Used by `--plan off` workers and by benchmarks comparing
+    /// the substrates (output is byte-identical either way).
+    pub fn without_mirror(mut self) -> Self {
+        self.mirror = None;
         self
     }
 
     /// Number of queries so far that reused the memoized component of
     /// an earlier query on this session (always 0 when disarmed).
     pub fn memo_hits(&self) -> u64 {
-        self.ws.memo_hits()
+        self.ws.memo_hits() + self.mirror.as_ref().map_or(0, |m| m.ws.memo_hits())
+    }
+
+    /// Number of queries this session executed on the renumbered
+    /// compute mirror (0 unless the snapshot carries one, the algorithm
+    /// is mirror-safe, and the planner left mirror serving on).
+    pub fn mirror_served(&self) -> u64 {
+        self.mirror_served
     }
 
     /// Attach a shared result cache. Subsequent [`Session::query`] calls
@@ -146,8 +268,17 @@ impl Session {
     /// Run one query through the session's algorithm and workspace — the
     /// raw hot path for repeated single queries. Always computes (the
     /// result cache is consulted only by the typed [`Session::query`]
-    /// path).
+    /// path); eligible queries execute on the compute mirror with
+    /// byte-identical output (see the module docs).
     pub fn search(&mut self, nodes: &[NodeId]) -> Result<SearchResult, SearchError> {
+        if let (&[q], Some(m)) = (nodes, &mut self.mirror) {
+            if (q as usize) < self.snapshot.n() {
+                if let Some(compute) = self.snapshot.compute() {
+                    self.mirror_served += 1;
+                    return mirror_search(self.algo.as_ref(), compute, m, q);
+                }
+            }
+        }
         self.algo
             .search_with_workspace(self.snapshot.graph(), nodes, &mut self.ws)
     }
@@ -169,6 +300,13 @@ impl Session {
             _ => (self.algo.as_ref(), &self.spec),
         };
 
+        // Mirror eligibility for this request: session default algorithm
+        // only (overrides were not vetted for mirror safety), single
+        // in-range node (multi-node Steiner seeds are id-sensitive).
+        let use_mirror = override_algo.is_none()
+            && self.mirror.is_some()
+            && matches!(req.nodes.as_slice(), &[q] if (q as usize) < self.snapshot.n());
+
         let key = self
             .cache
             .as_ref()
@@ -184,17 +322,35 @@ impl Session {
                 ));
             }
             // Record which shards the search actually explores, so the
-            // entry's fingerprint can be scoped to them.
-            self.ws.begin_shard_tracking(self.snapshot.shard_layout());
+            // entry's fingerprint can be scoped to them. Tracking lives
+            // on the workspace that will execute; the mirror workspace's
+            // canon map keeps its fingerprints in external-id shards.
+            let layout = self.snapshot.shard_layout();
+            match (use_mirror, &mut self.mirror) {
+                (true, Some(m)) => m.ws.begin_shard_tracking(layout),
+                _ => self.ws.begin_shard_tracking(layout),
+            }
         }
 
         let start = Instant::now();
-        let result = algo.search_with_workspace(self.snapshot.graph(), &req.nodes, &mut self.ws);
+        let result = match (use_mirror, &mut self.mirror, self.snapshot.compute()) {
+            (true, Some(m), Some(compute)) => match req.nodes.as_slice() {
+                &[q] => {
+                    self.mirror_served += 1;
+                    mirror_search(algo, compute, m, q)
+                }
+                _ => algo.search_with_workspace(self.snapshot.graph(), &req.nodes, &mut self.ws),
+            },
+            _ => algo.search_with_workspace(self.snapshot.graph(), &req.nodes, &mut self.ws),
+        };
         let seconds = start.elapsed().as_secs_f64();
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             // Algorithms that never report a component (or error paths)
             // fall back to a conservative all-shards fingerprint.
-            let touched = self.ws.take_touched_shards();
+            let touched = match (use_mirror, &mut self.mirror) {
+                (true, Some(m)) => m.ws.take_touched_shards(),
+                _ => self.ws.take_touched_shards(),
+            };
             cache.insert(
                 key,
                 CachedAnswer::single(algo.name(), result.clone(), seconds),
@@ -456,6 +612,69 @@ mod tests {
         let bad = session.top_k(&[99], 2);
         assert!(bad.rounds.is_err());
         assert!(session.top_k(&[99], 2).cached);
+    }
+
+    #[test]
+    fn mirror_serving_is_bit_identical_and_counted() {
+        use dmcs_graph::{GraphStore, LayoutPolicy};
+        let store = GraphStore::from_graph(barbell());
+        for policy in [LayoutPolicy::Degree, LayoutPolicy::Bfs, LayoutPolicy::Rcm] {
+            store.set_layout_policy(policy);
+            let snap = store.snapshot();
+            for algo in ["fpa", "nca", "fpa-dmg", "nca-dr"] {
+                let mut mirrored = Session::new(snap.clone(), &AlgoSpec::new(algo)).unwrap();
+                let mut canonical = Session::new(snap.clone(), &AlgoSpec::new(algo))
+                    .unwrap()
+                    .without_mirror();
+                for q in 0..6u32 {
+                    let a = mirrored.search(&[q]);
+                    let b = canonical.search(&[q]);
+                    assert_eq!(a, b, "{algo} {policy} query {q}");
+                }
+                assert_eq!(mirrored.mirror_served(), 6, "{algo} {policy}");
+                assert_eq!(canonical.mirror_served(), 0);
+                // Multi-node queries stay canonical.
+                let a = mirrored.search(&[0, 5]);
+                let b = canonical.search(&[0, 5]);
+                assert_eq!(a, b);
+                assert_eq!(mirrored.mirror_served(), 6, "multi-node not mirrored");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_ineligible_specs_never_mirror() {
+        use dmcs_graph::{GraphStore, LayoutPolicy};
+        let store = GraphStore::from_graph(barbell());
+        store.set_layout_policy(LayoutPolicy::Bfs);
+        let snap = store.snapshot();
+        // Weighted spec and a non-shimmed baseline: no mirror half at all.
+        for spec in [AlgoSpec::new("fpa").weighted(), AlgoSpec::new("kc")] {
+            let mut s = Session::new(snap.clone(), &spec).unwrap();
+            let _ = s.search(&[0]); // outcome is the spec's business
+            assert_eq!(s.mirror_served(), 0, "{}", spec.name);
+        }
+        // Overrides go canonical even on a mirror-serving session —
+        // the per-query gate checks the *override's* mirror safety, so
+        // even an override onto the session's own graph never mirrors.
+        let mut s = Session::new(snap.clone(), &AlgoSpec::new("fpa")).unwrap();
+        let resp = s
+            .query(&QueryRequest::new(vec![0]).with_algo(AlgoSpec::new("lpa")))
+            .unwrap();
+        assert!(resp.is_ok());
+        assert_eq!(s.mirror_served(), 0);
+        // The default path does mirror through query(), cache attached
+        // or not, with identical shard-fingerprint semantics.
+        let cache = Arc::new(ResponseCache::new(16));
+        let mut s = Session::new(snap, &AlgoSpec::new("fpa"))
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let miss = s.query(&QueryRequest::new(vec![0])).unwrap();
+        assert!(!miss.cached && s.mirror_served() == 1);
+        let hit = s.query(&QueryRequest::new(vec![0])).unwrap();
+        assert!(hit.cached, "mirror-served entries are cacheable");
+        assert_eq!(hit.result, miss.result);
+        assert_eq!(s.mirror_served(), 1, "hits replay, not re-execute");
     }
 
     #[test]

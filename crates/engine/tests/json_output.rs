@@ -59,6 +59,8 @@ fn fixed_report() -> BatchReport {
         groups: 2,
         grouped_queries: 3,
         shared_bfs_reuses: 1,
+        mirror_served: 2,
+        skew: 0.5,
         plan: "auto:grouped+memo",
     }
 }

@@ -2,10 +2,12 @@
 //! [`LayoutPolicy`] answers every query with **byte-identical** response
 //! JSON to the identity-layout store — same communities, same DM, same
 //! errors, same external node ids — for every registered algorithm, at
-//! every thread count, across random update interleavings. The mirror
-//! is a locality optimisation behind [`Snapshot::compute`]; the serving
-//! path always executes on the canonical external-id CSR, and this test
-//! pins that contract down.
+//! every thread count, with planning on and off, across random update
+//! interleavings. Under `--plan auto` mirror-safe searches *execute on
+//! the permuted mirror* (the canonical tie-break shim keeps every byte
+//! identical; plan `off` and ineligible queries stay on the canonical
+//! external-id CSR), so this test pins down both halves of the
+//! contract: the bytes never move, and the mirror really serves.
 
 use dmcs_engine::output::response_json;
 use dmcs_engine::registry::{self, AlgoSpec};
@@ -102,6 +104,27 @@ fn assert_layouts_invisible(g: &Graph, seed: u64, specs: &[AlgoSpec], queries: &
                              ({threads} threads, plan {plan})",
                             spec.name
                         ),
+                    }
+                    // The mirror must actually serve: every plan-auto
+                    // run on a mirrored snapshot of a mirror-safe
+                    // algorithm executes its single-node queries there;
+                    // plan off and identity layouts never mirror.
+                    let mirror_safe = registry::find(&spec.name)
+                        .is_some_and(|e| e.mirror_safe && !spec.serves_weighted());
+                    let singles = requests.iter().filter(|r| r.nodes.len() == 1).count() as u64;
+                    if plan == PlanMode::Auto && snap.compute().is_some() && mirror_safe {
+                        assert_eq!(
+                            report.mirror_served, singles,
+                            "{}: layout {policy} must mirror-serve single-node \
+                             queries ({threads} threads)",
+                            spec.name
+                        );
+                    } else {
+                        assert_eq!(
+                            report.mirror_served, 0,
+                            "{}: layout {policy} plan {plan} must not mirror",
+                            spec.name
+                        );
                     }
                 }
             }

@@ -23,16 +23,23 @@
 //! [`ComputeGraph`] translates in both directions and is
 //! identity-optimized so stores that never opt in pay nothing.
 //!
-//! Why the serving search path does **not** run on the permuted graph:
-//! the peeling algorithms break density ties by node id (smallest id
-//! wins the heap) and a best-snapshot competition by removal order, so
-//! executing on permuted ids can legitimately select a *different*
-//! equally-dense community. The engine's results contract is
-//! byte-identical JSON across layouts, so searches execute on the
-//! canonical external-id CSR while the permuted mirror accelerates
-//! id-insensitive passes (BFS distance sweeps, stats, bulk scans) and
-//! serves as the benchmark substrate for layout experiments.
+//! How the serving search path runs on the permuted graph without
+//! changing a byte of output: the peeling algorithms break density
+//! ties by node id, so executing naively on permuted ids could select
+//! a *different* equally-dense community. Instead, the kernels carry
+//! the mirror's [`NodeMap`] as a **canonical tie-break shim** — every
+//! id-based tie compares *canonical external ids*
+//! ([`NodeMap::to_external`]) even while the traversal streams the
+//! renumbered CSR, and results are translated back to external ids at
+//! the session boundary. Density values themselves are derived from
+//! integer edge/degree counts, which are isomorphism-invariant, so the
+//! full removal sequence (and therefore the response JSON) is
+//! byte-identical under every layout policy. The planner
+//! (`dmcs-engine`'s `QueryPlan`) decides per snapshot whether serving
+//! uses the mirror; weighted kernels accumulate floating-point sums in
+//! traversal order and stay on the canonical CSR.
 
+use crate::bits::BitMask;
 use crate::traversal::connected_components;
 use crate::{Graph, NodeId};
 use std::sync::Arc;
@@ -155,6 +162,15 @@ impl NodeMap {
             None => internal,
         }
     }
+
+    /// The raw internal→external table, or `None` for the identity map.
+    /// Hot loops that consult the canonical order per comparison (the
+    /// peeling tie-break shim) hoist this slice once instead of paying
+    /// `to_external`'s `Option` + `Arc` indirection on every call.
+    #[inline]
+    pub fn external_ids(&self) -> Option<&[NodeId]> {
+        self.inner.as_ref().map(|m| m.to_external.as_slice())
+    }
 }
 
 /// A permuted compute mirror of a canonical graph: the renumbered CSR,
@@ -167,6 +183,7 @@ pub struct ComputeGraph {
     graph: Graph,
     map: NodeMap,
     policy: LayoutPolicy,
+    ext_rank: Vec<NodeId>,
 }
 
 impl ComputeGraph {
@@ -176,10 +193,13 @@ impl ComputeGraph {
     pub fn build(g: &Graph, policy: LayoutPolicy) -> Option<ComputeGraph> {
         let order = compute_order(g, policy)?;
         let graph = apply_order(g, &order);
+        let map = NodeMap::from_order(&order);
+        let ext_rank = build_ext_rank(&graph, &map);
         Some(ComputeGraph {
             graph,
-            map: NodeMap::from_order(&order),
+            map,
             policy,
+            ext_rank,
         })
     }
 
@@ -197,6 +217,33 @@ impl ComputeGraph {
     pub fn policy(&self) -> LayoutPolicy {
         self.policy
     }
+
+    /// Canonical-order rank of each internal node *within its connected
+    /// component's band*: ranks group nodes by component and ascend by
+    /// external id inside each group. A community always lives in one
+    /// component, so a serving layer can emit it in canonical sorted
+    /// order with a linear bucket-place-and-compact over the band —
+    /// replacing the `O(k log k)` sort it would otherwise pay per query
+    /// to undo the mirror's permutation. Built once per mirror.
+    pub fn ext_rank(&self) -> &[NodeId] {
+        &self.ext_rank
+    }
+}
+
+/// See [`ComputeGraph::ext_rank`]: argsort internal ids by
+/// `(component, external id)` and invert.
+fn build_ext_rank(mirror: &Graph, map: &NodeMap) -> Vec<NodeId> {
+    let (comp, _) = connected_components(mirror);
+    let mut order: Vec<NodeId> = (0..mirror.n() as NodeId).collect();
+    match map.external_ids() {
+        Some(ext) => order.sort_unstable_by_key(|&v| (comp[v as usize], ext[v as usize])),
+        None => order.sort_unstable_by_key(|&v| (comp[v as usize], v)),
+    }
+    let mut rank = vec![0 as NodeId; mirror.n()];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as NodeId;
+    }
+    rank
 }
 
 /// Compute the node ordering for `policy`: `order[internal] = external`.
@@ -275,19 +322,19 @@ fn degree_order(g: &Graph) -> Vec<NodeId> {
 fn bfs_order(g: &Graph) -> Vec<NodeId> {
     let n = g.n();
     let mut order = Vec::with_capacity(n);
-    let mut visited = vec![false; n];
+    let mut visited = BitMask::with_len(n);
     let mut queue = std::collections::VecDeque::new();
     for root in 0..n as NodeId {
-        if visited[root as usize] {
+        if visited.get(root as usize) {
             continue;
         }
-        visited[root as usize] = true;
+        visited.set(root as usize);
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             order.push(v);
             for &u in g.neighbors(v) {
-                if !visited[u as usize] {
-                    visited[u as usize] = true;
+                if !visited.get(u as usize) {
+                    visited.set(u as usize);
                     queue.push_back(u);
                 }
             }
@@ -313,14 +360,14 @@ fn rcm_order(g: &Graph) -> Vec<NodeId> {
         }
     }
     let mut order = Vec::with_capacity(n);
-    let mut visited = vec![false; n];
+    let mut visited = BitMask::with_len(n);
     let mut queue = std::collections::VecDeque::new();
     let mut nbrs: Vec<NodeId> = Vec::new();
     for root in seed.into_iter().flatten() {
-        if visited[root as usize] {
+        if visited.get(root as usize) {
             continue;
         }
-        visited[root as usize] = true;
+        visited.set(root as usize);
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             order.push(v);
@@ -329,11 +376,11 @@ fn rcm_order(g: &Graph) -> Vec<NodeId> {
                 g.neighbors(v)
                     .iter()
                     .copied()
-                    .filter(|&u| !visited[u as usize]),
+                    .filter(|&u| !visited.get(u as usize)),
             );
             nbrs.sort_unstable_by_key(|&u| (g.degree(u), u));
             for &u in &nbrs {
-                visited[u as usize] = true;
+                visited.set(u as usize);
                 queue.push_back(u);
             }
         }

@@ -2,6 +2,7 @@
 //! layers, §5.2.2), connected components, eccentricity and diameter
 //! (community-diameter study, Fig 4).
 
+use crate::view::QueryWorkspace;
 use crate::{Graph, NodeId, SubgraphView};
 use std::collections::VecDeque;
 
@@ -130,14 +131,14 @@ pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
 
 /// Nodes of the connected component containing `seed`.
 pub fn component_of(g: &Graph, seed: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![false; g.n()];
+    let mut seen = crate::bits::BitMask::with_len(g.n());
     let mut stack = vec![seed];
-    seen[seed as usize] = true;
+    seen.set(seed as usize);
     let mut comp = vec![seed];
     while let Some(u) = stack.pop() {
         for &w in g.neighbors(u) {
-            if !seen[w as usize] {
-                seen[w as usize] = true;
+            if !seen.get(w as usize) {
+                seen.set(w as usize);
                 comp.push(w);
                 stack.push(w);
             }
@@ -158,6 +159,36 @@ pub fn same_component(g: &Graph, nodes: &[NodeId]) -> bool {
             rest.iter().all(|&v| dist[v as usize] != UNREACHABLE)
         }
     }
+}
+
+/// [`same_component`] over the workspace's pooled bitset frontier: the
+/// visited mask is a `u64`-word [`crate::bits::BitMask`] and the
+/// frontier vector doubles as the visited list for the sparse reset, so
+/// the steady-state connectivity check performs **zero allocations** —
+/// previously every first-in-component multi-node query paid a fresh
+/// `O(n)` distance array here even when a component memo was armed.
+pub fn same_component_with_workspace(g: &Graph, nodes: &[NodeId], ws: &mut QueryWorkspace) -> bool {
+    let (first, rest) = match nodes {
+        [] | [_] => return true,
+        [first, rest @ ..] => (*first, rest),
+    };
+    let (mut visited, mut queue) = ws.take_visit(g.n());
+    visited.set(first as usize);
+    queue.push(first);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &w in g.neighbors(u) {
+            if !visited.get(w as usize) {
+                visited.set(w as usize);
+                queue.push(w);
+            }
+        }
+    }
+    let connected = rest.iter().all(|&v| visited.get(v as usize));
+    ws.put_visit(visited, queue);
+    connected
 }
 
 /// Eccentricity of `source` within the induced subgraph on `nodes`

@@ -9,6 +9,7 @@
 
 use crate::bits::BitMask;
 use crate::dynamic::ShardLayout;
+use crate::layout::NodeMap;
 use crate::{Graph, NodeId};
 use std::sync::Arc;
 
@@ -235,11 +236,31 @@ impl<'g> SubgraphView<'g> {
 /// component they actually explore, and the caller collects the touched
 /// shard set afterwards — the ingredient of shard-scoped cache
 /// fingerprints.
+///
+/// When a workspace serves queries **on a renumbered compute mirror**
+/// (see [`crate::layout::ComputeGraph`]), the session installs the
+/// mirror's [`NodeMap`] as the workspace's *canonical order* via
+/// [`QueryWorkspace::set_canon`]. The peeling kernels then break every
+/// node-id tie by canonical external id, and
+/// [`note_component`](QueryWorkspace::note_component) translates the
+/// internal component back to external ids before mapping shard indices
+/// — so shard fingerprints keep external semantics whatever substrate
+/// executed the query. The default canon is the identity map, which
+/// costs nothing and leaves canonical-substrate behaviour untouched.
 #[derive(Debug, Default)]
 pub struct QueryWorkspace {
     alive: Option<BitMask>,
     local_deg: Option<Vec<u32>>,
     dist: Option<Vec<u32>>,
+    /// Canonical external ordering of the graph this workspace queries
+    /// (identity unless serving from a renumbered mirror).
+    canon: NodeMap,
+    /// Pooled visited mask for validation BFS
+    /// ([`crate::traversal::same_component_with_workspace`]).
+    visited: Option<BitMask>,
+    /// Pooled BFS frontier/visited-list paired with `visited` (doubles
+    /// as the sparse-reset list, so recycling is `O(|reached|)`).
+    visit_queue: Option<Vec<NodeId>>,
     /// Pooled `f64` per-node scratch (the weighted algorithms' local
     /// incident-weight array `w_{v,S}`).
     weights: Option<Vec<f64>>,
@@ -363,16 +384,60 @@ impl QueryWorkspace {
         });
     }
 
+    /// Install the canonical external ordering the search kernels break
+    /// node-id ties by. Sessions serving from a renumbered compute
+    /// mirror pass the mirror's map; the default identity map keeps
+    /// canonical-substrate execution bit-for-bit unchanged.
+    pub fn set_canon(&mut self, canon: NodeMap) {
+        self.canon = canon;
+    }
+
+    /// The canonical ordering installed by [`QueryWorkspace::set_canon`]
+    /// (identity by default). Kernels clone it at query entry — a cheap
+    /// `Arc` bump, or free for the identity map.
+    pub fn canon(&self) -> &NodeMap {
+        &self.canon
+    }
+
     /// Record that the query explored `nodes` (typically the connected
     /// component a community search peels). `O(|nodes|)`; a no-op when
-    /// tracking is not active.
+    /// tracking is not active. Node ids are translated through the
+    /// workspace's canonical map first, so mirror-served queries note
+    /// the *external* shards their component lives in.
     pub fn note_component(&mut self, nodes: &[NodeId]) {
         if let Some(t) = &mut self.shard_tracking {
             t.noted = true;
             for &v in nodes {
-                t.touched[t.layout.shard_of(v)] = true;
+                t.touched[t.layout.shard_of(self.canon.to_external(v))] = true;
             }
         }
+    }
+
+    /// Take the pooled validation-BFS buffers: a visited [`BitMask`]
+    /// covering `0..n` (all clear) and an empty frontier vector that
+    /// doubles as the visited list. Pair with
+    /// [`QueryWorkspace::put_visit`]; the same sparse-reset contract as
+    /// every other pooled buffer, so steady-state connectivity checks
+    /// allocate nothing.
+    pub fn take_visit(&mut self, n: usize) -> (BitMask, Vec<NodeId>) {
+        let mut visited = self.visited.take().unwrap_or_default();
+        debug_assert!(visited.is_clear(), "recycled visited mask not clean");
+        visited.resize(n);
+        let mut queue = self.visit_queue.take().unwrap_or_default();
+        queue.clear();
+        (visited, queue)
+    }
+
+    /// Return the validation-BFS buffers to the pool, clearing exactly
+    /// the bits of the nodes recorded in `queue` (every node the BFS
+    /// visited — the frontier vector is never drained).
+    pub fn put_visit(&mut self, mut visited: BitMask, mut queue: Vec<NodeId>) {
+        for &v in &queue {
+            visited.clear(v as usize);
+        }
+        queue.clear();
+        self.visited = Some(visited);
+        self.visit_queue = Some(queue);
     }
 
     /// Finish tracking and return the sorted shard indices the query
@@ -772,6 +837,40 @@ mod tests {
         // Started but never noted (error path): conservative None.
         ws.begin_shard_tracking(layout);
         assert_eq!(ws.take_touched_shards(), None);
+    }
+
+    #[test]
+    fn shard_noting_translates_through_the_canon_map() {
+        // Reversal map: internal v ↔ external 7-v over 8 nodes.
+        let order: Vec<NodeId> = (0..8u32).rev().collect();
+        let mut ws = QueryWorkspace::new();
+        assert!(ws.canon().is_identity());
+        ws.set_canon(NodeMap::from_order(&order));
+        let layout = ShardLayout::new(8, 4); // shard_size 2
+        ws.begin_shard_tracking(layout);
+        // Internal 0 and 1 are external 7 and 6 → shard 3.
+        ws.note_component(&[0, 1]);
+        assert_eq!(ws.take_touched_shards(), Some(vec![3]));
+        ws.set_canon(NodeMap::identity());
+        ws.begin_shard_tracking(layout);
+        ws.note_component(&[0, 1]);
+        assert_eq!(ws.take_touched_shards(), Some(vec![0]));
+    }
+
+    #[test]
+    fn visit_buffers_round_trip_clean() {
+        let mut ws = QueryWorkspace::new();
+        let (mut visited, mut queue) = ws.take_visit(70);
+        assert!(visited.is_clear() && queue.is_empty());
+        for v in [0u32, 65] {
+            visited.set(v as usize);
+            queue.push(v);
+        }
+        ws.put_visit(visited, queue);
+        let (visited, queue) = ws.take_visit(70);
+        assert!(visited.is_clear(), "sparse reset restored the mask");
+        assert!(queue.is_empty());
+        ws.put_visit(visited, queue);
     }
 
     #[test]

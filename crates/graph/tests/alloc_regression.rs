@@ -1,0 +1,96 @@
+//! Allocation regression gate for the pooled validation BFS: once a
+//! [`QueryWorkspace`] is warm, [`same_component_with_workspace`] must
+//! run **zero** fresh heap allocations — the bitset frontier and the
+//! queue round-trip through the workspace pool. This is the memo-miss
+//! path of every query validation (the kernels probe the component memo
+//! first and fall back here), so an accidental `Vec::new` in the loop
+//! would tax every single query served.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the
+//! file deliberately holds one `#[test]` so no sibling test allocates
+//! concurrently inside the measured window.
+
+// The one place the workspace admits `unsafe`: a `GlobalAlloc`
+// implementation has an unsafe trait contract by definition, and
+// counting allocator events is the entire point of this test.
+#![allow(unsafe_code)]
+
+use dmcs_graph::traversal::same_component_with_workspace;
+use dmcs_graph::view::QueryWorkspace;
+use dmcs_graph::{GraphBuilder, NodeId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with an allocation-event counter (alloc and realloc
+/// both count — a pooled path may do neither).
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_validation_bfs_allocates_nothing() {
+    // 40 disjoint 25-node blocks (a path plus a chord per block): the
+    // validation BFS walks a whole component per call and the connected
+    // answer differs between in-block and cross-block queries.
+    let blocks = 40usize;
+    let per = 25usize;
+    let mut b = GraphBuilder::new(blocks * per);
+    for blk in 0..blocks {
+        let base = (blk * per) as NodeId;
+        for i in 0..(per as NodeId - 1) {
+            b.add_edge(base + i, base + i + 1);
+        }
+        b.add_edge(base, base + per as NodeId / 2);
+    }
+    let g = b.build();
+
+    let mut ws = QueryWorkspace::new();
+    // Warm-up: the first call grows the pooled bitset and queue to the
+    // graph's size; nothing after it may allocate.
+    assert!(same_component_with_workspace(
+        &g,
+        &[0, (per - 1) as NodeId],
+        &mut ws
+    ));
+
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    let mut connected = 0usize;
+    for blk in 0..blocks {
+        let base = (blk * per) as NodeId;
+        let inside = [base, base + 3, base + per as NodeId - 1];
+        if same_component_with_workspace(&g, &inside, &mut ws) {
+            connected += 1;
+        }
+        // Cross-block queries visit the whole first component and fail.
+        let across = [base, ((blk + 1) % blocks * per) as NodeId];
+        if same_component_with_workspace(&g, &across, &mut ws) {
+            connected += 1;
+        }
+    }
+    let after = ALLOC_EVENTS.load(Ordering::Relaxed);
+    assert_eq!(connected, blocks, "in-block yes, cross-block no");
+    assert_eq!(
+        after - before,
+        0,
+        "warm same_component_with_workspace must not touch the allocator"
+    );
+}

@@ -14,8 +14,10 @@ pub const SERVING_PATHS: &[&str] = &[
     "crates/engine/src/session.rs",
     "crates/engine/src/cache.rs",
     "crates/engine/src/batch.rs",
+    "crates/engine/src/plan.rs",
     "crates/graph/src/store.rs",
     "crates/graph/src/dynamic.rs",
+    "crates/graph/src/layout.rs",
 ];
 
 /// Directory whose `pub` items must all carry rustdoc (the serving API

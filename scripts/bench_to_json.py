@@ -16,7 +16,10 @@ compares to the full rebuild.
 For `bench_batch` runs it additionally derives the locality/planning
 ratios (renumbered vs identity layout per-query FPA, planned vs
 unplanned batch, session memo on vs off) under
-`derived.locality_and_planning`.
+`derived.locality_and_planning`, and the mirror-serving ratios
+(mirror-served vs canonical sessions per layout, pooled-bitset vs
+fresh-bytemask validation BFS, skew-aware vs count-only planning)
+under `derived.mirror_and_skew`.
 
 Usage:
     python3 scripts/bench_to_json.py --out BENCH_7.json
@@ -143,6 +146,45 @@ def derive_locality_ratios(results):
     return derived
 
 
+def derive_mirror_ratios(results):
+    """Headline ratios of the mirror-serving benches (`bench_batch`).
+
+    - ``mirror_canonical_over_*``: canonical-substrate session time over
+      the mirror-serving session per layout policy (>1 means serving
+      from the renumbered mirror is faster end to end, tie-break shim
+      and id translation included).
+    - ``validate_bytemask_over_bitset``: the old fresh-bytemask
+      validation BFS over the pooled u64-bitset frontier.
+    - ``skew_off_over_auto`` / ``skew_count_only_over_auto``: planner-off
+      and forced-grouping (count-only planner) batch wall-clock over the
+      skew-aware auto plan on the giant-plus-dust graph — auto must not
+      lose to off, and the count-only comparison prices the grouping
+      overhead skew-awareness avoids.
+    """
+    by_group = {}
+    for r in results:
+        by_group.setdefault(r["group"], {})[r["name"]] = r["median_seconds"]
+    derived = {}
+    mirror = by_group.get("mirror_fpa_fragmented50k", {})
+    for policy in ("identity", "bfs", "rcm"):
+        ratio = _ratio(mirror, "canonical", f"mirror_{policy}")
+        if ratio is not None:
+            derived[f"mirror_canonical_over_{policy}"] = ratio
+    validate = by_group.get("validate_bfs_fragmented50k", {})
+    ratio = _ratio(validate, "bytemask_fresh", "bitset_pooled")
+    if ratio is not None:
+        derived["validate_bytemask_over_bitset"] = ratio
+    skew = by_group.get("plan_skew_giant50k", {})
+    for baseline, key in (
+        ("plan_off", "skew_off_over_auto"),
+        ("count_only", "skew_count_only_over_auto"),
+    ):
+        ratio = _ratio(skew, baseline, "plan_auto")
+        if ratio is not None:
+            derived[key] = ratio
+    return derived
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default="-", help="output path (default stdout)")
@@ -180,6 +222,9 @@ def main():
     locality = derive_locality_ratios(results)
     if locality:
         doc["derived"]["locality_and_planning"] = locality
+    mirror = derive_mirror_ratios(results)
+    if mirror:
+        doc["derived"]["mirror_and_skew"] = mirror
     rendered = json.dumps(doc, indent=2) + "\n"
     if args.out == "-":
         sys.stdout.write(rendered)

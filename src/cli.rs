@@ -41,8 +41,8 @@ use crate::core::SearchResult;
 use crate::engine::output::{report_jsonl, response_json, result_json, summary_json, Json};
 use crate::engine::registry::{self, AlgoParams, AlgoSpec};
 use crate::engine::{
-    BatchReport, Engine, EngineError, PlanMode, QueryRequest, QueryResponse, Server, ServerConfig,
-    Session,
+    BatchReport, Engine, EngineError, PlanMode, QueryPlan, QueryRequest, QueryResponse, Server,
+    ServerConfig, Session,
 };
 use crate::graph::io::{load_edge_list, read_weighted_edge_list};
 use crate::graph::{Graph, LayoutPolicy, NodeId};
@@ -191,13 +191,17 @@ OPTIONS:
                       and cached answers scoped to clean shards survive
     --plan <mode>     query planner: auto (default; batches schedule
                       component-grouped with a per-worker component memo
-                      when snapshot stats warrant it) or off (ungrouped
-                      baseline). Execution strategy only — results are
-                      bit-identical across modes
+                      when snapshot stats warrant it — grouping is
+                      skew-aware, skipped when one giant component holds
+                      most of the mass — and mirror-safe searches run on
+                      the compute mirror when one exists) or off
+                      (ungrouped canonical baseline). Execution strategy
+                      only — results are bit-identical across modes
     --layout <policy> snapshot compute-mirror layout: identity (default;
                       no mirror), degree, bfs or rcm — builds a
-                      renumbered cache-friendly CSR mirror per snapshot;
-                      ids in all output stay in the input id space
+                      renumbered cache-friendly CSR mirror per snapshot
+                      that mirror-safe searches execute on under --plan
+                      auto; ids in all output stay in the input id space
     --help            show this text
 
 EXIT CODES:
@@ -389,6 +393,19 @@ fn validate_weighted_algo(cfg: &CliConfig) -> Result<(), EngineError> {
         }
     }
     Ok(())
+}
+
+/// Open a session honouring `--plan`: `off` disarms the component memo
+/// and mirror serving (the canonical baseline the planner is measured
+/// against), `auto` keeps the session defaults. Single-query, top-k and
+/// update-script paths all come through here so the planner switch
+/// covers every serving mode, not just batches.
+fn plan_session(engine: &Engine, cfg: &CliConfig, spec: &AlgoSpec) -> Result<Session, EngineError> {
+    let session = engine.session(spec)?;
+    Ok(match cfg.plan {
+        PlanMode::Off => session.without_memo().without_mirror(),
+        PlanMode::Auto => session,
+    })
 }
 
 /// The registry spec a config's `--algo` / `--k` / `--no-pruning` /
@@ -593,7 +610,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
     // searcher (so --algo and --weighted compose) and the shared result
     // cache replays repeat enumerations.
     if cfg.top_k > 0 {
-        let mut session = engine.session(&algo_spec(cfg))?;
+        let mut session = plan_session(&engine, cfg, &algo_spec(cfg))?;
         let outcome = session.top_k(&query, cfg.top_k);
         let algo = outcome.algo;
         let rounds = outcome.rounds.map_err(|e| EngineError::Search {
@@ -647,7 +664,7 @@ pub fn run<W: std::io::Write>(cfg: &CliConfig, out: &mut W) -> Result<(), Engine
 
     // Single-community path: a one-query session (the typed serving API;
     // a long-running caller would keep the session and loop).
-    let mut session = engine.session(&algo_spec(cfg))?;
+    let mut session = plan_session(&engine, cfg, &algo_spec(cfg))?;
     let response = session.query(&QueryRequest::new(query))?;
     let result = match &response.result {
         Ok(r) => r,
@@ -773,8 +790,13 @@ fn write_summary_lines<W: std::io::Write>(
     )?;
     writeln!(
         out,
-        "plan: {}  groups: {} ({} queries)  shared-bfs reuses: {}",
-        report.plan, report.groups, report.grouped_queries, report.shared_bfs_reuses
+        "plan: {}  groups: {} ({} queries)  shared-bfs reuses: {}  mirror-served: {}  skew: {:.2}",
+        report.plan,
+        report.groups,
+        report.grouped_queries,
+        report.shared_bfs_reuses,
+        report.mirror_served,
+        report.skew
     )
 }
 
@@ -1020,6 +1042,9 @@ fn run_updates<W: std::io::Write>(
         .collect();
 
     let mut session: Option<Session> = None;
+    // Mirror-served count survives re-pins: each fresh session starts
+    // its counter at zero, so fold the old one in before replacing it.
+    let mut mirrored: u64 = 0;
     let mut responses: Vec<QueryResponse> = Vec::new();
     let start = Instant::now();
     for (line_no, op) in &ops {
@@ -1125,7 +1150,10 @@ fn run_updates<W: std::io::Write>(
                     .as_ref()
                     .is_none_or(|s| s.snapshot().version() != engine.version());
                 if fresh {
-                    session = Some(engine.session(&spec)?);
+                    if let Some(s) = session.take() {
+                        mirrored += s.mirror_served();
+                    }
+                    session = Some(plan_session(engine, cfg, &spec)?);
                 }
                 let resp = session
                     .as_mut()
@@ -1149,7 +1177,19 @@ fn run_updates<W: std::io::Write>(
     let hits = responses.iter().filter(|r| r.cached).count();
     let misses = responses.len() - hits;
     let unique = responses.len();
-    let report = BatchReport::from_responses(responses, wall_seconds, unique, hits, misses);
+    mirrored += session.as_ref().map_or(0, |s| s.mirror_served());
+    // Skew of the snapshot the queries actually saw: read it off the
+    // last pinned session. Falling through to `engine.snapshot()` would
+    // force a rebuild the script's queries never paid for when the
+    // script ends on a mutation run (and the summary would report stats
+    // no query observed).
+    let skew = match &session {
+        Some(s) => QueryPlan::choose(cfg.plan, s.snapshot()).skew,
+        None => QueryPlan::choose(cfg.plan, &engine.snapshot()).skew,
+    };
+    let mut report = BatchReport::from_responses(responses, wall_seconds, unique, hits, misses);
+    report.mirror_served = mirrored;
+    report.skew = skew;
     match cfg.format {
         OutputFormat::Json => {
             // The updates-mode summary additionally carries the store's

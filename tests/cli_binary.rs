@@ -258,11 +258,22 @@ fn validate_jsonl(text: &str) {
                 );
                 assert!(v.get("last_dirty_shards").unwrap().as_u64().is_some());
                 assert!(v.get("last_rebuild_seconds").unwrap().as_f64().is_some());
-                // The daemon reports its current query plan label.
+                // The daemon reports its current query plan label, the
+                // pinned snapshot's skew statistic, and how many of
+                // this connection's queries ran on the compute mirror.
                 assert!(
                     v.get("plan").expect("stats.plan").as_str().is_some(),
                     "stats.plan must be a string"
                 );
+                assert!(
+                    v.get("mirror_served")
+                        .expect("stats.mirror_served")
+                        .as_u64()
+                        .is_some(),
+                    "stats.mirror_served must be an integer"
+                );
+                let skew = v.get("skew").expect("stats.skew").as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&skew), "line {i}: skew {skew}");
             }
             Some("shutdown") => {
                 assert_eq!(v.get("draining").unwrap().as_bool(), Some(true));
@@ -313,6 +324,19 @@ fn validate_jsonl(text: &str) {
                     v.get("plan").expect("plan").as_str().is_some(),
                     "summary.plan must be a string"
                 );
+                // Mirror serving is part of the schema: the count never
+                // exceeds the executed queries, and skew is a fraction.
+                let mirrored = v
+                    .get("mirror_served")
+                    .expect("mirror_served")
+                    .as_u64()
+                    .unwrap();
+                assert!(
+                    mirrored <= responses as u64,
+                    "line {i}: {mirrored} mirror-served > {responses}"
+                );
+                let skew = v.get("skew").expect("skew").as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&skew), "line {i}: skew {skew}");
                 // `--updates` summaries also carry the store's rebuild
                 // counters; when present they must satisfy the sharding
                 // invariant (every shard of every rebuild was either

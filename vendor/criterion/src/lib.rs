@@ -79,6 +79,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            sample_target: DEFAULT_SAMPLE_TARGET,
             _criterion: self,
         }
     }
@@ -91,7 +92,7 @@ impl Criterion {
         f: F,
     ) -> &mut Self {
         let id = id.into_benchmark_id();
-        run_benchmark(&id, 10, f);
+        run_benchmark(&id, 10, DEFAULT_SAMPLE_TARGET, f);
         self
     }
 }
@@ -100,6 +101,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    sample_target: Duration,
     _criterion: &'a mut Criterion,
 }
 
@@ -109,13 +111,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Upstream parity: the total measurement window per benchmark. The
+    /// shim divides it across the group's samples (floored at the
+    /// default per-sample target), so a wider window buys longer — more
+    /// jitter-resistant — samples rather than more of them.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.sample_target = (window / self.sample_size.max(1) as u32).max(DEFAULT_SAMPLE_TARGET);
+        self
+    }
+
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         id: impl IntoBenchmarkId,
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_benchmark(&full, self.sample_size, f);
+        run_benchmark(&full, self.sample_size, self.sample_target, f);
         self
     }
 
@@ -126,19 +137,21 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.id);
-        run_benchmark(&full, self.sample_size, |b| f(b, input));
+        run_benchmark(&full, self.sample_size, self.sample_target, |b| f(b, input));
         self
     }
 
     pub fn finish(self) {}
 }
 
-/// Calibrate the iteration count to ~25 ms of wall-clock, take
-/// `samples` samples and print the median per-iteration time.
-fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
-    const TARGET: Duration = Duration::from_millis(25);
+/// The per-sample wall-clock the calibration loop aims for.
+const DEFAULT_SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Calibrate the iteration count to ~`target` of wall-clock per sample,
+/// take `samples` samples and print the median per-iteration time.
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, target: Duration, mut f: F) {
     // Calibration: grow the iteration count until one sample costs at
-    // least TARGET (or a single iteration already exceeds it).
+    // least `target` (or a single iteration already exceeds it).
     let mut iters: u64 = 1;
     loop {
         let mut b = Bencher {
@@ -146,14 +159,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= TARGET || iters >= 1 << 30 {
+        if b.elapsed >= target || iters >= 1 << 30 {
             break;
         }
         // Scale toward the target with headroom, at least doubling.
         let scale = if b.elapsed.is_zero() {
             8.0
         } else {
-            (TARGET.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(2.0, 8.0)
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(2.0, 8.0)
         };
         iters = ((iters as f64) * scale).ceil() as u64;
     }
